@@ -1,0 +1,502 @@
+//! The 2PC-baseline engine.
+//!
+//! Per the paper (§V): every transaction — including read-only ones —
+//! executes like an SSS update transaction: reads return the current value
+//! of a single-version store, writes are buffered, and at commit time the
+//! transaction locks its read and write sets, validates that no read key was
+//! overwritten, and installs its writes through two-phase commit. Read-only
+//! transactions can therefore abort, which is the behaviour the paper's
+//! scalability comparison hinges on. The protocol is external consistent:
+//! a transaction holds its locks until its writes are installed, so its
+//! client-visible completion happens after its serialization point.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use sss_net::{
+    reply_channel, ChannelTransport, Envelope, NodeRuntime, NodeService, Priority, ReplySender,
+    Transport, TransportConfig,
+};
+use sss_storage::{Key, LockKind, LockTable, ReplicaMap, SvStore, TxnId, Value};
+use sss_vclock::NodeId;
+
+/// Configuration of a [`TwoPcCluster`].
+#[derive(Debug, Clone)]
+pub struct TwoPcConfig {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Replication degree.
+    pub replication: usize,
+    /// Worker threads per node.
+    pub workers_per_node: usize,
+    /// Lock-acquisition timeout (1ms in the paper's evaluation).
+    pub lock_timeout: Duration,
+    /// Timeout for reads and 2PC votes.
+    pub rpc_timeout: Duration,
+}
+
+impl TwoPcConfig {
+    /// Defaults matching the paper's setup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero.
+    pub fn new(nodes: usize) -> Self {
+        assert!(nodes > 0, "cluster must have at least one node");
+        TwoPcConfig {
+            nodes,
+            replication: 2.min(nodes),
+            workers_per_node: 4,
+            lock_timeout: Duration::from_millis(1),
+            rpc_timeout: Duration::from_secs(1),
+        }
+    }
+
+    /// Sets the replication degree.
+    pub fn replication(mut self, degree: usize) -> Self {
+        self.replication = degree;
+        self
+    }
+
+    /// Sets the lock timeout.
+    pub fn lock_timeout(mut self, timeout: Duration) -> Self {
+        self.lock_timeout = timeout;
+        self
+    }
+}
+
+/// Reply to a read.
+#[derive(Debug, Clone)]
+struct ReadReply {
+    value: Option<Value>,
+    version: u64,
+}
+
+/// Reply to a prepare.
+#[derive(Debug, Clone, Copy)]
+#[allow(dead_code)] // carries protocol metadata useful for tracing
+struct VoteReply {
+    from: NodeId,
+    ok: bool,
+}
+
+/// The 2PC-baseline wire protocol.
+#[derive(Debug, Clone)]
+enum TwoPcMessage {
+    Read {
+        key: Key,
+        reply: ReplySender<ReadReply>,
+    },
+    Prepare {
+        txn: TxnId,
+        read_versions: Vec<(Key, u64)>,
+        write_set: Vec<(Key, Value)>,
+        reply: ReplySender<VoteReply>,
+    },
+    Decide {
+        txn: TxnId,
+        outcome: bool,
+    },
+}
+
+#[derive(Debug)]
+struct PreparedTxn {
+    local_writes: Vec<(Key, Value)>,
+}
+
+struct TwoPcNode {
+    id: NodeId,
+    replicas: ReplicaMap,
+    store: Mutex<SvStore>,
+    prepared: Mutex<HashMap<TxnId, PreparedTxn>>,
+    locks: LockTable,
+    lock_timeout: Duration,
+    aborts: AtomicU64,
+    commits: AtomicU64,
+}
+
+impl TwoPcNode {
+    fn handle_read(&self, key: Key, reply: ReplySender<ReadReply>) {
+        let store = self.store.lock();
+        let cell = store.read(&key);
+        reply.send(ReadReply {
+            value: cell.map(|c| c.value.clone()),
+            version: store.version(&key),
+        });
+    }
+
+    fn handle_prepare(
+        &self,
+        txn: TxnId,
+        read_versions: Vec<(Key, u64)>,
+        write_set: Vec<(Key, Value)>,
+        reply: ReplySender<VoteReply>,
+    ) {
+        let local_reads: Vec<(Key, u64)> = read_versions
+            .into_iter()
+            .filter(|(k, _)| self.replicas.is_replica(self.id, k))
+            .collect();
+        let local_writes: Vec<(Key, Value)> = write_set
+            .into_iter()
+            .filter(|(k, _)| self.replicas.is_replica(self.id, k))
+            .collect();
+        let requests = local_writes
+            .iter()
+            .map(|(k, _)| (k, LockKind::Exclusive))
+            .chain(local_reads.iter().map(|(k, _)| (k, LockKind::Shared)));
+        if !self.locks.acquire_many(txn, requests, self.lock_timeout) {
+            self.aborts.fetch_add(1, Ordering::Relaxed);
+            reply.send(VoteReply {
+                from: self.id,
+                ok: false,
+            });
+            return;
+        }
+        // Validation: every locally stored read key must still have the
+        // version observed during execution.
+        let valid = {
+            let store = self.store.lock();
+            local_reads
+                .iter()
+                .all(|(k, version)| store.version(k) == *version)
+        };
+        if !valid {
+            self.locks.release_all(txn);
+            self.aborts.fetch_add(1, Ordering::Relaxed);
+            reply.send(VoteReply {
+                from: self.id,
+                ok: false,
+            });
+            return;
+        }
+        self.prepared
+            .lock()
+            .insert(txn, PreparedTxn { local_writes });
+        reply.send(VoteReply {
+            from: self.id,
+            ok: true,
+        });
+    }
+
+    fn handle_decide(&self, txn: TxnId, outcome: bool) {
+        let prepared = self.prepared.lock().remove(&txn);
+        if let Some(prep) = prepared {
+            if outcome {
+                let mut store = self.store.lock();
+                for (key, value) in prep.local_writes {
+                    store.write(key, value, txn);
+                }
+                self.commits.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.locks.release_all(txn);
+    }
+}
+
+impl NodeService<TwoPcMessage> for TwoPcNode {
+    fn handle(&self, envelope: Envelope<TwoPcMessage>) {
+        match envelope.payload {
+            TwoPcMessage::Read { key, reply } => self.handle_read(key, reply),
+            TwoPcMessage::Prepare {
+                txn,
+                read_versions,
+                write_set,
+                reply,
+            } => self.handle_prepare(txn, read_versions, write_set, reply),
+            TwoPcMessage::Decide { txn, outcome } => self.handle_decide(txn, outcome),
+        }
+    }
+}
+
+/// A running 2PC-baseline cluster.
+pub struct TwoPcCluster {
+    config: TwoPcConfig,
+    transport: Arc<ChannelTransport<TwoPcMessage>>,
+    nodes: Vec<Arc<TwoPcNode>>,
+    runtimes: Mutex<Vec<NodeRuntime>>,
+    next_txn: AtomicU64,
+}
+
+impl TwoPcCluster {
+    /// Boots the cluster.
+    pub fn start(config: TwoPcConfig) -> Self {
+        let transport = Arc::new(ChannelTransport::new(TransportConfig::new(config.nodes)));
+        let replicas = ReplicaMap::new(config.nodes, config.replication);
+        let nodes: Vec<Arc<TwoPcNode>> = (0..config.nodes)
+            .map(|i| {
+                Arc::new(TwoPcNode {
+                    id: NodeId(i),
+                    replicas: replicas.clone(),
+                    store: Mutex::new(SvStore::new()),
+                    prepared: Mutex::new(HashMap::new()),
+                    locks: LockTable::new(),
+                    lock_timeout: config.lock_timeout,
+                    aborts: AtomicU64::new(0),
+                    commits: AtomicU64::new(0),
+                })
+            })
+            .collect();
+        let runtimes = nodes
+            .iter()
+            .map(|node| {
+                NodeRuntime::spawn(
+                    node.id,
+                    transport.mailbox(node.id),
+                    Arc::clone(node),
+                    config.workers_per_node,
+                )
+            })
+            .collect();
+        TwoPcCluster {
+            config,
+            transport,
+            nodes,
+            runtimes: Mutex::new(runtimes),
+            next_txn: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Total commits applied across nodes (diagnostic).
+    pub fn applied_commits(&self) -> u64 {
+        self.nodes
+            .iter()
+            .map(|n| n.commits.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Total negative votes across nodes (diagnostic).
+    pub fn vote_aborts(&self) -> u64 {
+        self.nodes
+            .iter()
+            .map(|n| n.aborts.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Opens a session colocated with `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn session(&self, node: usize) -> TwoPcSession<'_> {
+        assert!(node < self.nodes.len(), "node index out of range");
+        TwoPcSession {
+            cluster: self,
+            node: NodeId(node),
+        }
+    }
+
+    /// Shuts down the cluster. Idempotent.
+    pub fn shutdown(&self) {
+        self.transport.shutdown();
+        for runtime in std::mem::take(&mut *self.runtimes.lock()) {
+            runtime.join();
+        }
+    }
+
+    fn replicas(&self) -> ReplicaMap {
+        ReplicaMap::new(self.config.nodes, self.config.replication)
+    }
+}
+
+impl Drop for TwoPcCluster {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for TwoPcCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TwoPcCluster")
+            .field("nodes", &self.nodes.len())
+            .finish()
+    }
+}
+
+/// Outcome of a 2PC-baseline transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TwoPcOutcome {
+    /// The transaction committed.
+    Committed,
+    /// The transaction aborted (lock timeout or validation failure) and may
+    /// be retried.
+    Aborted,
+}
+
+/// A client session colocated with one node.
+#[derive(Debug, Clone, Copy)]
+pub struct TwoPcSession<'c> {
+    cluster: &'c TwoPcCluster,
+    node: NodeId,
+}
+
+impl<'c> TwoPcSession<'c> {
+    fn read(&self, key: &Key) -> Option<(Option<Value>, u64)> {
+        let replicas = self.cluster.replicas().replicas(key);
+        let (reply, rx) = reply_channel(replicas.len());
+        let msg = TwoPcMessage::Read {
+            key: key.clone(),
+            reply,
+        };
+        for target in replicas {
+            let _ = self
+                .cluster
+                .transport
+                .send(self.node, target, msg.clone(), Priority::Normal);
+        }
+        rx.recv_timeout(self.cluster.config.rpc_timeout)
+            .map(|r| (r.value, r.version))
+    }
+
+    /// Executes a transaction that reads `read_keys` and installs `writes`
+    /// (either may be empty — read-only transactions simply have no writes,
+    /// but still validate and may abort).
+    pub fn execute(
+        &self,
+        read_keys: &[Key],
+        writes: &[(Key, Value)],
+    ) -> (TwoPcOutcome, Option<BTreeMap<Key, Option<Value>>>) {
+        let txn = TxnId::new(
+            self.node,
+            self.cluster.next_txn.fetch_add(1, Ordering::Relaxed),
+        );
+        let mut observed = BTreeMap::new();
+        let mut read_versions = Vec::with_capacity(read_keys.len());
+        for key in read_keys {
+            let Some((value, version)) = self.read(key) else {
+                return (TwoPcOutcome::Aborted, None);
+            };
+            observed.insert(key.clone(), value);
+            read_versions.push((key.clone(), version));
+        }
+
+        let replica_map = self.cluster.replicas();
+        let write_keys: Vec<Key> = writes.iter().map(|(k, _)| k.clone()).collect();
+        let participants =
+            replica_map.replicas_of_all(read_keys.iter().chain(write_keys.iter()));
+        if participants.is_empty() {
+            return (TwoPcOutcome::Committed, Some(observed));
+        }
+
+        let (reply, rx) = reply_channel(participants.len());
+        let prepare = TwoPcMessage::Prepare {
+            txn,
+            read_versions,
+            write_set: writes.to_vec(),
+            reply,
+        };
+        for target in &participants {
+            let _ = self
+                .cluster
+                .transport
+                .send(self.node, *target, prepare.clone(), Priority::Normal);
+        }
+        let deadline = Instant::now() + self.cluster.config.rpc_timeout;
+        let mut ok = true;
+        let mut votes = 0;
+        while votes < participants.len() {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            match rx.recv_timeout(remaining) {
+                Some(vote) => {
+                    votes += 1;
+                    if !vote.ok {
+                        ok = false;
+                        break;
+                    }
+                }
+                None => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        let decide = TwoPcMessage::Decide { txn, outcome: ok };
+        for target in &participants {
+            let _ = self
+                .cluster
+                .transport
+                .send(self.node, *target, decide.clone(), Priority::High);
+        }
+        if ok {
+            (TwoPcOutcome::Committed, Some(observed))
+        } else {
+            (TwoPcOutcome::Aborted, None)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn committed_writes_are_visible_to_later_reads() {
+        let cluster = TwoPcCluster::start(TwoPcConfig::new(3));
+        let session = cluster.session(0);
+        let k = Key::new("x");
+        let (outcome, _) = session.execute(&[], &[(k.clone(), Value::from_u64(7))]);
+        assert_eq!(outcome, TwoPcOutcome::Committed);
+        let (outcome, observed) = session.execute(&[k.clone()], &[]);
+        assert_eq!(outcome, TwoPcOutcome::Committed);
+        assert_eq!(observed.unwrap().get(&k).cloned().flatten(), Some(Value::from_u64(7)));
+        assert!(cluster.applied_commits() >= 1);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn conflicting_writer_forces_validation_abort() {
+        let cluster = TwoPcCluster::start(TwoPcConfig::new(2));
+        let s0 = cluster.session(0);
+        let s1 = cluster.session(1);
+        let k = Key::new("hot");
+        let (outcome, _) = s0.execute(&[], &[(k.clone(), Value::from_u64(1))]);
+        assert_eq!(outcome, TwoPcOutcome::Committed);
+
+        // s1 reads version 1, then s0 overwrites, then s1's read-only commit
+        // must fail validation... but because execute() is atomic here we
+        // emulate the stale read by issuing the overwrite from a read the
+        // session took earlier. Simplest deterministic check: a read-write
+        // transaction whose read version is stale aborts.
+        let stale_version = 1u64;
+        let replicas = cluster.replicas().replicas(&k);
+        let (reply, rx) = reply_channel(replicas.len());
+        // Overwrite to make version 2.
+        let (outcome, _) = s0.execute(&[], &[(k.clone(), Value::from_u64(2))]);
+        assert_eq!(outcome, TwoPcOutcome::Committed);
+        // Now prepare with the stale version by hand.
+        let txn = TxnId::new(NodeId(1), 999);
+        let prepare = TwoPcMessage::Prepare {
+            txn,
+            read_versions: vec![(k.clone(), stale_version)],
+            write_set: vec![],
+            reply,
+        };
+        for target in &replicas {
+            cluster
+                .transport
+                .send(NodeId(1), *target, prepare.clone(), Priority::Normal)
+                .unwrap();
+        }
+        let vote = rx.recv().unwrap();
+        assert!(!vote.ok, "stale read version must fail validation");
+        let _ = s1;
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn read_only_transactions_go_through_2pc() {
+        let cluster = TwoPcCluster::start(TwoPcConfig::new(2));
+        let session = cluster.session(1);
+        let (outcome, observed) = session.execute(&[Key::new("missing")], &[]);
+        assert_eq!(outcome, TwoPcOutcome::Committed);
+        assert_eq!(observed.unwrap().get(&Key::new("missing")).cloned().flatten(), None);
+        cluster.shutdown();
+    }
+}

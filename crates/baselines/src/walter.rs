@@ -1,0 +1,541 @@
+//! A Walter-style Parallel Snapshot Isolation (PSI) engine.
+//!
+//! Walter (Sovran et al., SOSP 2011) is included in the paper's evaluation
+//! because, like SSS, it synchronizes nodes with vector clocks — but it only
+//! provides PSI, "a weaker isolation level than external consistency and
+//! even serializability" (§V). The engine below captures the properties the
+//! comparison relies on:
+//!
+//! * multi-version storage stamped with vector clocks,
+//! * transactions read from the snapshot defined by their start vector
+//!   clock; read-only transactions never validate, never wait and never
+//!   abort,
+//! * update transactions detect only write-write conflicts
+//!   (first-committer-wins on the written keys) through a lightweight
+//!   prepare/decide round — there is no read validation and no
+//!   client-response delay, which is exactly why Walter outperforms SSS
+//!   while offering weaker guarantees (long forks are possible).
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use sss_net::{
+    reply_channel, ChannelTransport, Envelope, NodeRuntime, NodeService, Priority, ReplySender,
+    Transport, TransportConfig,
+};
+use sss_storage::{Key, LockKind, LockTable, MvStore, ReplicaMap, TxnId, Value};
+use sss_vclock::{NodeId, VectorClock};
+
+/// Configuration of a [`WalterCluster`].
+#[derive(Debug, Clone)]
+pub struct WalterConfig {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Replication degree.
+    pub replication: usize,
+    /// Worker threads per node.
+    pub workers_per_node: usize,
+    /// Lock-acquisition timeout for write-write conflict detection.
+    pub lock_timeout: Duration,
+    /// Timeout for reads and votes.
+    pub rpc_timeout: Duration,
+}
+
+impl WalterConfig {
+    /// Defaults matching the paper's setup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero.
+    pub fn new(nodes: usize) -> Self {
+        assert!(nodes > 0, "cluster must have at least one node");
+        WalterConfig {
+            nodes,
+            replication: 2.min(nodes),
+            workers_per_node: 4,
+            lock_timeout: Duration::from_millis(1),
+            rpc_timeout: Duration::from_secs(1),
+        }
+    }
+
+    /// Sets the replication degree.
+    pub fn replication(mut self, degree: usize) -> Self {
+        self.replication = degree;
+        self
+    }
+}
+
+#[derive(Debug, Clone)]
+#[allow(dead_code)] // version_vc is kept for symmetry with the protocol message
+struct ReadReply {
+    value: Option<Value>,
+    version_vc: Option<VectorClock>,
+}
+
+#[derive(Debug, Clone)]
+#[allow(dead_code)] // carries protocol metadata useful for tracing
+struct VoteReply {
+    from: NodeId,
+    ok: bool,
+    proposed: VectorClock,
+}
+
+#[derive(Debug, Clone)]
+enum WalterMessage {
+    Read {
+        key: Key,
+        snapshot: VectorClock,
+        reply: ReplySender<ReadReply>,
+    },
+    Prepare {
+        txn: TxnId,
+        snapshot: VectorClock,
+        write_set: Vec<(Key, Value)>,
+        reply: ReplySender<VoteReply>,
+    },
+    Decide {
+        txn: TxnId,
+        commit_vc: VectorClock,
+        outcome: bool,
+    },
+}
+
+#[derive(Debug)]
+struct PreparedTxn {
+    local_writes: Vec<(Key, Value)>,
+}
+
+struct WalterNode {
+    id: NodeId,
+    replicas: ReplicaMap,
+    lock_timeout: Duration,
+    state: Mutex<WalterNodeState>,
+    locks: LockTable,
+}
+
+struct WalterNodeState {
+    node_vc: VectorClock,
+    store: MvStore,
+    prepared: HashMap<TxnId, PreparedTxn>,
+}
+
+impl WalterNode {
+    fn handle_read(&self, key: Key, snapshot: VectorClock, reply: ReplySender<ReadReply>) {
+        let state = self.state.lock();
+        // PSI visibility: the newest version whose commit vector clock is
+        // contained in the reader's start snapshot.
+        let version = state
+            .store
+            .chain(&key)
+            .and_then(|chain| chain.latest_matching(|v| v.vc.le(&snapshot)));
+        reply.send(ReadReply {
+            value: version.map(|v| v.value.clone()),
+            version_vc: version.map(|v| v.vc.clone()),
+        });
+    }
+
+    fn handle_prepare(
+        &self,
+        txn: TxnId,
+        snapshot: VectorClock,
+        write_set: Vec<(Key, Value)>,
+        reply: ReplySender<VoteReply>,
+    ) {
+        let local_writes: Vec<(Key, Value)> = write_set
+            .into_iter()
+            .filter(|(k, _)| self.replicas.is_replica(self.id, k))
+            .collect();
+        let lock_requests = local_writes.iter().map(|(k, _)| (k, LockKind::Exclusive));
+        if !self
+            .locks
+            .acquire_many(txn, lock_requests, self.lock_timeout)
+        {
+            let snapshot_out = snapshot.clone();
+            reply.send(VoteReply {
+                from: self.id,
+                ok: false,
+                proposed: snapshot_out,
+            });
+            return;
+        }
+        let mut state = self.state.lock();
+        // First-committer-wins: abort if any written key already has a
+        // version outside the transaction's start snapshot.
+        let conflict = local_writes.iter().any(|(k, _)| {
+            state
+                .store
+                .last(k)
+                .map(|v| !v.vc.le(&snapshot))
+                .unwrap_or(false)
+        });
+        if conflict {
+            drop(state);
+            self.locks.release_all(txn);
+            reply.send(VoteReply {
+                from: self.id,
+                ok: false,
+                proposed: snapshot,
+            });
+            return;
+        }
+        let i = self.id.index();
+        state.node_vc.increment(i);
+        let proposed = state.node_vc.clone();
+        state.prepared.insert(txn, PreparedTxn { local_writes });
+        drop(state);
+        reply.send(VoteReply {
+            from: self.id,
+            ok: true,
+            proposed,
+        });
+    }
+
+    fn handle_decide(&self, txn: TxnId, commit_vc: VectorClock, outcome: bool) {
+        let mut state = self.state.lock();
+        if let Some(prep) = state.prepared.remove(&txn) {
+            if outcome {
+                for (key, value) in prep.local_writes {
+                    state.store.apply(key, value, commit_vc.clone(), txn);
+                }
+                state.node_vc.merge(&commit_vc);
+            }
+        }
+        drop(state);
+        self.locks.release_all(txn);
+    }
+
+    fn snapshot(&self) -> VectorClock {
+        self.state.lock().node_vc.clone()
+    }
+
+    /// Folds a commit vector clock observed by a colocated client into the
+    /// node's knowledge, so later transactions started here include it in
+    /// their snapshot (Walter's background propagation, collapsed to the
+    /// synchronous paths we exercise).
+    fn observe(&self, vc: &VectorClock) {
+        self.state.lock().node_vc.merge(vc);
+    }
+}
+
+impl NodeService<WalterMessage> for WalterNode {
+    fn handle(&self, envelope: Envelope<WalterMessage>) {
+        match envelope.payload {
+            WalterMessage::Read {
+                key,
+                snapshot,
+                reply,
+            } => self.handle_read(key, snapshot, reply),
+            WalterMessage::Prepare {
+                txn,
+                snapshot,
+                write_set,
+                reply,
+            } => self.handle_prepare(txn, snapshot, write_set, reply),
+            WalterMessage::Decide {
+                txn,
+                commit_vc,
+                outcome,
+            } => self.handle_decide(txn, commit_vc, outcome),
+        }
+    }
+}
+
+/// A running Walter-style PSI cluster.
+pub struct WalterCluster {
+    config: WalterConfig,
+    transport: Arc<ChannelTransport<WalterMessage>>,
+    nodes: Vec<Arc<WalterNode>>,
+    runtimes: Mutex<Vec<NodeRuntime>>,
+    next_txn: AtomicU64,
+}
+
+impl WalterCluster {
+    /// Boots the cluster.
+    pub fn start(config: WalterConfig) -> Self {
+        let transport = Arc::new(ChannelTransport::new(TransportConfig::new(config.nodes)));
+        let replicas = ReplicaMap::new(config.nodes, config.replication);
+        let nodes: Vec<Arc<WalterNode>> = (0..config.nodes)
+            .map(|i| {
+                Arc::new(WalterNode {
+                    id: NodeId(i),
+                    replicas: replicas.clone(),
+                    lock_timeout: config.lock_timeout,
+                    state: Mutex::new(WalterNodeState {
+                        node_vc: VectorClock::new(config.nodes),
+                        store: MvStore::new(),
+                        prepared: HashMap::new(),
+                    }),
+                    locks: LockTable::new(),
+                })
+            })
+            .collect();
+        let runtimes = nodes
+            .iter()
+            .map(|node| {
+                NodeRuntime::spawn(
+                    node.id,
+                    transport.mailbox(node.id),
+                    Arc::clone(node),
+                    config.workers_per_node,
+                )
+            })
+            .collect();
+        WalterCluster {
+            config,
+            transport,
+            nodes,
+            runtimes: Mutex::new(runtimes),
+            next_txn: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Opens a session colocated with `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn session(&self, node: usize) -> WalterSession<'_> {
+        assert!(node < self.nodes.len(), "node index out of range");
+        WalterSession {
+            cluster: self,
+            node: NodeId(node),
+        }
+    }
+
+    /// Shuts the cluster down. Idempotent.
+    pub fn shutdown(&self) {
+        self.transport.shutdown();
+        for runtime in std::mem::take(&mut *self.runtimes.lock()) {
+            runtime.join();
+        }
+    }
+
+    fn replicas(&self) -> ReplicaMap {
+        ReplicaMap::new(self.config.nodes, self.config.replication)
+    }
+}
+
+impl Drop for WalterCluster {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for WalterCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WalterCluster")
+            .field("nodes", &self.nodes.len())
+            .finish()
+    }
+}
+
+/// Outcome of a Walter transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalterOutcome {
+    /// The transaction committed.
+    Committed,
+    /// A write-write conflict aborted the transaction.
+    Aborted,
+}
+
+/// A client session colocated with one node.
+#[derive(Debug, Clone, Copy)]
+pub struct WalterSession<'c> {
+    cluster: &'c WalterCluster,
+    node: NodeId,
+}
+
+impl<'c> WalterSession<'c> {
+    fn start_snapshot(&self) -> VectorClock {
+        self.cluster.nodes[self.node.index()].snapshot()
+    }
+
+    fn read_at(&self, key: &Key, snapshot: &VectorClock) -> Option<Option<Value>> {
+        let replicas = self.cluster.replicas().replicas(key);
+        let (reply, rx) = reply_channel(replicas.len());
+        let msg = WalterMessage::Read {
+            key: key.clone(),
+            snapshot: snapshot.clone(),
+            reply,
+        };
+        for target in replicas {
+            let _ = self
+                .cluster
+                .transport
+                .send(self.node, target, msg.clone(), Priority::Normal);
+        }
+        rx.recv_timeout(self.cluster.config.rpc_timeout)
+            .map(|r| r.value)
+    }
+
+    /// Executes a read-only transaction over `read_keys`. Never aborts.
+    ///
+    /// Returns `None` only if the cluster is shutting down (a read timed
+    /// out).
+    pub fn read_only(&self, read_keys: &[Key]) -> Option<BTreeMap<Key, Option<Value>>> {
+        let snapshot = self.start_snapshot();
+        let mut out = BTreeMap::new();
+        for key in read_keys {
+            out.insert(key.clone(), self.read_at(key, &snapshot)?);
+        }
+        Some(out)
+    }
+
+    /// Executes an update transaction: reads `read_keys` from the start
+    /// snapshot, then commits `writes` if no write-write conflict occurred.
+    pub fn update(
+        &self,
+        read_keys: &[Key],
+        writes: &[(Key, Value)],
+    ) -> (WalterOutcome, Option<BTreeMap<Key, Option<Value>>>) {
+        let snapshot = self.start_snapshot();
+        let mut observed = BTreeMap::new();
+        for key in read_keys {
+            match self.read_at(key, &snapshot) {
+                Some(value) => {
+                    observed.insert(key.clone(), value);
+                }
+                None => return (WalterOutcome::Aborted, None),
+            }
+        }
+        if writes.is_empty() {
+            return (WalterOutcome::Committed, Some(observed));
+        }
+        let txn = TxnId::new(
+            self.node,
+            self.cluster.next_txn.fetch_add(1, Ordering::Relaxed),
+        );
+        let replica_map = self.cluster.replicas();
+        let write_keys: Vec<Key> = writes.iter().map(|(k, _)| k.clone()).collect();
+        let participants = replica_map.replicas_of_all(write_keys.iter());
+        let (reply, rx) = reply_channel(participants.len());
+        let prepare = WalterMessage::Prepare {
+            txn,
+            snapshot: snapshot.clone(),
+            write_set: writes.to_vec(),
+            reply,
+        };
+        for target in &participants {
+            let _ = self
+                .cluster
+                .transport
+                .send(self.node, *target, prepare.clone(), Priority::Normal);
+        }
+        let deadline = Instant::now() + self.cluster.config.rpc_timeout;
+        let mut commit_vc = snapshot;
+        let mut ok = true;
+        let mut votes = 0;
+        while votes < participants.len() {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            match rx.recv_timeout(remaining) {
+                Some(vote) => {
+                    votes += 1;
+                    if vote.ok {
+                        commit_vc.merge(&vote.proposed);
+                    } else {
+                        ok = false;
+                        break;
+                    }
+                }
+                None => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        let decide = WalterMessage::Decide {
+            txn,
+            commit_vc,
+            outcome: ok,
+        };
+        let commit_vc_for_client = match &decide {
+            WalterMessage::Decide { commit_vc, .. } => commit_vc.clone(),
+            _ => unreachable!("decide constructed above"),
+        };
+        for target in &participants {
+            let _ = self
+                .cluster
+                .transport
+                .send(self.node, *target, decide.clone(), Priority::High);
+        }
+        if ok {
+            // The client observed its own commit: make it visible to the
+            // snapshots of later transactions started on this node.
+            self.cluster.nodes[self.node.index()].observe(&commit_vc_for_client);
+            (WalterOutcome::Committed, Some(observed))
+        } else {
+            (WalterOutcome::Aborted, None)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn committed_writes_become_visible() {
+        let cluster = WalterCluster::start(WalterConfig::new(3));
+        let session = cluster.session(0);
+        let k = Key::new("x");
+        let (outcome, _) = session.update(&[], &[(k.clone(), Value::from_u64(5))]);
+        assert_eq!(outcome, WalterOutcome::Committed);
+        // A later snapshot (taken on the coordinating node) sees the write.
+        let observed = session.read_only(&[k.clone()]).unwrap();
+        assert_eq!(observed.get(&k).cloned().flatten(), Some(Value::from_u64(5)));
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn read_only_transactions_never_abort() {
+        let cluster = WalterCluster::start(WalterConfig::new(2));
+        let session = cluster.session(1);
+        for _ in 0..10 {
+            assert!(session.read_only(&[Key::new("a"), Key::new("b")]).is_some());
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn write_write_conflicts_use_first_committer_wins() {
+        let cluster = WalterCluster::start(WalterConfig::new(2));
+        let session = cluster.session(0);
+        let k = Key::new("contended");
+        // Install an initial version.
+        let (outcome, _) = session.update(&[], &[(k.clone(), Value::from_u64(1))]);
+        assert_eq!(outcome, WalterOutcome::Committed);
+
+        // A writer whose start snapshot predates a concurrent committed
+        // write must abort. Simulate by capturing the snapshot, committing
+        // another write, then preparing against the stale snapshot.
+        let stale_snapshot = cluster.nodes[0].snapshot();
+        let (outcome, _) = session.update(&[], &[(k.clone(), Value::from_u64(2))]);
+        assert_eq!(outcome, WalterOutcome::Committed);
+
+        let replicas = cluster.replicas().replicas(&k);
+        let (reply, rx) = reply_channel(replicas.len());
+        let prepare = WalterMessage::Prepare {
+            txn: TxnId::new(NodeId(0), 999),
+            snapshot: stale_snapshot,
+            write_set: vec![(k.clone(), Value::from_u64(3))],
+            reply,
+        };
+        for target in &replicas {
+            cluster
+                .transport
+                .send(NodeId(0), *target, prepare.clone(), Priority::Normal)
+                .unwrap();
+        }
+        let vote = rx.recv().unwrap();
+        assert!(!vote.ok, "stale writer must lose first-committer-wins");
+        cluster.shutdown();
+    }
+}

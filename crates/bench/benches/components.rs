@@ -1,0 +1,133 @@
+//! Criterion micro-benchmarks of the protocol building blocks: vector
+//! clocks, snapshot-queues, the commit queue, the lock table, version-chain
+//! reads and workload generation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::time::Duration;
+
+use sss_core::{CommitQueue, SnapshotQueue};
+use sss_storage::{Key, LockKind, LockTable, MvStore, TxnId, Value};
+use sss_vclock::{NodeId, VectorClock};
+use sss_workload::{WorkloadGenerator, WorkloadSpec};
+
+fn txn(seq: u64) -> TxnId {
+    TxnId::new(NodeId(0), seq)
+}
+
+fn bench_vector_clock(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vector_clock");
+    for width in [5usize, 20, 100] {
+        let a = VectorClock::from_entries((0..width as u64).collect());
+        let b = VectorClock::from_entries((0..width as u64).rev().collect());
+        group.bench_function(format!("merge_width_{width}"), |bencher| {
+            bencher.iter_batched(
+                || a.clone(),
+                |mut clock| clock.merge(&b),
+                BatchSize::SmallInput,
+            )
+        });
+        group.bench_function(format!("dominates_width_{width}"), |bencher| {
+            bencher.iter(|| std::hint::black_box(a.dominates(&b)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_snapshot_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("snapshot_queue");
+    group.bench_function("insert_and_remove_read", |bencher| {
+        bencher.iter_batched(
+            SnapshotQueue::new,
+            |mut queue| {
+                for i in 0..64u64 {
+                    queue.insert_read(txn(i), i);
+                }
+                for i in 0..64u64 {
+                    queue.remove(txn(i));
+                }
+                queue
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("has_read_before", |bencher| {
+        let mut queue = SnapshotQueue::new();
+        for i in 0..64u64 {
+            queue.insert_read(txn(i), i);
+        }
+        bencher.iter(|| std::hint::black_box(queue.has_read_before(32)))
+    });
+    group.finish();
+}
+
+fn bench_commit_queue(c: &mut Criterion) {
+    c.bench_function("commit_queue/put_update_pop", |bencher| {
+        bencher.iter_batched(
+            || CommitQueue::new(0),
+            |mut queue| {
+                for i in 0..32u64 {
+                    queue.put(txn(i), VectorClock::from_entries(vec![i + 1]));
+                }
+                for i in 0..32u64 {
+                    queue.update(txn(i), VectorClock::from_entries(vec![i + 1]));
+                }
+                while queue.pop_ready_head().is_some() {}
+                queue
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_lock_table(c: &mut Criterion) {
+    c.bench_function("lock_table/acquire_release_disjoint", |bencher| {
+        let table = LockTable::new();
+        let keys: Vec<Key> = (0..16).map(|i| Key::new(format!("k{i}"))).collect();
+        let mut next = 0u64;
+        bencher.iter(|| {
+            next += 1;
+            let id = txn(next);
+            let requests = keys.iter().map(|k| (k, LockKind::Exclusive));
+            assert!(table.acquire_many(id, requests, Duration::from_millis(1)));
+            table.release_all(id);
+        })
+    });
+}
+
+fn bench_version_chain(c: &mut Criterion) {
+    c.bench_function("mvstore/visibility_walk", |bencher| {
+        let mut store = MvStore::new();
+        let key = Key::new("hot");
+        for i in 1..=64u64 {
+            store.apply(
+                key.clone(),
+                Value::from_u64(i),
+                VectorClock::from_entries(vec![i, i / 2]),
+                txn(i),
+            );
+        }
+        bencher.iter(|| {
+            let chain = store.chain(&key).expect("populated");
+            std::hint::black_box(chain.latest_matching(|v| v.vc.get(0) <= 32))
+        })
+    });
+}
+
+fn bench_workload_generation(c: &mut Criterion) {
+    c.bench_function("workload/next_txn", |bencher| {
+        let spec = WorkloadSpec::new(8).total_keys(5_000).read_only_percent(80);
+        let mut generator = WorkloadGenerator::new(&spec, NodeId(0), 0);
+        bencher.iter(|| std::hint::black_box(generator.next_txn()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_vector_clock,
+    bench_snapshot_queue,
+    bench_commit_queue,
+    bench_lock_table,
+    bench_version_chain,
+    bench_workload_generation
+);
+criterion_main!(benches);

@@ -1,0 +1,409 @@
+//! Workload-driver adapters for every engine under test.
+
+use std::time::Instant;
+#[cfg(test)]
+use std::time::Duration;
+
+use sss_baselines::rococo::{RococoCluster, RococoConfig, RococoReadOutcome};
+use sss_baselines::twopc::{TwoPcCluster, TwoPcConfig, TwoPcOutcome};
+use sss_baselines::walter::{WalterCluster, WalterConfig, WalterOutcome};
+use sss_core::{SssCluster, SssConfig};
+use sss_storage::{Key, Value};
+use sss_workload::{EngineSession, TransactionEngine, TxnOutcome, WorkloadGenerator, WorkloadSpec};
+
+/// Which engine an experiment runs against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// The SSS protocol (this paper).
+    Sss,
+    /// The 2PC-baseline.
+    TwoPc,
+    /// The Walter-style PSI engine.
+    Walter,
+    /// The ROCOCO-style engine.
+    Rococo,
+}
+
+impl EngineKind {
+    /// Display name used in tables (matches the paper's legends).
+    pub fn label(&self) -> &'static str {
+        match self {
+            EngineKind::Sss => "SSS",
+            EngineKind::TwoPc => "2PC",
+            EngineKind::Walter => "Walter",
+            EngineKind::Rococo => "ROCOCO",
+        }
+    }
+}
+
+/// Pre-populates every key of the workload's key space with an initial
+/// value, as YCSB does before the measured phase.
+pub fn populate<E: TransactionEngine>(engine: &E, spec: &WorkloadSpec) {
+    let mut session = engine.session(0);
+    let keys: Vec<Key> = WorkloadGenerator::all_keys(spec).collect();
+    for chunk in keys.chunks(64) {
+        let writes: Vec<(Key, Value)> = chunk
+            .iter()
+            .map(|k| (k.clone(), Value::from_u64(0)))
+            .collect();
+        // Population runs before the measured window; an abort here can only
+        // come from self-contention, so retry until applied.
+        for _ in 0..16 {
+            if session.run_update(&[], &writes).is_committed() {
+                break;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SSS
+// ---------------------------------------------------------------------------
+
+/// The SSS engine behind the workload-driver trait.
+pub struct SssEngine {
+    cluster: SssCluster,
+}
+
+impl SssEngine {
+    /// Starts an SSS cluster sized for `spec` with `replication` replicas
+    /// per key.
+    pub fn start(spec: &WorkloadSpec, replication: usize) -> Self {
+        let config = SssConfig::new(spec.nodes).replication(replication);
+        let cluster = SssCluster::start(config).expect("failed to start SSS cluster");
+        SssEngine { cluster }
+    }
+
+    /// The underlying cluster (e.g. for protocol statistics).
+    pub fn cluster(&self) -> &SssCluster {
+        &self.cluster
+    }
+}
+
+struct SssEngineSession {
+    session: sss_core::Session,
+}
+
+impl EngineSession for SssEngineSession {
+    fn run_update(&mut self, read_keys: &[Key], writes: &[(Key, Value)]) -> TxnOutcome {
+        let start = Instant::now();
+        let mut txn = self.session.begin_update();
+        for key in read_keys {
+            if txn.read(key.clone()).is_err() {
+                return TxnOutcome::Aborted;
+            }
+        }
+        for (key, value) in writes {
+            txn.write(key.clone(), value.clone());
+        }
+        match txn.commit() {
+            Ok(info) => TxnOutcome::Committed {
+                latency: start.elapsed(),
+                internal_latency: info.internal_latency,
+            },
+            Err(_) => TxnOutcome::Aborted,
+        }
+    }
+
+    fn run_read_only(&mut self, read_keys: &[Key]) -> TxnOutcome {
+        let start = Instant::now();
+        let mut txn = self.session.begin_read_only();
+        for key in read_keys {
+            if txn.read(key.clone()).is_err() {
+                return TxnOutcome::Aborted;
+            }
+        }
+        match txn.commit() {
+            Ok(()) => TxnOutcome::Committed {
+                latency: start.elapsed(),
+                internal_latency: start.elapsed(),
+            },
+            Err(_) => TxnOutcome::Aborted,
+        }
+    }
+}
+
+impl TransactionEngine for SssEngine {
+    fn name(&self) -> &str {
+        "SSS"
+    }
+
+    fn nodes(&self) -> usize {
+        self.cluster.node_count()
+    }
+
+    fn session(&self, node: usize) -> Box<dyn EngineSession> {
+        Box::new(SssEngineSession {
+            session: self.cluster.session(node),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 2PC-baseline
+// ---------------------------------------------------------------------------
+
+/// The 2PC-baseline engine behind the workload-driver trait.
+pub struct TwoPcEngine {
+    cluster: std::sync::Arc<TwoPcCluster>,
+}
+
+impl TwoPcEngine {
+    /// Starts a 2PC-baseline cluster sized for `spec`.
+    pub fn start(spec: &WorkloadSpec, replication: usize) -> Self {
+        let config = TwoPcConfig::new(spec.nodes).replication(replication);
+        TwoPcEngine {
+            cluster: std::sync::Arc::new(TwoPcCluster::start(config)),
+        }
+    }
+}
+
+struct TwoPcEngineSession {
+    cluster: std::sync::Arc<TwoPcCluster>,
+    node: usize,
+}
+
+impl EngineSession for TwoPcEngineSession {
+    fn run_update(&mut self, read_keys: &[Key], writes: &[(Key, Value)]) -> TxnOutcome {
+        let start = Instant::now();
+        let session = self.cluster.session(self.node);
+        match session.execute(read_keys, writes).0 {
+            TwoPcOutcome::Committed => TxnOutcome::Committed {
+                latency: start.elapsed(),
+                internal_latency: start.elapsed(),
+            },
+            TwoPcOutcome::Aborted => TxnOutcome::Aborted,
+        }
+    }
+
+    fn run_read_only(&mut self, read_keys: &[Key]) -> TxnOutcome {
+        // In the 2PC-baseline read-only transactions validate and may abort.
+        self.run_update(read_keys, &[])
+    }
+}
+
+impl TransactionEngine for TwoPcEngine {
+    fn name(&self) -> &str {
+        "2PC"
+    }
+
+    fn nodes(&self) -> usize {
+        self.cluster.node_count()
+    }
+
+    fn session(&self, node: usize) -> Box<dyn EngineSession> {
+        Box::new(TwoPcEngineSession {
+            cluster: std::sync::Arc::clone(&self.cluster),
+            node,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Walter (PSI)
+// ---------------------------------------------------------------------------
+
+/// The Walter-style PSI engine behind the workload-driver trait.
+pub struct WalterEngine {
+    cluster: std::sync::Arc<WalterCluster>,
+}
+
+impl WalterEngine {
+    /// Starts a Walter cluster sized for `spec`.
+    pub fn start(spec: &WorkloadSpec, replication: usize) -> Self {
+        let config = WalterConfig::new(spec.nodes).replication(replication);
+        WalterEngine {
+            cluster: std::sync::Arc::new(WalterCluster::start(config)),
+        }
+    }
+}
+
+struct WalterEngineSession {
+    cluster: std::sync::Arc<WalterCluster>,
+    node: usize,
+}
+
+impl EngineSession for WalterEngineSession {
+    fn run_update(&mut self, read_keys: &[Key], writes: &[(Key, Value)]) -> TxnOutcome {
+        let start = Instant::now();
+        let session = self.cluster.session(self.node);
+        match session.update(read_keys, writes).0 {
+            WalterOutcome::Committed => TxnOutcome::Committed {
+                latency: start.elapsed(),
+                internal_latency: start.elapsed(),
+            },
+            WalterOutcome::Aborted => TxnOutcome::Aborted,
+        }
+    }
+
+    fn run_read_only(&mut self, read_keys: &[Key]) -> TxnOutcome {
+        let start = Instant::now();
+        let session = self.cluster.session(self.node);
+        match session.read_only(read_keys) {
+            Some(_) => TxnOutcome::Committed {
+                latency: start.elapsed(),
+                internal_latency: start.elapsed(),
+            },
+            None => TxnOutcome::Aborted,
+        }
+    }
+}
+
+impl TransactionEngine for WalterEngine {
+    fn name(&self) -> &str {
+        "Walter"
+    }
+
+    fn nodes(&self) -> usize {
+        self.cluster.node_count()
+    }
+
+    fn session(&self, node: usize) -> Box<dyn EngineSession> {
+        Box::new(WalterEngineSession {
+            cluster: std::sync::Arc::clone(&self.cluster),
+            node,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ROCOCO
+// ---------------------------------------------------------------------------
+
+/// The ROCOCO-style engine behind the workload-driver trait.
+pub struct RococoEngine {
+    cluster: std::sync::Arc<RococoCluster>,
+}
+
+impl RococoEngine {
+    /// Starts a ROCOCO cluster sized for `spec` (replication is always
+    /// disabled, as in the paper's comparison).
+    pub fn start(spec: &WorkloadSpec) -> Self {
+        RococoEngine {
+            cluster: std::sync::Arc::new(RococoCluster::start(RococoConfig::new(spec.nodes))),
+        }
+    }
+}
+
+struct RococoEngineSession {
+    cluster: std::sync::Arc<RococoCluster>,
+    node: usize,
+}
+
+impl EngineSession for RococoEngineSession {
+    fn run_update(&mut self, _read_keys: &[Key], writes: &[(Key, Value)]) -> TxnOutcome {
+        let start = Instant::now();
+        let session = self.cluster.session(self.node);
+        if session.update(writes) {
+            TxnOutcome::Committed {
+                latency: start.elapsed(),
+                internal_latency: start.elapsed(),
+            }
+        } else {
+            TxnOutcome::Aborted
+        }
+    }
+
+    fn run_read_only(&mut self, read_keys: &[Key]) -> TxnOutcome {
+        let start = Instant::now();
+        let session = self.cluster.session(self.node);
+        match session.read_only(read_keys).0 {
+            RococoReadOutcome::Committed => TxnOutcome::Committed {
+                latency: start.elapsed(),
+                internal_latency: start.elapsed(),
+            },
+            RococoReadOutcome::Aborted => TxnOutcome::Aborted,
+        }
+    }
+}
+
+impl TransactionEngine for RococoEngine {
+    fn name(&self) -> &str {
+        "ROCOCO"
+    }
+
+    fn nodes(&self) -> usize {
+        self.cluster.node_count()
+    }
+
+    fn session(&self, node: usize) -> Box<dyn EngineSession> {
+        Box::new(RococoEngineSession {
+            cluster: std::sync::Arc::clone(&self.cluster),
+            node,
+        })
+    }
+}
+
+/// Starts the requested engine, pre-populates the key space, runs the
+/// workload trials, and returns the averaged report.
+pub fn run_engine(
+    kind: EngineKind,
+    spec: &WorkloadSpec,
+    replication: usize,
+) -> sss_workload::WorkloadReport {
+    match kind {
+        EngineKind::Sss => {
+            let engine = SssEngine::start(spec, replication);
+            populate(&engine, spec);
+            sss_workload::run_trials(&engine, spec)
+        }
+        EngineKind::TwoPc => {
+            let engine = TwoPcEngine::start(spec, replication);
+            populate(&engine, spec);
+            sss_workload::run_trials(&engine, spec)
+        }
+        EngineKind::Walter => {
+            let engine = WalterEngine::start(spec, replication);
+            populate(&engine, spec);
+            sss_workload::run_trials(&engine, spec)
+        }
+        EngineKind::Rococo => {
+            let engine = RococoEngine::start(spec);
+            populate(&engine, spec);
+            sss_workload::run_trials(&engine, spec)
+        }
+    }
+}
+
+/// A short smoke-duration used by the unit tests of the harness itself.
+#[cfg(test)]
+#[cfg(test)]
+pub(crate) fn smoke_duration() -> Duration {
+    Duration::from_millis(40)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoke_spec(nodes: usize) -> WorkloadSpec {
+        WorkloadSpec::new(nodes)
+            .clients_per_node(2)
+            .total_keys(64)
+            .duration(smoke_duration())
+    }
+
+    #[test]
+    fn engine_labels() {
+        assert_eq!(EngineKind::Sss.label(), "SSS");
+        assert_eq!(EngineKind::TwoPc.label(), "2PC");
+        assert_eq!(EngineKind::Walter.label(), "Walter");
+        assert_eq!(EngineKind::Rococo.label(), "ROCOCO");
+    }
+
+    #[test]
+    fn sss_adapter_commits_work() {
+        let spec = smoke_spec(3);
+        let report = run_engine(EngineKind::Sss, &spec, 2);
+        assert!(report.committed > 0, "SSS committed nothing");
+    }
+
+    #[test]
+    fn baseline_adapters_commit_work() {
+        let spec = smoke_spec(2);
+        for kind in [EngineKind::TwoPc, EngineKind::Walter, EngineKind::Rococo] {
+            let report = run_engine(kind, &spec, 1);
+            assert!(report.committed > 0, "{} committed nothing", kind.label());
+        }
+    }
+}

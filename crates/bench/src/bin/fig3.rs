@@ -1,0 +1,15 @@
+//! Reproduces Figure 3: throughput of SSS, 2PC-baseline and Walter while
+//! varying the node count, for 20%, 50% and 80% read-only transactions.
+//!
+//! Usage: `cargo run -p sss-bench --release --bin fig3 [--paper-scale]`
+
+use sss_bench::{fig3_throughput, BenchScale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = BenchScale::from_args(&args);
+    for read_only in [20u8, 50, 80] {
+        let table = fig3_throughput(scale, read_only);
+        println!("{}", table.render());
+    }
+}

@@ -1,0 +1,11 @@
+//! Reproduces Figure 4(a): maximum attainable throughput of SSS vs the
+//! 2PC-baseline (50% read-only, 5k keys).
+//!
+//! Usage: `cargo run -p sss-bench --release --bin fig4a [--paper-scale]`
+
+use sss_bench::{fig4a_max_throughput, BenchScale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    println!("{}", fig4a_max_throughput(BenchScale::from_args(&args)).render());
+}

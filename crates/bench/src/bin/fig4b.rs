@@ -1,0 +1,11 @@
+//! Reproduces Figure 4(b): external-commit latency of SSS vs the
+//! 2PC-baseline while varying the clients per node.
+//!
+//! Usage: `cargo run -p sss-bench --release --bin fig4b [--paper-scale]`
+
+use sss_bench::{fig4b_latency, BenchScale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    println!("{}", fig4b_latency(BenchScale::from_args(&args)).render());
+}

@@ -1,0 +1,11 @@
+//! Reproduces Figure 5: breakdown of the SSS update-transaction latency into
+//! internal commit and pre-commit (snapshot-queue) wait.
+//!
+//! Usage: `cargo run -p sss-bench --release --bin fig5 [--paper-scale]`
+
+use sss_bench::{fig5_breakdown, BenchScale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    println!("{}", fig5_breakdown(BenchScale::from_args(&args)).render());
+}

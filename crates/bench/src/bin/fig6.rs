@@ -1,0 +1,14 @@
+//! Reproduces Figure 6: SSS vs ROCOCO vs 2PC-baseline with replication
+//! disabled, for 20% and 80% read-only transactions.
+//!
+//! Usage: `cargo run -p sss-bench --release --bin fig6 [--paper-scale]`
+
+use sss_bench::{fig6_rococo, BenchScale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = BenchScale::from_args(&args);
+    for read_only in [20u8, 80] {
+        println!("{}", fig6_rococo(scale, read_only).render());
+    }
+}

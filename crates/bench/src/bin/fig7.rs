@@ -1,0 +1,11 @@
+//! Reproduces Figure 7: throughput with 80% read-only transactions and 50%
+//! key-access locality.
+//!
+//! Usage: `cargo run -p sss-bench --release --bin fig7 [--paper-scale]`
+
+use sss_bench::{fig7_locality, BenchScale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    println!("{}", fig7_locality(BenchScale::from_args(&args)).render());
+}

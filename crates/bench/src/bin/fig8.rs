@@ -1,0 +1,11 @@
+//! Reproduces Figure 8: speedup of SSS over ROCOCO and the 2PC-baseline
+//! while increasing the number of keys read by read-only transactions.
+//!
+//! Usage: `cargo run -p sss-bench --release --bin fig8 [--paper-scale]`
+
+use sss_bench::{fig8_read_only_size, BenchScale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    println!("{}", fig8_read_only_size(BenchScale::from_args(&args)).render());
+}

@@ -1,0 +1,376 @@
+//! Direct Serialization Graph construction and cycle detection.
+//!
+//! Following the paper's correctness framework (§IV): every committed
+//! transaction is a node; write-read, write-write and read-write
+//! dependencies are edges; and, because external consistency also constrains
+//! the order of client-observed completions, an edge is added from `Ti` to
+//! `Tj` whenever `Ti` returned to its client before `Tj` started. The
+//! history is external consistent iff the resulting graph is acyclic.
+//!
+//! The per-key version order required for write-write and read-write edges
+//! is *not* guessed from wall-clock completion times (overlapping writers of
+//! the same key may legally complete in either order, because SSS only
+//! delays the client response). Instead the checker uses two sound sources
+//! of ordering evidence:
+//!
+//! * **read-links** — an update transaction that read key `k` and then
+//!   overwrote it is ordered directly after the writer of the version it
+//!   observed (SSS and the 2PC baseline validate reads, so the observed
+//!   version is exactly the one being replaced);
+//! * **real time** — a writer that started after another writer of the same
+//!   key completed necessarily produces a later version.
+//!
+//! Both kinds of evidence never order two transactions the system was free
+//! to serialize either way, so a reported cycle is always a genuine
+//! violation.
+
+use std::collections::{HashMap, HashSet};
+
+use sss_storage::{Key, TxnId};
+
+use crate::history::History;
+
+/// The kind of dependency an edge represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dependency {
+    /// `Tj` read a value written by `Ti`.
+    WriteRead,
+    /// `Tj` overwrote a value written by `Ti`.
+    WriteWrite,
+    /// `Tj` overwrote a value previously read by `Ti` (anti-dependency).
+    ReadWrite,
+    /// `Ti` returned to its client before `Tj` started.
+    RealTime,
+}
+
+impl std::fmt::Display for Dependency {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Dependency::WriteRead => "wr",
+            Dependency::WriteWrite => "ww",
+            Dependency::ReadWrite => "rw",
+            Dependency::RealTime => "rt",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A directed edge of the serialization graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Edge {
+    /// Source transaction.
+    pub from: TxnId,
+    /// Destination transaction.
+    pub to: TxnId,
+    /// Dependency kind.
+    pub dependency: Dependency,
+}
+
+impl std::fmt::Display for Edge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} -[{}]-> {}", self.from, self.dependency, self.to)
+    }
+}
+
+/// Builds and checks the Direct Serialization Graph of a [`History`].
+#[derive(Debug)]
+pub struct DsgChecker {
+    edges: Vec<Edge>,
+    adjacency: HashMap<TxnId, Vec<(TxnId, Dependency)>>,
+    nodes: Vec<TxnId>,
+}
+
+impl DsgChecker {
+    /// Builds the graph from a history of committed transactions.
+    pub fn build(history: &History) -> Self {
+        let mut edges: HashSet<Edge> = HashSet::new();
+        let ids: HashSet<TxnId> = history.transactions().iter().map(|t| t.id).collect();
+
+        // Writers of every key, used to place read-write (anti-dependency)
+        // edges.
+        let mut writers_per_key: HashMap<Key, Vec<TxnId>> = HashMap::new();
+        for txn in history.transactions() {
+            for key in txn.written_keys() {
+                writers_per_key.entry(key.clone()).or_default().push(txn.id);
+            }
+        }
+
+        // `W` is provably a later writer of `key` than `observed` if either
+        // it read `observed`'s version before overwriting it, or it started
+        // only after `observed` had already completed.
+        let provably_after = |w: &TxnId, observed: &TxnId, key: &Key| -> bool {
+            if w == observed {
+                return false;
+            }
+            let (Some(writer), Some(observed_rec)) = (history.get(*w), history.get(*observed))
+            else {
+                return false;
+            };
+            let via_read_link = writer
+                .reads
+                .iter()
+                .any(|r| &r.key == key && r.observed_writer == Some(*observed));
+            via_read_link || observed_rec.precedes_in_real_time(writer)
+        };
+
+        for txn in history.transactions() {
+            for read in &txn.reads {
+                let Some(observed) = read.observed_writer else {
+                    continue;
+                };
+                if !ids.contains(&observed) || observed == txn.id {
+                    continue;
+                }
+                // Write-read dependency.
+                edges.insert(Edge {
+                    from: observed,
+                    to: txn.id,
+                    dependency: Dependency::WriteRead,
+                });
+                // Write-write: the reader itself overwrote the observed
+                // version (update transactions validate their reads, so the
+                // version they observed is the one they replace).
+                if txn.written_value(&read.key).is_some() {
+                    edges.insert(Edge {
+                        from: observed,
+                        to: txn.id,
+                        dependency: Dependency::WriteWrite,
+                    });
+                }
+                // Read-write anti-dependencies towards every writer that is
+                // provably ordered after the observed version.
+                if let Some(writers) = writers_per_key.get(&read.key) {
+                    for w in writers {
+                        if *w != txn.id && provably_after(w, &observed, &read.key) {
+                            edges.insert(Edge {
+                                from: txn.id,
+                                to: *w,
+                                dependency: Dependency::ReadWrite,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        // Write-write edges between writers of the same key that did not
+        // overlap in real time (the later one necessarily produced the later
+        // version).
+        for writers in writers_per_key.values() {
+            for p in writers {
+                for w in writers {
+                    if p == w {
+                        continue;
+                    }
+                    let (Some(pr), Some(wr)) = (history.get(*p), history.get(*w)) else {
+                        continue;
+                    };
+                    if pr.precedes_in_real_time(wr) {
+                        edges.insert(Edge {
+                            from: *p,
+                            to: *w,
+                            dependency: Dependency::WriteWrite,
+                        });
+                    }
+                }
+            }
+        }
+
+        // Real-time (external completion order) edges: A completed before B
+        // started, so B must serialize after A.
+        let records = history.transactions();
+        for a in records {
+            for b in records {
+                if a.id == b.id || !a.precedes_in_real_time(b) {
+                    continue;
+                }
+                edges.insert(Edge {
+                    from: a.id,
+                    to: b.id,
+                    dependency: Dependency::RealTime,
+                });
+            }
+        }
+
+        let mut adjacency: HashMap<TxnId, Vec<(TxnId, Dependency)>> = HashMap::new();
+        for edge in &edges {
+            adjacency
+                .entry(edge.from)
+                .or_default()
+                .push((edge.to, edge.dependency));
+        }
+        DsgChecker {
+            edges: edges.into_iter().collect(),
+            adjacency,
+            nodes: ids.into_iter().collect(),
+        }
+    }
+
+    /// All edges of the graph.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Number of transactions in the graph.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Searches for a cycle. Returns the sequence of transaction ids along
+    /// one cycle if found, `None` if the graph is acyclic.
+    pub fn find_cycle(&self) -> Option<Vec<TxnId>> {
+        #[derive(Clone, Copy, PartialEq)]
+        enum Mark {
+            Unvisited,
+            InProgress,
+            Done,
+        }
+        let mut marks: HashMap<TxnId, Mark> =
+            self.nodes.iter().map(|n| (*n, Mark::Unvisited)).collect();
+        let mut stack: Vec<TxnId> = Vec::new();
+
+        fn dfs(
+            node: TxnId,
+            adjacency: &HashMap<TxnId, Vec<(TxnId, Dependency)>>,
+            marks: &mut HashMap<TxnId, Mark>,
+            stack: &mut Vec<TxnId>,
+        ) -> Option<Vec<TxnId>> {
+            marks.insert(node, Mark::InProgress);
+            stack.push(node);
+            if let Some(neighbours) = adjacency.get(&node) {
+                for (next, _) in neighbours {
+                    match marks.get(next).copied().unwrap_or(Mark::Unvisited) {
+                        Mark::InProgress => {
+                            let start = stack.iter().position(|n| n == next).unwrap_or(0);
+                            let mut cycle = stack[start..].to_vec();
+                            cycle.push(*next);
+                            return Some(cycle);
+                        }
+                        Mark::Unvisited => {
+                            if let Some(cycle) = dfs(*next, adjacency, marks, stack) {
+                                return Some(cycle);
+                            }
+                        }
+                        Mark::Done => {}
+                    }
+                }
+            }
+            stack.pop();
+            marks.insert(node, Mark::Done);
+            None
+        }
+
+        let nodes: Vec<TxnId> = self.nodes.clone();
+        for node in nodes {
+            if marks.get(&node).copied() == Some(Mark::Unvisited) {
+                if let Some(cycle) = dfs(node, &self.adjacency, &mut marks, &mut stack) {
+                    return Some(cycle);
+                }
+            }
+        }
+        None
+    }
+
+    /// `true` when the graph has no cycle (the history is external
+    /// consistent under the derived version order).
+    pub fn is_acyclic(&self) -> bool {
+        self.find_cycle().is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::{TxnKind, TxnRecordBuilder};
+    use sss_storage::Value;
+    use sss_vclock::NodeId;
+    use std::time::{Duration, Instant};
+
+    fn txn(seq: u64) -> TxnId {
+        TxnId::new(NodeId(0), seq)
+    }
+
+    #[test]
+    fn serial_history_is_acyclic() {
+        let t0 = Instant::now();
+        let history: History = (0..3u64)
+            .map(|i| {
+                TxnRecordBuilder::new(txn(i), TxnKind::Update)
+                    .started(t0 + Duration::from_millis(10 * i))
+                    .finished(t0 + Duration::from_millis(10 * i + 5))
+                    .write("x", Value::from_u64(i))
+                    .build()
+            })
+            .collect();
+        let dsg = DsgChecker::build(&history);
+        assert_eq!(dsg.node_count(), 3);
+        assert!(dsg.is_acyclic());
+        assert!(dsg.edges().iter().any(|e| e.dependency == Dependency::WriteWrite));
+    }
+
+    #[test]
+    fn stale_read_after_completion_forms_a_cycle() {
+        // T1 writes x and completes. T2 starts afterwards but observes the
+        // initial version written by T0 — a violation of external
+        // consistency (rt edge T1 -> T2, rw edge T2 -> T1).
+        let t0 = Instant::now();
+        let init = TxnRecordBuilder::new(txn(0), TxnKind::Update)
+            .started(t0)
+            .finished(t0 + Duration::from_millis(1))
+            .write("x", Value::from_u64(0))
+            .build();
+        let writer = TxnRecordBuilder::new(txn(1), TxnKind::Update)
+            .started(t0 + Duration::from_millis(2))
+            .finished(t0 + Duration::from_millis(3))
+            .write("x", Value::from_u64(1))
+            .build();
+        let stale_reader = TxnRecordBuilder::new(txn(2), TxnKind::ReadOnly)
+            .started(t0 + Duration::from_millis(4))
+            .finished(t0 + Duration::from_millis(5))
+            .read("x", Some(Value::from_u64(0)), Some(txn(0)))
+            .build();
+        let history: History = [init, writer, stale_reader].into_iter().collect();
+        let dsg = DsgChecker::build(&history);
+        assert!(!dsg.is_acyclic());
+        let cycle = dsg.find_cycle().unwrap();
+        assert!(cycle.len() >= 2);
+    }
+
+    #[test]
+    fn concurrent_reader_of_old_version_is_allowed() {
+        // Same as above but the reader overlaps the writer in real time, so
+        // serializing it before the writer is legal.
+        let t0 = Instant::now();
+        let init = TxnRecordBuilder::new(txn(0), TxnKind::Update)
+            .started(t0)
+            .finished(t0 + Duration::from_millis(1))
+            .write("x", Value::from_u64(0))
+            .build();
+        let writer = TxnRecordBuilder::new(txn(1), TxnKind::Update)
+            .started(t0 + Duration::from_millis(2))
+            .finished(t0 + Duration::from_millis(10))
+            .write("x", Value::from_u64(1))
+            .build();
+        let reader = TxnRecordBuilder::new(txn(2), TxnKind::ReadOnly)
+            .started(t0 + Duration::from_millis(3))
+            .finished(t0 + Duration::from_millis(4))
+            .read("x", Some(Value::from_u64(0)), Some(txn(0)))
+            .build();
+        let history: History = [init, writer, reader].into_iter().collect();
+        let dsg = DsgChecker::build(&history);
+        assert!(dsg.is_acyclic());
+    }
+
+    #[test]
+    fn edge_display_is_readable() {
+        let e = Edge {
+            from: txn(1),
+            to: txn(2),
+            dependency: Dependency::ReadWrite,
+        };
+        assert_eq!(e.to_string(), "T0.1 -[rw]-> T0.2");
+        assert_eq!(Dependency::WriteRead.to_string(), "wr");
+        assert_eq!(Dependency::RealTime.to_string(), "rt");
+        assert_eq!(Dependency::WriteWrite.to_string(), "ww");
+    }
+}

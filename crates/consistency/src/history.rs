@@ -1,0 +1,311 @@
+//! Recording committed-transaction histories from concurrent clients.
+
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use sss_storage::{Key, TxnId, Value};
+
+/// Whether a recorded transaction was declared read-only or update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TxnKind {
+    /// An update transaction (may also have read).
+    Update,
+    /// A read-only transaction.
+    ReadOnly,
+}
+
+/// One read observation: the key, the value returned, and — when the test
+/// encodes writer identities into values — the transaction that wrote it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadRecord {
+    /// Key that was read.
+    pub key: Key,
+    /// Value returned (`None` = no visible version).
+    pub value: Option<Value>,
+    /// Writer of the observed value, if the harness can attribute it.
+    pub observed_writer: Option<TxnId>,
+}
+
+/// One write performed by a committed transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WriteRecord {
+    /// Key that was written.
+    pub key: Key,
+    /// Value installed.
+    pub value: Value,
+}
+
+/// A committed transaction as observed by its client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TxnRecord {
+    /// The transaction identifier.
+    pub id: TxnId,
+    /// Declared kind.
+    pub kind: TxnKind,
+    /// Client-side instant at which the transaction began.
+    pub started: Instant,
+    /// Client-side instant at which the transaction's outcome was returned
+    /// to the client (the *external* completion).
+    pub finished: Instant,
+    /// Reads performed, in program order.
+    pub reads: Vec<ReadRecord>,
+    /// Writes performed, in program order.
+    pub writes: Vec<WriteRecord>,
+}
+
+impl TxnRecord {
+    /// `true` if this transaction finished (returned to its client) before
+    /// `other` started — the real-time precedence used for external
+    /// consistency.
+    pub fn precedes_in_real_time(&self, other: &TxnRecord) -> bool {
+        self.finished <= other.started
+    }
+
+    /// The value this transaction wrote to `key`, if any (last write wins).
+    pub fn written_value(&self, key: &Key) -> Option<&Value> {
+        self.writes
+            .iter()
+            .rev()
+            .find(|w| &w.key == key)
+            .map(|w| &w.value)
+    }
+
+    /// Keys written by this transaction.
+    pub fn written_keys(&self) -> impl Iterator<Item = &Key> {
+        self.writes.iter().map(|w| &w.key)
+    }
+}
+
+/// A complete history of committed transactions.
+#[derive(Debug, Clone, Default)]
+pub struct History {
+    transactions: Vec<TxnRecord>,
+}
+
+impl History {
+    /// Creates an empty history.
+    pub fn new() -> Self {
+        History::default()
+    }
+
+    /// Adds a committed transaction.
+    pub fn push(&mut self, record: TxnRecord) {
+        self.transactions.push(record);
+    }
+
+    /// All committed transactions, in recording order.
+    pub fn transactions(&self) -> &[TxnRecord] {
+        &self.transactions
+    }
+
+    /// Number of recorded transactions.
+    pub fn len(&self) -> usize {
+        self.transactions.len()
+    }
+
+    /// `true` if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.transactions.is_empty()
+    }
+
+    /// Looks a transaction up by id.
+    pub fn get(&self, id: TxnId) -> Option<&TxnRecord> {
+        self.transactions.iter().find(|t| t.id == id)
+    }
+
+    /// Update transactions only.
+    pub fn updates(&self) -> impl Iterator<Item = &TxnRecord> {
+        self.transactions
+            .iter()
+            .filter(|t| t.kind == TxnKind::Update)
+    }
+
+    /// Read-only transactions only.
+    pub fn read_onlys(&self) -> impl Iterator<Item = &TxnRecord> {
+        self.transactions
+            .iter()
+            .filter(|t| t.kind == TxnKind::ReadOnly)
+    }
+}
+
+impl FromIterator<TxnRecord> for History {
+    fn from_iter<T: IntoIterator<Item = TxnRecord>>(iter: T) -> Self {
+        History {
+            transactions: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// A thread-safe [`History`] collector shared by concurrent client threads.
+#[derive(Debug, Default)]
+pub struct HistoryRecorder {
+    inner: Mutex<History>,
+}
+
+impl HistoryRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        HistoryRecorder::default()
+    }
+
+    /// Records one committed transaction.
+    pub fn record(&self, record: TxnRecord) {
+        self.inner.lock().push(record);
+    }
+
+    /// Number of transactions recorded so far.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// `true` if nothing was recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+
+    /// Extracts the recorded history.
+    pub fn into_history(self) -> History {
+        self.inner.into_inner()
+    }
+
+    /// Clones the history recorded so far.
+    pub fn snapshot(&self) -> History {
+        self.inner.lock().clone()
+    }
+}
+
+/// Convenience builder used by tests to assemble transaction records.
+#[derive(Debug)]
+pub struct TxnRecordBuilder {
+    record: TxnRecord,
+}
+
+impl TxnRecordBuilder {
+    /// Starts building a record for transaction `id`.
+    pub fn new(id: TxnId, kind: TxnKind) -> Self {
+        let now = Instant::now();
+        TxnRecordBuilder {
+            record: TxnRecord {
+                id,
+                kind,
+                started: now,
+                finished: now,
+                reads: Vec::new(),
+                writes: Vec::new(),
+            },
+        }
+    }
+
+    /// Sets the start instant.
+    pub fn started(mut self, at: Instant) -> Self {
+        self.record.started = at;
+        self
+    }
+
+    /// Sets the finish instant.
+    pub fn finished(mut self, at: Instant) -> Self {
+        self.record.finished = at;
+        self
+    }
+
+    /// Adds a read observation.
+    pub fn read(mut self, key: impl Into<Key>, value: Option<Value>, writer: Option<TxnId>) -> Self {
+        self.record.reads.push(ReadRecord {
+            key: key.into(),
+            value,
+            observed_writer: writer,
+        });
+        self
+    }
+
+    /// Adds a write.
+    pub fn write(mut self, key: impl Into<Key>, value: impl Into<Value>) -> Self {
+        self.record.writes.push(WriteRecord {
+            key: key.into(),
+            value: value.into(),
+        });
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> TxnRecord {
+        self.record
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sss_vclock::NodeId;
+    use std::time::Duration;
+
+    fn txn(seq: u64) -> TxnId {
+        TxnId::new(NodeId(0), seq)
+    }
+
+    #[test]
+    fn recorder_collects_from_many_threads() {
+        let recorder = std::sync::Arc::new(HistoryRecorder::new());
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let recorder = std::sync::Arc::clone(&recorder);
+                std::thread::spawn(move || {
+                    for i in 0..25 {
+                        recorder.record(
+                            TxnRecordBuilder::new(TxnId::new(NodeId(t), i), TxnKind::Update)
+                                .write("k", Value::from_u64(i))
+                                .build(),
+                        );
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(recorder.len(), 100);
+        assert!(!recorder.is_empty());
+        let history = std::sync::Arc::try_unwrap(recorder).unwrap().into_history();
+        assert_eq!(history.len(), 100);
+        assert_eq!(history.updates().count(), 100);
+        assert_eq!(history.read_onlys().count(), 0);
+    }
+
+    #[test]
+    fn real_time_precedence() {
+        let t0 = Instant::now();
+        let a = TxnRecordBuilder::new(txn(1), TxnKind::Update)
+            .started(t0)
+            .finished(t0 + Duration::from_millis(1))
+            .build();
+        let b = TxnRecordBuilder::new(txn(2), TxnKind::ReadOnly)
+            .started(t0 + Duration::from_millis(2))
+            .finished(t0 + Duration::from_millis(3))
+            .build();
+        assert!(a.precedes_in_real_time(&b));
+        assert!(!b.precedes_in_real_time(&a));
+    }
+
+    #[test]
+    fn written_value_returns_last_write() {
+        let rec = TxnRecordBuilder::new(txn(1), TxnKind::Update)
+            .write("x", Value::from_u64(1))
+            .write("x", Value::from_u64(2))
+            .build();
+        assert_eq!(rec.written_value(&Key::new("x")), Some(&Value::from_u64(2)));
+        assert_eq!(rec.written_value(&Key::new("y")), None);
+        assert_eq!(rec.written_keys().count(), 2);
+    }
+
+    #[test]
+    fn history_lookup_and_collect() {
+        let history: History = (0..3)
+            .map(|i| TxnRecordBuilder::new(txn(i), TxnKind::Update).build())
+            .collect();
+        assert_eq!(history.len(), 3);
+        assert!(history.get(txn(2)).is_some());
+        assert!(history.get(txn(9)).is_none());
+        assert!(!history.is_empty());
+        assert!(History::new().is_empty());
+    }
+}

@@ -1,0 +1,224 @@
+//! Scenario tests of the consistency checker: the schedules discussed in the
+//! paper (Figures 1 and 2, and the cross-node ordering anomaly of §III-C)
+//! encoded as explicit histories, plus histories that must be rejected.
+
+use std::time::{Duration, Instant};
+
+use sss_consistency::{
+    check_all, check_external_consistency, check_read_only_snapshots, ConsistencyError,
+    DsgChecker, History, TxnKind, TxnRecordBuilder,
+};
+use sss_storage::{TxnId, Value};
+use sss_vclock::NodeId;
+
+fn txn(node: usize, seq: u64) -> TxnId {
+    TxnId::new(NodeId(node), seq)
+}
+
+fn at(base: Instant, ms: u64) -> Instant {
+    base + Duration::from_millis(ms)
+}
+
+/// Paper Figure 1: read-only transaction `T1` reads `y`, the concurrent
+/// update transaction `T2` overwrites `y`, and `T2`'s client response is
+/// delayed until `T1` returns. The resulting client-observed schedule
+/// (T1 returns before T2) is consistent with T1 reading the old version.
+#[test]
+fn figure_1_schedule_is_accepted() {
+    let base = Instant::now();
+    let seed = TxnRecordBuilder::new(txn(1, 0), TxnKind::Update)
+        .started(at(base, 0))
+        .finished(at(base, 1))
+        .write("y", Value::from_u64(0))
+        .build();
+    // T1: read-only, reads the initial version, returns at t=30.
+    let t1 = TxnRecordBuilder::new(txn(0, 1), TxnKind::ReadOnly)
+        .started(at(base, 10))
+        .finished(at(base, 30))
+        .read("y", Some(Value::from_u64(0)), Some(txn(1, 0)))
+        .build();
+    // T2: update, overwrites y concurrently with T1, but its client response
+    // is withheld until after T1 returned (external commit at t=35).
+    let t2 = TxnRecordBuilder::new(txn(1, 2), TxnKind::Update)
+        .started(at(base, 12))
+        .finished(at(base, 35))
+        .read("y", Some(Value::from_u64(0)), Some(txn(1, 0)))
+        .write("y", Value::from_u64(1))
+        .build();
+    let history: History = [seed, t1, t2].into_iter().collect();
+    check_all(&history).expect("the paper's Figure 1 schedule is external consistent");
+}
+
+/// The same scenario but with the delay *not* applied: T2 returns to its
+/// client before T1 starts, yet T1 still reads the old version. This is the
+/// violation SSS's pre-commit wait exists to prevent, and the checker must
+/// reject it.
+#[test]
+fn figure_1_without_the_delay_is_rejected() {
+    let base = Instant::now();
+    let seed = TxnRecordBuilder::new(txn(1, 0), TxnKind::Update)
+        .started(at(base, 0))
+        .finished(at(base, 1))
+        .write("y", Value::from_u64(0))
+        .build();
+    let t2 = TxnRecordBuilder::new(txn(1, 2), TxnKind::Update)
+        .started(at(base, 5))
+        .finished(at(base, 8))
+        .read("y", Some(Value::from_u64(0)), Some(txn(1, 0)))
+        .write("y", Value::from_u64(1))
+        .build();
+    // T1 starts only after T2's client was answered, but observes the
+    // pre-T2 version: externally inconsistent.
+    let t1 = TxnRecordBuilder::new(txn(0, 1), TxnKind::ReadOnly)
+        .started(at(base, 10))
+        .finished(at(base, 12))
+        .read("y", Some(Value::from_u64(0)), Some(txn(1, 0)))
+        .build();
+    let history: History = [seed, t2, t1].into_iter().collect();
+    let err = check_external_consistency(&history)
+        .expect_err("a stale read after the writer's return must be rejected");
+    assert!(matches!(err, ConsistencyError::CycleDetected { .. }));
+}
+
+/// Paper Figure 2: two read-only transactions (T1, T4) and two
+/// non-conflicting update transactions (T2 on x, T3 on y). SSS serializes
+/// both readers before both writers; every reader observes the initial
+/// versions of both keys. That joint outcome must be accepted.
+#[test]
+fn figure_2_schedule_is_accepted() {
+    let base = Instant::now();
+    let seed = TxnRecordBuilder::new(txn(2, 0), TxnKind::Update)
+        .started(at(base, 0))
+        .finished(at(base, 1))
+        .write("x", Value::from_u64(0))
+        .write("y", Value::from_u64(0))
+        .build();
+    let t1 = TxnRecordBuilder::new(txn(0, 1), TxnKind::ReadOnly)
+        .started(at(base, 10))
+        .finished(at(base, 40))
+        .read("x", Some(Value::from_u64(0)), Some(txn(2, 0)))
+        .read("y", Some(Value::from_u64(0)), Some(txn(2, 0)))
+        .build();
+    let t4 = TxnRecordBuilder::new(txn(3, 1), TxnKind::ReadOnly)
+        .started(at(base, 11))
+        .finished(at(base, 41))
+        .read("y", Some(Value::from_u64(0)), Some(txn(2, 0)))
+        .read("x", Some(Value::from_u64(0)), Some(txn(2, 0)))
+        .build();
+    // The two writers overlap the readers and each other; their client
+    // responses are delayed until both readers returned.
+    let t2 = TxnRecordBuilder::new(txn(1, 2), TxnKind::Update)
+        .started(at(base, 15))
+        .finished(at(base, 45))
+        .write("x", Value::from_u64(1))
+        .build();
+    let t3 = TxnRecordBuilder::new(txn(2, 3), TxnKind::Update)
+        .started(at(base, 16))
+        .finished(at(base, 46))
+        .write("y", Value::from_u64(1))
+        .build();
+    let history: History = [seed, t1, t4, t2, t3].into_iter().collect();
+    check_all(&history).expect("the paper's Figure 2 schedule is external consistent");
+}
+
+/// The cross-node ordering anomaly of §III-C (first observed by Adya): two
+/// read-only transactions order two non-conflicting update transactions in
+/// opposite ways. Each reader alone is fine, so only the snapshot
+/// monotonicity / cycle analysis over the whole history can reject it.
+#[test]
+fn adya_cross_node_ordering_anomaly_is_rejected() {
+    let base = Instant::now();
+    let seed = TxnRecordBuilder::new(txn(0, 0), TxnKind::Update)
+        .started(at(base, 0))
+        .finished(at(base, 1))
+        .write("x", Value::from_u64(0))
+        .write("y", Value::from_u64(0))
+        .build();
+    // Non-conflicting writers, both completed before the readers start (so
+    // the readers' observations are constrained by real time).
+    let wx = TxnRecordBuilder::new(txn(1, 1), TxnKind::Update)
+        .started(at(base, 5))
+        .finished(at(base, 7))
+        .read("x", Some(Value::from_u64(0)), Some(txn(0, 0)))
+        .write("x", Value::from_u64(1))
+        .build();
+    let wy = TxnRecordBuilder::new(txn(2, 1), TxnKind::Update)
+        .started(at(base, 6))
+        .finished(at(base, 8))
+        .read("y", Some(Value::from_u64(0)), Some(txn(0, 0)))
+        .write("y", Value::from_u64(1))
+        .build();
+    // Reader A sees wx but not wy; reader B sees wy but not wx. Both start
+    // after both writers returned, which makes each individual observation a
+    // stale read and the pair mutually inconsistent.
+    let ra = TxnRecordBuilder::new(txn(1, 9), TxnKind::ReadOnly)
+        .started(at(base, 20))
+        .finished(at(base, 21))
+        .read("x", Some(Value::from_u64(1)), Some(txn(1, 1)))
+        .read("y", Some(Value::from_u64(0)), Some(txn(0, 0)))
+        .build();
+    let rb = TxnRecordBuilder::new(txn(2, 9), TxnKind::ReadOnly)
+        .started(at(base, 22))
+        .finished(at(base, 23))
+        .read("x", Some(Value::from_u64(0)), Some(txn(0, 0)))
+        .read("y", Some(Value::from_u64(1)), Some(txn(2, 1)))
+        .build();
+    let history: History = [seed, wx, wy, ra, rb].into_iter().collect();
+    assert!(
+        check_external_consistency(&history).is_err()
+            || check_read_only_snapshots(&history).is_err(),
+        "readers ordering non-conflicting writers in opposite ways must be rejected"
+    );
+}
+
+/// A long chain of serially dependent update transactions followed by a
+/// reader of the final state: the graph is large but acyclic, and the
+/// checker must accept it quickly.
+#[test]
+fn long_serial_chain_is_accepted() {
+    let base = Instant::now();
+    let mut history = History::new();
+    let mut previous_writer = txn(0, 0);
+    history.push(
+        TxnRecordBuilder::new(previous_writer, TxnKind::Update)
+            .started(at(base, 0))
+            .finished(at(base, 1))
+            .write("counter", Value::from_u64(0))
+            .build(),
+    );
+    for i in 1..100u64 {
+        let id = txn((i % 3) as usize, i);
+        history.push(
+            TxnRecordBuilder::new(id, TxnKind::Update)
+                .started(at(base, 2 * i))
+                .finished(at(base, 2 * i + 1))
+                .read("counter", Some(Value::from_u64(i - 1)), Some(previous_writer))
+                .write("counter", Value::from_u64(i))
+                .build(),
+        );
+        previous_writer = id;
+    }
+    history.push(
+        TxnRecordBuilder::new(txn(1, 999), TxnKind::ReadOnly)
+            .started(at(base, 500))
+            .finished(at(base, 501))
+            .read("counter", Some(Value::from_u64(99)), Some(previous_writer))
+            .build(),
+    );
+    let dsg = DsgChecker::build(&history);
+    assert_eq!(dsg.node_count(), 101);
+    assert!(dsg.is_acyclic());
+    check_all(&history).expect("serial chain is consistent");
+
+    // A reader observing a value from the middle of the chain *after* the
+    // chain completed is stale and must be rejected.
+    let mut stale = history.clone();
+    stale.push(
+        TxnRecordBuilder::new(txn(2, 999), TxnKind::ReadOnly)
+            .started(at(base, 600))
+            .finished(at(base, 601))
+            .read("counter", Some(Value::from_u64(50)), Some(txn((50 % 3) as usize, 50)))
+            .build(),
+    );
+    assert!(check_all(&stale).is_err());
+}

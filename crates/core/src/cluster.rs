@@ -1,0 +1,164 @@
+//! Cluster bootstrap: spins up the nodes, their worker pools and the
+//! transport, and hands out client sessions.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use sss_net::{ChannelTransport, NodeRuntime, TransportConfig};
+use sss_vclock::NodeId;
+
+use crate::config::SssConfig;
+use crate::error::SssError;
+use crate::messages::SssMessage;
+use crate::node::SssNode;
+use crate::session::Session;
+use crate::stats::{ClusterStats, NodeStats};
+
+/// A running SSS cluster (in-process: every node is an actor with its own
+/// worker pool, communicating only through the message transport).
+///
+/// # Example
+///
+/// ```rust
+/// use sss_core::{SssCluster, SssConfig};
+/// use sss_storage::Value;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let cluster = SssCluster::start(SssConfig::new(3))?;
+/// let session = cluster.session(0);
+///
+/// let mut txn = session.begin_update();
+/// txn.write("greeting", "hello");
+/// txn.commit()?;
+///
+/// let mut ro = session.begin_read_only();
+/// assert_eq!(ro.read("greeting")?, Some(Value::from("hello")));
+/// ro.commit()?;
+/// cluster.shutdown();
+/// # Ok(())
+/// # }
+/// ```
+pub struct SssCluster {
+    config: SssConfig,
+    transport: Arc<ChannelTransport<SssMessage>>,
+    nodes: Vec<Arc<SssNode>>,
+    runtimes: Mutex<Vec<NodeRuntime>>,
+}
+
+impl SssCluster {
+    /// Boots a cluster with the given configuration.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible in practice, but kept fallible for forward
+    /// compatibility (e.g. resource exhaustion while spawning workers).
+    pub fn start(config: SssConfig) -> Result<Self, SssError> {
+        let transport_config = TransportConfig::new(config.nodes)
+            .latency(config.latency)
+            .seed(config.seed);
+        let transport = Arc::new(ChannelTransport::new(transport_config));
+        let nodes: Vec<Arc<SssNode>> = (0..config.nodes)
+            .map(|i| {
+                Arc::new(SssNode::new(
+                    NodeId(i),
+                    config.clone(),
+                    Arc::clone(&transport),
+                ))
+            })
+            .collect();
+        let runtimes = nodes
+            .iter()
+            .map(|node| {
+                NodeRuntime::spawn(
+                    node.id(),
+                    transport.mailbox(node.id()),
+                    Arc::clone(node),
+                    config.workers_per_node,
+                )
+            })
+            .collect();
+        Ok(SssCluster {
+            config,
+            transport,
+            nodes,
+            runtimes: Mutex::new(runtimes),
+        })
+    }
+
+    /// Number of nodes in the cluster.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The configuration the cluster was started with.
+    pub fn config(&self) -> &SssConfig {
+        &self.config
+    }
+
+    /// Opens a client session colocated with node `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn session(&self, node: usize) -> Session {
+        Session::new(Arc::clone(&self.nodes[node]))
+    }
+
+    /// Per-node protocol counters.
+    pub fn node_stats(&self) -> Vec<NodeStats> {
+        self.nodes.iter().map(|n| n.stats()).collect()
+    }
+
+    /// Aggregated protocol counters.
+    pub fn stats(&self) -> ClusterStats {
+        ClusterStats::aggregate(self.node_stats())
+    }
+
+    /// Total number of snapshot-queue entries across the cluster
+    /// (diagnostic; converges to zero when the system is idle, thanks to the
+    /// implicit garbage collection performed by `Remove`).
+    pub fn snapshot_queue_entries(&self) -> usize {
+        self.nodes.iter().map(|n| n.snapshot_queue_entries()).sum()
+    }
+
+    /// Runs multi-version garbage collection on every node; returns the
+    /// number of versions discarded.
+    pub fn collect_garbage(&self) -> usize {
+        self.nodes.iter().map(|n| n.collect_garbage()).sum()
+    }
+
+    /// Concatenated [`SssNode::pending_external_report`] of every node —
+    /// transactions currently held in their Pre-Commit phase and the
+    /// read-only entries blocking them. Diagnostic aid.
+    pub fn pending_reports(&self) -> String {
+        self.nodes
+            .iter()
+            .map(|n| n.pending_external_report())
+            .collect()
+    }
+
+    /// Shuts the cluster down: closes the transport and joins every worker.
+    /// Idempotent.
+    pub fn shutdown(&self) {
+        self.transport.shutdown();
+        let runtimes = std::mem::take(&mut *self.runtimes.lock());
+        for runtime in runtimes {
+            runtime.join();
+        }
+    }
+}
+
+impl Drop for SssCluster {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for SssCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SssCluster")
+            .field("nodes", &self.nodes.len())
+            .field("replication", &self.config.replication)
+            .finish()
+    }
+}

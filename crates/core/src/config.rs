@@ -1,0 +1,154 @@
+//! Cluster configuration.
+
+use std::time::Duration;
+
+use sss_net::LatencyModel;
+use sss_storage::ReplicaMap;
+
+/// Configuration of an [`SssCluster`](crate::SssCluster).
+///
+/// The defaults mirror the paper's evaluation setup where applicable: every
+/// key is replicated on two nodes, the 2PC lock-acquisition timeout is 1ms
+/// (paper §V), and clients are colocated with nodes.
+#[derive(Debug, Clone)]
+pub struct SssConfig {
+    /// Number of nodes in the cluster.
+    pub nodes: usize,
+    /// Replication degree (replicas per key).
+    pub replication: usize,
+    /// Worker threads per node draining the priority mailbox.
+    pub workers_per_node: usize,
+    /// Lock-acquisition timeout used during the 2PC prepare phase.
+    pub lock_timeout: Duration,
+    /// How long a coordinator waits for 2PC votes before aborting.
+    pub vote_timeout: Duration,
+    /// How long a read operation waits for the fastest replica.
+    pub read_timeout: Duration,
+    /// How long a coordinator waits for external-commit acknowledgements.
+    /// This covers the snapshot-queue wait of the Pre-Commit phase, so it is
+    /// deliberately generous.
+    pub ack_timeout: Duration,
+    /// One-way network latency model.
+    pub latency: LatencyModel,
+    /// Seed for latency sampling.
+    pub seed: u64,
+    /// Number of internal-commit records each node retains for the
+    /// `VisibleSet` computation.
+    pub nlog_capacity: usize,
+    /// Versions retained per key before garbage collection trims the chain.
+    pub versions_per_key: usize,
+    /// Starvation admission control (paper §III-E): a read-only read that
+    /// would serialize before an update transaction which has already been
+    /// waiting in a snapshot-queue for this long is briefly delayed.
+    pub admission_threshold: Duration,
+    /// Base delay of the exponential back-off applied by the admission
+    /// control; doubled on every retry.
+    pub admission_backoff: Duration,
+    /// Maximum number of back-off rounds before the read proceeds anyway.
+    pub admission_max_retries: u32,
+}
+
+impl SssConfig {
+    /// Configuration for a cluster of `nodes` nodes with the paper's
+    /// defaults.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero.
+    pub fn new(nodes: usize) -> Self {
+        assert!(nodes > 0, "cluster must have at least one node");
+        SssConfig {
+            nodes,
+            replication: 2.min(nodes),
+            workers_per_node: 4,
+            lock_timeout: Duration::from_millis(1),
+            vote_timeout: Duration::from_secs(1),
+            read_timeout: Duration::from_secs(1),
+            ack_timeout: Duration::from_secs(10),
+            latency: LatencyModel::ZERO,
+            seed: 0,
+            nlog_capacity: 4096,
+            versions_per_key: 64,
+            admission_threshold: Duration::from_millis(2),
+            admission_backoff: Duration::from_micros(250),
+            admission_max_retries: 5,
+        }
+    }
+
+    /// Sets the replication degree.
+    pub fn replication(mut self, degree: usize) -> Self {
+        self.replication = degree;
+        self
+    }
+
+    /// Sets the number of worker threads per node.
+    pub fn workers_per_node(mut self, workers: usize) -> Self {
+        self.workers_per_node = workers;
+        self
+    }
+
+    /// Sets the 2PC lock-acquisition timeout.
+    pub fn lock_timeout(mut self, timeout: Duration) -> Self {
+        self.lock_timeout = timeout;
+        self
+    }
+
+    /// Sets the network latency model.
+    pub fn latency(mut self, latency: LatencyModel) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Sets the random seed used by the latency model.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builds the key-placement map described by this configuration.
+    pub fn replica_map(&self) -> ReplicaMap {
+        ReplicaMap::new(self.nodes, self.replication)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let cfg = SssConfig::new(5);
+        assert_eq!(cfg.nodes, 5);
+        assert_eq!(cfg.replication, 2);
+        assert_eq!(cfg.lock_timeout, Duration::from_millis(1));
+        assert!(cfg.latency.is_zero());
+        assert_eq!(cfg.replica_map().degree(), 2);
+    }
+
+    #[test]
+    fn single_node_cluster_caps_replication() {
+        let cfg = SssConfig::new(1);
+        assert_eq!(cfg.replication, 1);
+    }
+
+    #[test]
+    fn builder_methods_override_defaults() {
+        let cfg = SssConfig::new(4)
+            .replication(3)
+            .workers_per_node(2)
+            .lock_timeout(Duration::from_millis(5))
+            .latency(LatencyModel::cloudlab_like())
+            .seed(99);
+        assert_eq!(cfg.replication, 3);
+        assert_eq!(cfg.workers_per_node, 2);
+        assert_eq!(cfg.lock_timeout, Duration::from_millis(5));
+        assert_eq!(cfg.seed, 99);
+        assert!(!cfg.latency.is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_panics() {
+        let _ = SssConfig::new(0);
+    }
+}

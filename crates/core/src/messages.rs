@@ -1,0 +1,223 @@
+//! Protocol messages exchanged by SSS nodes.
+//!
+//! Message names follow the paper: `READREQUEST` / `READRETURN`
+//! (Algorithms 5 and 6), `Prepare` / `Vote` / `Decide` (Algorithms 1 and 2),
+//! `Ack` (Algorithm 4) and `Remove` (§III-C). One extra message,
+//! [`SssMessage::RegisterForward`], implements the Remove-forwarding rule of
+//! §III-C for transitively propagated anti-dependencies (see the crate-level
+//! documentation for the exact mechanism).
+//!
+//! Replies (`READRETURN`, `Vote`, `Ack`) are delivered through
+//! [`ReplySender`] handles embedded in the request, which reproduces the
+//! "fastest replica wins" behaviour of read operations without a separate
+//! correlation layer.
+
+use sss_net::{Priority, ReplySender};
+use sss_storage::{Key, TxnId, Value};
+use sss_vclock::{NodeId, VectorClock};
+
+/// A read-only transaction entry propagated through snapshot-queues
+/// (`<T'.id, T'.sid, "R">` in Algorithm 3 line 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PropagatedEntry {
+    /// The read-only transaction.
+    pub txn: TxnId,
+    /// Its insertion-snapshot in the queue it was observed in.
+    pub sid: u64,
+}
+
+/// Reply to a `READREQUEST` (Algorithm 6 line 28).
+#[derive(Debug, Clone)]
+pub struct ReadReturn {
+    /// Node that answered (used to set `T.hasRead`).
+    pub from: NodeId,
+    /// The selected version's value; `None` if the key has no visible
+    /// version (never written within the transaction's visibility bound).
+    pub value: Option<Value>,
+    /// The transaction that produced the selected version (`None` when no
+    /// version was visible). Update transactions remember it in their
+    /// read-set so that commit-time validation can check that "the latest
+    /// version of a key matches the read one" (paper §III-B).
+    pub writer: Option<TxnId>,
+    /// `maxVC`, merged into the reader's vector clock (`VC*` in Algorithm 5).
+    pub vc: VectorClock,
+    /// Read-only entries found in the key's snapshot-queue; only populated
+    /// for update-transaction reads (Algorithm 6 line 25).
+    pub propagated: Vec<PropagatedEntry>,
+}
+
+/// A participant's vote in the 2PC prepare phase (Algorithm 2 lines 5/13).
+#[derive(Debug, Clone)]
+pub struct Vote {
+    /// The voting participant.
+    pub from: NodeId,
+    /// The transaction being voted on.
+    pub txn: TxnId,
+    /// `true` if locks were acquired and validation succeeded.
+    pub ok: bool,
+    /// The participant's proposed commit vector clock.
+    pub vc: VectorClock,
+}
+
+/// A participant's acknowledgement that the transaction externally committed
+/// on its side (Algorithm 4 line 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ack {
+    /// The acknowledging write replica.
+    pub from: NodeId,
+    /// The transaction whose Pre-Commit phase completed at `from`.
+    pub txn: TxnId,
+}
+
+/// The SSS wire protocol.
+#[derive(Debug, Clone)]
+pub enum SssMessage {
+    /// `READREQUEST[k, T.VC, T.hasRead, T.isUpdate]` (Algorithm 5 line 9).
+    ReadRequest {
+        /// The reading transaction.
+        txn: TxnId,
+        /// Key to read.
+        key: Key,
+        /// The transaction's current vector clock (`T.VC`).
+        vc: VectorClock,
+        /// Which nodes the transaction has already read from.
+        has_read: Vec<bool>,
+        /// `true` for update transactions (they always read `k.last`).
+        is_update: bool,
+        /// Where to deliver the `READRETURN`.
+        reply: ReplySender<ReadReturn>,
+    },
+    /// 2PC `Prepare[T]` (Algorithm 1 line 11).
+    Prepare {
+        /// The committing update transaction.
+        txn: TxnId,
+        /// Its coordinator node.
+        coordinator: NodeId,
+        /// The transaction's vector clock at commit time (used for read
+        /// validation).
+        vc: VectorClock,
+        /// Keys read by the transaction together with the writer of the
+        /// version that was observed (each participant validates and locks
+        /// the subset it replicates).
+        read_set: Vec<(Key, Option<TxnId>)>,
+        /// Keys written by the transaction with their new values.
+        write_set: Vec<(Key, Value)>,
+        /// Where to deliver the `Vote`.
+        reply: ReplySender<Vote>,
+    },
+    /// 2PC `Decide[T, commitVC, outcome]` (Algorithm 1 line 25), extended
+    /// with the transitively propagated read-only entries (Algorithm 3
+    /// lines 4-6) and the reply handle used for the external-commit `Ack`.
+    Decide {
+        /// The update transaction.
+        txn: TxnId,
+        /// Final commit vector clock (meaningful only when `outcome`).
+        commit_vc: VectorClock,
+        /// `true` to commit, `false` to abort.
+        outcome: bool,
+        /// `T.PropagatedSet`: read-only entries to re-insert into the
+        /// snapshot-queues of the written keys.
+        propagated: Vec<PropagatedEntry>,
+        /// Where write replicas deliver their external-commit `Ack`.
+        ack_reply: ReplySender<Ack>,
+    },
+    /// `Remove[T]`: the read-only transaction `txn` returned to its client;
+    /// delete its entries from every local snapshot-queue (§III-C).
+    Remove {
+        /// The completed read-only transaction.
+        txn: TxnId,
+    },
+    /// Registers additional `Remove` targets for a read-only transaction at
+    /// its coordinator node. Sent by the coordinator of an update
+    /// transaction that propagated `txn`'s entry into the snapshot-queues of
+    /// its written keys (the nodes in `targets`), so that `txn`'s completion
+    /// eventually reaches them (§III-C, transitive anti-dependencies).
+    RegisterForward {
+        /// The read-only transaction whose entry was propagated.
+        txn: TxnId,
+        /// Nodes whose snapshot-queues now hold a propagated entry of `txn`.
+        targets: Vec<NodeId>,
+    },
+}
+
+impl SssMessage {
+    /// The network priority class of this message.
+    ///
+    /// `Remove`, `Decide` and `RegisterForward` unblock external commits and
+    /// are therefore prioritized, mirroring the paper's optimized network
+    /// component (§V).
+    pub fn priority(&self) -> Priority {
+        match self {
+            SssMessage::Remove { .. }
+            | SssMessage::Decide { .. }
+            | SssMessage::RegisterForward { .. } => Priority::High,
+            SssMessage::ReadRequest { .. } | SssMessage::Prepare { .. } => Priority::Normal,
+        }
+    }
+
+    /// Short human-readable name used in traces and statistics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SssMessage::ReadRequest { .. } => "ReadRequest",
+            SssMessage::Prepare { .. } => "Prepare",
+            SssMessage::Decide { .. } => "Decide",
+            SssMessage::Remove { .. } => "Remove",
+            SssMessage::RegisterForward { .. } => "RegisterForward",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sss_net::reply_channel;
+
+    #[test]
+    fn critical_messages_have_high_priority() {
+        let remove = SssMessage::Remove {
+            txn: TxnId::new(NodeId(0), 1),
+        };
+        assert_eq!(remove.priority(), Priority::High);
+        assert_eq!(remove.kind(), "Remove");
+
+        let (reply, _rx) = reply_channel(1);
+        let read = SssMessage::ReadRequest {
+            txn: TxnId::new(NodeId(0), 1),
+            key: Key::new("x"),
+            vc: VectorClock::new(2),
+            has_read: vec![false, false],
+            is_update: false,
+            reply,
+        };
+        assert_eq!(read.priority(), Priority::Normal);
+        assert_eq!(read.kind(), "ReadRequest");
+    }
+
+    #[test]
+    fn messages_are_cloneable_for_multicast() {
+        let (reply, rx) = reply_channel(2);
+        let msg = SssMessage::ReadRequest {
+            txn: TxnId::new(NodeId(1), 7),
+            key: Key::new("k"),
+            vc: VectorClock::new(2),
+            has_read: vec![false, false],
+            is_update: true,
+            reply,
+        };
+        let clone = msg.clone();
+        // Both copies answer into the same reply channel.
+        for m in [msg, clone] {
+            if let SssMessage::ReadRequest { reply, .. } = m {
+                reply.send(ReadReturn {
+                    from: NodeId(0),
+                    value: None,
+                    writer: None,
+                    vc: VectorClock::new(2),
+                    propagated: Vec::new(),
+                });
+            }
+        }
+        assert!(rx.recv().is_some());
+        assert!(rx.recv().is_some());
+    }
+}

@@ -1,0 +1,250 @@
+//! The server side of the SSS protocol: one [`SssNode`] per cluster node.
+//!
+//! A node owns its protocol state ([`state::NodeState`]) behind a mutex, a
+//! [`LockTable`] used during the 2PC prepare phase, and a handle to the
+//! cluster [`ChannelTransport`]. All interaction with other nodes goes
+//! through messages; a node never touches another node's state.
+//!
+//! Handlers are non-blocking: protocol waits are represented as deferred
+//! work re-evaluated when the relevant state changes —
+//!
+//! * the read visibility wait (Algorithm 6 line 5) parks the request in
+//!   `pending_reads` and is re-checked after every internal commit,
+//! * the Pre-Commit wait (Algorithm 4) parks the transaction in
+//!   `waiting_external` and is re-checked after every `Remove`.
+
+mod commit;
+mod read;
+mod remove;
+mod state;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use sss_net::{ChannelTransport, Envelope, NodeService, Priority, Transport};
+use sss_storage::{Key, LockTable, ReplicaMap, TxnId};
+use sss_vclock::{NodeId, VectorClock};
+
+use crate::config::SssConfig;
+use crate::messages::SssMessage;
+use crate::stats::{NodeCounters, NodeStats};
+
+pub(crate) use state::NodeState;
+
+/// One logical SSS server node.
+///
+/// Nodes are created by [`SssCluster::start`](crate::SssCluster::start); the
+/// public surface exposed here is limited to identification and statistics —
+/// clients interact with the cluster through
+/// [`Session`](crate::Session)s.
+pub struct SssNode {
+    id: NodeId,
+    config: SssConfig,
+    replicas: ReplicaMap,
+    transport: Arc<ChannelTransport<SssMessage>>,
+    state: Mutex<NodeState>,
+    locks: LockTable,
+    counters: NodeCounters,
+    next_txn_seq: AtomicU64,
+}
+
+impl SssNode {
+    pub(crate) fn new(
+        id: NodeId,
+        config: SssConfig,
+        transport: Arc<ChannelTransport<SssMessage>>,
+    ) -> Self {
+        let replicas = config.replica_map();
+        let state = NodeState::new(id.index(), config.nodes, config.nlog_capacity);
+        SssNode {
+            id,
+            replicas,
+            transport,
+            state: Mutex::new(state),
+            locks: LockTable::new(),
+            counters: NodeCounters::default(),
+            next_txn_seq: AtomicU64::new(0),
+            config,
+        }
+    }
+
+    /// This node's identifier.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Snapshot of this node's protocol counters.
+    pub fn stats(&self) -> NodeStats {
+        self.counters.snapshot()
+    }
+
+    /// Number of entries currently stored across this node's
+    /// snapshot-queues (diagnostic; should converge to zero when idle).
+    pub fn snapshot_queue_entries(&self) -> usize {
+        self.state.lock().squeues.total_entries()
+    }
+
+    /// Number of update transactions currently held in their Pre-Commit
+    /// phase on this node.
+    pub fn waiting_external_commits(&self) -> usize {
+        self.state.lock().waiting_external.len()
+    }
+
+    /// Number of versions currently retained by this node's store.
+    pub fn retained_versions(&self) -> usize {
+        self.state.lock().store.retained_versions()
+    }
+
+    pub(crate) fn config(&self) -> &SssConfig {
+        &self.config
+    }
+
+    pub(crate) fn replica_map(&self) -> &ReplicaMap {
+        &self.replicas
+    }
+
+    pub(crate) fn transport(&self) -> &Arc<ChannelTransport<SssMessage>> {
+        &self.transport
+    }
+
+    pub(crate) fn counters(&self) -> &NodeCounters {
+        &self.counters
+    }
+
+    pub(crate) fn lock_table(&self) -> &LockTable {
+        &self.locks
+    }
+
+    /// Allocates a fresh transaction identifier originating on this node.
+    pub(crate) fn next_txn_id(&self) -> TxnId {
+        TxnId::new(self.id, self.next_txn_seq.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// The vector clock a transaction beginning on this node starts from
+    /// (`NLog.mostRecentVC`, Algorithm 5 line 6).
+    pub(crate) fn begin_vc(&self) -> VectorClock {
+        self.state.lock().nlog.most_recent_vc().clone()
+    }
+
+    /// Called by a colocated client when its read-only transaction returns:
+    /// marks the transaction completed and sends `Remove` to every node that
+    /// may hold one of its snapshot-queue entries (replicas of the read keys
+    /// plus any registered forward targets, §III-C).
+    pub(crate) fn finish_read_only(&self, txn: TxnId, read_keys: &[Key]) {
+        let extra: Vec<NodeId> = {
+            let mut state = self.state.lock();
+            state.completed_ro.insert(txn);
+            state
+                .ro_forward_targets
+                .remove(&txn)
+                .map(|set| set.into_iter().collect())
+                .unwrap_or_default()
+        };
+        let mut targets = self.replicas.replicas_of_all(read_keys.iter());
+        targets.extend(extra);
+        targets.sort();
+        targets.dedup();
+        for target in targets {
+            let _ = self.transport.send(
+                self.id,
+                target,
+                SssMessage::Remove { txn },
+                Priority::High,
+            );
+        }
+    }
+
+    /// Garbage-collects old versions on this node, keeping the configured
+    /// number of versions per key. Returns how many versions were dropped.
+    pub fn collect_garbage(&self) -> usize {
+        let keep = self.config.versions_per_key;
+        self.state.lock().store.prune_all(keep)
+    }
+
+    /// Human-readable dump of the transactions currently held in their
+    /// Pre-Commit phase on this node and of the snapshot-queue entries
+    /// blocking them. Intended for debugging and operational visibility.
+    pub fn pending_external_report(&self) -> String {
+        let state = self.state.lock();
+        let mut out = String::new();
+        if !state.commit_q.is_empty() {
+            let entries: Vec<String> = state
+                .commit_q
+                .entries()
+                .iter()
+                .map(|e| format!("{}:{:?}@{}", e.txn, e.status, e.vc.get(self.id.index())))
+                .collect();
+            out.push_str(&format!("{}: CommitQ = [{}]\n", self.id, entries.join(", ")));
+        }
+        for waiting in &state.waiting_external {
+            let sid = waiting.commit_vc.get(self.id.index());
+            out.push_str(&format!(
+                "{}: txn {} waiting {:?} (sid {}) on keys:",
+                self.id,
+                waiting.txn,
+                waiting.since.elapsed(),
+                sid
+            ));
+            for key in &waiting.write_keys {
+                if let Some(queue) = state.squeues.get(key) {
+                    let blockers: Vec<String> = queue
+                        .reads()
+                        .iter()
+                        .filter(|r| r.sid < sid)
+                        .map(|r| format!("{}@{}", r.txn, r.sid))
+                        .collect();
+                    if !blockers.is_empty() {
+                        out.push_str(&format!(" {key}=[{}]", blockers.join(",")));
+                    }
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl NodeService<SssMessage> for SssNode {
+    fn handle(&self, envelope: Envelope<SssMessage>) {
+        match envelope.payload {
+            SssMessage::ReadRequest {
+                txn,
+                key,
+                vc,
+                has_read,
+                is_update,
+                reply,
+            } => self.handle_read_request(txn, key, vc, has_read, is_update, reply),
+            SssMessage::Prepare {
+                txn,
+                coordinator,
+                vc,
+                read_set,
+                write_set,
+                reply,
+            } => self.handle_prepare(txn, coordinator, vc, read_set, write_set, reply),
+            SssMessage::Decide {
+                txn,
+                commit_vc,
+                outcome,
+                propagated,
+                ack_reply,
+            } => self.handle_decide(txn, commit_vc, outcome, propagated, ack_reply),
+            SssMessage::Remove { txn } => self.handle_remove(txn),
+            SssMessage::RegisterForward { txn, targets } => {
+                self.handle_register_forward(txn, targets)
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for SssNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SssNode")
+            .field("id", &self.id)
+            .field("nodes", &self.config.nodes)
+            .field("replication", &self.config.replication)
+            .finish()
+    }
+}

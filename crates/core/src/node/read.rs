@@ -1,0 +1,205 @@
+//! Read handling: Algorithm 6 (version selection logic in node `Ni`).
+
+use sss_net::ReplySender;
+use sss_storage::{Key, TxnId};
+use sss_vclock::VectorClock;
+
+use crate::messages::{PropagatedEntry, ReadReturn};
+use crate::stats::NodeCounters;
+
+use super::state::{NodeState, PendingRead};
+use super::SssNode;
+
+impl SssNode {
+    /// Entry point for `READREQUEST` messages.
+    pub(super) fn handle_read_request(
+        &self,
+        txn: TxnId,
+        key: Key,
+        vc: VectorClock,
+        has_read: Vec<bool>,
+        is_update: bool,
+        reply: ReplySender<ReadReturn>,
+    ) {
+        let i = self.id().index();
+        let mut state = self.state.lock();
+        if is_update {
+            // Update transactions "simply return the most recent version of
+            // their requested keys" (§III-B); the snapshot-queue's read-only
+            // entries are returned as the PropagatedSet (Algorithm 6 l. 24-26).
+            let response = Self::serve_update_read(&state, self.id(), &key);
+            NodeCounters::bump(&self.counters().reads_served);
+            drop(state);
+            reply.send(response);
+            return;
+        }
+
+        // Starvation admission control (§III-E): if this read would
+        // serialize before an update transaction that has already been held
+        // in the key's snapshot-queue for a while, back off briefly so the
+        // writer gets a chance to commit externally instead of being starved
+        // by an endless chain of read-only transactions.
+        let mut backoff = self.config().admission_backoff;
+        let mut retries = 0;
+        while retries < self.config().admission_max_retries {
+            let aged_writer = state
+                .squeues
+                .get(&key)
+                .map(|q| q.has_aged_writer_beyond(vc.get(i), self.config().admission_threshold))
+                .unwrap_or(false);
+            if !aged_writer {
+                break;
+            }
+            drop(state);
+            std::thread::sleep(backoff);
+            backoff *= 2;
+            retries += 1;
+            state = self.state.lock();
+        }
+
+        let first_read_here = !has_read[i];
+        if first_read_here && state.nlog.most_recent_vc().get(i) < vc.get(i) {
+            // Algorithm 6 line 5: transactions already included in T.VC[i]
+            // must internally commit before this read can be served. Defer.
+            NodeCounters::bump(&self.counters().reads_deferred);
+            state.pending_reads.push(PendingRead {
+                txn,
+                key,
+                vc,
+                has_read,
+                reply,
+            });
+            return;
+        }
+        let response = self.serve_read_only_read(&mut state, txn, &key, &vc, &has_read);
+        NodeCounters::bump(&self.counters().reads_served);
+        drop(state);
+        reply.send(response);
+    }
+
+    /// Serves deferred read-only reads whose visibility condition became
+    /// true after an internal commit advanced the `NLog`.
+    pub(super) fn drain_pending_reads(&self, state: &mut NodeState) {
+        let i = self.id().index();
+        let ready: Vec<PendingRead> = {
+            let most_recent = state.nlog.most_recent_vc().clone();
+            let (ready, still): (Vec<_>, Vec<_>) = state
+                .pending_reads
+                .drain(..)
+                .partition(|p| most_recent.get(i) >= p.vc.get(i));
+            state.pending_reads = still;
+            ready
+        };
+        for pending in ready {
+            let response =
+                self.serve_read_only_read(state, pending.txn, &pending.key, &pending.vc, &pending.has_read);
+            NodeCounters::bump(&self.counters().reads_served);
+            pending.reply.send(response);
+        }
+    }
+
+    /// Algorithm 6, read-only path.
+    fn serve_read_only_read(
+        &self,
+        state: &mut NodeState,
+        txn: TxnId,
+        key: &Key,
+        vc: &VectorClock,
+        has_read: &[bool],
+    ) -> ReadReturn {
+        let i = self.id().index();
+        let first_read_here = !has_read[i];
+
+        // Step 1: establish maxVC and the set of excluded writers.
+        let (max_vc, excluded_writers) = if first_read_here {
+            // Update transactions still in their Pre-Commit phase whose
+            // insertion-snapshot is beyond the transaction's visibility
+            // bound must be excluded (lines 7-8): serializing the reader
+            // before them is what guarantees a unique external schedule for
+            // non-conflicting writers (the Adya cross-node anomaly).
+            let (excluded_vcs, excluded_writers): (Vec<VectorClock>, Vec<TxnId>) = state
+                .squeues
+                .get(key)
+                .map(|q| {
+                    q.writes()
+                        .iter()
+                        .filter(|w| w.sid > vc.get(i))
+                        .map(|w| (w.commit_vc.clone(), w.txn))
+                        .unzip()
+                })
+                .unwrap_or_default();
+            let max_vc = state.nlog.visible_max(has_read, vc, &excluded_vcs);
+            (max_vc, excluded_writers)
+        } else {
+            // Subsequent read on this node: the bound is the transaction's
+            // own vector clock (lines 16-21).
+            (vc.clone(), Vec::new())
+        };
+
+        // Step 2: leave a trace in the key's snapshot-queue (lines 10/17).
+        //
+        // Exception: if this transaction's `Remove` has already been
+        // processed on this node, the transaction has returned to its client
+        // and this request is a stale duplicate (the fastest replica won the
+        // race and a high-priority `Remove` overtook this lower-priority
+        // read). Enqueuing now would leave an entry no future `Remove` will
+        // ever clear, permanently blocking writers of this key.
+        if !state.removed_ro.contains(&txn) {
+            state.squeues.entry(key).insert_read(txn, max_vc.get(i));
+        }
+
+        // Step 3: walk the version chain newest-to-oldest (lines 11-14 /
+        // 18-21) and pick the most recent version within the bound.
+        let selected = state.store.chain(key).and_then(|chain| {
+            chain
+                .latest_matching(|ver| {
+                    let within_bound = has_read
+                        .iter()
+                        .enumerate()
+                        .all(|(w, read)| !*read || ver.vc.get(w) <= max_vc.get(w));
+                    let excluded = excluded_writers.contains(&ver.writer)
+                        && ver.vc.get(i) > max_vc.get(i);
+                    within_bound && !excluded
+                })
+                .map(|ver| (ver.value.clone(), ver.writer))
+        });
+        let (value, writer) = match selected {
+            Some((value, writer)) => (Some(value), Some(writer)),
+            None => (None, None),
+        };
+
+        ReadReturn {
+            from: self.id(),
+            value,
+            writer,
+            vc: max_vc,
+            propagated: Vec::new(),
+        }
+    }
+
+    /// Algorithm 6, update-transaction path (lines 23-27).
+    fn serve_update_read(state: &NodeState, from: sss_vclock::NodeId, key: &Key) -> ReadReturn {
+        let max_vc = state.nlog.most_recent_vc().clone();
+        let propagated: Vec<PropagatedEntry> = state
+            .squeues
+            .get(key)
+            .map(|q| {
+                q.reads()
+                    .iter()
+                    .map(|r| PropagatedEntry {
+                        txn: r.txn,
+                        sid: r.sid,
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        let last = state.store.last(key);
+        ReadReturn {
+            from,
+            value: last.map(|v| v.value.clone()),
+            writer: last.map(|v| v.writer),
+            vc: max_vc,
+            propagated,
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Mutable per-node protocol state.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::time::Instant;
+
+use sss_net::ReplySender;
+use sss_storage::{Key, MvStore, TxnId, Value};
+use sss_vclock::{NodeId, VectorClock};
+
+use crate::commit_queue::CommitQueue;
+use crate::messages::{Ack, PropagatedEntry, ReadReturn};
+use crate::nlog::NLog;
+use crate::squeue::SnapshotQueues;
+
+/// Information a participant keeps for a transaction between the 2PC
+/// prepare and decide phases.
+#[derive(Debug)]
+pub(crate) struct PreparedTxn {
+    /// Read keys replicated on this node (shared locks held).
+    pub local_read_keys: Vec<Key>,
+    /// Write-set entries replicated on this node (exclusive locks held).
+    pub local_write_set: Vec<(Key, Value)>,
+    /// `true` if this node replicates at least one written key.
+    pub is_write_replica: bool,
+    /// Decision payload, filled in when the `Decide` message arrives and
+    /// consumed when the transaction reaches the head of the commit queue.
+    pub decision: Option<DecisionInfo>,
+}
+
+/// The parts of a `Decide` message needed at internal-commit time.
+#[derive(Debug)]
+pub(crate) struct DecisionInfo {
+    /// Read-only entries to propagate into the written keys' snapshot-queues
+    /// (Algorithm 3 lines 4-6).
+    pub propagated: Vec<PropagatedEntry>,
+    /// Reply handle for the external-commit `Ack`.
+    pub ack_reply: ReplySender<Ack>,
+}
+
+/// A read-only read waiting for the visibility condition of Algorithm 6
+/// line 5 (`NLog.mostRecentVC[i] >= T.VC[i]`).
+#[derive(Debug)]
+pub(crate) struct PendingRead {
+    pub txn: TxnId,
+    pub key: Key,
+    pub vc: VectorClock,
+    pub has_read: Vec<bool>,
+    pub reply: ReplySender<ReadReturn>,
+}
+
+/// An internally committed update transaction held in its Pre-Commit phase
+/// by one or more read-only transactions (snapshot-queuing).
+#[derive(Debug)]
+pub(crate) struct WaitingExternal {
+    pub txn: TxnId,
+    pub commit_vc: VectorClock,
+    pub write_keys: Vec<Key>,
+    pub ack_reply: ReplySender<Ack>,
+    /// When the wait started; used for the latency-breakdown statistics.
+    pub since: Instant,
+}
+
+/// A bounded insertion-ordered set of transaction ids.
+///
+/// Used to remember recently completed / removed read-only transactions so
+/// that late snapshot-queue insertions (racing `Remove` and `Decide`
+/// messages) are suppressed instead of lingering forever.
+#[derive(Debug)]
+pub(crate) struct RecentTxnSet {
+    order: VecDeque<TxnId>,
+    set: HashSet<TxnId>,
+    capacity: usize,
+}
+
+impl RecentTxnSet {
+    pub(crate) fn new(capacity: usize) -> Self {
+        RecentTxnSet {
+            order: VecDeque::new(),
+            set: HashSet::new(),
+            capacity,
+        }
+    }
+
+    pub(crate) fn insert(&mut self, txn: TxnId) {
+        if self.set.insert(txn) {
+            self.order.push_back(txn);
+            if self.order.len() > self.capacity {
+                if let Some(old) = self.order.pop_front() {
+                    self.set.remove(&old);
+                }
+            }
+        }
+    }
+
+    pub(crate) fn contains(&self, txn: &TxnId) -> bool {
+        self.set.contains(txn)
+    }
+
+    /// Number of remembered identifiers (diagnostics and tests).
+    #[allow(dead_code)]
+    pub(crate) fn len(&self) -> usize {
+        self.set.len()
+    }
+}
+
+/// All protocol state of one node that is protected by the node mutex.
+#[derive(Debug)]
+pub(crate) struct NodeState {
+    /// `NodeVC` (paper §III-A).
+    pub node_vc: VectorClock,
+    /// `NLog` (internal-commit repository).
+    pub nlog: NLog,
+    /// `CommitQ`.
+    pub commit_q: CommitQueue,
+    /// Multi-version data repository.
+    pub store: MvStore,
+    /// Snapshot-queues of locally stored keys.
+    pub squeues: SnapshotQueues,
+    /// 2PC bookkeeping between prepare and internal commit.
+    pub prepared: HashMap<TxnId, PreparedTxn>,
+    /// Read-only reads deferred by the visibility wait.
+    pub pending_reads: Vec<PendingRead>,
+    /// Update transactions held in their Pre-Commit phase.
+    pub waiting_external: Vec<WaitingExternal>,
+    /// Read-only transactions whose `Remove` has been processed here.
+    pub removed_ro: RecentTxnSet,
+    /// Transactions whose abort `Decide` arrived before their `Prepare`
+    /// (the high-priority decide can overtake the lower-priority prepare in
+    /// the mailbox). A late prepare for one of these must vote negatively
+    /// and must not enqueue, or the commit queue would be wedged forever.
+    pub aborted_early: RecentTxnSet,
+    /// Coordinator-side: extra `Remove` targets registered for read-only
+    /// transactions that originated on this node.
+    pub ro_forward_targets: HashMap<TxnId, HashSet<NodeId>>,
+    /// Coordinator-side: read-only transactions originated here that have
+    /// already completed (so late `RegisterForward`s are answered
+    /// immediately).
+    pub completed_ro: RecentTxnSet,
+}
+
+impl NodeState {
+    pub(crate) fn new(node_index: usize, width: usize, nlog_capacity: usize) -> Self {
+        NodeState {
+            node_vc: VectorClock::new(width),
+            nlog: NLog::new(width, nlog_capacity),
+            commit_q: CommitQueue::new(node_index),
+            store: MvStore::new(),
+            squeues: SnapshotQueues::new(),
+            prepared: HashMap::new(),
+            pending_reads: Vec::new(),
+            waiting_external: Vec::new(),
+            removed_ro: RecentTxnSet::new(1 << 16),
+            aborted_early: RecentTxnSet::new(1 << 16),
+            ro_forward_targets: HashMap::new(),
+            completed_ro: RecentTxnSet::new(1 << 16),
+        }
+    }
+
+    /// `true` if any written key of `write_keys` still has a read-only entry
+    /// with an insertion-snapshot smaller than `sid` — the Pre-Commit wait
+    /// condition of Algorithm 4.
+    pub(crate) fn blocks_external_commit(&self, write_keys: &[Key], sid: u64) -> bool {
+        write_keys.iter().any(|k| {
+            self.squeues
+                .get(k)
+                .map(|q| q.has_read_before(sid))
+                .unwrap_or(false)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn txn(seq: u64) -> TxnId {
+        TxnId::new(NodeId(0), seq)
+    }
+
+    #[test]
+    fn recent_set_evicts_oldest() {
+        let mut set = RecentTxnSet::new(2);
+        set.insert(txn(1));
+        set.insert(txn(2));
+        set.insert(txn(3));
+        assert_eq!(set.len(), 2);
+        assert!(!set.contains(&txn(1)));
+        assert!(set.contains(&txn(2)));
+        assert!(set.contains(&txn(3)));
+        // Re-inserting an existing id does not grow the set.
+        set.insert(txn(3));
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn external_commit_block_detection() {
+        let mut state = NodeState::new(0, 2, 64);
+        let x = Key::new("x");
+        let y = Key::new("y");
+        state.squeues.entry(&x).insert_read(txn(1), 5);
+        assert!(state.blocks_external_commit(&[x.clone(), y.clone()], 8));
+        assert!(!state.blocks_external_commit(&[y.clone()], 8));
+        assert!(!state.blocks_external_commit(&[x], 5));
+    }
+}

@@ -1,0 +1,424 @@
+//! Client-side transaction execution (the coordinator logic of
+//! Algorithms 1 and 5).
+//!
+//! Clients are colocated with nodes (paper §II): a [`Session`] is bound to
+//! one node and issues transactions whose coordinator is that node. The
+//! programmer declares up front whether a transaction is an update or a
+//! read-only transaction (paper §II), by calling
+//! [`Session::begin_update`] or [`Session::begin_read_only`].
+
+use std::collections::BTreeMap;
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use sss_net::{reply_channel, Priority, Transport};
+use sss_storage::{Key, TxnId, Value};
+use sss_vclock::{NodeId, VectorClock};
+
+use crate::error::{AbortReason, SssError};
+use crate::messages::{PropagatedEntry, SssMessage};
+use crate::node::SssNode;
+
+/// Latency breakdown of a committed update transaction, mirroring the
+/// measurements of Figure 5 in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CommitInfo {
+    /// Time from the transaction's begin to its *internal* commit (the 2PC
+    /// decision being reached and disseminated).
+    pub internal_latency: Duration,
+    /// Time from the transaction's begin to its *external* commit (all write
+    /// replicas acknowledged that no concurrent read-only transaction holds
+    /// it in a snapshot-queue).
+    pub external_latency: Duration,
+}
+
+impl CommitInfo {
+    /// Time spent in the Pre-Commit phase (the snapshot-queue wait).
+    pub fn pre_commit_wait(&self) -> Duration {
+        self.external_latency.saturating_sub(self.internal_latency)
+    }
+}
+
+/// A client handle bound to (colocated with) one node of the cluster.
+#[derive(Debug, Clone)]
+pub struct Session {
+    node: Arc<SssNode>,
+}
+
+impl Session {
+    pub(crate) fn new(node: Arc<SssNode>) -> Self {
+        Session { node }
+    }
+
+    /// The node this session is colocated with.
+    pub fn node_id(&self) -> NodeId {
+        self.node.id()
+    }
+
+    /// Begins an update transaction.
+    pub fn begin_update(&self) -> UpdateTransaction {
+        let id = self.node.next_txn_id();
+        let vc = self.node.begin_vc();
+        UpdateTransaction {
+            node: Arc::clone(&self.node),
+            id,
+            vc,
+            has_read: vec![false; self.node.config().nodes],
+            read_set: Vec::new(),
+            write_set: BTreeMap::new(),
+            propagated: Vec::new(),
+            started: Instant::now(),
+        }
+    }
+
+    /// Begins an abort-free read-only transaction.
+    pub fn begin_read_only(&self) -> ReadOnlyTransaction {
+        let id = self.node.next_txn_id();
+        ReadOnlyTransaction {
+            node: Arc::clone(&self.node),
+            id,
+            vc: None,
+            has_read: vec![false; self.node.config().nodes],
+            read_keys: Vec::new(),
+            finished: false,
+        }
+    }
+}
+
+/// Issues a read request to every replica of `key` and returns the fastest
+/// answer (Algorithm 5 line 9-10).
+fn remote_read(
+    node: &SssNode,
+    txn: TxnId,
+    key: &Key,
+    vc: &VectorClock,
+    has_read: &[bool],
+    is_update: bool,
+) -> Result<crate::messages::ReadReturn, SssError> {
+    let replicas = node.replica_map().replicas(key);
+    let (reply, receiver) = reply_channel(replicas.len());
+    let message = SssMessage::ReadRequest {
+        txn,
+        key: key.clone(),
+        vc: vc.clone(),
+        has_read: has_read.to_vec(),
+        is_update,
+        reply,
+    };
+    for target in &replicas {
+        node.transport()
+            .send(node.id(), *target, message.clone(), Priority::Normal)
+            .map_err(|_| SssError::ClusterShutdown)?;
+    }
+    receiver
+        .recv_timeout(node.config().read_timeout)
+        .ok_or_else(|| SssError::ReadTimeout { key: key.clone() })
+}
+
+/// An update transaction: reads observe the most recent committed versions,
+/// writes are buffered and installed at commit time through 2PC.
+#[derive(Debug)]
+pub struct UpdateTransaction {
+    node: Arc<SssNode>,
+    id: TxnId,
+    vc: VectorClock,
+    has_read: Vec<bool>,
+    read_set: Vec<(Key, Option<TxnId>)>,
+    write_set: BTreeMap<Key, Value>,
+    propagated: Vec<PropagatedEntry>,
+    started: Instant,
+}
+
+impl UpdateTransaction {
+    /// This transaction's identifier.
+    pub fn id(&self) -> TxnId {
+        self.id
+    }
+
+    /// Reads `key`, returning `None` if it has never been written.
+    ///
+    /// Reads of keys previously written by this transaction observe the
+    /// buffered value (Algorithm 5 lines 2-4).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SssError::ReadTimeout`] if no replica answered in time and
+    /// [`SssError::ClusterShutdown`] if the cluster was shut down.
+    pub fn read(&mut self, key: impl Into<Key>) -> Result<Option<Value>, SssError> {
+        let key = key.into();
+        if let Some(value) = self.write_set.get(&key) {
+            return Ok(Some(value.clone()));
+        }
+        let response = remote_read(&self.node, self.id, &key, &self.vc, &self.has_read, true)?;
+        self.has_read[response.from.index()] = true;
+        self.vc.merge(&response.vc);
+        self.propagated.extend(response.propagated.iter().copied());
+        self.read_set.push((key, response.writer));
+        Ok(response.value)
+    }
+
+    /// Buffers a write of `value` under `key`; it becomes visible only when
+    /// the transaction commits.
+    pub fn write(&mut self, key: impl Into<Key>, value: impl Into<Value>) {
+        self.write_set.insert(key.into(), value.into());
+    }
+
+    /// Keys read so far, with the writer of the version each read observed.
+    pub fn read_set(&self) -> &[(Key, Option<TxnId>)] {
+        &self.read_set
+    }
+
+    /// Number of buffered writes.
+    pub fn write_set_len(&self) -> usize {
+        self.write_set.len()
+    }
+
+    /// Discards the transaction without attempting to commit. Nothing was
+    /// made visible to other transactions, so this is always safe.
+    pub fn rollback(self) {}
+
+    /// Commits the transaction (Algorithm 1).
+    ///
+    /// The call returns only at the *external* commit: once every write
+    /// replica confirmed that no concurrent read-only transaction serialized
+    /// before this transaction is still in flight. The returned
+    /// [`CommitInfo`] exposes the internal/external latency split.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SssError::Aborted`] when locks could not be acquired, a
+    /// read key was overwritten (validation), or a participant did not vote
+    /// in time. Aborted transactions can simply be retried by the client.
+    pub fn commit(self) -> Result<CommitInfo, SssError> {
+        let node = &self.node;
+        let replica_map = node.replica_map();
+
+        if self.write_set.is_empty() {
+            // A declared-update transaction that performed no writes
+            // degenerates to a read-only commit (Algorithm 1 lines 2-8).
+            // Its reads did not enqueue in any snapshot-queue, so there is
+            // nothing to remove.
+            return Ok(CommitInfo {
+                internal_latency: self.started.elapsed(),
+                external_latency: self.started.elapsed(),
+            });
+        }
+
+        let write_keys: Vec<Key> = self.write_set.keys().cloned().collect();
+        let write_set: Vec<(Key, Value)> = self
+            .write_set
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+
+        // Participants: replicas of every accessed key plus the coordinator.
+        let read_keys: Vec<Key> = self.read_set.iter().map(|(k, _)| k.clone()).collect();
+        let mut participants =
+            replica_map.replicas_of_all(read_keys.iter().chain(write_keys.iter()));
+        if !participants.contains(&node.id()) {
+            participants.push(node.id());
+            participants.sort();
+        }
+        let write_replicas = replica_map.replicas_of_all(write_keys.iter());
+
+        // Prepare phase.
+        let (vote_reply, vote_receiver) = reply_channel(participants.len());
+        let prepare = SssMessage::Prepare {
+            txn: self.id,
+            coordinator: node.id(),
+            vc: self.vc.clone(),
+            read_set: self.read_set.clone(),
+            write_set: write_set.clone(),
+            reply: vote_reply,
+        };
+        for target in &participants {
+            node.transport()
+                .send(node.id(), *target, prepare.clone(), Priority::Normal)
+                .map_err(|_| SssError::ClusterShutdown)?;
+        }
+
+        let mut commit_vc = self.vc.clone();
+        let mut outcome = true;
+        let mut abort_reason = None;
+        let deadline = Instant::now() + node.config().vote_timeout;
+        let mut voted: HashSet<NodeId> = HashSet::new();
+        while voted.len() < participants.len() {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            match vote_receiver.recv_timeout(remaining) {
+                Some(vote) if vote.txn == self.id => {
+                    if !voted.insert(vote.from) {
+                        continue;
+                    }
+                    if vote.ok {
+                        commit_vc.merge(&vote.vc);
+                    } else {
+                        outcome = false;
+                        abort_reason =
+                            Some(AbortReason::ValidationFailed { key: None });
+                        break;
+                    }
+                }
+                Some(_) => continue,
+                None => {
+                    outcome = false;
+                    abort_reason = Some(AbortReason::VoteTimeout);
+                    break;
+                }
+            }
+        }
+
+        // Compute the final commit vector clock (Algorithm 1 lines 21-24).
+        if outcome {
+            let write_indices: Vec<usize> = write_replicas.iter().map(|n| n.index()).collect();
+            let xact_vn = commit_vc.max_over(write_indices.iter().copied());
+            commit_vc.assign_over(write_indices, xact_vn);
+        }
+
+        // Decide phase.
+        let (ack_reply, ack_receiver) = reply_channel(write_replicas.len().max(1));
+        let decide = SssMessage::Decide {
+            txn: self.id,
+            commit_vc: commit_vc.clone(),
+            outcome,
+            propagated: self.propagated.clone(),
+            ack_reply,
+        };
+        for target in &participants {
+            node.transport()
+                .send(node.id(), *target, decide.clone(), Priority::High)
+                .map_err(|_| SssError::ClusterShutdown)?;
+        }
+
+        if !outcome {
+            return Err(SssError::Aborted(
+                abort_reason.unwrap_or(AbortReason::ValidationFailed { key: None }),
+            ));
+        }
+
+        // Register the extra Remove targets for every read-only transaction
+        // whose entry we are propagating into our written keys' queues
+        // (§III-C, transitive anti-dependencies).
+        let distinct_ro: HashSet<TxnId> = self.propagated.iter().map(|p| p.txn).collect();
+        for ro in distinct_ro {
+            node.transport()
+                .send(
+                    node.id(),
+                    ro.origin,
+                    SssMessage::RegisterForward {
+                        txn: ro,
+                        targets: write_replicas.clone(),
+                    },
+                    Priority::High,
+                )
+                .map_err(|_| SssError::ClusterShutdown)?;
+        }
+
+        let internal_latency = self.started.elapsed();
+
+        // External commit: wait for every write replica's acknowledgement.
+        let ack_deadline = Instant::now() + node.config().ack_timeout;
+        let mut acked: HashSet<NodeId> = HashSet::new();
+        while acked.len() < write_replicas.len() {
+            let remaining = ack_deadline.saturating_duration_since(Instant::now());
+            match ack_receiver.recv_timeout(remaining) {
+                Some(ack) if ack.txn == self.id => {
+                    acked.insert(ack.from);
+                }
+                Some(_) => continue,
+                None => return Err(SssError::ExternalCommitTimeout),
+            }
+        }
+
+        Ok(CommitInfo {
+            internal_latency,
+            external_latency: self.started.elapsed(),
+        })
+    }
+}
+
+/// A read-only transaction. Never aborts due to concurrency; every read
+/// observes a consistent snapshot that is also externally consistent with
+/// every committed update transaction.
+#[derive(Debug)]
+pub struct ReadOnlyTransaction {
+    node: Arc<SssNode>,
+    id: TxnId,
+    vc: Option<VectorClock>,
+    has_read: Vec<bool>,
+    read_keys: Vec<Key>,
+    finished: bool,
+}
+
+impl ReadOnlyTransaction {
+    /// This transaction's identifier.
+    pub fn id(&self) -> TxnId {
+        self.id
+    }
+
+    /// Reads `key`, returning `None` if no version is visible.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SssError::ReadTimeout`] if no replica answered in time and
+    /// [`SssError::ClusterShutdown`] if the cluster was shut down.
+    pub fn read(&mut self, key: impl Into<Key>) -> Result<Option<Value>, SssError> {
+        if self.finished {
+            return Err(SssError::InvalidOperation(
+                "read on an already committed read-only transaction",
+            ));
+        }
+        let key = key.into();
+        // Algorithm 5 lines 5-7: the first read pins the visibility bound to
+        // the latest snapshot committed on the colocated node.
+        if self.vc.is_none() {
+            self.vc = Some(self.node.begin_vc());
+        }
+        let vc = self.vc.as_ref().expect("initialized above");
+        let response = remote_read(&self.node, self.id, &key, vc, &self.has_read, false)?;
+        self.has_read[response.from.index()] = true;
+        let vc = self.vc.as_mut().expect("initialized above");
+        vc.merge(&response.vc);
+        self.read_keys.push(key);
+        Ok(response.value)
+    }
+
+    /// Keys read so far.
+    pub fn read_set(&self) -> &[Key] {
+        &self.read_keys
+    }
+
+    /// Commits the transaction. This never fails due to concurrency: the
+    /// client is answered immediately and the `Remove` notifications are
+    /// sent to the nodes holding this transaction's snapshot-queue entries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SssError::InvalidOperation`] if called twice.
+    pub fn commit(mut self) -> Result<(), SssError> {
+        if self.finished {
+            return Err(SssError::InvalidOperation(
+                "commit on an already committed read-only transaction",
+            ));
+        }
+        self.finish();
+        Ok(())
+    }
+
+    fn finish(&mut self) {
+        if !self.finished {
+            self.finished = true;
+            if !self.read_keys.is_empty() {
+                self.node.finish_read_only(self.id, &self.read_keys);
+            }
+        }
+    }
+}
+
+impl Drop for ReadOnlyTransaction {
+    fn drop(&mut self) {
+        // An abandoned read-only transaction must still release the update
+        // transactions it may be holding in their Pre-Commit phase.
+        self.finish();
+    }
+}

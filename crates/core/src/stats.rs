@@ -1,0 +1,160 @@
+//! Protocol counters exposed by nodes and the cluster.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Internal atomic counters of one node.
+#[derive(Debug, Default)]
+pub(crate) struct NodeCounters {
+    pub reads_served: AtomicU64,
+    pub reads_deferred: AtomicU64,
+    pub prepares: AtomicU64,
+    pub votes_ok: AtomicU64,
+    pub votes_lock_failed: AtomicU64,
+    pub votes_validation_failed: AtomicU64,
+    pub internal_commits: AtomicU64,
+    pub external_commit_waits: AtomicU64,
+    pub removes_processed: AtomicU64,
+    pub precommit_wait_nanos: AtomicU64,
+}
+
+impl NodeCounters {
+    pub(crate) fn snapshot(&self) -> NodeStats {
+        NodeStats {
+            reads_served: self.reads_served.load(Ordering::Relaxed),
+            reads_deferred: self.reads_deferred.load(Ordering::Relaxed),
+            prepares: self.prepares.load(Ordering::Relaxed),
+            votes_ok: self.votes_ok.load(Ordering::Relaxed),
+            votes_lock_failed: self.votes_lock_failed.load(Ordering::Relaxed),
+            votes_validation_failed: self.votes_validation_failed.load(Ordering::Relaxed),
+            internal_commits: self.internal_commits.load(Ordering::Relaxed),
+            external_commit_waits: self.external_commit_waits.load(Ordering::Relaxed),
+            removes_processed: self.removes_processed.load(Ordering::Relaxed),
+            precommit_wait_nanos: self.precommit_wait_nanos.load(Ordering::Relaxed),
+        }
+    }
+
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add(counter: &AtomicU64, amount: u64) {
+        counter.fetch_add(amount, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time snapshot of one node's protocol counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct NodeStats {
+    /// Read requests answered (including deferred ones once served).
+    pub reads_served: u64,
+    /// Read requests that had to wait for the visibility condition of
+    /// Algorithm 6 line 5.
+    pub reads_deferred: u64,
+    /// 2PC prepare requests processed.
+    pub prepares: u64,
+    /// Positive votes returned.
+    pub votes_ok: u64,
+    /// Negative votes due to lock-acquisition timeouts.
+    pub votes_lock_failed: u64,
+    /// Negative votes due to read validation failures.
+    pub votes_validation_failed: u64,
+    /// Transactions applied at the head of the commit queue.
+    pub internal_commits: u64,
+    /// Transactions that had to wait in the Pre-Commit phase because of a
+    /// concurrent read-only transaction (snapshot-queuing).
+    pub external_commit_waits: u64,
+    /// `Remove` messages processed.
+    pub removes_processed: u64,
+    /// Cumulative time (nanoseconds) update transactions spent held in
+    /// snapshot-queues on this node between internal and external commit.
+    pub precommit_wait_nanos: u64,
+}
+
+impl NodeStats {
+    /// Total negative votes (aborted prepares).
+    pub fn votes_failed(&self) -> u64 {
+        self.votes_lock_failed + self.votes_validation_failed
+    }
+}
+
+/// Aggregated counters over all nodes of a cluster.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterStats {
+    /// Sum of every node's counters.
+    pub totals: NodeStats,
+    /// Number of nodes aggregated.
+    pub nodes: usize,
+}
+
+impl ClusterStats {
+    /// Aggregates per-node snapshots.
+    pub fn aggregate(stats: impl IntoIterator<Item = NodeStats>) -> Self {
+        let mut totals = NodeStats::default();
+        let mut nodes = 0;
+        for s in stats {
+            nodes += 1;
+            totals.reads_served += s.reads_served;
+            totals.reads_deferred += s.reads_deferred;
+            totals.prepares += s.prepares;
+            totals.votes_ok += s.votes_ok;
+            totals.votes_lock_failed += s.votes_lock_failed;
+            totals.votes_validation_failed += s.votes_validation_failed;
+            totals.internal_commits += s.internal_commits;
+            totals.external_commit_waits += s.external_commit_waits;
+            totals.removes_processed += s.removes_processed;
+            totals.precommit_wait_nanos += s.precommit_wait_nanos;
+        }
+        ClusterStats { totals, nodes }
+    }
+
+    /// Fraction of internal commits that entered a snapshot-queue wait
+    /// before externally committing.
+    pub fn external_wait_ratio(&self) -> f64 {
+        if self.totals.internal_commits == 0 {
+            0.0
+        } else {
+            self.totals.external_commit_waits as f64 / self.totals.internal_commits as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_snapshot_roundtrip() {
+        let counters = NodeCounters::default();
+        NodeCounters::bump(&counters.reads_served);
+        NodeCounters::bump(&counters.votes_lock_failed);
+        NodeCounters::bump(&counters.votes_validation_failed);
+        let snap = counters.snapshot();
+        assert_eq!(snap.reads_served, 1);
+        assert_eq!(snap.votes_failed(), 2);
+    }
+
+    #[test]
+    fn aggregation_sums_nodes() {
+        let a = NodeStats {
+            internal_commits: 10,
+            external_commit_waits: 4,
+            ..Default::default()
+        };
+        let b = NodeStats {
+            internal_commits: 30,
+            external_commit_waits: 6,
+            ..Default::default()
+        };
+        let agg = ClusterStats::aggregate([a, b]);
+        assert_eq!(agg.nodes, 2);
+        assert_eq!(agg.totals.internal_commits, 40);
+        assert!((agg.external_wait_ratio() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_aggregation_has_zero_ratio() {
+        let agg = ClusterStats::aggregate([]);
+        assert_eq!(agg.nodes, 0);
+        assert_eq!(agg.external_wait_ratio(), 0.0);
+    }
+}

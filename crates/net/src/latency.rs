@@ -1,0 +1,97 @@
+//! Network latency models used to inject asynchrony into message delivery.
+
+use std::time::Duration;
+
+use rand::Rng;
+
+/// A simple one-way latency model: a fixed base delay plus uniformly
+/// distributed jitter.
+///
+/// The paper's test bed delivers a message "in around 20 microseconds"
+/// (paper §V); the default model reproduces that figure. Latency injection
+/// is optional — the benchmark harness keeps it off by default so that
+/// relative engine performance is dominated by protocol behaviour rather
+/// than by sleeping threads — but tests use it to exercise message
+/// reordering and asynchrony.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyModel {
+    /// Minimum one-way delay applied to every message.
+    pub base: Duration,
+    /// Maximum additional uniformly distributed delay.
+    pub jitter: Duration,
+}
+
+impl LatencyModel {
+    /// A model with no delay at all (messages are delivered immediately).
+    pub const ZERO: LatencyModel = LatencyModel {
+        base: Duration::ZERO,
+        jitter: Duration::ZERO,
+    };
+
+    /// Creates a model with the given base delay and jitter.
+    pub fn new(base: Duration, jitter: Duration) -> Self {
+        LatencyModel { base, jitter }
+    }
+
+    /// The cluster used in the paper: ~20µs per message, small jitter.
+    pub fn cloudlab_like() -> Self {
+        LatencyModel::new(Duration::from_micros(20), Duration::from_micros(10))
+    }
+
+    /// `true` when the model never delays messages.
+    pub fn is_zero(&self) -> bool {
+        self.base.is_zero() && self.jitter.is_zero()
+    }
+
+    /// Samples a one-way delay.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Duration {
+        if self.jitter.is_zero() {
+            return self.base;
+        }
+        let jitter_nanos = rng.gen_range(0..=self.jitter.as_nanos() as u64);
+        self.base + Duration::from_nanos(jitter_nanos)
+    }
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel::ZERO
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_model_never_delays() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(LatencyModel::ZERO.is_zero());
+        assert_eq!(LatencyModel::ZERO.sample(&mut rng), Duration::ZERO);
+    }
+
+    #[test]
+    fn samples_stay_within_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let model = LatencyModel::new(Duration::from_micros(20), Duration::from_micros(10));
+        for _ in 0..1000 {
+            let d = model.sample(&mut rng);
+            assert!(d >= Duration::from_micros(20));
+            assert!(d <= Duration::from_micros(30));
+        }
+    }
+
+    #[test]
+    fn cloudlab_model_matches_paper_figure() {
+        let model = LatencyModel::cloudlab_like();
+        assert_eq!(model.base, Duration::from_micros(20));
+        assert!(!model.is_zero());
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(LatencyModel::default(), LatencyModel::ZERO);
+    }
+}

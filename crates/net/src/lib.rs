@@ -1,0 +1,36 @@
+//! In-process asynchronous message-passing substrate.
+//!
+//! The SSS paper evaluates its protocol on a cluster whose nodes communicate
+//! through *reliable asynchronous channels* (paper §II) and whose
+//! implementation uses an "optimized network component where multiple network
+//! queues, each for a different message type, are deployed" so that
+//! high-priority protocol messages (e.g. `Remove`) are never stuck behind
+//! bulk traffic (paper §V).
+//!
+//! This crate reproduces that substrate for an in-process cluster:
+//!
+//! * every logical node owns a [`Mailbox`] with one queue per
+//!   [`Priority`] class and a pool of worker threads draining it,
+//! * senders interact only through the [`Transport`] trait, so protocol
+//!   code never touches another node's state directly,
+//! * an optional [`LatencyModel`] delays deliveries to reproduce the
+//!   asynchrony (and reordering across priority classes) of a real network.
+//!
+//! The substrate is engine-agnostic: SSS, the 2PC baseline, Walter and
+//! ROCOCO all run on it unchanged.
+
+mod latency;
+mod mailbox;
+mod reply;
+mod runtime;
+mod transport;
+
+pub use latency::LatencyModel;
+pub use mailbox::{Mailbox, MailboxStats, Priority};
+pub use reply::{reply_channel, ReplyReceiver, ReplySender, ReplyTryRecvError};
+pub use runtime::{NodeRuntime, NodeService};
+pub use transport::{
+    ChannelTransport, Envelope, Transport, TransportConfig, TransportError, TransportExt,
+};
+
+pub use sss_vclock::NodeId;

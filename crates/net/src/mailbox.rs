@@ -1,0 +1,279 @@
+//! Priority mailboxes: one queue per message class, drained by worker threads.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+
+/// Priority class of a protocol message.
+///
+/// The SSS implementation assigns "priorities to different messages and
+/// avoid[s] protocol slow down in some critical steps due to network
+/// congestion caused by lower priority messages (e.g., the Remove message
+/// has a very high priority because it enables external commits)" (paper §V).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// Critical protocol steps: `Remove`, `Decide`, commit acknowledgements.
+    High,
+    /// Regular protocol traffic: reads, prepares, votes.
+    Normal,
+    /// Background traffic: garbage collection, statistics.
+    Low,
+}
+
+impl Priority {
+    /// All priorities, highest first.
+    pub const ALL: [Priority; 3] = [Priority::High, Priority::Normal, Priority::Low];
+
+    fn index(self) -> usize {
+        match self {
+            Priority::High => 0,
+            Priority::Normal => 1,
+            Priority::Low => 2,
+        }
+    }
+}
+
+/// Counters describing the traffic that went through a [`Mailbox`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct MailboxStats {
+    /// Messages enqueued per priority class (high, normal, low).
+    pub enqueued: [u64; 3],
+    /// Messages dequeued per priority class (high, normal, low).
+    pub dequeued: [u64; 3],
+}
+
+impl MailboxStats {
+    /// Total number of messages enqueued across all classes.
+    pub fn total_enqueued(&self) -> u64 {
+        self.enqueued.iter().sum()
+    }
+
+    /// Total number of messages dequeued across all classes.
+    pub fn total_dequeued(&self) -> u64 {
+        self.dequeued.iter().sum()
+    }
+}
+
+/// A multi-queue mailbox owned by one logical node.
+///
+/// Messages are pushed with a [`Priority`]; worker threads pop messages with
+/// a strict priority bias (high before normal before low). The mailbox can be
+/// closed, after which pops drain remaining messages and then return `None`.
+#[derive(Debug)]
+pub struct Mailbox<M> {
+    senders: [Sender<M>; 3],
+    receivers: [Receiver<M>; 3],
+    closed: AtomicBool,
+    enqueued: [AtomicU64; 3],
+    dequeued: [AtomicU64; 3],
+}
+
+impl<M: Send> Mailbox<M> {
+    /// Creates an empty, open mailbox.
+    pub fn new() -> Self {
+        let (hs, hr) = unbounded();
+        let (ns, nr) = unbounded();
+        let (ls, lr) = unbounded();
+        Mailbox {
+            senders: [hs, ns, ls],
+            receivers: [hr, nr, lr],
+            closed: AtomicBool::new(false),
+            enqueued: Default::default(),
+            dequeued: Default::default(),
+        }
+    }
+
+    /// Enqueues `msg` in the queue of class `priority`.
+    ///
+    /// Returns `false` if the mailbox has been closed (the message is
+    /// dropped), `true` otherwise.
+    pub fn push(&self, msg: M, priority: Priority) -> bool {
+        if self.closed.load(Ordering::Acquire) {
+            return false;
+        }
+        let idx = priority.index();
+        // An unbounded channel only errors when all receivers are gone,
+        // which we treat the same as a closed mailbox.
+        if self.senders[idx].send(msg).is_ok() {
+            self.enqueued[idx].fetch_add(1, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Pops the next message, honoring the priority bias.
+    ///
+    /// Blocks until a message arrives or the mailbox is closed *and* empty,
+    /// in which case `None` is returned.
+    pub fn pop(&self) -> Option<M> {
+        loop {
+            // Strict bias: always drain higher classes first.
+            for p in Priority::ALL {
+                if let Ok(msg) = self.receivers[p.index()].try_recv() {
+                    self.dequeued[p.index()].fetch_add(1, Ordering::Relaxed);
+                    return Some(msg);
+                }
+            }
+            if self.closed.load(Ordering::Acquire) {
+                // Re-check emptiness after observing the close flag so that
+                // messages pushed before the close are still delivered.
+                for p in Priority::ALL {
+                    if let Ok(msg) = self.receivers[p.index()].try_recv() {
+                        self.dequeued[p.index()].fetch_add(1, Ordering::Relaxed);
+                        return Some(msg);
+                    }
+                }
+                return None;
+            }
+            // Nothing ready: wait on the high-priority queue with a short
+            // timeout so that lower classes and the close flag are re-polled.
+            match self.receivers[0].recv_timeout(Duration::from_micros(200)) {
+                Ok(msg) => {
+                    self.dequeued[0].fetch_add(1, Ordering::Relaxed);
+                    return Some(msg);
+                }
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => continue,
+            }
+        }
+    }
+
+    /// Pops a message if one is immediately available.
+    pub fn try_pop(&self) -> Option<M> {
+        for p in Priority::ALL {
+            if let Ok(msg) = self.receivers[p.index()].try_recv() {
+                self.dequeued[p.index()].fetch_add(1, Ordering::Relaxed);
+                return Some(msg);
+            }
+        }
+        None
+    }
+
+    /// Closes the mailbox: subsequent pushes are rejected and pops return
+    /// `None` once the queues drain.
+    pub fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+    }
+
+    /// `true` once [`Mailbox::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::Acquire)
+    }
+
+    /// Approximate number of queued messages across all classes.
+    pub fn len(&self) -> usize {
+        self.receivers.iter().map(|r| r.len()).sum()
+    }
+
+    /// `true` when no messages are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the mailbox traffic counters.
+    pub fn stats(&self) -> MailboxStats {
+        MailboxStats {
+            enqueued: [
+                self.enqueued[0].load(Ordering::Relaxed),
+                self.enqueued[1].load(Ordering::Relaxed),
+                self.enqueued[2].load(Ordering::Relaxed),
+            ],
+            dequeued: [
+                self.dequeued[0].load(Ordering::Relaxed),
+                self.dequeued[1].load(Ordering::Relaxed),
+                self.dequeued[2].load(Ordering::Relaxed),
+            ],
+        }
+    }
+}
+
+impl<M: Send> Default for Mailbox<M> {
+    fn default() -> Self {
+        Mailbox::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_within_a_priority_class() {
+        let mb = Mailbox::new();
+        mb.push(1, Priority::Normal);
+        mb.push(2, Priority::Normal);
+        mb.push(3, Priority::Normal);
+        assert_eq!(mb.pop(), Some(1));
+        assert_eq!(mb.pop(), Some(2));
+        assert_eq!(mb.pop(), Some(3));
+    }
+
+    #[test]
+    fn high_priority_jumps_the_queue() {
+        let mb = Mailbox::new();
+        mb.push("normal", Priority::Normal);
+        mb.push("low", Priority::Low);
+        mb.push("remove", Priority::High);
+        assert_eq!(mb.pop(), Some("remove"));
+        assert_eq!(mb.pop(), Some("normal"));
+        assert_eq!(mb.pop(), Some("low"));
+    }
+
+    #[test]
+    fn close_rejects_pushes_but_drains_queued_messages() {
+        let mb = Mailbox::new();
+        mb.push(1, Priority::Low);
+        mb.close();
+        assert!(mb.is_closed());
+        assert!(!mb.push(2, Priority::High));
+        assert_eq!(mb.pop(), Some(1));
+        assert_eq!(mb.pop(), None);
+    }
+
+    #[test]
+    fn try_pop_returns_none_when_empty() {
+        let mb: Mailbox<u8> = Mailbox::new();
+        assert_eq!(mb.try_pop(), None);
+        assert!(mb.is_empty());
+    }
+
+    #[test]
+    fn stats_track_traffic_per_class() {
+        let mb = Mailbox::new();
+        mb.push(1, Priority::High);
+        mb.push(2, Priority::Normal);
+        mb.push(3, Priority::Normal);
+        mb.pop();
+        let stats = mb.stats();
+        assert_eq!(stats.enqueued, [1, 2, 0]);
+        assert_eq!(stats.total_enqueued(), 3);
+        assert_eq!(stats.total_dequeued(), 1);
+    }
+
+    #[test]
+    fn pop_blocks_until_a_message_arrives() {
+        let mb = Arc::new(Mailbox::new());
+        let producer = Arc::clone(&mb);
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            producer.push(42, Priority::Normal);
+        });
+        assert_eq!(mb.pop(), Some(42));
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn pop_unblocks_on_close() {
+        let mb: Arc<Mailbox<u8>> = Arc::new(Mailbox::new());
+        let closer = Arc::clone(&mb);
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            closer.close();
+        });
+        assert_eq!(mb.pop(), None);
+        handle.join().unwrap();
+    }
+}

@@ -1,0 +1,143 @@
+//! One-shot / first-of-many reply channels.
+//!
+//! SSS read operations are sent "to all nodes that replicate the requested
+//! key", and the transaction waits "for the fastest to answer" (paper
+//! §III-C). The reply channel therefore supports *multiple* producers; the
+//! consumer keeps the first reply and ignores the rest.
+
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
+
+/// Error returned by [`ReplyReceiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplyTryRecvError {
+    /// No reply has arrived yet.
+    Empty,
+    /// All senders were dropped without replying.
+    Disconnected,
+}
+
+impl std::fmt::Display for ReplyTryRecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplyTryRecvError::Empty => write!(f, "no reply available yet"),
+            ReplyTryRecvError::Disconnected => write!(f, "all repliers disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for ReplyTryRecvError {}
+
+/// Sending half of a reply channel. Cloneable so that a request can be
+/// fanned out to every replica of a key.
+#[derive(Debug, Clone)]
+pub struct ReplySender<T> {
+    inner: Sender<T>,
+}
+
+impl<T> ReplySender<T> {
+    /// Delivers a reply. Returns `false` if the requester already went away
+    /// or the channel is full (a faster replica already answered and the
+    /// buffer is exhausted) — both are benign for the protocol.
+    pub fn send(&self, value: T) -> bool {
+        self.inner.try_send(value).is_ok()
+    }
+}
+
+/// Receiving half of a reply channel.
+#[derive(Debug)]
+pub struct ReplyReceiver<T> {
+    inner: Receiver<T>,
+}
+
+impl<T> ReplyReceiver<T> {
+    /// Waits for the first reply, up to `timeout`.
+    ///
+    /// Returns `None` on timeout or if every sender was dropped without
+    /// replying (e.g. the target node was shut down).
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<T> {
+        match self.inner.recv_timeout(timeout) {
+            Ok(v) => Some(v),
+            Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => None,
+        }
+    }
+
+    /// Waits for the first reply without a timeout. Returns `None` if all
+    /// senders disconnected without replying.
+    pub fn recv(&self) -> Option<T> {
+        self.inner.recv().ok()
+    }
+
+    /// Non-blocking poll for a reply.
+    pub fn try_recv(&self) -> Result<T, ReplyTryRecvError> {
+        self.inner.try_recv().map_err(|e| match e {
+            TryRecvError::Empty => ReplyTryRecvError::Empty,
+            TryRecvError::Disconnected => ReplyTryRecvError::Disconnected,
+        })
+    }
+}
+
+/// Creates a reply channel able to buffer up to `capacity` replies.
+///
+/// `capacity` is typically the number of replicas contacted; extra replies
+/// beyond the first are simply never read.
+///
+/// # Panics
+///
+/// Panics if `capacity` is zero.
+pub fn reply_channel<T>(capacity: usize) -> (ReplySender<T>, ReplyReceiver<T>) {
+    assert!(capacity > 0, "reply channel capacity must be non-zero");
+    let (tx, rx) = bounded(capacity);
+    (ReplySender { inner: tx }, ReplyReceiver { inner: rx })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_reply_wins() {
+        let (tx, rx) = reply_channel(3);
+        let tx2 = tx.clone();
+        assert!(tx.send("fast"));
+        assert!(tx2.send("slow"));
+        assert_eq!(rx.recv(), Some("fast"));
+    }
+
+    #[test]
+    fn timeout_when_nobody_replies() {
+        let (_tx, rx) = reply_channel::<u8>(1);
+        assert_eq!(rx.recv_timeout(Duration::from_millis(5)), None);
+    }
+
+    #[test]
+    fn disconnected_when_all_senders_dropped() {
+        let (tx, rx) = reply_channel::<u8>(1);
+        drop(tx);
+        assert_eq!(rx.recv(), None);
+        assert_eq!(rx.try_recv(), Err(ReplyTryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn try_recv_reports_empty_then_value() {
+        let (tx, rx) = reply_channel(1);
+        assert_eq!(rx.try_recv(), Err(ReplyTryRecvError::Empty));
+        tx.send(7u8);
+        assert_eq!(rx.try_recv(), Ok(7));
+    }
+
+    #[test]
+    fn sends_beyond_capacity_are_dropped_silently() {
+        let (tx, rx) = reply_channel(1);
+        assert!(tx.send(1));
+        assert!(!tx.send(2));
+        assert_eq!(rx.recv(), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_panics() {
+        let _ = reply_channel::<u8>(0);
+    }
+}

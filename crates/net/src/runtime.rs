@@ -1,0 +1,134 @@
+//! Worker pools that drive a node's message handlers.
+
+use std::sync::Arc;
+
+use sss_vclock::NodeId;
+
+use crate::mailbox::Mailbox;
+use crate::transport::Envelope;
+
+/// A node's message handler.
+///
+/// Handlers must not block indefinitely: protocol waits (e.g. the visibility
+/// wait of Algorithm 6 line 5 or the pre-commit wait of Algorithm 4) are
+/// implemented as *deferred work* re-evaluated on later state changes, so a
+/// handler invocation always terminates promptly. Bounded waits (the 2PC
+/// lock-acquisition timeout) are allowed.
+pub trait NodeService<M>: Send + Sync + 'static {
+    /// Processes one incoming envelope.
+    fn handle(&self, envelope: Envelope<M>);
+}
+
+impl<M, F> NodeService<M> for F
+where
+    F: Fn(Envelope<M>) + Send + Sync + 'static,
+{
+    fn handle(&self, envelope: Envelope<M>) {
+        self(envelope)
+    }
+}
+
+/// A pool of worker threads draining one node's mailbox.
+///
+/// Dropping the runtime does **not** stop the workers; call
+/// [`NodeRuntime::join`] after closing the mailbox (usually via the
+/// transport's `shutdown`).
+#[derive(Debug)]
+pub struct NodeRuntime {
+    node: NodeId,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl NodeRuntime {
+    /// Spawns `workers` threads that pop envelopes from `mailbox` and feed
+    /// them to `service` until the mailbox is closed and drained.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero or a worker thread cannot be spawned.
+    pub fn spawn<M, S>(
+        node: NodeId,
+        mailbox: Arc<Mailbox<Envelope<M>>>,
+        service: Arc<S>,
+        workers: usize,
+    ) -> Self
+    where
+        M: Send + 'static,
+        S: NodeService<M>,
+    {
+        assert!(workers > 0, "a node needs at least one worker thread");
+        let handles = (0..workers)
+            .map(|w| {
+                let mailbox = Arc::clone(&mailbox);
+                let service = Arc::clone(&service);
+                std::thread::Builder::new()
+                    .name(format!("sss-node-{}-w{}", node.index(), w))
+                    .spawn(move || {
+                        while let Some(envelope) = mailbox.pop() {
+                            service.handle(envelope);
+                        }
+                    })
+                    .expect("failed to spawn node worker")
+            })
+            .collect();
+        NodeRuntime {
+            node,
+            workers: handles,
+        }
+    }
+
+    /// The node this runtime serves.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Number of worker threads.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Waits for every worker to exit. Only returns once the mailbox has
+    /// been closed and fully drained.
+    pub fn join(self) {
+        for handle in self.workers {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mailbox::Priority;
+    use crate::transport::{ChannelTransport, Transport, TransportConfig};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn workers_process_messages_and_exit_on_close() {
+        let transport: ChannelTransport<u64> = ChannelTransport::new(TransportConfig::new(1));
+        let counter = Arc::new(AtomicUsize::new(0));
+        let service = {
+            let counter = Arc::clone(&counter);
+            Arc::new(move |env: Envelope<u64>| {
+                counter.fetch_add(env.payload as usize, Ordering::SeqCst);
+            })
+        };
+        let runtime = NodeRuntime::spawn(NodeId(0), transport.mailbox(NodeId(0)), service, 3);
+        assert_eq!(runtime.worker_count(), 3);
+        assert_eq!(runtime.node(), NodeId(0));
+        for _ in 0..100 {
+            transport.send(NodeId(0), NodeId(0), 2, Priority::Normal).unwrap();
+        }
+        transport.shutdown();
+        runtime.join();
+        assert_eq!(counter.load(Ordering::SeqCst), 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_panics() {
+        let transport: ChannelTransport<u64> = ChannelTransport::new(TransportConfig::new(1));
+        let service = Arc::new(|_env: Envelope<u64>| {});
+        let _ = NodeRuntime::spawn(NodeId(0), transport.mailbox(NodeId(0)), service, 0);
+    }
+}

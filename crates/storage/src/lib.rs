@@ -1,0 +1,37 @@
+//! Node-local storage substrates shared by SSS and its competitors.
+//!
+//! The paper's data organization (§II): "Every node Ni maintains shared
+//! objects (or keys) adhering to the key-value model. Multiple versions are
+//! kept for each key. Each version stores the value and the commit vector
+//! clock of the transaction that produced the version. SSS does not make any
+//! assumption on the data clustering policy; simply every shared key can be
+//! stored in one or more nodes, depending upon the chosen replication
+//! degree."
+//!
+//! This crate provides:
+//!
+//! * [`Key`], [`Value`], [`TxnId`] — the basic vocabulary types,
+//! * [`MvStore`] — the multi-version repository used by SSS and Walter,
+//! * [`SvStore`] — the single-version repository used by the 2PC baseline
+//!   and ROCOCO,
+//! * [`LockTable`] — shared/exclusive locks with bounded (timeout)
+//!   acquisition, as used during the 2PC prepare phase,
+//! * [`ReplicaMap`] — the key→nodes lookup function assumed by the paper
+//!   ("we assume the existence of a local look-up function that matches keys
+//!   with nodes").
+
+mod key;
+mod locks;
+mod mvstore;
+mod replica;
+mod svstore;
+mod txn_id;
+
+pub use key::{Key, Value};
+pub use locks::{LockKind, LockTable, LockTableStats};
+pub use mvstore::{MvStore, Version, VersionChain};
+pub use replica::ReplicaMap;
+pub use svstore::{SvCell, SvStore};
+pub use txn_id::TxnId;
+
+pub use sss_vclock::{NodeId, VectorClock};

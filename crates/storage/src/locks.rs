@@ -1,0 +1,369 @@
+//! Shared/exclusive lock table with bounded acquisition.
+//!
+//! During the 2PC prepare phase "all keys read/written by T and stored by Ni
+//! are locked" (paper §III-B); SSS "uses timeout to prevent deadlock during
+//! the commit phase's lock acquisition" (§III-E). The paper's evaluation sets
+//! the timeout to 1ms on a cluster whose messages take ~20µs.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::key::Key;
+use crate::txn_id::TxnId;
+
+/// The mode of a lock request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LockKind {
+    /// Shared (read) lock: compatible with other shared locks.
+    Shared,
+    /// Exclusive (write) lock: incompatible with everything else.
+    Exclusive,
+}
+
+#[derive(Debug, Default)]
+struct LockEntry {
+    exclusive: Option<TxnId>,
+    shared: HashSet<TxnId>,
+}
+
+impl LockEntry {
+    fn is_free(&self) -> bool {
+        self.exclusive.is_none() && self.shared.is_empty()
+    }
+
+    fn can_grant(&self, txn: TxnId, kind: LockKind) -> bool {
+        match kind {
+            LockKind::Shared => match self.exclusive {
+                // A transaction may read a key it already write-locked.
+                Some(owner) => owner == txn,
+                None => true,
+            },
+            LockKind::Exclusive => {
+                let exclusive_ok = self.exclusive.map(|o| o == txn).unwrap_or(true);
+                let shared_ok = self.shared.is_empty()
+                    || (self.shared.len() == 1 && self.shared.contains(&txn));
+                exclusive_ok && shared_ok
+            }
+        }
+    }
+
+    fn grant(&mut self, txn: TxnId, kind: LockKind) {
+        match kind {
+            LockKind::Shared => {
+                if self.exclusive != Some(txn) {
+                    self.shared.insert(txn);
+                }
+            }
+            LockKind::Exclusive => {
+                self.shared.remove(&txn);
+                self.exclusive = Some(txn);
+            }
+        }
+    }
+
+    fn release(&mut self, txn: TxnId) -> bool {
+        let mut changed = false;
+        if self.exclusive == Some(txn) {
+            self.exclusive = None;
+            changed = true;
+        }
+        changed |= self.shared.remove(&txn);
+        changed
+    }
+}
+
+/// Counters describing lock-table behaviour, used by the evaluation harness
+/// to report contention.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct LockTableStats {
+    /// Successfully granted lock requests.
+    pub granted: u64,
+    /// Requests that gave up after the acquisition timeout.
+    pub timeouts: u64,
+}
+
+/// A per-node lock table with shared/exclusive locks and timeout-bounded
+/// acquisition.
+///
+/// The table is internally synchronized; callers must **not** hold other
+/// node-level locks while blocking on an acquisition (handlers acquire locks
+/// first, then touch protocol state).
+#[derive(Debug, Default)]
+pub struct LockTable {
+    entries: Mutex<HashMap<Key, LockEntry>>,
+    released: Condvar,
+    granted: AtomicU64,
+    timeouts: AtomicU64,
+}
+
+impl LockTable {
+    /// Creates an empty lock table.
+    pub fn new() -> Self {
+        LockTable::default()
+    }
+
+    /// Tries to acquire `kind` on `key` for `txn`, waiting at most `timeout`.
+    ///
+    /// Returns `true` on success. Re-acquiring a lock already held by the
+    /// same transaction (including reading a key it already write-locked)
+    /// always succeeds immediately.
+    pub fn acquire(&self, txn: TxnId, key: &Key, kind: LockKind, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut entries = self.entries.lock();
+        loop {
+            let entry = entries.entry(key.clone()).or_default();
+            if entry.can_grant(txn, kind) {
+                entry.grant(txn, kind);
+                self.granted.fetch_add(1, Ordering::Relaxed);
+                return true;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                self.timeouts.fetch_add(1, Ordering::Relaxed);
+                return false;
+            }
+            if self
+                .released
+                .wait_until(&mut entries, deadline)
+                .timed_out()
+            {
+                // Re-check once more before giving up: a release may have
+                // raced with the timeout.
+                let entry = entries.entry(key.clone()).or_default();
+                if entry.can_grant(txn, kind) {
+                    entry.grant(txn, kind);
+                    self.granted.fetch_add(1, Ordering::Relaxed);
+                    return true;
+                }
+                self.timeouts.fetch_add(1, Ordering::Relaxed);
+                return false;
+            }
+        }
+    }
+
+    /// Acquires a batch of locks, all-or-nothing.
+    ///
+    /// Keys are locked in sorted order to keep the acquisition pattern
+    /// deterministic; on the first failure all locks already granted to
+    /// `txn` by this call chain are released and `false` is returned.
+    pub fn acquire_many<'a>(
+        &self,
+        txn: TxnId,
+        requests: impl IntoIterator<Item = (&'a Key, LockKind)>,
+        timeout: Duration,
+    ) -> bool {
+        let mut sorted: Vec<(&Key, LockKind)> = requests.into_iter().collect();
+        // Exclusive first for identical keys so that a later shared request
+        // on the same key (read-and-written key) is granted reentrantly.
+        sorted.sort_by(|a, b| {
+            a.0.cmp(b.0).then_with(|| match (a.1, b.1) {
+                (LockKind::Exclusive, LockKind::Shared) => std::cmp::Ordering::Less,
+                (LockKind::Shared, LockKind::Exclusive) => std::cmp::Ordering::Greater,
+                _ => std::cmp::Ordering::Equal,
+            })
+        });
+        let deadline = Instant::now() + timeout;
+        for (key, kind) in sorted {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if !self.acquire(txn, key, kind, remaining) {
+                self.release_all(txn);
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Releases every lock held by `txn` on `key`.
+    pub fn release(&self, txn: TxnId, key: &Key) {
+        let mut entries = self.entries.lock();
+        if let Some(entry) = entries.get_mut(key) {
+            if entry.release(txn) {
+                if entry.is_free() {
+                    entries.remove(key);
+                }
+                self.released.notify_all();
+            }
+        }
+    }
+
+    /// Releases every lock held by `txn` on the given keys.
+    pub fn release_keys<'a>(&self, txn: TxnId, keys: impl IntoIterator<Item = &'a Key>) {
+        let mut entries = self.entries.lock();
+        let mut any = false;
+        for key in keys {
+            if let Some(entry) = entries.get_mut(key) {
+                if entry.release(txn) {
+                    any = true;
+                    if entry.is_free() {
+                        entries.remove(key);
+                    }
+                }
+            }
+        }
+        if any {
+            self.released.notify_all();
+        }
+    }
+
+    /// Releases every lock held by `txn` anywhere in the table.
+    pub fn release_all(&self, txn: TxnId) {
+        let mut entries = self.entries.lock();
+        let mut any = false;
+        entries.retain(|_, entry| {
+            if entry.release(txn) {
+                any = true;
+            }
+            !entry.is_free()
+        });
+        if any {
+            self.released.notify_all();
+        }
+    }
+
+    /// `true` if `txn` currently holds a lock of `kind` on `key`.
+    pub fn holds(&self, txn: TxnId, key: &Key, kind: LockKind) -> bool {
+        let entries = self.entries.lock();
+        entries
+            .get(key)
+            .map(|e| match kind {
+                LockKind::Shared => e.shared.contains(&txn) || e.exclusive == Some(txn),
+                LockKind::Exclusive => e.exclusive == Some(txn),
+            })
+            .unwrap_or(false)
+    }
+
+    /// Number of keys with at least one lock held.
+    pub fn locked_keys(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// Counters snapshot.
+    pub fn stats(&self) -> LockTableStats {
+        LockTableStats {
+            granted: self.granted.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sss_vclock::NodeId;
+    use std::sync::Arc;
+
+    const TIMEOUT: Duration = Duration::from_millis(20);
+
+    fn txn(seq: u64) -> TxnId {
+        TxnId::new(NodeId(0), seq)
+    }
+
+    #[test]
+    fn shared_locks_are_compatible() {
+        let table = LockTable::new();
+        let k = Key::new("x");
+        assert!(table.acquire(txn(1), &k, LockKind::Shared, TIMEOUT));
+        assert!(table.acquire(txn(2), &k, LockKind::Shared, TIMEOUT));
+        assert!(table.holds(txn(1), &k, LockKind::Shared));
+        assert!(table.holds(txn(2), &k, LockKind::Shared));
+        assert_eq!(table.stats().granted, 2);
+    }
+
+    #[test]
+    fn exclusive_conflicts_with_shared_until_released() {
+        let table = LockTable::new();
+        let k = Key::new("x");
+        assert!(table.acquire(txn(1), &k, LockKind::Shared, TIMEOUT));
+        assert!(!table.acquire(txn(2), &k, LockKind::Exclusive, Duration::from_millis(2)));
+        assert_eq!(table.stats().timeouts, 1);
+        table.release(txn(1), &k);
+        assert!(table.acquire(txn(2), &k, LockKind::Exclusive, TIMEOUT));
+        assert!(table.holds(txn(2), &k, LockKind::Exclusive));
+    }
+
+    #[test]
+    fn reentrant_shared_on_own_exclusive() {
+        let table = LockTable::new();
+        let k = Key::new("x");
+        assert!(table.acquire(txn(1), &k, LockKind::Exclusive, TIMEOUT));
+        assert!(table.acquire(txn(1), &k, LockKind::Shared, TIMEOUT));
+        assert!(table.holds(txn(1), &k, LockKind::Exclusive));
+        // A single release of the transaction clears both.
+        table.release_all(txn(1));
+        assert!(!table.holds(txn(1), &k, LockKind::Exclusive));
+        assert_eq!(table.locked_keys(), 0);
+    }
+
+    #[test]
+    fn upgrade_succeeds_only_for_sole_reader() {
+        let table = LockTable::new();
+        let k = Key::new("x");
+        assert!(table.acquire(txn(1), &k, LockKind::Shared, TIMEOUT));
+        assert!(table.acquire(txn(1), &k, LockKind::Exclusive, TIMEOUT));
+        table.release_all(txn(1));
+
+        assert!(table.acquire(txn(1), &k, LockKind::Shared, TIMEOUT));
+        assert!(table.acquire(txn(2), &k, LockKind::Shared, TIMEOUT));
+        assert!(!table.acquire(txn(1), &k, LockKind::Exclusive, Duration::from_millis(2)));
+    }
+
+    #[test]
+    fn acquire_many_is_all_or_nothing() {
+        let table = LockTable::new();
+        let a = Key::new("a");
+        let b = Key::new("b");
+        assert!(table.acquire(txn(9), &b, LockKind::Exclusive, TIMEOUT));
+        let ok = table.acquire_many(
+            txn(1),
+            [(&a, LockKind::Exclusive), (&b, LockKind::Shared)],
+            Duration::from_millis(2),
+        );
+        assert!(!ok);
+        // The lock on `a` must have been rolled back.
+        assert!(!table.holds(txn(1), &a, LockKind::Exclusive));
+        assert!(table.acquire(txn(2), &a, LockKind::Exclusive, TIMEOUT));
+    }
+
+    #[test]
+    fn acquire_many_handles_read_write_overlap() {
+        let table = LockTable::new();
+        let a = Key::new("a");
+        let ok = table.acquire_many(
+            txn(1),
+            [(&a, LockKind::Shared), (&a, LockKind::Exclusive)],
+            TIMEOUT,
+        );
+        assert!(ok);
+        assert!(table.holds(txn(1), &a, LockKind::Exclusive));
+    }
+
+    #[test]
+    fn waiting_acquirer_is_woken_by_release() {
+        let table = Arc::new(LockTable::new());
+        let k = Key::new("x");
+        assert!(table.acquire(txn(1), &k, LockKind::Exclusive, TIMEOUT));
+        let t2 = {
+            let table = Arc::clone(&table);
+            let k = k.clone();
+            std::thread::spawn(move || table.acquire(txn(2), &k, LockKind::Exclusive, Duration::from_millis(500)))
+        };
+        std::thread::sleep(Duration::from_millis(10));
+        table.release_all(txn(1));
+        assert!(t2.join().unwrap());
+    }
+
+    #[test]
+    fn release_keys_only_touches_named_keys() {
+        let table = LockTable::new();
+        let a = Key::new("a");
+        let b = Key::new("b");
+        assert!(table.acquire(txn(1), &a, LockKind::Shared, TIMEOUT));
+        assert!(table.acquire(txn(1), &b, LockKind::Exclusive, TIMEOUT));
+        table.release_keys(txn(1), [&a]);
+        assert!(!table.holds(txn(1), &a, LockKind::Shared));
+        assert!(table.holds(txn(1), &b, LockKind::Exclusive));
+    }
+}

@@ -1,0 +1,244 @@
+//! Multi-version key-value repository.
+//!
+//! "Multiple versions are kept for each key. Each version stores the value
+//! and the commit vector clock of the transaction that produced the version"
+//! (paper §II). The version-selection logic of Algorithm 6 walks a key's
+//! chain from the most recent version backwards; [`VersionChain`] exposes
+//! exactly that traversal.
+
+use std::collections::HashMap;
+
+use sss_vclock::VectorClock;
+
+use crate::key::{Key, Value};
+use crate::txn_id::TxnId;
+
+/// One committed version of a key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Version {
+    /// The stored value.
+    pub value: Value,
+    /// Commit vector clock of the transaction that produced this version.
+    pub vc: VectorClock,
+    /// The transaction that produced this version.
+    pub writer: TxnId,
+}
+
+/// The ordered version history of one key, oldest first.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VersionChain {
+    versions: Vec<Version>,
+}
+
+impl VersionChain {
+    /// An empty chain.
+    pub fn new() -> Self {
+        VersionChain {
+            versions: Vec::new(),
+        }
+    }
+
+    /// Appends a freshly committed version (it becomes `last`).
+    pub fn push(&mut self, version: Version) {
+        self.versions.push(version);
+    }
+
+    /// The most recent version (`k.last` in the paper's pseudocode).
+    pub fn last(&self) -> Option<&Version> {
+        self.versions.last()
+    }
+
+    /// Number of stored versions.
+    pub fn len(&self) -> usize {
+        self.versions.len()
+    }
+
+    /// `true` if no version has ever been installed.
+    pub fn is_empty(&self) -> bool {
+        self.versions.is_empty()
+    }
+
+    /// Iterates versions from the most recent to the oldest, mirroring the
+    /// `ver ← ver.prev` walk of Algorithm 6.
+    pub fn iter_newest_first(&self) -> impl Iterator<Item = &Version> {
+        self.versions.iter().rev()
+    }
+
+    /// Iterates versions oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &Version> {
+        self.versions.iter()
+    }
+
+    /// Returns the most recent version that satisfies `accept`, walking
+    /// newest-to-oldest. Returns `None` if no version qualifies.
+    pub fn latest_matching<F>(&self, mut accept: F) -> Option<&Version>
+    where
+        F: FnMut(&Version) -> bool,
+    {
+        self.iter_newest_first().find(|v| accept(v))
+    }
+
+    /// Drops all but the newest `keep` versions. Returns how many versions
+    /// were pruned. Used by garbage collection.
+    pub fn prune_to(&mut self, keep: usize) -> usize {
+        if self.versions.len() <= keep {
+            return 0;
+        }
+        let excess = self.versions.len() - keep;
+        self.versions.drain(0..excess);
+        excess
+    }
+}
+
+/// A node-local multi-version store.
+///
+/// The store itself is not synchronized: every engine embeds it inside the
+/// node state it already protects. This keeps the data structure reusable by
+/// SSS and Walter, whose locking disciplines differ.
+#[derive(Debug, Default)]
+pub struct MvStore {
+    chains: HashMap<Key, VersionChain>,
+    installed_versions: u64,
+}
+
+impl MvStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        MvStore::default()
+    }
+
+    /// Installs a new version of `key` (Algorithm 2, `apply(k, val, vc)`).
+    pub fn apply(&mut self, key: Key, value: Value, vc: VectorClock, writer: TxnId) {
+        self.installed_versions += 1;
+        self.chains
+            .entry(key)
+            .or_default()
+            .push(Version { value, vc, writer });
+    }
+
+    /// The version chain of `key`, if any version was ever installed.
+    pub fn chain(&self, key: &Key) -> Option<&VersionChain> {
+        self.chains.get(key)
+    }
+
+    /// The most recent version of `key` (`k.last`).
+    pub fn last(&self, key: &Key) -> Option<&Version> {
+        self.chains.get(key).and_then(|c| c.last())
+    }
+
+    /// Entry `i` of the most recent version's commit vector clock
+    /// (`k.last.vid[i]`, used by the validation of Algorithm 1 line 29).
+    /// Returns 0 when the key has never been written.
+    pub fn last_vc_entry(&self, key: &Key, i: usize) -> u64 {
+        self.last(key).map(|v| v.vc.get(i)).unwrap_or(0)
+    }
+
+    /// Number of keys with at least one version.
+    pub fn key_count(&self) -> usize {
+        self.chains.len()
+    }
+
+    /// Total number of versions ever installed (monotonic counter).
+    pub fn installed_versions(&self) -> u64 {
+        self.installed_versions
+    }
+
+    /// Total number of versions currently retained.
+    pub fn retained_versions(&self) -> usize {
+        self.chains.values().map(|c| c.len()).sum()
+    }
+
+    /// Prunes every chain to at most `keep` versions; returns the number of
+    /// versions discarded.
+    pub fn prune_all(&mut self, keep: usize) -> usize {
+        self.chains.values_mut().map(|c| c.prune_to(keep)).sum()
+    }
+
+    /// Iterates over all keys currently present.
+    pub fn keys(&self) -> impl Iterator<Item = &Key> {
+        self.chains.keys()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sss_vclock::NodeId;
+
+    fn vc(entries: &[u64]) -> VectorClock {
+        VectorClock::from_entries(entries.to_vec())
+    }
+
+    fn txn(seq: u64) -> TxnId {
+        TxnId::new(NodeId(0), seq)
+    }
+
+    #[test]
+    fn apply_makes_latest_visible() {
+        let mut store = MvStore::new();
+        let k = Key::new("x");
+        store.apply(k.clone(), Value::from("v1"), vc(&[1, 0]), txn(1));
+        store.apply(k.clone(), Value::from("v2"), vc(&[2, 0]), txn(2));
+        assert_eq!(store.last(&k).unwrap().value, Value::from("v2"));
+        assert_eq!(store.last_vc_entry(&k, 0), 2);
+        assert_eq!(store.chain(&k).unwrap().len(), 2);
+        assert_eq!(store.key_count(), 1);
+        assert_eq!(store.installed_versions(), 2);
+    }
+
+    #[test]
+    fn missing_key_has_no_versions() {
+        let store = MvStore::new();
+        let k = Key::new("missing");
+        assert!(store.last(&k).is_none());
+        assert_eq!(store.last_vc_entry(&k, 0), 0);
+        assert!(store.chain(&k).is_none());
+    }
+
+    #[test]
+    fn newest_first_walk_matches_algorithm_6() {
+        let mut chain = VersionChain::new();
+        for i in 1..=3 {
+            chain.push(Version {
+                value: Value::from_u64(i),
+                vc: vc(&[i, 0]),
+                writer: txn(i),
+            });
+        }
+        let seen: Vec<u64> = chain.iter_newest_first().map(|v| v.vc.get(0)).collect();
+        assert_eq!(seen, vec![3, 2, 1]);
+        // Select the newest version whose vc[0] <= 2, as a visibility bound
+        // walk would.
+        let ver = chain.latest_matching(|v| v.vc.get(0) <= 2).unwrap();
+        assert_eq!(ver.vc.get(0), 2);
+        assert!(chain.latest_matching(|v| v.vc.get(0) > 9).is_none());
+    }
+
+    #[test]
+    fn pruning_keeps_the_newest_versions() {
+        let mut store = MvStore::new();
+        let k = Key::new("x");
+        for i in 1..=10 {
+            store.apply(k.clone(), Value::from_u64(i), vc(&[i]), txn(i));
+        }
+        let pruned = store.prune_all(3);
+        assert_eq!(pruned, 7);
+        assert_eq!(store.retained_versions(), 3);
+        let chain = store.chain(&k).unwrap();
+        let newest: Vec<u64> = chain.iter().map(|v| v.value.to_u64().unwrap()).collect();
+        assert_eq!(newest, vec![8, 9, 10]);
+        // Pruning below the retained count is a no-op.
+        let mut chain = chain.clone();
+        assert_eq!(chain.prune_to(5), 0);
+    }
+
+    #[test]
+    fn keys_iterator_lists_written_keys() {
+        let mut store = MvStore::new();
+        store.apply(Key::new("a"), Value::from("1"), vc(&[1]), txn(1));
+        store.apply(Key::new("b"), Value::from("2"), vc(&[2]), txn(2));
+        let mut keys: Vec<String> = store.keys().map(|k| k.to_string()).collect();
+        keys.sort();
+        assert_eq!(keys, vec!["a", "b"]);
+    }
+}

@@ -1,0 +1,171 @@
+//! Key placement: the `replicas(k)` lookup function.
+//!
+//! The paper assumes "the existence of a local look-up function that matches
+//! keys with nodes" and supports "a general (partial) replication scheme
+//! where keys are allowed to be maintained by any node of the system without
+//! predefined partitioning schemes" (§I, §II). We reproduce that with a
+//! deterministic hash-based placement: every node computes the same replica
+//! set for a key without coordination, and any replication degree from 1
+//! (no replication, used for the ROCOCO comparison) to `n` (full
+//! replication) is supported.
+
+use std::hash::{Hash, Hasher};
+
+use sss_vclock::NodeId;
+
+use crate::key::Key;
+
+/// Deterministic key → replica-set mapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicaMap {
+    nodes: usize,
+    degree: usize,
+}
+
+impl ReplicaMap {
+    /// Creates a placement over `nodes` nodes with `degree` replicas per key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero, `degree` is zero, or `degree > nodes`.
+    pub fn new(nodes: usize, degree: usize) -> Self {
+        assert!(nodes > 0, "cluster must have at least one node");
+        assert!(degree > 0, "replication degree must be at least 1");
+        assert!(
+            degree <= nodes,
+            "replication degree ({degree}) cannot exceed the node count ({nodes})"
+        );
+        ReplicaMap { nodes, degree }
+    }
+
+    /// Number of nodes in the cluster.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Replication degree (replicas per key).
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    fn primary_index(&self, key: &Key) -> usize {
+        // std's SipHash with default keys is deterministic for a given
+        // input, which is all we need for a consistent in-process placement.
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.as_str().hash(&mut hasher);
+        (hasher.finish() % self.nodes as u64) as usize
+    }
+
+    /// The primary replica of `key` (first node of its replica set).
+    pub fn primary(&self, key: &Key) -> NodeId {
+        NodeId(self.primary_index(key))
+    }
+
+    /// The full replica set of `key`: `degree` consecutive nodes starting at
+    /// the primary (wrapping around the ring).
+    pub fn replicas(&self, key: &Key) -> Vec<NodeId> {
+        let start = self.primary_index(key);
+        (0..self.degree)
+            .map(|i| NodeId((start + i) % self.nodes))
+            .collect()
+    }
+
+    /// `true` if `node` stores `key`.
+    pub fn is_replica(&self, node: NodeId, key: &Key) -> bool {
+        let start = self.primary_index(key);
+        let offset = (node.index() + self.nodes - start) % self.nodes;
+        offset < self.degree
+    }
+
+    /// Union of the replica sets of `keys`, deduplicated and sorted.
+    pub fn replicas_of_all<'a>(&self, keys: impl IntoIterator<Item = &'a Key>) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = keys
+            .into_iter()
+            .flat_map(|k| self.replicas(k))
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replica_set_has_requested_degree_and_is_deterministic() {
+        let map = ReplicaMap::new(5, 2);
+        for i in 0..100 {
+            let key = Key::new(format!("key{i}"));
+            let a = map.replicas(&key);
+            let b = map.replicas(&key);
+            assert_eq!(a, b);
+            assert_eq!(a.len(), 2);
+            assert_ne!(a[0], a[1]);
+            assert_eq!(a[0], map.primary(&key));
+            for node in &a {
+                assert!(map.is_replica(*node, &key));
+            }
+        }
+    }
+
+    #[test]
+    fn is_replica_rejects_non_members() {
+        let map = ReplicaMap::new(4, 1);
+        let key = Key::new("solo");
+        let replicas = map.replicas(&key);
+        assert_eq!(replicas.len(), 1);
+        for n in 0..4 {
+            assert_eq!(map.is_replica(NodeId(n), &key), replicas.contains(&NodeId(n)));
+        }
+    }
+
+    #[test]
+    fn full_replication_places_keys_everywhere() {
+        let map = ReplicaMap::new(3, 3);
+        let key = Key::new("any");
+        let mut replicas = map.replicas(&key);
+        replicas.sort();
+        assert_eq!(replicas, vec![NodeId(0), NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn union_of_replica_sets_is_sorted_and_deduplicated() {
+        let map = ReplicaMap::new(6, 2);
+        let keys: Vec<Key> = (0..20).map(|i| Key::new(format!("k{i}"))).collect();
+        let union = map.replicas_of_all(keys.iter());
+        let mut sorted = union.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(union, sorted);
+        assert!(union.len() <= 6);
+    }
+
+    #[test]
+    fn keys_spread_across_nodes() {
+        let map = ReplicaMap::new(4, 1);
+        let mut counts = [0usize; 4];
+        for i in 0..1000 {
+            let key = Key::new(format!("key{i}"));
+            counts[map.primary(&key).index()] += 1;
+        }
+        // Hash placement should not starve any node.
+        for c in counts {
+            assert!(c > 100, "placement is badly skewed: {counts:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot exceed")]
+    fn degree_larger_than_cluster_panics() {
+        let _ = ReplicaMap::new(2, 3);
+    }
+
+    #[test]
+    fn accessors() {
+        let map = ReplicaMap::new(7, 3);
+        assert_eq!(map.nodes(), 7);
+        assert_eq!(map.degree(), 3);
+    }
+}

@@ -1,0 +1,104 @@
+//! Single-version key-value repository.
+//!
+//! The 2PC-baseline competitor deploys "no multi-version data repository"
+//! (paper §V): every key holds exactly one value plus a monotonically
+//! increasing version counter used for commit-time validation. ROCOCO's
+//! simplified store reuses the same cell.
+
+use std::collections::HashMap;
+
+use crate::key::{Key, Value};
+use crate::txn_id::TxnId;
+
+/// The single stored version of a key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SvCell {
+    /// Current value.
+    pub value: Value,
+    /// Version counter, incremented on every overwrite. Starts at 1 for the
+    /// first write; a read of a never-written key observes version 0.
+    pub version: u64,
+    /// Transaction that produced the current value.
+    pub writer: TxnId,
+}
+
+/// A node-local single-version store.
+#[derive(Debug, Default)]
+pub struct SvStore {
+    cells: HashMap<Key, SvCell>,
+    writes: u64,
+}
+
+impl SvStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        SvStore::default()
+    }
+
+    /// Reads the current cell of `key`, if it was ever written.
+    pub fn read(&self, key: &Key) -> Option<&SvCell> {
+        self.cells.get(key)
+    }
+
+    /// Current version counter of `key` (0 if never written).
+    pub fn version(&self, key: &Key) -> u64 {
+        self.cells.get(key).map(|c| c.version).unwrap_or(0)
+    }
+
+    /// Overwrites `key` with `value`, bumping its version counter, and
+    /// returns the new version number.
+    pub fn write(&mut self, key: Key, value: Value, writer: TxnId) -> u64 {
+        self.writes += 1;
+        let cell = self.cells.entry(key).or_insert(SvCell {
+            value: Value::empty(),
+            version: 0,
+            writer,
+        });
+        cell.value = value;
+        cell.version += 1;
+        cell.writer = writer;
+        cell.version
+    }
+
+    /// Number of keys ever written.
+    pub fn key_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Total number of writes applied.
+    pub fn write_count(&self) -> u64 {
+        self.writes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sss_vclock::NodeId;
+
+    fn txn(seq: u64) -> TxnId {
+        TxnId::new(NodeId(0), seq)
+    }
+
+    #[test]
+    fn versions_increase_monotonically() {
+        let mut store = SvStore::new();
+        let k = Key::new("x");
+        assert_eq!(store.version(&k), 0);
+        assert_eq!(store.write(k.clone(), Value::from("a"), txn(1)), 1);
+        assert_eq!(store.write(k.clone(), Value::from("b"), txn(2)), 2);
+        let cell = store.read(&k).unwrap();
+        assert_eq!(cell.value, Value::from("b"));
+        assert_eq!(cell.version, 2);
+        assert_eq!(cell.writer, txn(2));
+        assert_eq!(store.write_count(), 2);
+        assert_eq!(store.key_count(), 1);
+    }
+
+    #[test]
+    fn reading_a_missing_key() {
+        let store = SvStore::new();
+        assert!(store.read(&Key::new("nope")).is_none());
+        assert_eq!(store.version(&Key::new("nope")), 0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests of the vector-clock laws the SSS proofs rely on
+//! (paper §IV uses the entry-wise partial order `v1 <= v2`).
+
+use proptest::prelude::*;
+use sss_vclock::{VcOrdering, VectorClock};
+
+const WIDTH: usize = 6;
+
+fn clock() -> impl Strategy<Value = VectorClock> {
+    prop::collection::vec(0u64..50, WIDTH).prop_map(VectorClock::from_entries)
+}
+
+proptest! {
+    #[test]
+    fn merge_is_commutative(a in clock(), b in clock()) {
+        prop_assert_eq!(a.merged(&b), b.merged(&a));
+    }
+
+    #[test]
+    fn merge_is_associative(a in clock(), b in clock(), c in clock()) {
+        prop_assert_eq!(a.merged(&b).merged(&c), a.merged(&b.merged(&c)));
+    }
+
+    #[test]
+    fn merge_is_idempotent_and_dominating(a in clock(), b in clock()) {
+        let merged = a.merged(&b);
+        prop_assert_eq!(merged.merged(&a), merged.clone());
+        prop_assert!(merged.dominates(&a));
+        prop_assert!(merged.dominates(&b));
+    }
+
+    #[test]
+    fn merge_is_the_least_upper_bound(a in clock(), b in clock(), c in clock()) {
+        // Any clock dominating both inputs also dominates their merge.
+        if c.dominates(&a) && c.dominates(&b) {
+            prop_assert!(c.dominates(&a.merged(&b)));
+        }
+    }
+
+    #[test]
+    fn partial_order_is_antisymmetric(a in clock(), b in clock()) {
+        if a.le(&b) && b.le(&a) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn partial_order_is_transitive(a in clock(), b in clock(), c in clock()) {
+        if a.le(&b) && b.le(&c) {
+            prop_assert!(a.le(&c));
+        }
+    }
+
+    #[test]
+    fn comparison_is_consistent_with_le(a in clock(), b in clock()) {
+        match a.partial_cmp_vc(&b) {
+            VcOrdering::Equal => prop_assert_eq!(a, b),
+            VcOrdering::Before => {
+                prop_assert!(a.lt(&b));
+                prop_assert!(!b.lt(&a));
+            }
+            VcOrdering::After => {
+                prop_assert!(b.lt(&a));
+                prop_assert!(!a.lt(&b));
+            }
+            VcOrdering::Concurrent => {
+                prop_assert!(!a.le(&b));
+                prop_assert!(!b.le(&a));
+                prop_assert!(a.concurrent_with(&b));
+            }
+        }
+    }
+
+    #[test]
+    fn increment_strictly_advances(mut a in clock(), idx in 0usize..WIDTH) {
+        let before = a.clone();
+        a.increment(idx);
+        prop_assert!(before.lt(&a));
+        prop_assert_eq!(a.get(idx), before.get(idx) + 1);
+    }
+
+    #[test]
+    fn xact_vn_assignment_equalizes_write_replicas(
+        mut vc in clock(),
+        indices in prop::collection::btree_set(0usize..WIDTH, 1..WIDTH),
+    ) {
+        // Mirrors Algorithm 1 lines 21-24.
+        let indices: Vec<usize> = indices.into_iter().collect();
+        let xact_vn = vc.max_over(indices.iter().copied());
+        let before = vc.clone();
+        vc.assign_over(indices.iter().copied(), xact_vn);
+        for i in 0..WIDTH {
+            if indices.contains(&i) {
+                prop_assert_eq!(vc.get(i), xact_vn);
+            } else {
+                prop_assert_eq!(vc.get(i), before.get(i));
+            }
+        }
+        prop_assert!(vc.dominates(&before));
+    }
+}

@@ -1,0 +1,252 @@
+//! Closed-loop benchmark driver.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use sss_vclock::NodeId;
+
+use crate::engine::{TransactionEngine, TxnOutcome};
+use crate::generator::{TxnTemplate, WorkloadGenerator};
+use crate::report::{LatencySummary, WorkloadReport};
+use crate::spec::WorkloadSpec;
+
+/// Raw measurements of one client thread.
+#[derive(Debug, Default)]
+struct ClientTally {
+    committed: u64,
+    committed_read_only: u64,
+    aborted: u64,
+    latencies: Vec<Duration>,
+    update_latencies: Vec<Duration>,
+    internal_latencies: Vec<Duration>,
+}
+
+/// Runs one trial of `spec` against `engine` and collects a report.
+///
+/// The driver spawns `spec.clients_per_node` threads per node; every client
+/// runs a closed loop ("a client issues a new request only when the previous
+/// one has returned", paper §V): generate a transaction, execute it, record
+/// the outcome, repeat until the trial duration elapses. Aborted update
+/// transactions are counted and the client simply moves on to the next
+/// generated transaction, matching the benchmark behaviour used in the
+/// paper's abort-rate reporting.
+pub fn run_workload<E: TransactionEngine>(engine: &E, spec: &WorkloadSpec) -> WorkloadReport {
+    assert_eq!(
+        engine.nodes(),
+        spec.nodes,
+        "workload spec and engine disagree on the node count"
+    );
+    let stop = Arc::new(AtomicBool::new(false));
+    let start = Instant::now();
+
+    let tallies: Vec<ClientTally> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for node in 0..spec.nodes {
+            for client in 0..spec.clients_per_node {
+                let stop = Arc::clone(&stop);
+                let spec_ref = spec;
+                let engine_ref = engine;
+                handles.push(scope.spawn(move || {
+                    let mut generator =
+                        WorkloadGenerator::new(spec_ref, NodeId(node), client);
+                    let mut session = engine_ref.session(node);
+                    let mut tally = ClientTally::default();
+                    while !stop.load(Ordering::Relaxed) {
+                        let template = generator.next_txn();
+                        let outcome = match &template {
+                            TxnTemplate::ReadOnly { keys } => session.run_read_only(keys),
+                            TxnTemplate::Update { keys, values } => {
+                                let writes: Vec<_> = keys
+                                    .iter()
+                                    .cloned()
+                                    .zip(values.iter().cloned())
+                                    .collect();
+                                session.run_update(keys, &writes)
+                            }
+                        };
+                        match outcome {
+                            TxnOutcome::Committed {
+                                latency,
+                                internal_latency,
+                            } => {
+                                tally.committed += 1;
+                                tally.latencies.push(latency);
+                                if template.is_read_only() {
+                                    tally.committed_read_only += 1;
+                                } else {
+                                    tally.update_latencies.push(latency);
+                                    tally.internal_latencies.push(internal_latency);
+                                }
+                            }
+                            TxnOutcome::Aborted => tally.aborted += 1,
+                        }
+                    }
+                    tally
+                }));
+            }
+        }
+
+        // Timer thread: flip the stop flag when the trial window closes.
+        let stop_timer = Arc::clone(&stop);
+        let duration = spec.duration;
+        scope.spawn(move || {
+            std::thread::sleep(duration);
+            stop_timer.store(true, Ordering::Relaxed);
+        });
+
+        handles.into_iter().map(|h| h.join().expect("client thread panicked")).collect()
+    });
+
+    let elapsed = start.elapsed();
+    let mut committed = 0;
+    let mut committed_read_only = 0;
+    let mut aborted = 0;
+    let mut latencies = Vec::new();
+    let mut update_latencies = Vec::new();
+    let mut internal_latencies = Vec::new();
+    for tally in tallies {
+        committed += tally.committed;
+        committed_read_only += tally.committed_read_only;
+        aborted += tally.aborted;
+        latencies.extend(tally.latencies);
+        update_latencies.extend(tally.update_latencies);
+        internal_latencies.extend(tally.internal_latencies);
+    }
+
+    WorkloadReport {
+        engine: engine.name().to_string(),
+        committed,
+        committed_read_only,
+        aborted,
+        elapsed,
+        latency: LatencySummary::from_samples(latencies),
+        update_latency: LatencySummary::from_samples(update_latencies),
+        internal_latency: LatencySummary::from_samples(internal_latencies),
+    }
+}
+
+/// Runs `spec.trials` trials and returns the averaged report (the paper
+/// reports the average of 5 trials per data point).
+pub fn run_trials<E: TransactionEngine>(engine: &E, spec: &WorkloadSpec) -> WorkloadReport {
+    let trials = spec.trials.max(1);
+    let reports: Vec<WorkloadReport> = (0..trials)
+        .map(|trial| {
+            let mut trial_spec = spec.clone();
+            trial_spec.seed = spec.seed.wrapping_add(trial as u64);
+            run_workload(engine, &trial_spec)
+        })
+        .collect();
+    WorkloadReport::average(&reports)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineSession;
+    use parking_lot::Mutex;
+    use sss_storage::{Key, Value};
+    use std::collections::HashMap;
+
+    /// A trivially serializable single-node in-memory engine used to test
+    /// the driver itself.
+    struct ToyEngine {
+        nodes: usize,
+        data: Arc<Mutex<HashMap<Key, Value>>>,
+    }
+
+    struct ToySession {
+        data: Arc<Mutex<HashMap<Key, Value>>>,
+    }
+
+    impl EngineSession for ToySession {
+        fn run_update(&mut self, read_keys: &[Key], writes: &[(Key, Value)]) -> TxnOutcome {
+            let start = Instant::now();
+            let mut data = self.data.lock();
+            for k in read_keys {
+                let _ = data.get(k);
+            }
+            for (k, v) in writes {
+                data.insert(k.clone(), v.clone());
+            }
+            TxnOutcome::Committed {
+                latency: start.elapsed(),
+                internal_latency: start.elapsed(),
+            }
+        }
+
+        fn run_read_only(&mut self, read_keys: &[Key]) -> TxnOutcome {
+            let start = Instant::now();
+            let data = self.data.lock();
+            for k in read_keys {
+                let _ = data.get(k);
+            }
+            TxnOutcome::Committed {
+                latency: start.elapsed(),
+                internal_latency: start.elapsed(),
+            }
+        }
+    }
+
+    impl TransactionEngine for ToyEngine {
+        fn name(&self) -> &str {
+            "toy"
+        }
+
+        fn nodes(&self) -> usize {
+            self.nodes
+        }
+
+        fn session(&self, _node: usize) -> Box<dyn EngineSession> {
+            Box::new(ToySession {
+                data: Arc::clone(&self.data),
+            })
+        }
+    }
+
+    #[test]
+    fn driver_collects_throughput_and_latency() {
+        let engine = ToyEngine {
+            nodes: 2,
+            data: Arc::new(Mutex::new(HashMap::new())),
+        };
+        let spec = WorkloadSpec::new(2)
+            .clients_per_node(2)
+            .total_keys(20)
+            .read_only_percent(50)
+            .duration(Duration::from_millis(30));
+        let report = run_workload(&engine, &spec);
+        assert_eq!(report.engine, "toy");
+        assert!(report.committed > 0);
+        assert_eq!(report.aborted, 0);
+        assert!(report.throughput() > 0.0);
+        assert!(report.latency.max >= report.latency.p50);
+        assert!(report.committed_read_only <= report.committed);
+    }
+
+    #[test]
+    fn trials_are_averaged() {
+        let engine = ToyEngine {
+            nodes: 1,
+            data: Arc::new(Mutex::new(HashMap::new())),
+        };
+        let spec = WorkloadSpec::new(1)
+            .clients_per_node(1)
+            .total_keys(10)
+            .duration(Duration::from_millis(10))
+            .trials(2);
+        let report = run_trials(&engine, &spec);
+        assert!(report.committed > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "node count")]
+    fn node_count_mismatch_is_rejected() {
+        let engine = ToyEngine {
+            nodes: 1,
+            data: Arc::new(Mutex::new(HashMap::new())),
+        };
+        let spec = WorkloadSpec::new(3);
+        let _ = run_workload(&engine, &spec);
+    }
+}

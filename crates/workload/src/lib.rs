@@ -1,0 +1,34 @@
+//! YCSB-style workload generation and closed-loop benchmark driving.
+//!
+//! The paper's evaluation (§V) uses YCSB ported to a key-value store with
+//! two transaction profiles: *update* transactions that read and write two
+//! keys, and *read-only* transactions that read two or more keys. Clients
+//! are colocated with processing nodes, issue transactions in a closed loop
+//! (a client only issues a new request when the previous one returned), keys
+//! are chosen uniformly at random (optionally with a local-access bias), and
+//! every reported number is the average of several trials.
+//!
+//! This crate reproduces that methodology in an engine-agnostic way:
+//!
+//! * [`WorkloadSpec`] describes the mix (read-only percentage, transaction
+//!   sizes, key count, locality, clients per node, duration),
+//! * [`WorkloadGenerator`] produces the per-client operation stream,
+//! * [`TransactionEngine`] / [`EngineSession`] is the minimal trait surface
+//!   an engine (SSS, 2PC-baseline, Walter, ROCOCO) must expose,
+//! * [`run_workload`] drives the closed loop and collects a
+//!   [`WorkloadReport`] (throughput, abort rate, latency percentiles, and
+//!   the internal/external commit latency split used by Figure 5).
+
+mod driver;
+mod engine;
+mod generator;
+mod report;
+mod spec;
+
+pub use driver::{run_trials, run_workload};
+pub use engine::{EngineSession, TransactionEngine, TxnOutcome};
+pub use generator::{TxnTemplate, WorkloadGenerator};
+pub use report::{LatencySummary, WorkloadReport};
+pub use spec::{KeySelection, WorkloadSpec};
+
+pub use sss_storage::{Key, Value};

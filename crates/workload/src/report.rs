@@ -1,0 +1,204 @@
+//! Benchmark result aggregation.
+
+use std::time::Duration;
+
+/// Latency percentiles of committed transactions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LatencySummary {
+    /// Average latency.
+    pub mean: Duration,
+    /// Median latency.
+    pub p50: Duration,
+    /// 99th percentile latency.
+    pub p99: Duration,
+    /// Maximum observed latency.
+    pub max: Duration,
+}
+
+impl LatencySummary {
+    /// Computes a summary from raw samples. Returns the zero summary for an
+    /// empty sample set.
+    pub fn from_samples(mut samples: Vec<Duration>) -> Self {
+        if samples.is_empty() {
+            return LatencySummary::default();
+        }
+        samples.sort();
+        let total: Duration = samples.iter().sum();
+        let pick = |q: f64| {
+            let idx = ((samples.len() as f64 - 1.0) * q).floor() as usize;
+            samples[idx.min(samples.len() - 1)]
+        };
+        LatencySummary {
+            mean: total / samples.len() as u32,
+            p50: pick(0.50),
+            p99: pick(0.99),
+            max: *samples.last().expect("non-empty"),
+        }
+    }
+}
+
+/// Aggregated results of one workload run (or the average of several trials).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct WorkloadReport {
+    /// Engine name.
+    pub engine: String,
+    /// Committed transactions.
+    pub committed: u64,
+    /// Committed read-only transactions (subset of `committed`).
+    pub committed_read_only: u64,
+    /// Aborted transaction attempts.
+    pub aborted: u64,
+    /// Wall-clock duration of the measured window.
+    pub elapsed: Duration,
+    /// Latency of committed transactions (begin to client-visible return).
+    pub latency: LatencySummary,
+    /// Latency of committed *update* transactions only.
+    pub update_latency: LatencySummary,
+    /// Internal-commit latency of committed update transactions (for SSS the
+    /// part before the snapshot-queue wait; equal to `update_latency` for
+    /// the other engines).
+    pub internal_latency: LatencySummary,
+}
+
+impl WorkloadReport {
+    /// Committed transactions per second.
+    pub fn throughput(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            0.0
+        } else {
+            self.committed as f64 / self.elapsed.as_secs_f64()
+        }
+    }
+
+    /// Committed transactions per second, in thousands (the unit of every
+    /// throughput figure in the paper).
+    pub fn throughput_ktps(&self) -> f64 {
+        self.throughput() / 1_000.0
+    }
+
+    /// Abort rate over all attempts (0.0 - 1.0).
+    pub fn abort_rate(&self) -> f64 {
+        let attempts = self.committed + self.aborted;
+        if attempts == 0 {
+            0.0
+        } else {
+            self.aborted as f64 / attempts as f64
+        }
+    }
+
+    /// Average time committed update transactions spent between internal and
+    /// external commit (the snapshot-queue wait of Figure 5). Zero for
+    /// engines without the distinction.
+    pub fn mean_pre_commit_wait(&self) -> Duration {
+        self.update_latency.mean.saturating_sub(self.internal_latency.mean)
+    }
+
+    /// Averages several per-trial reports into one (the paper reports the
+    /// average of 5 trials).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reports` is empty.
+    pub fn average(reports: &[WorkloadReport]) -> WorkloadReport {
+        assert!(!reports.is_empty(), "cannot average zero reports");
+        let n = reports.len() as u64;
+        let avg_duration = |f: &dyn Fn(&WorkloadReport) -> Duration| {
+            reports.iter().map(f).sum::<Duration>() / n as u32
+        };
+        WorkloadReport {
+            engine: reports[0].engine.clone(),
+            committed: reports.iter().map(|r| r.committed).sum::<u64>() / n,
+            committed_read_only: reports.iter().map(|r| r.committed_read_only).sum::<u64>() / n,
+            aborted: reports.iter().map(|r| r.aborted).sum::<u64>() / n,
+            elapsed: avg_duration(&|r| r.elapsed),
+            latency: LatencySummary {
+                mean: avg_duration(&|r| r.latency.mean),
+                p50: avg_duration(&|r| r.latency.p50),
+                p99: avg_duration(&|r| r.latency.p99),
+                max: avg_duration(&|r| r.latency.max),
+            },
+            update_latency: LatencySummary {
+                mean: avg_duration(&|r| r.update_latency.mean),
+                p50: avg_duration(&|r| r.update_latency.p50),
+                p99: avg_duration(&|r| r.update_latency.p99),
+                max: avg_duration(&|r| r.update_latency.max),
+            },
+            internal_latency: LatencySummary {
+                mean: avg_duration(&|r| r.internal_latency.mean),
+                p50: avg_duration(&|r| r.internal_latency.p50),
+                p99: avg_duration(&|r| r.internal_latency.p99),
+                max: avg_duration(&|r| r.internal_latency.max),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_summary_percentiles() {
+        let samples: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
+        let summary = LatencySummary::from_samples(samples);
+        assert_eq!(summary.p50, Duration::from_millis(50));
+        assert_eq!(summary.p99, Duration::from_millis(99));
+        assert_eq!(summary.max, Duration::from_millis(100));
+        assert!(summary.mean > Duration::from_millis(49) && summary.mean < Duration::from_millis(52));
+        assert_eq!(LatencySummary::from_samples(Vec::new()), LatencySummary::default());
+    }
+
+    #[test]
+    fn throughput_and_abort_rate() {
+        let report = WorkloadReport {
+            engine: "SSS".into(),
+            committed: 10_000,
+            committed_read_only: 5_000,
+            aborted: 1_000,
+            elapsed: Duration::from_secs(2),
+            ..Default::default()
+        };
+        assert!((report.throughput() - 5_000.0).abs() < 1e-9);
+        assert!((report.throughput_ktps() - 5.0).abs() < 1e-9);
+        assert!((report.abort_rate() - 1_000.0 / 11_000.0).abs() < 1e-9);
+        assert_eq!(WorkloadReport::default().throughput(), 0.0);
+        assert_eq!(WorkloadReport::default().abort_rate(), 0.0);
+    }
+
+    #[test]
+    fn averaging_trials() {
+        let mk = |committed: u64| WorkloadReport {
+            engine: "X".into(),
+            committed,
+            aborted: 10,
+            elapsed: Duration::from_secs(1),
+            ..Default::default()
+        };
+        let avg = WorkloadReport::average(&[mk(100), mk(300)]);
+        assert_eq!(avg.committed, 200);
+        assert_eq!(avg.aborted, 10);
+        assert_eq!(avg.engine, "X");
+    }
+
+    #[test]
+    fn pre_commit_wait_derivation() {
+        let report = WorkloadReport {
+            update_latency: LatencySummary {
+                mean: Duration::from_millis(10),
+                ..Default::default()
+            },
+            internal_latency: LatencySummary {
+                mean: Duration::from_millis(7),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        assert_eq!(report.mean_pre_commit_wait(), Duration::from_millis(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero reports")]
+    fn averaging_nothing_panics() {
+        let _ = WorkloadReport::average(&[]);
+    }
+}

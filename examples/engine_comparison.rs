@@ -1,0 +1,184 @@
+//! Runs the same small YCSB-style workload against SSS and the three
+//! competitor engines from the paper's evaluation (2PC-baseline, Walter,
+//! ROCOCO) and prints a side-by-side summary — a miniature version of the
+//! paper's Figure 3 / Figure 6 experiments.
+//!
+//! Run with: `cargo run --release --example engine_comparison`
+
+use std::time::Duration;
+
+use sss::workload::{KeySelection, WorkloadSpec};
+use sss_bench_shim::run_comparison;
+
+// The bench harness lives in the `sss-bench` crate, which is not a
+// dependency of the facade crate (it depends on the facade's components the
+// other way around). To keep this example self-contained it re-implements
+// the tiny comparison loop directly on the engine crates.
+mod sss_bench_shim {
+    use super::*;
+    use sss::baselines::rococo::{RococoCluster, RococoConfig, RococoReadOutcome};
+    use sss::baselines::twopc::{TwoPcCluster, TwoPcConfig, TwoPcOutcome};
+    use sss::baselines::walter::{WalterCluster, WalterConfig, WalterOutcome};
+    use sss::core::{SssCluster, SssConfig};
+    use sss::storage::{Key, Value};
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    /// Outcome counters for one engine run.
+    pub struct Summary {
+        pub name: &'static str,
+        pub committed: u64,
+        pub aborted: u64,
+        pub elapsed: Duration,
+    }
+
+    impl Summary {
+        pub fn throughput(&self) -> f64 {
+            self.committed as f64 / self.elapsed.as_secs_f64()
+        }
+    }
+
+    fn drive<F>(name: &'static str, spec: &WorkloadSpec, run_one: F) -> Summary
+    where
+        F: Fn(usize, &[Key], &[(Key, Value)], bool) -> bool + Sync,
+    {
+        let committed = AtomicU64::new(0);
+        let aborted = AtomicU64::new(0);
+        let stop = AtomicBool::new(false);
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            for node in 0..spec.nodes {
+                for client in 0..spec.clients_per_node {
+                    let committed = &committed;
+                    let aborted = &aborted;
+                    let stop = &stop;
+                    let run_one = &run_one;
+                    scope.spawn(move || {
+                        let mut generator =
+                            sss::workload::WorkloadGenerator::new(spec, node.into(), client);
+                        while !stop.load(Ordering::Relaxed) {
+                            let template = generator.next_txn();
+                            let (keys, writes, read_only) = match &template {
+                                sss::workload::TxnTemplate::ReadOnly { keys } => {
+                                    (keys.clone(), Vec::new(), true)
+                                }
+                                sss::workload::TxnTemplate::Update { keys, values } => (
+                                    keys.clone(),
+                                    keys.iter().cloned().zip(values.iter().cloned()).collect(),
+                                    false,
+                                ),
+                            };
+                            if run_one(node, &keys, &writes, read_only) {
+                                committed.fetch_add(1, Ordering::Relaxed);
+                            } else {
+                                aborted.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    });
+                }
+            }
+            let stop = &stop;
+            scope.spawn(move || {
+                std::thread::sleep(spec.duration);
+                stop.store(true, Ordering::Relaxed);
+            });
+        });
+        Summary {
+            name,
+            committed: committed.load(Ordering::Relaxed),
+            aborted: aborted.load(Ordering::Relaxed),
+            elapsed: start.elapsed(),
+        }
+    }
+
+    /// Runs the comparison and returns one summary per engine.
+    pub fn run_comparison(spec: &WorkloadSpec) -> Vec<Summary> {
+        let mut results = Vec::new();
+
+        let sss = SssCluster::start(SssConfig::new(spec.nodes).replication(2))
+            .expect("failed to start SSS");
+        results.push(drive("SSS", spec, |node, keys, writes, read_only| {
+            let session = sss.session(node);
+            if read_only {
+                let mut txn = session.begin_read_only();
+                for k in keys {
+                    if txn.read(k.clone()).is_err() {
+                        return false;
+                    }
+                }
+                txn.commit().is_ok()
+            } else {
+                let mut txn = session.begin_update();
+                for k in keys {
+                    if txn.read(k.clone()).is_err() {
+                        return false;
+                    }
+                }
+                for (k, v) in writes {
+                    txn.write(k.clone(), v.clone());
+                }
+                txn.commit().is_ok()
+            }
+        }));
+        sss.shutdown();
+
+        let twopc = Arc::new(TwoPcCluster::start(TwoPcConfig::new(spec.nodes).replication(2)));
+        results.push(drive("2PC", spec, |node, keys, writes, _read_only| {
+            matches!(
+                twopc.session(node).execute(keys, writes).0,
+                TwoPcOutcome::Committed
+            )
+        }));
+        twopc.shutdown();
+
+        let walter = Arc::new(WalterCluster::start(WalterConfig::new(spec.nodes).replication(2)));
+        results.push(drive("Walter", spec, |node, keys, writes, read_only| {
+            let session = walter.session(node);
+            if read_only {
+                session.read_only(keys).is_some()
+            } else {
+                matches!(session.update(keys, writes).0, WalterOutcome::Committed)
+            }
+        }));
+        walter.shutdown();
+
+        let rococo = Arc::new(RococoCluster::start(RococoConfig::new(spec.nodes)));
+        results.push(drive("ROCOCO", spec, |node, keys, writes, read_only| {
+            let session = rococo.session(node);
+            if read_only {
+                matches!(session.read_only(keys).0, RococoReadOutcome::Committed)
+            } else {
+                session.update(writes)
+            }
+        }));
+        rococo.shutdown();
+
+        results
+    }
+}
+
+fn main() {
+    let spec = WorkloadSpec::new(4)
+        .clients_per_node(4)
+        .total_keys(1_024)
+        .read_only_percent(80)
+        .key_selection(KeySelection::Uniform)
+        .duration(Duration::from_millis(400));
+
+    println!(
+        "workload: {} nodes, {} clients/node, {} keys, {}% read-only\n",
+        spec.nodes, spec.clients_per_node, spec.total_keys, spec.read_only_percent
+    );
+    println!("{:<8} {:>12} {:>10} {:>12}", "engine", "commits/s", "aborts", "committed");
+    for summary in run_comparison(&spec) {
+        println!(
+            "{:<8} {:>12.0} {:>10} {:>12}",
+            summary.name,
+            summary.throughput(),
+            summary.aborted,
+            summary.committed
+        );
+    }
+    println!("\nFor the full evaluation sweeps run: cargo run -p sss-bench --release --bin all_figures");
+}
