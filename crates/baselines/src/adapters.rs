@@ -1,0 +1,262 @@
+//! Engine adapters for the three competitors: whole-transaction execution
+//! in the shape the workspace's engine layer (`sss-engine`) binds onto its
+//! `TransactionEngine` / `EngineSession` traits.
+//!
+//! The adapters live here — with the engines they adapt — so that the
+//! engine layer can stay a thin binding-and-registry crate. Commit timings
+//! are reported as `Option<(latency, internal_latency)>`: none of the
+//! baselines delays its client response past commit, so the two durations
+//! are always equal; `None` means the transaction aborted.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use sss_storage::{Key, Value};
+
+use crate::rococo::{RococoCluster, RococoConfig, RococoReadOutcome};
+use crate::twopc::{TwoPcCluster, TwoPcConfig, TwoPcOutcome};
+use crate::walter::{WalterCluster, WalterConfig, WalterOutcome};
+
+fn committed(start: Instant) -> Option<(Duration, Duration)> {
+    let latency = start.elapsed();
+    Some((latency, latency))
+}
+
+// ---------------------------------------------------------------------------
+// 2PC-baseline
+// ---------------------------------------------------------------------------
+
+/// The 2PC-baseline engine, ready to be driven one transaction at a time.
+#[derive(Debug)]
+pub struct TwoPcEngine {
+    cluster: Arc<TwoPcCluster>,
+}
+
+impl TwoPcEngine {
+    /// Starts a 2PC-baseline cluster of `nodes` nodes with `replication`
+    /// replicas per key.
+    pub fn start(nodes: usize, replication: usize) -> Self {
+        TwoPcEngine {
+            cluster: Arc::new(TwoPcCluster::start(
+                TwoPcConfig::new(nodes).replication(replication),
+            )),
+        }
+    }
+
+    /// The underlying cluster (e.g. for commit/abort counters).
+    pub fn cluster(&self) -> &TwoPcCluster {
+        &self.cluster
+    }
+
+    /// Number of nodes the engine runs.
+    pub fn node_count(&self) -> usize {
+        self.cluster.node_count()
+    }
+
+    /// Opens an adapter session colocated with `node`.
+    pub fn open_session(&self, node: usize) -> TwoPcEngineSession {
+        TwoPcEngineSession {
+            cluster: Arc::clone(&self.cluster),
+            node,
+        }
+    }
+}
+
+/// A per-client adapter session on the 2PC-baseline.
+pub struct TwoPcEngineSession {
+    cluster: Arc<TwoPcCluster>,
+    node: usize,
+}
+
+impl TwoPcEngineSession {
+    /// Runs one update transaction; `Some((latency, latency))` on commit.
+    pub fn run_update(
+        &mut self,
+        read_keys: &[Key],
+        writes: &[(Key, Value)],
+    ) -> Option<(Duration, Duration)> {
+        let start = Instant::now();
+        match self.cluster.session(self.node).execute(read_keys, writes).0 {
+            TwoPcOutcome::Committed => committed(start),
+            TwoPcOutcome::Aborted => None,
+        }
+    }
+
+    /// Runs one read-only transaction. In the 2PC-baseline read-only
+    /// transactions validate like updates and therefore may abort.
+    pub fn run_read_only(&mut self, read_keys: &[Key]) -> Option<(Duration, Duration)> {
+        self.run_update(read_keys, &[])
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Walter (PSI)
+// ---------------------------------------------------------------------------
+
+/// The Walter-style PSI engine, ready to be driven one transaction at a
+/// time.
+#[derive(Debug)]
+pub struct WalterEngine {
+    cluster: Arc<WalterCluster>,
+}
+
+impl WalterEngine {
+    /// Starts a Walter cluster of `nodes` nodes with `replication` replicas
+    /// per key.
+    pub fn start(nodes: usize, replication: usize) -> Self {
+        WalterEngine {
+            cluster: Arc::new(WalterCluster::start(
+                WalterConfig::new(nodes).replication(replication),
+            )),
+        }
+    }
+
+    /// The underlying cluster.
+    pub fn cluster(&self) -> &WalterCluster {
+        &self.cluster
+    }
+
+    /// Number of nodes the engine runs.
+    pub fn node_count(&self) -> usize {
+        self.cluster.node_count()
+    }
+
+    /// Opens an adapter session colocated with `node`.
+    pub fn open_session(&self, node: usize) -> WalterEngineSession {
+        WalterEngineSession {
+            cluster: Arc::clone(&self.cluster),
+            node,
+        }
+    }
+}
+
+/// A per-client adapter session on the Walter engine.
+pub struct WalterEngineSession {
+    cluster: Arc<WalterCluster>,
+    node: usize,
+}
+
+impl WalterEngineSession {
+    /// Runs one update transaction; `Some((latency, latency))` on commit.
+    pub fn run_update(
+        &mut self,
+        read_keys: &[Key],
+        writes: &[(Key, Value)],
+    ) -> Option<(Duration, Duration)> {
+        let start = Instant::now();
+        match self.cluster.session(self.node).update(read_keys, writes).0 {
+            WalterOutcome::Committed => committed(start),
+            WalterOutcome::Aborted => None,
+        }
+    }
+
+    /// Runs one read-only transaction (PSI: served from the start snapshot,
+    /// never aborts).
+    pub fn run_read_only(&mut self, read_keys: &[Key]) -> Option<(Duration, Duration)> {
+        let start = Instant::now();
+        match self.cluster.session(self.node).read_only(read_keys) {
+            Some(_) => committed(start),
+            None => None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ROCOCO
+// ---------------------------------------------------------------------------
+
+/// The ROCOCO-style engine, ready to be driven one transaction at a time.
+#[derive(Debug)]
+pub struct RococoEngine {
+    cluster: Arc<RococoCluster>,
+}
+
+impl RococoEngine {
+    /// Starts a ROCOCO cluster of `nodes` nodes. Replication is always
+    /// disabled, as in the paper's comparison (Figures 6 and 8).
+    pub fn start(nodes: usize) -> Self {
+        RococoEngine {
+            cluster: Arc::new(RococoCluster::start(RococoConfig::new(nodes))),
+        }
+    }
+
+    /// The underlying cluster.
+    pub fn cluster(&self) -> &RococoCluster {
+        &self.cluster
+    }
+
+    /// Number of nodes the engine runs.
+    pub fn node_count(&self) -> usize {
+        self.cluster.node_count()
+    }
+
+    /// Opens an adapter session colocated with `node`.
+    pub fn open_session(&self, node: usize) -> RococoEngineSession {
+        RococoEngineSession {
+            cluster: Arc::clone(&self.cluster),
+            node,
+        }
+    }
+}
+
+/// A per-client adapter session on the ROCOCO engine.
+pub struct RococoEngineSession {
+    cluster: Arc<RococoCluster>,
+    node: usize,
+}
+
+impl RococoEngineSession {
+    /// Runs one update transaction. ROCOCO update pieces are deferrable, so
+    /// reads are not part of the update path; `Some((latency, latency))` on
+    /// commit.
+    pub fn run_update(
+        &mut self,
+        _read_keys: &[Key],
+        writes: &[(Key, Value)],
+    ) -> Option<(Duration, Duration)> {
+        let start = Instant::now();
+        if self.cluster.session(self.node).update(writes) {
+            committed(start)
+        } else {
+            None
+        }
+    }
+
+    /// Runs one read-only transaction (multi-round version checks).
+    pub fn run_read_only(&mut self, read_keys: &[Key]) -> Option<(Duration, Duration)> {
+        let start = Instant::now();
+        match self.cluster.session(self.node).read_only(read_keys).0 {
+            RococoReadOutcome::Committed => committed(start),
+            RococoReadOutcome::Aborted => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_baseline_adapter_commits_serial_work() {
+        let writes = vec![(Key::new("x"), Value::from_u64(9))];
+        let reads = vec![Key::new("x")];
+
+        let twopc = TwoPcEngine::start(2, 1);
+        let mut session = twopc.open_session(0);
+        assert!(session.run_update(&[], &writes).is_some());
+        assert!(session.run_read_only(&reads).is_some());
+        twopc.cluster().shutdown();
+
+        let walter = WalterEngine::start(2, 1);
+        let mut session = walter.open_session(0);
+        assert!(session.run_update(&[], &writes).is_some());
+        assert!(session.run_read_only(&reads).is_some());
+        walter.cluster().shutdown();
+
+        let rococo = RococoEngine::start(2);
+        let mut session = rococo.open_session(0);
+        assert!(session.run_update(&[], &writes).is_some());
+        assert!(session.run_read_only(&reads).is_some());
+        rococo.cluster().shutdown();
+    }
+}

@@ -26,10 +26,12 @@
 //!   relies on (lock-free updates, read-only cost growing with the read-set
 //!   size); see `DESIGN.md` for the fidelity notes.
 
+pub mod adapters;
 pub mod rococo;
 pub mod twopc;
 pub mod walter;
 
+pub use adapters::{RococoEngine, TwoPcEngine, WalterEngine};
 pub use rococo::{RococoCluster, RococoConfig, RococoSession};
 pub use twopc::{TwoPcCluster, TwoPcConfig, TwoPcSession};
 pub use walter::{WalterCluster, WalterConfig, WalterSession};

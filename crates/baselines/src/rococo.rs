@@ -480,9 +480,12 @@ mod tests {
         let session = cluster.session(0);
         let k = Key::new("x");
         assert!(session.update(&[(k.clone(), Value::from_u64(9))]));
-        let (outcome, values) = session.read_only(&[k.clone()]);
+        let (outcome, values) = session.read_only(std::slice::from_ref(&k));
         assert_eq!(outcome, RococoReadOutcome::Committed);
-        assert_eq!(values.unwrap().get(&k).cloned().flatten(), Some(Value::from_u64(9)));
+        assert_eq!(
+            values.unwrap().get(&k).cloned().flatten(),
+            Some(Value::from_u64(9))
+        );
         cluster.shutdown();
     }
 
@@ -492,7 +495,10 @@ mod tests {
         let session = cluster.session(0);
         let a = Key::new("a");
         let b = Key::new("b");
-        assert!(session.update(&[(a.clone(), Value::from_u64(1)), (b.clone(), Value::from_u64(1))]));
+        assert!(session.update(&[
+            (a.clone(), Value::from_u64(1)),
+            (b.clone(), Value::from_u64(1))
+        ]));
         let (outcome, values) = session.read_only(&[a.clone(), b.clone()]);
         assert_eq!(outcome, RococoReadOutcome::Committed);
         let values = values.unwrap();
@@ -505,23 +511,26 @@ mod tests {
     fn concurrent_writers_are_serialized_per_key() {
         let cluster = Arc::new(RococoCluster::start(RococoConfig::new(2)));
         let k = Key::new("hot");
-        let handles: Vec<_> = (0..4)
-            .map(|i| {
-                let cluster = Arc::clone(&cluster);
-                let k = k.clone();
-                std::thread::spawn(move || {
-                    let session = cluster.session(i % 2);
-                    for j in 0..10 {
-                        assert!(session.update(&[(k.clone(), Value::from_u64(i as u64 * 100 + j))]));
-                    }
+        let handles: Vec<_> =
+            (0..4)
+                .map(|i| {
+                    let cluster = Arc::clone(&cluster);
+                    let k = k.clone();
+                    std::thread::spawn(move || {
+                        let session = cluster.session(i % 2);
+                        for j in 0..10 {
+                            assert!(
+                                session.update(&[(k.clone(), Value::from_u64(i as u64 * 100 + j))])
+                            );
+                        }
+                    })
                 })
-            })
-            .collect();
+                .collect();
         for h in handles {
             h.join().unwrap();
         }
         let session = cluster.session(0);
-        let (outcome, values) = session.read_only(&[k.clone()]);
+        let (outcome, values) = session.read_only(std::slice::from_ref(&k));
         assert_eq!(outcome, RococoReadOutcome::Committed);
         assert!(values.unwrap().get(&k).cloned().flatten().is_some());
         cluster.shutdown();

@@ -379,8 +379,7 @@ impl<'c> TwoPcSession<'c> {
 
         let replica_map = self.cluster.replicas();
         let write_keys: Vec<Key> = writes.iter().map(|(k, _)| k.clone()).collect();
-        let participants =
-            replica_map.replicas_of_all(read_keys.iter().chain(write_keys.iter()));
+        let participants = replica_map.replicas_of_all(read_keys.iter().chain(write_keys.iter()));
         if participants.is_empty() {
             return (TwoPcOutcome::Committed, Some(observed));
         }
@@ -393,10 +392,10 @@ impl<'c> TwoPcSession<'c> {
             reply,
         };
         for target in &participants {
-            let _ = self
-                .cluster
-                .transport
-                .send(self.node, *target, prepare.clone(), Priority::Normal);
+            let _ =
+                self.cluster
+                    .transport
+                    .send(self.node, *target, prepare.clone(), Priority::Normal);
         }
         let deadline = Instant::now() + self.cluster.config.rpc_timeout;
         let mut ok = true;
@@ -443,9 +442,12 @@ mod tests {
         let k = Key::new("x");
         let (outcome, _) = session.execute(&[], &[(k.clone(), Value::from_u64(7))]);
         assert_eq!(outcome, TwoPcOutcome::Committed);
-        let (outcome, observed) = session.execute(&[k.clone()], &[]);
+        let (outcome, observed) = session.execute(std::slice::from_ref(&k), &[]);
         assert_eq!(outcome, TwoPcOutcome::Committed);
-        assert_eq!(observed.unwrap().get(&k).cloned().flatten(), Some(Value::from_u64(7)));
+        assert_eq!(
+            observed.unwrap().get(&k).cloned().flatten(),
+            Some(Value::from_u64(7))
+        );
         assert!(cluster.applied_commits() >= 1);
         cluster.shutdown();
     }
@@ -496,7 +498,14 @@ mod tests {
         let session = cluster.session(1);
         let (outcome, observed) = session.execute(&[Key::new("missing")], &[]);
         assert_eq!(outcome, TwoPcOutcome::Committed);
-        assert_eq!(observed.unwrap().get(&Key::new("missing")).cloned().flatten(), None);
+        assert_eq!(
+            observed
+                .unwrap()
+                .get(&Key::new("missing"))
+                .cloned()
+                .flatten(),
+            None
+        );
         cluster.shutdown();
     }
 }

@@ -424,10 +424,10 @@ impl<'c> WalterSession<'c> {
             reply,
         };
         for target in &participants {
-            let _ = self
-                .cluster
-                .transport
-                .send(self.node, *target, prepare.clone(), Priority::Normal);
+            let _ =
+                self.cluster
+                    .transport
+                    .send(self.node, *target, prepare.clone(), Priority::Normal);
         }
         let deadline = Instant::now() + self.cluster.config.rpc_timeout;
         let mut commit_vc = snapshot;
@@ -489,8 +489,11 @@ mod tests {
         let (outcome, _) = session.update(&[], &[(k.clone(), Value::from_u64(5))]);
         assert_eq!(outcome, WalterOutcome::Committed);
         // A later snapshot (taken on the coordinating node) sees the write.
-        let observed = session.read_only(&[k.clone()]).unwrap();
-        assert_eq!(observed.get(&k).cloned().flatten(), Some(Value::from_u64(5)));
+        let observed = session.read_only(std::slice::from_ref(&k)).unwrap();
+        assert_eq!(
+            observed.get(&k).cloned().flatten(),
+            Some(Value::from_u64(5))
+        );
         cluster.shutdown();
     }
 

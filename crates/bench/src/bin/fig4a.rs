@@ -7,5 +7,8 @@ use sss_bench::{fig4a_max_throughput, BenchScale};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    println!("{}", fig4a_max_throughput(BenchScale::from_args(&args)).render());
+    println!(
+        "{}",
+        fig4a_max_throughput(BenchScale::from_args(&args)).render()
+    );
 }

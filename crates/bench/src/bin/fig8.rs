@@ -7,5 +7,8 @@ use sss_bench::{fig8_read_only_size, BenchScale};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    println!("{}", fig8_read_only_size(BenchScale::from_args(&args)).render());
+    println!(
+        "{}",
+        fig8_read_only_size(BenchScale::from_args(&args)).render()
+    );
 }

@@ -7,9 +7,10 @@
 
 use std::time::Duration;
 
+use sss_engine::EngineKind;
 use sss_workload::{KeySelection, WorkloadReport, WorkloadSpec};
 
-use crate::adapters::{run_engine, EngineKind};
+use crate::harness::run_engine;
 
 /// How large an experiment to run.
 ///
@@ -128,7 +129,12 @@ impl FigureTable {
         out.push_str(&format!("# {}\n", self.title));
         out.push_str(&format!(
             "{:<14} {:>10} {:>12} {:>10} {:>14} {:>16}\n",
-            "series", self.x_label.as_str(), self.y_label.as_str(), "abort%", "upd-lat(ms)", "precommit(ms)"
+            "series",
+            self.x_label.as_str(),
+            self.y_label.as_str(),
+            "abort%",
+            "upd-lat(ms)",
+            "precommit(ms)"
         ));
         for row in &self.rows {
             out.push_str(&format!(
@@ -182,9 +188,7 @@ pub fn fig3_throughput(scale: BenchScale, read_only_percent: u8) -> FigureTable 
         }
     }
     FigureTable {
-        title: format!(
-            "Figure 3 — throughput, {read_only_percent}% read-only, replication 2"
-        ),
+        title: format!("Figure 3 — throughput, {read_only_percent}% read-only, replication 2"),
         x_label: "nodes".into(),
         y_label: "kTx/s".into(),
         rows,
@@ -365,9 +369,8 @@ pub fn fig8_read_only_size(scale: BenchScale) -> FigureTable {
     let mut rows = Vec::new();
     for keys in scale.key_counts() {
         for size in sizes {
-            let spec = |_: EngineKind| {
-                base_spec(scale, nodes, keys, 80).read_only_access_count(*size)
-            };
+            let spec =
+                |_: EngineKind| base_spec(scale, nodes, keys, 80).read_only_access_count(*size);
             let sss = run_engine(EngineKind::Sss, &spec(EngineKind::Sss), 1);
             let rococo = run_engine(EngineKind::Rococo, &spec(EngineKind::Rococo), 1);
             let twopc = run_engine(EngineKind::TwoPc, &spec(EngineKind::TwoPc), 1);

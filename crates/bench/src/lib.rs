@@ -2,16 +2,19 @@
 //!
 //! The harness has two layers:
 //!
-//! * [`adapters`] wraps every engine (SSS, 2PC-baseline, Walter, ROCOCO)
-//!   behind the `sss-workload` [`TransactionEngine`](sss_workload::TransactionEngine)
-//!   trait so that one closed-loop driver benchmarks them all under
-//!   identical conditions — the same methodology as the paper, which
-//!   re-implemented every competitor on the same software infrastructure.
+//! * [`harness`] builds engines exclusively through the `sss-engine`
+//!   registry ([`EngineKind::build`](sss_engine::EngineKind::build)) and
+//!   drives them with the `sss-workload` closed-loop driver, so that one
+//!   code path benchmarks every engine under identical conditions — the
+//!   same methodology as the paper, which re-implemented every competitor
+//!   on the same software infrastructure. This crate defines **no** engine
+//!   adapters of its own; those live with the engines (`sss-core`,
+//!   `sss-baselines`) behind the `sss-engine` trait surface.
 //! * [`figures`] encodes each figure of the evaluation section as a
 //!   parameter sweep returning printable rows. The `fig3` … `fig8` binaries
 //!   are thin wrappers around these functions; `cargo bench` runs
-//!   reduced-scale versions of the same sweeps plus component
-//!   micro-benchmarks.
+//!   reduced-scale versions of the same sweeps (component micro-benchmarks
+//!   live in the crates owning the components).
 //!
 //! Absolute numbers differ from the paper (the paper uses a 20-node
 //! InfiniBand cluster; this repository runs an in-process cluster on one
@@ -19,10 +22,12 @@
 //! which engine wins in which regime, and how the gaps move as the read-only
 //! share, the node count, the locality and the read-set size change.
 
-pub mod adapters;
 pub mod figures;
+pub mod harness;
 
-pub use adapters::{EngineKind, RococoEngine, SssEngine, TwoPcEngine, WalterEngine};
+pub use harness::{run_engine, run_engine_with_profile};
+pub use sss_engine::{EngineKind, NetProfile};
+
 pub use figures::{
     fig3_throughput, fig4a_max_throughput, fig4b_latency, fig5_breakdown, fig6_rococo,
     fig7_locality, fig8_read_only_size, BenchScale, FigureRow, FigureTable,

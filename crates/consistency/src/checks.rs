@@ -109,17 +109,22 @@ pub fn check_read_only_snapshots(history: &History) -> Result<(), ConsistencyErr
     // before overwriting it, or (b) writers that started only after the
     // predecessor completed. Overlapping writers without a read-link stay
     // unordered, so the checks below never flag an order the system was
-    // free to choose.
-    let mut successors: HashMap<(Key, TxnId), Vec<TxnId>> = HashMap::new();
-    let mut writers_per_key: HashMap<Key, Vec<TxnId>> = HashMap::new();
+    // free to choose. The full per-key transitive closure is precomputed
+    // (writer groups per key are small), keeping the pairwise checks below
+    // O(1) per lookup.
+    let mut writers_per_key: HashMap<&Key, Vec<TxnId>> = HashMap::new();
     for txn in history.updates() {
         for key in txn.written_keys() {
-            writers_per_key.entry(key.clone()).or_default().push(txn.id);
+            writers_per_key.entry(key).or_default().push(txn.id);
         }
     }
+    let mut newer: HashMap<&Key, std::collections::HashSet<(TxnId, TxnId)>> = HashMap::new();
     for (key, writers) in &writers_per_key {
+        let mut direct: HashMap<TxnId, Vec<TxnId>> = HashMap::new();
         for w in writers {
-            let Some(writer) = history.get(*w) else { continue };
+            let Some(writer) = history.get(*w) else {
+                continue;
+            };
             for p in writers {
                 if p == w {
                     continue;
@@ -127,37 +132,35 @@ pub fn check_read_only_snapshots(history: &History) -> Result<(), ConsistencyErr
                 let read_link = writer
                     .reads
                     .iter()
-                    .any(|r| &r.key == key && r.observed_writer == Some(*p));
+                    .any(|r| &&r.key == key && r.observed_writer == Some(*p));
                 let rt_link = history
                     .get(*p)
                     .map(|pr| pr.precedes_in_real_time(writer))
                     .unwrap_or(false);
                 if read_link || rt_link {
-                    successors.entry((key.clone(), *p)).or_default().push(*w);
+                    direct.entry(*p).or_default().push(*w);
+                }
+            }
+        }
+        // Transitive closure by DFS from every writer of this key.
+        let closure = newer.entry(key).or_default();
+        for start in writers {
+            let mut stack: Vec<TxnId> = direct.get(start).cloned().unwrap_or_default();
+            while let Some(current) = stack.pop() {
+                if current != *start && closure.insert((*start, current)) {
+                    if let Some(next) = direct.get(&current) {
+                        stack.extend(next.iter().copied());
+                    }
                 }
             }
         }
     }
     let provably_newer = |key: &Key, earlier: &TxnId, later: &TxnId| -> bool {
-        if earlier == later {
-            return false;
-        }
-        let mut stack = vec![*earlier];
-        let mut seen = std::collections::HashSet::new();
-        while let Some(current) = stack.pop() {
-            if !seen.insert(current) {
-                continue;
-            }
-            if let Some(next) = successors.get(&(key.clone(), current)) {
-                for n in next {
-                    if n == later {
-                        return true;
-                    }
-                    stack.push(*n);
-                }
-            }
-        }
-        false
+        earlier != later
+            && newer
+                .get(key)
+                .map(|c| c.contains(&(*earlier, *later)))
+                .unwrap_or(false)
     };
 
     // 1. No fractured reads within a single read-only transaction: if the
@@ -197,30 +200,31 @@ pub fn check_read_only_snapshots(history: &History) -> Result<(), ConsistencyErr
 
     // 2. Monotonicity across read-only transactions ordered by completion:
     // the later transaction must not observe a provably older version.
-    let read_onlys: Vec<_> = history.read_onlys().collect();
-    for a in &read_onlys {
-        for b in &read_onlys {
-            if a.id == b.id || !a.precedes_in_real_time(b) {
-                continue;
+    // Grouped per key, so each pairwise comparison only covers observations
+    // of the same key.
+    let mut observations: HashMap<&Key, Vec<(&crate::TxnRecord, TxnId)>> = HashMap::new();
+    for reader in history.read_onlys() {
+        for read in &reader.reads {
+            if let Some(writer) = read.observed_writer {
+                observations
+                    .entry(&read.key)
+                    .or_default()
+                    .push((reader, writer));
             }
-            for read_a in &a.reads {
-                let Some(writer_a) = read_a.observed_writer else {
+        }
+    }
+    for (key, obs) in &observations {
+        for (a, writer_a) in obs {
+            for (b, writer_b) in obs {
+                if a.id == b.id || !a.precedes_in_real_time(b) {
                     continue;
-                };
-                for read_b in &b.reads {
-                    if read_b.key != read_a.key {
-                        continue;
-                    }
-                    let Some(writer_b) = read_b.observed_writer else {
-                        continue;
-                    };
-                    if writer_b != writer_a && provably_newer(&read_a.key, &writer_b, &writer_a) {
-                        return Err(ConsistencyError::NonMonotonicReads {
-                            earlier: a.id,
-                            later: b.id,
-                            key: read_a.key.clone(),
-                        });
-                    }
+                }
+                if writer_b != writer_a && provably_newer(key, writer_b, writer_a) {
+                    return Err(ConsistencyError::NonMonotonicReads {
+                        earlier: a.id,
+                        later: b.id,
+                        key: (*key).clone(),
+                    });
                 }
             }
         }
@@ -243,7 +247,10 @@ pub fn check_all(history: &History) -> Result<(), ConsistencyError> {
 /// sanity guard used by tests that are only meaningful with read-only
 /// traffic.
 pub fn has_read_only_traffic(history: &History) -> bool {
-    history.transactions().iter().any(|t| t.kind == TxnKind::ReadOnly)
+    history
+        .transactions()
+        .iter()
+        .any(|t| t.kind == TxnKind::ReadOnly)
 }
 
 #[cfg(test)]

@@ -23,8 +23,16 @@
 //! Both kinds of evidence never order two transactions the system was free
 //! to serialize either way, so a reported cycle is always a genuine
 //! violation.
+//!
+//! Real-time edges form a dense relation (up to n² for n transactions), so
+//! they are **not materialized**: the cycle search enumerates them
+//! implicitly from a start-time-sorted index. [`DsgChecker::edges`]
+//! therefore returns only the dependency edges; use
+//! [`TxnRecord::precedes_in_real_time`](crate::TxnRecord::precedes_in_real_time)
+//! for individual real-time queries.
 
 use std::collections::{HashMap, HashSet};
+use std::time::Instant;
 
 use sss_storage::{Key, TxnId};
 
@@ -75,23 +83,48 @@ impl std::fmt::Display for Edge {
 /// Builds and checks the Direct Serialization Graph of a [`History`].
 #[derive(Debug)]
 pub struct DsgChecker {
+    /// Materialized dependency (wr/ww/rw) edges.
     edges: Vec<Edge>,
-    adjacency: HashMap<TxnId, Vec<(TxnId, Dependency)>>,
-    nodes: Vec<TxnId>,
+    /// Dependency adjacency in node-index space.
+    adjacency: Vec<Vec<usize>>,
+    /// Node ids by index.
+    ids: Vec<TxnId>,
+    /// `(started, finished)` per node, in index space.
+    times: Vec<(Instant, Instant)>,
+    /// Node indices sorted by start instant — the implicit real-time edges:
+    /// node `a` has an rt edge to every node whose start is at or after
+    /// `a`'s finish, i.e. a suffix of this ordering.
+    by_start: Vec<usize>,
 }
 
 impl DsgChecker {
     /// Builds the graph from a history of committed transactions.
     pub fn build(history: &History) -> Self {
-        let mut edges: HashSet<Edge> = HashSet::new();
-        let ids: HashSet<TxnId> = history.transactions().iter().map(|t| t.id).collect();
+        let records = history.transactions();
+        let ids: Vec<TxnId> = records.iter().map(|t| t.id).collect();
+        let index_of: HashMap<TxnId, usize> =
+            ids.iter().enumerate().map(|(i, id)| (*id, i)).collect();
+        let times: Vec<(Instant, Instant)> =
+            records.iter().map(|t| (t.started, t.finished)).collect();
 
-        // Writers of every key, used to place read-write (anti-dependency)
-        // edges.
-        let mut writers_per_key: HashMap<Key, Vec<TxnId>> = HashMap::new();
-        for txn in history.transactions() {
+        let mut edge_set: HashSet<Edge> = HashSet::new();
+
+        // Writers of every key, used to place write-write and read-write
+        // (anti-dependency) edges.
+        let mut writers_per_key: HashMap<&Key, Vec<TxnId>> = HashMap::new();
+        // Read-links: `(writer, key, observed)` when `writer` read
+        // `observed`'s version of `key` and overwrote it.
+        let mut read_links: HashSet<(TxnId, &Key, TxnId)> = HashSet::new();
+        for txn in records {
             for key in txn.written_keys() {
-                writers_per_key.entry(key.clone()).or_default().push(txn.id);
+                writers_per_key.entry(key).or_default().push(txn.id);
+            }
+            for read in &txn.reads {
+                if let Some(observed) = read.observed_writer {
+                    if txn.written_value(&read.key).is_some() {
+                        read_links.insert((txn.id, &read.key, observed));
+                    }
+                }
             }
         }
 
@@ -102,27 +135,25 @@ impl DsgChecker {
             if w == observed {
                 return false;
             }
-            let (Some(writer), Some(observed_rec)) = (history.get(*w), history.get(*observed))
-            else {
-                return false;
-            };
-            let via_read_link = writer
-                .reads
-                .iter()
-                .any(|r| &r.key == key && r.observed_writer == Some(*observed));
-            via_read_link || observed_rec.precedes_in_real_time(writer)
+            if read_links.contains(&(*w, key, *observed)) {
+                return true;
+            }
+            match (index_of.get(observed), index_of.get(w)) {
+                (Some(o), Some(wi)) => times[*o].1 <= times[*wi].0,
+                _ => false,
+            }
         };
 
-        for txn in history.transactions() {
+        for txn in records {
             for read in &txn.reads {
                 let Some(observed) = read.observed_writer else {
                     continue;
                 };
-                if !ids.contains(&observed) || observed == txn.id {
+                if !index_of.contains_key(&observed) || observed == txn.id {
                     continue;
                 }
                 // Write-read dependency.
-                edges.insert(Edge {
+                edge_set.insert(Edge {
                     from: observed,
                     to: txn.id,
                     dependency: Dependency::WriteRead,
@@ -131,7 +162,7 @@ impl DsgChecker {
                 // version (update transactions validate their reads, so the
                 // version they observed is the one they replace).
                 if txn.written_value(&read.key).is_some() {
-                    edges.insert(Edge {
+                    edge_set.insert(Edge {
                         from: observed,
                         to: txn.id,
                         dependency: Dependency::WriteWrite,
@@ -142,7 +173,7 @@ impl DsgChecker {
                 if let Some(writers) = writers_per_key.get(&read.key) {
                     for w in writers {
                         if *w != txn.id && provably_after(w, &observed, &read.key) {
-                            edges.insert(Edge {
+                            edge_set.insert(Edge {
                                 from: txn.id,
                                 to: *w,
                                 dependency: Dependency::ReadWrite,
@@ -162,11 +193,11 @@ impl DsgChecker {
                     if p == w {
                         continue;
                     }
-                    let (Some(pr), Some(wr)) = (history.get(*p), history.get(*w)) else {
+                    let (Some(pi), Some(wi)) = (index_of.get(p), index_of.get(w)) else {
                         continue;
                     };
-                    if pr.precedes_in_real_time(wr) {
-                        edges.insert(Edge {
+                    if times[*pi].1 <= times[*wi].0 {
+                        edge_set.insert(Edge {
                             from: *p,
                             to: *w,
                             dependency: Dependency::WriteWrite,
@@ -176,48 +207,38 @@ impl DsgChecker {
             }
         }
 
-        // Real-time (external completion order) edges: A completed before B
-        // started, so B must serialize after A.
-        let records = history.transactions();
-        for a in records {
-            for b in records {
-                if a.id == b.id || !a.precedes_in_real_time(b) {
-                    continue;
-                }
-                edges.insert(Edge {
-                    from: a.id,
-                    to: b.id,
-                    dependency: Dependency::RealTime,
-                });
-            }
+        let mut adjacency: Vec<Vec<usize>> = vec![Vec::new(); ids.len()];
+        for edge in &edge_set {
+            adjacency[index_of[&edge.from]].push(index_of[&edge.to]);
         }
 
-        let mut adjacency: HashMap<TxnId, Vec<(TxnId, Dependency)>> = HashMap::new();
-        for edge in &edges {
-            adjacency
-                .entry(edge.from)
-                .or_default()
-                .push((edge.to, edge.dependency));
-        }
+        let mut by_start: Vec<usize> = (0..ids.len()).collect();
+        by_start.sort_by_key(|i| times[*i].0);
+
         DsgChecker {
-            edges: edges.into_iter().collect(),
+            edges: edge_set.into_iter().collect(),
             adjacency,
-            nodes: ids.into_iter().collect(),
+            ids,
+            times,
+            by_start,
         }
     }
 
-    /// All edges of the graph.
+    /// The materialized dependency edges of the graph (write-read,
+    /// write-write, read-write). Real-time edges are implicit; see the
+    /// module docs.
     pub fn edges(&self) -> &[Edge] {
         &self.edges
     }
 
     /// Number of transactions in the graph.
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.ids.len()
     }
 
-    /// Searches for a cycle. Returns the sequence of transaction ids along
-    /// one cycle if found, `None` if the graph is acyclic.
+    /// Searches for a cycle over the dependency edges *and* the implicit
+    /// real-time edges. Returns the sequence of transaction ids along one
+    /// cycle if found, `None` if the graph is acyclic.
     pub fn find_cycle(&self) -> Option<Vec<TxnId>> {
         #[derive(Clone, Copy, PartialEq)]
         enum Mark {
@@ -225,46 +246,78 @@ impl DsgChecker {
             InProgress,
             Done,
         }
-        let mut marks: HashMap<TxnId, Mark> =
-            self.nodes.iter().map(|n| (*n, Mark::Unvisited)).collect();
-        let mut stack: Vec<TxnId> = Vec::new();
+        let n = self.ids.len();
+        let mut marks = vec![Mark::Unvisited; n];
+        let mut stack: Vec<usize> = Vec::new();
 
-        fn dfs(
-            node: TxnId,
-            adjacency: &HashMap<TxnId, Vec<(TxnId, Dependency)>>,
-            marks: &mut HashMap<TxnId, Mark>,
-            stack: &mut Vec<TxnId>,
-        ) -> Option<Vec<TxnId>> {
-            marks.insert(node, Mark::InProgress);
-            stack.push(node);
-            if let Some(neighbours) = adjacency.get(&node) {
-                for (next, _) in neighbours {
-                    match marks.get(next).copied().unwrap_or(Mark::Unvisited) {
+        // Iterative DFS; each frame tracks progress through the dependency
+        // neighbours and then through the real-time suffix (nodes whose
+        // start is at or after this node's finish, in start order).
+        struct Frame {
+            node: usize,
+            dep_pos: usize,
+            rt_pos: usize,
+        }
+
+        // First index in `by_start` whose start instant is >= `finish`.
+        let rt_suffix_start = |finish: Instant| -> usize {
+            self.by_start.partition_point(|i| self.times[*i].0 < finish)
+        };
+
+        for root in 0..n {
+            if marks[root] != Mark::Unvisited {
+                continue;
+            }
+            let mut frames = vec![Frame {
+                node: root,
+                dep_pos: 0,
+                rt_pos: rt_suffix_start(self.times[root].1),
+            }];
+            marks[root] = Mark::InProgress;
+            stack.push(root);
+
+            while let Some(frame) = frames.last_mut() {
+                let node = frame.node;
+                // Next neighbour: dependency edges first, then the rt suffix.
+                let next = if frame.dep_pos < self.adjacency[node].len() {
+                    let t = self.adjacency[node][frame.dep_pos];
+                    frame.dep_pos += 1;
+                    Some(t)
+                } else if frame.rt_pos < self.by_start.len() {
+                    let t = self.by_start[frame.rt_pos];
+                    frame.rt_pos += 1;
+                    if t == node {
+                        continue;
+                    }
+                    Some(t)
+                } else {
+                    None
+                };
+                match next {
+                    Some(target) => match marks[target] {
                         Mark::InProgress => {
-                            let start = stack.iter().position(|n| n == next).unwrap_or(0);
-                            let mut cycle = stack[start..].to_vec();
-                            cycle.push(*next);
+                            let start = stack.iter().position(|x| *x == target).unwrap_or(0);
+                            let mut cycle: Vec<TxnId> =
+                                stack[start..].iter().map(|i| self.ids[*i]).collect();
+                            cycle.push(self.ids[target]);
                             return Some(cycle);
                         }
                         Mark::Unvisited => {
-                            if let Some(cycle) = dfs(*next, adjacency, marks, stack) {
-                                return Some(cycle);
-                            }
+                            marks[target] = Mark::InProgress;
+                            stack.push(target);
+                            frames.push(Frame {
+                                node: target,
+                                dep_pos: 0,
+                                rt_pos: rt_suffix_start(self.times[target].1),
+                            });
                         }
                         Mark::Done => {}
+                    },
+                    None => {
+                        marks[node] = Mark::Done;
+                        stack.pop();
+                        frames.pop();
                     }
-                }
-            }
-            stack.pop();
-            marks.insert(node, Mark::Done);
-            None
-        }
-
-        let nodes: Vec<TxnId> = self.nodes.clone();
-        for node in nodes {
-            if marks.get(&node).copied() == Some(Mark::Unvisited) {
-                if let Some(cycle) = dfs(node, &self.adjacency, &mut marks, &mut stack) {
-                    return Some(cycle);
                 }
             }
         }
@@ -284,7 +337,7 @@ mod tests {
     use crate::history::{TxnKind, TxnRecordBuilder};
     use sss_storage::Value;
     use sss_vclock::NodeId;
-    use std::time::{Duration, Instant};
+    use std::time::Duration;
 
     fn txn(seq: u64) -> TxnId {
         TxnId::new(NodeId(0), seq)
@@ -305,7 +358,10 @@ mod tests {
         let dsg = DsgChecker::build(&history);
         assert_eq!(dsg.node_count(), 3);
         assert!(dsg.is_acyclic());
-        assert!(dsg.edges().iter().any(|e| e.dependency == Dependency::WriteWrite));
+        assert!(dsg
+            .edges()
+            .iter()
+            .any(|e| e.dependency == Dependency::WriteWrite));
     }
 
     #[test]
@@ -357,6 +413,24 @@ mod tests {
             .read("x", Some(Value::from_u64(0)), Some(txn(0)))
             .build();
         let history: History = [init, writer, reader].into_iter().collect();
+        let dsg = DsgChecker::build(&history);
+        assert!(dsg.is_acyclic());
+    }
+
+    #[test]
+    fn pure_real_time_chains_are_acyclic() {
+        // Disjoint transactions ordered purely by real time must not be
+        // reported as cyclic by the implicit rt traversal.
+        let t0 = Instant::now();
+        let history: History = (0..50u64)
+            .map(|i| {
+                TxnRecordBuilder::new(txn(i), TxnKind::Update)
+                    .started(t0 + Duration::from_millis(2 * i))
+                    .finished(t0 + Duration::from_millis(2 * i + 1))
+                    .write(format!("k{i}"), Value::from_u64(i))
+                    .build()
+            })
+            .collect();
         let dsg = DsgChecker::build(&history);
         assert!(dsg.is_acyclic());
     }

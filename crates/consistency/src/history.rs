@@ -80,6 +80,10 @@ impl TxnRecord {
 #[derive(Debug, Clone, Default)]
 pub struct History {
     transactions: Vec<TxnRecord>,
+    /// Index from transaction id to position in `transactions`, so that
+    /// [`History::get`] stays O(1) — the consistency checkers look records
+    /// up inside nested loops over sizeable histories.
+    index: std::collections::HashMap<TxnId, usize>,
 }
 
 impl History {
@@ -90,6 +94,7 @@ impl History {
 
     /// Adds a committed transaction.
     pub fn push(&mut self, record: TxnRecord) {
+        self.index.insert(record.id, self.transactions.len());
         self.transactions.push(record);
     }
 
@@ -110,7 +115,7 @@ impl History {
 
     /// Looks a transaction up by id.
     pub fn get(&self, id: TxnId) -> Option<&TxnRecord> {
-        self.transactions.iter().find(|t| t.id == id)
+        self.index.get(&id).map(|i| &self.transactions[*i])
     }
 
     /// Update transactions only.
@@ -130,9 +135,11 @@ impl History {
 
 impl FromIterator<TxnRecord> for History {
     fn from_iter<T: IntoIterator<Item = TxnRecord>>(iter: T) -> Self {
-        History {
-            transactions: iter.into_iter().collect(),
+        let mut history = History::new();
+        for record in iter {
+            history.push(record);
         }
+        history
     }
 }
 
@@ -209,7 +216,12 @@ impl TxnRecordBuilder {
     }
 
     /// Adds a read observation.
-    pub fn read(mut self, key: impl Into<Key>, value: Option<Value>, writer: Option<TxnId>) -> Self {
+    pub fn read(
+        mut self,
+        key: impl Into<Key>,
+        value: Option<Value>,
+        writer: Option<TxnId>,
+    ) -> Self {
         self.record.reads.push(ReadRecord {
             key: key.into(),
             value,

@@ -5,8 +5,8 @@
 use std::time::{Duration, Instant};
 
 use sss_consistency::{
-    check_all, check_external_consistency, check_read_only_snapshots, ConsistencyError,
-    DsgChecker, History, TxnKind, TxnRecordBuilder,
+    check_all, check_external_consistency, check_read_only_snapshots, ConsistencyError, DsgChecker,
+    History, TxnKind, TxnRecordBuilder,
 };
 use sss_storage::{TxnId, Value};
 use sss_vclock::NodeId;
@@ -192,7 +192,11 @@ fn long_serial_chain_is_accepted() {
             TxnRecordBuilder::new(id, TxnKind::Update)
                 .started(at(base, 2 * i))
                 .finished(at(base, 2 * i + 1))
-                .read("counter", Some(Value::from_u64(i - 1)), Some(previous_writer))
+                .read(
+                    "counter",
+                    Some(Value::from_u64(i - 1)),
+                    Some(previous_writer),
+                )
                 .write("counter", Value::from_u64(i))
                 .build(),
         );
@@ -217,7 +221,11 @@ fn long_serial_chain_is_accepted() {
         TxnRecordBuilder::new(txn(2, 999), TxnKind::ReadOnly)
             .started(at(base, 600))
             .finished(at(base, 601))
-            .read("counter", Some(Value::from_u64(50)), Some(txn((50 % 3) as usize, 50)))
+            .read(
+                "counter",
+                Some(Value::from_u64(50)),
+                Some(txn((50 % 3) as usize, 50)),
+            )
             .build(),
     );
     assert!(check_all(&stale).is_err());

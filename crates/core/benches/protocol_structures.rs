@@ -1,0 +1,62 @@
+//! Micro-benchmarks of the SSS protocol data structures: the snapshot-queue
+//! (read/update serialization points) and the commit queue (per-node commit
+//! ordering).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use sss_core::{CommitQueue, SnapshotQueue};
+use sss_storage::TxnId;
+use sss_vclock::{NodeId, VectorClock};
+
+fn txn(seq: u64) -> TxnId {
+    TxnId::new(NodeId(0), seq)
+}
+
+fn bench_snapshot_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("snapshot_queue");
+    group.bench_function("insert_and_remove_read", |bencher| {
+        bencher.iter_batched(
+            SnapshotQueue::new,
+            |mut queue| {
+                for i in 0..64u64 {
+                    queue.insert_read(txn(i), i);
+                }
+                for i in 0..64u64 {
+                    queue.remove(txn(i));
+                }
+                queue
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("has_read_before", |bencher| {
+        let mut queue = SnapshotQueue::new();
+        for i in 0..64u64 {
+            queue.insert_read(txn(i), i);
+        }
+        bencher.iter(|| std::hint::black_box(queue.has_read_before(32)))
+    });
+    group.finish();
+}
+
+fn bench_commit_queue(c: &mut Criterion) {
+    c.bench_function("commit_queue/put_update_pop", |bencher| {
+        bencher.iter_batched(
+            || CommitQueue::new(0),
+            |mut queue| {
+                for i in 0..32u64 {
+                    queue.put(txn(i), VectorClock::from_entries(vec![i + 1]));
+                }
+                for i in 0..32u64 {
+                    queue.update(txn(i), VectorClock::from_entries(vec![i + 1]));
+                }
+                while queue.pop_ready_head().is_some() {}
+                queue
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_snapshot_queue, bench_commit_queue);
+criterion_main!(benches);

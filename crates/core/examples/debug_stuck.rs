@@ -6,7 +6,9 @@ use std::time::Duration;
 
 use sss_core::{SssCluster, SssConfig, Value};
 
-fn key(i: u64) -> String { format!("account:{i}") }
+fn key(i: u64) -> String {
+    format!("account:{i}")
+}
 
 fn main() {
     let mut cfg = SssConfig::new(4).replication(2);
@@ -14,12 +16,15 @@ fn main() {
     let cluster = Arc::new(SssCluster::start(cfg).unwrap());
     let setup = cluster.session(0);
     let mut f = setup.begin_update();
-    for i in 0..32 { f.write(key(i), Value::from_u64(1000)); }
+    for i in 0..32 {
+        f.write(key(i), Value::from_u64(1000));
+    }
     f.commit().unwrap();
     let stop = Arc::new(AtomicBool::new(false));
     let mut handles = Vec::new();
     for w in 0..3usize {
-        let cluster = Arc::clone(&cluster); let stop = Arc::clone(&stop);
+        let cluster = Arc::clone(&cluster);
+        let stop = Arc::clone(&stop);
         handles.push(std::thread::spawn(move || {
             let session = cluster.session(w % 4);
             let mut rng = w as u64; let mut timeouts = 0; let mut commits = 0; let mut aborts = 0; let run_start = std::time::Instant::now(); let _ = run_start;
@@ -46,14 +51,21 @@ fn main() {
         }));
     }
     let auditor = {
-        let cluster = Arc::clone(&cluster); let stop = Arc::clone(&stop);
+        let cluster = Arc::clone(&cluster);
+        let stop = Arc::clone(&stop);
         std::thread::spawn(move || {
             let session = cluster.session(1);
             let mut audits = 0u64;
             while !stop.load(Ordering::Relaxed) {
                 let mut ro = session.begin_read_only();
                 let mut sum = 0u64;
-                for i in 0..32 { sum += ro.read(key(i)).unwrap().and_then(|v| v.to_u64()).unwrap_or(0); }
+                for i in 0..32 {
+                    sum += ro
+                        .read(key(i))
+                        .unwrap()
+                        .and_then(|v| v.to_u64())
+                        .unwrap_or(0);
+                }
                 ro.commit().unwrap();
                 assert_eq!(sum, 32_000, "inconsistent audit");
                 audits += 1;
@@ -63,11 +75,16 @@ fn main() {
     };
     for _ in 0..8 {
         std::thread::sleep(Duration::from_millis(500));
-        println!("--- tick squeue_entries={} ", cluster.snapshot_queue_entries());
+        println!(
+            "--- tick squeue_entries={} ",
+            cluster.snapshot_queue_entries()
+        );
         print!("{}", cluster.pending_reports());
     }
     stop.store(true, Ordering::Relaxed);
-    for h in handles { println!("writer (commits,aborts,timeouts): {:?}", h.join().unwrap()); }
+    for h in handles {
+        println!("writer (commits,aborts,timeouts): {:?}", h.join().unwrap());
+    }
     println!("audits: {}", auditor.join().unwrap());
     cluster.shutdown();
 }

@@ -46,6 +46,17 @@ pub struct SssConfig {
     pub admission_backoff: Duration,
     /// Maximum number of back-off rounds before the read proceeds anyway.
     pub admission_max_retries: u32,
+    /// Upper bound on the Pre-Commit hold: an update transaction held in a
+    /// snapshot-queue by slower read-only transactions externally commits
+    /// anyway once it has waited this long. Bounding the hold cannot break
+    /// strict serializability — a reader whose entry blocks a writer has a
+    /// pinned snapshot that can never cover that writer, so it will not
+    /// observe it later — but it breaks wait cycles between writers held by
+    /// parked readers and readers parked on unconfirmed writers.
+    // TODO(protocol): replace the bound with proper wait-cycle avoidance
+    // (e.g. client-side exclusion sets) so the paper's strict
+    // completion-order property also holds unconditionally.
+    pub precommit_hold_max: Duration,
 }
 
 impl SssConfig {
@@ -72,6 +83,7 @@ impl SssConfig {
             admission_threshold: Duration::from_millis(2),
             admission_backoff: Duration::from_micros(250),
             admission_max_retries: 5,
+            precommit_hold_max: Duration::from_millis(250),
         }
     }
 

@@ -105,7 +105,9 @@ mod tests {
             .contains("read-only"));
         assert!(!SssError::ExternalCommitTimeout.to_string().is_empty());
         assert!(!SssError::ClusterShutdown.to_string().is_empty());
-        assert!(!AbortReason::ValidationFailed { key: None }.to_string().is_empty());
+        assert!(!AbortReason::ValidationFailed { key: None }
+            .to_string()
+            .is_empty());
         assert!(!AbortReason::LockTimeout.to_string().is_empty());
     }
 }

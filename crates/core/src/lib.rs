@@ -56,6 +56,7 @@
 //! # }
 //! ```
 
+pub mod adapter;
 mod cluster;
 mod commit_queue;
 mod config;

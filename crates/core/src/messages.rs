@@ -127,6 +127,39 @@ pub enum SssMessage {
         /// The completed read-only transaction.
         txn: TxnId,
     },
+    /// `ConfirmExternal[T, commitVC]`: the coordinator of update transaction
+    /// `txn` collected the external-commit `Ack` of **every** write replica —
+    /// the transaction is now globally externally committed. Broadcast to
+    /// every node; each node merges `commit_vc` into its `confirmed_vc` (so
+    /// that transactions beginning there afterwards start from a snapshot
+    /// covering `txn`) and answers with an `Ack`. The coordinator responds
+    /// to its client only after every node acknowledged, so a transaction
+    /// that *starts* after the client response is guaranteed to serialize
+    /// after `txn` — the cross-node completion-order guarantee.
+    ///
+    /// Note that this message does **not** release read-only reads parked on
+    /// `txn`: it is necessarily processed *before* `txn`'s client response,
+    /// and a reader that observed `txn`'s versions must not respond earlier
+    /// than `txn` itself does. The separate [`SssMessage::ReleaseExternal`],
+    /// sent after the confirmation round completes, does that.
+    ConfirmExternal {
+        /// The globally externally committed update transaction.
+        txn: TxnId,
+        /// Its commit vector clock.
+        commit_vc: VectorClock,
+        /// Where to deliver this node's acknowledgement.
+        reply: ReplySender<Ack>,
+    },
+    /// `ReleaseExternal[T]`: the confirmation round for `txn` completed (its
+    /// client is being answered); write replicas drop `txn` from their
+    /// locally-acked-but-unconfirmed set and serve any read-only read parked
+    /// on it. Readers released here respond after `txn`'s confirmation
+    /// round, so every transaction starting after *their* responses also
+    /// starts after `txn` is globally visible.
+    ReleaseExternal {
+        /// The update transaction whose parked readers may now be answered.
+        txn: TxnId,
+    },
     /// Registers additional `Remove` targets for a read-only transaction at
     /// its coordinator node. Sent by the coordinator of an update
     /// transaction that propagated `txn`'s entry into the snapshot-queues of
@@ -150,7 +183,9 @@ impl SssMessage {
         match self {
             SssMessage::Remove { .. }
             | SssMessage::Decide { .. }
-            | SssMessage::RegisterForward { .. } => Priority::High,
+            | SssMessage::RegisterForward { .. }
+            | SssMessage::ConfirmExternal { .. }
+            | SssMessage::ReleaseExternal { .. } => Priority::High,
             SssMessage::ReadRequest { .. } | SssMessage::Prepare { .. } => Priority::Normal,
         }
     }
@@ -163,6 +198,8 @@ impl SssMessage {
             SssMessage::Decide { .. } => "Decide",
             SssMessage::Remove { .. } => "Remove",
             SssMessage::RegisterForward { .. } => "RegisterForward",
+            SssMessage::ConfirmExternal { .. } => "ConfirmExternal",
+            SssMessage::ReleaseExternal { .. } => "ReleaseExternal",
         }
     }
 }

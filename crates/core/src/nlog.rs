@@ -109,7 +109,7 @@ impl NLog {
             if !visible {
                 continue;
             }
-            if excluded.iter().any(|vc| *vc == entry.vc) {
+            if excluded.contains(&entry.vc) {
                 continue;
             }
             max.merge(&entry.vc);
@@ -196,7 +196,10 @@ mod tests {
     #[test]
     fn visible_max_of_empty_log_is_zero() {
         let log = NLog::new(3, 4);
-        assert_eq!(log.visible_max(&[true, false, false], &vc(&[9, 9, 9]), &[]), vc(&[0, 0, 0]));
+        assert_eq!(
+            log.visible_max(&[true, false, false], &vc(&[9, 9, 9]), &[]),
+            vc(&[0, 0, 0])
+        );
     }
 
     #[test]

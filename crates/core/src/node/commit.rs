@@ -205,10 +205,7 @@ impl SssNode {
     /// by the Pre-Commit phase (Algorithms 3 and 4).
     pub(super) fn process_commit_queue(&self, state: &mut NodeState) {
         let i = self.id().index();
-        loop {
-            let Some(entry) = state.commit_q.pop_ready_head() else {
-                break;
-            };
+        while let Some(entry) = state.commit_q.pop_ready_head() {
             let txn = entry.txn;
             let commit_vc = entry.vc;
             let prep = state
@@ -234,8 +231,11 @@ impl SssNode {
             // Pre-Commit (Algorithm 3): leave a write trace in the
             // snapshot-queues of the written keys and propagate the
             // read-only entries observed during execution.
-            let write_keys: Vec<Key> =
-                prep.local_write_set.iter().map(|(k, _)| k.clone()).collect();
+            let write_keys: Vec<Key> = prep
+                .local_write_set
+                .iter()
+                .map(|(k, _)| k.clone())
+                .collect();
             {
                 let st = &mut *state;
                 for key in &write_keys {
@@ -266,16 +266,33 @@ impl SssNode {
             } else {
                 self.complete_external_commit(state, waiting);
             }
-
-            // The NLog advanced: deferred read-only reads may now be
-            // serviceable.
-            self.drain_pending_reads(state);
         }
+
+        // The NLog advanced and/or commit-queue entries left the queue
+        // (applied or aborted): deferred read-only reads may now be
+        // serviceable. This runs even when nothing popped, because an abort
+        // removal alone can clear the commit-queue ambiguity a read is
+        // deferred on.
+        self.drain_pending_reads(state);
+
+        // Traffic-driven re-evaluation of held transactions, so that the
+        // bounded Pre-Commit hold elapses without requiring a `Remove` to
+        // arrive (wait-cycle breaking; see `release_unblocked_external_commits`).
+        self.release_unblocked_external_commits(state);
     }
 
     /// Finishes the Pre-Commit phase of one transaction: removes its write
     /// entries from the snapshot-queues and acknowledges the coordinator.
     pub(super) fn complete_external_commit(&self, state: &mut NodeState, waiting: WaitingExternal) {
+        // The transaction is externally committed *here*, but other write
+        // replicas may still be waiting; keep read-only transactions from
+        // returning its versions until the coordinator confirms the global
+        // external commit. If the coordinator's `ReleaseExternal` already
+        // arrived (it gave up on a timed-out ack round), the entry must not
+        // be re-created — no second release will ever clear it.
+        if !state.released_external.contains(&waiting.txn) {
+            state.pending_global.insert(waiting.txn);
+        }
         state
             .squeues
             .remove_write_entries(waiting.txn, waiting.write_keys.iter());
@@ -290,12 +307,18 @@ impl SssNode {
     }
 
     /// Re-evaluates every transaction held in its Pre-Commit phase; called
-    /// after `Remove` messages clear snapshot-queue entries.
+    /// after `Remove` messages clear snapshot-queue entries and periodically
+    /// from other message handlers. A transaction that has been held longer
+    /// than `precommit_hold_max` is completed even if blocking read entries
+    /// remain (see the config field for why this is sound).
     pub(super) fn release_unblocked_external_commits(&self, state: &mut NodeState) {
         let i = self.id().index();
+        let hold_max = self.config().precommit_hold_max;
         let waiting = std::mem::take(&mut state.waiting_external);
         for w in waiting {
-            if state.blocks_external_commit(&w.write_keys, w.commit_vc.get(i)) {
+            if w.since.elapsed() < hold_max
+                && state.blocks_external_commit(&w.write_keys, w.commit_vc.get(i))
+            {
                 state.waiting_external.push(w);
             } else {
                 self.complete_external_commit(state, w);

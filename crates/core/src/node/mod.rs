@@ -121,10 +121,14 @@ impl SssNode {
         TxnId::new(self.id, self.next_txn_seq.fetch_add(1, Ordering::Relaxed))
     }
 
-    /// The vector clock a transaction beginning on this node starts from
-    /// (`NLog.mostRecentVC`, Algorithm 5 line 6).
+    /// The vector clock a transaction beginning on this node starts from:
+    /// `NLog.mostRecentVC` (Algorithm 5 line 6) merged with the node's
+    /// `confirmed_vc`, so the initial snapshot covers every update
+    /// transaction whose client response has already been delivered
+    /// anywhere in the cluster.
     pub(crate) fn begin_vc(&self) -> VectorClock {
-        self.state.lock().nlog.most_recent_vc().clone()
+        let state = self.state.lock();
+        state.nlog.most_recent_vc().merged(&state.confirmed_vc)
     }
 
     /// Called by a colocated client when its read-only transaction returns:
@@ -146,12 +150,9 @@ impl SssNode {
         targets.sort();
         targets.dedup();
         for target in targets {
-            let _ = self.transport.send(
-                self.id,
-                target,
-                SssMessage::Remove { txn },
-                Priority::High,
-            );
+            let _ =
+                self.transport
+                    .send(self.id, target, SssMessage::Remove { txn }, Priority::High);
         }
     }
 
@@ -175,7 +176,11 @@ impl SssNode {
                 .iter()
                 .map(|e| format!("{}:{:?}@{}", e.txn, e.status, e.vc.get(self.id.index())))
                 .collect();
-            out.push_str(&format!("{}: CommitQ = [{}]\n", self.id, entries.join(", ")));
+            out.push_str(&format!(
+                "{}: CommitQ = [{}]\n",
+                self.id,
+                entries.join(", ")
+            ));
         }
         for waiting in &state.waiting_external {
             let sid = waiting.commit_vc.get(self.id.index());
@@ -235,6 +240,12 @@ impl NodeService<SssMessage> for SssNode {
             SssMessage::RegisterForward { txn, targets } => {
                 self.handle_register_forward(txn, targets)
             }
+            SssMessage::ConfirmExternal {
+                txn,
+                commit_vc,
+                reply,
+            } => self.handle_confirm_external(txn, commit_vc, reply),
+            SssMessage::ReleaseExternal { txn } => self.handle_release_external(txn),
         }
     }
 }

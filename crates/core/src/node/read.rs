@@ -7,7 +7,7 @@ use sss_vclock::VectorClock;
 use crate::messages::{PropagatedEntry, ReadReturn};
 use crate::stats::NodeCounters;
 
-use super::state::{NodeState, PendingRead};
+use super::state::{NodeState, ParkedRead, PendingRead};
 use super::SssNode;
 
 impl SssNode {
@@ -57,6 +57,18 @@ impl SssNode {
             state = self.state.lock();
         }
 
+        // If a writer of this key has been held past the bounded Pre-Commit
+        // hold, complete it now: read traffic alone must be able to break a
+        // wait cycle (see `release_unblocked_external_commits`).
+        if state
+            .squeues
+            .get(&key)
+            .map(|q| q.has_aged_writer_beyond(0, self.config().precommit_hold_max))
+            .unwrap_or(false)
+        {
+            self.release_unblocked_external_commits(&mut state);
+        }
+
         let first_read_here = !has_read[i];
         if first_read_here && state.nlog.most_recent_vc().get(i) < vc.get(i) {
             // Algorithm 6 line 5: transactions already included in T.VC[i]
@@ -67,14 +79,22 @@ impl SssNode {
                 key,
                 vc,
                 has_read,
+                bound_pinned: false,
                 reply,
             });
             return;
         }
-        let response = self.serve_read_only_read(&mut state, txn, &key, &vc, &has_read);
-        NodeCounters::bump(&self.counters().reads_served);
-        drop(state);
-        reply.send(response);
+        self.serve_or_park_read_only(
+            &mut state,
+            PendingRead {
+                txn,
+                key,
+                vc,
+                has_read,
+                bound_pinned: false,
+                reply,
+            },
+        );
     }
 
     /// Serves deferred read-only reads whose visibility condition became
@@ -91,50 +111,135 @@ impl SssNode {
             ready
         };
         for pending in ready {
-            let response =
-                self.serve_read_only_read(state, pending.txn, &pending.key, &pending.vc, &pending.has_read);
-            NodeCounters::bump(&self.counters().reads_served);
-            pending.reply.send(response);
+            self.serve_or_park_read_only(state, pending);
         }
     }
 
-    /// Algorithm 6, read-only path.
-    fn serve_read_only_read(
+    /// Handles `ConfirmExternal[T, commitVC]`: advances the node's confirmed
+    /// snapshot — transactions beginning here afterwards serialize after the
+    /// writer — and acknowledges the coordinator. Parked reads stay parked
+    /// until the writer's `ReleaseExternal`.
+    pub(super) fn handle_confirm_external(
         &self,
-        state: &mut NodeState,
         txn: TxnId,
-        key: &Key,
-        vc: &VectorClock,
-        has_read: &[bool],
-    ) -> ReadReturn {
-        let i = self.id().index();
-        let first_read_here = !has_read[i];
+        commit_vc: VectorClock,
+        reply: ReplySender<crate::messages::Ack>,
+    ) {
+        self.state.lock().confirmed_vc.merge(&commit_vc);
+        reply.send(crate::messages::Ack {
+            from: self.id(),
+            txn,
+        });
+    }
 
-        // Step 1: establish maxVC and the set of excluded writers.
-        let (max_vc, excluded_writers) = if first_read_here {
+    /// Handles `ReleaseExternal[T]`: the writer's confirmation round is
+    /// complete and its client is being answered, so its versions may now
+    /// reach read-only clients. Releases every read parked on it.
+    pub(super) fn handle_release_external(&self, txn: TxnId) {
+        let mut state = self.state.lock();
+        state.released_external.insert(txn);
+        state.pending_global.remove(&txn);
+        let (released, still): (Vec<ParkedRead>, Vec<ParkedRead>) =
+            state.parked_reads.drain(..).partition(|p| p.writer == txn);
+        state.parked_reads = still;
+        for parked in released {
+            // Re-run the full selection: the queue and log moved on while
+            // the read was parked, and the new selection may park again on a
+            // different (newer) unconfirmed writer.
+            self.serve_or_park_read_only(&mut state, parked.read);
+        }
+    }
+
+    /// Algorithm 6, read-only path: runs the version selection and either
+    /// answers the request or — when the selected version's writer has not
+    /// yet globally externally committed — parks it until the writer's
+    /// `ConfirmExternal` arrives.
+    ///
+    /// Holding the read is what keeps client-observed completions consistent
+    /// with the serialization order across nodes: without it, a client could
+    /// observe a pre-committed version and return while, on a node with a
+    /// staler clock, a later-starting read-only transaction still serializes
+    /// *before* that writer — an external-consistency cycle.
+    fn serve_or_park_read_only(&self, state: &mut NodeState, pending: PendingRead) {
+        let i = self.id().index();
+        let PendingRead {
+            txn,
+            key,
+            vc,
+            has_read,
+            bound_pinned,
+            reply,
+        } = pending;
+        // The snapshot of a read-only transaction is *pinned* by its first
+        // read: the reply's `maxVC` is merged into `T.VC` by the client and
+        // every subsequent read — on any node — is bounded by that same
+        // clock. Letting the bound grow per read (as a per-node `maxVC`
+        // recomputation would) admits versions that an earlier read of the
+        // same transaction deliberately excluded, which fractures the
+        // snapshot (observed as non-repeatable reads of a key and as
+        // serialization cycles with concurrent writers).
+        let first_read_anywhere = !bound_pinned && !has_read.iter().any(|b| *b);
+
+        // Step 1: establish maxVC.
+        let max_vc = if first_read_anywhere {
             // Update transactions still in their Pre-Commit phase whose
             // insertion-snapshot is beyond the transaction's visibility
             // bound must be excluded (lines 7-8): serializing the reader
             // before them is what guarantees a unique external schedule for
             // non-conflicting writers (the Adya cross-node anomaly).
-            let (excluded_vcs, excluded_writers): (Vec<VectorClock>, Vec<TxnId>) = state
+            let excluded_vcs: Vec<VectorClock> = state
                 .squeues
-                .get(key)
+                .get(&key)
                 .map(|q| {
                     q.writes()
                         .iter()
                         .filter(|w| w.sid > vc.get(i))
-                        .map(|w| (w.commit_vc.clone(), w.txn))
-                        .unzip()
+                        .map(|w| w.commit_vc.clone())
+                        .collect()
                 })
                 .unwrap_or_default();
-            let max_vc = state.nlog.visible_max(has_read, vc, &excluded_vcs);
-            (max_vc, excluded_writers)
+            state.nlog.visible_max(&has_read, &vc, &excluded_vcs)
         } else {
-            // Subsequent read on this node: the bound is the transaction's
-            // own vector clock (lines 16-21).
-            (vc.clone(), Vec::new())
+            // Subsequent read: the bound is the transaction's own (pinned)
+            // vector clock (lines 16-21).
+            vc.clone()
         };
+
+        // Visibility wait, part 2: the `NLog.mostRecentVC[i] >= T.VC[i]`
+        // condition alone is not a reliable witness that every transaction
+        // within the bound has been applied here. The xact-vn equalization
+        // (Algorithm 1 lines 21-24) can assign two concurrent transactions
+        // the same clock entry for this node, so an applied transaction can
+        // raise `mostRecentVC[i]` to a value that a *still-queued*
+        // transaction's commit vector clock also carries. Serving now would
+        // let the snapshot cover that transaction on other nodes while
+        // missing its local writes (a fractured read). Defer while any
+        // commit-queue entry is at or below the bound; entries only leave
+        // the queue by being applied or aborted, and both paths re-drain
+        // the deferred reads.
+        if state
+            .commit_q
+            .entries()
+            .iter()
+            .any(|e| e.vc.get(i) <= max_vc.get(i))
+        {
+            // Counted once per request: re-evaluations of a read that is
+            // still blocked re-enter with the bound already pinned.
+            if !bound_pinned {
+                NodeCounters::bump(&self.counters().reads_deferred);
+            }
+            // Pin the computed bound: re-serving must not chase commits
+            // that happened while the read was waiting.
+            state.pending_reads.push(PendingRead {
+                txn,
+                key,
+                vc: max_vc,
+                has_read,
+                bound_pinned: true,
+                reply,
+            });
+            return;
+        }
 
         // Step 2: leave a trace in the key's snapshot-queue (lines 10/17).
         //
@@ -145,22 +250,19 @@ impl SssNode {
         // read). Enqueuing now would leave an entry no future `Remove` will
         // ever clear, permanently blocking writers of this key.
         if !state.removed_ro.contains(&txn) {
-            state.squeues.entry(key).insert_read(txn, max_vc.get(i));
+            state.squeues.entry(&key).insert_read(txn, max_vc.get(i));
         }
 
         // Step 3: walk the version chain newest-to-oldest (lines 11-14 /
-        // 18-21) and pick the most recent version within the bound.
-        let selected = state.store.chain(key).and_then(|chain| {
+        // 18-21) and pick the most recent version within the snapshot: a
+        // version is visible only if `maxVC` dominates its commit vector
+        // clock. (Bounding on every entry — not only the already-read nodes
+        // — guarantees the reader's snapshot genuinely covers everything it
+        // observes, which rules out reading "around" an excluded
+        // pre-committing writer.)
+        let selected = state.store.chain(&key).and_then(|chain| {
             chain
-                .latest_matching(|ver| {
-                    let within_bound = has_read
-                        .iter()
-                        .enumerate()
-                        .all(|(w, read)| !*read || ver.vc.get(w) <= max_vc.get(w));
-                    let excluded = excluded_writers.contains(&ver.writer)
-                        && ver.vc.get(i) > max_vc.get(i);
-                    within_bound && !excluded
-                })
+                .latest_matching(|ver| max_vc.dominates(&ver.vc))
                 .map(|ver| (ver.value.clone(), ver.writer))
         });
         let (value, writer) = match selected {
@@ -168,13 +270,49 @@ impl SssNode {
             None => (None, None),
         };
 
-        ReadReturn {
+        // Step 4: completion-order barrier. If the selected version's writer
+        // is still in its Pre-Commit phase on this node (write entry in the
+        // key's snapshot-queue) or has externally committed here but not yet
+        // globally (awaiting `ConfirmExternal`), hold the read until the
+        // writer's global external commit: the value must not reach a client
+        // before the writer's own client response.
+        if let Some(w) = writer {
+            let writer_unconfirmed = (state
+                .squeues
+                .get(&key)
+                .map(|q| q.writes().iter().any(|e| e.txn == w))
+                .unwrap_or(false)
+                || state.pending_global.contains(&w))
+                && !state.released_external.contains(&w);
+            if writer_unconfirmed {
+                NodeCounters::bump(&self.counters().reads_parked);
+                // Pin the computed bound: when the writer is released, the
+                // re-served selection must use this same snapshot — a fresh
+                // (larger) bound would land on the next unconfirmed writer
+                // and livelock under sustained write traffic.
+                state.parked_reads.push(ParkedRead {
+                    writer: w,
+                    read: PendingRead {
+                        txn,
+                        key,
+                        vc: max_vc,
+                        has_read,
+                        bound_pinned: true,
+                        reply,
+                    },
+                });
+                return;
+            }
+        }
+
+        NodeCounters::bump(&self.counters().reads_served);
+        reply.send(ReadReturn {
             from: self.id(),
             value,
             writer,
             vc: max_vc,
             propagated: Vec::new(),
-        }
+        });
     }
 
     /// Algorithm 6, update-transaction path (lines 23-27).

@@ -45,7 +45,25 @@ pub(crate) struct PendingRead {
     pub key: Key,
     pub vc: VectorClock,
     pub has_read: Vec<bool>,
+    /// `true` once a first read's `maxVC` has been computed and stored in
+    /// `vc`: re-serving after a wait must reuse that bound instead of
+    /// recomputing a fresh (ever-growing) one, or the read would chase
+    /// newly committed writers forever under sustained write traffic.
+    pub bound_pinned: bool,
     pub reply: ReplySender<ReadReturn>,
+}
+
+/// A read-only read whose selected version was produced by an update
+/// transaction that has not yet *globally* externally committed. The read is
+/// held until the writer's `ConfirmExternal` arrives, so that the value never
+/// reaches a client before the writer's own client response — the
+/// cross-node completion-order guarantee (paper §III-C).
+#[derive(Debug)]
+pub(crate) struct ParkedRead {
+    /// The not-yet-confirmed writer the read is waiting for.
+    pub writer: TxnId,
+    /// The deferred read request.
+    pub read: PendingRead,
 }
 
 /// An internally committed update transaction held in its Pre-Commit phase
@@ -96,6 +114,17 @@ impl RecentTxnSet {
         self.set.contains(txn)
     }
 
+    /// Forgets `txn` (e.g. once its global external commit is confirmed).
+    /// Returns `true` if it was remembered.
+    pub(crate) fn remove(&mut self, txn: &TxnId) -> bool {
+        if self.set.remove(txn) {
+            self.order.retain(|t| t != txn);
+            true
+        } else {
+            false
+        }
+    }
+
     /// Number of remembered identifiers (diagnostics and tests).
     #[allow(dead_code)]
     pub(crate) fn len(&self) -> usize {
@@ -108,6 +137,12 @@ impl RecentTxnSet {
 pub(crate) struct NodeState {
     /// `NodeVC` (paper §III-A).
     pub node_vc: VectorClock,
+    /// Entry-wise maximum over the commit vector clocks of every update
+    /// transaction whose *global* external commit has been confirmed to this
+    /// node. Transactions beginning here start from at least this snapshot,
+    /// which makes every already-completed update transaction visible to
+    /// them regardless of which keys this node replicates.
+    pub confirmed_vc: VectorClock,
     /// `NLog` (internal-commit repository).
     pub nlog: NLog,
     /// `CommitQ`.
@@ -120,8 +155,22 @@ pub(crate) struct NodeState {
     pub prepared: HashMap<TxnId, PreparedTxn>,
     /// Read-only reads deferred by the visibility wait.
     pub pending_reads: Vec<PendingRead>,
+    /// Read-only reads held until the writer of their selected version is
+    /// globally externally committed.
+    pub parked_reads: Vec<ParkedRead>,
     /// Update transactions held in their Pre-Commit phase.
     pub waiting_external: Vec<WaitingExternal>,
+    /// Update transactions that externally committed *on this node* (their
+    /// write entries left the snapshot-queues) but whose coordinator has not
+    /// yet confirmed the global external commit. Versions written by these
+    /// transactions are not returned to read-only transactions yet.
+    pub pending_global: RecentTxnSet,
+    /// Update transactions whose `ReleaseExternal` has been processed here.
+    /// Guards against the ack-timeout race where the coordinator's release
+    /// overtakes this node's own external-commit completion: a transaction
+    /// already released must neither (re-)enter `pending_global` nor keep
+    /// parking reads on its lingering write entries.
+    pub released_external: RecentTxnSet,
     /// Read-only transactions whose `Remove` has been processed here.
     pub removed_ro: RecentTxnSet,
     /// Transactions whose abort `Decide` arrived before their `Prepare`
@@ -142,13 +191,17 @@ impl NodeState {
     pub(crate) fn new(node_index: usize, width: usize, nlog_capacity: usize) -> Self {
         NodeState {
             node_vc: VectorClock::new(width),
+            confirmed_vc: VectorClock::new(width),
             nlog: NLog::new(width, nlog_capacity),
             commit_q: CommitQueue::new(node_index),
             store: MvStore::new(),
             squeues: SnapshotQueues::new(),
             prepared: HashMap::new(),
             pending_reads: Vec::new(),
+            parked_reads: Vec::new(),
             waiting_external: Vec::new(),
+            pending_global: RecentTxnSet::new(1 << 16),
+            released_external: RecentTxnSet::new(1 << 16),
             removed_ro: RecentTxnSet::new(1 << 16),
             aborted_early: RecentTxnSet::new(1 << 16),
             ro_forward_targets: HashMap::new(),
@@ -199,7 +252,7 @@ mod tests {
         let y = Key::new("y");
         state.squeues.entry(&x).insert_read(txn(1), 5);
         assert!(state.blocks_external_commit(&[x.clone(), y.clone()], 8));
-        assert!(!state.blocks_external_commit(&[y.clone()], 8));
+        assert!(!state.blocks_external_commit(std::slice::from_ref(&y), 8));
         assert!(!state.blocks_external_commit(&[x], 5));
     }
 }

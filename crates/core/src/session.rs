@@ -116,6 +116,29 @@ fn remote_read(
         .ok_or_else(|| SssError::ReadTimeout { key: key.clone() })
 }
 
+/// Collects `Ack` replies for `txn` from `expected` distinct nodes, waiting
+/// at most `timeout`. Returns `false` on timeout or channel loss.
+fn collect_acks(
+    receiver: &sss_net::ReplyReceiver<crate::messages::Ack>,
+    txn: TxnId,
+    expected: usize,
+    timeout: Duration,
+) -> bool {
+    let deadline = Instant::now() + timeout;
+    let mut seen: HashSet<NodeId> = HashSet::new();
+    while seen.len() < expected {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        match receiver.recv_timeout(remaining) {
+            Some(ack) if ack.txn == txn => {
+                seen.insert(ack.from);
+            }
+            Some(_) => continue,
+            None => return false,
+        }
+    }
+    true
+}
+
 /// An update transaction: reads observe the most recent committed versions,
 /// writes are buffered and installed at commit time through 2PC.
 #[derive(Debug)]
@@ -254,8 +277,7 @@ impl UpdateTransaction {
                         commit_vc.merge(&vote.vc);
                     } else {
                         outcome = false;
-                        abort_reason =
-                            Some(AbortReason::ValidationFailed { key: None });
+                        abort_reason = Some(AbortReason::ValidationFailed { key: None });
                         break;
                     }
                 }
@@ -317,17 +339,65 @@ impl UpdateTransaction {
         let internal_latency = self.started.elapsed();
 
         // External commit: wait for every write replica's acknowledgement.
-        let ack_deadline = Instant::now() + node.config().ack_timeout;
-        let mut acked: HashSet<NodeId> = HashSet::new();
-        while acked.len() < write_replicas.len() {
-            let remaining = ack_deadline.saturating_duration_since(Instant::now());
-            match ack_receiver.recv_timeout(remaining) {
-                Some(ack) if ack.txn == self.id => {
-                    acked.insert(ack.from);
-                }
-                Some(_) => continue,
-                None => return Err(SssError::ExternalCommitTimeout),
-            }
+        let timed_out = !collect_acks(
+            &ack_receiver,
+            self.id,
+            write_replicas.len(),
+            node.config().ack_timeout,
+        );
+
+        // Global external-commit confirmation round (completion-order
+        // barrier, see `serve_or_park_read_only` and `begin_vc`): broadcast
+        // `ConfirmExternal` to every node and wait for the acknowledgements
+        // before answering the client. This guarantees that any transaction
+        // starting *after* this client response — on any node — begins from
+        // a snapshot that covers this transaction, and that read-only
+        // transactions never return this transaction's versions before this
+        // response. The confirmations are also sent on the ack-timeout path
+        // so that parked reads are eventually released even when this
+        // coordinator gave up waiting — by then the system has been wedged
+        // for the whole (very generous) ack timeout and consistency is
+        // best-effort anyway.
+        let all_nodes: Vec<NodeId> = (0..node.config().nodes).map(NodeId).collect();
+        let (confirm_reply, confirm_receiver) = reply_channel(all_nodes.len());
+        for target in &all_nodes {
+            let _ = node.transport().send(
+                node.id(),
+                *target,
+                SssMessage::ConfirmExternal {
+                    txn: self.id,
+                    commit_vc: commit_vc.clone(),
+                    reply: confirm_reply.clone(),
+                },
+                Priority::High,
+            );
+        }
+        drop(confirm_reply);
+
+        let confirm_failed = timed_out
+            || !collect_acks(
+                &confirm_receiver,
+                self.id,
+                all_nodes.len(),
+                node.config().ack_timeout,
+            );
+
+        // Release phase: the confirmation round is done (the client response
+        // is next), so readers parked on this transaction's versions may be
+        // answered. Sent to the write replicas — the only nodes that can
+        // hold parked reads for this transaction — and also on the failure
+        // paths, so a timed-out commit never leaves readers parked forever.
+        for target in &write_replicas {
+            let _ = node.transport().send(
+                node.id(),
+                *target,
+                SssMessage::ReleaseExternal { txn: self.id },
+                Priority::High,
+            );
+        }
+
+        if confirm_failed {
+            return Err(SssError::ExternalCommitTimeout);
         }
 
         Ok(CommitInfo {
@@ -374,12 +444,17 @@ impl ReadOnlyTransaction {
         if self.vc.is_none() {
             self.vc = Some(self.node.begin_vc());
         }
+        // Track the key *before* issuing the request: even when the read
+        // fails (e.g. times out while deferred or parked on a replica), the
+        // replicas may already hold this transaction's snapshot-queue entry
+        // for the key, and the `Remove`s sent at completion must reach them
+        // or a writer could be blocked forever.
+        self.read_keys.push(key.clone());
         let vc = self.vc.as_ref().expect("initialized above");
         let response = remote_read(&self.node, self.id, &key, vc, &self.has_read, false)?;
         self.has_read[response.from.index()] = true;
         let vc = self.vc.as_mut().expect("initialized above");
         vc.merge(&response.vc);
-        self.read_keys.push(key);
         Ok(response.value)
     }
 

@@ -96,7 +96,7 @@ impl SnapshotQueue {
             commit_vc,
             since: std::time::Instant::now(),
         });
-        self.writes.sort_by(|a, b| (a.sid, a.txn).cmp(&(b.sid, b.txn)));
+        self.writes.sort_by_key(|a| (a.sid, a.txn));
     }
 
     /// `true` if an update entry with insertion-snapshot beyond `sid` has

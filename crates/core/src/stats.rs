@@ -7,6 +7,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 pub(crate) struct NodeCounters {
     pub reads_served: AtomicU64,
     pub reads_deferred: AtomicU64,
+    pub reads_parked: AtomicU64,
     pub prepares: AtomicU64,
     pub votes_ok: AtomicU64,
     pub votes_lock_failed: AtomicU64,
@@ -22,6 +23,7 @@ impl NodeCounters {
         NodeStats {
             reads_served: self.reads_served.load(Ordering::Relaxed),
             reads_deferred: self.reads_deferred.load(Ordering::Relaxed),
+            reads_parked: self.reads_parked.load(Ordering::Relaxed),
             prepares: self.prepares.load(Ordering::Relaxed),
             votes_ok: self.votes_ok.load(Ordering::Relaxed),
             votes_lock_failed: self.votes_lock_failed.load(Ordering::Relaxed),
@@ -50,6 +52,9 @@ pub struct NodeStats {
     /// Read requests that had to wait for the visibility condition of
     /// Algorithm 6 line 5.
     pub reads_deferred: u64,
+    /// Read requests held because the selected version's writer had not yet
+    /// globally externally committed (completion-order barrier).
+    pub reads_parked: u64,
     /// 2PC prepare requests processed.
     pub prepares: u64,
     /// Positive votes returned.
@@ -95,6 +100,7 @@ impl ClusterStats {
             nodes += 1;
             totals.reads_served += s.reads_served;
             totals.reads_deferred += s.reads_deferred;
+            totals.reads_parked += s.reads_parked;
             totals.prepares += s.prepares;
             totals.votes_ok += s.votes_ok;
             totals.votes_lock_failed += s.votes_lock_failed;

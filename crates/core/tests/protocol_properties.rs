@@ -76,10 +76,10 @@ proptest! {
     }
 }
 
-/// Randomized end-to-end check: a single-node cluster processing a random
-/// interleaving of update and read-only transactions behaves like a simple
-/// sequential key-value map (linearizability at whole-transaction level for
-/// the sequential client).
+// Randomized end-to-end check: a single-node cluster processing a random
+// interleaving of update and read-only transactions behaves like a simple
+// sequential key-value map (linearizability at whole-transaction level for
+// the sequential client).
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
     #[test]

@@ -1,0 +1,73 @@
+//! Trait bindings: hooks each engine's adapter (owned by the engine's own
+//! crate) onto the [`TransactionEngine`] / [`EngineSession`] traits.
+//!
+//! The bindings are deliberately mechanical — every substantive decision
+//! (how a transaction executes, what counts as the internal latency) lives
+//! in the adapter next to its engine. Implementing the traits *here* rather
+//! than in the engine crates keeps the dependency graph acyclic: the engine
+//! crates do not know about the engine layer, and this crate can therefore
+//! host the [`EngineKind`](crate::EngineKind) factory that constructs all
+//! of them.
+
+use sss_baselines::adapters::{
+    RococoEngine, RococoEngineSession, TwoPcEngine, TwoPcEngineSession, WalterEngine,
+    WalterEngineSession,
+};
+use sss_core::adapter::{SssEngine, SssEngineSession};
+
+use crate::traits::{EngineSession, TransactionEngine, TxnOutcome};
+
+macro_rules! bind_engine {
+    ($engine:ty, $session:ty, $name:literal) => {
+        impl TransactionEngine for $engine {
+            fn name(&self) -> &str {
+                $name
+            }
+
+            fn nodes(&self) -> usize {
+                self.node_count()
+            }
+
+            fn session(&self, node: usize) -> Box<dyn EngineSession> {
+                Box::new(self.open_session(node))
+            }
+        }
+
+        impl EngineSession for $session {
+            fn run_update(
+                &mut self,
+                read_keys: &[sss_storage::Key],
+                writes: &[(sss_storage::Key, sss_storage::Value)],
+            ) -> TxnOutcome {
+                TxnOutcome::from_timings(<$session>::run_update(self, read_keys, writes))
+            }
+
+            fn run_read_only(&mut self, read_keys: &[sss_storage::Key]) -> TxnOutcome {
+                TxnOutcome::from_timings(<$session>::run_read_only(self, read_keys))
+            }
+        }
+    };
+}
+
+bind_engine!(SssEngine, SssEngineSession, "SSS");
+bind_engine!(TwoPcEngine, TwoPcEngineSession, "2PC");
+bind_engine!(WalterEngine, WalterEngineSession, "Walter");
+bind_engine!(RococoEngine, RococoEngineSession, "ROCOCO");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sss_storage::{Key, Value};
+
+    #[test]
+    fn bindings_forward_to_the_adapters() {
+        let engine = SssEngine::start(2, 1);
+        let dynamic: &dyn TransactionEngine = &engine;
+        assert_eq!(dynamic.name(), "SSS");
+        assert_eq!(dynamic.nodes(), 2);
+        let mut session = dynamic.session(0);
+        let outcome = session.run_update(&[], &[(Key::new("k"), Value::from_u64(1))]);
+        assert!(outcome.is_committed());
+        assert!(session.run_read_only(&[Key::new("k")]).is_committed());
+    }
+}

@@ -1,0 +1,143 @@
+//! The engine registry: one construction path for every engine.
+
+use std::str::FromStr;
+
+use sss_baselines::adapters::{RococoEngine, TwoPcEngine, WalterEngine};
+use sss_core::adapter::SssEngine;
+use sss_core::SssConfig;
+
+use crate::profile::NetProfile;
+use crate::traits::TransactionEngine;
+
+/// Which engine an experiment runs against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// The SSS protocol (this paper).
+    Sss,
+    /// The 2PC-baseline.
+    TwoPc,
+    /// The Walter-style PSI engine.
+    Walter,
+    /// The ROCOCO-style engine.
+    Rococo,
+}
+
+impl EngineKind {
+    /// Every engine the registry can build, in the paper's presentation
+    /// order.
+    pub const ALL: [EngineKind; 4] = [
+        EngineKind::Sss,
+        EngineKind::TwoPc,
+        EngineKind::Walter,
+        EngineKind::Rococo,
+    ];
+
+    /// Display name used in tables (matches the paper's legends).
+    pub fn label(&self) -> &'static str {
+        match self {
+            EngineKind::Sss => "SSS",
+            EngineKind::TwoPc => "2PC",
+            EngineKind::Walter => "Walter",
+            EngineKind::Rococo => "ROCOCO",
+        }
+    }
+
+    /// Builds this engine on a cluster of `nodes` nodes.
+    ///
+    /// `replication` is the number of replicas per key; the ROCOCO engine
+    /// ignores it (the paper's comparison always runs ROCOCO without
+    /// replication). `net_profile` selects the message-delay model; only
+    /// message-passing engines consume it (see [`NetProfile`]).
+    ///
+    /// This factory is the only way the rest of the workspace constructs an
+    /// engine — the workload driver, the figure sweeps, the examples and
+    /// the integration tests all go through it, so adding an engine means
+    /// adding a variant here and an adapter in the crate that owns it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero or the engine fails to boot (worker spawn
+    /// failure).
+    pub fn build(
+        &self,
+        nodes: usize,
+        replication: usize,
+        net_profile: NetProfile,
+    ) -> Box<dyn TransactionEngine> {
+        match self {
+            EngineKind::Sss => Box::new(SssEngine::with_config(
+                SssConfig::new(nodes)
+                    .replication(replication)
+                    .latency(net_profile.latency_model()),
+            )),
+            EngineKind::TwoPc => Box::new(TwoPcEngine::start(nodes, replication)),
+            EngineKind::Walter => Box::new(WalterEngine::start(nodes, replication)),
+            EngineKind::Rococo => Box::new(RococoEngine::start(nodes)),
+        }
+    }
+}
+
+impl std::fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Error returned when parsing an unknown engine name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseEngineKindError {
+    input: String,
+}
+
+impl std::fmt::Display for ParseEngineKindError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown engine {:?} (expected one of: sss, 2pc, walter, rococo)",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseEngineKindError {}
+
+impl FromStr for EngineKind {
+    type Err = ParseEngineKindError;
+
+    /// Parses the names used by the paper's legends, case-insensitively
+    /// ("sss", "2pc" or "twopc", "walter", "rococo").
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "sss" => Ok(EngineKind::Sss),
+            "2pc" | "twopc" | "2pc-baseline" => Ok(EngineKind::TwoPc),
+            "walter" => Ok(EngineKind::Walter),
+            "rococo" => Ok(EngineKind::Rococo),
+            _ => Err(ParseEngineKindError {
+                input: s.to_string(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_labels() {
+        assert_eq!(EngineKind::Sss.label(), "SSS");
+        assert_eq!(EngineKind::TwoPc.label(), "2PC");
+        assert_eq!(EngineKind::Walter.label(), "Walter");
+        assert_eq!(EngineKind::Rococo.label(), "ROCOCO");
+        assert_eq!(EngineKind::ALL.len(), 4);
+    }
+
+    #[test]
+    fn engine_names_parse() {
+        assert_eq!("sss".parse(), Ok(EngineKind::Sss));
+        assert_eq!("2PC".parse(), Ok(EngineKind::TwoPc));
+        assert_eq!("Walter".parse(), Ok(EngineKind::Walter));
+        assert_eq!("ROCOCO".parse(), Ok(EngineKind::Rococo));
+        assert!("spanner".parse::<EngineKind>().is_err());
+    }
+}

@@ -1,0 +1,133 @@
+//! The trait surface every engine exposes to drivers and tests.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use sss_storage::{Key, Value};
+
+/// Outcome of one transaction attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnOutcome {
+    /// The transaction committed.
+    Committed {
+        /// Latency from begin to the client-visible (external) completion.
+        latency: Duration,
+        /// For engines with a delayed client response (SSS), the part of the
+        /// latency spent before the internal commit; equal to `latency` for
+        /// engines without the distinction.
+        internal_latency: Duration,
+    },
+    /// The transaction aborted due to concurrency and may be retried.
+    Aborted,
+}
+
+impl TxnOutcome {
+    /// `true` if the transaction committed.
+    pub fn is_committed(&self) -> bool {
+        matches!(self, TxnOutcome::Committed { .. })
+    }
+
+    /// Builds an outcome from the adapter convention used by the engine
+    /// crates: `Some((latency, internal_latency))` for a commit, `None` for
+    /// an abort.
+    pub fn from_timings(timings: Option<(Duration, Duration)>) -> Self {
+        match timings {
+            Some((latency, internal_latency)) => TxnOutcome::Committed {
+                latency,
+                internal_latency,
+            },
+            None => TxnOutcome::Aborted,
+        }
+    }
+}
+
+/// A per-client handle bound to one node of the system under test.
+///
+/// Implementations execute whole transactions so that every engine keeps its
+/// native client API (the driver does not need to micro-manage reads and
+/// writes).
+pub trait EngineSession: Send {
+    /// Executes one update transaction that reads every key in `read_keys`
+    /// and writes `writes`.
+    fn run_update(&mut self, read_keys: &[Key], writes: &[(Key, Value)]) -> TxnOutcome;
+
+    /// Executes one read-only transaction over `read_keys`.
+    fn run_read_only(&mut self, read_keys: &[Key]) -> TxnOutcome;
+}
+
+impl<S: EngineSession + ?Sized> EngineSession for Box<S> {
+    fn run_update(&mut self, read_keys: &[Key], writes: &[(Key, Value)]) -> TxnOutcome {
+        (**self).run_update(read_keys, writes)
+    }
+
+    fn run_read_only(&mut self, read_keys: &[Key]) -> TxnOutcome {
+        (**self).run_read_only(read_keys)
+    }
+}
+
+/// A transactional key-value store that can be benchmarked by the driver.
+pub trait TransactionEngine: Sync {
+    /// Human-readable engine name used in reports ("SSS", "2PC", ...).
+    fn name(&self) -> &str;
+
+    /// Number of nodes the engine is running.
+    fn nodes(&self) -> usize;
+
+    /// Opens a client session colocated with `node`.
+    fn session(&self, node: usize) -> Box<dyn EngineSession>;
+}
+
+impl<E: TransactionEngine + ?Sized> TransactionEngine for Box<E> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn nodes(&self) -> usize {
+        (**self).nodes()
+    }
+
+    fn session(&self, node: usize) -> Box<dyn EngineSession> {
+        (**self).session(node)
+    }
+}
+
+impl<E: TransactionEngine + Send + Sync + ?Sized> TransactionEngine for Arc<E> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn nodes(&self) -> usize {
+        (**self).nodes()
+    }
+
+    fn session(&self, node: usize) -> Box<dyn EngineSession> {
+        (**self).session(node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_classification() {
+        let committed = TxnOutcome::Committed {
+            latency: Duration::from_millis(1),
+            internal_latency: Duration::from_micros(700),
+        };
+        assert!(committed.is_committed());
+        assert!(!TxnOutcome::Aborted.is_committed());
+    }
+
+    #[test]
+    fn outcome_from_adapter_timings() {
+        assert_eq!(TxnOutcome::from_timings(None), TxnOutcome::Aborted);
+        assert_eq!(
+            TxnOutcome::from_timings(Some((Duration::from_millis(2), Duration::from_millis(1)))),
+            TxnOutcome::Committed {
+                latency: Duration::from_millis(2),
+                internal_latency: Duration::from_millis(1),
+            }
+        );
+    }
+}

@@ -117,7 +117,9 @@ mod tests {
         assert_eq!(runtime.worker_count(), 3);
         assert_eq!(runtime.node(), NodeId(0));
         for _ in 0..100 {
-            transport.send(NodeId(0), NodeId(0), 2, Priority::Normal).unwrap();
+            transport
+                .send(NodeId(0), NodeId(0), 2, Priority::Normal)
+                .unwrap();
         }
         transport.shutdown();
         runtime.join();

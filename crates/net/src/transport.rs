@@ -58,8 +58,13 @@ pub trait Transport<M: Send>: Send + Sync {
     ///
     /// Returns [`TransportError::UnknownNode`] if `to` is out of range and
     /// [`TransportError::Closed`] after shutdown.
-    fn send(&self, from: NodeId, to: NodeId, payload: M, priority: Priority)
-        -> Result<(), TransportError>;
+    fn send(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        payload: M,
+        priority: Priority,
+    ) -> Result<(), TransportError>;
 
     /// Number of nodes reachable through this transport.
     fn num_nodes(&self) -> usize;
@@ -177,7 +182,9 @@ impl<M: Send + 'static> ChannelTransport<M> {
     /// Panics if the node count is zero.
     pub fn new(config: TransportConfig) -> Self {
         assert!(config.nodes > 0, "cluster must have at least one node");
-        let mailboxes = (0..config.nodes).map(|_| Arc::new(Mailbox::new())).collect();
+        let mailboxes = (0..config.nodes)
+            .map(|_| Arc::new(Mailbox::new()))
+            .collect();
         let delayer = if config.latency.is_zero() {
             None
         } else {
@@ -382,8 +389,13 @@ mod tests {
     #[test]
     fn multicast_reaches_every_target() {
         let t: ChannelTransport<&'static str> = ChannelTransport::new(TransportConfig::new(3));
-        t.multicast(NodeId(0), [NodeId(1), NodeId(2)], "prepare", Priority::Normal)
-            .unwrap();
+        t.multicast(
+            NodeId(0),
+            [NodeId(1), NodeId(2)],
+            "prepare",
+            Priority::Normal,
+        )
+        .unwrap();
         assert_eq!(t.mailbox(NodeId(1)).pop().unwrap().payload, "prepare");
         assert_eq!(t.mailbox(NodeId(2)).pop().unwrap().payload, "prepare");
         assert!(t.mailbox(NodeId(0)).is_empty());
@@ -392,7 +404,10 @@ mod tests {
     #[test]
     fn delayed_delivery_eventually_arrives() {
         let config = TransportConfig::new(2)
-            .latency(LatencyModel::new(Duration::from_millis(2), Duration::from_millis(1)))
+            .latency(LatencyModel::new(
+                Duration::from_millis(2),
+                Duration::from_millis(1),
+            ))
             .seed(3);
         let t: ChannelTransport<u32> = ChannelTransport::new(config);
         let start = Instant::now();
@@ -405,8 +420,10 @@ mod tests {
 
     #[test]
     fn delayed_messages_preserve_priority_class() {
-        let config = TransportConfig::new(1)
-            .latency(LatencyModel::new(Duration::from_micros(100), Duration::ZERO));
+        let config = TransportConfig::new(1).latency(LatencyModel::new(
+            Duration::from_micros(100),
+            Duration::ZERO,
+        ));
         let t: ChannelTransport<u32> = ChannelTransport::new(config);
         t.send(NodeId(0), NodeId(0), 1, Priority::Low).unwrap();
         t.send(NodeId(0), NodeId(0), 2, Priority::High).unwrap();

@@ -37,19 +37,17 @@ impl sss_net::NodeService<EchoMessage> for EchoService {
             EchoMessage::Ping { payload, reply } => {
                 reply.send(payload * 2);
             }
-            EchoMessage::Burst { priority_class } => {
-                match priority_class {
-                    Priority::High => {
-                        if self.low_seen.load(Ordering::SeqCst) == 0 {
-                            self.high_before_low.fetch_add(1, Ordering::SeqCst);
-                        }
+            EchoMessage::Burst { priority_class } => match priority_class {
+                Priority::High => {
+                    if self.low_seen.load(Ordering::SeqCst) == 0 {
+                        self.high_before_low.fetch_add(1, Ordering::SeqCst);
                     }
-                    Priority::Low => {
-                        self.low_seen.fetch_add(1, Ordering::SeqCst);
-                    }
-                    Priority::Normal => {}
                 }
-            }
+                Priority::Low => {
+                    self.low_seen.fetch_add(1, Ordering::SeqCst);
+                }
+                Priority::Normal => {}
+            },
         }
         self.processed.fetch_add(1, Ordering::SeqCst);
     }
@@ -58,7 +56,11 @@ impl sss_net::NodeService<EchoMessage> for EchoService {
 fn start_cluster(
     nodes: usize,
     latency: LatencyModel,
-) -> (Arc<ChannelTransport<EchoMessage>>, Vec<Arc<EchoService>>, Vec<NodeRuntime>) {
+) -> (
+    Arc<ChannelTransport<EchoMessage>>,
+    Vec<Arc<EchoService>>,
+    Vec<NodeRuntime>,
+) {
     let transport = Arc::new(ChannelTransport::new(
         TransportConfig::new(nodes).latency(latency).seed(7),
     ));
@@ -88,17 +90,26 @@ fn request_reply_round_trips_across_many_nodes() {
             .send(
                 NodeId(0),
                 NodeId(target),
-                EchoMessage::Ping { payload: target as u64, reply },
+                EchoMessage::Ping {
+                    payload: target as u64,
+                    reply,
+                },
                 Priority::Normal,
             )
             .unwrap();
-        assert_eq!(rx.recv_timeout(Duration::from_secs(1)), Some(target as u64 * 2));
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(1)),
+            Some(target as u64 * 2)
+        );
     }
     transport.shutdown();
     for r in runtimes {
         r.join();
     }
-    let processed: usize = services.iter().map(|s| s.processed.load(Ordering::SeqCst)).sum();
+    let processed: usize = services
+        .iter()
+        .map(|s| s.processed.load(Ordering::SeqCst))
+        .sum();
     assert_eq!(processed, 6);
 }
 
@@ -139,13 +150,32 @@ fn high_priority_messages_overtake_queued_low_priority_traffic() {
     // deterministic.
     for _ in 0..64 {
         transport
-            .send(NodeId(0), NodeId(0), EchoMessage::Burst { priority_class: Priority::Low }, Priority::Low)
+            .send(
+                NodeId(0),
+                NodeId(0),
+                EchoMessage::Burst {
+                    priority_class: Priority::Low,
+                },
+                Priority::Low,
+            )
             .unwrap();
     }
     transport
-        .send(NodeId(0), NodeId(0), EchoMessage::Burst { priority_class: Priority::High }, Priority::High)
+        .send(
+            NodeId(0),
+            NodeId(0),
+            EchoMessage::Burst {
+                priority_class: Priority::High,
+            },
+            Priority::High,
+        )
         .unwrap();
-    let runtime = NodeRuntime::spawn(NodeId(0), transport.mailbox(NodeId(0)), Arc::clone(&service), 1);
+    let runtime = NodeRuntime::spawn(
+        NodeId(0),
+        transport.mailbox(NodeId(0)),
+        Arc::clone(&service),
+        1,
+    );
     let deadline = Instant::now() + Duration::from_secs(2);
     while service.processed.load(Ordering::SeqCst) < 65 && Instant::now() < deadline {
         std::thread::sleep(Duration::from_millis(1));
@@ -170,7 +200,12 @@ fn latency_injection_delays_but_delivers_everything() {
     for i in 0..50u64 {
         let (reply, _rx) = reply_channel(1);
         transport
-            .send(NodeId(0), NodeId(1), EchoMessage::Ping { payload: i, reply }, Priority::Normal)
+            .send(
+                NodeId(0),
+                NodeId(1),
+                EchoMessage::Ping { payload: i, reply },
+                Priority::Normal,
+            )
             .unwrap();
     }
     let deadline = Instant::now() + Duration::from_secs(5);
@@ -194,7 +229,12 @@ fn shutdown_rejects_new_sends_and_joins_workers() {
     transport.shutdown();
     let (reply, _rx) = reply_channel(1);
     assert!(transport
-        .send(NodeId(0), NodeId(1), EchoMessage::Ping { payload: 1, reply }, Priority::Normal)
+        .send(
+            NodeId(0),
+            NodeId(1),
+            EchoMessage::Ping { payload: 1, reply },
+            Priority::Normal
+        )
         .is_err());
     for r in runtimes {
         r.join();
@@ -210,14 +250,22 @@ fn mailbox_statistics_reflect_traffic() {
     for i in 0..10u64 {
         let (reply, rx) = reply_channel(1);
         transport
-            .send(NodeId(0), NodeId(1), EchoMessage::Ping { payload: i, reply }, Priority::Normal)
+            .send(
+                NodeId(0),
+                NodeId(1),
+                EchoMessage::Ping { payload: i, reply },
+                Priority::Normal,
+            )
             .unwrap();
         assert!(rx.recv_timeout(Duration::from_secs(1)).is_some());
     }
     let stats = transport.mailbox_stats(NodeId(1));
     assert_eq!(stats.total_enqueued(), 10);
     assert_eq!(stats.total_dequeued(), 10);
-    assert_eq!(stats.enqueued[1], 10, "all pings travelled on the normal class");
+    assert_eq!(
+        stats.enqueued[1], 10,
+        "all pings travelled on the normal class"
+    );
     transport.shutdown();
     for r in runtimes {
         r.join();

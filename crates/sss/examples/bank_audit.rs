@@ -1,0 +1,135 @@
+//! A read-dominated "bank" workload: many concurrent transfer transactions
+//! move money between accounts while auditors continuously run long
+//! read-only transactions that sum every balance.
+//!
+//! Because SSS read-only transactions are abort-free *and* observe a
+//! consistent, externally-consistent snapshot, every audit must see exactly
+//! the same total amount of money, no matter how many transfers are in
+//! flight. This is the style of invariant the paper's Statement 2 and 3
+//! (§IV) guarantee.
+//!
+//! Run with: `cargo run --example bank_audit`
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use sss::core::{SssCluster, SssConfig};
+use sss::storage::Value;
+
+const ACCOUNTS: usize = 32;
+const INITIAL_BALANCE: u64 = 1_000;
+
+fn account_key(i: usize) -> String {
+    format!("account:{i}")
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cluster = Arc::new(SssCluster::start(SssConfig::new(4).replication(2))?);
+
+    // Fund every account.
+    let setup = cluster.session(0);
+    let mut funding = setup.begin_update();
+    for i in 0..ACCOUNTS {
+        funding.write(account_key(i), Value::from_u64(INITIAL_BALANCE));
+    }
+    funding.commit()?;
+    let expected_total = (ACCOUNTS as u64) * INITIAL_BALANCE;
+
+    let stop = Arc::new(AtomicBool::new(false));
+
+    // Transfer clients: read two accounts, move some money, commit. Aborted
+    // transfers (validation conflicts) are simply retried by the loop.
+    let mut workers = Vec::new();
+    for worker in 0..3usize {
+        let cluster = Arc::clone(&cluster);
+        let stop = Arc::clone(&stop);
+        workers.push(thread::spawn(move || {
+            let session = cluster.session(worker % cluster.node_count());
+            let mut transfers = 0u64;
+            let mut aborts = 0u64;
+            let mut rng = worker;
+            while !stop.load(Ordering::Relaxed) {
+                rng = rng
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(worker + 1);
+                let from = rng % ACCOUNTS;
+                let to = (rng / ACCOUNTS) % ACCOUNTS;
+                if from == to {
+                    continue;
+                }
+                let mut txn = session.begin_update();
+                let read = |v: Option<Value>| v.and_then(|v| v.to_u64()).unwrap_or(0);
+                let Ok(balance_from) = txn.read(account_key(from)).map(read) else {
+                    continue;
+                };
+                let Ok(balance_to) = txn.read(account_key(to)).map(read) else {
+                    continue;
+                };
+                // Never withdraw more than the account holds (an empty
+                // account simply skips its turn).
+                let amount = (1 + rng as u64 % 10).min(balance_from);
+                if amount == 0 {
+                    continue;
+                }
+                txn.write(account_key(from), Value::from_u64(balance_from - amount));
+                txn.write(account_key(to), Value::from_u64(balance_to + amount));
+                match txn.commit() {
+                    Ok(_) => transfers += 1,
+                    Err(e) if e.is_abort() => aborts += 1,
+                    Err(e) => panic!("unexpected error: {e}"),
+                }
+            }
+            (transfers, aborts)
+        }));
+    }
+
+    // Auditor: a long read-only transaction summing every account.
+    let auditor_cluster = Arc::clone(&cluster);
+    let auditor_stop = Arc::clone(&stop);
+    let auditor = thread::spawn(move || -> Result<u64, String> {
+        let session = auditor_cluster.session(1);
+        let mut audits = 0u64;
+        while !auditor_stop.load(Ordering::Relaxed) {
+            let mut audit = session.begin_read_only();
+            let mut total = 0u64;
+            for i in 0..ACCOUNTS {
+                total += audit
+                    .read(account_key(i))
+                    .map_err(|e| e.to_string())?
+                    .and_then(|v| v.to_u64())
+                    .unwrap_or(0);
+            }
+            audit.commit().map_err(|e| e.to_string())?;
+            assert_eq!(
+                total, expected_total,
+                "audit {audits} observed an inconsistent snapshot"
+            );
+            audits += 1;
+        }
+        Ok(audits)
+    });
+
+    thread::sleep(Duration::from_millis(500));
+    stop.store(true, Ordering::Relaxed);
+
+    let mut total_transfers = 0;
+    let mut total_aborts = 0;
+    for w in workers {
+        let (transfers, aborts) = w.join().expect("transfer worker panicked");
+        total_transfers += transfers;
+        total_aborts += aborts;
+    }
+    let audits = auditor.join().expect("auditor panicked")?;
+
+    println!("committed transfers: {total_transfers} (aborted attempts: {total_aborts})");
+    println!("consistent audits:   {audits} — every one summed to {expected_total}");
+    println!(
+        "snapshot-queue entries left: {}",
+        cluster.snapshot_queue_entries()
+    );
+
+    cluster.shutdown();
+    Ok(())
+}

@@ -1,0 +1,75 @@
+//! The motivating scenario of the paper's introduction: an online document
+//! sharing service with two clients on different nodes.
+//!
+//! Client C1 (on node N1) edits a shared document and synchronizes it. As
+//! soon as C1 is told that its synchronization completed, it tells C2
+//! (connected to another node N2) out-of-band — outside the store's APIs —
+//! that the edit is permanent. C2 then synchronizes too and, because SSS is
+//! *external consistent*, C2 is guaranteed to observe C1's modification: a
+//! transaction that returned to its client serializes before every
+//! transaction that returns afterwards, no matter which node it ran on.
+//!
+//! Run with: `cargo run --example document_sharing`
+
+use std::sync::mpsc;
+use std::thread;
+
+use sss::core::{SssCluster, SssConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cluster = SssCluster::start(SssConfig::new(4).replication(2))?;
+
+    // Initial version of the shared document.
+    let setup = cluster.session(0);
+    let mut init = setup.begin_update();
+    init.write("doc:readme", "v1: first draft");
+    init.commit()?;
+
+    // The out-of-band channel the two clients use to talk to each other
+    // (e.g. a chat message saying "my edit is saved").
+    let (notify_c2, c1_is_done) = mpsc::channel::<()>();
+
+    let c1_session = cluster.session(0);
+    let c2_session = cluster.session(3);
+
+    let c1 = thread::spawn(
+        move || -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
+            // C1 edits the document and synchronizes (commits).
+            let mut edit = c1_session.begin_update();
+            edit.write("doc:readme", "v2: edited by C1");
+            edit.commit()?;
+            // Only *after* the commit returned does C1 tell C2 about it.
+            notify_c2.send(()).expect("C2 went away");
+            Ok(())
+        },
+    );
+
+    let c2 = thread::spawn(
+        move || -> Result<String, Box<dyn std::error::Error + Send + Sync>> {
+            // C2 waits for C1's out-of-band message...
+            c1_is_done.recv().expect("C1 went away");
+            // ...and then synchronizes. External consistency guarantees the edit
+            // is visible, even though C2 talks to a different node.
+            let mut sync = c2_session.begin_read_only();
+            let content = sync
+                .read("doc:readme")?
+                .and_then(|v| v.as_utf8().map(str::to_owned))
+                .unwrap_or_default();
+            sync.commit()?;
+            Ok(content)
+        },
+    );
+
+    c1.join().expect("C1 panicked").map_err(|e| e.to_string())?;
+    let seen_by_c2 = c2.join().expect("C2 panicked").map_err(|e| e.to_string())?;
+
+    println!("C2 observed: {seen_by_c2:?}");
+    assert_eq!(
+        seen_by_c2, "v2: edited by C1",
+        "external consistency guarantees C2 sees C1's committed edit"
+    );
+    println!("external consistency held: C2 observed C1's edit");
+
+    cluster.shutdown();
+    Ok(())
+}

@@ -1,0 +1,50 @@
+//! Micro-benchmarks of the storage substrates: lock-table acquisition and
+//! multi-version chain visibility walks.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use sss_storage::{Key, LockKind, LockTable, MvStore, TxnId, Value};
+use sss_vclock::{NodeId, VectorClock};
+
+fn txn(seq: u64) -> TxnId {
+    TxnId::new(NodeId(0), seq)
+}
+
+fn bench_lock_table(c: &mut Criterion) {
+    c.bench_function("lock_table/acquire_release_disjoint", |bencher| {
+        let table = LockTable::new();
+        let keys: Vec<Key> = (0..16).map(|i| Key::new(format!("k{i}"))).collect();
+        let mut next = 0u64;
+        bencher.iter(|| {
+            next += 1;
+            let id = txn(next);
+            let requests = keys.iter().map(|k| (k, LockKind::Exclusive));
+            assert!(table.acquire_many(id, requests, Duration::from_millis(1)));
+            table.release_all(id);
+        })
+    });
+}
+
+fn bench_version_chain(c: &mut Criterion) {
+    c.bench_function("mvstore/visibility_walk", |bencher| {
+        let mut store = MvStore::new();
+        let key = Key::new("hot");
+        for i in 1..=64u64 {
+            store.apply(
+                key.clone(),
+                Value::from_u64(i),
+                VectorClock::from_entries(vec![i, i / 2]),
+                txn(i),
+            );
+        }
+        bencher.iter(|| {
+            let chain = store.chain(&key).expect("populated");
+            std::hint::black_box(chain.latest_matching(|v| v.vc.get(0) <= 32))
+        })
+    });
+}
+
+criterion_group!(benches, bench_lock_table, bench_version_chain);
+criterion_main!(benches);

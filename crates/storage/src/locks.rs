@@ -125,11 +125,7 @@ impl LockTable {
                 self.timeouts.fetch_add(1, Ordering::Relaxed);
                 return false;
             }
-            if self
-                .released
-                .wait_until(&mut entries, deadline)
-                .timed_out()
-            {
+            if self.released.wait_until(&mut entries, deadline).timed_out() {
                 // Re-check once more before giving up: a release may have
                 // raced with the timeout.
                 let entry = entries.entry(key.clone()).or_default();
@@ -348,7 +344,9 @@ mod tests {
         let t2 = {
             let table = Arc::clone(&table);
             let k = k.clone();
-            std::thread::spawn(move || table.acquire(txn(2), &k, LockKind::Exclusive, Duration::from_millis(500)))
+            std::thread::spawn(move || {
+                table.acquire(txn(2), &k, LockKind::Exclusive, Duration::from_millis(500))
+            })
         };
         std::thread::sleep(Duration::from_millis(10));
         table.release_all(txn(1));

@@ -79,10 +79,7 @@ impl ReplicaMap {
 
     /// Union of the replica sets of `keys`, deduplicated and sorted.
     pub fn replicas_of_all<'a>(&self, keys: impl IntoIterator<Item = &'a Key>) -> Vec<NodeId> {
-        let mut out: Vec<NodeId> = keys
-            .into_iter()
-            .flat_map(|k| self.replicas(k))
-            .collect();
+        let mut out: Vec<NodeId> = keys.into_iter().flat_map(|k| self.replicas(k)).collect();
         out.sort();
         out.dedup();
         out
@@ -117,7 +114,10 @@ mod tests {
         let replicas = map.replicas(&key);
         assert_eq!(replicas.len(), 1);
         for n in 0..4 {
-            assert_eq!(map.is_replica(NodeId(n), &key), replicas.contains(&NodeId(n)));
+            assert_eq!(
+                map.is_replica(NodeId(n), &key),
+                replicas.contains(&NodeId(n))
+            );
         }
     }
 

@@ -1,0 +1,28 @@
+//! Micro-benchmarks of the vector-clock operations on the protocol's hot
+//! paths (merge on every message receipt, dominance checks on every read).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use sss_vclock::VectorClock;
+
+fn bench_vector_clock(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vector_clock");
+    for width in [5usize, 20, 100] {
+        let a = VectorClock::from_entries((0..width as u64).collect());
+        let b = VectorClock::from_entries((0..width as u64).rev().collect());
+        group.bench_function(format!("merge_width_{width}"), |bencher| {
+            bencher.iter_batched(
+                || a.clone(),
+                |mut clock| clock.merge(&b),
+                BatchSize::SmallInput,
+            )
+        });
+        group.bench_function(format!("dominates_width_{width}"), |bencher| {
+            bencher.iter(|| std::hint::black_box(a.dominates(&b)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_vector_clock);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Micro-benchmark of the per-client workload generation hot path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use sss_vclock::NodeId;
+use sss_workload::{WorkloadGenerator, WorkloadSpec};
+
+fn bench_workload_generation(c: &mut Criterion) {
+    c.bench_function("workload/next_txn", |bencher| {
+        let spec = WorkloadSpec::new(8).total_keys(5_000).read_only_percent(80);
+        let mut generator = WorkloadGenerator::new(&spec, NodeId(0), 0);
+        bencher.iter(|| std::hint::black_box(generator.next_txn()))
+    });
+}
+
+criterion_group!(benches, bench_workload_generation);
+criterion_main!(benches);

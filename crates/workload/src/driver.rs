@@ -4,12 +4,33 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use sss_engine::{TransactionEngine, TxnOutcome};
+use sss_storage::{Key, Value};
 use sss_vclock::NodeId;
 
-use crate::engine::{TransactionEngine, TxnOutcome};
 use crate::generator::{TxnTemplate, WorkloadGenerator};
 use crate::report::{LatencySummary, WorkloadReport};
 use crate::spec::WorkloadSpec;
+
+/// Pre-populates every key of the workload's key space with an initial
+/// value, as YCSB does before the measured phase.
+pub fn populate<E: TransactionEngine + ?Sized>(engine: &E, spec: &WorkloadSpec) {
+    let mut session = engine.session(0);
+    let keys: Vec<Key> = WorkloadGenerator::all_keys(spec).collect();
+    for chunk in keys.chunks(64) {
+        let writes: Vec<(Key, Value)> = chunk
+            .iter()
+            .map(|k| (k.clone(), Value::from_u64(0)))
+            .collect();
+        // Population runs before the measured window; an abort here can only
+        // come from self-contention, so retry until applied.
+        for _ in 0..16 {
+            if session.run_update(&[], &writes).is_committed() {
+                break;
+            }
+        }
+    }
+}
 
 /// Raw measurements of one client thread.
 #[derive(Debug, Default)]
@@ -31,7 +52,10 @@ struct ClientTally {
 /// transactions are counted and the client simply moves on to the next
 /// generated transaction, matching the benchmark behaviour used in the
 /// paper's abort-rate reporting.
-pub fn run_workload<E: TransactionEngine>(engine: &E, spec: &WorkloadSpec) -> WorkloadReport {
+pub fn run_workload<E: TransactionEngine + ?Sized>(
+    engine: &E,
+    spec: &WorkloadSpec,
+) -> WorkloadReport {
     assert_eq!(
         engine.nodes(),
         spec.nodes,
@@ -48,8 +72,7 @@ pub fn run_workload<E: TransactionEngine>(engine: &E, spec: &WorkloadSpec) -> Wo
                 let spec_ref = spec;
                 let engine_ref = engine;
                 handles.push(scope.spawn(move || {
-                    let mut generator =
-                        WorkloadGenerator::new(spec_ref, NodeId(node), client);
+                    let mut generator = WorkloadGenerator::new(spec_ref, NodeId(node), client);
                     let mut session = engine_ref.session(node);
                     let mut tally = ClientTally::default();
                     while !stop.load(Ordering::Relaxed) {
@@ -57,11 +80,8 @@ pub fn run_workload<E: TransactionEngine>(engine: &E, spec: &WorkloadSpec) -> Wo
                         let outcome = match &template {
                             TxnTemplate::ReadOnly { keys } => session.run_read_only(keys),
                             TxnTemplate::Update { keys, values } => {
-                                let writes: Vec<_> = keys
-                                    .iter()
-                                    .cloned()
-                                    .zip(values.iter().cloned())
-                                    .collect();
+                                let writes: Vec<_> =
+                                    keys.iter().cloned().zip(values.iter().cloned()).collect();
                                 session.run_update(keys, &writes)
                             }
                         };
@@ -95,7 +115,10 @@ pub fn run_workload<E: TransactionEngine>(engine: &E, spec: &WorkloadSpec) -> Wo
             stop_timer.store(true, Ordering::Relaxed);
         });
 
-        handles.into_iter().map(|h| h.join().expect("client thread panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread panicked"))
+            .collect()
     });
 
     let elapsed = start.elapsed();
@@ -128,7 +151,10 @@ pub fn run_workload<E: TransactionEngine>(engine: &E, spec: &WorkloadSpec) -> Wo
 
 /// Runs `spec.trials` trials and returns the averaged report (the paper
 /// reports the average of 5 trials per data point).
-pub fn run_trials<E: TransactionEngine>(engine: &E, spec: &WorkloadSpec) -> WorkloadReport {
+pub fn run_trials<E: TransactionEngine + ?Sized>(
+    engine: &E,
+    spec: &WorkloadSpec,
+) -> WorkloadReport {
     let trials = spec.trials.max(1);
     let reports: Vec<WorkloadReport> = (0..trials)
         .map(|trial| {
@@ -143,9 +169,8 @@ pub fn run_trials<E: TransactionEngine>(engine: &E, spec: &WorkloadSpec) -> Work
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::EngineSession;
     use parking_lot::Mutex;
-    use sss_storage::{Key, Value};
+    use sss_engine::EngineSession;
     use std::collections::HashMap;
 
     /// A trivially serializable single-node in-memory engine used to test

@@ -129,7 +129,9 @@ impl WorkloadGenerator {
                 .iter()
                 .map(|_| {
                     Value::from_u64(
-                        (self.node.index() as u64) << 48 | self.counter << 16 | self.rng.gen_range(0..0xFFFF),
+                        (self.node.index() as u64) << 48
+                            | self.counter << 16
+                            | self.rng.gen_range(0..0xFFFF),
                     )
                 })
                 .collect();

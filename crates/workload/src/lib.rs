@@ -13,22 +13,23 @@
 //! * [`WorkloadSpec`] describes the mix (read-only percentage, transaction
 //!   sizes, key count, locality, clients per node, duration),
 //! * [`WorkloadGenerator`] produces the per-client operation stream,
-//! * [`TransactionEngine`] / [`EngineSession`] is the minimal trait surface
-//!   an engine (SSS, 2PC-baseline, Walter, ROCOCO) must expose,
-//! * [`run_workload`] drives the closed loop and collects a
-//!   [`WorkloadReport`] (throughput, abort rate, latency percentiles, and
-//!   the internal/external commit latency split used by Figure 5).
+//! * the driver runs against the engine layer's
+//!   [`TransactionEngine`] / [`EngineSession`] traits (owned by the
+//!   `sss-engine` crate, whose `EngineKind` registry builds every engine),
+//! * [`populate`] pre-loads the key space and [`run_workload`] drives the
+//!   closed loop, collecting a [`WorkloadReport`] (throughput, abort rate,
+//!   latency percentiles, and the internal/external commit latency split
+//!   used by Figure 5).
 
 mod driver;
-mod engine;
 mod generator;
 mod report;
 mod spec;
 
-pub use driver::{run_trials, run_workload};
-pub use engine::{EngineSession, TransactionEngine, TxnOutcome};
+pub use driver::{populate, run_trials, run_workload};
 pub use generator::{TxnTemplate, WorkloadGenerator};
 pub use report::{LatencySummary, WorkloadReport};
 pub use spec::{KeySelection, WorkloadSpec};
 
+pub use sss_engine::{EngineSession, TransactionEngine, TxnOutcome};
 pub use sss_storage::{Key, Value};

@@ -90,7 +90,9 @@ impl WorkloadReport {
     /// external commit (the snapshot-queue wait of Figure 5). Zero for
     /// engines without the distinction.
     pub fn mean_pre_commit_wait(&self) -> Duration {
-        self.update_latency.mean.saturating_sub(self.internal_latency.mean)
+        self.update_latency
+            .mean
+            .saturating_sub(self.internal_latency.mean)
     }
 
     /// Averages several per-trial reports into one (the paper reports the
@@ -144,8 +146,13 @@ mod tests {
         assert_eq!(summary.p50, Duration::from_millis(50));
         assert_eq!(summary.p99, Duration::from_millis(99));
         assert_eq!(summary.max, Duration::from_millis(100));
-        assert!(summary.mean > Duration::from_millis(49) && summary.mean < Duration::from_millis(52));
-        assert_eq!(LatencySummary::from_samples(Vec::new()), LatencySummary::default());
+        assert!(
+            summary.mean > Duration::from_millis(49) && summary.mean < Duration::from_millis(52)
+        );
+        assert_eq!(
+            LatencySummary::from_samples(Vec::new()),
+            LatencySummary::default()
+        );
     }
 
     #[test]

@@ -95,8 +95,16 @@ fn driver_throughput_matches_the_closed_loop_model() {
         .duration(Duration::from_millis(200));
     let report = run_workload(&engine, &spec);
     let expected = 4.0 / 0.002; // clients / service time = 2000 tx/s
-    assert!(report.throughput() > expected * 0.5, "throughput {} too low", report.throughput());
-    assert!(report.throughput() < expected * 1.5, "throughput {} too high", report.throughput());
+    assert!(
+        report.throughput() > expected * 0.5,
+        "throughput {} too low",
+        report.throughput()
+    );
+    assert!(
+        report.throughput() < expected * 1.5,
+        "throughput {} too high",
+        report.throughput()
+    );
     assert_eq!(report.aborted, 0);
     assert!(report.latency.mean >= Duration::from_millis(2));
     // The internal/external split recorded by the engine surfaces in the
@@ -113,8 +121,14 @@ fn driver_counts_aborts_without_losing_committed_work() {
         .read_only_percent(0)
         .duration(Duration::from_millis(100));
     let report = run_workload(&engine, &spec);
-    assert!(report.aborted > 0, "the metered engine aborts every 4th update");
-    assert!(report.committed > report.aborted, "most updates still commit");
+    assert!(
+        report.aborted > 0,
+        "the metered engine aborts every 4th update"
+    );
+    assert!(
+        report.committed > report.aborted,
+        "most updates still commit"
+    );
     let abort_rate = report.abort_rate();
     assert!(
         (0.15..0.40).contains(&abort_rate),

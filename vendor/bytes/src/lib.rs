@@ -1,0 +1,146 @@
+//! Offline stand-in for the subset of the `bytes` crate API this workspace
+//! uses (the build environment has no access to crates.io): an immutable,
+//! cheaply cloneable byte string backed by `Arc<[u8]>`.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// A cheaply cloneable contiguous slice of bytes.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// Creates an empty `Bytes`.
+    pub fn new() -> Self {
+        Bytes {
+            data: Arc::from(&[][..]),
+        }
+    }
+
+    /// Creates `Bytes` holding a copy of `data`.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes {
+            data: Arc::from(data),
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` if the slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(value: Vec<u8>) -> Self {
+        Bytes {
+            data: Arc::from(value.into_boxed_slice()),
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(value: &[u8]) -> Self {
+        Bytes::copy_from_slice(value)
+    }
+}
+
+impl From<&str> for Bytes {
+    fn from(value: &str) -> Self {
+        Bytes::copy_from_slice(value.as_bytes())
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(value: String) -> Self {
+        Bytes::from(value.into_bytes())
+    }
+}
+
+impl FromIterator<u8> for Bytes {
+    fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Self {
+        Bytes::from(iter.into_iter().collect::<Vec<u8>>())
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.data.iter() {
+            if (b' '..=b'~').contains(&b) && b != b'"' && b != b'\\' {
+                write!(f, "{}", b as char)?;
+            } else {
+                write!(f, "\\x{b:02x}")?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_views() {
+        let b = Bytes::copy_from_slice(&[1, 2, 3]);
+        assert_eq!(b.len(), 3);
+        assert_eq!(&b[..], &[1, 2, 3]);
+        assert_eq!(b.as_ref(), &[1, 2, 3]);
+        assert!(!b.is_empty());
+        assert!(Bytes::new().is_empty());
+        assert_eq!(Bytes::default(), Bytes::new());
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Bytes::from(vec![9u8]), Bytes::copy_from_slice(&[9]));
+        assert_eq!(Bytes::from("ab"), Bytes::copy_from_slice(b"ab"));
+        assert_eq!(Bytes::from("ab".to_string()), Bytes::from("ab"));
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let a = Bytes::copy_from_slice(b"shared");
+        let b = a.clone();
+        assert_eq!(a.data.as_ptr(), b.data.as_ptr());
+    }
+
+    #[test]
+    fn debug_escapes_non_printable() {
+        assert_eq!(format!("{:?}", Bytes::from("a\x01")), "b\"a\\x01\"");
+    }
+}

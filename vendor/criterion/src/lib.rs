@@ -1,0 +1,288 @@
+//! Offline stand-in for the subset of the `criterion` crate API this
+//! workspace uses (the build environment has no access to crates.io).
+//!
+//! Benchmarks register with [`criterion_group!`] / [`criterion_main!`] and
+//! run with `cargo bench`. Instead of criterion's statistical machinery,
+//! each benchmark is warmed up briefly and then timed over a fixed
+//! measurement window; the mean time per iteration is printed. When invoked
+//! with `--test` (as `cargo test --benches` does) every routine runs exactly
+//! once, so benchmarks double as smoke tests.
+
+use std::time::{Duration, Instant};
+
+/// How [`Bencher::iter_batched`] sizes its batches. The shim always runs
+/// one routine invocation per setup call, so the variants only document
+/// intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    SmallInput,
+    /// Large per-iteration state.
+    LargeInput,
+    /// One invocation per batch.
+    PerIteration,
+}
+
+/// Times closures for one benchmark id.
+pub struct Bencher<'a> {
+    config: &'a Config,
+    /// Nanoseconds per iteration measured by the last `iter*` call.
+    mean_nanos: f64,
+    iterations: u64,
+}
+
+impl Bencher<'_> {
+    /// Times `routine` in a loop.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.config.test_mode {
+            std::hint::black_box(routine());
+            self.mean_nanos = 0.0;
+            self.iterations = 1;
+            return;
+        }
+        let warmup_end = Instant::now() + self.config.warmup_time;
+        while Instant::now() < warmup_end {
+            std::hint::black_box(routine());
+        }
+        let mut iterations = 0u64;
+        let start = Instant::now();
+        let measure_end = start + self.config.measurement_time;
+        while Instant::now() < measure_end || iterations < self.config.min_iterations {
+            std::hint::black_box(routine());
+            iterations += 1;
+        }
+        self.mean_nanos = start.elapsed().as_nanos() as f64 / iterations as f64;
+        self.iterations = iterations;
+    }
+
+    /// Times `routine` over inputs produced by `setup`; only the routine is
+    /// on the timed path.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.config.test_mode {
+            std::hint::black_box(routine(setup()));
+            self.mean_nanos = 0.0;
+            self.iterations = 1;
+            return;
+        }
+        let warmup_end = Instant::now() + self.config.warmup_time;
+        while Instant::now() < warmup_end {
+            std::hint::black_box(routine(setup()));
+        }
+        let mut iterations = 0u64;
+        let mut elapsed = Duration::ZERO;
+        let measure_start = Instant::now();
+        let measure_end = measure_start + self.config.measurement_time;
+        while Instant::now() < measure_end || iterations < self.config.min_iterations {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            elapsed += start.elapsed();
+            iterations += 1;
+        }
+        self.mean_nanos = elapsed.as_nanos() as f64 / iterations as f64;
+        self.iterations = iterations;
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Config {
+    warmup_time: Duration,
+    measurement_time: Duration,
+    min_iterations: u64,
+    test_mode: bool,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            warmup_time: Duration::from_millis(150),
+            measurement_time: Duration::from_millis(600),
+            min_iterations: 10,
+            test_mode: false,
+        }
+    }
+}
+
+/// The benchmark driver handed to every `criterion_group!` target.
+pub struct Criterion {
+    config: Config,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            config: Config {
+                test_mode,
+                ..Config::default()
+            },
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the nominal sample count (the shim maps it onto the minimum
+    /// iteration count).
+    pub fn sample_size(mut self, samples: usize) -> Self {
+        self.config.min_iterations = samples.max(1) as u64;
+        self
+    }
+
+    /// Sets the measurement window per benchmark.
+    pub fn measurement_time(mut self, time: Duration) -> Self {
+        self.config.measurement_time = time;
+        self
+    }
+
+    /// Sets the warm-up time per benchmark.
+    pub fn warm_up_time(mut self, time: Duration) -> Self {
+        self.config.warmup_time = time;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher<'_>),
+    {
+        run_one(&self.config, &id.into(), f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing an id prefix.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher<'_>),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_one(&self.criterion.config, &full, f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnOnce(&mut Bencher<'_>)>(config: &Config, id: &str, f: F) {
+    let mut bencher = Bencher {
+        config,
+        mean_nanos: 0.0,
+        iterations: 0,
+    };
+    f(&mut bencher);
+    if config.test_mode {
+        println!("test {id} ... ok (bench smoke)");
+    } else if bencher.iterations == 0 {
+        println!("{id:<50} (no iterations run)");
+    } else {
+        println!(
+            "{id:<50} {:>12.1} ns/iter ({} iterations)",
+            bencher.mean_nanos, bencher.iterations
+        );
+    }
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_criterion() -> Criterion {
+        Criterion {
+            config: Config {
+                warmup_time: Duration::from_millis(1),
+                measurement_time: Duration::from_millis(5),
+                min_iterations: 3,
+                test_mode: false,
+            },
+        }
+    }
+
+    #[test]
+    fn iter_measures_something() {
+        let mut c = fast_criterion();
+        let mut ran = 0u64;
+        c.bench_function("noop", |b| {
+            b.iter(|| ran += 1);
+        });
+        assert!(ran >= 3);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_iteration() {
+        let mut c = fast_criterion();
+        let mut setups = 0u64;
+        let mut runs = 0u64;
+        c.benchmark_group("g").bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                },
+                |()| runs += 1,
+                BatchSize::SmallInput,
+            );
+        });
+        assert!(runs >= 3);
+        assert!(setups >= runs);
+    }
+
+    #[test]
+    fn test_mode_runs_exactly_once() {
+        let mut c = Criterion {
+            config: Config {
+                test_mode: true,
+                ..Config::default()
+            },
+        };
+        let mut ran = 0u64;
+        c.bench_function("once", |b| b.iter(|| ran += 1));
+        assert_eq!(ran, 1);
+    }
+}

@@ -1,0 +1,5 @@
+//! Offline stand-in for the subset of the `crossbeam` crate API this
+//! workspace uses (the build environment has no access to crates.io): the
+//! `channel` module with MPMC unbounded/bounded channels.
+
+pub mod channel;

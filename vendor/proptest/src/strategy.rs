@@ -1,0 +1,457 @@
+//! Value-generation strategies.
+//!
+//! A [`Strategy`] deterministically produces values from an RNG stream; the
+//! [`proptest!`](crate::proptest) macro drives one per test parameter. No
+//! shrinking is performed (see the crate docs).
+
+use std::collections::BTreeSet;
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value from the strategy.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// The strategy [`any`] returns.
+    type Strategy: Strategy<Value = Self>;
+
+    /// The strategy generating arbitrary values of this type.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `T` (`any::<u64>()`, `any::<bool>()`, ...).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Full-domain strategy for an integer type.
+#[derive(Debug, Clone, Copy)]
+pub struct AnyInt<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for AnyInt<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = AnyInt<$t>;
+            fn arbitrary() -> Self::Strategy {
+                AnyInt { _marker: std::marker::PhantomData }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    type Strategy = bool::Any;
+    fn arbitrary() -> Self::Strategy {
+        bool::ANY
+    }
+}
+
+pub mod bool {
+    //! Boolean strategies (`prop::bool::ANY`).
+
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Strategy generating `true` and `false` with equal probability.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The boolean strategy instance.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut StdRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Size specification accepted by the collection strategies: an exact
+/// `usize` or a `usize` range.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    /// Exclusive upper bound.
+    max: usize,
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut StdRng) -> usize {
+        if self.min + 1 >= self.max {
+            self.min
+        } else {
+            rng.gen_range(self.min..self.max)
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> Self {
+        SizeRange {
+            min: exact,
+            max: exact + 1,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(range: Range<usize>) -> Self {
+        assert!(range.start < range.end, "empty collection size range");
+        SizeRange {
+            min: range.start,
+            max: range.end,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(range: RangeInclusive<usize>) -> Self {
+        SizeRange {
+            min: *range.start(),
+            max: *range.end() + 1,
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`prop::collection::vec`, ...).
+
+    use super::{SizeRange, Strategy};
+    use rand::rngs::StdRng;
+    use std::collections::BTreeSet;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>` with a target size drawn from
+    /// `size`.
+    ///
+    /// If the element domain is too small to reach the target size, the set
+    /// is returned with as many distinct elements as could be drawn (after a
+    /// bounded number of attempts), like the real proptest under rejection
+    /// pressure.
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy returned by [`btree_set`].
+    #[derive(Debug, Clone)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let target = self.size.sample(rng);
+            let mut set = BTreeSet::new();
+            let mut attempts = 0;
+            while set.len() < target && attempts < 64 * (target + 1) {
+                if !set.insert(self.element.generate(rng)) {
+                    attempts += 1;
+                }
+            }
+            set
+        }
+    }
+}
+
+/// String strategies: a `&str` is interpreted as a regular expression from
+/// a small supported subset and generates matching `String`s.
+///
+/// Supported syntax: a sequence of atoms, where an atom is a literal
+/// character or a character class `[...]` (literal characters and `a-z`
+/// ranges), optionally followed by a `{m}` or `{m,n}` repetition. This
+/// covers the patterns used by this workspace's tests; anything else
+/// panics with a clear message.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut StdRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let count = if atom.min == atom.max {
+                atom.min
+            } else {
+                rng.gen_range(atom.min..=atom.max)
+            };
+            for _ in 0..count {
+                let idx = rng.gen_range(0..atom.chars.len());
+                out.push(atom.chars[idx]);
+            }
+        }
+        out
+    }
+}
+
+struct PatternAtom {
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<PatternAtom> {
+    let mut atoms = Vec::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        let choices = match c {
+            '[' => {
+                let mut set = BTreeSet::new();
+                let mut class = Vec::new();
+                for c in chars.by_ref() {
+                    if c == ']' {
+                        break;
+                    }
+                    class.push(c);
+                }
+                let mut i = 0;
+                while i < class.len() {
+                    if i + 2 < class.len() && class[i + 1] == '-' {
+                        let (lo, hi) = (class[i], class[i + 2]);
+                        assert!(lo <= hi, "invalid range in character class: {pattern}");
+                        for c in lo..=hi {
+                            set.insert(c);
+                        }
+                        i += 3;
+                    } else {
+                        set.insert(class[i]);
+                        i += 1;
+                    }
+                }
+                assert!(
+                    !set.is_empty(),
+                    "empty character class in pattern: {pattern}"
+                );
+                set.into_iter().collect()
+            }
+            '\\' => vec![chars.next().expect("dangling escape in pattern")],
+            '.' | '*' | '+' | '?' | '(' | ')' | '|' | '^' | '$' => panic!(
+                "unsupported regex syntax {c:?} in {pattern:?}: this offline \
+                 proptest stand-in only supports literal characters and \
+                 [class]{{m,n}} atoms"
+            ),
+            literal => vec![literal],
+        };
+        let (min, max) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut spec = String::new();
+            for c in chars.by_ref() {
+                if c == '}' {
+                    break;
+                }
+                spec.push(c);
+            }
+            match spec.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse().expect("bad repetition lower bound"),
+                    n.trim().parse().expect("bad repetition upper bound"),
+                ),
+                None => {
+                    let exact = spec.trim().parse().expect("bad repetition count");
+                    (exact, exact)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        atoms.push(PatternAtom {
+            chars: choices,
+            min,
+            max,
+        });
+    }
+    atoms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn ranges_and_tuples_generate_in_domain() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let (a, b) = (0u64..10, 5usize..6).generate(&mut rng);
+            assert!(a < 10);
+            assert_eq!(b, 5);
+        }
+    }
+
+    #[test]
+    fn prop_map_applies() {
+        let mut rng = rng();
+        let s = (1u64..2).prop_map(|v| v * 10);
+        assert_eq!(s.generate(&mut rng), 10);
+    }
+
+    #[test]
+    fn vec_respects_size_forms() {
+        let mut rng = rng();
+        let fixed = collection::vec(0u64..5, 3).generate(&mut rng);
+        assert_eq!(fixed.len(), 3);
+        for _ in 0..100 {
+            let ranged = collection::vec(0u64..5, 1..4).generate(&mut rng);
+            assert!((1..4).contains(&ranged.len()));
+        }
+    }
+
+    #[test]
+    fn btree_set_reaches_target_when_domain_allows() {
+        let mut rng = rng();
+        for _ in 0..50 {
+            let set = collection::btree_set(0usize..6, 1..6).generate(&mut rng);
+            assert!(!set.is_empty() && set.len() < 6);
+        }
+    }
+
+    #[test]
+    fn string_pattern_subset() {
+        let mut rng = rng();
+        for _ in 0..100 {
+            let s = "[a-z0-9:_-]{1,32}".generate(&mut rng);
+            assert!((1..=32).contains(&s.len()));
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || ":_-".contains(c)));
+        }
+        let exact = "ab[01]{3}".generate(&mut rng);
+        assert_eq!(exact.len(), 5);
+        assert!(exact.starts_with("ab"));
+    }
+
+    #[test]
+    fn any_bool_produces_both_values() {
+        let mut rng = rng();
+        let mut seen = [false, false];
+        for _ in 0..64 {
+            seen[any::<bool>().generate(&mut rng) as usize] = true;
+        }
+        assert_eq!(seen, [true, true]);
+    }
+}

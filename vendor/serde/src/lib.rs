@@ -1,0 +1,9 @@
+//! Offline stand-in for the subset of the `serde` crate API this workspace
+//! uses (the build environment has no access to crates.io).
+//!
+//! The workspace only *annotates* types with `#[derive(Serialize,
+//! Deserialize)]` — nothing serializes yet — so this crate simply re-exports
+//! no-op derive macros. When real serialization lands, replace this shim
+//! (and `vendor/serde_derive`) with the actual crates.
+
+pub use serde_derive::{Deserialize, Serialize};

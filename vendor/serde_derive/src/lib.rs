@@ -1,0 +1,24 @@
+//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros backing
+//! the offline `serde` stand-in (the build environment has no access to
+//! crates.io).
+//!
+//! The derives expand to nothing: they exist so that types in this workspace
+//! can keep their serde annotations (including `#[serde(...)]` helper
+//! attributes, which the derives declare and thereby consume) without pulling
+//! in the real serde. No code in the workspace performs actual
+//! serialization; the moment one does, these shims must be replaced by the
+//! real crates.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
