@@ -8,9 +8,11 @@
 //! baselines delays its client response past commit, so the two durations
 //! are always equal; `None` means the transaction aborted.
 
+use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use sss_net::{FaultInterposer, PauseControl};
 use sss_storage::{Key, Value};
 
 use crate::rococo::{RococoCluster, RococoConfig, RococoReadOutcome};
@@ -20,6 +22,21 @@ use crate::walter::{WalterCluster, WalterConfig, WalterOutcome};
 fn committed(start: Instant) -> Option<(Duration, Duration)> {
     let latency = start.elapsed();
     Some((latency, latency))
+}
+
+/// Projects a cluster's read-value map onto the request's key order, so the
+/// observed values line up with `read_keys` for history recording.
+fn observed_in_order(
+    read_keys: &[Key],
+    values: Option<BTreeMap<Key, Option<Value>>>,
+) -> Vec<Option<Value>> {
+    let Some(values) = values else {
+        return vec![None; read_keys.len()];
+    };
+    read_keys
+        .iter()
+        .map(|k| values.get(k).cloned().flatten())
+        .collect()
 }
 
 // ---------------------------------------------------------------------------
@@ -36,11 +53,27 @@ impl TwoPcEngine {
     /// Starts a 2PC-baseline cluster of `nodes` nodes with `replication`
     /// replicas per key.
     pub fn start(nodes: usize, replication: usize) -> Self {
+        Self::start_with_interposer(nodes, replication, None)
+    }
+
+    /// [`TwoPcEngine::start`] with an optional fault interposer on the
+    /// cluster transport.
+    pub fn start_with_interposer(
+        nodes: usize,
+        replication: usize,
+        interposer: Option<Arc<dyn FaultInterposer>>,
+    ) -> Self {
         TwoPcEngine {
-            cluster: Arc::new(TwoPcCluster::start(
+            cluster: Arc::new(TwoPcCluster::start_with_interposer(
                 TwoPcConfig::new(nodes).replication(replication),
+                interposer,
             )),
         }
+    }
+
+    /// Per-node pause gates of the cluster transport, for fault injectors.
+    pub fn pause_controls(&self) -> Vec<Arc<PauseControl>> {
+        self.cluster.pause_controls()
     }
 
     /// The underlying cluster (e.g. for commit/abort counters).
@@ -75,10 +108,21 @@ impl TwoPcEngineSession {
         read_keys: &[Key],
         writes: &[(Key, Value)],
     ) -> Option<(Duration, Duration)> {
+        self.run_update_observed(read_keys, writes).0
+    }
+
+    /// [`TwoPcEngineSession::run_update`] that also reports the observed
+    /// read values (parallel to `read_keys`).
+    pub fn run_update_observed(
+        &mut self,
+        read_keys: &[Key],
+        writes: &[(Key, Value)],
+    ) -> (Option<(Duration, Duration)>, Vec<Option<Value>>) {
         let start = Instant::now();
-        match self.cluster.session(self.node).execute(read_keys, writes).0 {
-            TwoPcOutcome::Committed => committed(start),
-            TwoPcOutcome::Aborted => None,
+        let (outcome, values) = self.cluster.session(self.node).execute(read_keys, writes);
+        match outcome {
+            TwoPcOutcome::Committed => (committed(start), observed_in_order(read_keys, values)),
+            TwoPcOutcome::Aborted => (None, Vec::new()),
         }
     }
 
@@ -86,6 +130,14 @@ impl TwoPcEngineSession {
     /// transactions validate like updates and therefore may abort.
     pub fn run_read_only(&mut self, read_keys: &[Key]) -> Option<(Duration, Duration)> {
         self.run_update(read_keys, &[])
+    }
+
+    /// [`TwoPcEngineSession::run_read_only`] with observed values.
+    pub fn run_read_only_observed(
+        &mut self,
+        read_keys: &[Key],
+    ) -> (Option<(Duration, Duration)>, Vec<Option<Value>>) {
+        self.run_update_observed(read_keys, &[])
     }
 }
 
@@ -104,11 +156,27 @@ impl WalterEngine {
     /// Starts a Walter cluster of `nodes` nodes with `replication` replicas
     /// per key.
     pub fn start(nodes: usize, replication: usize) -> Self {
+        Self::start_with_interposer(nodes, replication, None)
+    }
+
+    /// [`WalterEngine::start`] with an optional fault interposer on the
+    /// cluster transport.
+    pub fn start_with_interposer(
+        nodes: usize,
+        replication: usize,
+        interposer: Option<Arc<dyn FaultInterposer>>,
+    ) -> Self {
         WalterEngine {
-            cluster: Arc::new(WalterCluster::start(
+            cluster: Arc::new(WalterCluster::start_with_interposer(
                 WalterConfig::new(nodes).replication(replication),
+                interposer,
             )),
         }
+    }
+
+    /// Per-node pause gates of the cluster transport, for fault injectors.
+    pub fn pause_controls(&self) -> Vec<Arc<PauseControl>> {
+        self.cluster.pause_controls()
     }
 
     /// The underlying cluster.
@@ -143,20 +211,39 @@ impl WalterEngineSession {
         read_keys: &[Key],
         writes: &[(Key, Value)],
     ) -> Option<(Duration, Duration)> {
+        self.run_update_observed(read_keys, writes).0
+    }
+
+    /// [`WalterEngineSession::run_update`] that also reports the observed
+    /// read values (parallel to `read_keys`).
+    pub fn run_update_observed(
+        &mut self,
+        read_keys: &[Key],
+        writes: &[(Key, Value)],
+    ) -> (Option<(Duration, Duration)>, Vec<Option<Value>>) {
         let start = Instant::now();
-        match self.cluster.session(self.node).update(read_keys, writes).0 {
-            WalterOutcome::Committed => committed(start),
-            WalterOutcome::Aborted => None,
+        let (outcome, values) = self.cluster.session(self.node).update(read_keys, writes);
+        match outcome {
+            WalterOutcome::Committed => (committed(start), observed_in_order(read_keys, values)),
+            WalterOutcome::Aborted => (None, Vec::new()),
         }
     }
 
     /// Runs one read-only transaction (PSI: served from the start snapshot,
     /// never aborts).
     pub fn run_read_only(&mut self, read_keys: &[Key]) -> Option<(Duration, Duration)> {
+        self.run_read_only_observed(read_keys).0
+    }
+
+    /// [`WalterEngineSession::run_read_only`] with observed values.
+    pub fn run_read_only_observed(
+        &mut self,
+        read_keys: &[Key],
+    ) -> (Option<(Duration, Duration)>, Vec<Option<Value>>) {
         let start = Instant::now();
         match self.cluster.session(self.node).read_only(read_keys) {
-            Some(_) => committed(start),
-            None => None,
+            Some(values) => (committed(start), observed_in_order(read_keys, Some(values))),
+            None => (None, Vec::new()),
         }
     }
 }
@@ -175,9 +262,26 @@ impl RococoEngine {
     /// Starts a ROCOCO cluster of `nodes` nodes. Replication is always
     /// disabled, as in the paper's comparison (Figures 6 and 8).
     pub fn start(nodes: usize) -> Self {
+        Self::start_with_interposer(nodes, None)
+    }
+
+    /// [`RococoEngine::start`] with an optional fault interposer on the
+    /// cluster transport.
+    pub fn start_with_interposer(
+        nodes: usize,
+        interposer: Option<Arc<dyn FaultInterposer>>,
+    ) -> Self {
         RococoEngine {
-            cluster: Arc::new(RococoCluster::start(RococoConfig::new(nodes))),
+            cluster: Arc::new(RococoCluster::start_with_interposer(
+                RococoConfig::new(nodes),
+                interposer,
+            )),
         }
+    }
+
+    /// Per-node pause gates of the cluster transport, for fault injectors.
+    pub fn pause_controls(&self) -> Vec<Arc<PauseControl>> {
+        self.cluster.pause_controls()
     }
 
     /// The underlying cluster.
@@ -224,10 +328,34 @@ impl RococoEngineSession {
 
     /// Runs one read-only transaction (multi-round version checks).
     pub fn run_read_only(&mut self, read_keys: &[Key]) -> Option<(Duration, Duration)> {
+        self.run_read_only_observed(read_keys).0
+    }
+
+    /// [`RococoEngineSession::run_update`] with observed values. ROCOCO
+    /// update pieces never read, so the observations are all unattributed.
+    pub fn run_update_observed(
+        &mut self,
+        read_keys: &[Key],
+        writes: &[(Key, Value)],
+    ) -> (Option<(Duration, Duration)>, Vec<Option<Value>>) {
+        match self.run_update(read_keys, writes) {
+            Some(timings) => (Some(timings), vec![None; read_keys.len()]),
+            None => (None, Vec::new()),
+        }
+    }
+
+    /// [`RococoEngineSession::run_read_only`] with observed values.
+    pub fn run_read_only_observed(
+        &mut self,
+        read_keys: &[Key],
+    ) -> (Option<(Duration, Duration)>, Vec<Option<Value>>) {
         let start = Instant::now();
-        match self.cluster.session(self.node).read_only(read_keys).0 {
-            RococoReadOutcome::Committed => committed(start),
-            RococoReadOutcome::Aborted => None,
+        let (outcome, values) = self.cluster.session(self.node).read_only(read_keys);
+        match outcome {
+            RococoReadOutcome::Committed => {
+                (committed(start), observed_in_order(read_keys, values))
+            }
+            RococoReadOutcome::Aborted => (None, Vec::new()),
         }
     }
 }

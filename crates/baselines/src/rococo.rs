@@ -29,10 +29,10 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use sss_net::{
-    reply_channel, ChannelTransport, Envelope, NodeRuntime, NodeService, Priority, ReplySender,
-    Transport, TransportConfig,
+    reply_channel, ChannelTransport, Envelope, FaultInterposer, NodeRuntime, NodeService,
+    PauseControl, Priority, ReplySender, Transport, TransportConfig,
 };
-use sss_storage::{Key, ReplicaMap, SvStore, TxnId, Value};
+use sss_storage::{Key, RecentSet, ReplicaMap, SvStore, TxnId, Value};
 use sss_vclock::NodeId;
 
 /// Configuration of a [`RococoCluster`].
@@ -121,10 +121,24 @@ struct PendingPiece {
     reply: Option<ReplySender<ExecuteReply>>,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct RococoNodeState {
     store: SvStore,
     queues: HashMap<Key, VecDeque<PendingPiece>>,
+    /// Every `(txn, key)` piece this node has accepted a dispatch for. The
+    /// network may duplicate messages; re-enqueuing a piece would leave a
+    /// phantom entry that no `Commit` resolves, wedging the key's queue.
+    dispatched: RecentSet<(TxnId, Key)>,
+}
+
+impl Default for RococoNodeState {
+    fn default() -> Self {
+        RococoNodeState {
+            store: SvStore::new(),
+            queues: HashMap::new(),
+            dispatched: RecentSet::new(1 << 16),
+        }
+    }
 }
 
 struct RococoNode {
@@ -141,6 +155,13 @@ impl RococoNode {
         reply: ReplySender<DispatchReply>,
     ) {
         let mut state = self.state.lock();
+        // Duplicate delivery (concurrent or after the piece already
+        // executed): drop it without enqueuing or replying — the original
+        // copy's reply is guaranteed to arrive, and a re-enqueued piece
+        // would never be committed again.
+        if !state.dispatched.insert((txn, key.clone())) {
+            return;
+        }
         let queue = state.queues.entry(key).or_default();
         let deps: Vec<TxnId> = queue.iter().map(|p| p.txn).collect();
         queue.push_back(PendingPiece {
@@ -231,7 +252,21 @@ pub struct RococoCluster {
 impl RococoCluster {
     /// Boots the cluster.
     pub fn start(config: RococoConfig) -> Self {
-        let transport = Arc::new(ChannelTransport::new(TransportConfig::new(config.nodes)));
+        Self::start_with_interposer(config, None)
+    }
+
+    /// Boots the cluster with an optional fault interposer on its
+    /// transport (the baselines run on the same `sss-net` substrate as
+    /// SSS, so injected faults hit them identically).
+    pub fn start_with_interposer(
+        config: RococoConfig,
+        interposer: Option<Arc<dyn FaultInterposer>>,
+    ) -> Self {
+        let mut transport_config = TransportConfig::new(config.nodes);
+        if let Some(interposer) = interposer {
+            transport_config = transport_config.interposer(interposer);
+        }
+        let transport = Arc::new(ChannelTransport::new(transport_config));
         let nodes: Vec<Arc<RococoNode>> = (0..config.nodes)
             .map(|i| {
                 Arc::new(RococoNode {
@@ -265,6 +300,13 @@ impl RococoCluster {
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Per-node pause gates of the cluster transport, for fault injectors.
+    pub fn pause_controls(&self) -> Vec<Arc<PauseControl>> {
+        (0..self.nodes.len())
+            .map(|i| self.transport.mailbox(NodeId(i)).pause_control())
+            .collect()
     }
 
     /// Opens a session colocated with `node`.

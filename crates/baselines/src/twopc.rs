@@ -10,17 +10,17 @@
 //! a transaction holds its locks until its writes are installed, so its
 //! client-visible completion happens after its serialization point.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use sss_net::{
-    reply_channel, ChannelTransport, Envelope, NodeRuntime, NodeService, Priority, ReplySender,
-    Transport, TransportConfig,
+    reply_channel, ChannelTransport, Envelope, FaultInterposer, NodeRuntime, NodeService,
+    PauseControl, Priority, ReplySender, Transport, TransportConfig,
 };
-use sss_storage::{Key, LockKind, LockTable, ReplicaMap, SvStore, TxnId, Value};
+use sss_storage::{Key, LockKind, LockTable, RecentTxnSet, ReplicaMap, SvStore, TxnId, Value};
 use sss_vclock::NodeId;
 
 /// Configuration of a [`TwoPcCluster`].
@@ -77,7 +77,6 @@ struct ReadReply {
 
 /// Reply to a prepare.
 #[derive(Debug, Clone, Copy)]
-#[allow(dead_code)] // carries protocol metadata useful for tracing
 struct VoteReply {
     from: NodeId,
     ok: bool,
@@ -112,6 +111,12 @@ struct TwoPcNode {
     replicas: ReplicaMap,
     store: Mutex<SvStore>,
     prepared: Mutex<HashMap<TxnId, PreparedTxn>>,
+    /// Transactions whose `Decide` has been processed here. The
+    /// high-priority decide can overtake its lower-priority `Prepare` in
+    /// the mailbox; a late prepare for a decided transaction must not
+    /// (re-)acquire locks, or they would never be released and every later
+    /// transaction touching those keys would abort forever.
+    decided: Mutex<RecentTxnSet>,
     locks: LockTable,
     lock_timeout: Duration,
     aborts: AtomicU64,
@@ -135,6 +140,23 @@ impl TwoPcNode {
         write_set: Vec<(Key, Value)>,
         reply: ReplySender<VoteReply>,
     ) {
+        // The coordinator may already have decided (an abort decide
+        // overtaking this prepare): vote no without acquiring anything.
+        if self.decided.lock().contains(&txn) {
+            self.aborts.fetch_add(1, Ordering::Relaxed);
+            reply.send(VoteReply {
+                from: self.id,
+                ok: false,
+            });
+            return;
+        }
+        // Duplicate delivery of a prepare already being processed: drop it
+        // without a second vote (the original copy's vote is guaranteed to
+        // arrive, and extra votes can crowd distinct ones out of the
+        // coordinator's bounded reply channel).
+        if self.prepared.lock().contains_key(&txn) {
+            return;
+        }
         let local_reads: Vec<(Key, u64)> = read_versions
             .into_iter()
             .filter(|(k, _)| self.replicas.is_replica(self.id, k))
@@ -175,6 +197,21 @@ impl TwoPcNode {
         self.prepared
             .lock()
             .insert(txn, PreparedTxn { local_writes });
+        // Re-check after publishing the prepared entry: a decide processed
+        // between the entry check above and this point has already released
+        // (or will never release) our locks, so roll the prepare back
+        // instead of leaving locked keys behind.
+        if self.decided.lock().contains(&txn) {
+            if self.prepared.lock().remove(&txn).is_some() {
+                self.locks.release_all(txn);
+            }
+            self.aborts.fetch_add(1, Ordering::Relaxed);
+            reply.send(VoteReply {
+                from: self.id,
+                ok: false,
+            });
+            return;
+        }
         reply.send(VoteReply {
             from: self.id,
             ok: true,
@@ -182,6 +219,10 @@ impl TwoPcNode {
     }
 
     fn handle_decide(&self, txn: TxnId, outcome: bool) {
+        // Tombstone before touching the prepared map, so a prepare racing
+        // with this decide observes the decision no matter how the two
+        // interleave (see `TwoPcNode::decided`).
+        self.decided.lock().insert(txn);
         let prepared = self.prepared.lock().remove(&txn);
         if let Some(prep) = prepared {
             if outcome {
@@ -223,7 +264,21 @@ pub struct TwoPcCluster {
 impl TwoPcCluster {
     /// Boots the cluster.
     pub fn start(config: TwoPcConfig) -> Self {
-        let transport = Arc::new(ChannelTransport::new(TransportConfig::new(config.nodes)));
+        Self::start_with_interposer(config, None)
+    }
+
+    /// Boots the cluster with an optional fault interposer on its
+    /// transport (the baselines run on the same `sss-net` substrate as
+    /// SSS, so injected faults hit them identically).
+    pub fn start_with_interposer(
+        config: TwoPcConfig,
+        interposer: Option<Arc<dyn FaultInterposer>>,
+    ) -> Self {
+        let mut transport_config = TransportConfig::new(config.nodes);
+        if let Some(interposer) = interposer {
+            transport_config = transport_config.interposer(interposer);
+        }
+        let transport = Arc::new(ChannelTransport::new(transport_config));
         let replicas = ReplicaMap::new(config.nodes, config.replication);
         let nodes: Vec<Arc<TwoPcNode>> = (0..config.nodes)
             .map(|i| {
@@ -232,6 +287,7 @@ impl TwoPcCluster {
                     replicas: replicas.clone(),
                     store: Mutex::new(SvStore::new()),
                     prepared: Mutex::new(HashMap::new()),
+                    decided: Mutex::new(RecentTxnSet::new(1 << 16)),
                     locks: LockTable::new(),
                     lock_timeout: config.lock_timeout,
                     aborts: AtomicU64::new(0),
@@ -262,6 +318,13 @@ impl TwoPcCluster {
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Per-node pause gates of the cluster transport, for fault injectors.
+    pub fn pause_controls(&self) -> Vec<Arc<PauseControl>> {
+        (0..self.nodes.len())
+            .map(|i| self.transport.mailbox(NodeId(i)).pause_control())
+            .collect()
     }
 
     /// Total commits applied across nodes (diagnostic).
@@ -399,12 +462,18 @@ impl<'c> TwoPcSession<'c> {
         }
         let deadline = Instant::now() + self.cluster.config.rpc_timeout;
         let mut ok = true;
-        let mut votes = 0;
-        while votes < participants.len() {
+        // Votes are deduplicated by sender: under message duplication a
+        // participant's vote can arrive twice, and counting replies alone
+        // could reach the participant total while a negative vote from a
+        // slower node was still outstanding.
+        let mut voted: HashSet<NodeId> = HashSet::new();
+        while voted.len() < participants.len() {
             let remaining = deadline.saturating_duration_since(Instant::now());
             match rx.recv_timeout(remaining) {
                 Some(vote) => {
-                    votes += 1;
+                    if !voted.insert(vote.from) {
+                        continue;
+                    }
                     if !vote.ok {
                         ok = false;
                         break;

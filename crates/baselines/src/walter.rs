@@ -23,10 +23,10 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use sss_net::{
-    reply_channel, ChannelTransport, Envelope, NodeRuntime, NodeService, Priority, ReplySender,
-    Transport, TransportConfig,
+    reply_channel, ChannelTransport, Envelope, FaultInterposer, NodeRuntime, NodeService,
+    PauseControl, Priority, ReplySender, Transport, TransportConfig,
 };
-use sss_storage::{Key, LockKind, LockTable, MvStore, ReplicaMap, TxnId, Value};
+use sss_storage::{Key, LockKind, LockTable, MvStore, RecentTxnSet, ReplicaMap, TxnId, Value};
 use sss_vclock::{NodeId, VectorClock};
 
 /// Configuration of a [`WalterCluster`].
@@ -120,6 +120,12 @@ struct WalterNodeState {
     node_vc: VectorClock,
     store: MvStore,
     prepared: HashMap<TxnId, PreparedTxn>,
+    /// Transactions whose `Decide` has been processed here. A
+    /// high-priority decide can overtake its lower-priority `Prepare` in
+    /// the mailbox; a late prepare for a decided transaction must not
+    /// keep locks, or they would never be released (see the 2PC baseline
+    /// for the same race).
+    decided: RecentTxnSet,
 }
 
 impl WalterNode {
@@ -144,6 +150,27 @@ impl WalterNode {
         write_set: Vec<(Key, Value)>,
         reply: ReplySender<VoteReply>,
     ) {
+        // The coordinator may already have decided (an abort decide
+        // overtaking this prepare): vote no without acquiring anything.
+        // Duplicate deliveries of a prepare already being processed are
+        // dropped without a second vote (the original copy's vote is
+        // guaranteed to arrive, and extra votes can crowd distinct ones out
+        // of the coordinator's bounded reply channel).
+        {
+            let state = self.state.lock();
+            if state.prepared.contains_key(&txn) {
+                return;
+            }
+            if state.decided.contains(&txn) {
+                drop(state);
+                reply.send(VoteReply {
+                    from: self.id,
+                    ok: false,
+                    proposed: snapshot,
+                });
+                return;
+            }
+        }
         let local_writes: Vec<(Key, Value)> = write_set
             .into_iter()
             .filter(|(k, _)| self.replicas.is_replica(self.id, k))
@@ -181,6 +208,27 @@ impl WalterNode {
             });
             return;
         }
+        // Re-check under the state lock (the decide also runs under it):
+        // a decide processed while we were acquiring key locks has already
+        // released them, so the prepare must roll back instead of leaving
+        // locked keys behind. A duplicate that raced past the entry check
+        // is dropped before it can double-prepare — *without* releasing:
+        // the lock table is reentrant per transaction, so the duplicate's
+        // acquisition aliased the original's locks, which must stay held
+        // until the decide.
+        if state.prepared.contains_key(&txn) {
+            return;
+        }
+        if state.decided.contains(&txn) {
+            drop(state);
+            self.locks.release_all(txn);
+            reply.send(VoteReply {
+                from: self.id,
+                ok: false,
+                proposed: snapshot,
+            });
+            return;
+        }
         let i = self.id.index();
         state.node_vc.increment(i);
         let proposed = state.node_vc.clone();
@@ -195,6 +243,7 @@ impl WalterNode {
 
     fn handle_decide(&self, txn: TxnId, commit_vc: VectorClock, outcome: bool) {
         let mut state = self.state.lock();
+        state.decided.insert(txn);
         if let Some(prep) = state.prepared.remove(&txn) {
             if outcome {
                 for (key, value) in prep.local_writes {
@@ -255,7 +304,21 @@ pub struct WalterCluster {
 impl WalterCluster {
     /// Boots the cluster.
     pub fn start(config: WalterConfig) -> Self {
-        let transport = Arc::new(ChannelTransport::new(TransportConfig::new(config.nodes)));
+        Self::start_with_interposer(config, None)
+    }
+
+    /// Boots the cluster with an optional fault interposer on its
+    /// transport (the baselines run on the same `sss-net` substrate as
+    /// SSS, so injected faults hit them identically).
+    pub fn start_with_interposer(
+        config: WalterConfig,
+        interposer: Option<Arc<dyn FaultInterposer>>,
+    ) -> Self {
+        let mut transport_config = TransportConfig::new(config.nodes);
+        if let Some(interposer) = interposer {
+            transport_config = transport_config.interposer(interposer);
+        }
+        let transport = Arc::new(ChannelTransport::new(transport_config));
         let replicas = ReplicaMap::new(config.nodes, config.replication);
         let nodes: Vec<Arc<WalterNode>> = (0..config.nodes)
             .map(|i| {
@@ -267,6 +330,7 @@ impl WalterCluster {
                         node_vc: VectorClock::new(config.nodes),
                         store: MvStore::new(),
                         prepared: HashMap::new(),
+                        decided: RecentTxnSet::new(1 << 16),
                     }),
                     locks: LockTable::new(),
                 })
@@ -295,6 +359,13 @@ impl WalterCluster {
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Per-node pause gates of the cluster transport, for fault injectors.
+    pub fn pause_controls(&self) -> Vec<Arc<PauseControl>> {
+        (0..self.nodes.len())
+            .map(|i| self.transport.mailbox(NodeId(i)).pause_control())
+            .collect()
     }
 
     /// Opens a session colocated with `node`.

@@ -2,23 +2,8 @@
 //!
 //! Usage: `cargo run -p sss-bench --release --bin all_figures [--paper-scale]`
 
-use sss_bench::{
-    fig3_throughput, fig4a_max_throughput, fig4b_latency, fig5_breakdown, fig6_rococo,
-    fig7_locality, fig8_read_only_size, BenchScale,
-};
+use sss_bench::cli::{figure_main, FigureSelection};
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let scale = BenchScale::from_args(&args);
-    for read_only in [20u8, 50, 80] {
-        println!("{}", fig3_throughput(scale, read_only).render());
-    }
-    println!("{}", fig4a_max_throughput(scale).render());
-    println!("{}", fig4b_latency(scale).render());
-    println!("{}", fig5_breakdown(scale).render());
-    for read_only in [20u8, 80] {
-        println!("{}", fig6_rococo(scale, read_only).render());
-    }
-    println!("{}", fig7_locality(scale).render());
-    println!("{}", fig8_read_only_size(scale).render());
+    figure_main(FigureSelection::All);
 }

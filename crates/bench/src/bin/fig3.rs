@@ -3,13 +3,8 @@
 //!
 //! Usage: `cargo run -p sss-bench --release --bin fig3 [--paper-scale]`
 
-use sss_bench::{fig3_throughput, BenchScale};
+use sss_bench::cli::{figure_main, FigureSelection};
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let scale = BenchScale::from_args(&args);
-    for read_only in [20u8, 50, 80] {
-        let table = fig3_throughput(scale, read_only);
-        println!("{}", table.render());
-    }
+    figure_main(FigureSelection::Fig3);
 }

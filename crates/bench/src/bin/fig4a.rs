@@ -3,12 +3,8 @@
 //!
 //! Usage: `cargo run -p sss-bench --release --bin fig4a [--paper-scale]`
 
-use sss_bench::{fig4a_max_throughput, BenchScale};
+use sss_bench::cli::{figure_main, FigureSelection};
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    println!(
-        "{}",
-        fig4a_max_throughput(BenchScale::from_args(&args)).render()
-    );
+    figure_main(FigureSelection::Fig4a);
 }

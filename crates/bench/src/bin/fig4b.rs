@@ -3,9 +3,8 @@
 //!
 //! Usage: `cargo run -p sss-bench --release --bin fig4b [--paper-scale]`
 
-use sss_bench::{fig4b_latency, BenchScale};
+use sss_bench::cli::{figure_main, FigureSelection};
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    println!("{}", fig4b_latency(BenchScale::from_args(&args)).render());
+    figure_main(FigureSelection::Fig4b);
 }

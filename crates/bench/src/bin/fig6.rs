@@ -3,12 +3,8 @@
 //!
 //! Usage: `cargo run -p sss-bench --release --bin fig6 [--paper-scale]`
 
-use sss_bench::{fig6_rococo, BenchScale};
+use sss_bench::cli::{figure_main, FigureSelection};
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let scale = BenchScale::from_args(&args);
-    for read_only in [20u8, 80] {
-        println!("{}", fig6_rococo(scale, read_only).render());
-    }
+    figure_main(FigureSelection::Fig6);
 }

@@ -3,9 +3,8 @@
 //!
 //! Usage: `cargo run -p sss-bench --release --bin fig7 [--paper-scale]`
 
-use sss_bench::{fig7_locality, BenchScale};
+use sss_bench::cli::{figure_main, FigureSelection};
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    println!("{}", fig7_locality(BenchScale::from_args(&args)).render());
+    figure_main(FigureSelection::Fig7);
 }

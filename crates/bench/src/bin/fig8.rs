@@ -3,12 +3,8 @@
 //!
 //! Usage: `cargo run -p sss-bench --release --bin fig8 [--paper-scale]`
 
-use sss_bench::{fig8_read_only_size, BenchScale};
+use sss_bench::cli::{figure_main, FigureSelection};
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    println!(
-        "{}",
-        fig8_read_only_size(BenchScale::from_args(&args)).render()
-    );
+    figure_main(FigureSelection::Fig8);
 }

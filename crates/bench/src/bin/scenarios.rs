@@ -1,0 +1,32 @@
+//! Runs the chaos-scenario catalog: named fault plans (partition-heal,
+//! asymmetric-slow-link, duplicate-storm, reorder-burst,
+//! pause-during-commit, chaos-mix, …) against SSS and the baselines, with
+//! the `sss-consistency` checker verifying every recorded history.
+//!
+//! Usage: `cargo run -p sss-bench --release --bin scenarios
+//!         [--smoke] [--seed N] [--check-determinism]`
+//!
+//! * `--smoke` — small cluster and short runs (the CI configuration).
+//! * `--seed N` — base seed of the workload and fault streams (default 42).
+//! * `--check-determinism` — re-run every SSS scenario and require a
+//!   bit-identical outcome summary.
+//!
+//! Exits non-zero if any scenario fails its expectations.
+
+use sss_bench::scenarios::{render_results, run_catalog, ScenarioConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let config = ScenarioConfig::from_args(&args);
+    let results = run_catalog(&config).unwrap_or_else(|error| {
+        eprintln!("invalid scenario in catalog: {error}");
+        std::process::exit(2);
+    });
+    print!("{}", render_results(&results));
+    let failures = results.iter().filter(|r| !r.passed()).count();
+    if failures > 0 {
+        eprintln!("{failures} scenario(s) FAILED");
+        std::process::exit(1);
+    }
+    println!("all {} scenarios passed", results.len());
+}

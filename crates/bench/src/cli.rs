@@ -1,0 +1,140 @@
+//! Shared command-line plumbing for the benchmark binaries.
+//!
+//! Every binary in `src/bin/` — the per-figure reproductions (`fig3` …
+//! `fig8`), `all_figures`, and the chaos-scenario runner `scenarios` —
+//! parses its arguments and renders its output through this module, so
+//! adding a binary means choosing a [`FigureSelection`] (or calling
+//! [`parse_flag`]/[`parse_u64`] directly) rather than hand-rolling an
+//! eighth copy of the argument loop.
+
+use crate::figures::{
+    fig3_throughput, fig4a_max_throughput, fig4b_latency, fig5_breakdown, fig6_rococo,
+    fig7_locality, fig8_read_only_size, BenchScale, FigureTable,
+};
+
+/// `true` if `flag` (e.g. `--smoke`) appears in `args`.
+pub fn parse_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+/// The string value of `--key VALUE` style options. Returns `None` when
+/// absent and panics with a usage message when the value is missing.
+pub fn parse_value(args: &[String], key: &str) -> Option<String> {
+    let position = args.iter().position(|a| a == key)?;
+    Some(
+        args.get(position + 1)
+            .unwrap_or_else(|| panic!("{key} requires a value"))
+            .clone(),
+    )
+}
+
+/// The numeric value of `--key N` style options (e.g.
+/// `parse_u64(args, "--seed")`). Returns `None` when absent and panics
+/// with a usage message when the value is missing or not a number.
+pub fn parse_u64(args: &[String], key: &str) -> Option<u64> {
+    let value = parse_value(args, key)?;
+    Some(
+        value
+            .parse()
+            .unwrap_or_else(|_| panic!("{key} expects a number, got {value:?}")),
+    )
+}
+
+/// Which figure(s) of the evaluation a binary reproduces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FigureSelection {
+    /// Figure 3 (throughput vs node count, three read-only mixes).
+    Fig3,
+    /// Figure 4(a) (maximum attainable throughput).
+    Fig4a,
+    /// Figure 4(b) (external-commit latency vs clients per node).
+    Fig4b,
+    /// Figure 5 (SSS latency breakdown).
+    Fig5,
+    /// Figure 6 (SSS vs ROCOCO vs 2PC, two read-only mixes).
+    Fig6,
+    /// Figure 7 (locality).
+    Fig7,
+    /// Figure 8 (read-only transaction size).
+    Fig8,
+    /// Every figure in sequence.
+    All,
+}
+
+impl FigureSelection {
+    /// The tables this selection renders at `scale`, in presentation order.
+    pub fn tables(&self, scale: BenchScale) -> Vec<FigureTable> {
+        match self {
+            FigureSelection::Fig3 => [20u8, 50, 80]
+                .iter()
+                .map(|ro| fig3_throughput(scale, *ro))
+                .collect(),
+            FigureSelection::Fig4a => vec![fig4a_max_throughput(scale)],
+            FigureSelection::Fig4b => vec![fig4b_latency(scale)],
+            FigureSelection::Fig5 => vec![fig5_breakdown(scale)],
+            FigureSelection::Fig6 => [20u8, 80]
+                .iter()
+                .map(|ro| fig6_rococo(scale, *ro))
+                .collect(),
+            FigureSelection::Fig7 => vec![fig7_locality(scale)],
+            FigureSelection::Fig8 => vec![fig8_read_only_size(scale)],
+            FigureSelection::All => {
+                let mut tables = Vec::new();
+                for selection in [
+                    FigureSelection::Fig3,
+                    FigureSelection::Fig4a,
+                    FigureSelection::Fig4b,
+                    FigureSelection::Fig5,
+                    FigureSelection::Fig6,
+                    FigureSelection::Fig7,
+                    FigureSelection::Fig8,
+                ] {
+                    tables.extend(selection.tables(scale));
+                }
+                tables
+            }
+        }
+    }
+}
+
+/// The whole body of a per-figure binary: parse the scale from the process
+/// arguments, run the selected sweeps, print the tables.
+pub fn figure_main(selection: FigureSelection) {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = BenchScale::from_args(&args);
+    for table in selection.tables(scale) {
+        println!("{}", table.render());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn flags_and_options_parse() {
+        let a = args(&["bin", "--smoke", "--seed", "99"]);
+        assert!(parse_flag(&a, "--smoke"));
+        assert!(!parse_flag(&a, "--paper-scale"));
+        assert_eq!(parse_u64(&a, "--seed"), Some(99));
+        assert_eq!(parse_u64(&a, "--missing"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a value")]
+    fn dangling_option_panics() {
+        let a = args(&["bin", "--seed"]);
+        let _ = parse_u64(&a, "--seed");
+    }
+
+    #[test]
+    #[should_panic(expected = "expects a number")]
+    fn non_numeric_option_panics() {
+        let a = args(&["bin", "--seed", "abc"]);
+        let _ = parse_u64(&a, "--seed");
+    }
+}

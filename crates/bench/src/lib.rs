@@ -22,12 +22,23 @@
 //! which engine wins in which regime, and how the gaps move as the read-only
 //! share, the node count, the locality and the read-set size change.
 
+//! A third layer runs *chaos scenarios*: [`scenarios`] holds a catalog of
+//! named fault plans (partition-heal, asymmetric-slow-link,
+//! duplicate-storm, reorder-burst, pause-during-commit, chaos-mix) built on
+//! `sss-faults` and executed through `sss-workload`'s scenario runner, with
+//! every recorded history verified by the `sss-consistency` checker. The
+//! `scenarios` binary prints the catalog report; [`cli`] owns the argument
+//! parsing shared by every binary.
+
+pub mod cli;
 pub mod figures;
 pub mod harness;
+pub mod scenarios;
 
 pub use harness::{run_engine, run_engine_with_profile};
 pub use sss_engine::{EngineKind, NetProfile};
 
+pub use cli::{figure_main, FigureSelection};
 pub use figures::{
     fig3_throughput, fig4a_max_throughput, fig4b_latency, fig5_breakdown, fig6_rococo,
     fig7_locality, fig8_read_only_size, BenchScale, FigureRow, FigureTable,

@@ -1,0 +1,354 @@
+//! The chaos-scenario catalog: named fault plans run against SSS and the
+//! baselines, with post-run consistency verification.
+//!
+//! Each catalog entry pairs an engine with a [`ChaosScenario`] (workload +
+//! fault plan + expected-outcome assertions, see `sss_workload::scenario`).
+//! Every injected fault is safety-preserving in the paper's system model —
+//! delay, reorder, duplicate, partition-with-heal, pause — so SSS must keep
+//! external consistency and read-only abort freedom through every entry;
+//! the serializable baselines must keep consistency; Walter (PSI) is run
+//! for liveness only.
+
+use std::time::Duration;
+
+use sss_engine::EngineKind;
+use sss_workload::scenario::{run_scenario, ChaosScenario, ScenarioExpectations, ScenarioOutcome};
+use sss_workload::{FaultPlan, LinkFault, LinkSelector, SpecError, WorkloadSpec};
+
+/// Configuration of one catalog execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioConfig {
+    /// Shrinks cluster size and operation counts so the whole catalog runs
+    /// in seconds (the CI smoke configuration).
+    pub smoke: bool,
+    /// Base seed of the workload streams and fault plans.
+    pub seed: u64,
+    /// Re-run every SSS scenario a second time and fail unless the outcome
+    /// summaries are bit-identical.
+    pub check_determinism: bool,
+    /// Only run scenarios whose name equals this filter.
+    pub only: Option<String>,
+    /// Only run scenarios for this engine.
+    pub engine: Option<EngineKind>,
+}
+
+impl ScenarioConfig {
+    /// Parses `--smoke`, `--seed N`, `--check-determinism`, `--only NAME`
+    /// and `--engine NAME` flags.
+    pub fn from_args(args: &[String]) -> Self {
+        ScenarioConfig {
+            smoke: crate::cli::parse_flag(args, "--smoke"),
+            seed: crate::cli::parse_u64(args, "--seed").unwrap_or(42),
+            check_determinism: crate::cli::parse_flag(args, "--check-determinism"),
+            only: crate::cli::parse_value(args, "--only"),
+            engine: crate::cli::parse_value(args, "--engine")
+                .map(|name| name.parse().expect("unknown engine name")),
+        }
+    }
+}
+
+/// One catalog entry: which engine runs which scenario.
+#[derive(Debug, Clone)]
+pub struct ScenarioRun {
+    /// Engine under test.
+    pub engine: EngineKind,
+    /// The scenario to run.
+    pub scenario: ChaosScenario,
+}
+
+fn base_spec(smoke: bool, seed: u64) -> WorkloadSpec {
+    if smoke {
+        WorkloadSpec::new(3)
+            .clients_per_node(2)
+            .total_keys(64)
+            .read_only_percent(50)
+            .seed(seed)
+    } else {
+        WorkloadSpec::new(4)
+            .clients_per_node(3)
+            .total_keys(256)
+            .read_only_percent(50)
+            .seed(seed)
+    }
+}
+
+fn scenario(name: &str, smoke: bool, seed: u64) -> ChaosScenario {
+    let ops = if smoke { 120 } else { 300 };
+    ChaosScenario::new(name, base_spec(smoke, seed)).ops_per_client(ops)
+}
+
+/// The named chaos scenarios run against SSS. Scheduled windows start a few
+/// milliseconds in (the fixed-operation workload is still running by then)
+/// and are sized well under the engine's protocol timeouts, so faults slow
+/// the run without forcing spurious give-ups.
+pub fn sss_scenarios(smoke: bool, seed: u64) -> Vec<ChaosScenario> {
+    let ms = Duration::from_millis;
+    let us = Duration::from_micros;
+    vec![
+        // A clean control run: catches harness regressions and gives the
+        // faulted entries a baseline to compare against.
+        scenario("control", smoke, seed),
+        // Node 0 is cut off from the rest of the cluster, then the
+        // partition heals and the held messages flood in.
+        scenario("partition-heal", smoke, seed).faults(FaultPlan::new(seed).partition(
+            [0],
+            ms(5),
+            ms(40),
+        )),
+        // One direction of one link is slow and jittery; the reverse
+        // direction stays clean (the classic asymmetric gray failure).
+        scenario("asymmetric-slow-link", smoke, seed).faults(
+            FaultPlan::new(seed).link_fault(
+                LinkFault::on(LinkSelector::Directed { from: 0, to: 1 })
+                    .jitter(us(500))
+                    .spike(40, ms(2)),
+            ),
+        ),
+        // Forty percent of all messages are delivered twice: exercises
+        // the idempotency of every protocol handler.
+        scenario("duplicate-storm", smoke, seed).faults(
+            FaultPlan::new(seed)
+                .link_fault(LinkFault::on(LinkSelector::All).duplicate(40, us(200))),
+        ),
+        // A third of all messages are held back long enough for later
+        // traffic to overtake them: exercises out-of-order delivery across
+        // priority classes and message types.
+        scenario("reorder-burst", smoke, seed).faults(
+            FaultPlan::new(seed).link_fault(
+                LinkFault::on(LinkSelector::All)
+                    .jitter(us(300))
+                    .reorder(30, ms(1)),
+            ),
+        ),
+        // Nodes stall mid-run while commits are in flight, then resume and
+        // drain their backlogs (rolling GC-pause / CPU-starvation model).
+        scenario("pause-during-commit", smoke, seed).faults(
+            FaultPlan::new(seed)
+                .pause(1, ms(3), ms(30))
+                .pause(2, ms(40), ms(30)),
+        ),
+        // Everything at once: jitter, spikes, duplicates, a partition and
+        // a pause, overlapping.
+        scenario("chaos-mix", smoke, seed).faults(
+            FaultPlan::new(seed)
+                .link_fault(
+                    LinkFault::on(LinkSelector::All)
+                        .jitter(us(300))
+                        .spike(10, ms(1))
+                        .duplicate(15, us(100)),
+                )
+                .partition([1], ms(10), ms(30))
+                .pause(0, ms(45), ms(25)),
+        ),
+    ]
+}
+
+/// The full catalog: every SSS scenario plus the partition-heal scenario
+/// for each baseline engine. The baselines run on the same `sss-net`
+/// transport as SSS, so the partition genuinely severs their traffic too;
+/// each run goes through population, the fixed-operation loop, history
+/// recording and the post-run checker.
+pub fn scenario_catalog(config: &ScenarioConfig) -> Vec<ScenarioRun> {
+    let mut catalog: Vec<ScenarioRun> = sss_scenarios(config.smoke, config.seed)
+        .into_iter()
+        .map(|scenario| ScenarioRun {
+            engine: EngineKind::Sss,
+            scenario,
+        })
+        .collect();
+    for (engine, expect) in [
+        (
+            EngineKind::TwoPc,
+            ScenarioExpectations::serializable_baseline(),
+        ),
+        (EngineKind::Walter, ScenarioExpectations::weak_baseline()),
+        (
+            EngineKind::Rococo,
+            ScenarioExpectations::serializable_baseline(),
+        ),
+    ] {
+        let faulted = scenario("partition-heal", config.smoke, config.seed)
+            .faults(FaultPlan::new(config.seed).partition(
+                [0],
+                Duration::from_millis(5),
+                Duration::from_millis(40),
+            ))
+            .expect(expect);
+        // ROCOCO runs unreplicated, as in the paper's comparison.
+        let faulted = if engine == EngineKind::Rococo {
+            faulted.replication(1)
+        } else {
+            faulted
+        };
+        catalog.push(ScenarioRun {
+            engine,
+            scenario: faulted,
+        });
+    }
+    catalog
+}
+
+/// The result of one catalog entry, including the determinism re-run
+/// verdict when requested.
+#[derive(Debug)]
+pub struct CatalogResult {
+    /// The entry that ran.
+    pub run: ScenarioRun,
+    /// The scenario outcome.
+    pub outcome: ScenarioOutcome,
+    /// `Some(true)` when a determinism re-run produced a bit-identical
+    /// summary, `Some(false)` when it diverged, `None` when not checked.
+    pub deterministic: Option<bool>,
+}
+
+impl CatalogResult {
+    /// `true` when the scenario passed and (if checked) replayed
+    /// deterministically.
+    pub fn passed(&self) -> bool {
+        self.outcome.passed() && self.deterministic != Some(false)
+    }
+}
+
+/// Runs the whole catalog.
+///
+/// # Errors
+///
+/// Returns the [`SpecError`] of the first structurally invalid scenario
+/// (catalog construction bugs surface here rather than as bogus runs).
+pub fn run_catalog(config: &ScenarioConfig) -> Result<Vec<CatalogResult>, SpecError> {
+    let mut results = Vec::new();
+    let catalog = scenario_catalog(config)
+        .into_iter()
+        .filter(|run| match &config.only {
+            Some(name) => &run.scenario.name == name,
+            None => true,
+        })
+        .filter(|run| match config.engine {
+            Some(engine) => run.engine == engine,
+            None => true,
+        });
+    for run in catalog {
+        let outcome = run_scenario(run.engine, &run.scenario)?;
+        let deterministic = if config.check_determinism && run.engine == EngineKind::Sss {
+            let replay = run_scenario(run.engine, &run.scenario)?;
+            Some(replay.summary() == outcome.summary())
+        } else {
+            None
+        };
+        results.push(CatalogResult {
+            run,
+            outcome,
+            deterministic,
+        });
+    }
+    Ok(results)
+}
+
+/// Renders the catalog results as an aligned report.
+pub fn render_results(results: &[CatalogResult]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<22} {:<8} {:>10} {:>8} {:>9} {:>8} {:>12} {:>9} {:>8}",
+        "scenario",
+        "engine",
+        "committed",
+        "ro-cmt",
+        "ro-abort",
+        "retries",
+        "consistency",
+        "elapsed",
+        "verdict"
+    );
+    for result in results {
+        let o = &result.outcome;
+        let consistency = match &o.consistency {
+            None => "unchecked",
+            Some(Ok(())) => "ok",
+            Some(Err(_)) => "VIOLATED",
+        };
+        let verdict = if !result.passed() {
+            "FAIL"
+        } else if result.deterministic == Some(true) {
+            "pass+det"
+        } else {
+            "pass"
+        };
+        let _ = writeln!(
+            out,
+            "{:<22} {:<8} {:>10} {:>8} {:>9} {:>8} {:>12} {:>8.1}ms {:>8}",
+            o.scenario,
+            o.engine,
+            o.committed,
+            o.committed_read_only,
+            o.read_only_aborts,
+            o.update_retries,
+            consistency,
+            o.elapsed.as_secs_f64() * 1e3,
+            verdict,
+        );
+        for violation in &o.violations {
+            let _ = writeln!(out, "    !! {violation}");
+        }
+        if let Some(diagnostics) = &o.diagnostics {
+            for line in diagnostics.lines() {
+                let _ = writeln!(out, "    | {line}");
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_covers_the_required_scenarios() {
+        let config = ScenarioConfig {
+            smoke: true,
+            seed: 1,
+            check_determinism: false,
+            only: None,
+            engine: None,
+        };
+        let catalog = scenario_catalog(&config);
+        let sss_named: Vec<&str> = catalog
+            .iter()
+            .filter(|r| r.engine == EngineKind::Sss)
+            .map(|r| r.scenario.name.as_str())
+            .collect();
+        assert!(
+            sss_named.len() >= 5,
+            "need at least 5 named SSS scenarios, got {sss_named:?}"
+        );
+        for engine in [EngineKind::TwoPc, EngineKind::Walter, EngineKind::Rococo] {
+            assert!(
+                catalog
+                    .iter()
+                    .any(|r| r.engine == engine && r.scenario.name == "partition-heal"),
+                "{engine} is missing its partition-heal run"
+            );
+        }
+        // Every SSS entry asserts the full guarantee set.
+        for run in catalog.iter().filter(|r| r.engine == EngineKind::Sss) {
+            assert_eq!(run.scenario.expect, ScenarioExpectations::sss());
+        }
+    }
+
+    #[test]
+    fn config_parses_flags() {
+        let args: Vec<String> = ["bin", "--smoke", "--seed", "7", "--check-determinism"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let config = ScenarioConfig::from_args(&args);
+        assert!(config.smoke);
+        assert!(config.check_determinism);
+        assert_eq!(config.seed, 7);
+        let default = ScenarioConfig::from_args(&["bin".to_string()]);
+        assert!(!default.smoke);
+        assert_eq!(default.seed, 42);
+    }
+}

@@ -15,6 +15,7 @@ use sss_storage::{Key, Value};
 
 use crate::cluster::SssCluster;
 use crate::config::SssConfig;
+use crate::error::SssError;
 use crate::session::Session;
 
 /// The SSS engine, ready to be driven one whole transaction at a time.
@@ -47,6 +48,12 @@ impl SssEngine {
     /// The underlying cluster (e.g. for protocol statistics).
     pub fn cluster(&self) -> &SssCluster {
         &self.cluster
+    }
+
+    /// The fault injector the engine runs under, if any (see
+    /// [`SssConfig::faults`]).
+    pub fn fault_injector(&self) -> Option<&std::sync::Arc<crate::FaultInjector>> {
+        self.cluster.fault_injector()
     }
 
     /// Number of nodes the engine runs.
@@ -87,19 +94,39 @@ impl SssEngineSession {
         read_keys: &[Key],
         writes: &[(Key, Value)],
     ) -> Option<(Duration, Duration)> {
+        self.run_update_observed(read_keys, writes).0
+    }
+
+    /// [`SssEngineSession::run_update`] that also reports the value each
+    /// read observed (parallel to `read_keys`), for history recording.
+    pub fn run_update_observed(
+        &mut self,
+        read_keys: &[Key],
+        writes: &[(Key, Value)],
+    ) -> (Option<(Duration, Duration)>, Vec<Option<Value>>) {
         let start = Instant::now();
+        let mut observed = Vec::with_capacity(read_keys.len());
         let mut txn = self.session.begin_update();
         for key in read_keys {
-            if txn.read(key.clone()).is_err() {
-                return None;
+            match txn.read(key.clone()) {
+                Ok(value) => observed.push(value),
+                Err(_) => return (None, Vec::new()),
             }
         }
         for (key, value) in writes {
             txn.write(key.clone(), value.clone());
         }
         match txn.commit() {
-            Ok(info) => Some((start.elapsed(), info.internal_latency)),
-            Err(_) => None,
+            Ok(info) => (Some((start.elapsed(), info.internal_latency)), observed),
+            // A timed-out external-commit confirmation round is still a
+            // *committed* transaction: its writes are installed and visible.
+            // Reporting it as aborted would make callers retry a committed
+            // transaction, duplicating its effects.
+            Err(SssError::ExternalCommitTimeout) => {
+                let elapsed = start.elapsed();
+                (Some((elapsed, elapsed)), observed)
+            }
+            Err(_) => (None, Vec::new()),
         }
     }
 
@@ -107,19 +134,30 @@ impl SssEngineSession {
     /// `Some((latency, latency))` on commit (read-only transactions have no
     /// internal/external split).
     pub fn run_read_only(&mut self, read_keys: &[Key]) -> Option<(Duration, Duration)> {
+        self.run_read_only_observed(read_keys).0
+    }
+
+    /// [`SssEngineSession::run_read_only`] that also reports the observed
+    /// values (parallel to `read_keys`), for history recording.
+    pub fn run_read_only_observed(
+        &mut self,
+        read_keys: &[Key],
+    ) -> (Option<(Duration, Duration)>, Vec<Option<Value>>) {
         let start = Instant::now();
+        let mut observed = Vec::with_capacity(read_keys.len());
         let mut txn = self.session.begin_read_only();
         for key in read_keys {
-            if txn.read(key.clone()).is_err() {
-                return None;
+            match txn.read(key.clone()) {
+                Ok(value) => observed.push(value),
+                Err(_) => return (None, Vec::new()),
             }
         }
         match txn.commit() {
             Ok(()) => {
                 let latency = start.elapsed();
-                Some((latency, latency))
+                (Some((latency, latency)), observed)
             }
-            Err(_) => None,
+            Err(_) => (None, Vec::new()),
         }
     }
 }

@@ -4,6 +4,7 @@
 use std::sync::Arc;
 
 use parking_lot::Mutex;
+use sss_faults::{FaultInjector, FaultInterposer};
 use sss_net::{ChannelTransport, NodeRuntime, TransportConfig};
 use sss_vclock::NodeId;
 
@@ -43,6 +44,7 @@ pub struct SssCluster {
     transport: Arc<ChannelTransport<SssMessage>>,
     nodes: Vec<Arc<SssNode>>,
     runtimes: Mutex<Vec<NodeRuntime>>,
+    injector: Option<Arc<FaultInjector>>,
 }
 
 impl SssCluster {
@@ -53,10 +55,22 @@ impl SssCluster {
     /// Currently infallible in practice, but kept fallible for forward
     /// compatibility (e.g. resource exhaustion while spawning workers).
     pub fn start(config: SssConfig) -> Result<Self, SssError> {
-        let transport_config = TransportConfig::new(config.nodes)
+        let injector = config.fault_injector.clone();
+        let mut transport_config = TransportConfig::new(config.nodes)
             .latency(config.latency)
             .seed(config.seed);
+        if let Some(injector) = &injector {
+            transport_config =
+                transport_config.interposer(Arc::clone(injector) as Arc<dyn FaultInterposer>);
+        }
         let transport = Arc::new(ChannelTransport::new(transport_config));
+        if let Some(injector) = &injector {
+            injector.attach_pause_controls(
+                (0..config.nodes)
+                    .map(|i| transport.mailbox(NodeId(i)).pause_control())
+                    .collect(),
+            );
+        }
         let nodes: Vec<Arc<SssNode>> = (0..config.nodes)
             .map(|i| {
                 Arc::new(SssNode::new(
@@ -82,6 +96,7 @@ impl SssCluster {
             transport,
             nodes,
             runtimes: Mutex::new(runtimes),
+            injector,
         })
     }
 
@@ -137,9 +152,47 @@ impl SssCluster {
             .collect()
     }
 
-    /// Shuts the cluster down: closes the transport and joins every worker.
-    /// Idempotent.
+    /// The fault injector the cluster was started under, if any. Arm it
+    /// once the key space is populated so that the plan's scheduled windows
+    /// cover the measured phase.
+    pub fn fault_injector(&self) -> Option<&Arc<FaultInjector>> {
+        self.injector.as_ref()
+    }
+
+    /// Per-node liveness diagnostics: mailbox traffic and queue depth,
+    /// pause state, snapshot-queue entries and commits awaiting external
+    /// acknowledgement. Used by stuck-run detectors to explain *where* a
+    /// faulted scenario wedged.
+    pub fn diagnostics(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for node in &self.nodes {
+            let id = node.id();
+            let mailbox = self.transport.mailbox(id);
+            let stats = mailbox.stats();
+            let _ = writeln!(
+                out,
+                "node {}: mailbox depth={} enqueued={} dequeued={} paused={} \
+                 snapshot-queue-entries={} waiting-external-commits={}",
+                id.index(),
+                mailbox.len(),
+                stats.total_enqueued(),
+                stats.total_dequeued(),
+                mailbox.pause_control().is_paused(),
+                node.snapshot_queue_entries(),
+                node.waiting_external_commits(),
+            );
+        }
+        out.push_str(&self.pending_reports());
+        out
+    }
+
+    /// Shuts the cluster down: disarms any fault injector, closes the
+    /// transport and joins every worker. Idempotent.
     pub fn shutdown(&self) {
+        if let Some(injector) = &self.injector {
+            injector.disarm();
+        }
         self.transport.shutdown();
         let runtimes = std::mem::take(&mut *self.runtimes.lock());
         for runtime in runtimes {

@@ -1,7 +1,9 @@
 //! Cluster configuration.
 
+use std::sync::Arc;
 use std::time::Duration;
 
+use sss_faults::{FaultInjector, FaultPlan};
 use sss_net::LatencyModel;
 use sss_storage::ReplicaMap;
 
@@ -57,6 +59,10 @@ pub struct SssConfig {
     // (e.g. client-side exclusion sets) so the paper's strict
     // completion-order property also holds unconditionally.
     pub precommit_hold_max: Duration,
+    /// Optional fault injector interposed on the cluster transport and
+    /// attached to the per-node pause gates. Inert until armed — see
+    /// [`SssConfig::faults`].
+    pub fault_injector: Option<Arc<FaultInjector>>,
 }
 
 impl SssConfig {
@@ -84,7 +90,28 @@ impl SssConfig {
             admission_backoff: Duration::from_micros(250),
             admission_max_retries: 5,
             precommit_hold_max: Duration::from_millis(250),
+            fault_injector: None,
         }
+    }
+
+    /// Runs the cluster under `plan`: a [`FaultInjector`] is created,
+    /// interposed on the transport and attached to every node's pause gate.
+    ///
+    /// The plan is **inert until armed**: call
+    /// [`SssCluster::fault_injector`](crate::SssCluster::fault_injector)
+    /// and [`FaultInjector::arm`] once the cluster is populated, so the
+    /// plan's scheduled windows cover the measured phase instead of the
+    /// warm-up. Cluster shutdown disarms the injector.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.fault_injector = Some(FaultInjector::new(plan));
+        self
+    }
+
+    /// Like [`SssConfig::faults`] but with a caller-owned injector, so a
+    /// harness can keep the handle and arm it at the right moment.
+    pub fn fault_injector(mut self, injector: Arc<FaultInjector>) -> Self {
+        self.fault_injector = Some(injector);
+        self
     }
 
     /// Sets the replication degree.
@@ -162,5 +189,13 @@ mod tests {
     #[should_panic(expected = "at least one node")]
     fn zero_nodes_panics() {
         let _ = SssConfig::new(0);
+    }
+
+    #[test]
+    fn fault_plans_create_an_inert_injector() {
+        let cfg = SssConfig::new(2).faults(FaultPlan::new(3));
+        let injector = cfg.fault_injector.as_ref().expect("injector created");
+        assert!(!injector.is_armed(), "plans must stay inert until armed");
+        assert!(SssConfig::new(2).fault_injector.is_none());
     }
 }

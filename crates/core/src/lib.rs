@@ -79,5 +79,6 @@ pub use session::{CommitInfo, ReadOnlyTransaction, Session, UpdateTransaction};
 pub use squeue::{EntryKind, ReadEntry, SnapshotQueue, SnapshotQueues, WriteEntry};
 pub use stats::{ClusterStats, NodeStats};
 
+pub use sss_faults::{FaultInjector, FaultPlan};
 pub use sss_storage::{Key, TxnId, Value};
 pub use sss_vclock::{NodeId, VectorClock};

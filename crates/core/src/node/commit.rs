@@ -40,15 +40,26 @@ impl SssNode {
 
         // If the coordinator already aborted this transaction (its negative
         // decide overtook this prepare), vote no and leave no trace.
-        if self.state.lock().aborted_early.contains(&txn) {
-            NodeCounters::bump(&self.counters().votes_validation_failed);
-            reply.send(Vote {
-                from: self.id(),
-                txn,
-                ok: false,
-                vc,
-            });
-            return;
+        {
+            let mut state = self.state.lock();
+            if state.aborted_early.contains(&txn) {
+                drop(state);
+                NodeCounters::bump(&self.counters().votes_validation_failed);
+                reply.send(Vote {
+                    from: self.id(),
+                    txn,
+                    ok: false,
+                    vc,
+                });
+                return;
+            }
+            // Duplicate delivery of a prepare already being (or already
+            // done being) processed: drop it without voting — the original
+            // copy's vote is guaranteed to arrive, and re-preparing would
+            // wedge the commit queue with an undecidable second entry.
+            if !state.prepared_ever.insert(txn) {
+                return;
+            }
         }
 
         // Lock acquisition happens before touching the protocol state so

@@ -125,11 +125,21 @@ impl SssNode {
         commit_vc: VectorClock,
         reply: ReplySender<crate::messages::Ack>,
     ) {
-        self.state.lock().confirmed_vc.merge(&commit_vc);
-        reply.send(crate::messages::Ack {
-            from: self.id(),
-            txn,
-        });
+        let first_copy = {
+            let mut state = self.state.lock();
+            state.confirmed_vc.merge(&commit_vc);
+            state.confirm_acked.insert(txn)
+        };
+        // Acknowledge only the first delivery: the reply channel is bounded
+        // by the node count, so a duplicated confirm whose extra ack filled
+        // a slot could crowd out another node's (distinct) ack and fail the
+        // coordinator's confirmation round for a committed transaction.
+        if first_copy {
+            reply.send(crate::messages::Ack {
+                from: self.id(),
+                txn,
+            });
+        }
     }
 
     /// Handles `ReleaseExternal[T]`: the writer's confirmation round is

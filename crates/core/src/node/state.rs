@@ -1,10 +1,10 @@
 //! Mutable per-node protocol state.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashMap, HashSet};
 use std::time::Instant;
 
 use sss_net::ReplySender;
-use sss_storage::{Key, MvStore, TxnId, Value};
+use sss_storage::{Key, MvStore, RecentTxnSet, TxnId, Value};
 use sss_vclock::{NodeId, VectorClock};
 
 use crate::commit_queue::CommitQueue;
@@ -78,60 +78,6 @@ pub(crate) struct WaitingExternal {
     pub since: Instant,
 }
 
-/// A bounded insertion-ordered set of transaction ids.
-///
-/// Used to remember recently completed / removed read-only transactions so
-/// that late snapshot-queue insertions (racing `Remove` and `Decide`
-/// messages) are suppressed instead of lingering forever.
-#[derive(Debug)]
-pub(crate) struct RecentTxnSet {
-    order: VecDeque<TxnId>,
-    set: HashSet<TxnId>,
-    capacity: usize,
-}
-
-impl RecentTxnSet {
-    pub(crate) fn new(capacity: usize) -> Self {
-        RecentTxnSet {
-            order: VecDeque::new(),
-            set: HashSet::new(),
-            capacity,
-        }
-    }
-
-    pub(crate) fn insert(&mut self, txn: TxnId) {
-        if self.set.insert(txn) {
-            self.order.push_back(txn);
-            if self.order.len() > self.capacity {
-                if let Some(old) = self.order.pop_front() {
-                    self.set.remove(&old);
-                }
-            }
-        }
-    }
-
-    pub(crate) fn contains(&self, txn: &TxnId) -> bool {
-        self.set.contains(txn)
-    }
-
-    /// Forgets `txn` (e.g. once its global external commit is confirmed).
-    /// Returns `true` if it was remembered.
-    pub(crate) fn remove(&mut self, txn: &TxnId) -> bool {
-        if self.set.remove(txn) {
-            self.order.retain(|t| t != txn);
-            true
-        } else {
-            false
-        }
-    }
-
-    /// Number of remembered identifiers (diagnostics and tests).
-    #[allow(dead_code)]
-    pub(crate) fn len(&self) -> usize {
-        self.set.len()
-    }
-}
-
 /// All protocol state of one node that is protected by the node mutex.
 #[derive(Debug)]
 pub(crate) struct NodeState {
@@ -178,6 +124,17 @@ pub(crate) struct NodeState {
     /// the mailbox). A late prepare for one of these must vote negatively
     /// and must not enqueue, or the commit queue would be wedged forever.
     pub aborted_early: RecentTxnSet,
+    /// Update transactions whose `ConfirmExternal` this node has already
+    /// acknowledged; duplicate deliveries are merged but not re-acked (see
+    /// `handle_confirm_external`).
+    pub confirm_acked: RecentTxnSet,
+    /// Every transaction this node has ever started preparing. The network
+    /// may duplicate messages; re-running a `Prepare` would re-increment
+    /// `NodeVC` and enqueue a second commit-queue entry that no `Decide`
+    /// ever resolves, wedging the queue head. Duplicates are dropped
+    /// against this set instead (the reliable channel guarantees the
+    /// original copy's vote reaches the coordinator).
+    pub prepared_ever: RecentTxnSet,
     /// Coordinator-side: extra `Remove` targets registered for read-only
     /// transactions that originated on this node.
     pub ro_forward_targets: HashMap<TxnId, HashSet<NodeId>>,
@@ -204,6 +161,8 @@ impl NodeState {
             released_external: RecentTxnSet::new(1 << 16),
             removed_ro: RecentTxnSet::new(1 << 16),
             aborted_early: RecentTxnSet::new(1 << 16),
+            confirm_acked: RecentTxnSet::new(1 << 16),
+            prepared_ever: RecentTxnSet::new(1 << 16),
             ro_forward_targets: HashMap::new(),
             completed_ro: RecentTxnSet::new(1 << 16),
         }
@@ -228,21 +187,6 @@ mod tests {
 
     fn txn(seq: u64) -> TxnId {
         TxnId::new(NodeId(0), seq)
-    }
-
-    #[test]
-    fn recent_set_evicts_oldest() {
-        let mut set = RecentTxnSet::new(2);
-        set.insert(txn(1));
-        set.insert(txn(2));
-        set.insert(txn(3));
-        assert_eq!(set.len(), 2);
-        assert!(!set.contains(&txn(1)));
-        assert!(set.contains(&txn(2)));
-        assert!(set.contains(&txn(3)));
-        // Re-inserting an existing id does not grow the set.
-        set.insert(txn(3));
-        assert_eq!(set.len(), 2);
     }
 
     #[test]

@@ -18,7 +18,7 @@ use sss_core::adapter::{SssEngine, SssEngineSession};
 use crate::traits::{EngineSession, TransactionEngine, TxnOutcome};
 
 macro_rules! bind_engine {
-    ($engine:ty, $session:ty, $name:literal) => {
+    ($engine:ty, $session:ty, $name:literal $(, diagnostics: $diag:expr)?) => {
         impl TransactionEngine for $engine {
             fn name(&self) -> &str {
                 $name
@@ -31,6 +31,13 @@ macro_rules! bind_engine {
             fn session(&self, node: usize) -> Box<dyn EngineSession> {
                 Box::new(self.open_session(node))
             }
+
+            $(
+                fn diagnostics(&self) -> Option<String> {
+                    #[allow(clippy::redundant_closure_call)]
+                    Some(($diag)(self))
+                }
+            )?
         }
 
         impl EngineSession for $session {
@@ -45,11 +52,34 @@ macro_rules! bind_engine {
             fn run_read_only(&mut self, read_keys: &[sss_storage::Key]) -> TxnOutcome {
                 TxnOutcome::from_timings(<$session>::run_read_only(self, read_keys))
             }
+
+            fn run_update_observed(
+                &mut self,
+                read_keys: &[sss_storage::Key],
+                writes: &[(sss_storage::Key, sss_storage::Value)],
+            ) -> (TxnOutcome, Vec<Option<sss_storage::Value>>) {
+                let (timings, observed) =
+                    <$session>::run_update_observed(self, read_keys, writes);
+                (TxnOutcome::from_timings(timings), observed)
+            }
+
+            fn run_read_only_observed(
+                &mut self,
+                read_keys: &[sss_storage::Key],
+            ) -> (TxnOutcome, Vec<Option<sss_storage::Value>>) {
+                let (timings, observed) = <$session>::run_read_only_observed(self, read_keys);
+                (TxnOutcome::from_timings(timings), observed)
+            }
         }
     };
 }
 
-bind_engine!(SssEngine, SssEngineSession, "SSS");
+bind_engine!(
+    SssEngine,
+    SssEngineSession,
+    "SSS",
+    diagnostics: |engine: &SssEngine| engine.cluster().diagnostics()
+);
 bind_engine!(TwoPcEngine, TwoPcEngineSession, "2PC");
 bind_engine!(WalterEngine, WalterEngineSession, "Walter");
 bind_engine!(RococoEngine, RococoEngineSession, "ROCOCO");
@@ -69,5 +99,29 @@ mod tests {
         let outcome = session.run_update(&[], &[(Key::new("k"), Value::from_u64(1))]);
         assert!(outcome.is_committed());
         assert!(session.run_read_only(&[Key::new("k")]).is_committed());
+    }
+
+    #[test]
+    fn observed_reads_report_the_values_seen() {
+        let engine = SssEngine::start(2, 1);
+        let dynamic: &dyn TransactionEngine = &engine;
+        let mut session = dynamic.session(0);
+        session.run_update(&[], &[(Key::new("k"), Value::from_u64(7))]);
+        let (outcome, observed) = session.run_read_only_observed(&[Key::new("k")]);
+        assert!(outcome.is_committed());
+        assert_eq!(observed, vec![Some(Value::from_u64(7))]);
+        let (outcome, observed) =
+            session.run_update_observed(&[Key::new("k")], &[(Key::new("k"), Value::from_u64(8))]);
+        assert!(outcome.is_committed());
+        assert_eq!(observed, vec![Some(Value::from_u64(7))]);
+    }
+
+    #[test]
+    fn sss_exposes_diagnostics() {
+        let engine = SssEngine::start(2, 1);
+        let dynamic: &dyn TransactionEngine = &engine;
+        let report = dynamic.diagnostics().expect("SSS has diagnostics");
+        assert!(report.contains("node 0"), "unexpected report: {report}");
+        assert!(report.contains("mailbox depth="));
     }
 }

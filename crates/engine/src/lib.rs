@@ -10,6 +10,8 @@
 //!   [`EngineKind::build`] constructs any of them behind a
 //!   `Box<dyn TransactionEngine>`, parameterized only by node count,
 //!   replication degree and a [`NetProfile`];
+//!   [`EngineKind::build_faulted`] / [`EngineKind::build_with_injector`]
+//!   additionally place the engine under an `sss-faults` [`FaultPlan`];
 //! * the **trait bindings** that hook each engine's adapter (which lives in
 //!   the crate owning that engine: `sss-core` ships the SSS adapter,
 //!   `sss-baselines` ships the 2PC/Walter/ROCOCO adapters) onto the trait.
@@ -41,3 +43,5 @@ mod traits;
 pub use profile::NetProfile;
 pub use registry::{EngineKind, ParseEngineKindError};
 pub use traits::{EngineSession, TransactionEngine, TxnOutcome};
+
+pub use sss_faults::{FaultInjector, FaultPlan};

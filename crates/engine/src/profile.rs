@@ -6,12 +6,17 @@ use sss_net::LatencyModel;
 
 /// One-way message-delay profile of the cluster an engine is built on.
 ///
-/// Only message-passing engines consume this today: SSS runs on the
-/// `sss-net` transport and injects the profile's latency into every message.
-/// The shared-memory baseline engines (2PC, Walter, ROCOCO) synchronize
-/// through node-local state and accept the profile for interface uniformity
-/// without using it — the paper's comparison likewise runs every engine on
-/// the same (fast) interconnect.
+/// Only SSS consumes the *latency* part today: it injects the profile's
+/// delay into every message. The baseline engines (2PC, Walter, ROCOCO)
+/// run on the same `sss-net` transport but accept the profile for
+/// interface uniformity without applying its latency — the paper's
+/// comparison likewise runs every engine on the same (fast) interconnect.
+///
+/// The profile describes the network's *steady-state* delay; adversarial
+/// behaviour (delay spikes, reordering, duplication, partitions, pauses)
+/// is layered on top by an `sss-faults` fault plan via
+/// [`EngineKind::build_faulted`](crate::EngineKind::build_faulted) — each
+/// message's total delay is the profile sample plus the fault plan's extra.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum NetProfile {
     /// Messages are delivered immediately (the benchmark default, so that

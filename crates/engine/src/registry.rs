@@ -1,10 +1,12 @@
 //! The engine registry: one construction path for every engine.
 
 use std::str::FromStr;
+use std::sync::Arc;
 
 use sss_baselines::adapters::{RococoEngine, TwoPcEngine, WalterEngine};
 use sss_core::adapter::SssEngine;
 use sss_core::SssConfig;
+use sss_faults::{FaultInjector, FaultPlan};
 
 use crate::profile::NetProfile;
 use crate::traits::TransactionEngine;
@@ -64,15 +66,85 @@ impl EngineKind {
         replication: usize,
         net_profile: NetProfile,
     ) -> Box<dyn TransactionEngine> {
+        self.build_with_injector(nodes, replication, net_profile, None)
+    }
+
+    /// [`EngineKind::build`] under a [`FaultPlan`]: the plan is armed
+    /// immediately, so its scheduled windows are measured from the moment
+    /// the engine boots.
+    ///
+    /// Every engine runs on the `sss-net` transport, so the plan's faults
+    /// (delays, reordering, duplication, partitions, pauses) apply to SSS
+    /// and to all three baselines alike.
+    pub fn build_faulted(
+        &self,
+        nodes: usize,
+        replication: usize,
+        net_profile: NetProfile,
+        faults: FaultPlan,
+    ) -> Box<dyn TransactionEngine> {
+        let injector = FaultInjector::new(faults);
+        let engine = self.build_with_injector(nodes, replication, net_profile, Some(&injector));
+        injector.arm();
+        engine
+    }
+
+    /// [`EngineKind::build`] under a caller-owned [`FaultInjector`].
+    ///
+    /// The injector is **not** armed: the caller keeps the handle and arms
+    /// it once the warm-up (e.g. key-space population) is done, so the
+    /// plan's scheduled windows cover the measured phase. The injector is
+    /// interposed on the engine's transport and attached to its per-node
+    /// pause gates, for the baselines just like for SSS.
+    pub fn build_with_injector(
+        &self,
+        nodes: usize,
+        replication: usize,
+        net_profile: NetProfile,
+        injector: Option<&Arc<FaultInjector>>,
+    ) -> Box<dyn TransactionEngine> {
+        let interposer =
+            |i: &&Arc<FaultInjector>| Arc::clone(*i) as Arc<dyn sss_net::FaultInterposer>;
         match self {
-            EngineKind::Sss => Box::new(SssEngine::with_config(
-                SssConfig::new(nodes)
+            EngineKind::Sss => {
+                let mut config = SssConfig::new(nodes)
                     .replication(replication)
-                    .latency(net_profile.latency_model()),
-            )),
-            EngineKind::TwoPc => Box::new(TwoPcEngine::start(nodes, replication)),
-            EngineKind::Walter => Box::new(WalterEngine::start(nodes, replication)),
-            EngineKind::Rococo => Box::new(RococoEngine::start(nodes)),
+                    .latency(net_profile.latency_model());
+                if let Some(injector) = injector {
+                    config = config.fault_injector(Arc::clone(injector));
+                }
+                Box::new(SssEngine::with_config(config))
+            }
+            EngineKind::TwoPc => {
+                let engine = TwoPcEngine::start_with_interposer(
+                    nodes,
+                    replication,
+                    injector.as_ref().map(interposer),
+                );
+                if let Some(injector) = injector {
+                    injector.attach_pause_controls(engine.pause_controls());
+                }
+                Box::new(engine)
+            }
+            EngineKind::Walter => {
+                let engine = WalterEngine::start_with_interposer(
+                    nodes,
+                    replication,
+                    injector.as_ref().map(interposer),
+                );
+                if let Some(injector) = injector {
+                    injector.attach_pause_controls(engine.pause_controls());
+                }
+                Box::new(engine)
+            }
+            EngineKind::Rococo => {
+                let engine =
+                    RococoEngine::start_with_interposer(nodes, injector.as_ref().map(interposer));
+                if let Some(injector) = injector {
+                    injector.attach_pause_controls(engine.pause_controls());
+                }
+                Box::new(engine)
+            }
         }
     }
 }

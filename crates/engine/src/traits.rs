@@ -53,6 +53,27 @@ pub trait EngineSession: Send {
 
     /// Executes one read-only transaction over `read_keys`.
     fn run_read_only(&mut self, read_keys: &[Key]) -> TxnOutcome;
+
+    /// Like [`EngineSession::run_update`], but also returns the value each
+    /// read observed (parallel to `read_keys`), so a history recorder can
+    /// attribute observations to writers. Engines that cannot report read
+    /// values fall back to unattributed (`None`) observations — histories
+    /// stay checkable, just with less evidence.
+    fn run_update_observed(
+        &mut self,
+        read_keys: &[Key],
+        writes: &[(Key, Value)],
+    ) -> (TxnOutcome, Vec<Option<Value>>) {
+        let outcome = self.run_update(read_keys, writes);
+        (outcome, vec![None; read_keys.len()])
+    }
+
+    /// Like [`EngineSession::run_read_only`], but also returns the observed
+    /// values (parallel to `read_keys`).
+    fn run_read_only_observed(&mut self, read_keys: &[Key]) -> (TxnOutcome, Vec<Option<Value>>) {
+        let outcome = self.run_read_only(read_keys);
+        (outcome, vec![None; read_keys.len()])
+    }
 }
 
 impl<S: EngineSession + ?Sized> EngineSession for Box<S> {
@@ -62,6 +83,18 @@ impl<S: EngineSession + ?Sized> EngineSession for Box<S> {
 
     fn run_read_only(&mut self, read_keys: &[Key]) -> TxnOutcome {
         (**self).run_read_only(read_keys)
+    }
+
+    fn run_update_observed(
+        &mut self,
+        read_keys: &[Key],
+        writes: &[(Key, Value)],
+    ) -> (TxnOutcome, Vec<Option<Value>>) {
+        (**self).run_update_observed(read_keys, writes)
+    }
+
+    fn run_read_only_observed(&mut self, read_keys: &[Key]) -> (TxnOutcome, Vec<Option<Value>>) {
+        (**self).run_read_only_observed(read_keys)
     }
 }
 
@@ -75,6 +108,14 @@ pub trait TransactionEngine: Sync {
 
     /// Opens a client session colocated with `node`.
     fn session(&self, node: usize) -> Box<dyn EngineSession>;
+
+    /// Per-node liveness diagnostics (mailbox depths, queue entries, pause
+    /// state), if the engine exposes them. Stuck-run detectors print this
+    /// instead of hanging silently; `None` means the engine has no
+    /// introspection surface.
+    fn diagnostics(&self) -> Option<String> {
+        None
+    }
 }
 
 impl<E: TransactionEngine + ?Sized> TransactionEngine for Box<E> {
@@ -89,6 +130,10 @@ impl<E: TransactionEngine + ?Sized> TransactionEngine for Box<E> {
     fn session(&self, node: usize) -> Box<dyn EngineSession> {
         (**self).session(node)
     }
+
+    fn diagnostics(&self) -> Option<String> {
+        (**self).diagnostics()
+    }
 }
 
 impl<E: TransactionEngine + Send + Sync + ?Sized> TransactionEngine for Arc<E> {
@@ -102,6 +147,10 @@ impl<E: TransactionEngine + Send + Sync + ?Sized> TransactionEngine for Arc<E> {
 
     fn session(&self, node: usize) -> Box<dyn EngineSession> {
         (**self).session(node)
+    }
+
+    fn diagnostics(&self) -> Option<String> {
+        (**self).diagnostics()
     }
 }
 

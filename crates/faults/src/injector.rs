@@ -1,0 +1,405 @@
+//! The runtime half of the subsystem: turns a [`FaultPlan`] into transport
+//! interposition and scheduled pause/resume actions.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sss_net::{FaultInterposer, NodeId, PauseControl, SendPlan};
+
+use crate::plan::FaultPlan;
+
+/// How often the pause scheduler re-checks its stop flag while waiting for
+/// the next scheduled event.
+const SCHEDULER_TICK: Duration = Duration::from_millis(1);
+
+/// Executes a [`FaultPlan`] against a running cluster.
+///
+/// The injector plays two roles:
+///
+/// * as a [`FaultInterposer`] it is consulted by the transport on every
+///   send and translates the plan's partitions and per-link faults into
+///   [`SendPlan`]s (extra delays and duplicated copies);
+/// * once [`FaultInjector::arm`]ed, a scheduler thread walks the plan's
+///   pause windows and flips the [`PauseControl`]s the cluster attached.
+///
+/// Faults are inert until `arm` is called, so a harness can boot a cluster
+/// and pre-populate its key space fault-free, then arm the plan for the
+/// measured window. [`FaultInjector::disarm`] (also run on drop and by the
+/// cluster's shutdown) stops the scheduler and resumes every paused node.
+pub struct FaultInjector {
+    plan: FaultPlan,
+    /// Set exactly once by [`FaultInjector::arm`]; reads on the send hot
+    /// path are lock-free after initialization.
+    armed_at: std::sync::OnceLock<Instant>,
+    links: Mutex<HashMap<(usize, usize), StdRng>>,
+    controls: Arc<Mutex<Vec<Arc<PauseControl>>>>,
+    scheduler: Mutex<Option<std::thread::JoinHandle<()>>>,
+    stop: Arc<AtomicBool>,
+}
+
+impl FaultInjector {
+    /// Creates an inert injector for `plan`.
+    pub fn new(plan: FaultPlan) -> Arc<Self> {
+        Arc::new(FaultInjector {
+            plan,
+            armed_at: std::sync::OnceLock::new(),
+            links: Mutex::new(HashMap::new()),
+            controls: Arc::new(Mutex::new(Vec::new())),
+            scheduler: Mutex::new(None),
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The plan this injector executes.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Attaches the per-node pause gates of a booted cluster, indexed by
+    /// node. Called by the cluster during start-up; scheduled pauses of
+    /// nodes without an attached control are ignored.
+    pub fn attach_pause_controls(&self, controls: Vec<Arc<PauseControl>>) {
+        *self.controls.lock() = controls;
+    }
+
+    /// Arms the plan: scheduled windows are measured from this instant and
+    /// probabilistic faults start firing. Idempotent — only the first call
+    /// sets the epoch.
+    pub fn arm(&self) {
+        let epoch = Instant::now();
+        if self.armed_at.set(epoch).is_err() {
+            return;
+        }
+        if self.plan.pauses.is_empty() {
+            return;
+        }
+        // Coalesce overlapping pause windows per node before flattening to
+        // pause/resume events: the gate is a boolean, so the end of an
+        // inner window must not resume a node whose outer window is still
+        // active.
+        let mut per_node: HashMap<usize, Vec<(Duration, Duration)>> = HashMap::new();
+        for pause in &self.plan.pauses {
+            per_node
+                .entry(pause.node)
+                .or_default()
+                .push((pause.start, pause.start + pause.duration));
+        }
+        let mut events: Vec<(Duration, usize, bool)> = Vec::new();
+        for (node, mut windows) in per_node {
+            windows.sort();
+            let mut merged: Vec<(Duration, Duration)> = Vec::new();
+            for (start, end) in windows {
+                match merged.last_mut() {
+                    Some((_, last_end)) if start <= *last_end => {
+                        *last_end = (*last_end).max(end);
+                    }
+                    _ => merged.push((start, end)),
+                }
+            }
+            for (start, end) in merged {
+                events.push((start, node, true));
+                events.push((end, node, false));
+            }
+        }
+        events.sort_by_key(|(at, node, pause)| (*at, *node, *pause));
+        let controls = Arc::clone(&self.controls);
+        let stop = Arc::clone(&self.stop);
+        let handle = std::thread::Builder::new()
+            .name("sss-fault-scheduler".into())
+            .spawn(move || {
+                for (at, node, pause) in events {
+                    loop {
+                        if stop.load(Ordering::Acquire) {
+                            return;
+                        }
+                        let elapsed = epoch.elapsed();
+                        if elapsed >= at {
+                            break;
+                        }
+                        std::thread::sleep(SCHEDULER_TICK.min(at - elapsed));
+                    }
+                    if let Some(control) = controls.lock().get(node) {
+                        if pause {
+                            control.pause();
+                        } else {
+                            control.resume();
+                        }
+                    }
+                }
+            })
+            .expect("failed to spawn fault scheduler");
+        *self.scheduler.lock() = Some(handle);
+    }
+
+    /// `true` once the plan has been armed.
+    pub fn is_armed(&self) -> bool {
+        self.armed_at.get().is_some()
+    }
+
+    /// Stops the pause scheduler and resumes every attached node.
+    /// Idempotent; also invoked on drop and by cluster shutdown, so a
+    /// harness abandoned mid-scenario never leaves nodes paused.
+    pub fn disarm(&self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.scheduler.lock().take() {
+            let _ = handle.join();
+        }
+        for control in self.controls.lock().iter() {
+            control.resume();
+        }
+    }
+
+    fn link_rng_seed(&self, from: usize, to: usize) -> u64 {
+        self.plan
+            .seed
+            .wrapping_add(((from as u64) << 32 | to as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+}
+
+impl Drop for FaultInjector {
+    fn drop(&mut self) {
+        self.disarm();
+    }
+}
+
+impl std::fmt::Debug for FaultInjector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultInjector")
+            .field("plan", &self.plan)
+            .field("armed", &self.is_armed())
+            .finish()
+    }
+}
+
+impl FaultInterposer for FaultInjector {
+    fn plan(&self, from: NodeId, to: NodeId, now: Instant) -> SendPlan {
+        // A node can always talk to itself, and an unarmed plan is inert.
+        if from == to {
+            return SendPlan::pass();
+        }
+        let Some(epoch) = self.armed_at.get().copied() else {
+            return SendPlan::pass();
+        };
+        let elapsed = now.saturating_duration_since(epoch);
+        let (from_idx, to_idx) = (from.index(), to.index());
+
+        // Transient partitions hold crossing messages until the heal: the
+        // extra delay is exactly the time remaining in the longest active
+        // severing window, so the backlog floods in at heal time.
+        let mut extra = Duration::ZERO;
+        for partition in &self.plan.partitions {
+            if elapsed >= partition.start
+                && elapsed < partition.heals_at()
+                && partition.severs(from_idx, to_idx)
+            {
+                extra = extra.max(partition.heals_at() - elapsed);
+            }
+        }
+
+        let mut duplicate = None;
+        let matching: Vec<&crate::plan::LinkFault> = self
+            .plan
+            .link_faults
+            .iter()
+            .filter(|f| f.links.matches(from_idx, to_idx))
+            .collect();
+        if matching.is_empty() {
+            // Partition-only / pause-only plans never touch the shared
+            // per-link RNG map, keeping the send hot path lock-free.
+            return SendPlan::delayed(extra);
+        }
+        let mut links = self.links.lock();
+        for fault in matching {
+            let rng = links
+                .entry((from_idx, to_idx))
+                .or_insert_with(|| StdRng::seed_from_u64(self.link_rng_seed(from_idx, to_idx)));
+            if !fault.jitter.is_zero() {
+                let nanos = rng.gen_range(0..=fault.jitter.as_nanos() as u64);
+                extra += Duration::from_nanos(nanos);
+            }
+            if fault.spike_percent > 0 && rng.gen_range(0..100u8) < fault.spike_percent {
+                extra += fault.spike;
+            }
+            if fault.reorder_percent > 0 && rng.gen_range(0..100u8) < fault.reorder_percent {
+                extra += fault.reorder_hold;
+            }
+            if fault.duplicate_percent > 0 && rng.gen_range(0..100u8) < fault.duplicate_percent {
+                duplicate = Some(fault.duplicate_skew);
+            }
+        }
+
+        let plan = SendPlan::delayed(extra);
+        match duplicate {
+            // The copy's delay is computed from the *final* extra delay, so
+            // the duplicate is guaranteed to trail the original by `skew`
+            // even when a later rule added more delay to the original.
+            Some(skew) => plan.duplicate(extra + skew),
+            None => plan,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{LinkFault, LinkSelector};
+
+    fn interpose(injector: &FaultInjector, from: usize, to: usize) -> SendPlan {
+        FaultInterposer::plan(injector, NodeId(from), NodeId(to), Instant::now())
+    }
+
+    #[test]
+    fn unarmed_injector_is_inert() {
+        let injector = FaultInjector::new(
+            FaultPlan::new(1)
+                .link_fault(LinkFault::on(LinkSelector::All).spike(100, Duration::from_millis(5))),
+        );
+        assert!(!injector.is_armed());
+        assert!(interpose(&injector, 0, 1).is_pass());
+    }
+
+    #[test]
+    fn self_links_are_never_faulted() {
+        let injector = FaultInjector::new(
+            FaultPlan::new(1)
+                .link_fault(LinkFault::on(LinkSelector::All).spike(100, Duration::from_millis(5))),
+        );
+        injector.arm();
+        assert!(interpose(&injector, 2, 2).is_pass());
+        assert!(!interpose(&injector, 0, 1).is_pass());
+    }
+
+    #[test]
+    fn active_partition_holds_messages_until_the_heal() {
+        let injector = FaultInjector::new(FaultPlan::new(1).partition(
+            [0],
+            Duration::ZERO,
+            Duration::from_millis(50),
+        ));
+        injector.arm();
+        let held = interpose(&injector, 0, 1);
+        let delay = held.deliveries()[0];
+        assert!(delay > Duration::from_millis(25), "crossing link is held");
+        assert!(delay <= Duration::from_millis(50), "held only to the heal");
+        assert!(
+            interpose(&injector, 1, 2).is_pass(),
+            "non-crossing links are unaffected"
+        );
+    }
+
+    #[test]
+    fn healed_partition_stops_holding() {
+        let injector = FaultInjector::new(FaultPlan::new(1).partition(
+            [0],
+            Duration::ZERO,
+            Duration::from_millis(5),
+        ));
+        injector.arm();
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(interpose(&injector, 0, 1).is_pass());
+    }
+
+    #[test]
+    fn duplication_fires_at_the_configured_rate() {
+        let injector = FaultInjector::new(FaultPlan::new(9).link_fault(
+            LinkFault::on(LinkSelector::All).duplicate(100, Duration::from_micros(10)),
+        ));
+        injector.arm();
+        for _ in 0..10 {
+            assert_eq!(interpose(&injector, 0, 1).deliveries().len(), 2);
+        }
+    }
+
+    #[test]
+    fn link_decisions_are_deterministic_per_seed() {
+        let plan = FaultPlan::new(1234).link_fault(
+            LinkFault::on(LinkSelector::All)
+                .jitter(Duration::from_micros(500))
+                .spike(30, Duration::from_millis(1))
+                .duplicate(20, Duration::from_micros(50)),
+        );
+        let a = FaultInjector::new(plan.clone());
+        let b = FaultInjector::new(plan);
+        a.arm();
+        b.arm();
+        for from in 0..3usize {
+            for to in 0..3usize {
+                for _ in 0..50 {
+                    assert_eq!(interpose(&a, from, to), interpose(&b, from, to));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scheduler_pauses_and_resumes_attached_controls() {
+        let injector = FaultInjector::new(FaultPlan::new(1).pause(
+            1,
+            Duration::from_millis(5),
+            Duration::from_millis(20),
+        ));
+        let controls: Vec<Arc<PauseControl>> =
+            (0..2).map(|_| Arc::new(PauseControl::new())).collect();
+        injector.attach_pause_controls(controls.clone());
+        injector.arm();
+        let deadline = Instant::now() + Duration::from_secs(1);
+        while !controls[1].is_paused() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(controls[1].is_paused(), "scheduled pause never fired");
+        assert!(!controls[0].is_paused(), "only the scheduled node pauses");
+        let deadline = Instant::now() + Duration::from_secs(1);
+        while controls[1].is_paused() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(!controls[1].is_paused(), "scheduled resume never fired");
+    }
+
+    #[test]
+    fn overlapping_pause_windows_are_coalesced() {
+        // Inner window [20, 30) ends while the outer [0, 80) is active; the
+        // node must stay paused until the outer window's end.
+        let injector = FaultInjector::new(
+            FaultPlan::new(1)
+                .pause(0, Duration::ZERO, Duration::from_millis(300))
+                .pause(0, Duration::from_millis(20), Duration::from_millis(10)),
+        );
+        let control = Arc::new(PauseControl::new());
+        injector.attach_pause_controls(vec![Arc::clone(&control)]);
+        injector.arm();
+        let deadline = Instant::now() + Duration::from_secs(1);
+        while !control.is_paused() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(control.is_paused());
+        // Well inside the outer window but past the inner window's end.
+        std::thread::sleep(Duration::from_millis(45));
+        assert!(
+            control.is_paused(),
+            "inner window's resume must not cut the outer window short"
+        );
+        injector.disarm();
+    }
+
+    #[test]
+    fn disarm_resumes_paused_nodes_and_is_idempotent() {
+        let injector =
+            FaultInjector::new(FaultPlan::new(1).pause(0, Duration::ZERO, Duration::from_secs(30)));
+        let control = Arc::new(PauseControl::new());
+        injector.attach_pause_controls(vec![Arc::clone(&control)]);
+        injector.arm();
+        let deadline = Instant::now() + Duration::from_secs(1);
+        while !control.is_paused() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(control.is_paused());
+        injector.disarm();
+        assert!(!control.is_paused(), "disarm must resume paused nodes");
+        injector.disarm();
+    }
+}

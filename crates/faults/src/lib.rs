@@ -1,0 +1,37 @@
+//! Deterministic fault injection for the in-process SSS cluster.
+//!
+//! The paper (§II) assumes *reliable asynchronous channels*: messages may
+//! be delayed arbitrarily, reordered and duplicated, and nodes may stall,
+//! but nothing in flight is ever lost. Every guarantee this repository
+//! verifies — external consistency of update transactions, abort-free
+//! read-only transactions — is claimed under exactly that adversary, yet
+//! the benchmark transport is a perfectly behaved network. This crate
+//! supplies the missing adversary:
+//!
+//! * [`FaultPlan`] — pure data describing one run's faults: per-link jitter
+//!   bursts, delay spikes, reordering holds and duplication
+//!   ([`LinkFault`] over a [`LinkSelector`]), transient network partitions
+//!   with scheduled heals ([`PartitionWindow`]), and node pause/resume
+//!   windows ([`PauseWindow`]). Plans are seeded and comparable, so the
+//!   same plan replays the same adversary.
+//! * [`FaultInjector`] — executes a plan against a running cluster by
+//!   implementing the `sss-net` [`FaultInterposer`](sss_net::FaultInterposer)
+//!   hook (consulted by the transport on every send) and by driving the
+//!   per-node [`PauseControl`](sss_net::PauseControl) gates from a
+//!   scheduler thread.
+//!
+//! Message *loss* and node *crashes* are deliberately inexpressible: the
+//! paper's safety argument needs eventual delivery, so a "partition" holds
+//! crossing messages and floods them in at heal time, and a "pause" stops a
+//! node's workers without dropping its mailbox. Consequently every fault
+//! plan is safety-preserving, and a consistency-checker failure observed
+//! under any plan indicates a protocol bug rather than a harness artifact.
+
+mod injector;
+mod plan;
+
+pub use injector::FaultInjector;
+pub use plan::{FaultPlan, LinkFault, LinkSelector, PartitionWindow, PauseWindow};
+
+pub use sss_net::{FaultInterposer, PauseControl, SendPlan};
+pub use sss_vclock::NodeId;

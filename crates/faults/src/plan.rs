@@ -1,0 +1,313 @@
+//! Declarative, seeded fault plans.
+
+use std::time::Duration;
+
+/// Which directed links of the cluster a [`LinkFault`] applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkSelector {
+    /// Every inter-node link (self-links are never faulted).
+    All,
+    /// Every link whose sender is the given node.
+    From(usize),
+    /// Every link whose receiver is the given node.
+    To(usize),
+    /// Exactly one direction of one link — the building block of
+    /// *asymmetric* faults, where `a -> b` is slow but `b -> a` is clean.
+    Directed {
+        /// Sending node.
+        from: usize,
+        /// Receiving node.
+        to: usize,
+    },
+    /// Both directions between two nodes.
+    Between(usize, usize),
+}
+
+impl LinkSelector {
+    /// `true` if the selector covers the directed link `from -> to`.
+    pub fn matches(&self, from: usize, to: usize) -> bool {
+        match *self {
+            LinkSelector::All => true,
+            LinkSelector::From(f) => from == f,
+            LinkSelector::To(t) => to == t,
+            LinkSelector::Directed { from: f, to: t } => from == f && to == t,
+            LinkSelector::Between(a, b) => (from == a && to == b) || (from == b && to == a),
+        }
+    }
+}
+
+/// Per-message probabilistic faults on a set of links.
+///
+/// All percentages are 0-100 and sampled from the plan's seeded per-link
+/// random streams, so the fault decisions for a given message sequence are
+/// reproducible. Every fault is delay- or duplication-shaped; none loses a
+/// message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkFault {
+    /// Links this fault applies to.
+    pub links: LinkSelector,
+    /// Uniformly distributed extra delay (0..=jitter) added to every
+    /// matching message — a jitter burst when combined with a short window.
+    pub jitter: Duration,
+    /// Percentage of matching messages that receive a delay spike.
+    pub spike_percent: u8,
+    /// Extra delay of a spiked message.
+    pub spike: Duration,
+    /// Percentage of matching messages that are held back long enough for
+    /// later messages on the same link to overtake them (reordering).
+    pub reorder_percent: u8,
+    /// How long a reordered message is held back.
+    pub reorder_hold: Duration,
+    /// Percentage of matching messages that are delivered twice.
+    pub duplicate_percent: u8,
+    /// Extra delay of the duplicated copy relative to the original.
+    pub duplicate_skew: Duration,
+}
+
+impl LinkFault {
+    /// A fault rule on `links` with no effects; compose with the builder
+    /// methods below.
+    pub fn on(links: LinkSelector) -> Self {
+        LinkFault {
+            links,
+            jitter: Duration::ZERO,
+            spike_percent: 0,
+            spike: Duration::ZERO,
+            reorder_percent: 0,
+            reorder_hold: Duration::ZERO,
+            duplicate_percent: 0,
+            duplicate_skew: Duration::ZERO,
+        }
+    }
+
+    /// Adds uniform jitter of up to `jitter` to every matching message.
+    pub fn jitter(mut self, jitter: Duration) -> Self {
+        self.jitter = jitter;
+        self
+    }
+
+    /// Gives `percent`% of matching messages a delay spike of `spike`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `percent > 100`.
+    pub fn spike(mut self, percent: u8, spike: Duration) -> Self {
+        assert!(percent <= 100, "spike percentage must be 0-100");
+        self.spike_percent = percent;
+        self.spike = spike;
+        self
+    }
+
+    /// Holds `percent`% of matching messages back by `hold` so that later
+    /// messages overtake them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `percent > 100`.
+    pub fn reorder(mut self, percent: u8, hold: Duration) -> Self {
+        assert!(percent <= 100, "reorder percentage must be 0-100");
+        self.reorder_percent = percent;
+        self.reorder_hold = hold;
+        self
+    }
+
+    /// Duplicates `percent`% of matching messages, delivering the copy
+    /// `skew` later than the original.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `percent > 100`.
+    pub fn duplicate(mut self, percent: u8, skew: Duration) -> Self {
+        assert!(percent <= 100, "duplicate percentage must be 0-100");
+        self.duplicate_percent = percent;
+        self.duplicate_skew = skew;
+        self
+    }
+}
+
+/// A transient network partition: for the given window the `isolated` nodes
+/// cannot exchange messages with the rest of the cluster.
+///
+/// Because channels are reliable in the system model, a partition does not
+/// drop messages — it *holds* them and delivers the backlog when the
+/// partition heals, exactly like a severed-then-restored cable with
+/// retransmission underneath.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionWindow {
+    /// The nodes cut off from the rest of the cluster. Traffic among the
+    /// isolated nodes themselves still flows.
+    pub isolated: Vec<usize>,
+    /// When the partition starts, relative to the plan being armed.
+    pub start: Duration,
+    /// How long the partition lasts before healing.
+    pub duration: Duration,
+}
+
+impl PartitionWindow {
+    /// `true` if the directed link `from -> to` crosses the partition.
+    pub fn severs(&self, from: usize, to: usize) -> bool {
+        self.isolated.contains(&from) != self.isolated.contains(&to)
+    }
+
+    /// The instant (relative to arming) at which the partition heals.
+    pub fn heals_at(&self) -> Duration {
+        self.start + self.duration
+    }
+}
+
+/// A scheduled node pause: for the given window the node's workers stop
+/// draining its mailbox (the node is alive and reachable but makes no
+/// progress), then resume and drain the backlog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PauseWindow {
+    /// The paused node.
+    pub node: usize,
+    /// When the pause starts, relative to the plan being armed.
+    pub start: Duration,
+    /// How long the node stays paused.
+    pub duration: Duration,
+}
+
+/// A complete, seeded description of the faults injected into one run.
+///
+/// The plan is pure data: it can be cloned, compared, printed and replayed.
+/// All probabilistic decisions derive from `seed` through per-link random
+/// streams, and all scheduled windows are relative to the instant the plan
+/// is armed, so the same plan describes the same adversary on every run.
+///
+/// Every expressible fault preserves safety in the asynchronous system
+/// model (paper §II): messages may be delayed, reordered or duplicated and
+/// nodes may stall, but nothing is ever lost. External consistency and
+/// read-only abort freedom must therefore survive any plan; a consistency
+/// checker failure under faults is a protocol bug, not a harness artifact.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    /// Seed of the per-link random streams.
+    pub seed: u64,
+    /// Probabilistic per-link faults.
+    pub link_faults: Vec<LinkFault>,
+    /// Scheduled transient partitions.
+    pub partitions: Vec<PartitionWindow>,
+    /// Scheduled node pauses.
+    pub pauses: Vec<PauseWindow>,
+}
+
+impl FaultPlan {
+    /// An empty plan with the given seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Adds a probabilistic per-link fault rule.
+    pub fn link_fault(mut self, fault: LinkFault) -> Self {
+        self.link_faults.push(fault);
+        self
+    }
+
+    /// Isolates `isolated` from the rest of the cluster for
+    /// `[start, start + duration)`.
+    pub fn partition(
+        mut self,
+        isolated: impl IntoIterator<Item = usize>,
+        start: Duration,
+        duration: Duration,
+    ) -> Self {
+        self.partitions.push(PartitionWindow {
+            isolated: isolated.into_iter().collect(),
+            start,
+            duration,
+        });
+        self
+    }
+
+    /// Pauses `node` for `[start, start + duration)`.
+    pub fn pause(mut self, node: usize, start: Duration, duration: Duration) -> Self {
+        self.pauses.push(PauseWindow {
+            node,
+            start,
+            duration,
+        });
+        self
+    }
+
+    /// `true` when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.link_faults.is_empty() && self.partitions.is_empty() && self.pauses.is_empty()
+    }
+
+    /// The latest scheduled event of the plan (partition heal or pause end);
+    /// zero for purely probabilistic plans. Useful for sizing workloads so
+    /// the run outlives every scheduled fault.
+    pub fn last_scheduled_event(&self) -> Duration {
+        let heal = self
+            .partitions
+            .iter()
+            .map(PartitionWindow::heals_at)
+            .max()
+            .unwrap_or(Duration::ZERO);
+        let resume = self
+            .pauses
+            .iter()
+            .map(|p| p.start + p.duration)
+            .max()
+            .unwrap_or(Duration::ZERO);
+        heal.max(resume)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selectors_match_directed_links() {
+        assert!(LinkSelector::All.matches(0, 1));
+        assert!(LinkSelector::From(2).matches(2, 0));
+        assert!(!LinkSelector::From(2).matches(0, 2));
+        assert!(LinkSelector::To(1).matches(3, 1));
+        assert!(LinkSelector::Directed { from: 0, to: 1 }.matches(0, 1));
+        assert!(!LinkSelector::Directed { from: 0, to: 1 }.matches(1, 0));
+        assert!(LinkSelector::Between(0, 1).matches(1, 0));
+        assert!(!LinkSelector::Between(0, 1).matches(0, 2));
+    }
+
+    #[test]
+    fn partitions_sever_only_crossing_links() {
+        let p = PartitionWindow {
+            isolated: vec![0, 1],
+            start: Duration::from_millis(5),
+            duration: Duration::from_millis(10),
+        };
+        assert!(p.severs(0, 2));
+        assert!(p.severs(2, 1));
+        assert!(!p.severs(0, 1), "traffic among isolated nodes still flows");
+        assert!(!p.severs(2, 3), "traffic in the majority side still flows");
+        assert_eq!(p.heals_at(), Duration::from_millis(15));
+    }
+
+    #[test]
+    fn plan_builder_composes_and_reports_schedule() {
+        let plan = FaultPlan::new(7)
+            .link_fault(
+                LinkFault::on(LinkSelector::All)
+                    .jitter(Duration::from_micros(50))
+                    .duplicate(10, Duration::from_micros(20)),
+            )
+            .partition([0], Duration::from_millis(10), Duration::from_millis(30))
+            .pause(1, Duration::from_millis(20), Duration::from_millis(50));
+        assert!(!plan.is_empty());
+        assert_eq!(plan.seed, 7);
+        assert_eq!(plan.last_scheduled_event(), Duration::from_millis(70));
+        assert_eq!(plan, plan.clone());
+        assert!(FaultPlan::new(1).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "0-100")]
+    fn invalid_percentages_are_rejected() {
+        let _ = LinkFault::on(LinkSelector::All).spike(101, Duration::ZERO);
+    }
+}

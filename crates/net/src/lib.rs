@@ -26,11 +26,12 @@ mod runtime;
 mod transport;
 
 pub use latency::LatencyModel;
-pub use mailbox::{Mailbox, MailboxStats, Priority};
+pub use mailbox::{Mailbox, MailboxStats, PauseControl, Priority};
 pub use reply::{reply_channel, ReplyReceiver, ReplySender, ReplyTryRecvError};
 pub use runtime::{NodeRuntime, NodeService};
 pub use transport::{
-    ChannelTransport, Envelope, Transport, TransportConfig, TransportError, TransportExt,
+    ChannelTransport, Envelope, FaultInterposer, SendPlan, Transport, TransportConfig,
+    TransportError, TransportExt,
 };
 
 pub use sss_vclock::NodeId;

@@ -30,13 +30,26 @@ where
 
 /// A pool of worker threads draining one node's mailbox.
 ///
-/// Dropping the runtime does **not** stop the workers; call
-/// [`NodeRuntime::join`] after closing the mailbox (usually via the
-/// transport's `shutdown`).
-#[derive(Debug)]
+/// The runtime owns a shutdown guard for its mailbox: dropping it closes
+/// the mailbox and joins every worker, so a harness abandoned mid-scenario
+/// (e.g. on a stuck-run abort) can never deadlock on un-joined workers.
+/// Explicitly calling [`NodeRuntime::join`] does the same and is idempotent
+/// with the drop path.
 pub struct NodeRuntime {
     node: NodeId,
     workers: Vec<std::thread::JoinHandle<()>>,
+    /// Closes the mailbox the workers drain; erased so the runtime stays
+    /// non-generic over the message type.
+    close_mailbox: Arc<dyn Fn() + Send + Sync>,
+}
+
+impl std::fmt::Debug for NodeRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NodeRuntime")
+            .field("node", &self.node)
+            .field("workers", &self.workers.len())
+            .finish()
+    }
 }
 
 impl NodeRuntime {
@@ -71,9 +84,11 @@ impl NodeRuntime {
                     .expect("failed to spawn node worker")
             })
             .collect();
+        let close_mailbox = Arc::new(move || mailbox.close());
         NodeRuntime {
             node,
             workers: handles,
+            close_mailbox,
         }
     }
 
@@ -87,12 +102,29 @@ impl NodeRuntime {
         self.workers.len()
     }
 
-    /// Waits for every worker to exit. Only returns once the mailbox has
-    /// been closed and fully drained.
-    pub fn join(self) {
-        for handle in self.workers {
+    /// Closes the mailbox (idempotent) and waits for every worker to exit,
+    /// which happens once the remaining queued messages have been drained.
+    pub fn join(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        if self.workers.is_empty() {
+            return;
+        }
+        // Closing first guarantees the joins below terminate: workers exit
+        // as soon as the closed mailbox runs dry (a pause gate is overridden
+        // by the close).
+        (self.close_mailbox)();
+        for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
+    }
+}
+
+impl Drop for NodeRuntime {
+    fn drop(&mut self) {
+        self.shutdown();
     }
 }
 
@@ -124,6 +156,39 @@ mod tests {
         transport.shutdown();
         runtime.join();
         assert_eq!(counter.load(Ordering::SeqCst), 200);
+    }
+
+    #[test]
+    fn dropping_the_runtime_closes_the_mailbox_and_joins_workers() {
+        let transport: ChannelTransport<u64> = ChannelTransport::new(TransportConfig::new(1));
+        let counter = Arc::new(AtomicUsize::new(0));
+        let service = {
+            let counter = Arc::clone(&counter);
+            Arc::new(move |_env: Envelope<u64>| {
+                counter.fetch_add(1, Ordering::SeqCst);
+            })
+        };
+        let runtime = NodeRuntime::spawn(NodeId(0), transport.mailbox(NodeId(0)), service, 2);
+        for _ in 0..10 {
+            transport
+                .send(NodeId(0), NodeId(0), 1, Priority::Normal)
+                .unwrap();
+        }
+        // No transport shutdown: the drop alone must terminate the workers
+        // (after draining what was already queued).
+        drop(runtime);
+        assert_eq!(counter.load(Ordering::SeqCst), 10);
+        assert!(transport.mailbox(NodeId(0)).is_closed());
+    }
+
+    #[test]
+    fn join_after_drop_path_is_idempotent_with_transport_shutdown() {
+        let transport: ChannelTransport<u64> = ChannelTransport::new(TransportConfig::new(1));
+        let service = Arc::new(|_env: Envelope<u64>| {});
+        let runtime = NodeRuntime::spawn(NodeId(0), transport.mailbox(NodeId(0)), service, 1);
+        transport.shutdown();
+        transport.shutdown();
+        runtime.join();
     }
 
     #[test]

@@ -70,6 +70,79 @@ pub trait Transport<M: Send>: Send + Sync {
     fn num_nodes(&self) -> usize;
 }
 
+/// Per-send delivery plan produced by a [`FaultInterposer`].
+///
+/// Every entry is one delivered copy of the message, with the *extra* delay
+/// (on top of the transport's configured latency model) to apply to that
+/// copy. The plan never drops messages: the system model assumes reliable
+/// channels, so an empty plan is normalized back to a single immediate copy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SendPlan {
+    copies: Vec<Duration>,
+}
+
+impl SendPlan {
+    /// The message passes through unchanged: one copy, no extra delay.
+    pub fn pass() -> Self {
+        SendPlan {
+            copies: vec![Duration::ZERO],
+        }
+    }
+
+    /// One copy delivered with `extra` additional delay.
+    pub fn delayed(extra: Duration) -> Self {
+        SendPlan {
+            copies: vec![extra],
+        }
+    }
+
+    /// An explicit list of copies, each with its own extra delay. Empty
+    /// lists are normalized to [`SendPlan::pass`] — interposers cannot
+    /// drop messages.
+    pub fn copies(copies: Vec<Duration>) -> Self {
+        if copies.is_empty() {
+            SendPlan::pass()
+        } else {
+            SendPlan { copies }
+        }
+    }
+
+    /// Adds one duplicated copy with `extra` additional delay.
+    pub fn duplicate(mut self, extra: Duration) -> Self {
+        self.copies.push(extra);
+        self
+    }
+
+    /// The extra delay of every copy to deliver.
+    pub fn deliveries(&self) -> &[Duration] {
+        &self.copies
+    }
+
+    /// `true` when the plan is a single zero-delay copy (the fast path).
+    pub fn is_pass(&self) -> bool {
+        self.copies.len() == 1 && self.copies[0].is_zero()
+    }
+}
+
+/// Interposes on every [`Transport::send`], turning one logical send into a
+/// set of (possibly delayed, possibly duplicated) deliveries.
+///
+/// This is the hook the fault-injection subsystem (`sss-faults`) attaches
+/// to: delay spikes, jitter bursts, reordering (delaying one message so
+/// later ones overtake it), duplication and transient partitions (holding
+/// messages until the partition heals) are all expressible as a [`SendPlan`].
+/// Message *loss* is deliberately not expressible — the paper's system model
+/// assumes reliable asynchronous channels, and every safety claim this
+/// repository verifies under faults relies on eventual delivery.
+///
+/// Interposer faults compose with the transport's [`LatencyModel`]: each
+/// copy's total delay is the sampled model latency plus the plan's extra
+/// delay for that copy.
+pub trait FaultInterposer: Send + Sync + std::fmt::Debug {
+    /// Plans the delivery of one message sent from `from` to `to` at `now`.
+    fn plan(&self, from: NodeId, to: NodeId, now: Instant) -> SendPlan;
+}
+
 /// Convenience helpers available on every transport.
 pub trait TransportExt<M: Send + Clone>: Transport<M> {
     /// Sends a copy of `payload` to every node in `targets`.
@@ -98,6 +171,8 @@ pub struct TransportConfig {
     pub latency: LatencyModel,
     /// Seed for the latency sampler, for reproducible asynchrony in tests.
     pub seed: u64,
+    /// Optional fault interposer consulted on every send.
+    pub interposer: Option<Arc<dyn FaultInterposer>>,
 }
 
 impl TransportConfig {
@@ -107,6 +182,7 @@ impl TransportConfig {
             nodes,
             latency: LatencyModel::ZERO,
             seed: 0,
+            interposer: None,
         }
     }
 
@@ -119,6 +195,12 @@ impl TransportConfig {
     /// Sets the latency sampling seed.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Attaches a fault interposer consulted on every send.
+    pub fn interposer(mut self, interposer: Arc<dyn FaultInterposer>) -> Self {
+        self.interposer = Some(interposer);
         self
     }
 }
@@ -166,6 +248,7 @@ struct DelayerState<M> {
 pub struct ChannelTransport<M> {
     mailboxes: Vec<Arc<Mailbox<Envelope<M>>>>,
     latency: LatencyModel,
+    interposer: Option<Arc<dyn FaultInterposer>>,
     delayer: Option<DelayerHandle<M>>,
 }
 
@@ -185,7 +268,9 @@ impl<M: Send + 'static> ChannelTransport<M> {
         let mailboxes = (0..config.nodes)
             .map(|_| Arc::new(Mailbox::new()))
             .collect();
-        let delayer = if config.latency.is_zero() {
+        // Fault interposers can delay individual copies even when the base
+        // latency model is zero, so their presence also requires the wheel.
+        let delayer = if config.latency.is_zero() && config.interposer.is_none() {
             None
         } else {
             Some(Self::spawn_delayer(config.seed))
@@ -193,6 +278,7 @@ impl<M: Send + 'static> ChannelTransport<M> {
         ChannelTransport {
             mailboxes,
             latency: config.latency,
+            interposer: config.interposer,
             delayer,
         }
     }
@@ -295,7 +381,7 @@ impl<M: Send + 'static> ChannelTransport<M> {
     }
 }
 
-impl<M: Send + 'static> Transport<M> for ChannelTransport<M> {
+impl<M: Send + Clone + 'static> Transport<M> for ChannelTransport<M> {
     fn send(
         &self,
         from: NodeId,
@@ -306,37 +392,61 @@ impl<M: Send + 'static> Transport<M> for ChannelTransport<M> {
         let Some(mailbox) = self.mailboxes.get(to.index()) else {
             return Err(TransportError::UnknownNode(to));
         };
-        let envelope = Envelope {
-            from,
-            to,
-            priority,
-            payload,
+        let plan = match &self.interposer {
+            Some(interposer) => interposer.plan(from, to, Instant::now()),
+            None => SendPlan::pass(),
         };
-        if self.latency.is_zero() {
-            if mailbox.push(envelope, priority) {
+        if self.latency.is_zero() && plan.is_pass() {
+            let envelope = Envelope {
+                from,
+                to,
+                priority,
+                payload,
+            };
+            return if mailbox.push(envelope, priority) {
                 Ok(())
             } else {
                 Err(TransportError::Closed)
-            }
-        } else {
-            self.ensure_delayer_thread();
-            let delayer = self.delayer.as_ref().expect("latency set but no delayer");
-            let (lock, cvar) = &*delayer.state;
-            let mut guard = lock.lock();
-            if guard.shutdown {
-                return Err(TransportError::Closed);
-            }
-            let delay = self.latency.sample(&mut guard.rng);
+            };
+        }
+        self.ensure_delayer_thread();
+        let delayer = self
+            .delayer
+            .as_ref()
+            .expect("latency or interposer set but no delayer");
+        let (lock, cvar) = &*delayer.state;
+        let mut guard = lock.lock();
+        if guard.shutdown {
+            return Err(TransportError::Closed);
+        }
+        let now = Instant::now();
+        let copies = plan.deliveries();
+        // The payload is moved into the last copy; only duplicated copies
+        // pay for a clone, keeping the common single-delivery path as cheap
+        // as before the interposer hook existed.
+        let mut payload = Some(payload);
+        for (i, extra) in copies.iter().enumerate() {
+            let delay = self.latency.sample(&mut guard.rng) + *extra;
             let seq = guard.next_seq;
             guard.next_seq += 1;
+            let payload = if i + 1 == copies.len() {
+                payload.take().expect("payload moved before the last copy")
+            } else {
+                payload.as_ref().expect("payload taken early").clone()
+            };
             guard.heap.push(Delayed {
-                deliver_at: Instant::now() + delay,
+                deliver_at: now + delay,
                 seq,
-                envelope,
+                envelope: Envelope {
+                    from,
+                    to,
+                    priority,
+                    payload,
+                },
             });
-            cvar.notify_one();
-            Ok(())
         }
+        cvar.notify_one();
+        Ok(())
     }
 
     fn num_nodes(&self) -> usize {
@@ -433,6 +543,98 @@ mod tests {
         assert_eq!(t.mailbox(NodeId(0)).pop().unwrap().payload, 2);
         assert_eq!(t.mailbox(NodeId(0)).pop().unwrap().payload, 1);
         t.shutdown();
+    }
+
+    #[derive(Debug)]
+    struct DuplicateEverything {
+        extra: Duration,
+    }
+
+    impl FaultInterposer for DuplicateEverything {
+        fn plan(&self, _from: NodeId, _to: NodeId, _now: Instant) -> SendPlan {
+            SendPlan::pass().duplicate(self.extra)
+        }
+    }
+
+    #[derive(Debug)]
+    struct HoldLink {
+        from: NodeId,
+        to: NodeId,
+        hold: Duration,
+    }
+
+    impl FaultInterposer for HoldLink {
+        fn plan(&self, from: NodeId, to: NodeId, _now: Instant) -> SendPlan {
+            if from == self.from && to == self.to {
+                SendPlan::delayed(self.hold)
+            } else {
+                SendPlan::pass()
+            }
+        }
+    }
+
+    #[test]
+    fn interposer_duplicates_are_delivered_twice() {
+        let config = TransportConfig::new(2).interposer(Arc::new(DuplicateEverything {
+            extra: Duration::from_micros(100),
+        }));
+        let t: ChannelTransport<u32> = ChannelTransport::new(config);
+        t.send(NodeId(0), NodeId(1), 5, Priority::Normal).unwrap();
+        let first = t.mailbox(NodeId(1)).pop().unwrap();
+        let second = t.mailbox(NodeId(1)).pop().unwrap();
+        assert_eq!((first.payload, second.payload), (5, 5));
+        t.shutdown();
+    }
+
+    #[test]
+    fn interposer_delay_holds_only_the_faulted_link() {
+        let config = TransportConfig::new(3).interposer(Arc::new(HoldLink {
+            from: NodeId(0),
+            to: NodeId(1),
+            hold: Duration::from_millis(10),
+        }));
+        let t: ChannelTransport<u32> = ChannelTransport::new(config);
+        let start = Instant::now();
+        t.send(NodeId(0), NodeId(2), 1, Priority::Normal).unwrap();
+        let clean = t.mailbox(NodeId(2)).pop().unwrap();
+        assert_eq!(clean.payload, 1);
+        assert!(
+            start.elapsed() < Duration::from_millis(10),
+            "the clean link must not inherit the faulted link's delay"
+        );
+        t.send(NodeId(0), NodeId(1), 2, Priority::Normal).unwrap();
+        let held = t.mailbox(NodeId(1)).pop().unwrap();
+        assert_eq!(held.payload, 2);
+        assert!(start.elapsed() >= Duration::from_millis(10));
+        t.shutdown();
+    }
+
+    #[test]
+    fn empty_send_plan_normalizes_to_pass() {
+        assert_eq!(SendPlan::copies(Vec::new()), SendPlan::pass());
+        assert!(SendPlan::pass().is_pass());
+        assert!(!SendPlan::delayed(Duration::from_millis(1)).is_pass());
+        assert_eq!(
+            SendPlan::pass()
+                .duplicate(Duration::ZERO)
+                .deliveries()
+                .len(),
+            2
+        );
+    }
+
+    #[test]
+    fn shutdown_is_idempotent() {
+        let config = TransportConfig::new(1)
+            .latency(LatencyModel::new(Duration::from_micros(50), Duration::ZERO));
+        let t: ChannelTransport<u32> = ChannelTransport::new(config);
+        t.send(NodeId(0), NodeId(0), 1, Priority::Normal).unwrap();
+        t.shutdown();
+        t.shutdown();
+        assert_eq!(
+            t.send(NodeId(0), NodeId(0), 2, Priority::Normal),
+            Err(TransportError::Closed)
+        );
     }
 
     #[test]

@@ -14,6 +14,10 @@
 //!   baselines alike) is constructed.
 //! * [`net`] — the in-process message-passing substrate (priority queues,
 //!   latency injection) every engine runs on.
+//! * [`faults`] — deterministic fault injection: seeded fault plans (delay
+//!   spikes, jitter, reordering, duplication, transient partitions, node
+//!   pauses) interposed on the transport; the chaos-scenario layer in
+//!   [`workload`] runs them with post-run consistency verification.
 //! * [`storage`] — multi-version and single-version node-local stores, lock
 //!   table, replica placement.
 //! * [`workload`] — YCSB-style closed-loop workload generator and driver.
@@ -50,6 +54,7 @@ pub use sss_baselines as baselines;
 pub use sss_consistency as consistency;
 pub use sss_core as core;
 pub use sss_engine as engine;
+pub use sss_faults as faults;
 pub use sss_net as net;
 pub use sss_storage as storage;
 pub use sss_vclock as vclock;

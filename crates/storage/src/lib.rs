@@ -23,6 +23,7 @@
 mod key;
 mod locks;
 mod mvstore;
+mod recent;
 mod replica;
 mod svstore;
 mod txn_id;
@@ -30,6 +31,7 @@ mod txn_id;
 pub use key::{Key, Value};
 pub use locks::{LockKind, LockTable, LockTableStats};
 pub use mvstore::{MvStore, Version, VersionChain};
+pub use recent::{RecentSet, RecentTxnSet};
 pub use replica::ReplicaMap;
 pub use svstore::{SvCell, SvStore};
 pub use txn_id::TxnId;

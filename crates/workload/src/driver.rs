@@ -56,6 +56,9 @@ pub fn run_workload<E: TransactionEngine + ?Sized>(
     engine: &E,
     spec: &WorkloadSpec,
 ) -> WorkloadReport {
+    if let Err(error) = spec.validate() {
+        panic!("invalid workload spec: {error}");
+    }
     assert_eq!(
         engine.nodes(),
         spec.nodes,

@@ -21,15 +21,30 @@
 //!   latency percentiles, and the internal/external commit latency split
 //!   used by Figure 5).
 
+//! ## Chaos scenarios
+//!
+//! Beyond the throughput-oriented driver, the [`scenario`] layer runs
+//! *chaos scenarios*: a [`ChaosScenario`] pairs a [`WorkloadSpec`] with an
+//! `sss-faults` fault plan and expected-outcome assertions, executes a
+//! fixed-operation closed loop with history recording and a stuck-run
+//! detector, and verifies the run with the `sss-consistency` checker. See
+//! [`run_scenario`].
+
 mod driver;
 mod generator;
 mod report;
+pub mod scenario;
 mod spec;
 
 pub use driver::{populate, run_trials, run_workload};
 pub use generator::{TxnTemplate, WorkloadGenerator};
 pub use report::{LatencySummary, WorkloadReport};
-pub use spec::{KeySelection, WorkloadSpec};
+pub use scenario::{
+    run_scenario, run_scenario_on, ChaosScenario, ScenarioExpectations, ScenarioOutcome,
+};
+pub use spec::{KeySelection, SpecError, WorkloadSpec};
 
-pub use sss_engine::{EngineSession, TransactionEngine, TxnOutcome};
+pub use sss_engine::{EngineKind, EngineSession, TransactionEngine, TxnOutcome};
+pub use sss_faults::{FaultPlan, LinkFault, LinkSelector};
 pub use sss_storage::{Key, Value};
+pub use sss_vclock::NodeId;

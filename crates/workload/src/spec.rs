@@ -16,6 +16,45 @@ pub enum KeySelection {
     },
 }
 
+/// A structurally invalid [`WorkloadSpec`].
+///
+/// Returned by [`WorkloadSpec::validate`]; the driver and the scenario
+/// runner reject invalid specs up front instead of silently producing
+/// nonsense workloads (e.g. a locality bias above 100% that would skew
+/// every access local, or a zero-key space that would spin forever
+/// picking distinct keys).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpecError {
+    /// The cluster has no nodes.
+    ZeroNodes,
+    /// No clients would run (zero clients per node).
+    ZeroClients,
+    /// The key space is empty.
+    ZeroKeys,
+    /// `read_only_percent` exceeds 100.
+    ReadOnlyPercentOutOfRange(u8),
+    /// `local_fraction_percent` exceeds 100.
+    LocalFractionOutOfRange(u8),
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::ZeroNodes => write!(f, "workload needs at least one node"),
+            SpecError::ZeroClients => write!(f, "workload needs at least one client per node"),
+            SpecError::ZeroKeys => write!(f, "workload needs a non-empty key space"),
+            SpecError::ReadOnlyPercentOutOfRange(p) => {
+                write!(f, "read-only percentage must be 0-100, got {p}")
+            }
+            SpecError::LocalFractionOutOfRange(p) => {
+                write!(f, "local-access fraction must be 0-100, got {p}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
 /// A complete description of one benchmark configuration.
 #[derive(Debug, Clone)]
 pub struct WorkloadSpec {
@@ -124,6 +163,39 @@ impl WorkloadSpec {
     pub fn total_clients(&self) -> usize {
         self.nodes * self.clients_per_node
     }
+
+    /// Checks the spec for structural validity.
+    ///
+    /// The builder methods already reject some invalid values eagerly, but
+    /// specs can also be assembled field-by-field; the driver and the
+    /// scenario runner call this before running anything.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`SpecError`] found.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        if self.nodes == 0 {
+            return Err(SpecError::ZeroNodes);
+        }
+        if self.clients_per_node == 0 {
+            return Err(SpecError::ZeroClients);
+        }
+        if self.total_keys == 0 {
+            return Err(SpecError::ZeroKeys);
+        }
+        if self.read_only_percent > 100 {
+            return Err(SpecError::ReadOnlyPercentOutOfRange(self.read_only_percent));
+        }
+        if let KeySelection::Local {
+            local_fraction_percent,
+        } = self.key_selection
+        {
+            if local_fraction_percent > 100 {
+                return Err(SpecError::LocalFractionOutOfRange(local_fraction_percent));
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -165,5 +237,39 @@ mod tests {
     #[should_panic(expected = "0-100")]
     fn invalid_percentage_panics() {
         let _ = WorkloadSpec::new(2).read_only_percent(101);
+    }
+
+    #[test]
+    fn validation_accepts_the_defaults() {
+        assert_eq!(WorkloadSpec::new(3).validate(), Ok(()));
+    }
+
+    #[test]
+    fn validation_rejects_structurally_invalid_specs() {
+        let mut spec = WorkloadSpec::new(2);
+        spec.nodes = 0;
+        assert_eq!(spec.validate(), Err(SpecError::ZeroNodes));
+
+        let spec = WorkloadSpec::new(2).clients_per_node(0);
+        assert_eq!(spec.validate(), Err(SpecError::ZeroClients));
+
+        let spec = WorkloadSpec::new(2).total_keys(0);
+        assert_eq!(spec.validate(), Err(SpecError::ZeroKeys));
+
+        let mut spec = WorkloadSpec::new(2);
+        spec.read_only_percent = 150;
+        assert_eq!(
+            spec.validate(),
+            Err(SpecError::ReadOnlyPercentOutOfRange(150))
+        );
+
+        let spec = WorkloadSpec::new(2).key_selection(KeySelection::Local {
+            local_fraction_percent: 101,
+        });
+        assert_eq!(
+            spec.validate(),
+            Err(SpecError::LocalFractionOutOfRange(101))
+        );
+        assert!(!spec.validate().unwrap_err().to_string().is_empty());
     }
 }
