@@ -63,11 +63,14 @@ impl TwoPcEngine {
         replication: usize,
         interposer: Option<Arc<dyn FaultInterposer>>,
     ) -> Self {
+        Self::with_config(TwoPcConfig::new(nodes).replication(replication), interposer)
+    }
+
+    /// Starts the engine from an explicit [`TwoPcConfig`] (e.g. to tune the
+    /// storage shard arity), with an optional fault interposer.
+    pub fn with_config(config: TwoPcConfig, interposer: Option<Arc<dyn FaultInterposer>>) -> Self {
         TwoPcEngine {
-            cluster: Arc::new(TwoPcCluster::start_with_interposer(
-                TwoPcConfig::new(nodes).replication(replication),
-                interposer,
-            )),
+            cluster: Arc::new(TwoPcCluster::start_with_interposer(config, interposer)),
         }
     }
 
@@ -166,11 +169,17 @@ impl WalterEngine {
         replication: usize,
         interposer: Option<Arc<dyn FaultInterposer>>,
     ) -> Self {
+        Self::with_config(
+            WalterConfig::new(nodes).replication(replication),
+            interposer,
+        )
+    }
+
+    /// Starts the engine from an explicit [`WalterConfig`] (e.g. to tune
+    /// the storage shard arity), with an optional fault interposer.
+    pub fn with_config(config: WalterConfig, interposer: Option<Arc<dyn FaultInterposer>>) -> Self {
         WalterEngine {
-            cluster: Arc::new(WalterCluster::start_with_interposer(
-                WalterConfig::new(nodes).replication(replication),
-                interposer,
-            )),
+            cluster: Arc::new(WalterCluster::start_with_interposer(config, interposer)),
         }
     }
 
@@ -271,11 +280,14 @@ impl RococoEngine {
         nodes: usize,
         interposer: Option<Arc<dyn FaultInterposer>>,
     ) -> Self {
+        Self::with_config(RococoConfig::new(nodes), interposer)
+    }
+
+    /// Starts the engine from an explicit [`RococoConfig`] (e.g. to tune
+    /// the storage shard arity), with an optional fault interposer.
+    pub fn with_config(config: RococoConfig, interposer: Option<Arc<dyn FaultInterposer>>) -> Self {
         RococoEngine {
-            cluster: Arc::new(RococoCluster::start_with_interposer(
-                RococoConfig::new(nodes),
-                interposer,
-            )),
+            cluster: Arc::new(RococoCluster::start_with_interposer(config, interposer)),
         }
     }
 

@@ -50,6 +50,9 @@ pub struct RococoConfig {
     /// Pause between read-only validation rounds while waiting for
     /// conflicting update transactions to drain.
     pub read_only_backoff: Duration,
+    /// Shard arity of every node's single-version store. Rounded up to a
+    /// power of two.
+    pub storage_shards: usize,
 }
 
 impl RococoConfig {
@@ -66,7 +69,14 @@ impl RococoConfig {
             rpc_timeout: Duration::from_secs(1),
             read_only_max_rounds: 8,
             read_only_backoff: Duration::from_micros(100),
+            storage_shards: sss_storage::DEFAULT_SHARDS,
         }
+    }
+
+    /// Sets the shard arity of every node's single-version store.
+    pub fn storage_shards(mut self, shards: usize) -> Self {
+        self.storage_shards = shards;
+        self
     }
 }
 
@@ -131,10 +141,10 @@ struct RococoNodeState {
     dispatched: RecentSet<(TxnId, Key)>,
 }
 
-impl Default for RococoNodeState {
-    fn default() -> Self {
+impl RococoNodeState {
+    fn with_shards(shards: usize) -> Self {
         RococoNodeState {
-            store: SvStore::new(),
+            store: SvStore::with_shards(shards),
             queues: HashMap::new(),
             dispatched: RecentSet::new(1 << 16),
         }
@@ -271,7 +281,7 @@ impl RococoCluster {
             .map(|i| {
                 Arc::new(RococoNode {
                     id: NodeId(i),
-                    state: Mutex::new(RococoNodeState::default()),
+                    state: Mutex::new(RococoNodeState::with_shards(config.storage_shards)),
                 })
             })
             .collect();
@@ -307,6 +317,30 @@ impl RococoCluster {
         (0..self.nodes.len())
             .map(|i| self.transport.mailbox(NodeId(i)).pause_control())
             .collect()
+    }
+
+    /// Aggregated storage-layer counters (single-version store, with the
+    /// per-shard breakdown) summed over every node. ROCOCO runs no lock
+    /// table — update pieces are lock-free by design.
+    pub fn storage_stats(&self) -> sss_storage::StorageStats {
+        let mut total = sss_storage::StorageStats::default();
+        for node in &self.nodes {
+            total.merge(&sss_storage::StorageStats {
+                mv: None,
+                sv: Some(node.state.lock().store.stats()),
+                locks: None,
+            });
+        }
+        total
+    }
+
+    /// Aggregated mailbox traffic counters summed over every node.
+    pub fn mailbox_totals(&self) -> sss_net::MailboxStats {
+        let mut total = sss_net::MailboxStats::default();
+        for i in 0..self.nodes.len() {
+            total.merge(&self.transport.mailbox_stats(NodeId(i)));
+        }
+        total
     }
 
     /// Opens a session colocated with `node`.

@@ -36,6 +36,9 @@ pub struct TwoPcConfig {
     pub lock_timeout: Duration,
     /// Timeout for reads and 2PC votes.
     pub rpc_timeout: Duration,
+    /// Shard arity of every node's storage structures (single-version store
+    /// and lock table). Rounded up to a power of two.
+    pub storage_shards: usize,
 }
 
 impl TwoPcConfig {
@@ -52,6 +55,7 @@ impl TwoPcConfig {
             workers_per_node: 4,
             lock_timeout: Duration::from_millis(1),
             rpc_timeout: Duration::from_secs(1),
+            storage_shards: sss_storage::DEFAULT_SHARDS,
         }
     }
 
@@ -64,6 +68,12 @@ impl TwoPcConfig {
     /// Sets the lock timeout.
     pub fn lock_timeout(mut self, timeout: Duration) -> Self {
         self.lock_timeout = timeout;
+        self
+    }
+
+    /// Sets the shard arity of every node's storage structures.
+    pub fn storage_shards(mut self, shards: usize) -> Self {
+        self.storage_shards = shards;
         self
     }
 }
@@ -82,6 +92,13 @@ struct VoteReply {
     ok: bool,
 }
 
+/// Acknowledgement that a participant processed a commit decide (its local
+/// writes are installed and its locks released).
+#[derive(Debug, Clone, Copy)]
+struct DecideAck {
+    from: NodeId,
+}
+
 /// The 2PC-baseline wire protocol.
 #[derive(Debug, Clone)]
 enum TwoPcMessage {
@@ -98,6 +115,11 @@ enum TwoPcMessage {
     Decide {
         txn: TxnId,
         outcome: bool,
+        /// Commit decides are acknowledged so the coordinator can delay the
+        /// client response until every participant installed the writes —
+        /// the client-visible completion must follow the serialization
+        /// point (paper §V). Abort decides carry no reply.
+        ack: Option<ReplySender<DecideAck>>,
     },
 }
 
@@ -109,7 +131,9 @@ struct PreparedTxn {
 struct TwoPcNode {
     id: NodeId,
     replicas: ReplicaMap,
-    store: Mutex<SvStore>,
+    /// Sharded and internally synchronized — read and written concurrently
+    /// by the node's workers without an enclosing lock.
+    store: SvStore,
     prepared: Mutex<HashMap<TxnId, PreparedTxn>>,
     /// Transactions whose `Decide` has been processed here. The
     /// high-priority decide can overtake its lower-priority `Prepare` in
@@ -125,11 +149,12 @@ struct TwoPcNode {
 
 impl TwoPcNode {
     fn handle_read(&self, key: Key, reply: ReplySender<ReadReply>) {
-        let store = self.store.lock();
-        let cell = store.read(&key);
+        // One sharded read returns the whole cell, so the value/version
+        // pair is consistent (it is read under the key's shard lock).
+        let cell = self.store.read(&key);
         reply.send(ReadReply {
-            value: cell.map(|c| c.value.clone()),
-            version: store.version(&key),
+            version: cell.as_ref().map(|c| c.version).unwrap_or(0),
+            value: cell.map(|c| c.value),
         });
     }
 
@@ -178,13 +203,11 @@ impl TwoPcNode {
             return;
         }
         // Validation: every locally stored read key must still have the
-        // version observed during execution.
-        let valid = {
-            let store = self.store.lock();
-            local_reads
-                .iter()
-                .all(|(k, version)| store.version(k) == *version)
-        };
+        // version observed during execution. The shared locks acquired
+        // above pin the versions, so per-key sharded reads suffice.
+        let valid = local_reads
+            .iter()
+            .all(|(k, version)| self.store.version(k) == *version);
         if !valid {
             self.locks.release_all(txn);
             self.aborts.fetch_add(1, Ordering::Relaxed);
@@ -218,22 +241,32 @@ impl TwoPcNode {
         });
     }
 
-    fn handle_decide(&self, txn: TxnId, outcome: bool) {
+    fn handle_decide(&self, txn: TxnId, outcome: bool, ack: Option<ReplySender<DecideAck>>) {
         // Tombstone before touching the prepared map, so a prepare racing
         // with this decide observes the decision no matter how the two
         // interleave (see `TwoPcNode::decided`).
-        self.decided.lock().insert(txn);
+        let first_copy = self.decided.lock().insert(txn);
         let prepared = self.prepared.lock().remove(&txn);
         if let Some(prep) = prepared {
             if outcome {
-                let mut store = self.store.lock();
+                // The exclusive locks held by `txn` serialize these writes
+                // against concurrent validation of the same keys.
                 for (key, value) in prep.local_writes {
-                    store.write(key, value, txn);
+                    self.store.write(key, value, txn);
                 }
                 self.commits.fetch_add(1, Ordering::Relaxed);
             }
         }
         self.locks.release_all(txn);
+        // Acknowledge only the first delivery: the coordinator's reply
+        // channel is bounded by the participant count, and a duplicated
+        // decide's extra ack could crowd a distinct participant's ack out
+        // of it (same race as the SSS `ConfirmExternal` dedup).
+        if first_copy {
+            if let Some(ack) = ack {
+                ack.send(DecideAck { from: self.id });
+            }
+        }
     }
 }
 
@@ -247,7 +280,7 @@ impl NodeService<TwoPcMessage> for TwoPcNode {
                 write_set,
                 reply,
             } => self.handle_prepare(txn, read_versions, write_set, reply),
-            TwoPcMessage::Decide { txn, outcome } => self.handle_decide(txn, outcome),
+            TwoPcMessage::Decide { txn, outcome, ack } => self.handle_decide(txn, outcome, ack),
         }
     }
 }
@@ -285,10 +318,10 @@ impl TwoPcCluster {
                 Arc::new(TwoPcNode {
                     id: NodeId(i),
                     replicas: replicas.clone(),
-                    store: Mutex::new(SvStore::new()),
+                    store: SvStore::with_shards(config.storage_shards),
                     prepared: Mutex::new(HashMap::new()),
                     decided: Mutex::new(RecentTxnSet::new(1 << 16)),
-                    locks: LockTable::new(),
+                    locks: LockTable::with_shards(config.storage_shards),
                     lock_timeout: config.lock_timeout,
                     aborts: AtomicU64::new(0),
                     commits: AtomicU64::new(0),
@@ -325,6 +358,29 @@ impl TwoPcCluster {
         (0..self.nodes.len())
             .map(|i| self.transport.mailbox(NodeId(i)).pause_control())
             .collect()
+    }
+
+    /// Aggregated storage-layer counters (single-version store and lock
+    /// table, with per-shard contention breakdowns) summed over every node.
+    pub fn storage_stats(&self) -> sss_storage::StorageStats {
+        let mut total = sss_storage::StorageStats::default();
+        for node in &self.nodes {
+            total.merge(&sss_storage::StorageStats {
+                mv: None,
+                sv: Some(node.store.stats()),
+                locks: Some(node.locks.stats()),
+            });
+        }
+        total
+    }
+
+    /// Aggregated mailbox traffic counters summed over every node.
+    pub fn mailbox_totals(&self) -> sss_net::MailboxStats {
+        let mut total = sss_net::MailboxStats::default();
+        for i in 0..self.nodes.len() {
+            total.merge(&self.transport.mailbox_stats(NodeId(i)));
+        }
+        total
     }
 
     /// Total commits applied across nodes (diagnostic).
@@ -485,7 +541,17 @@ impl<'c> TwoPcSession<'c> {
                 }
             }
         }
-        let decide = TwoPcMessage::Decide { txn, outcome: ok };
+        // Commit decides are acknowledged: the client is answered only once
+        // every participant installed the writes and released its locks, so
+        // the client-visible completion follows the serialization point
+        // even though the decide itself travels asynchronously. Abort
+        // decides are fire-and-forget.
+        let (ack_reply, ack_rx) = reply_channel(participants.len());
+        let decide = TwoPcMessage::Decide {
+            txn,
+            outcome: ok,
+            ack: ok.then_some(ack_reply),
+        };
         for target in &participants {
             let _ = self
                 .cluster
@@ -493,6 +559,21 @@ impl<'c> TwoPcSession<'c> {
                 .send(self.node, *target, decide.clone(), Priority::High);
         }
         if ok {
+            // Wait for the installation acks, deduplicated by sender (the
+            // network may duplicate the decide). A timeout does not change
+            // the outcome — the transaction *is* committed — it only stops
+            // the client from waiting on a wedged participant forever.
+            let deadline = Instant::now() + self.cluster.config.rpc_timeout;
+            let mut acked: HashSet<NodeId> = HashSet::new();
+            while acked.len() < participants.len() {
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                match ack_rx.recv_timeout(remaining) {
+                    Some(ack) => {
+                        acked.insert(ack.from);
+                    }
+                    None => break,
+                }
+            }
             (TwoPcOutcome::Committed, Some(observed))
         } else {
             (TwoPcOutcome::Aborted, None)

@@ -42,6 +42,9 @@ pub struct WalterConfig {
     pub lock_timeout: Duration,
     /// Timeout for reads and votes.
     pub rpc_timeout: Duration,
+    /// Shard arity of every node's storage structures (multi-version store
+    /// and lock table). Rounded up to a power of two.
+    pub storage_shards: usize,
 }
 
 impl WalterConfig {
@@ -58,12 +61,19 @@ impl WalterConfig {
             workers_per_node: 4,
             lock_timeout: Duration::from_millis(1),
             rpc_timeout: Duration::from_secs(1),
+            storage_shards: sss_storage::DEFAULT_SHARDS,
         }
     }
 
     /// Sets the replication degree.
     pub fn replication(mut self, degree: usize) -> Self {
         self.replication = degree;
+        self
+    }
+
+    /// Sets the shard arity of every node's storage structures.
+    pub fn storage_shards(mut self, shards: usize) -> Self {
+        self.storage_shards = shards;
         self
     }
 }
@@ -113,12 +123,16 @@ struct WalterNode {
     replicas: ReplicaMap,
     lock_timeout: Duration,
     state: Mutex<WalterNodeState>,
+    /// Sharded and internally synchronized, held *outside* the state mutex:
+    /// snapshot reads walk version chains without serializing on the node's
+    /// protocol state, and commit-time installs only take the written key's
+    /// shard lock.
+    store: MvStore,
     locks: LockTable,
 }
 
 struct WalterNodeState {
     node_vc: VectorClock,
-    store: MvStore,
     prepared: HashMap<TxnId, PreparedTxn>,
     /// Transactions whose `Decide` has been processed here. A
     /// high-priority decide can overtake its lower-priority `Prepare` in
@@ -130,17 +144,22 @@ struct WalterNodeState {
 
 impl WalterNode {
     fn handle_read(&self, key: Key, snapshot: VectorClock, reply: ReplySender<ReadReply>) {
-        let state = self.state.lock();
         // PSI visibility: the newest version whose commit vector clock is
-        // contained in the reader's start snapshot.
-        let version = state
-            .store
-            .chain(&key)
-            .and_then(|chain| chain.latest_matching(|v| v.vc.le(&snapshot)));
-        reply.send(ReadReply {
-            value: version.map(|v| v.value.clone()),
-            version_vc: version.map(|v| v.vc.clone()),
+        // contained in the reader's start snapshot. No protocol-state lock
+        // is needed: every version inside the snapshot was installed before
+        // the snapshot's clock was published (decide applies writes before
+        // merging `node_vc`), and the chain handle is an immutable
+        // copy-on-write snapshot.
+        let version = self.store.chain(&key).and_then(|chain| {
+            chain
+                .latest_matching(|v| v.vc.le(&snapshot))
+                .map(|v| (v.value.clone(), v.vc.clone()))
         });
+        let (value, version_vc) = match version {
+            Some((value, vc)) => (Some(value), Some(vc)),
+            None => (None, None),
+        };
+        reply.send(ReadReply { value, version_vc });
     }
 
     fn handle_prepare(
@@ -190,10 +209,10 @@ impl WalterNode {
         }
         let mut state = self.state.lock();
         // First-committer-wins: abort if any written key already has a
-        // version outside the transaction's start snapshot.
+        // version outside the transaction's start snapshot. The exclusive
+        // locks acquired above pin the written keys' latest versions.
         let conflict = local_writes.iter().any(|(k, _)| {
-            state
-                .store
+            self.store
                 .last(k)
                 .map(|v| !v.vc.le(&snapshot))
                 .unwrap_or(false)
@@ -246,8 +265,12 @@ impl WalterNode {
         state.decided.insert(txn);
         if let Some(prep) = state.prepared.remove(&txn) {
             if outcome {
+                // Install the versions *before* merging `node_vc` (still
+                // under the state lock): a snapshot that covers `commit_vc`
+                // can only be taken after the merge, by which point every
+                // version it admits is already in the store.
                 for (key, value) in prep.local_writes {
-                    state.store.apply(key, value, commit_vc.clone(), txn);
+                    self.store.apply(key, value, commit_vc.clone(), txn);
                 }
                 state.node_vc.merge(&commit_vc);
             }
@@ -328,11 +351,11 @@ impl WalterCluster {
                     lock_timeout: config.lock_timeout,
                     state: Mutex::new(WalterNodeState {
                         node_vc: VectorClock::new(config.nodes),
-                        store: MvStore::new(),
                         prepared: HashMap::new(),
                         decided: RecentTxnSet::new(1 << 16),
                     }),
-                    locks: LockTable::new(),
+                    store: MvStore::with_shards(config.storage_shards),
+                    locks: LockTable::with_shards(config.storage_shards),
                 })
             })
             .collect();
@@ -366,6 +389,29 @@ impl WalterCluster {
         (0..self.nodes.len())
             .map(|i| self.transport.mailbox(NodeId(i)).pause_control())
             .collect()
+    }
+
+    /// Aggregated storage-layer counters (multi-version store and lock
+    /// table, with per-shard contention breakdowns) summed over every node.
+    pub fn storage_stats(&self) -> sss_storage::StorageStats {
+        let mut total = sss_storage::StorageStats::default();
+        for node in &self.nodes {
+            total.merge(&sss_storage::StorageStats {
+                mv: Some(node.store.stats()),
+                sv: None,
+                locks: Some(node.locks.stats()),
+            });
+        }
+        total
+    }
+
+    /// Aggregated mailbox traffic counters summed over every node.
+    pub fn mailbox_totals(&self) -> sss_net::MailboxStats {
+        let mut total = sss_net::MailboxStats::default();
+        for i in 0..self.nodes.len() {
+            total.merge(&self.transport.mailbox_stats(NodeId(i)));
+        }
+        total
     }
 
     /// Opens a session colocated with `node`.

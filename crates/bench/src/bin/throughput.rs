@@ -1,0 +1,102 @@
+//! Closed-loop throughput/latency harness over the engine registry.
+//!
+//! Sweeps (engine × storage-shard-count) cells, prints a summary table and
+//! writes the machine-readable `BENCH_throughput.json` (schema
+//! `sss-throughput/v1`). See the README's "Benchmark methodology" section.
+//!
+//! ```sh
+//! cargo run --release -p sss-bench --bin throughput
+//! cargo run --release -p sss-bench --bin throughput -- \
+//!     --engines sss,2pc --nodes 4 --shards 1,8 --read-only 10
+//! cargo run --release -p sss-bench --bin throughput -- --smoke   # CI
+//! ```
+//!
+//! Options (defaults in parentheses): `--engines sss,2pc` — comma-separated
+//! registry names; `--shards 1,8` — shard counts swept per engine;
+//! `--nodes 4`, `--replication 2`, `--clients 8` (per node), `--keys 1024`,
+//! `--read-only 10` (percent), `--warmup-ms 300`, `--measure-ms 1500`,
+//! `--ops N` (fixed total measured operations instead of a timed window),
+//! `--seed 42`, `--out BENCH_throughput.json`, `--smoke` (tiny fixed-ops
+//! preset for CI).
+
+use std::time::Duration;
+
+use sss_bench::cli::{parse_flag, parse_u64, parse_value};
+use sss_bench::throughput::{render_json, render_table, run_throughput, ThroughputConfig};
+use sss_bench::EngineKind;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut config = if parse_flag(&args, "--smoke") {
+        ThroughputConfig::smoke()
+    } else {
+        ThroughputConfig::default()
+    };
+
+    if let Some(engines) = parse_value(&args, "--engines") {
+        config.engines = engines
+            .split(',')
+            .map(|name| {
+                name.parse::<EngineKind>()
+                    .unwrap_or_else(|e| panic!("--engines: {e}"))
+            })
+            .collect();
+    }
+    if let Some(shards) = parse_value(&args, "--shards") {
+        config.shard_counts = shards
+            .split(',')
+            .map(|s| {
+                s.parse::<usize>()
+                    .unwrap_or_else(|_| panic!("--shards expects numbers, got {s:?}"))
+            })
+            .collect();
+    }
+    if let Some(nodes) = parse_u64(&args, "--nodes") {
+        config.nodes = nodes as usize;
+    }
+    if let Some(replication) = parse_u64(&args, "--replication") {
+        config.replication = replication as usize;
+    }
+    if let Some(clients) = parse_u64(&args, "--clients") {
+        config.clients_per_node = clients as usize;
+    }
+    if let Some(keys) = parse_u64(&args, "--keys") {
+        config.total_keys = keys as usize;
+    }
+    if let Some(ro) = parse_u64(&args, "--read-only") {
+        assert!(ro <= 100, "--read-only must be 0-100");
+        config.read_only_percent = ro as u8;
+    }
+    if let Some(warmup) = parse_u64(&args, "--warmup-ms") {
+        config.warmup = Duration::from_millis(warmup);
+    }
+    if let Some(measure) = parse_u64(&args, "--measure-ms") {
+        config.measure = Duration::from_millis(measure);
+    }
+    if let Some(ops) = parse_u64(&args, "--ops") {
+        config.fixed_ops = Some(ops);
+    }
+    if let Some(trials) = parse_u64(&args, "--trials") {
+        config.trials = trials as usize;
+    }
+    if let Some(seed) = parse_u64(&args, "--seed") {
+        config.seed = seed;
+    }
+    let out_path =
+        parse_value(&args, "--out").unwrap_or_else(|| "BENCH_throughput.json".to_string());
+
+    eprintln!(
+        "throughput: {} engines x {} shard counts, {} nodes, {} clients/node, {} keys, {}% read-only",
+        config.engines.len(),
+        config.shard_counts.len(),
+        config.nodes,
+        config.clients_per_node,
+        config.total_keys,
+        config.read_only_percent,
+    );
+    let report = run_throughput(&config);
+    print!("{}", render_table(&report));
+    let json = render_json(&report);
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("failed to write {out_path}: {e}"));
+    eprintln!("wrote {out_path} ({} bytes)", json.len());
+}

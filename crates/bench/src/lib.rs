@@ -34,9 +34,11 @@ pub mod cli;
 pub mod figures;
 pub mod harness;
 pub mod scenarios;
+pub mod throughput;
 
 pub use harness::{run_engine, run_engine_with_profile};
-pub use sss_engine::{EngineKind, NetProfile};
+pub use sss_engine::{EngineKind, EngineTuning, NetProfile};
+pub use throughput::{run_throughput, ThroughputConfig, ThroughputReport};
 
 pub use cli::{figure_main, FigureSelection};
 pub use figures::{

@@ -1,0 +1,700 @@
+//! Closed-loop throughput/latency measurement over the engine registry.
+//!
+//! This is the measurement pipeline behind the `throughput` binary: for
+//! every requested (engine × storage-shard-count) cell it builds the engine
+//! through [`EngineKind::build_tuned`], pre-populates the key space, runs
+//! `clients_per_node` closed-loop client threads per node through a
+//! **warm-up phase** followed by a **measured window**, and reports ops/s,
+//! latency percentiles (p50/p95/p99), the abort rate, and the per-shard
+//! contention counters of the storage layer.
+//!
+//! Methodology notes:
+//!
+//! * **Closed loop** — each client issues a new transaction only once the
+//!   previous one returned (paper §V), so offered load scales with the
+//!   client count and latency back-pressure is realistic.
+//! * **Warm-up** — populating the key space and JIT-warming the process
+//!   distort early samples; nothing is recorded until the warm-up elapses.
+//! * **Snapshot-and-diff counters** — storage and mailbox counters are
+//!   monotonic and never reset. The harness snapshots them when the
+//!   measured window opens and again when it closes and reports the
+//!   difference, so per-window numbers are exact regardless of warm-up
+//!   traffic or how many cells already ran in the process.
+//! * **Fixed-ops mode** — with [`ThroughputConfig::fixed_ops`] set, every
+//!   client executes a fixed number of measured transactions instead of
+//!   running for a wall-clock window. CI smoke jobs use this to keep run
+//!   time bounded and independent of machine speed.
+//!
+//! The report serializes to the machine-readable `BENCH_throughput.json`
+//! (schema `sss-throughput/v1`, documented in the repository README) so
+//! future changes have a perf trajectory to compare against.
+
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use sss_engine::{EngineKind, EngineTuning, MailboxStats, NetProfile, StorageStats, TxnOutcome};
+use sss_workload::{populate, NodeId, TxnTemplate, WorkloadGenerator, WorkloadSpec};
+
+/// Configuration of one harness invocation (a sweep over engines and shard
+/// counts with otherwise identical parameters).
+#[derive(Debug, Clone)]
+pub struct ThroughputConfig {
+    /// Engines to measure, in order.
+    pub engines: Vec<EngineKind>,
+    /// Storage shard counts to sweep per engine, in order.
+    pub shard_counts: Vec<usize>,
+    /// Cluster size.
+    pub nodes: usize,
+    /// Replicas per key.
+    pub replication: usize,
+    /// Closed-loop client threads per node.
+    pub clients_per_node: usize,
+    /// Key-space size.
+    pub total_keys: usize,
+    /// Percentage (0-100) of read-only transactions; low values make the
+    /// workload write-heavy, which is what storage sharding targets.
+    pub read_only_percent: u8,
+    /// Keys read and written by an update transaction.
+    pub update_access_count: usize,
+    /// Keys read by a read-only transaction.
+    pub read_only_access_count: usize,
+    /// Warm-up duration before the measured window opens.
+    pub warmup: Duration,
+    /// Measured-window duration (ignored in fixed-ops mode).
+    pub measure: Duration,
+    /// When set, each client executes `fixed_ops / total_clients` measured
+    /// transactions (at least one) instead of running for `measure`.
+    pub fixed_ops: Option<u64>,
+    /// Trials per cell: each trial rebuilds the engine (fresh stores, fresh
+    /// seed derived from `seed`) and the cell reports the aggregate, which
+    /// damps scheduler noise on small or busy machines.
+    pub trials: usize,
+    /// Base random seed for the per-client generators.
+    pub seed: u64,
+}
+
+impl Default for ThroughputConfig {
+    fn default() -> Self {
+        ThroughputConfig {
+            engines: vec![EngineKind::Sss, EngineKind::TwoPc],
+            shard_counts: vec![1, 8],
+            nodes: 4,
+            replication: 2,
+            clients_per_node: 8,
+            total_keys: 1024,
+            read_only_percent: 10,
+            update_access_count: 2,
+            read_only_access_count: 2,
+            warmup: Duration::from_millis(300),
+            measure: Duration::from_millis(1500),
+            fixed_ops: None,
+            trials: 3,
+            seed: 42,
+        }
+    }
+}
+
+impl ThroughputConfig {
+    /// A tiny fixed-ops configuration for CI smoke runs: small cluster,
+    /// bounded operation count, still covering SSS plus one baseline and a
+    /// 1-vs-many shard sweep so the JSON emitter is exercised end to end.
+    pub fn smoke() -> Self {
+        ThroughputConfig {
+            engines: vec![EngineKind::Sss, EngineKind::TwoPc],
+            shard_counts: vec![1, 4],
+            nodes: 2,
+            replication: 1,
+            clients_per_node: 2,
+            total_keys: 128,
+            warmup: Duration::from_millis(50),
+            fixed_ops: Some(80),
+            trials: 1,
+            ..ThroughputConfig::default()
+        }
+    }
+
+    fn spec(&self) -> WorkloadSpec {
+        WorkloadSpec::new(self.nodes)
+            .clients_per_node(self.clients_per_node)
+            .total_keys(self.total_keys)
+            .read_only_percent(self.read_only_percent)
+            .update_access_count(self.update_access_count)
+            .read_only_access_count(self.read_only_access_count)
+            .seed(self.seed)
+    }
+}
+
+/// Latency percentiles of one measured window, in microseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencyQuantiles {
+    /// Mean latency.
+    pub mean_us: u64,
+    /// Median latency.
+    pub p50_us: u64,
+    /// 95th percentile latency.
+    pub p95_us: u64,
+    /// 99th percentile latency.
+    pub p99_us: u64,
+    /// Maximum observed latency.
+    pub max_us: u64,
+}
+
+impl LatencyQuantiles {
+    fn from_samples(mut samples: Vec<Duration>) -> Self {
+        if samples.is_empty() {
+            return LatencyQuantiles::default();
+        }
+        samples.sort();
+        let pick = |q: f64| {
+            let idx = ((samples.len() as f64 - 1.0) * q).floor() as usize;
+            samples[idx.min(samples.len() - 1)].as_micros() as u64
+        };
+        let total: Duration = samples.iter().sum();
+        LatencyQuantiles {
+            mean_us: (total / samples.len() as u32).as_micros() as u64,
+            p50_us: pick(0.50),
+            p95_us: pick(0.95),
+            p99_us: pick(0.99),
+            max_us: samples.last().expect("non-empty").as_micros() as u64,
+        }
+    }
+}
+
+/// The measured result of one (engine × shard count) cell.
+#[derive(Debug, Clone)]
+pub struct ThroughputRun {
+    /// Engine label ("SSS", "2PC", ...).
+    pub engine: String,
+    /// Storage shard arity the engine was built with.
+    pub storage_shards: usize,
+    /// Committed transactions inside the measured window.
+    pub committed: u64,
+    /// Aborted attempts inside the measured window.
+    pub aborted: u64,
+    /// Wall-clock length of the measured window.
+    pub window: Duration,
+    /// Latency percentiles of committed transactions.
+    pub latency: LatencyQuantiles,
+    /// Storage-layer counters diffed over the measured window (per-shard
+    /// contention included), if the engine exposes them.
+    pub storage: Option<StorageStats>,
+    /// Mailbox traffic diffed over the measured window, if exposed.
+    pub mailbox: Option<MailboxStats>,
+}
+
+impl ThroughputRun {
+    /// Committed transactions per second.
+    pub fn ops_per_sec(&self) -> f64 {
+        if self.window.is_zero() {
+            0.0
+        } else {
+            self.committed as f64 / self.window.as_secs_f64()
+        }
+    }
+
+    /// Abort rate over all attempts (0.0 - 1.0).
+    pub fn abort_rate(&self) -> f64 {
+        let attempts = self.committed + self.aborted;
+        if attempts == 0 {
+            0.0
+        } else {
+            self.aborted as f64 / attempts as f64
+        }
+    }
+}
+
+/// A full harness report: the configuration echo plus one row per cell.
+#[derive(Debug, Clone)]
+pub struct ThroughputReport {
+    /// The configuration the sweep ran with.
+    pub config: ThroughputConfig,
+    /// One measured cell per (engine × shard count), in sweep order.
+    pub runs: Vec<ThroughputRun>,
+}
+
+const PHASE_WARMUP: u8 = 0;
+const PHASE_MEASURE: u8 = 1;
+const PHASE_DONE: u8 = 2;
+
+/// Runs the whole sweep described by `config`.
+pub fn run_throughput(config: &ThroughputConfig) -> ThroughputReport {
+    let mut runs = Vec::new();
+    for &engine_kind in &config.engines {
+        for &shards in &config.shard_counts {
+            runs.push(run_cell(config, engine_kind, shards));
+        }
+    }
+    ThroughputReport {
+        config: config.clone(),
+        runs,
+    }
+}
+
+/// Runs one (engine × shard count) cell: `config.trials` trials, each a
+/// fresh engine build + populate + warm-up + measured window, aggregated.
+pub fn run_cell(config: &ThroughputConfig, kind: EngineKind, shards: usize) -> ThroughputRun {
+    let trials = config.trials.max(1);
+    let mut aggregate: Option<ThroughputRun> = None;
+    let mut all_latencies: Vec<Duration> = Vec::new();
+    for trial in 0..trials {
+        let mut trial_config = config.clone();
+        trial_config.seed = config.seed.wrapping_add(trial as u64);
+        let (run, latencies) = run_trial(&trial_config, kind, shards);
+        all_latencies.extend(latencies);
+        aggregate = Some(match aggregate.take() {
+            None => run,
+            Some(mut total) => {
+                total.committed += run.committed;
+                total.aborted += run.aborted;
+                total.window += run.window;
+                match (&mut total.storage, &run.storage) {
+                    (Some(mine), Some(theirs)) => {
+                        // merge() sums every field — right for counters,
+                        // wrong for gauges (retained versions, resident
+                        // keys), which would inflate ~trials-fold. Restore
+                        // the gauges from the latest trial's snapshot.
+                        mine.merge(theirs);
+                        adopt_gauges(mine, theirs);
+                    }
+                    (slot @ None, Some(theirs)) => *slot = Some(theirs.clone()),
+                    _ => {}
+                }
+                match (&mut total.mailbox, &run.mailbox) {
+                    (Some(mine), Some(theirs)) => mine.merge(theirs),
+                    (slot @ None, Some(theirs)) => *slot = Some(*theirs),
+                    _ => {}
+                }
+                total
+            }
+        });
+    }
+    let mut run = aggregate.expect("at least one trial");
+    run.latency = LatencyQuantiles::from_samples(all_latencies);
+    run
+}
+
+/// Overwrites the gauge fields of a trial-aggregated [`StorageStats`] with
+/// the latest trial's values (counter fields stay summed): gauges describe
+/// one engine instance at one moment and must not be added across trials.
+fn adopt_gauges(total: &mut StorageStats, latest: &StorageStats) {
+    if let (Some(mine), Some(theirs)) = (total.mv.as_mut(), latest.mv.as_ref()) {
+        mine.retained_versions = theirs.retained_versions;
+        for (m, t) in mine.per_shard.iter_mut().zip(theirs.per_shard.iter()) {
+            m.keys = t.keys;
+        }
+    }
+    if let (Some(mine), Some(theirs)) = (total.sv.as_mut(), latest.sv.as_ref()) {
+        for (m, t) in mine.per_shard.iter_mut().zip(theirs.per_shard.iter()) {
+            m.keys = t.keys;
+        }
+    }
+}
+
+/// One trial of one cell; returns the run plus the raw latency samples so
+/// the caller can compute percentiles over every trial together.
+fn run_trial(
+    config: &ThroughputConfig,
+    kind: EngineKind,
+    shards: usize,
+) -> (ThroughputRun, Vec<Duration>) {
+    let engine = kind.build_tuned(
+        config.nodes,
+        config.replication,
+        NetProfile::Instant,
+        EngineTuning::with_storage_shards(shards),
+        None,
+    );
+    let spec = config.spec();
+    spec.validate().expect("throughput spec must be valid");
+    populate(engine.as_ref(), &spec);
+
+    let total_clients = config.nodes * config.clients_per_node;
+    let ops_per_client = config
+        .fixed_ops
+        .map(|ops| (ops / total_clients as u64).max(1));
+    let phase = AtomicU8::new(PHASE_WARMUP);
+    let finished_clients = AtomicUsize::new(0);
+
+    struct Tally {
+        committed: u64,
+        aborted: u64,
+        latencies: Vec<Duration>,
+    }
+
+    let mut window = Duration::ZERO;
+    let mut storage_window = None;
+    let mut mailbox_window = None;
+
+    let tallies: Vec<Tally> = std::thread::scope(|scope| {
+        let phase = &phase;
+        let finished = &finished_clients;
+        let engine_ref = engine.as_ref();
+        let spec_ref = &spec;
+        let mut handles = Vec::new();
+        for node in 0..config.nodes {
+            for client in 0..config.clients_per_node {
+                handles.push(scope.spawn(move || {
+                    let mut generator = WorkloadGenerator::new(spec_ref, NodeId(node), client);
+                    let mut session = engine_ref.session(node);
+                    let mut tally = Tally {
+                        committed: 0,
+                        aborted: 0,
+                        latencies: Vec::new(),
+                    };
+                    let mut measured_ops: u64 = 0;
+                    let mut done = false;
+                    loop {
+                        let current = phase.load(Ordering::Acquire);
+                        if current == PHASE_DONE {
+                            break;
+                        }
+                        // In fixed-ops mode a client past its quota idles
+                        // until every client is done (keeping the loop
+                        // closed would skew the slowest client's window).
+                        if done {
+                            std::thread::sleep(Duration::from_micros(200));
+                            continue;
+                        }
+                        let template = generator.next_txn();
+                        let outcome = match &template {
+                            TxnTemplate::ReadOnly { keys } => session.run_read_only(keys),
+                            TxnTemplate::Update { keys, values } => {
+                                let writes: Vec<_> =
+                                    keys.iter().cloned().zip(values.iter().cloned()).collect();
+                                session.run_update(keys, &writes)
+                            }
+                        };
+                        if current != PHASE_MEASURE {
+                            continue;
+                        }
+                        match outcome {
+                            TxnOutcome::Committed { latency, .. } => {
+                                tally.committed += 1;
+                                tally.latencies.push(latency);
+                            }
+                            TxnOutcome::Aborted => tally.aborted += 1,
+                        }
+                        measured_ops += 1;
+                        if let Some(quota) = ops_per_client {
+                            if measured_ops >= quota {
+                                done = true;
+                                finished.fetch_add(1, Ordering::AcqRel);
+                            }
+                        }
+                    }
+                    tally
+                }));
+            }
+        }
+
+        // Drive the phases from this thread: warm up, snapshot, measure,
+        // snapshot again, diff.
+        std::thread::sleep(config.warmup);
+        let storage_before = engine_ref.storage_stats();
+        let mailbox_before = engine_ref.mailbox_totals();
+        let window_start = Instant::now();
+        phase.store(PHASE_MEASURE, Ordering::Release);
+        match ops_per_client {
+            Some(_) => {
+                while finished.load(Ordering::Acquire) < total_clients {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+            None => std::thread::sleep(config.measure),
+        }
+        phase.store(PHASE_DONE, Ordering::Release);
+        window = window_start.elapsed();
+        storage_window = engine_ref
+            .storage_stats()
+            .map(|after| after.diff(&storage_before.unwrap_or_default()));
+        mailbox_window = engine_ref
+            .mailbox_totals()
+            .map(|after| after.diff(&mailbox_before.unwrap_or_default()));
+
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread panicked"))
+            .collect()
+    });
+
+    let mut committed = 0;
+    let mut aborted = 0;
+    let mut latencies = Vec::new();
+    for tally in tallies {
+        committed += tally.committed;
+        aborted += tally.aborted;
+        latencies.extend(tally.latencies);
+    }
+    let run = ThroughputRun {
+        engine: kind.label().to_string(),
+        storage_shards: shards,
+        committed,
+        aborted,
+        window,
+        latency: LatencyQuantiles::default(),
+        storage: storage_window,
+        mailbox: mailbox_window,
+    };
+    (run, latencies)
+}
+
+// ---------------------------------------------------------------------------
+// Rendering
+// ---------------------------------------------------------------------------
+
+/// Renders the human-readable summary table printed by the binary.
+pub fn render_table(report: &ThroughputReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<8} {:>7} {:>12} {:>9} {:>9} {:>9} {:>9} {:>10}",
+        "engine", "shards", "ops/s", "p50(us)", "p95(us)", "p99(us)", "aborts", "contended"
+    );
+    for run in &report.runs {
+        let contended = run
+            .storage
+            .as_ref()
+            .map(|s| {
+                s.mv.as_ref().map(|m| m.contended).unwrap_or(0)
+                    + s.sv.as_ref().map(|v| v.contended).unwrap_or(0)
+                    + s.locks.as_ref().map(|l| l.contended).unwrap_or(0)
+            })
+            .unwrap_or(0);
+        let _ = writeln!(
+            out,
+            "{:<8} {:>7} {:>12.1} {:>9} {:>9} {:>9} {:>8.1}% {:>10}",
+            run.engine,
+            run.storage_shards,
+            run.ops_per_sec(),
+            run.latency.p50_us,
+            run.latency.p95_us,
+            run.latency.p99_us,
+            run.abort_rate() * 100.0,
+            contended,
+        );
+    }
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_u64_array(values: impl IntoIterator<Item = u64>) -> String {
+    let items: Vec<String> = values.into_iter().map(|v| v.to_string()).collect();
+    format!("[{}]", items.join(","))
+}
+
+/// Serializes the report as the `BENCH_throughput.json` document (schema
+/// `sss-throughput/v1`; see the README's benchmark-methodology section).
+pub fn render_json(report: &ThroughputReport) -> String {
+    use std::fmt::Write as _;
+    let cfg = &report.config;
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"sss-throughput/v1\",\n");
+    let _ = writeln!(out, "  \"config\": {{");
+    let engines: Vec<String> = cfg
+        .engines
+        .iter()
+        .map(|e| format!("\"{}\"", json_escape(e.label())))
+        .collect();
+    let _ = writeln!(out, "    \"engines\": [{}],", engines.join(","));
+    let _ = writeln!(
+        out,
+        "    \"shard_counts\": {},",
+        json_u64_array(cfg.shard_counts.iter().map(|&s| s as u64))
+    );
+    let _ = writeln!(out, "    \"nodes\": {},", cfg.nodes);
+    let _ = writeln!(out, "    \"replication\": {},", cfg.replication);
+    let _ = writeln!(out, "    \"clients_per_node\": {},", cfg.clients_per_node);
+    let _ = writeln!(out, "    \"total_keys\": {},", cfg.total_keys);
+    let _ = writeln!(out, "    \"read_only_percent\": {},", cfg.read_only_percent);
+    let _ = writeln!(
+        out,
+        "    \"update_access_count\": {},",
+        cfg.update_access_count
+    );
+    let _ = writeln!(
+        out,
+        "    \"read_only_access_count\": {},",
+        cfg.read_only_access_count
+    );
+    let _ = writeln!(out, "    \"warmup_ms\": {},", cfg.warmup.as_millis());
+    let _ = writeln!(out, "    \"measure_ms\": {},", cfg.measure.as_millis());
+    match cfg.fixed_ops {
+        Some(ops) => {
+            let _ = writeln!(out, "    \"fixed_ops\": {ops},");
+        }
+        None => {
+            let _ = writeln!(out, "    \"fixed_ops\": null,");
+        }
+    }
+    let _ = writeln!(out, "    \"trials\": {},", cfg.trials.max(1));
+    let _ = writeln!(out, "    \"seed\": {}", cfg.seed);
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"runs\": [");
+    for (i, run) in report.runs.iter().enumerate() {
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"engine\": \"{}\",", json_escape(&run.engine));
+        let _ = writeln!(out, "      \"storage_shards\": {},", run.storage_shards);
+        let _ = writeln!(out, "      \"ops_per_sec\": {:.3},", run.ops_per_sec());
+        let _ = writeln!(out, "      \"committed\": {},", run.committed);
+        let _ = writeln!(out, "      \"aborted\": {},", run.aborted);
+        let _ = writeln!(out, "      \"abort_rate\": {:.6},", run.abort_rate());
+        let _ = writeln!(out, "      \"window_ms\": {},", run.window.as_millis());
+        let _ = writeln!(
+            out,
+            "      \"latency_us\": {{\"mean\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \"max\": {}}},",
+            run.latency.mean_us,
+            run.latency.p50_us,
+            run.latency.p95_us,
+            run.latency.p99_us,
+            run.latency.max_us
+        );
+        out.push_str("      \"storage\": ");
+        match &run.storage {
+            Some(storage) => {
+                let mut parts = Vec::new();
+                if let Some(mv) = &storage.mv {
+                    parts.push(format!(
+                        "\"mv\": {{\"installed_versions\": {}, \"retained_versions\": {}, \"contended\": {}, \"per_shard_contended\": {}}}",
+                        mv.installed_versions,
+                        mv.retained_versions,
+                        mv.contended,
+                        json_u64_array(mv.per_shard.iter().map(|s| s.contended))
+                    ));
+                }
+                if let Some(sv) = &storage.sv {
+                    parts.push(format!(
+                        "\"sv\": {{\"writes\": {}, \"contended\": {}, \"per_shard_contended\": {}}}",
+                        sv.writes,
+                        sv.contended,
+                        json_u64_array(sv.per_shard.iter().map(|s| s.contended))
+                    ));
+                }
+                if let Some(locks) = &storage.locks {
+                    parts.push(format!(
+                        "\"locks\": {{\"granted\": {}, \"timeouts\": {}, \"contended\": {}, \"per_shard_contended\": {}}}",
+                        locks.granted,
+                        locks.timeouts,
+                        locks.contended,
+                        json_u64_array(locks.per_shard_contended.iter().copied())
+                    ));
+                }
+                let _ = writeln!(out, "{{{}}},", parts.join(", "));
+            }
+            None => out.push_str("null,\n"),
+        }
+        out.push_str("      \"mailbox\": ");
+        match &run.mailbox {
+            Some(mb) => {
+                let _ = writeln!(
+                    out,
+                    "{{\"enqueued\": {}, \"dequeued\": {}}}",
+                    mb.total_enqueued(),
+                    mb.total_dequeued()
+                );
+            }
+            None => out.push_str("null\n"),
+        }
+        let comma = if i + 1 == report.runs.len() { "" } else { "," };
+        let _ = writeln!(out, "    }}{comma}");
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_from_samples() {
+        let samples: Vec<Duration> = (1..=100).map(Duration::from_micros).collect();
+        let q = LatencyQuantiles::from_samples(samples);
+        assert_eq!(q.p50_us, 50);
+        assert_eq!(q.p95_us, 95);
+        assert_eq!(q.p99_us, 99);
+        assert_eq!(q.max_us, 100);
+        assert_eq!(
+            LatencyQuantiles::from_samples(Vec::new()),
+            LatencyQuantiles::default()
+        );
+    }
+
+    #[test]
+    fn fixed_ops_cell_measures_and_diffs_counters() {
+        let config = ThroughputConfig {
+            engines: vec![EngineKind::TwoPc],
+            shard_counts: vec![2],
+            nodes: 2,
+            replication: 1,
+            clients_per_node: 2,
+            total_keys: 64,
+            warmup: Duration::from_millis(10),
+            fixed_ops: Some(16),
+            trials: 1,
+            ..ThroughputConfig::default()
+        };
+        let run = run_cell(&config, EngineKind::TwoPc, 2);
+        assert_eq!(run.engine, "2PC");
+        assert_eq!(run.storage_shards, 2);
+        assert_eq!(run.committed + run.aborted, 16, "4 clients x 4 ops each");
+        assert!(run.ops_per_sec() > 0.0);
+        let storage = run.storage.expect("2PC exposes storage stats");
+        let sv = storage.sv.expect("2PC runs an SvStore");
+        assert_eq!(sv.per_shard.len(), 2);
+        let mailbox = run.mailbox.expect("2PC exposes mailbox stats");
+        assert!(mailbox.total_enqueued() > 0, "window saw traffic");
+    }
+
+    #[test]
+    fn json_document_is_well_formed() {
+        let config = ThroughputConfig {
+            engines: vec![EngineKind::Rococo],
+            shard_counts: vec![1],
+            nodes: 1,
+            replication: 1,
+            clients_per_node: 1,
+            total_keys: 32,
+            warmup: Duration::from_millis(5),
+            fixed_ops: Some(4),
+            trials: 1,
+            ..ThroughputConfig::default()
+        };
+        let report = run_throughput(&config);
+        assert_eq!(report.runs.len(), 1);
+        let json = render_json(&report);
+        assert!(json.contains("\"schema\": \"sss-throughput/v1\""));
+        assert!(json.contains("\"engine\": \"ROCOCO\""));
+        assert!(json.contains("\"ops_per_sec\""));
+        // Cheap structural sanity: balanced braces and brackets.
+        let balance = |open: char, close: char| {
+            json.chars().filter(|&c| c == open).count()
+                == json.chars().filter(|&c| c == close).count()
+        };
+        assert!(balance('{', '}'));
+        assert!(balance('[', ']'));
+        assert!(!render_table(&report).is_empty());
+    }
+
+    #[test]
+    fn json_escaping_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_u64_array([1, 2, 3]), "[1,2,3]");
+    }
+}

@@ -10,9 +10,9 @@
 //!   writes, wall-clock start/finish instants),
 //! * [`DsgChecker`] — builds the DSG (write-read, write-write, read-write
 //!   and real-time edges) and searches for cycles,
-//! * [`checks`] — higher-level assertions used by the test-suite: external
-//!   consistency, snapshot atomicity of read-only transactions, and
-//!   monotonicity of client-observed prefixes.
+//! * [`check_all`] and friends — higher-level assertions used by the
+//!   test-suite: external consistency, snapshot atomicity of read-only
+//!   transactions, and monotonicity of client-observed prefixes.
 //!
 //! The checker is engine-agnostic: SSS and every baseline engine are checked
 //! with the same code, which is how the test-suite demonstrates both that

@@ -129,6 +129,28 @@ impl SssCluster {
         ClusterStats::aggregate(self.node_stats())
     }
 
+    /// Aggregated storage-layer counters (multi-version store and lock
+    /// table, with per-shard contention breakdowns) summed over every node.
+    /// The counters are monotonic; harnesses snapshot them at window
+    /// boundaries and diff (see `sss_storage::StorageStats::diff`).
+    pub fn storage_stats(&self) -> sss_storage::StorageStats {
+        let mut total = sss_storage::StorageStats::default();
+        for node in &self.nodes {
+            total.merge(&node.storage_stats());
+        }
+        total
+    }
+
+    /// Aggregated mailbox traffic counters summed over every node, for
+    /// per-window message accounting by benchmark harnesses.
+    pub fn mailbox_totals(&self) -> sss_net::MailboxStats {
+        let mut total = sss_net::MailboxStats::default();
+        for node in &self.nodes {
+            total.merge(&self.transport.mailbox_stats(node.id()));
+        }
+        total
+    }
+
     /// Total number of snapshot-queue entries across the cluster
     /// (diagnostic; converges to zero when the system is idle, thanks to the
     /// implicit garbage collection performed by `Remove`).

@@ -63,6 +63,10 @@ pub struct SssConfig {
     /// attached to the per-node pause gates. Inert until armed — see
     /// [`SssConfig::faults`].
     pub fault_injector: Option<Arc<FaultInjector>>,
+    /// Shard arity of every node's storage structures (multi-version store
+    /// and lock table). Rounded up to a power of two; higher values reduce
+    /// contention between a node's worker threads at a small memory cost.
+    pub storage_shards: usize,
 }
 
 impl SssConfig {
@@ -91,6 +95,7 @@ impl SssConfig {
             admission_max_retries: 5,
             precommit_hold_max: Duration::from_millis(250),
             fault_injector: None,
+            storage_shards: sss_storage::DEFAULT_SHARDS,
         }
     }
 
@@ -144,6 +149,13 @@ impl SssConfig {
         self
     }
 
+    /// Sets the shard arity of every node's storage structures (rounded up
+    /// to a power of two at construction).
+    pub fn storage_shards(mut self, shards: usize) -> Self {
+        self.storage_shards = shards;
+        self
+    }
+
     /// Builds the key-placement map described by this configuration.
     pub fn replica_map(&self) -> ReplicaMap {
         ReplicaMap::new(self.nodes, self.replication)
@@ -159,6 +171,7 @@ mod tests {
         let cfg = SssConfig::new(5);
         assert_eq!(cfg.nodes, 5);
         assert_eq!(cfg.replication, 2);
+        assert_eq!(cfg.storage_shards, sss_storage::DEFAULT_SHARDS);
         assert_eq!(cfg.lock_timeout, Duration::from_millis(1));
         assert!(cfg.latency.is_zero());
         assert_eq!(cfg.replica_map().degree(), 2);

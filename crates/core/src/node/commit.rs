@@ -82,12 +82,29 @@ impl SssNode {
             return;
         }
 
-        let mut state = self.state.lock();
-
-        // Re-check under the state lock: the abort decision may have been
-        // processed while this handler was acquiring key locks.
-        if state.aborted_early.contains(&txn) {
-            drop(state);
+        // Validation (Algorithm 1 lines 27-33): "checking if the latest
+        // version of a key matches the read one" (§III-B). The read-set
+        // carries the writer of the version each read observed; if the key's
+        // latest local version was produced by a different transaction, the
+        // read has been overwritten (or was served by a lagging replica) and
+        // the transaction must abort. The vector-clock bound check of the
+        // pseudocode is kept as well.
+        //
+        // Validation runs *before* taking the state lock: the shared locks
+        // acquired above pin every read key's latest version (an installer
+        // would need the exclusive lock), so the sharded store can be read
+        // concurrently by every preparing worker. The one way the pin can
+        // break — this transaction's own abort decide racing in and
+        // releasing the locks — is caught by the `aborted_early` re-check
+        // below, which votes no regardless of what was validated here
+        // (the tombstone is inserted before the decide releases any lock).
+        let stale = local_reads.iter().find(|(k, observed_writer)| {
+            let latest = self.store().last(k);
+            let latest_writer = latest.as_ref().map(|v| v.writer);
+            latest_writer != *observed_writer
+                || latest.map(|v| v.vc.get(i)).unwrap_or(0) > vc.get(i)
+        });
+        if stale.is_some() {
             self.lock_table().release_all(txn);
             NodeCounters::bump(&self.counters().votes_validation_failed);
             reply.send(Vote {
@@ -99,18 +116,12 @@ impl SssNode {
             return;
         }
 
-        // Validation (Algorithm 1 lines 27-33): "checking if the latest
-        // version of a key matches the read one" (§III-B). The read-set
-        // carries the writer of the version each read observed; if the key's
-        // latest local version was produced by a different transaction, the
-        // read has been overwritten (or was served by a lagging replica) and
-        // the transaction must abort. The vector-clock bound check of the
-        // pseudocode is kept as well.
-        let stale = local_reads.iter().find(|(k, observed_writer)| {
-            let latest_writer = state.store.last(k).map(|v| v.writer);
-            latest_writer != *observed_writer || state.store.last_vc_entry(k, i) > vc.get(i)
-        });
-        if stale.is_some() {
+        let mut state = self.state.lock();
+
+        // Re-check under the state lock: the abort decision may have been
+        // processed while this handler was acquiring key locks (or while it
+        // was validating against possibly-released locks, see above).
+        if state.aborted_early.contains(&txn) {
             drop(state);
             self.lock_table().release_all(txn);
             NodeCounters::bump(&self.counters().votes_validation_failed);
@@ -230,9 +241,11 @@ impl SssNode {
             // Internal commit: install the written versions and log the
             // commit vector clock; the new versions become visible to other
             // transactions even though the client has not been answered yet.
+            // (Still under the state lock so that the store never lags the
+            // NLog: readers check the NLog/commit-queue under the state
+            // lock and must then find every covered version installed.)
             for (key, value) in &prep.local_write_set {
-                state
-                    .store
+                self.store()
                     .apply(key.clone(), value.clone(), commit_vc.clone(), txn);
             }
             state.nlog.add(txn, commit_vc.clone());

@@ -23,7 +23,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 use sss_net::{ChannelTransport, Envelope, NodeService, Priority, Transport};
-use sss_storage::{Key, LockTable, ReplicaMap, TxnId};
+use sss_storage::{Key, LockTable, MvStore, ReplicaMap, TxnId};
 use sss_vclock::{NodeId, VectorClock};
 
 use crate::config::SssConfig;
@@ -44,6 +44,12 @@ pub struct SssNode {
     replicas: ReplicaMap,
     transport: Arc<ChannelTransport<SssMessage>>,
     state: Mutex<NodeState>,
+    /// Multi-version data repository. Sharded and internally synchronized,
+    /// held *outside* the state mutex: prepare-phase validation reads it
+    /// concurrently from every worker (the 2PC locks pin the validated
+    /// versions), while handlers that hold the state mutex read and write
+    /// it with only an uncontended per-shard lock on top.
+    store: MvStore,
     locks: LockTable,
     counters: NodeCounters,
     next_txn_seq: AtomicU64,
@@ -62,7 +68,8 @@ impl SssNode {
             replicas,
             transport,
             state: Mutex::new(state),
-            locks: LockTable::new(),
+            store: MvStore::with_shards(config.storage_shards),
+            locks: LockTable::with_shards(config.storage_shards),
             counters: NodeCounters::default(),
             next_txn_seq: AtomicU64::new(0),
             config,
@@ -93,7 +100,17 @@ impl SssNode {
 
     /// Number of versions currently retained by this node's store.
     pub fn retained_versions(&self) -> usize {
-        self.state.lock().store.retained_versions()
+        self.store.retained_versions()
+    }
+
+    /// Snapshot of this node's storage-layer counters (multi-version store
+    /// and lock table, with per-shard contention breakdowns).
+    pub fn storage_stats(&self) -> sss_storage::StorageStats {
+        sss_storage::StorageStats {
+            mv: Some(self.store.stats()),
+            sv: None,
+            locks: Some(self.locks.stats()),
+        }
     }
 
     pub(crate) fn config(&self) -> &SssConfig {
@@ -114,6 +131,10 @@ impl SssNode {
 
     pub(crate) fn lock_table(&self) -> &LockTable {
         &self.locks
+    }
+
+    pub(crate) fn store(&self) -> &MvStore {
+        &self.store
     }
 
     /// Allocates a fresh transaction identifier originating on this node.
@@ -158,9 +179,10 @@ impl SssNode {
 
     /// Garbage-collects old versions on this node, keeping the configured
     /// number of versions per key. Returns how many versions were dropped.
+    /// The store is internally synchronized, so collection runs without
+    /// taking the node's protocol-state mutex.
     pub fn collect_garbage(&self) -> usize {
-        let keep = self.config.versions_per_key;
-        self.state.lock().store.prune_all(keep)
+        self.store.prune_all(self.config.versions_per_key)
     }
 
     /// Human-readable dump of the transactions currently held in their

@@ -27,7 +27,7 @@ impl SssNode {
             // Update transactions "simply return the most recent version of
             // their requested keys" (§III-B); the snapshot-queue's read-only
             // entries are returned as the PropagatedSet (Algorithm 6 l. 24-26).
-            let response = Self::serve_update_read(&state, self.id(), &key);
+            let response = self.serve_update_read(&state, &key);
             NodeCounters::bump(&self.counters().reads_served);
             drop(state);
             reply.send(response);
@@ -270,7 +270,7 @@ impl SssNode {
         // — guarantees the reader's snapshot genuinely covers everything it
         // observes, which rules out reading "around" an excluded
         // pre-committing writer.)
-        let selected = state.store.chain(&key).and_then(|chain| {
+        let selected = self.store().chain(&key).and_then(|chain| {
             chain
                 .latest_matching(|ver| max_vc.dominates(&ver.vc))
                 .map(|ver| (ver.value.clone(), ver.writer))
@@ -326,7 +326,7 @@ impl SssNode {
     }
 
     /// Algorithm 6, update-transaction path (lines 23-27).
-    fn serve_update_read(state: &NodeState, from: sss_vclock::NodeId, key: &Key) -> ReadReturn {
+    fn serve_update_read(&self, state: &NodeState, key: &Key) -> ReadReturn {
         let max_vc = state.nlog.most_recent_vc().clone();
         let propagated: Vec<PropagatedEntry> = state
             .squeues
@@ -341,11 +341,11 @@ impl SssNode {
                     .collect()
             })
             .unwrap_or_default();
-        let last = state.store.last(key);
+        let last = self.store().last(key);
         ReadReturn {
-            from,
-            value: last.map(|v| v.value.clone()),
-            writer: last.map(|v| v.writer),
+            from: self.id(),
+            value: last.as_ref().map(|v| v.value.clone()),
+            writer: last.as_ref().map(|v| v.writer),
             vc: max_vc,
             propagated,
         }

@@ -4,7 +4,7 @@ use std::collections::{HashMap, HashSet};
 use std::time::Instant;
 
 use sss_net::ReplySender;
-use sss_storage::{Key, MvStore, RecentTxnSet, TxnId, Value};
+use sss_storage::{Key, RecentTxnSet, TxnId, Value};
 use sss_vclock::{NodeId, VectorClock};
 
 use crate::commit_queue::CommitQueue;
@@ -93,8 +93,6 @@ pub(crate) struct NodeState {
     pub nlog: NLog,
     /// `CommitQ`.
     pub commit_q: CommitQueue,
-    /// Multi-version data repository.
-    pub store: MvStore,
     /// Snapshot-queues of locally stored keys.
     pub squeues: SnapshotQueues,
     /// 2PC bookkeeping between prepare and internal commit.
@@ -151,7 +149,6 @@ impl NodeState {
             confirmed_vc: VectorClock::new(width),
             nlog: NLog::new(width, nlog_capacity),
             commit_q: CommitQueue::new(node_index),
-            store: MvStore::new(),
             squeues: SnapshotQueues::new(),
             prepared: HashMap::new(),
             pending_reads: Vec::new(),

@@ -32,6 +32,14 @@ macro_rules! bind_engine {
                 Box::new(self.open_session(node))
             }
 
+            fn storage_stats(&self) -> Option<sss_storage::StorageStats> {
+                Some(self.cluster().storage_stats())
+            }
+
+            fn mailbox_totals(&self) -> Option<sss_net::MailboxStats> {
+                Some(self.cluster().mailbox_totals())
+            }
+
             $(
                 fn diagnostics(&self) -> Option<String> {
                     #[allow(clippy::redundant_closure_call)]

@@ -41,7 +41,9 @@ mod registry;
 mod traits;
 
 pub use profile::NetProfile;
-pub use registry::{EngineKind, ParseEngineKindError};
+pub use registry::{EngineKind, EngineTuning, ParseEngineKindError};
 pub use traits::{EngineSession, TransactionEngine, TxnOutcome};
 
 pub use sss_faults::{FaultInjector, FaultPlan};
+pub use sss_net::MailboxStats;
+pub use sss_storage::StorageStats;

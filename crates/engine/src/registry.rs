@@ -4,12 +4,37 @@ use std::str::FromStr;
 use std::sync::Arc;
 
 use sss_baselines::adapters::{RococoEngine, TwoPcEngine, WalterEngine};
+use sss_baselines::rococo::RococoConfig;
+use sss_baselines::twopc::TwoPcConfig;
+use sss_baselines::walter::WalterConfig;
 use sss_core::adapter::SssEngine;
 use sss_core::SssConfig;
 use sss_faults::{FaultInjector, FaultPlan};
 
 use crate::profile::NetProfile;
 use crate::traits::TransactionEngine;
+
+/// Engine-independent tuning knobs threaded through the registry into each
+/// engine's own configuration type.
+///
+/// Every field defaults to "engine decides": `EngineTuning::default()`
+/// reproduces exactly what [`EngineKind::build`] constructs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineTuning {
+    /// Shard arity of every node's storage structures (stores and lock
+    /// tables); `None` keeps each engine's default
+    /// (`sss_storage::DEFAULT_SHARDS`). Rounded up to a power of two.
+    pub storage_shards: Option<usize>,
+}
+
+impl EngineTuning {
+    /// Tuning that only overrides the storage shard arity.
+    pub fn with_storage_shards(shards: usize) -> Self {
+        EngineTuning {
+            storage_shards: Some(shards),
+        }
+    }
+}
 
 /// Which engine an experiment runs against.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -103,6 +128,27 @@ impl EngineKind {
         net_profile: NetProfile,
         injector: Option<&Arc<FaultInjector>>,
     ) -> Box<dyn TransactionEngine> {
+        self.build_tuned(
+            nodes,
+            replication,
+            net_profile,
+            EngineTuning::default(),
+            injector,
+        )
+    }
+
+    /// [`EngineKind::build_with_injector`] with explicit [`EngineTuning`]:
+    /// the registry threads the engine-independent knobs (currently the
+    /// storage shard arity) into each engine's own configuration type, so
+    /// harnesses can sweep them without knowing any engine's config struct.
+    pub fn build_tuned(
+        &self,
+        nodes: usize,
+        replication: usize,
+        net_profile: NetProfile,
+        tuning: EngineTuning,
+        injector: Option<&Arc<FaultInjector>>,
+    ) -> Box<dyn TransactionEngine> {
         let interposer =
             |i: &&Arc<FaultInjector>| Arc::clone(*i) as Arc<dyn sss_net::FaultInterposer>;
         match self {
@@ -110,36 +156,42 @@ impl EngineKind {
                 let mut config = SssConfig::new(nodes)
                     .replication(replication)
                     .latency(net_profile.latency_model());
+                if let Some(shards) = tuning.storage_shards {
+                    config = config.storage_shards(shards);
+                }
                 if let Some(injector) = injector {
                     config = config.fault_injector(Arc::clone(injector));
                 }
                 Box::new(SssEngine::with_config(config))
             }
             EngineKind::TwoPc => {
-                let engine = TwoPcEngine::start_with_interposer(
-                    nodes,
-                    replication,
-                    injector.as_ref().map(interposer),
-                );
+                let mut config = TwoPcConfig::new(nodes).replication(replication);
+                if let Some(shards) = tuning.storage_shards {
+                    config = config.storage_shards(shards);
+                }
+                let engine = TwoPcEngine::with_config(config, injector.as_ref().map(interposer));
                 if let Some(injector) = injector {
                     injector.attach_pause_controls(engine.pause_controls());
                 }
                 Box::new(engine)
             }
             EngineKind::Walter => {
-                let engine = WalterEngine::start_with_interposer(
-                    nodes,
-                    replication,
-                    injector.as_ref().map(interposer),
-                );
+                let mut config = WalterConfig::new(nodes).replication(replication);
+                if let Some(shards) = tuning.storage_shards {
+                    config = config.storage_shards(shards);
+                }
+                let engine = WalterEngine::with_config(config, injector.as_ref().map(interposer));
                 if let Some(injector) = injector {
                     injector.attach_pause_controls(engine.pause_controls());
                 }
                 Box::new(engine)
             }
             EngineKind::Rococo => {
-                let engine =
-                    RococoEngine::start_with_interposer(nodes, injector.as_ref().map(interposer));
+                let mut config = RococoConfig::new(nodes);
+                if let Some(shards) = tuning.storage_shards {
+                    config = config.storage_shards(shards);
+                }
+                let engine = RococoEngine::with_config(config, injector.as_ref().map(interposer));
                 if let Some(injector) = injector {
                     injector.attach_pause_controls(engine.pause_controls());
                 }

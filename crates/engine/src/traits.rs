@@ -116,6 +116,21 @@ pub trait TransactionEngine: Sync {
     fn diagnostics(&self) -> Option<String> {
         None
     }
+
+    /// Storage-layer counters summed over the engine's nodes (per-shard
+    /// contention breakdowns included), if the engine exposes them. The
+    /// counters are monotonic: benchmark harnesses snapshot them at window
+    /// boundaries and diff (`StorageStats::diff`) for per-window numbers.
+    fn storage_stats(&self) -> Option<sss_storage::StorageStats> {
+        None
+    }
+
+    /// Mailbox traffic counters summed over the engine's nodes, if the
+    /// engine exposes them. Monotonic; diff snapshots for per-window
+    /// message accounting.
+    fn mailbox_totals(&self) -> Option<sss_net::MailboxStats> {
+        None
+    }
 }
 
 impl<E: TransactionEngine + ?Sized> TransactionEngine for Box<E> {
@@ -134,6 +149,14 @@ impl<E: TransactionEngine + ?Sized> TransactionEngine for Box<E> {
     fn diagnostics(&self) -> Option<String> {
         (**self).diagnostics()
     }
+
+    fn storage_stats(&self) -> Option<sss_storage::StorageStats> {
+        (**self).storage_stats()
+    }
+
+    fn mailbox_totals(&self) -> Option<sss_net::MailboxStats> {
+        (**self).mailbox_totals()
+    }
 }
 
 impl<E: TransactionEngine + Send + Sync + ?Sized> TransactionEngine for Arc<E> {
@@ -151,6 +174,14 @@ impl<E: TransactionEngine + Send + Sync + ?Sized> TransactionEngine for Arc<E> {
 
     fn diagnostics(&self) -> Option<String> {
         (**self).diagnostics()
+    }
+
+    fn storage_stats(&self) -> Option<sss_storage::StorageStats> {
+        (**self).storage_stats()
+    }
+
+    fn mailbox_totals(&self) -> Option<sss_net::MailboxStats> {
+        (**self).mailbox_totals()
     }
 }
 

@@ -3,7 +3,7 @@
 //! transaction, and SSS's read-only path never aborts (the paper's headline
 //! property).
 
-use sss_engine::{EngineKind, NetProfile, TxnOutcome};
+use sss_engine::{EngineKind, EngineTuning, NetProfile, TxnOutcome};
 use sss_storage::{Key, Value};
 
 #[test]
@@ -62,6 +62,48 @@ fn sss_read_only_transactions_never_abort_through_the_registry() {
             assert!(
                 matches!(outcome, TxnOutcome::Committed { .. }),
                 "SSS read-only aborted on node {node} in round {round}"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_engine_honours_the_storage_shard_tuning() {
+    for kind in EngineKind::ALL {
+        for shards in [1usize, 4] {
+            let engine = kind.build_tuned(
+                2,
+                1,
+                NetProfile::Instant,
+                EngineTuning::with_storage_shards(shards),
+                None,
+            );
+            let mut session = engine.session(0);
+            assert!(
+                session
+                    .run_update(&[], &[(Key::new("t"), Value::from_u64(7))])
+                    .is_committed(),
+                "{kind} with {shards} shard(s) failed to commit"
+            );
+            assert!(session.run_read_only(&[Key::new("t")]).is_committed());
+            let stats = engine
+                .storage_stats()
+                .unwrap_or_else(|| panic!("{kind} must expose storage stats"));
+            // The arity is rounded up to a power of two and visible in the
+            // per-shard breakdown of whichever store the engine runs (the
+            // cluster aggregate sums node shards element-wise by index).
+            let arity = shards.next_power_of_two();
+            if let Some(mv) = &stats.mv {
+                assert_eq!(mv.per_shard.len(), arity, "{kind}: mv arity");
+                assert!(mv.installed_versions > 0);
+            }
+            if let Some(sv) = &stats.sv {
+                assert_eq!(sv.per_shard.len(), arity, "{kind}: sv arity");
+                assert!(sv.writes > 0);
+            }
+            assert!(
+                engine.mailbox_totals().is_some(),
+                "{kind} must expose mailbox totals"
             );
         }
     }

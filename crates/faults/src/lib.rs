@@ -15,9 +15,9 @@
 //!   windows ([`PauseWindow`]). Plans are seeded and comparable, so the
 //!   same plan replays the same adversary.
 //! * [`FaultInjector`] — executes a plan against a running cluster by
-//!   implementing the `sss-net` [`FaultInterposer`](sss_net::FaultInterposer)
+//!   implementing the `sss-net` [`FaultInterposer`]
 //!   hook (consulted by the transport on every send) and by driving the
-//!   per-node [`PauseControl`](sss_net::PauseControl) gates from a
+//!   per-node [`PauseControl`] gates from a
 //!   scheduler thread.
 //!
 //! Message *loss* and node *crashes* are deliberately inexpressible: the

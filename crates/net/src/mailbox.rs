@@ -45,7 +45,7 @@ impl PauseControl {
 /// Priority class of a protocol message.
 ///
 /// The SSS implementation assigns "priorities to different messages and
-/// avoid[s] protocol slow down in some critical steps due to network
+/// avoid\[s\] protocol slow down in some critical steps due to network
 /// congestion caused by lower priority messages (e.g., the Remove message
 /// has a very high priority because it enables external commits)" (paper §V).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -89,6 +89,28 @@ impl MailboxStats {
     /// Total number of messages dequeued across all classes.
     pub fn total_dequeued(&self) -> u64 {
         self.dequeued.iter().sum()
+    }
+
+    /// Entry-wise sum with `other`, used to aggregate per-node mailboxes
+    /// into a cluster total.
+    pub fn merge(&mut self, other: &MailboxStats) {
+        for i in 0..3 {
+            self.enqueued[i] += other.enqueued[i];
+            self.dequeued[i] += other.dequeued[i];
+        }
+    }
+
+    /// Counter difference `self - earlier` (entry-wise, saturating). The
+    /// counters are monotonic and never reset; harnesses snapshot them at
+    /// the start and end of a measured window and diff so per-window
+    /// numbers exclude warm-up traffic.
+    pub fn diff(&self, earlier: &MailboxStats) -> MailboxStats {
+        let mut out = MailboxStats::default();
+        for i in 0..3 {
+            out.enqueued[i] = self.enqueued[i].saturating_sub(earlier.enqueued[i]);
+            out.dequeued[i] = self.dequeued[i].saturating_sub(earlier.dequeued[i]);
+        }
+        out
     }
 }
 

@@ -29,7 +29,7 @@ fn bench_lock_table(c: &mut Criterion) {
 
 fn bench_version_chain(c: &mut Criterion) {
     c.bench_function("mvstore/visibility_walk", |bencher| {
-        let mut store = MvStore::new();
+        let store = MvStore::new();
         let key = Key::new("hot");
         for i in 1..=64u64 {
             store.apply(
@@ -41,7 +41,7 @@ fn bench_version_chain(c: &mut Criterion) {
         }
         bencher.iter(|| {
             let chain = store.chain(&key).expect("populated");
-            std::hint::black_box(chain.latest_matching(|v| v.vc.get(0) <= 32))
+            std::hint::black_box(chain.latest_matching(|v| v.vc.get(0) <= 32).cloned())
         })
     });
 }

@@ -19,21 +19,40 @@
 //! * [`ReplicaMap`] — the key→nodes lookup function assumed by the paper
 //!   ("we assume the existence of a local look-up function that matches keys
 //!   with nodes").
+//!
+//! # Sharding
+//!
+//! [`MvStore`], [`SvStore`] and [`LockTable`] are hash-partitioned into a
+//! fixed number of shards ([`shard::DEFAULT_SHARDS`] by default,
+//! configurable via the `with_shards` constructors), each behind its own
+//! lock. The structures are internally synchronized — every operation takes
+//! `&self` — so concurrent node workers touching different keys proceed in
+//! parallel instead of serializing on one map-wide lock. Version-chain
+//! reads additionally take an `Arc` snapshot of the chain and release the
+//! shard lock before walking it. Per-shard contention counters are exposed
+//! through [`MvStoreStats`], [`SvStoreStats`] and [`LockTableStats`], and
+//! [`StorageStats`] aggregates them per engine for the benchmark harness.
+
+#![deny(missing_docs)]
 
 mod key;
 mod locks;
 mod mvstore;
 mod recent;
 mod replica;
+pub mod shard;
+mod stats;
 mod svstore;
 mod txn_id;
 
 pub use key::{Key, Value};
 pub use locks::{LockKind, LockTable, LockTableStats};
-pub use mvstore::{MvStore, Version, VersionChain};
+pub use mvstore::{MvShardStats, MvStore, MvStoreStats, Version, VersionChain};
 pub use recent::{RecentSet, RecentTxnSet};
 pub use replica::ReplicaMap;
-pub use svstore::{SvCell, SvStore};
+pub use shard::DEFAULT_SHARDS;
+pub use stats::StorageStats;
+pub use svstore::{SvCell, SvShardStats, SvStore, SvStoreStats};
 pub use txn_id::TxnId;
 
 pub use sss_vclock::{NodeId, VectorClock};

@@ -4,6 +4,14 @@
 //! are locked" (paper §III-B); SSS "uses timeout to prevent deadlock during
 //! the commit phase's lock acquisition" (§III-E). The paper's evaluation sets
 //! the timeout to 1ms on a cluster whose messages take ~20µs.
+//!
+//! The table is hash-partitioned into fixed-arity shards, each with its own
+//! mutex and condition variable: acquisitions on different shards proceed in
+//! parallel, and a release only wakes the waiters parked on its own shard
+//! (instead of every waiter in the table). Timeout semantics are per
+//! acquisition and unchanged by sharding — a request gives up once its
+//! deadline passes, re-checking one final time for a release that raced
+//! with the timeout.
 
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -12,6 +20,7 @@ use std::time::{Duration, Instant};
 use parking_lot::{Condvar, Mutex};
 
 use crate::key::Key;
+use crate::shard;
 use crate::txn_id::TxnId;
 
 /// The mode of a lock request.
@@ -75,34 +84,126 @@ impl LockEntry {
     }
 }
 
+/// One hash partition of the table: its own entry map, its own mutex, and
+/// its own condition variable (so a release wakes only this shard's
+/// waiters).
+#[derive(Debug, Default)]
+struct LockShard {
+    entries: Mutex<HashMap<Key, LockEntry>>,
+    released: Condvar,
+    /// Requests that could not be granted on first check and had to wait
+    /// (monotonic) — the per-shard contention signal of [`LockTableStats`].
+    contended: AtomicU64,
+}
+
 /// Counters describing lock-table behaviour, used by the evaluation harness
 /// to report contention.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+///
+/// All counters are monotonic; use [`LockTableStats::diff`] to derive
+/// per-window numbers from two snapshots.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct LockTableStats {
     /// Successfully granted lock requests.
     pub granted: u64,
     /// Requests that gave up after the acquisition timeout.
     pub timeouts: u64,
+    /// Requests that could not be granted immediately and had to wait,
+    /// across all shards.
+    pub contended: u64,
+    /// Per-shard breakdown of `contended`, indexed by shard.
+    pub per_shard_contended: Vec<u64>,
+}
+
+impl LockTableStats {
+    /// Counter difference `self - earlier` (entry-wise, saturating), for
+    /// per-window reporting.
+    pub fn diff(&self, earlier: &LockTableStats) -> LockTableStats {
+        LockTableStats {
+            granted: self.granted.saturating_sub(earlier.granted),
+            timeouts: self.timeouts.saturating_sub(earlier.timeouts),
+            contended: self.contended.saturating_sub(earlier.contended),
+            per_shard_contended: self
+                .per_shard_contended
+                .iter()
+                .enumerate()
+                .map(|(i, c)| {
+                    c.saturating_sub(earlier.per_shard_contended.get(i).copied().unwrap_or(0))
+                })
+                .collect(),
+        }
+    }
+
+    /// Entry-wise sum with `other` (shards matched by index), used to
+    /// aggregate the per-node tables of a cluster.
+    pub fn merge(&mut self, other: &LockTableStats) {
+        self.granted += other.granted;
+        self.timeouts += other.timeouts;
+        self.contended += other.contended;
+        if self.per_shard_contended.len() < other.per_shard_contended.len() {
+            self.per_shard_contended
+                .resize(other.per_shard_contended.len(), 0);
+        }
+        for (mine, theirs) in self
+            .per_shard_contended
+            .iter_mut()
+            .zip(other.per_shard_contended.iter())
+        {
+            *mine += theirs;
+        }
+    }
 }
 
 /// A per-node lock table with shared/exclusive locks and timeout-bounded
-/// acquisition.
+/// acquisition, hash-partitioned into fixed-arity shards.
 ///
 /// The table is internally synchronized; callers must **not** hold other
 /// node-level locks while blocking on an acquisition (handlers acquire locks
 /// first, then touch protocol state).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct LockTable {
-    entries: Mutex<HashMap<Key, LockEntry>>,
-    released: Condvar,
+    shards: Box<[LockShard]>,
+    mask: usize,
     granted: AtomicU64,
     timeouts: AtomicU64,
 }
 
+impl Default for LockTable {
+    fn default() -> Self {
+        LockTable::new()
+    }
+}
+
 impl LockTable {
-    /// Creates an empty lock table.
+    /// Creates an empty lock table with [`shard::DEFAULT_SHARDS`] shards.
     pub fn new() -> Self {
-        LockTable::default()
+        LockTable::with_shards(shard::DEFAULT_SHARDS)
+    }
+
+    /// Creates an empty table with `shards` shards (rounded up to a power
+    /// of two, minimum 1). The arity is fixed for the table's lifetime.
+    pub fn with_shards(shards: usize) -> Self {
+        let arity = shard::arity(shards);
+        LockTable {
+            shards: (0..arity).map(|_| LockShard::default()).collect(),
+            mask: arity - 1,
+            granted: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of shards the table was built with.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard index `key` routes to (stable across runs; see
+    /// [`crate::shard`]).
+    pub fn shard_of(&self, key: &Key) -> usize {
+        shard::index_for(key, self.mask)
+    }
+
+    fn shard(&self, key: &Key) -> &LockShard {
+        &self.shards[shard::index_for(key, self.mask)]
     }
 
     /// Tries to acquire `kind` on `key` for `txn`, waiting at most `timeout`.
@@ -112,7 +213,9 @@ impl LockTable {
     /// always succeeds immediately.
     pub fn acquire(&self, txn: TxnId, key: &Key, kind: LockKind, timeout: Duration) -> bool {
         let deadline = Instant::now() + timeout;
-        let mut entries = self.entries.lock();
+        let shard = self.shard(key);
+        let mut entries = shard.entries.lock();
+        let mut first_check = true;
         loop {
             let entry = entries.entry(key.clone()).or_default();
             if entry.can_grant(txn, kind) {
@@ -120,12 +223,20 @@ impl LockTable {
                 self.granted.fetch_add(1, Ordering::Relaxed);
                 return true;
             }
+            if first_check {
+                shard.contended.fetch_add(1, Ordering::Relaxed);
+                first_check = false;
+            }
             let now = Instant::now();
             if now >= deadline {
                 self.timeouts.fetch_add(1, Ordering::Relaxed);
                 return false;
             }
-            if self.released.wait_until(&mut entries, deadline).timed_out() {
+            if shard
+                .released
+                .wait_until(&mut entries, deadline)
+                .timed_out()
+            {
                 // Re-check once more before giving up: a release may have
                 // raced with the timeout.
                 let entry = entries.entry(key.clone()).or_default();
@@ -174,54 +285,45 @@ impl LockTable {
 
     /// Releases every lock held by `txn` on `key`.
     pub fn release(&self, txn: TxnId, key: &Key) {
-        let mut entries = self.entries.lock();
+        let shard = self.shard(key);
+        let mut entries = shard.entries.lock();
         if let Some(entry) = entries.get_mut(key) {
             if entry.release(txn) {
                 if entry.is_free() {
                     entries.remove(key);
                 }
-                self.released.notify_all();
+                shard.released.notify_all();
             }
         }
     }
 
     /// Releases every lock held by `txn` on the given keys.
     pub fn release_keys<'a>(&self, txn: TxnId, keys: impl IntoIterator<Item = &'a Key>) {
-        let mut entries = self.entries.lock();
-        let mut any = false;
         for key in keys {
-            if let Some(entry) = entries.get_mut(key) {
-                if entry.release(txn) {
-                    any = true;
-                    if entry.is_free() {
-                        entries.remove(key);
-                    }
-                }
-            }
-        }
-        if any {
-            self.released.notify_all();
+            self.release(txn, key);
         }
     }
 
     /// Releases every lock held by `txn` anywhere in the table.
     pub fn release_all(&self, txn: TxnId) {
-        let mut entries = self.entries.lock();
-        let mut any = false;
-        entries.retain(|_, entry| {
-            if entry.release(txn) {
-                any = true;
+        for shard in self.shards.iter() {
+            let mut entries = shard.entries.lock();
+            let mut any = false;
+            entries.retain(|_, entry| {
+                if entry.release(txn) {
+                    any = true;
+                }
+                !entry.is_free()
+            });
+            if any {
+                shard.released.notify_all();
             }
-            !entry.is_free()
-        });
-        if any {
-            self.released.notify_all();
         }
     }
 
     /// `true` if `txn` currently holds a lock of `kind` on `key`.
     pub fn holds(&self, txn: TxnId, key: &Key, kind: LockKind) -> bool {
-        let entries = self.entries.lock();
+        let entries = self.shard(key).entries.lock();
         entries
             .get(key)
             .map(|e| match kind {
@@ -233,14 +335,21 @@ impl LockTable {
 
     /// Number of keys with at least one lock held.
     pub fn locked_keys(&self) -> usize {
-        self.entries.lock().len()
+        self.shards.iter().map(|s| s.entries.lock().len()).sum()
     }
 
-    /// Counters snapshot.
+    /// Counters snapshot, including the per-shard contention breakdown.
     pub fn stats(&self) -> LockTableStats {
+        let per_shard_contended: Vec<u64> = self
+            .shards
+            .iter()
+            .map(|s| s.contended.load(Ordering::Relaxed))
+            .collect();
         LockTableStats {
             granted: self.granted.load(Ordering::Relaxed),
             timeouts: self.timeouts.load(Ordering::Relaxed),
+            contended: per_shard_contended.iter().sum(),
+            per_shard_contended,
         }
     }
 }
@@ -274,7 +383,14 @@ mod tests {
         let k = Key::new("x");
         assert!(table.acquire(txn(1), &k, LockKind::Shared, TIMEOUT));
         assert!(!table.acquire(txn(2), &k, LockKind::Exclusive, Duration::from_millis(2)));
-        assert_eq!(table.stats().timeouts, 1);
+        let stats = table.stats();
+        assert_eq!(stats.timeouts, 1);
+        assert_eq!(stats.contended, 1, "the blocked request is counted");
+        assert_eq!(
+            stats.per_shard_contended[table.shard_of(&k)],
+            1,
+            "contention is attributed to the key's shard"
+        );
         table.release(txn(1), &k);
         assert!(table.acquire(txn(2), &k, LockKind::Exclusive, TIMEOUT));
         assert!(table.holds(txn(2), &k, LockKind::Exclusive));
@@ -363,5 +479,33 @@ mod tests {
         table.release_keys(txn(1), [&a]);
         assert!(!table.holds(txn(1), &a, LockKind::Shared));
         assert!(table.holds(txn(1), &b, LockKind::Exclusive));
+    }
+
+    #[test]
+    fn single_shard_table_behaves_like_the_unsharded_one() {
+        let table = LockTable::with_shards(1);
+        assert_eq!(table.shard_count(), 1);
+        let a = Key::new("a");
+        let b = Key::new("b");
+        assert!(table.acquire_many(
+            txn(1),
+            [(&a, LockKind::Exclusive), (&b, LockKind::Exclusive)],
+            TIMEOUT
+        ));
+        assert_eq!(table.locked_keys(), 2);
+        table.release_all(txn(1));
+        assert_eq!(table.locked_keys(), 0);
+    }
+
+    #[test]
+    fn stats_diff_yields_per_window_counters() {
+        let table = LockTable::new();
+        let k = Key::new("x");
+        assert!(table.acquire(txn(1), &k, LockKind::Exclusive, TIMEOUT));
+        let before = table.stats();
+        assert!(table.acquire(txn(1), &k, LockKind::Exclusive, TIMEOUT));
+        let window = table.stats().diff(&before);
+        assert_eq!(window.granted, 1);
+        assert_eq!(window.timeouts, 0);
     }
 }

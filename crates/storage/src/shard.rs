@@ -1,0 +1,99 @@
+//! Hash-partitioning shared by the sharded stores.
+//!
+//! Every sharded structure in this crate ([`MvStore`](crate::MvStore),
+//! [`SvStore`](crate::SvStore), [`LockTable`](crate::LockTable)) uses the
+//! same fixed-arity scheme: the shard count is rounded up to a power of two
+//! at construction time and a key's shard is the low bits of its (seeded,
+//! deterministic) hash. Determinism matters: it lets tests assert which
+//! shard a key lands on and keeps shard routing identical across runs and
+//! across processes.
+
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+use crate::key::Key;
+
+/// Default shard arity of the sharded stores — enough to spread the worker
+/// threads of one node (4 by default) plus colocated client traffic without
+/// wasting memory on single-threaded uses.
+pub const DEFAULT_SHARDS: usize = 8;
+
+/// Rounds a requested shard count up to the fixed power-of-two arity
+/// actually allocated (minimum 1).
+pub(crate) fn arity(requested: usize) -> usize {
+    requested.max(1).next_power_of_two()
+}
+
+/// The shard a key belongs to, given a power-of-two mask (`arity - 1`).
+///
+/// Uses `DefaultHasher::new()`, whose keys are fixed, so the mapping is
+/// stable across processes — unlike a per-`HashMap` `RandomState`.
+pub(crate) fn index_for(key: &Key, mask: usize) -> usize {
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut hasher);
+    (hasher.finish() as usize) & mask
+}
+
+/// A reader-writer lock that counts contended acquisitions: an acquisition
+/// that cannot be granted immediately (`try_*` fails) bumps the counter
+/// before blocking. One per shard; the counter feeds the per-shard
+/// contention breakdown of the store statistics.
+#[derive(Debug, Default)]
+pub(crate) struct ContendedRwLock<T> {
+    inner: RwLock<T>,
+    contended: AtomicU64,
+}
+
+impl<T> ContendedRwLock<T> {
+    pub(crate) fn read(&self) -> RwLockReadGuard<'_, T> {
+        match self.inner.try_read() {
+            Some(guard) => guard,
+            None => {
+                self.contended.fetch_add(1, Ordering::Relaxed);
+                self.inner.read()
+            }
+        }
+    }
+
+    pub(crate) fn write(&self) -> RwLockWriteGuard<'_, T> {
+        match self.inner.try_write() {
+            Some(guard) => guard,
+            None => {
+                self.contended.fetch_add(1, Ordering::Relaxed);
+                self.inner.write()
+            }
+        }
+    }
+
+    /// Contended acquisitions so far (monotonic).
+    pub(crate) fn contended(&self) -> u64 {
+        self.contended.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_rounds_up_to_powers_of_two() {
+        assert_eq!(arity(0), 1);
+        assert_eq!(arity(1), 1);
+        assert_eq!(arity(3), 4);
+        assert_eq!(arity(8), 8);
+        assert_eq!(arity(9), 16);
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_in_range() {
+        let mask = 7;
+        for name in ["a", "b", "hot-key", "user:1234"] {
+            let key = Key::new(name);
+            let first = index_for(&key, mask);
+            assert!(first <= mask);
+            assert_eq!(first, index_for(&key, mask), "routing must be stable");
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Aggregated storage-layer statistics.
+//!
+//! Engines expose one [`StorageStats`] per cluster (summed over nodes); the
+//! benchmark harness snapshots it at the start and end of the measured
+//! window and reports the [`StorageStats::diff`] so per-window numbers are
+//! unaffected by warm-up traffic or by however many runs already used the
+//! process (the counters themselves are monotonic and never reset).
+
+use crate::locks::LockTableStats;
+use crate::mvstore::MvStoreStats;
+use crate::svstore::SvStoreStats;
+
+/// Combined storage-layer counters of one engine (or one node).
+///
+/// Each component is optional because engines deploy different substrates:
+/// SSS and Walter run an [`MvStore`](crate::MvStore) plus a
+/// [`LockTable`](crate::LockTable), the 2PC baseline an
+/// [`SvStore`](crate::SvStore) plus a lock table, and ROCOCO only an
+/// [`SvStore`](crate::SvStore).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StorageStats {
+    /// Multi-version store counters, if the engine runs one.
+    pub mv: Option<MvStoreStats>,
+    /// Single-version store counters, if the engine runs one.
+    pub sv: Option<SvStoreStats>,
+    /// Lock-table counters, if the engine runs one.
+    pub locks: Option<LockTableStats>,
+}
+
+impl StorageStats {
+    /// Entry-wise sum with `other`, used to aggregate per-node snapshots
+    /// into a cluster total. A component present on either side is present
+    /// in the result.
+    pub fn merge(&mut self, other: &StorageStats) {
+        merge_opt(&mut self.mv, &other.mv, MvStoreStats::merge);
+        merge_opt(&mut self.sv, &other.sv, SvStoreStats::merge);
+        merge_opt(&mut self.locks, &other.locks, LockTableStats::merge);
+    }
+
+    /// Counter difference `self - earlier` per component (entry-wise,
+    /// saturating), for per-window reporting.
+    pub fn diff(&self, earlier: &StorageStats) -> StorageStats {
+        StorageStats {
+            mv: diff_opt(&self.mv, &earlier.mv, MvStoreStats::diff),
+            sv: diff_opt(&self.sv, &earlier.sv, SvStoreStats::diff),
+            locks: diff_opt(&self.locks, &earlier.locks, LockTableStats::diff),
+        }
+    }
+}
+
+fn merge_opt<T: Clone>(mine: &mut Option<T>, theirs: &Option<T>, merge: impl Fn(&mut T, &T)) {
+    match (mine.as_mut(), theirs) {
+        (Some(m), Some(t)) => merge(m, t),
+        (None, Some(t)) => *mine = Some(t.clone()),
+        _ => {}
+    }
+}
+
+fn diff_opt<T: Clone + Default>(
+    later: &Option<T>,
+    earlier: &Option<T>,
+    diff: impl Fn(&T, &T) -> T,
+) -> Option<T> {
+    later
+        .as_ref()
+        .map(|l| diff(l, earlier.as_ref().unwrap_or(&T::default())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Key, LockKind, LockTable, MvStore, SvStore, TxnId, Value};
+    use sss_vclock::{NodeId, VectorClock};
+    use std::time::Duration;
+
+    fn txn(seq: u64) -> TxnId {
+        TxnId::new(NodeId(0), seq)
+    }
+
+    #[test]
+    fn merge_sums_components_and_adopts_missing_ones() {
+        let mv = MvStore::with_shards(2);
+        mv.apply(
+            Key::new("a"),
+            Value::from_u64(1),
+            VectorClock::from_entries(vec![1]),
+            txn(1),
+        );
+        let sv = SvStore::with_shards(2);
+        sv.write(Key::new("b"), Value::from_u64(2), txn(2));
+        let locks = LockTable::with_shards(2);
+        assert!(locks.acquire(
+            txn(3),
+            &Key::new("c"),
+            LockKind::Shared,
+            Duration::from_millis(1)
+        ));
+
+        let mut total = StorageStats {
+            mv: Some(mv.stats()),
+            sv: None,
+            locks: Some(locks.stats()),
+        };
+        let other = StorageStats {
+            mv: Some(mv.stats()),
+            sv: Some(sv.stats()),
+            locks: None,
+        };
+        total.merge(&other);
+        assert_eq!(total.mv.as_ref().unwrap().installed_versions, 2);
+        assert_eq!(total.sv.as_ref().unwrap().writes, 1, "sv side adopted");
+        assert_eq!(total.locks.as_ref().unwrap().granted, 1);
+    }
+
+    #[test]
+    fn diff_is_per_component() {
+        let sv = SvStore::with_shards(1);
+        sv.write(Key::new("a"), Value::from_u64(1), txn(1));
+        let before = StorageStats {
+            sv: Some(sv.stats()),
+            ..Default::default()
+        };
+        sv.write(Key::new("a"), Value::from_u64(2), txn(2));
+        let after = StorageStats {
+            sv: Some(sv.stats()),
+            ..Default::default()
+        };
+        let window = after.diff(&before);
+        assert_eq!(window.sv.unwrap().writes, 1);
+        assert!(window.mv.is_none());
+    }
+}

@@ -4,10 +4,17 @@
 //! (paper §V): every key holds exactly one value plus a monotonically
 //! increasing version counter used for commit-time validation. ROCOCO's
 //! simplified store reuses the same cell.
+//!
+//! Like [`MvStore`](crate::MvStore), the store is hash-partitioned into
+//! fixed-arity shards behind per-shard reader-writer locks and internally
+//! synchronized, so engines can read and write it concurrently without an
+//! enclosing lock.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::key::{Key, Value};
+use crate::shard;
 use crate::txn_id::TxnId;
 
 /// The single stored version of a key.
@@ -22,34 +29,158 @@ pub struct SvCell {
     pub writer: TxnId,
 }
 
-/// A node-local single-version store.
+/// One hash partition of the store, behind a contention-counting lock (see
+/// [`shard::ContendedRwLock`]).
 #[derive(Debug, Default)]
+struct SvShard {
+    cells: shard::ContendedRwLock<HashMap<Key, SvCell>>,
+    writes: AtomicU64,
+}
+
+impl SvShard {
+    fn read(&self) -> parking_lot::RwLockReadGuard<'_, HashMap<Key, SvCell>> {
+        self.cells.read()
+    }
+
+    fn write(&self) -> parking_lot::RwLockWriteGuard<'_, HashMap<Key, SvCell>> {
+        self.cells.write()
+    }
+}
+
+/// Counters describing one shard of an [`SvStore`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SvShardStats {
+    /// Keys currently resident in the shard.
+    pub keys: usize,
+    /// Writes applied through the shard (monotonic).
+    pub writes: u64,
+    /// Lock acquisitions that found the shard lock held (monotonic).
+    pub contended: u64,
+}
+
+/// Aggregated counters of an [`SvStore`], with the per-shard breakdown the
+/// benchmark harness reports.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SvStoreStats {
+    /// Writes applied across all shards (monotonic).
+    pub writes: u64,
+    /// Shard-lock acquisitions that had to block, across all shards
+    /// (monotonic).
+    pub contended: u64,
+    /// Per-shard breakdown, indexed by shard.
+    pub per_shard: Vec<SvShardStats>,
+}
+
+impl SvStoreStats {
+    /// Counter difference `self - earlier` (entry-wise, saturating), for
+    /// per-window reporting. The `keys` gauge keeps the later value.
+    pub fn diff(&self, earlier: &SvStoreStats) -> SvStoreStats {
+        SvStoreStats {
+            writes: self.writes.saturating_sub(earlier.writes),
+            contended: self.contended.saturating_sub(earlier.contended),
+            per_shard: self
+                .per_shard
+                .iter()
+                .enumerate()
+                .map(|(i, s)| {
+                    let base = earlier.per_shard.get(i).cloned().unwrap_or_default();
+                    SvShardStats {
+                        keys: s.keys,
+                        writes: s.writes.saturating_sub(base.writes),
+                        contended: s.contended.saturating_sub(base.contended),
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Entry-wise sum with `other` (shards matched by index), used to
+    /// aggregate the per-node stores of a cluster.
+    pub fn merge(&mut self, other: &SvStoreStats) {
+        self.writes += other.writes;
+        self.contended += other.contended;
+        if self.per_shard.len() < other.per_shard.len() {
+            self.per_shard
+                .resize(other.per_shard.len(), SvShardStats::default());
+        }
+        for (mine, theirs) in self.per_shard.iter_mut().zip(other.per_shard.iter()) {
+            mine.keys += theirs.keys;
+            mine.writes += theirs.writes;
+            mine.contended += theirs.contended;
+        }
+    }
+}
+
+/// A node-local single-version store, hash-partitioned into fixed-arity
+/// shards with per-shard reader-writer locks.
+#[derive(Debug)]
 pub struct SvStore {
-    cells: HashMap<Key, SvCell>,
-    writes: u64,
+    shards: Box<[SvShard]>,
+    mask: usize,
+}
+
+impl Default for SvStore {
+    fn default() -> Self {
+        SvStore::new()
+    }
 }
 
 impl SvStore {
-    /// Creates an empty store.
+    /// Creates an empty store with [`shard::DEFAULT_SHARDS`] shards.
     pub fn new() -> Self {
-        SvStore::default()
+        SvStore::with_shards(shard::DEFAULT_SHARDS)
+    }
+
+    /// Creates an empty store with `shards` shards (rounded up to a power
+    /// of two, minimum 1). The arity is fixed for the store's lifetime.
+    pub fn with_shards(shards: usize) -> Self {
+        let arity = shard::arity(shards);
+        SvStore {
+            shards: (0..arity).map(|_| SvShard::default()).collect(),
+            mask: arity - 1,
+        }
+    }
+
+    /// Number of shards the store was built with.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard index `key` routes to (stable across runs; see
+    /// [`crate::shard`]).
+    pub fn shard_of(&self, key: &Key) -> usize {
+        shard::index_for(key, self.mask)
+    }
+
+    fn shard(&self, key: &Key) -> &SvShard {
+        &self.shards[shard::index_for(key, self.mask)]
     }
 
     /// Reads the current cell of `key`, if it was ever written.
-    pub fn read(&self, key: &Key) -> Option<&SvCell> {
-        self.cells.get(key)
+    ///
+    /// The value and version counter are read atomically under the shard
+    /// lock, so a `(value, version)` pair observed here is always
+    /// consistent.
+    pub fn read(&self, key: &Key) -> Option<SvCell> {
+        self.shard(key).read().get(key).cloned()
     }
 
     /// Current version counter of `key` (0 if never written).
     pub fn version(&self, key: &Key) -> u64 {
-        self.cells.get(key).map(|c| c.version).unwrap_or(0)
+        self.shard(key)
+            .read()
+            .get(key)
+            .map(|c| c.version)
+            .unwrap_or(0)
     }
 
     /// Overwrites `key` with `value`, bumping its version counter, and
     /// returns the new version number.
-    pub fn write(&mut self, key: Key, value: Value, writer: TxnId) -> u64 {
-        self.writes += 1;
-        let cell = self.cells.entry(key).or_insert(SvCell {
+    pub fn write(&self, key: Key, value: Value, writer: TxnId) -> u64 {
+        let shard = self.shard(&key);
+        shard.writes.fetch_add(1, Ordering::Relaxed);
+        let mut cells = shard.write();
+        let cell = cells.entry(key).or_insert(SvCell {
             value: Value::empty(),
             version: 0,
             writer,
@@ -62,12 +193,33 @@ impl SvStore {
 
     /// Number of keys ever written.
     pub fn key_count(&self) -> usize {
-        self.cells.len()
+        self.shards.iter().map(|s| s.read().len()).sum()
     }
 
     /// Total number of writes applied.
     pub fn write_count(&self) -> u64 {
-        self.writes
+        self.shards
+            .iter()
+            .map(|s| s.writes.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Snapshot of the store's counters, including the per-shard breakdown.
+    pub fn stats(&self) -> SvStoreStats {
+        let per_shard: Vec<SvShardStats> = self
+            .shards
+            .iter()
+            .map(|s| SvShardStats {
+                keys: s.read().len(),
+                writes: s.writes.load(Ordering::Relaxed),
+                contended: s.cells.contended(),
+            })
+            .collect();
+        SvStoreStats {
+            writes: per_shard.iter().map(|s| s.writes).sum(),
+            contended: per_shard.iter().map(|s| s.contended).sum(),
+            per_shard,
+        }
     }
 }
 
@@ -82,7 +234,7 @@ mod tests {
 
     #[test]
     fn versions_increase_monotonically() {
-        let mut store = SvStore::new();
+        let store = SvStore::new();
         let k = Key::new("x");
         assert_eq!(store.version(&k), 0);
         assert_eq!(store.write(k.clone(), Value::from("a"), txn(1)), 1);
@@ -100,5 +252,20 @@ mod tests {
         let store = SvStore::new();
         assert!(store.read(&Key::new("nope")).is_none());
         assert_eq!(store.version(&Key::new("nope")), 0);
+    }
+
+    #[test]
+    fn writes_land_on_the_routed_shard() {
+        let store = SvStore::with_shards(4);
+        assert_eq!(store.shard_count(), 4);
+        let k = Key::new("routed");
+        let shard = store.shard_of(&k);
+        store.write(k, Value::from("v"), txn(1));
+        let stats = store.stats();
+        assert_eq!(stats.per_shard[shard].keys, 1);
+        assert_eq!(stats.per_shard[shard].writes, 1);
+        assert_eq!(stats.writes, 1);
+        let window = store.stats().diff(&stats);
+        assert_eq!(window.writes, 0, "diff of equal snapshots is zero");
     }
 }

@@ -15,7 +15,7 @@ fn txn(seq: u64) -> TxnId {
 proptest! {
     #[test]
     fn version_chain_preserves_installation_order(values in prop::collection::vec(0u64..1000, 1..40)) {
-        let mut store = MvStore::new();
+        let store = MvStore::new();
         let key = Key::new("k");
         for (i, v) in values.iter().enumerate() {
             store.apply(
@@ -40,7 +40,7 @@ proptest! {
         count in 1usize..60,
         keep in 1usize..10,
     ) {
-        let mut store = MvStore::new();
+        let store = MvStore::new();
         let key = Key::new("k");
         for i in 0..count {
             store.apply(
@@ -58,7 +58,7 @@ proptest! {
 
     #[test]
     fn single_version_store_monotonic_versions(writes in prop::collection::vec(0u64..100, 1..50)) {
-        let mut store = SvStore::new();
+        let store = SvStore::new();
         let key = Key::new("cell");
         let mut last_version = 0;
         for (i, w) in writes.iter().enumerate() {

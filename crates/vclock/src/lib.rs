@@ -24,6 +24,8 @@
 //! assert!(merged.dominates(&a) && merged.dominates(&b));
 //! ```
 
+#![deny(missing_docs)]
+
 mod vector_clock;
 
 pub use vector_clock::{VcOrdering, VectorClock};

@@ -3,7 +3,7 @@
 //!
 //! Supported surface: the [`proptest!`] macro (with an optional
 //! `#![proptest_config(...)]` inner attribute), [`prop_assert!`] /
-//! [`prop_assert_eq!`], the [`Strategy`](strategy::Strategy) trait with
+//! [`prop_assert_eq!`], the [`Strategy`] trait with
 //! `prop_map`, integer-range and tuple strategies, `any::<T>()`,
 //! `prop::bool::ANY`, `prop::collection::{vec, btree_set}`, and string
 //! strategies for a small regex subset (`[class]{m,n}` atoms).
