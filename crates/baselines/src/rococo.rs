@@ -53,6 +53,9 @@ pub struct RococoConfig {
     /// Shard arity of every node's single-version store. Rounded up to a
     /// power of two.
     pub storage_shards: usize,
+    /// Messages a node worker drains from its mailbox per wakeup (clamped
+    /// to at least 1).
+    pub delivery_batch: usize,
 }
 
 impl RococoConfig {
@@ -70,12 +73,20 @@ impl RococoConfig {
             read_only_max_rounds: 8,
             read_only_backoff: Duration::from_micros(100),
             storage_shards: sss_storage::DEFAULT_SHARDS,
+            delivery_batch: sss_net::DEFAULT_DELIVERY_BATCH,
         }
     }
 
     /// Sets the shard arity of every node's single-version store.
     pub fn storage_shards(mut self, shards: usize) -> Self {
         self.storage_shards = shards;
+        self
+    }
+
+    /// Sets the per-wakeup mailbox delivery batch size of every node's
+    /// workers (clamped to at least 1).
+    pub fn delivery_batch(mut self, batch: usize) -> Self {
+        self.delivery_batch = batch;
         self
     }
 }
@@ -285,14 +296,22 @@ impl RococoCluster {
                 })
             })
             .collect();
+        // Self-addressed messages (a client dispatching to the local key
+        // owner) skip the mailbox via the local fast path.
+        for node in &nodes {
+            let handler = Arc::clone(node);
+            transport
+                .set_local_dispatch(node.id, Arc::new(move |envelope| handler.handle(envelope)));
+        }
         let runtimes = nodes
             .iter()
             .map(|node| {
-                NodeRuntime::spawn(
+                NodeRuntime::spawn_batched(
                     node.id,
                     transport.mailbox(node.id),
                     Arc::clone(node),
                     config.workers_per_node,
+                    config.delivery_batch,
                 )
             })
             .collect();
@@ -540,7 +559,15 @@ impl<'c> RococoSession<'c> {
                 }
             }
             previous_versions = Some(versions);
-            std::thread::sleep(self.cluster.config.read_only_backoff);
+            // Back off only while pieces are pending: they resolve on their
+            // own and re-reading immediately would spin. A bare version
+            // mismatch means a concurrent committed write; retrying at once
+            // keeps the two-round validation window as short as the reads
+            // themselves, which is what bounds livelock under sustained
+            // write pressure.
+            if pending_conflicts {
+                std::thread::sleep(self.cluster.config.read_only_backoff);
+            }
         }
         (RococoReadOutcome::Aborted, None)
     }

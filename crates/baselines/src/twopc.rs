@@ -18,7 +18,7 @@ use std::time::{Duration, Instant};
 use parking_lot::Mutex;
 use sss_net::{
     reply_channel, ChannelTransport, Envelope, FaultInterposer, NodeRuntime, NodeService,
-    PauseControl, Priority, ReplySender, Transport, TransportConfig,
+    PauseControl, Priority, ReplySender, TransportConfig, TransportExt,
 };
 use sss_storage::{Key, LockKind, LockTable, RecentTxnSet, ReplicaMap, SvStore, TxnId, Value};
 use sss_vclock::NodeId;
@@ -39,6 +39,9 @@ pub struct TwoPcConfig {
     /// Shard arity of every node's storage structures (single-version store
     /// and lock table). Rounded up to a power of two.
     pub storage_shards: usize,
+    /// Messages a node worker drains from its mailbox per wakeup (clamped
+    /// to at least 1).
+    pub delivery_batch: usize,
 }
 
 impl TwoPcConfig {
@@ -56,6 +59,7 @@ impl TwoPcConfig {
             lock_timeout: Duration::from_millis(1),
             rpc_timeout: Duration::from_secs(1),
             storage_shards: sss_storage::DEFAULT_SHARDS,
+            delivery_batch: sss_net::DEFAULT_DELIVERY_BATCH,
         }
     }
 
@@ -74,6 +78,13 @@ impl TwoPcConfig {
     /// Sets the shard arity of every node's storage structures.
     pub fn storage_shards(mut self, shards: usize) -> Self {
         self.storage_shards = shards;
+        self
+    }
+
+    /// Sets the per-wakeup mailbox delivery batch size of every node's
+    /// workers (clamped to at least 1).
+    pub fn delivery_batch(mut self, batch: usize) -> Self {
+        self.delivery_batch = batch;
         self
     }
 }
@@ -328,14 +339,22 @@ impl TwoPcCluster {
                 })
             })
             .collect();
+        // Self-addressed messages (the coordinator is usually a replica of
+        // its own keys) skip the mailbox via the local fast path.
+        for node in &nodes {
+            let handler = Arc::clone(node);
+            transport
+                .set_local_dispatch(node.id, Arc::new(move |envelope| handler.handle(envelope)));
+        }
         let runtimes = nodes
             .iter()
             .map(|node| {
-                NodeRuntime::spawn(
+                NodeRuntime::spawn_batched(
                     node.id,
                     transport.mailbox(node.id),
                     Arc::clone(node),
                     config.workers_per_node,
+                    config.delivery_batch,
                 )
             })
             .collect();
@@ -464,12 +483,10 @@ impl<'c> TwoPcSession<'c> {
             key: key.clone(),
             reply,
         };
-        for target in replicas {
-            let _ = self
-                .cluster
-                .transport
-                .send(self.node, target, msg.clone(), Priority::Normal);
-        }
+        let _ = self
+            .cluster
+            .transport
+            .multicast(self.node, replicas, msg, Priority::Normal);
         rx.recv_timeout(self.cluster.config.rpc_timeout)
             .map(|r| (r.value, r.version))
     }
@@ -510,12 +527,12 @@ impl<'c> TwoPcSession<'c> {
             write_set: writes.to_vec(),
             reply,
         };
-        for target in &participants {
-            let _ =
-                self.cluster
-                    .transport
-                    .send(self.node, *target, prepare.clone(), Priority::Normal);
-        }
+        let _ = self.cluster.transport.multicast(
+            self.node,
+            participants.iter().copied(),
+            prepare,
+            Priority::Normal,
+        );
         let deadline = Instant::now() + self.cluster.config.rpc_timeout;
         let mut ok = true;
         // Votes are deduplicated by sender: under message duplication a
@@ -552,12 +569,12 @@ impl<'c> TwoPcSession<'c> {
             outcome: ok,
             ack: ok.then_some(ack_reply),
         };
-        for target in &participants {
-            let _ = self
-                .cluster
-                .transport
-                .send(self.node, *target, decide.clone(), Priority::High);
-        }
+        let _ = self.cluster.transport.multicast(
+            self.node,
+            participants.iter().copied(),
+            decide,
+            Priority::High,
+        );
         if ok {
             // Wait for the installation acks, deduplicated by sender (the
             // network may duplicate the decide). A timeout does not change
@@ -584,6 +601,7 @@ impl<'c> TwoPcSession<'c> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sss_net::Transport;
 
     #[test]
     fn committed_writes_are_visible_to_later_reads() {

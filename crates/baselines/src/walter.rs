@@ -24,7 +24,7 @@ use std::time::{Duration, Instant};
 use parking_lot::Mutex;
 use sss_net::{
     reply_channel, ChannelTransport, Envelope, FaultInterposer, NodeRuntime, NodeService,
-    PauseControl, Priority, ReplySender, Transport, TransportConfig,
+    PauseControl, Priority, ReplySender, TransportConfig, TransportExt,
 };
 use sss_storage::{Key, LockKind, LockTable, MvStore, RecentTxnSet, ReplicaMap, TxnId, Value};
 use sss_vclock::{NodeId, VectorClock};
@@ -45,6 +45,9 @@ pub struct WalterConfig {
     /// Shard arity of every node's storage structures (multi-version store
     /// and lock table). Rounded up to a power of two.
     pub storage_shards: usize,
+    /// Messages a node worker drains from its mailbox per wakeup (clamped
+    /// to at least 1).
+    pub delivery_batch: usize,
 }
 
 impl WalterConfig {
@@ -62,6 +65,7 @@ impl WalterConfig {
             lock_timeout: Duration::from_millis(1),
             rpc_timeout: Duration::from_secs(1),
             storage_shards: sss_storage::DEFAULT_SHARDS,
+            delivery_batch: sss_net::DEFAULT_DELIVERY_BATCH,
         }
     }
 
@@ -76,13 +80,20 @@ impl WalterConfig {
         self.storage_shards = shards;
         self
     }
+
+    /// Sets the per-wakeup mailbox delivery batch size of every node's
+    /// workers (clamped to at least 1).
+    pub fn delivery_batch(mut self, batch: usize) -> Self {
+        self.delivery_batch = batch;
+        self
+    }
 }
 
 #[derive(Debug, Clone)]
 #[allow(dead_code)] // version_vc is kept for symmetry with the protocol message
 struct ReadReply {
     value: Option<Value>,
-    version_vc: Option<VectorClock>,
+    version_vc: Option<std::sync::Arc<VectorClock>>,
 }
 
 #[derive(Debug, Clone)]
@@ -269,8 +280,12 @@ impl WalterNode {
                 // under the state lock): a snapshot that covers `commit_vc`
                 // can only be taken after the merge, by which point every
                 // version it admits is already in the store.
+                // One shared clock for every version this transaction
+                // installs.
+                let shared_vc = std::sync::Arc::new(commit_vc.clone());
                 for (key, value) in prep.local_writes {
-                    self.store.apply(key, value, commit_vc.clone(), txn);
+                    self.store
+                        .apply(key, value, std::sync::Arc::clone(&shared_vc), txn);
                 }
                 state.node_vc.merge(&commit_vc);
             }
@@ -359,14 +374,21 @@ impl WalterCluster {
                 })
             })
             .collect();
+        // Self-addressed messages skip the mailbox via the local fast path.
+        for node in &nodes {
+            let handler = Arc::clone(node);
+            transport
+                .set_local_dispatch(node.id, Arc::new(move |envelope| handler.handle(envelope)));
+        }
         let runtimes = nodes
             .iter()
             .map(|node| {
-                NodeRuntime::spawn(
+                NodeRuntime::spawn_batched(
                     node.id,
                     transport.mailbox(node.id),
                     Arc::clone(node),
                     config.workers_per_node,
+                    config.delivery_batch,
                 )
             })
             .collect();
@@ -483,12 +505,10 @@ impl<'c> WalterSession<'c> {
             snapshot: snapshot.clone(),
             reply,
         };
-        for target in replicas {
-            let _ = self
-                .cluster
-                .transport
-                .send(self.node, target, msg.clone(), Priority::Normal);
-        }
+        let _ = self
+            .cluster
+            .transport
+            .multicast(self.node, replicas, msg, Priority::Normal);
         rx.recv_timeout(self.cluster.config.rpc_timeout)
             .map(|r| r.value)
     }
@@ -540,12 +560,12 @@ impl<'c> WalterSession<'c> {
             write_set: writes.to_vec(),
             reply,
         };
-        for target in &participants {
-            let _ =
-                self.cluster
-                    .transport
-                    .send(self.node, *target, prepare.clone(), Priority::Normal);
-        }
+        let _ = self.cluster.transport.multicast(
+            self.node,
+            participants.iter().copied(),
+            prepare,
+            Priority::Normal,
+        );
         let deadline = Instant::now() + self.cluster.config.rpc_timeout;
         let mut commit_vc = snapshot;
         let mut ok = true;
@@ -577,12 +597,12 @@ impl<'c> WalterSession<'c> {
             WalterMessage::Decide { commit_vc, .. } => commit_vc.clone(),
             _ => unreachable!("decide constructed above"),
         };
-        for target in &participants {
-            let _ = self
-                .cluster
-                .transport
-                .send(self.node, *target, decide.clone(), Priority::High);
-        }
+        let _ = self.cluster.transport.multicast(
+            self.node,
+            participants.iter().copied(),
+            decide,
+            Priority::High,
+        );
         if ok {
             // The client observed its own commit: make it visible to the
             // snapshots of later transactions started on this node.
@@ -597,6 +617,7 @@ impl<'c> WalterSession<'c> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sss_net::Transport;
 
     #[test]
     fn committed_writes_become_visible() {

@@ -1,18 +1,20 @@
 //! Closed-loop throughput/latency harness over the engine registry.
 //!
-//! Sweeps (engine × storage-shard-count) cells, prints a summary table and
-//! writes the machine-readable `BENCH_throughput.json` (schema
-//! `sss-throughput/v1`). See the README's "Benchmark methodology" section.
+//! Sweeps (engine × storage-shard-count × delivery-batch-size) cells,
+//! prints a summary table and writes the machine-readable
+//! `BENCH_throughput.json` (schema `sss-throughput/v2`). See the README's
+//! "Benchmark methodology" section.
 //!
 //! ```sh
 //! cargo run --release -p sss-bench --bin throughput
 //! cargo run --release -p sss-bench --bin throughput -- \
-//!     --engines sss,2pc --nodes 4 --shards 1,8 --read-only 10
+//!     --engines sss,2pc --nodes 4 --shards 1,8 --batch 1,16 --read-only 10
 //! cargo run --release -p sss-bench --bin throughput -- --smoke   # CI
 //! ```
 //!
-//! Options (defaults in parentheses): `--engines sss,2pc` — comma-separated
-//! registry names; `--shards 1,8` — shard counts swept per engine;
+//! Options (defaults in parentheses): `--engines sss,2pc,walter,rococo` —
+//! comma-separated registry names; `--shards 8` — shard counts swept per
+//! engine; `--batch 1,16` — per-wakeup delivery batch sizes swept per cell;
 //! `--nodes 4`, `--replication 2`, `--clients 8` (per node), `--keys 1024`,
 //! `--read-only 10` (percent), `--warmup-ms 300`, `--measure-ms 1500`,
 //! `--ops N` (fixed total measured operations instead of a timed window),
@@ -48,6 +50,15 @@ fn main() {
             .map(|s| {
                 s.parse::<usize>()
                     .unwrap_or_else(|_| panic!("--shards expects numbers, got {s:?}"))
+            })
+            .collect();
+    }
+    if let Some(batches) = parse_value(&args, "--batch") {
+        config.batch_sizes = batches
+            .split(',')
+            .map(|s| {
+                s.parse::<usize>()
+                    .unwrap_or_else(|_| panic!("--batch expects numbers, got {s:?}"))
             })
             .collect();
     }

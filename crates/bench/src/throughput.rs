@@ -25,8 +25,15 @@
 //!   running for a wall-clock window. CI smoke jobs use this to keep run
 //!   time bounded and independent of machine speed.
 //!
+//! * **Batch sweep** — `batch_sizes` sweeps the per-wakeup delivery batch
+//!   size of the engine's mailbox workers (`EngineTuning::delivery_batch`),
+//!   batch size 1 reproducing one-message-per-wakeup delivery. Per-run
+//!   message accounting (messages per committed transaction, messages per
+//!   worker wakeup, locally delivered messages) quantifies what batching
+//!   and the local delivery fast path save.
+//!
 //! The report serializes to the machine-readable `BENCH_throughput.json`
-//! (schema `sss-throughput/v1`, documented in the repository README) so
+//! (schema `sss-throughput/v2`, documented in the repository README) so
 //! future changes have a perf trajectory to compare against.
 
 use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
@@ -43,6 +50,10 @@ pub struct ThroughputConfig {
     pub engines: Vec<EngineKind>,
     /// Storage shard counts to sweep per engine, in order.
     pub shard_counts: Vec<usize>,
+    /// Per-wakeup delivery batch sizes to sweep per (engine × shard count)
+    /// cell, in order. Batch size 1 reproduces one-message-per-wakeup
+    /// delivery exactly.
+    pub batch_sizes: Vec<usize>,
     /// Cluster size.
     pub nodes: usize,
     /// Replicas per key.
@@ -76,8 +87,14 @@ pub struct ThroughputConfig {
 impl Default for ThroughputConfig {
     fn default() -> Self {
         ThroughputConfig {
-            engines: vec![EngineKind::Sss, EngineKind::TwoPc],
-            shard_counts: vec![1, 8],
+            engines: vec![
+                EngineKind::Sss,
+                EngineKind::TwoPc,
+                EngineKind::Walter,
+                EngineKind::Rococo,
+            ],
+            shard_counts: vec![8],
+            batch_sizes: vec![1, sss_engine::DEFAULT_DELIVERY_BATCH],
             nodes: 4,
             replication: 2,
             clients_per_node: 8,
@@ -102,6 +119,7 @@ impl ThroughputConfig {
         ThroughputConfig {
             engines: vec![EngineKind::Sss, EngineKind::TwoPc],
             shard_counts: vec![1, 4],
+            batch_sizes: vec![sss_engine::DEFAULT_DELIVERY_BATCH],
             nodes: 2,
             replication: 1,
             clients_per_node: 2,
@@ -167,6 +185,8 @@ pub struct ThroughputRun {
     pub engine: String,
     /// Storage shard arity the engine was built with.
     pub storage_shards: usize,
+    /// Per-wakeup delivery batch size the engine was built with.
+    pub delivery_batch: usize,
     /// Committed transactions inside the measured window.
     pub committed: u64,
     /// Aborted attempts inside the measured window.
@@ -189,6 +209,26 @@ impl ThroughputRun {
             0.0
         } else {
             self.committed as f64 / self.window.as_secs_f64()
+        }
+    }
+
+    /// Mailbox messages enqueued per committed transaction inside the
+    /// window (0 when the engine exposes no mailbox stats or nothing
+    /// committed). Locally delivered messages are *not* included — they
+    /// never enter a queue; see [`ThroughputRun::local_per_txn`].
+    pub fn messages_per_txn(&self) -> f64 {
+        match (&self.mailbox, self.committed) {
+            (Some(mb), committed) if committed > 0 => mb.total_enqueued() as f64 / committed as f64,
+            _ => 0.0,
+        }
+    }
+
+    /// Messages delivered through the transport's local fast path per
+    /// committed transaction inside the window.
+    pub fn local_per_txn(&self) -> f64 {
+        match (&self.mailbox, self.committed) {
+            (Some(mb), committed) if committed > 0 => mb.local_delivered as f64 / committed as f64,
+            _ => 0.0,
         }
     }
 
@@ -219,9 +259,16 @@ const PHASE_DONE: u8 = 2;
 /// Runs the whole sweep described by `config`.
 pub fn run_throughput(config: &ThroughputConfig) -> ThroughputReport {
     let mut runs = Vec::new();
+    let batches = if config.batch_sizes.is_empty() {
+        vec![sss_engine::DEFAULT_DELIVERY_BATCH]
+    } else {
+        config.batch_sizes.clone()
+    };
     for &engine_kind in &config.engines {
         for &shards in &config.shard_counts {
-            runs.push(run_cell(config, engine_kind, shards));
+            for &batch in &batches {
+                runs.push(run_cell(config, engine_kind, shards, batch));
+            }
         }
     }
     ThroughputReport {
@@ -230,16 +277,22 @@ pub fn run_throughput(config: &ThroughputConfig) -> ThroughputReport {
     }
 }
 
-/// Runs one (engine × shard count) cell: `config.trials` trials, each a
-/// fresh engine build + populate + warm-up + measured window, aggregated.
-pub fn run_cell(config: &ThroughputConfig, kind: EngineKind, shards: usize) -> ThroughputRun {
+/// Runs one (engine × shard count × batch size) cell: `config.trials`
+/// trials, each a fresh engine build + populate + warm-up + measured
+/// window, aggregated.
+pub fn run_cell(
+    config: &ThroughputConfig,
+    kind: EngineKind,
+    shards: usize,
+    batch: usize,
+) -> ThroughputRun {
     let trials = config.trials.max(1);
     let mut aggregate: Option<ThroughputRun> = None;
     let mut all_latencies: Vec<Duration> = Vec::new();
     for trial in 0..trials {
         let mut trial_config = config.clone();
         trial_config.seed = config.seed.wrapping_add(trial as u64);
-        let (run, latencies) = run_trial(&trial_config, kind, shards);
+        let (run, latencies) = run_trial(&trial_config, kind, shards, batch);
         all_latencies.extend(latencies);
         aggregate = Some(match aggregate.take() {
             None => run,
@@ -296,12 +349,13 @@ fn run_trial(
     config: &ThroughputConfig,
     kind: EngineKind,
     shards: usize,
+    batch: usize,
 ) -> (ThroughputRun, Vec<Duration>) {
     let engine = kind.build_tuned(
         config.nodes,
         config.replication,
         NetProfile::Instant,
-        EngineTuning::with_storage_shards(shards),
+        EngineTuning::with_storage_shards(shards).delivery_batch(batch),
         None,
     );
     let spec = config.spec();
@@ -407,9 +461,17 @@ fn run_trial(
         storage_window = engine_ref
             .storage_stats()
             .map(|after| after.diff(&storage_before.unwrap_or_default()));
-        mailbox_window = engine_ref
-            .mailbox_totals()
-            .map(|after| after.diff(&mailbox_before.unwrap_or_default()));
+        mailbox_window = engine_ref.mailbox_totals().map(|after| {
+            // Snapshots are taken under the mailbox mutex, so a snapshot
+            // can never observe more dequeues than enqueues per class (the
+            // window *diff* legitimately can: backlog enqueued before the
+            // window may drain inside it).
+            assert!(
+                after.is_coherent(),
+                "incoherent mailbox snapshot: {after:?}"
+            );
+            after.diff(&mailbox_before.unwrap_or_default())
+        });
 
         handles
             .into_iter()
@@ -428,6 +490,7 @@ fn run_trial(
     let run = ThroughputRun {
         engine: kind.label().to_string(),
         storage_shards: shards,
+        delivery_batch: batch,
         committed,
         aborted,
         window,
@@ -448,8 +511,17 @@ pub fn render_table(report: &ThroughputReport) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:<8} {:>7} {:>12} {:>9} {:>9} {:>9} {:>9} {:>10}",
-        "engine", "shards", "ops/s", "p50(us)", "p95(us)", "p99(us)", "aborts", "contended"
+        "{:<8} {:>7} {:>6} {:>12} {:>9} {:>9} {:>9} {:>9} {:>8} {:>10}",
+        "engine",
+        "shards",
+        "batch",
+        "ops/s",
+        "p50(us)",
+        "p95(us)",
+        "p99(us)",
+        "aborts",
+        "msg/txn",
+        "contended"
     );
     for run in &report.runs {
         let contended = run
@@ -463,14 +535,16 @@ pub fn render_table(report: &ThroughputReport) -> String {
             .unwrap_or(0);
         let _ = writeln!(
             out,
-            "{:<8} {:>7} {:>12.1} {:>9} {:>9} {:>9} {:>8.1}% {:>10}",
+            "{:<8} {:>7} {:>6} {:>12.1} {:>9} {:>9} {:>9} {:>8.1}% {:>8.1} {:>10}",
             run.engine,
             run.storage_shards,
+            run.delivery_batch,
             run.ops_per_sec(),
             run.latency.p50_us,
             run.latency.p95_us,
             run.latency.p99_us,
             run.abort_rate() * 100.0,
+            run.messages_per_txn(),
             contended,
         );
     }
@@ -499,13 +573,13 @@ fn json_u64_array(values: impl IntoIterator<Item = u64>) -> String {
 }
 
 /// Serializes the report as the `BENCH_throughput.json` document (schema
-/// `sss-throughput/v1`; see the README's benchmark-methodology section).
+/// `sss-throughput/v2`; see the README's benchmark-methodology section).
 pub fn render_json(report: &ThroughputReport) -> String {
     use std::fmt::Write as _;
     let cfg = &report.config;
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"sss-throughput/v1\",\n");
+    out.push_str("  \"schema\": \"sss-throughput/v2\",\n");
     let _ = writeln!(out, "  \"config\": {{");
     let engines: Vec<String> = cfg
         .engines
@@ -517,6 +591,11 @@ pub fn render_json(report: &ThroughputReport) -> String {
         out,
         "    \"shard_counts\": {},",
         json_u64_array(cfg.shard_counts.iter().map(|&s| s as u64))
+    );
+    let _ = writeln!(
+        out,
+        "    \"batch_sizes\": {},",
+        json_u64_array(cfg.batch_sizes.iter().map(|&b| b as u64))
     );
     let _ = writeln!(out, "    \"nodes\": {},", cfg.nodes);
     let _ = writeln!(out, "    \"replication\": {},", cfg.replication);
@@ -551,6 +630,7 @@ pub fn render_json(report: &ThroughputReport) -> String {
         let _ = writeln!(out, "    {{");
         let _ = writeln!(out, "      \"engine\": \"{}\",", json_escape(&run.engine));
         let _ = writeln!(out, "      \"storage_shards\": {},", run.storage_shards);
+        let _ = writeln!(out, "      \"delivery_batch\": {},", run.delivery_batch);
         let _ = writeln!(out, "      \"ops_per_sec\": {:.3},", run.ops_per_sec());
         let _ = writeln!(out, "      \"committed\": {},", run.committed);
         let _ = writeln!(out, "      \"aborted\": {},", run.aborted);
@@ -604,9 +684,18 @@ pub fn render_json(report: &ThroughputReport) -> String {
             Some(mb) => {
                 let _ = writeln!(
                     out,
-                    "{{\"enqueued\": {}, \"dequeued\": {}}}",
+                    "{{\"enqueued\": {}, \"dequeued\": {}, \"enqueue_ops\": {}, \
+                     \"dequeue_ops\": {}, \"local_delivered\": {}, \
+                     \"messages_per_txn\": {:.3}, \"local_per_txn\": {:.3}, \
+                     \"messages_per_wakeup\": {:.3}}}",
                     mb.total_enqueued(),
-                    mb.total_dequeued()
+                    mb.total_dequeued(),
+                    mb.enqueue_ops,
+                    mb.dequeue_ops,
+                    mb.local_delivered,
+                    run.messages_per_txn(),
+                    run.local_per_txn(),
+                    mb.messages_per_wakeup()
                 );
             }
             None => out.push_str("null\n"),
@@ -650,9 +739,10 @@ mod tests {
             trials: 1,
             ..ThroughputConfig::default()
         };
-        let run = run_cell(&config, EngineKind::TwoPc, 2);
+        let run = run_cell(&config, EngineKind::TwoPc, 2, 8);
         assert_eq!(run.engine, "2PC");
         assert_eq!(run.storage_shards, 2);
+        assert_eq!(run.delivery_batch, 8);
         assert_eq!(run.committed + run.aborted, 16, "4 clients x 4 ops each");
         assert!(run.ops_per_sec() > 0.0);
         let storage = run.storage.expect("2PC exposes storage stats");
@@ -660,6 +750,7 @@ mod tests {
         assert_eq!(sv.per_shard.len(), 2);
         let mailbox = run.mailbox.expect("2PC exposes mailbox stats");
         assert!(mailbox.total_enqueued() > 0, "window saw traffic");
+        assert!(mailbox.dequeue_ops > 0, "workers woke up at least once");
     }
 
     #[test]
@@ -667,6 +758,7 @@ mod tests {
         let config = ThroughputConfig {
             engines: vec![EngineKind::Rococo],
             shard_counts: vec![1],
+            batch_sizes: vec![4],
             nodes: 1,
             replication: 1,
             clients_per_node: 1,
@@ -679,9 +771,12 @@ mod tests {
         let report = run_throughput(&config);
         assert_eq!(report.runs.len(), 1);
         let json = render_json(&report);
-        assert!(json.contains("\"schema\": \"sss-throughput/v1\""));
+        assert!(json.contains("\"schema\": \"sss-throughput/v2\""));
         assert!(json.contains("\"engine\": \"ROCOCO\""));
         assert!(json.contains("\"ops_per_sec\""));
+        assert!(json.contains("\"batch_sizes\""));
+        assert!(json.contains("\"delivery_batch\""));
+        assert!(json.contains("\"messages_per_txn\""));
         // Cheap structural sanity: balanced braces and brackets.
         let balance = |open: char, close: char| {
             json.chars().filter(|&c| c == open).count()

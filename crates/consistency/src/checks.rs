@@ -15,6 +15,10 @@ pub enum ConsistencyError {
     CycleDetected {
         /// The transactions along the cycle.
         cycle: Vec<TxnId>,
+        /// The dependency kinds along each hop of the cycle (parallel to
+        /// the hops of `cycle`), e.g. `["rw", "rt"]` — diagnostic detail
+        /// for failure messages.
+        kinds: Vec<String>,
     },
     /// A read-only transaction observed a fractured snapshot: it saw the
     /// effects of an update transaction on one key but missed them on
@@ -44,11 +48,14 @@ pub enum ConsistencyError {
 impl std::fmt::Display for ConsistencyError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ConsistencyError::CycleDetected { cycle } => {
+            ConsistencyError::CycleDetected { cycle, kinds } => {
                 write!(f, "serialization cycle: ")?;
                 for (i, t) in cycle.iter().enumerate() {
                     if i > 0 {
-                        write!(f, " -> ")?;
+                        match kinds.get(i - 1) {
+                            Some(kind) => write!(f, " -[{kind}]-> ")?,
+                            None => write!(f, " -> ")?,
+                        }
                     }
                     write!(f, "{t}")?;
                 }
@@ -84,7 +91,10 @@ pub fn check_external_consistency(history: &History) -> Result<(), ConsistencyEr
     let dsg = DsgChecker::build(history);
     match dsg.find_cycle() {
         None => Ok(()),
-        Some(cycle) => Err(ConsistencyError::CycleDetected { cycle }),
+        Some(cycle) => {
+            let kinds = dsg.explain_hops(&cycle);
+            Err(ConsistencyError::CycleDetected { cycle, kinds })
+        }
     }
 }
 

@@ -324,6 +324,40 @@ impl DsgChecker {
         None
     }
 
+    /// Describes each hop of a transaction sequence (as returned by
+    /// [`DsgChecker::find_cycle`]) by the dependency kinds connecting the
+    /// pair, e.g. `"rw"` or `"wr+ww"`; real-time edges are reported as
+    /// `"rt"`. Hops with no known edge render as `"?"`.
+    pub fn explain_hops(&self, cycle: &[TxnId]) -> Vec<String> {
+        let index_of: HashMap<TxnId, usize> = self
+            .ids
+            .iter()
+            .enumerate()
+            .map(|(i, id)| (*id, i))
+            .collect();
+        cycle
+            .windows(2)
+            .map(|pair| {
+                let mut kinds: Vec<String> = self
+                    .edges
+                    .iter()
+                    .filter(|e| e.from == pair[0] && e.to == pair[1])
+                    .map(|e| e.dependency.to_string())
+                    .collect();
+                if let (Some(a), Some(b)) = (index_of.get(&pair[0]), index_of.get(&pair[1])) {
+                    if self.times[*a].1 <= self.times[*b].0 {
+                        kinds.push(Dependency::RealTime.to_string());
+                    }
+                }
+                if kinds.is_empty() {
+                    "?".to_string()
+                } else {
+                    kinds.join("+")
+                }
+            })
+            .collect()
+    }
+
     /// `true` when the graph has no cycle (the history is external
     /// consistent under the derived version order).
     pub fn is_acyclic(&self) -> bool {

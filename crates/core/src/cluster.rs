@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 use sss_faults::{FaultInjector, FaultInterposer};
-use sss_net::{ChannelTransport, NodeRuntime, TransportConfig};
+use sss_net::{ChannelTransport, NodeRuntime, NodeService, TransportConfig};
 use sss_vclock::NodeId;
 
 use crate::config::SssConfig;
@@ -80,14 +80,34 @@ impl SssCluster {
                 ))
             })
             .collect();
+        // Self-addressed messages (the coordinator is its own participant,
+        // confirmation rounds cover every node) skip the mailbox and run
+        // the handler on the sending thread via the transport's local
+        // fast path — registered before the workers start so the path is
+        // available from the first send.
+        // The closure captures a `Weak` handle: the node itself holds the
+        // transport, so a strong capture would form an `Arc` cycle and leak
+        // every node (and its stores) when the cluster is dropped.
+        for node in &nodes {
+            let handler = Arc::downgrade(node);
+            transport.set_local_dispatch(
+                node.id(),
+                Arc::new(move |envelope| {
+                    if let Some(node) = handler.upgrade() {
+                        node.handle(envelope);
+                    }
+                }),
+            );
+        }
         let runtimes = nodes
             .iter()
             .map(|node| {
-                NodeRuntime::spawn(
+                NodeRuntime::spawn_batched(
                     node.id(),
                     transport.mailbox(node.id()),
                     Arc::clone(node),
                     config.workers_per_node,
+                    config.delivery_batch,
                 )
             })
             .collect();

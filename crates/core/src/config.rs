@@ -67,6 +67,11 @@ pub struct SssConfig {
     /// and lock table). Rounded up to a power of two; higher values reduce
     /// contention between a node's worker threads at a small memory cost.
     pub storage_shards: usize,
+    /// Messages a node worker drains from its mailbox per wakeup (clamped
+    /// to at least 1). Batch size 1 reproduces one-message-per-wakeup
+    /// delivery; larger values amortize the per-message wakeup and lock
+    /// cost under load without affecting protocol behaviour.
+    pub delivery_batch: usize,
 }
 
 impl SssConfig {
@@ -96,6 +101,7 @@ impl SssConfig {
             precommit_hold_max: Duration::from_millis(250),
             fault_injector: None,
             storage_shards: sss_storage::DEFAULT_SHARDS,
+            delivery_batch: sss_net::DEFAULT_DELIVERY_BATCH,
         }
     }
 
@@ -153,6 +159,13 @@ impl SssConfig {
     /// to a power of two at construction).
     pub fn storage_shards(mut self, shards: usize) -> Self {
         self.storage_shards = shards;
+        self
+    }
+
+    /// Sets the per-wakeup mailbox delivery batch size of every node's
+    /// workers (clamped to at least 1).
+    pub fn delivery_batch(mut self, batch: usize) -> Self {
+        self.delivery_batch = batch;
         self
     }
 

@@ -41,6 +41,18 @@ pub struct ReadReturn {
     pub writer: Option<TxnId>,
     /// `maxVC`, merged into the reader's vector clock (`VC*` in Algorithm 5).
     pub vc: VectorClock,
+    /// Commit vector clocks of the pre-committing update transactions this
+    /// read *excluded* from the reader's snapshot (their insertion-snapshot
+    /// lay beyond the reader's visibility bound, Algorithm 6 lines 7-8).
+    /// The client accumulates them into the transaction's exclusion set,
+    /// which acts as a family of *ceilings* on every later read: a version
+    /// whose commit vector clock dominates an excluded clock is never
+    /// returned. The ceiling — rather than a writer-id filter — is what
+    /// keeps the snapshot consistent transitively: an update transaction
+    /// that read the excluded writer's (pre-committed) data carries a
+    /// dominating commit clock, so its versions are filtered too, even
+    /// though it may externally commit before the excluded writer does.
+    pub excluded: Vec<std::sync::Arc<VectorClock>>,
     /// Read-only entries found in the key's snapshot-queue; only populated
     /// for update-transaction reads (Algorithm 6 line 25).
     pub propagated: Vec<PropagatedEntry>,
@@ -82,6 +94,12 @@ pub enum SssMessage {
         vc: VectorClock,
         /// Which nodes the transaction has already read from.
         has_read: Vec<bool>,
+        /// Exclusion ceilings accumulated by the transaction so far (see
+        /// [`ReadReturn::excluded`]): version selection skips any version
+        /// whose commit vector clock dominates one of these, keeping the
+        /// snapshot consistent across keys. Always empty for update
+        /// transactions.
+        exclude: Vec<std::sync::Arc<VectorClock>>,
         /// `true` for update transactions (they always read `k.last`).
         is_update: bool,
         /// Where to deliver the `READRETURN`.
@@ -223,6 +241,7 @@ mod tests {
             key: Key::new("x"),
             vc: VectorClock::new(2),
             has_read: vec![false, false],
+            exclude: Vec::new(),
             is_update: false,
             reply,
         };
@@ -238,6 +257,7 @@ mod tests {
             key: Key::new("k"),
             vc: VectorClock::new(2),
             has_read: vec![false, false],
+            exclude: Vec::new(),
             is_update: true,
             reply,
         };
@@ -250,6 +270,7 @@ mod tests {
                     value: None,
                     writer: None,
                     vc: VectorClock::new(2),
+                    excluded: Vec::new(),
                     propagated: Vec::new(),
                 });
             }

@@ -15,6 +15,7 @@
 //! entry, which is exactly what the two waits above need.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use sss_storage::TxnId;
 use sss_vclock::VectorClock;
@@ -24,8 +25,9 @@ use sss_vclock::VectorClock;
 pub struct NLogEntry {
     /// The committing transaction.
     pub txn: TxnId,
-    /// Its commit vector clock.
-    pub vc: VectorClock,
+    /// Its commit vector clock, shared (`Arc`) with the versions the
+    /// transaction installed.
+    pub vc: Arc<VectorClock>,
 }
 
 /// The ordered log of internal commits of one node.
@@ -60,7 +62,8 @@ impl NLog {
     }
 
     /// Appends the commit vector clock of `txn` (Algorithm 2, line 33).
-    pub fn add(&mut self, txn: TxnId, vc: VectorClock) {
+    pub fn add(&mut self, txn: TxnId, vc: impl Into<Arc<VectorClock>>) {
+        let vc = vc.into();
         self.most_recent.merge(&vc);
         self.entries.push_back(NLogEntry { txn, vc });
         self.appended += 1;
@@ -83,8 +86,9 @@ impl NLog {
     ///   visible.
     /// * `excluded` lists the commit vector clocks of update transactions
     ///   that are still in their Pre-Commit phase with an insertion-snapshot
-    ///   beyond the transaction's bound; their entries are removed from the
-    ///   visible set.
+    ///   beyond the transaction's bound; their entries — and the entries of
+    ///   every transaction whose clock dominates one of them (a dependent
+    ///   later writer) — are removed from the visible set.
     ///
     /// Returns the entry-wise maximum over the remaining visible entries
     /// (the zero clock if nothing is visible).
@@ -92,7 +96,7 @@ impl NLog {
         &self,
         has_read: &[bool],
         bound: &VectorClock,
-        excluded: &[VectorClock],
+        excluded: &[Arc<VectorClock>],
     ) -> VectorClock {
         let unconstrained = !has_read.iter().any(|b| *b);
         if unconstrained && excluded.is_empty() {
@@ -109,7 +113,11 @@ impl NLog {
             if !visible {
                 continue;
             }
-            if excluded.contains(&entry.vc) {
+            // Exclusion ceilings share their clocks with squeue write
+            // entries; an entry at or above any ceiling (the excluded
+            // writer itself, or a later writer that depends on it) stays
+            // out of the visible set.
+            if excluded.iter().any(|e| entry.vc.dominates(e)) {
                 continue;
             }
             max.merge(&entry.vc);
@@ -188,7 +196,7 @@ mod tests {
         let mut log = NLog::new(2, 16);
         log.add(txn(1), vc(&[5, 4]));
         log.add(txn(2), vc(&[6, 9]));
-        let excluded = vec![vc(&[6, 9])];
+        let excluded = vec![Arc::new(vc(&[6, 9]))];
         let max = log.visible_max(&[false, true], &vc(&[0, 9]), &excluded);
         assert_eq!(max, vc(&[5, 4]));
     }

@@ -1,6 +1,7 @@
 //! Commit handling: Algorithms 1-4 (2PC prepare/decide, internal commit,
 //! Pre-Commit and external commit).
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use sss_net::ReplySender;
@@ -229,7 +230,10 @@ impl SssNode {
         let i = self.id().index();
         while let Some(entry) = state.commit_q.pop_ready_head() {
             let txn = entry.txn;
-            let commit_vc = entry.vc;
+            // One shared clock per transaction: the store versions, the
+            // NLog record, the snapshot-queue write entries and the
+            // Pre-Commit wait record below all hold the same `Arc`.
+            let commit_vc = Arc::new(entry.vc);
             let prep = state
                 .prepared
                 .remove(&txn)
@@ -246,9 +250,9 @@ impl SssNode {
             // lock and must then find every covered version installed.)
             for (key, value) in &prep.local_write_set {
                 self.store()
-                    .apply(key.clone(), value.clone(), commit_vc.clone(), txn);
+                    .apply(key.clone(), value.clone(), Arc::clone(&commit_vc), txn);
             }
-            state.nlog.add(txn, commit_vc.clone());
+            state.nlog.add(txn, Arc::clone(&commit_vc));
             NodeCounters::bump(&self.counters().internal_commits);
             self.lock_table().release_all(txn);
 
@@ -264,7 +268,7 @@ impl SssNode {
                 let st = &mut *state;
                 for key in &write_keys {
                     let queue = st.squeues.entry(key);
-                    queue.insert_write(txn, commit_vc.get(i), commit_vc.clone());
+                    queue.insert_write(txn, commit_vc.get(i), Arc::clone(&commit_vc));
                     for entry in &decision.propagated {
                         if !st.removed_ro.contains(&entry.txn) {
                             queue.insert_read(entry.txn, entry.sid);

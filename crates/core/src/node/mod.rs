@@ -22,7 +22,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use sss_net::{ChannelTransport, Envelope, NodeService, Priority, Transport};
+use sss_net::{ChannelTransport, Envelope, NodeService, Priority, TransportExt};
 use sss_storage::{Key, LockTable, MvStore, ReplicaMap, TxnId};
 use sss_vclock::{NodeId, VectorClock};
 
@@ -170,11 +170,9 @@ impl SssNode {
         targets.extend(extra);
         targets.sort();
         targets.dedup();
-        for target in targets {
-            let _ =
-                self.transport
-                    .send(self.id, target, SssMessage::Remove { txn }, Priority::High);
-        }
+        let _ =
+            self.transport
+                .multicast(self.id, targets, SssMessage::Remove { txn }, Priority::High);
     }
 
     /// Garbage-collects old versions on this node, keeping the configured
@@ -240,9 +238,10 @@ impl NodeService<SssMessage> for SssNode {
                 key,
                 vc,
                 has_read,
+                exclude,
                 is_update,
                 reply,
-            } => self.handle_read_request(txn, key, vc, has_read, is_update, reply),
+            } => self.handle_read_request(txn, key, vc, has_read, exclude, is_update, reply),
             SssMessage::Prepare {
                 txn,
                 coordinator,

@@ -12,12 +12,14 @@ use super::SssNode;
 
 impl SssNode {
     /// Entry point for `READREQUEST` messages.
+    #[allow(clippy::too_many_arguments)]
     pub(super) fn handle_read_request(
         &self,
         txn: TxnId,
         key: Key,
         vc: VectorClock,
         has_read: Vec<bool>,
+        exclude: Vec<std::sync::Arc<VectorClock>>,
         is_update: bool,
         reply: ReplySender<ReadReturn>,
     ) {
@@ -79,6 +81,8 @@ impl SssNode {
                 key,
                 vc,
                 has_read,
+                exclude,
+                newly_excluded: Vec::new(),
                 bound_pinned: false,
                 reply,
             });
@@ -91,6 +95,8 @@ impl SssNode {
                 key,
                 vc,
                 has_read,
+                exclude,
+                newly_excluded: Vec::new(),
                 bound_pinned: false,
                 reply,
             },
@@ -177,6 +183,8 @@ impl SssNode {
             key,
             vc,
             has_read,
+            mut exclude,
+            mut newly_excluded,
             bound_pinned,
             reply,
         } = pending;
@@ -191,27 +199,41 @@ impl SssNode {
         let first_read_anywhere = !bound_pinned && !has_read.iter().any(|b| *b);
 
         // Step 1: establish maxVC.
+        //
+        // The bound must be *one clock for the whole transaction*: the
+        // client merges every reply into `T.VC` and subsequent reads (on
+        // any node) are served under that merged clock, so the first read
+        // must select under the same merged clock too. Serving the first
+        // read under the replica-local visible maximum alone (and letting
+        // the client enlarge the effective bound afterwards by merging its
+        // begin snapshot into it) fractures the snapshot: a writer
+        // invisible to the first read can fall inside the bound of a later
+        // read of the same transaction.
         let max_vc = if first_read_anywhere {
             // Update transactions still in their Pre-Commit phase whose
             // insertion-snapshot is beyond the transaction's visibility
             // bound must be excluded (lines 7-8): serializing the reader
             // before them is what guarantees a unique external schedule for
-            // non-conflicting writers (the Adya cross-node anomaly).
-            let excluded_vcs: Vec<VectorClock> = state
-                .squeues
-                .get(&key)
-                .map(|q| {
-                    q.writes()
-                        .iter()
-                        .filter(|w| w.sid > vc.get(i))
-                        .map(|w| w.commit_vc.clone())
-                        .collect()
-                })
-                .unwrap_or_default();
-            state.nlog.visible_max(&has_read, &vc, &excluded_vcs)
+            // non-conflicting writers (the Adya cross-node anomaly). Their
+            // commit clocks are reported to the client as exclusion
+            // ceilings so no later read of this transaction observes them
+            // — or anything that depends on them — on any key (see the
+            // ceiling walk in step 3). Cloning an entry's clock clones an
+            // `Arc` handle, not the clock.
+            if let Some(q) = state.squeues.get(&key) {
+                for w in q.writes().iter().filter(|w| w.sid > vc.get(i)) {
+                    newly_excluded.push(std::sync::Arc::clone(&w.commit_vc));
+                }
+            }
+            let mut max_vc = state.nlog.visible_max(&has_read, &vc, &newly_excluded);
+            max_vc.merge(&vc);
+            exclude.extend(newly_excluded.iter().cloned());
+            max_vc
         } else {
-            // Subsequent read: the bound is the transaction's own (pinned)
-            // vector clock (lines 16-21).
+            // Subsequent read (or a re-serve after a deferral/park): the
+            // bound is the transaction's own (pinned) vector clock (lines
+            // 16-21) and `exclude` already carries any ceilings a first
+            // pass discovered.
             vc.clone()
         };
 
@@ -239,12 +261,16 @@ impl SssNode {
                 NodeCounters::bump(&self.counters().reads_deferred);
             }
             // Pin the computed bound: re-serving must not chase commits
-            // that happened while the read was waiting.
+            // that happened while the read was waiting. `newly_excluded`
+            // travels along so the eventual reply still reports the
+            // first pass's ceilings to the client.
             state.pending_reads.push(PendingRead {
                 txn,
                 key,
                 vc: max_vc,
                 has_read,
+                exclude,
+                newly_excluded,
                 bound_pinned: true,
                 reply,
             });
@@ -270,9 +296,23 @@ impl SssNode {
         // — guarantees the reader's snapshot genuinely covers everything it
         // observes, which rules out reading "around" an excluded
         // pre-committing writer.)
+        // The walk also skips any version whose commit clock dominates one
+        // of the transaction's exclusion ceilings: the transaction
+        // serialized before those writers, and an update transaction that
+        // read an excluded writer's (pre-committed) data carries a commit
+        // clock dominating the excluded one — possibly while externally
+        // committing *before* the excluded writer — so a ceiling (not a
+        // writer-id filter) is required to keep the snapshot consistent
+        // under such dependency chains. (A blind overwrite of an excluded
+        // writer's key does not carry its clock, but no workload in this
+        // repository issues blind writes; the proper wait-cycle-free
+        // protocol remains the `precommit_hold_max` TODO.)
         let selected = self.store().chain(&key).and_then(|chain| {
             chain
-                .latest_matching(|ver| max_vc.dominates(&ver.vc))
+                .latest_matching(|ver| {
+                    max_vc.dominates(&ver.vc)
+                        && !exclude.iter().any(|ceiling| ver.vc.dominates(ceiling))
+                })
                 .map(|ver| (ver.value.clone(), ver.writer))
         });
         let (value, writer) = match selected {
@@ -307,6 +347,8 @@ impl SssNode {
                         key,
                         vc: max_vc,
                         has_read,
+                        exclude,
+                        newly_excluded,
                         bound_pinned: true,
                         reply,
                     },
@@ -321,6 +363,7 @@ impl SssNode {
             value,
             writer,
             vc: max_vc,
+            excluded: newly_excluded,
             propagated: Vec::new(),
         });
     }
@@ -347,6 +390,7 @@ impl SssNode {
             value: last.as_ref().map(|v| v.value.clone()),
             writer: last.as_ref().map(|v| v.writer),
             vc: max_vc,
+            excluded: Vec::new(),
             propagated,
         }
     }

@@ -1,6 +1,7 @@
 //! Mutable per-node protocol state.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 use std::time::Instant;
 
 use sss_net::ReplySender;
@@ -45,6 +46,17 @@ pub(crate) struct PendingRead {
     pub key: Key,
     pub vc: VectorClock,
     pub has_read: Vec<bool>,
+    /// Exclusion ceilings of the transaction's snapshot: the commit
+    /// clocks of the writers excluded by the client's earlier reads,
+    /// extended with the writers this read itself excluded. Version
+    /// selection never returns a version whose commit clock dominates any
+    /// of these.
+    pub exclude: Vec<Arc<VectorClock>>,
+    /// The ceilings *this* request discovered (a subset of `exclude`),
+    /// preserved across deferrals and parks so the eventual `ReadReturn`
+    /// still reports them to the client — later reads of the transaction
+    /// on other nodes must keep filtering these writers.
+    pub newly_excluded: Vec<Arc<VectorClock>>,
     /// `true` once a first read's `maxVC` has been computed and stored in
     /// `vc`: re-serving after a wait must reuse that bound instead of
     /// recomputing a fresh (ever-growing) one, or the read would chase
@@ -71,7 +83,8 @@ pub(crate) struct ParkedRead {
 #[derive(Debug)]
 pub(crate) struct WaitingExternal {
     pub txn: TxnId,
-    pub commit_vc: VectorClock,
+    /// Shared with the installed versions and snapshot-queue entries.
+    pub commit_vc: Arc<VectorClock>,
     pub write_keys: Vec<Key>,
     pub ack_reply: ReplySender<Ack>,
     /// When the wait started; used for the latency-breakdown statistics.

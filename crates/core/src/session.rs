@@ -12,7 +12,7 @@ use std::collections::HashSet;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use sss_net::{reply_channel, Priority, Transport};
+use sss_net::{reply_channel, Priority, Transport, TransportExt};
 use sss_storage::{Key, TxnId, Value};
 use sss_vclock::{NodeId, VectorClock};
 
@@ -81,6 +81,7 @@ impl Session {
             vc: None,
             has_read: vec![false; self.node.config().nodes],
             read_keys: Vec::new(),
+            excluded: Vec::new(),
             finished: false,
         }
     }
@@ -94,6 +95,7 @@ fn remote_read(
     key: &Key,
     vc: &VectorClock,
     has_read: &[bool],
+    exclude: &[Arc<VectorClock>],
     is_update: bool,
 ) -> Result<crate::messages::ReadReturn, SssError> {
     let replicas = node.replica_map().replicas(key);
@@ -103,14 +105,18 @@ fn remote_read(
         key: key.clone(),
         vc: vc.clone(),
         has_read: has_read.to_vec(),
+        exclude: exclude.to_vec(),
         is_update,
         reply,
     };
-    for target in &replicas {
-        node.transport()
-            .send(node.id(), *target, message.clone(), Priority::Normal)
-            .map_err(|_| SssError::ClusterShutdown)?;
-    }
+    node.transport()
+        .multicast(
+            node.id(),
+            replicas.iter().copied(),
+            message,
+            Priority::Normal,
+        )
+        .map_err(|_| SssError::ClusterShutdown)?;
     receiver
         .recv_timeout(node.config().read_timeout)
         .ok_or_else(|| SssError::ReadTimeout { key: key.clone() })
@@ -173,7 +179,15 @@ impl UpdateTransaction {
         if let Some(value) = self.write_set.get(&key) {
             return Ok(Some(value.clone()));
         }
-        let response = remote_read(&self.node, self.id, &key, &self.vc, &self.has_read, true)?;
+        let response = remote_read(
+            &self.node,
+            self.id,
+            &key,
+            &self.vc,
+            &self.has_read,
+            &[],
+            true,
+        )?;
         self.has_read[response.from.index()] = true;
         self.vc.merge(&response.vc);
         self.propagated.extend(response.propagated.iter().copied());
@@ -245,7 +259,8 @@ impl UpdateTransaction {
         }
         let write_replicas = replica_map.replicas_of_all(write_keys.iter());
 
-        // Prepare phase.
+        // Prepare phase. The multicast moves the message into the last
+        // send, so a fan-out to N participants clones it N-1 times.
         let (vote_reply, vote_receiver) = reply_channel(participants.len());
         let prepare = SssMessage::Prepare {
             txn: self.id,
@@ -255,11 +270,14 @@ impl UpdateTransaction {
             write_set: write_set.clone(),
             reply: vote_reply,
         };
-        for target in &participants {
-            node.transport()
-                .send(node.id(), *target, prepare.clone(), Priority::Normal)
-                .map_err(|_| SssError::ClusterShutdown)?;
-        }
+        node.transport()
+            .multicast(
+                node.id(),
+                participants.iter().copied(),
+                prepare,
+                Priority::Normal,
+            )
+            .map_err(|_| SssError::ClusterShutdown)?;
 
         let mut commit_vc = self.vc.clone();
         let mut outcome = true;
@@ -297,7 +315,12 @@ impl UpdateTransaction {
             commit_vc.assign_over(write_indices, xact_vn);
         }
 
-        // Decide phase.
+        // Decide phase. On a commit, the RegisterForward messages that
+        // register extra Remove targets for propagated read-only entries
+        // (§III-C, transitive anti-dependencies) ride in the same
+        // per-destination batch as the Decide — both are high priority, so
+        // a destination that is a participant *and* a read-only origin gets
+        // one enqueue and one wakeup instead of two.
         let (ack_reply, ack_receiver) = reply_channel(write_replicas.len().max(1));
         let decide = SssMessage::Decide {
             txn: self.id,
@@ -306,9 +329,35 @@ impl UpdateTransaction {
             propagated: self.propagated.clone(),
             ack_reply,
         };
+        let mut per_dest: BTreeMap<NodeId, Vec<SssMessage>> = BTreeMap::new();
         for target in &participants {
+            per_dest.entry(*target).or_default().push(decide.clone());
+        }
+        if outcome {
+            let distinct_ro: HashSet<TxnId> = self.propagated.iter().map(|p| p.txn).collect();
+            for ro in distinct_ro {
+                per_dest
+                    .entry(ro.origin)
+                    .or_default()
+                    .push(SssMessage::RegisterForward {
+                        txn: ro,
+                        targets: write_replicas.clone(),
+                    });
+            }
+        }
+        // The coordinator's own batch goes last: a self-addressed send can
+        // run the handler inline (local fast path), and internally
+        // committing here mid-loop would delay the remote destinations'
+        // Decides behind it.
+        let own_batch = per_dest.remove(&node.id());
+        for (target, batch) in per_dest {
             node.transport()
-                .send(node.id(), *target, decide.clone(), Priority::High)
+                .send_batch(node.id(), target, batch, Priority::High)
+                .map_err(|_| SssError::ClusterShutdown)?;
+        }
+        if let Some(batch) = own_batch {
+            node.transport()
+                .send_batch(node.id(), node.id(), batch, Priority::High)
                 .map_err(|_| SssError::ClusterShutdown)?;
         }
 
@@ -316,24 +365,6 @@ impl UpdateTransaction {
             return Err(SssError::Aborted(
                 abort_reason.unwrap_or(AbortReason::ValidationFailed { key: None }),
             ));
-        }
-
-        // Register the extra Remove targets for every read-only transaction
-        // whose entry we are propagating into our written keys' queues
-        // (§III-C, transitive anti-dependencies).
-        let distinct_ro: HashSet<TxnId> = self.propagated.iter().map(|p| p.txn).collect();
-        for ro in distinct_ro {
-            node.transport()
-                .send(
-                    node.id(),
-                    ro.origin,
-                    SssMessage::RegisterForward {
-                        txn: ro,
-                        targets: write_replicas.clone(),
-                    },
-                    Priority::High,
-                )
-                .map_err(|_| SssError::ClusterShutdown)?;
         }
 
         let internal_latency = self.started.elapsed();
@@ -358,27 +389,25 @@ impl UpdateTransaction {
         // coordinator gave up waiting — by then the system has been wedged
         // for the whole (very generous) ack timeout and consistency is
         // best-effort anyway.
-        let all_nodes: Vec<NodeId> = (0..node.config().nodes).map(NodeId).collect();
-        let (confirm_reply, confirm_receiver) = reply_channel(all_nodes.len());
-        for target in &all_nodes {
-            let _ = node.transport().send(
-                node.id(),
-                *target,
-                SssMessage::ConfirmExternal {
-                    txn: self.id,
-                    commit_vc: commit_vc.clone(),
-                    reply: confirm_reply.clone(),
-                },
-                Priority::High,
-            );
-        }
-        drop(confirm_reply);
+        let all_nodes = node.config().nodes;
+        let (confirm_reply, confirm_receiver) = reply_channel(all_nodes);
+        let confirm = SssMessage::ConfirmExternal {
+            txn: self.id,
+            commit_vc,
+            reply: confirm_reply,
+        };
+        let _ = node.transport().multicast(
+            node.id(),
+            (0..all_nodes).map(NodeId),
+            confirm,
+            Priority::High,
+        );
 
         let confirm_failed = timed_out
             || !collect_acks(
                 &confirm_receiver,
                 self.id,
-                all_nodes.len(),
+                all_nodes,
                 node.config().ack_timeout,
             );
 
@@ -387,14 +416,12 @@ impl UpdateTransaction {
         // answered. Sent to the write replicas — the only nodes that can
         // hold parked reads for this transaction — and also on the failure
         // paths, so a timed-out commit never leaves readers parked forever.
-        for target in &write_replicas {
-            let _ = node.transport().send(
-                node.id(),
-                *target,
-                SssMessage::ReleaseExternal { txn: self.id },
-                Priority::High,
-            );
-        }
+        let _ = node.transport().multicast(
+            node.id(),
+            write_replicas.iter().copied(),
+            SssMessage::ReleaseExternal { txn: self.id },
+            Priority::High,
+        );
 
         if confirm_failed {
             return Err(SssError::ExternalCommitTimeout);
@@ -417,6 +444,11 @@ pub struct ReadOnlyTransaction {
     vc: Option<VectorClock>,
     has_read: Vec<bool>,
     read_keys: Vec<Key>,
+    /// Exclusion ceilings of this transaction's snapshot (commit clocks of
+    /// pre-committing writers its first read excluded): the transaction
+    /// serialized before them, so no later read may observe their versions
+    /// — or any version carrying a dominating clock — on any key.
+    excluded: Vec<Arc<VectorClock>>,
     finished: bool,
 }
 
@@ -451,8 +483,21 @@ impl ReadOnlyTransaction {
         // or a writer could be blocked forever.
         self.read_keys.push(key.clone());
         let vc = self.vc.as_ref().expect("initialized above");
-        let response = remote_read(&self.node, self.id, &key, vc, &self.has_read, false)?;
+        let response = remote_read(
+            &self.node,
+            self.id,
+            &key,
+            vc,
+            &self.has_read,
+            &self.excluded,
+            false,
+        )?;
         self.has_read[response.from.index()] = true;
+        for ceiling in response.excluded {
+            if !self.excluded.contains(&ceiling) {
+                self.excluded.push(ceiling);
+            }
+        }
         let vc = self.vc.as_mut().expect("initialized above");
         vc.merge(&response.vc);
         Ok(response.value)

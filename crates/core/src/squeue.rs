@@ -19,6 +19,7 @@
 //! issued by read operations stay short in read-dominated workloads.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use sss_storage::{Key, TxnId};
 use sss_vclock::VectorClock;
@@ -51,8 +52,10 @@ pub struct WriteEntry {
     pub txn: TxnId,
     /// Insertion-snapshot: `commitVC[i]` on this node.
     pub sid: u64,
-    /// The transaction's full commit vector clock.
-    pub commit_vc: VectorClock,
+    /// The transaction's full commit vector clock, shared (`Arc`) with the
+    /// versions the transaction installed and with its entries in other
+    /// keys' queues — inserting and excluding entries never copies a clock.
+    pub commit_vc: Arc<VectorClock>,
     /// When the entry was inserted; used by the starvation admission control
     /// (paper §III-E) to detect writers that have been waiting "for a
     /// pre-determined time".
@@ -88,12 +91,12 @@ impl SnapshotQueue {
     }
 
     /// Inserts (or refreshes) an update entry.
-    pub fn insert_write(&mut self, txn: TxnId, sid: u64, commit_vc: VectorClock) {
+    pub fn insert_write(&mut self, txn: TxnId, sid: u64, commit_vc: impl Into<Arc<VectorClock>>) {
         self.writes.retain(|e| e.txn != txn);
         self.writes.push(WriteEntry {
             txn,
             sid,
-            commit_vc,
+            commit_vc: commit_vc.into(),
             since: std::time::Instant::now(),
         });
         self.writes.sort_by_key(|a| (a.sid, a.txn));

@@ -45,5 +45,5 @@ pub use registry::{EngineKind, EngineTuning, ParseEngineKindError};
 pub use traits::{EngineSession, TransactionEngine, TxnOutcome};
 
 pub use sss_faults::{FaultInjector, FaultPlan};
-pub use sss_net::MailboxStats;
+pub use sss_net::{MailboxStats, DEFAULT_DELIVERY_BATCH};
 pub use sss_storage::StorageStats;

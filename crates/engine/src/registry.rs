@@ -25,6 +25,11 @@ pub struct EngineTuning {
     /// tables); `None` keeps each engine's default
     /// (`sss_storage::DEFAULT_SHARDS`). Rounded up to a power of two.
     pub storage_shards: Option<usize>,
+    /// Messages a node worker drains from its mailbox per wakeup; `None`
+    /// keeps each engine's default (`sss_net::DEFAULT_DELIVERY_BATCH`).
+    /// Clamped to at least 1; batch size 1 reproduces
+    /// one-message-per-wakeup delivery.
+    pub delivery_batch: Option<usize>,
 }
 
 impl EngineTuning {
@@ -32,7 +37,22 @@ impl EngineTuning {
     pub fn with_storage_shards(shards: usize) -> Self {
         EngineTuning {
             storage_shards: Some(shards),
+            ..EngineTuning::default()
         }
+    }
+
+    /// Tuning that only overrides the per-wakeup delivery batch size.
+    pub fn with_delivery_batch(batch: usize) -> Self {
+        EngineTuning {
+            delivery_batch: Some(batch),
+            ..EngineTuning::default()
+        }
+    }
+
+    /// Sets the per-wakeup delivery batch size, keeping other knobs.
+    pub fn delivery_batch(mut self, batch: usize) -> Self {
+        self.delivery_batch = Some(batch);
+        self
     }
 }
 
@@ -159,6 +179,9 @@ impl EngineKind {
                 if let Some(shards) = tuning.storage_shards {
                     config = config.storage_shards(shards);
                 }
+                if let Some(batch) = tuning.delivery_batch {
+                    config = config.delivery_batch(batch);
+                }
                 if let Some(injector) = injector {
                     config = config.fault_injector(Arc::clone(injector));
                 }
@@ -168,6 +191,9 @@ impl EngineKind {
                 let mut config = TwoPcConfig::new(nodes).replication(replication);
                 if let Some(shards) = tuning.storage_shards {
                     config = config.storage_shards(shards);
+                }
+                if let Some(batch) = tuning.delivery_batch {
+                    config = config.delivery_batch(batch);
                 }
                 let engine = TwoPcEngine::with_config(config, injector.as_ref().map(interposer));
                 if let Some(injector) = injector {
@@ -180,6 +206,9 @@ impl EngineKind {
                 if let Some(shards) = tuning.storage_shards {
                     config = config.storage_shards(shards);
                 }
+                if let Some(batch) = tuning.delivery_batch {
+                    config = config.delivery_batch(batch);
+                }
                 let engine = WalterEngine::with_config(config, injector.as_ref().map(interposer));
                 if let Some(injector) = injector {
                     injector.attach_pause_controls(engine.pause_controls());
@@ -190,6 +219,9 @@ impl EngineKind {
                 let mut config = RococoConfig::new(nodes);
                 if let Some(shards) = tuning.storage_shards {
                     config = config.storage_shards(shards);
+                }
+                if let Some(batch) = tuning.delivery_batch {
+                    config = config.delivery_batch(batch);
                 }
                 let engine = RococoEngine::with_config(config, injector.as_ref().map(interposer));
                 if let Some(injector) = injector {

@@ -18,6 +18,20 @@
 //!
 //! The substrate is engine-agnostic: SSS, the 2PC baseline, Walter and
 //! ROCOCO all run on it unchanged.
+//!
+//! # Batched delivery
+//!
+//! Delivery is batched at both ends of a mailbox: senders can hand a
+//! per-destination batch to [`Transport::send_batch`] (one enqueue and one
+//! wakeup round per destination) and workers drain up to a configurable
+//! number of same-priority messages per wakeup
+//! ([`Mailbox::pop_batch`], [`NodeRuntime::spawn_batched`]). Batching is
+//! invisible to the fault layer: interposers are consulted per message, so
+//! a batch faults exactly like the equivalent sequence of single sends.
+//! Self-addressed messages can skip the queues entirely via the transport's
+//! local delivery fast path ([`ChannelTransport::set_local_dispatch`]).
+
+#![deny(missing_docs)]
 
 mod latency;
 mod mailbox;
@@ -26,12 +40,12 @@ mod runtime;
 mod transport;
 
 pub use latency::LatencyModel;
-pub use mailbox::{Mailbox, MailboxStats, PauseControl, Priority};
+pub use mailbox::{Mailbox, MailboxStats, PauseControl, Priority, DEFAULT_DELIVERY_BATCH};
 pub use reply::{reply_channel, ReplyReceiver, ReplySender, ReplyTryRecvError};
 pub use runtime::{NodeRuntime, NodeService};
 pub use transport::{
-    ChannelTransport, Envelope, FaultInterposer, SendPlan, Transport, TransportConfig,
-    TransportError, TransportExt,
+    ChannelTransport, Envelope, FaultInterposer, LocalDispatch, SendPlan, Transport,
+    TransportConfig, TransportError, TransportExt,
 };
 
 pub use sss_vclock::NodeId;

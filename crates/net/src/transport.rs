@@ -1,7 +1,8 @@
 //! The [`Transport`] abstraction and its in-process implementation.
 
 use std::collections::BinaryHeap;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
@@ -11,6 +12,11 @@ use sss_vclock::NodeId;
 
 use crate::latency::LatencyModel;
 use crate::mailbox::{Mailbox, MailboxStats, Priority};
+
+/// A node's message handler as registered with
+/// [`ChannelTransport::set_local_dispatch`]: the target of the local
+/// delivery fast path for messages a node sends to itself.
+pub type LocalDispatch<M> = Arc<dyn Fn(Envelope<M>) + Send + Sync>;
 
 /// A message in flight between two nodes.
 #[derive(Debug, Clone)]
@@ -65,6 +71,32 @@ pub trait Transport<M: Send>: Send + Sync {
         payload: M,
         priority: Priority,
     ) -> Result<(), TransportError>;
+
+    /// Sends every payload of `batch` from `from` to `to` with the given
+    /// priority, as **one delivery batch**: implementations enqueue the
+    /// whole batch with a single wakeup at the destination where possible.
+    ///
+    /// Fault semantics are unchanged — an interposer is consulted once per
+    /// message, exactly as if each payload had been sent individually.
+    ///
+    /// The default implementation simply loops over [`Transport::send`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Transport::send`]; on error a prefix of the batch may have
+    /// been delivered (identical to a failing sequence of sends).
+    fn send_batch(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        batch: Vec<M>,
+        priority: Priority,
+    ) -> Result<(), TransportError> {
+        for payload in batch {
+            self.send(from, to, payload, priority)?;
+        }
+        Ok(())
+    }
 
     /// Number of nodes reachable through this transport.
     fn num_nodes(&self) -> usize;
@@ -145,7 +177,14 @@ pub trait FaultInterposer: Send + Sync + std::fmt::Debug {
 
 /// Convenience helpers available on every transport.
 pub trait TransportExt<M: Send + Clone>: Transport<M> {
-    /// Sends a copy of `payload` to every node in `targets`.
+    /// Sends a copy of `payload` to every node in `targets`, moving the
+    /// payload into the last send so a fan-out to N targets pays N-1
+    /// clones, not N.
+    ///
+    /// Self-addressed copies are sent *after* every remote copy: a send to
+    /// `from` may run the destination handler inline on this thread (the
+    /// local delivery fast path), and running it mid-fan-out would hold up
+    /// the remaining remote sends behind it.
     fn multicast(
         &self,
         from: NodeId,
@@ -153,10 +192,17 @@ pub trait TransportExt<M: Send + Clone>: Transport<M> {
         payload: M,
         priority: Priority,
     ) -> Result<(), TransportError> {
-        for t in targets {
-            self.send(from, t, payload.clone(), priority)?;
+        let mut targets: Vec<NodeId> = targets.into_iter().collect();
+        // Stable: remote targets keep their order, self-addressed ones
+        // move to the end.
+        targets.sort_by_key(|t| *t == from);
+        let Some((last, rest)) = targets.split_last() else {
+            return Ok(());
+        };
+        for target in rest {
+            self.send(from, *target, payload.clone(), priority)?;
         }
-        Ok(())
+        self.send(from, *last, payload, priority)
     }
 }
 
@@ -245,8 +291,25 @@ struct DelayerState<M> {
 /// destination mailbox; with a non-zero model they are staged in a delay
 /// wheel serviced by a dedicated thread, which reproduces out-of-order
 /// delivery across messages with different sampled delays.
+///
+/// # Local delivery fast path
+///
+/// A node frequently messages *itself* (the coordinator is its own 2PC
+/// participant, confirmation rounds cover every node, and a colocated
+/// client reads local replicas). When a handler has been registered with
+/// [`ChannelTransport::set_local_dispatch`], a self-addressed message that
+/// would otherwise take the zero-latency fast path is handed to the handler
+/// directly on the sending thread — no queueing, no worker wakeup, no
+/// payload clone. The fast path is skipped (and the message queued
+/// normally) whenever it could be observable: a non-zero latency model, a
+/// fault-interposer plan that is not a plain pass, a paused node (pause
+/// gates model a node that stops *processing*), or a closed mailbox.
+/// Locally delivered messages are counted in
+/// [`MailboxStats::local_delivered`] rather than the queue counters.
 pub struct ChannelTransport<M> {
     mailboxes: Vec<Arc<Mailbox<Envelope<M>>>>,
+    local: Vec<OnceLock<LocalDispatch<M>>>,
+    local_delivered: Vec<AtomicU64>,
     latency: LatencyModel,
     interposer: Option<Arc<dyn FaultInterposer>>,
     delayer: Option<DelayerHandle<M>>,
@@ -277,10 +340,37 @@ impl<M: Send + 'static> ChannelTransport<M> {
         };
         ChannelTransport {
             mailboxes,
+            local: (0..config.nodes).map(|_| OnceLock::new()).collect(),
+            local_delivered: (0..config.nodes).map(|_| AtomicU64::new(0)).collect(),
             latency: config.latency,
             interposer: config.interposer,
             delayer,
         }
+    }
+
+    /// Registers the handler that receives node `node`'s self-addressed
+    /// messages directly (see the type-level docs on the local delivery
+    /// fast path). Typically called once per node right after the node's
+    /// worker runtime is constructed; only the first registration per node
+    /// takes effect.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn set_local_dispatch(&self, node: NodeId, dispatch: LocalDispatch<M>) {
+        let _ = self.local[node.index()].set(dispatch);
+    }
+
+    /// The registered local dispatch for `to`, but only when delivering
+    /// through it right now is indistinguishable from the mailbox path:
+    /// never across a pause or after a close.
+    fn local_fast_path(&self, to: NodeId) -> Option<&LocalDispatch<M>> {
+        let dispatch = self.local.get(to.index())?.get()?;
+        let mailbox = &self.mailboxes[to.index()];
+        if mailbox.is_closed() || mailbox.pause_control().is_paused() {
+            return None;
+        }
+        Some(dispatch)
     }
 
     fn spawn_delayer(seed: u64) -> DelayerHandle<M> {
@@ -354,9 +444,12 @@ impl<M: Send + 'static> ChannelTransport<M> {
         Arc::clone(&self.mailboxes[node.index()])
     }
 
-    /// Traffic counters of node `node`'s mailbox.
+    /// Traffic counters of node `node`'s mailbox, including the messages
+    /// delivered through the local fast path (which never entered a queue).
     pub fn mailbox_stats(&self, node: NodeId) -> MailboxStats {
-        self.mailboxes[node.index()].stats()
+        let mut stats = self.mailboxes[node.index()].stats();
+        stats.local_delivered = self.local_delivered[node.index()].load(Ordering::Relaxed);
+        stats
     }
 
     /// Closes every mailbox and stops the delayer thread.
@@ -381,6 +474,41 @@ impl<M: Send + 'static> ChannelTransport<M> {
     }
 }
 
+impl<M: Send + Clone + 'static> ChannelTransport<M> {
+    /// Stages every copy of `plan` for `payload` into the delay wheel; the
+    /// caller holds the wheel lock and is responsible for the wakeup.
+    fn stage_delayed(
+        &self,
+        guard: &mut parking_lot::MutexGuard<'_, DelayerState<M>>,
+        envelope: Envelope<M>,
+        plan: &SendPlan,
+        now: Instant,
+    ) {
+        let copies = plan.deliveries();
+        // The envelope is moved into the last copy; only duplicated copies
+        // pay for a clone, keeping the common single-delivery path as cheap
+        // as before the interposer hook existed.
+        let mut envelope = Some(envelope);
+        for (i, extra) in copies.iter().enumerate() {
+            let delay = self.latency.sample(&mut guard.rng) + *extra;
+            let seq = guard.next_seq;
+            guard.next_seq += 1;
+            let envelope = if i + 1 == copies.len() {
+                envelope
+                    .take()
+                    .expect("envelope moved before the last copy")
+            } else {
+                envelope.as_ref().expect("envelope taken early").clone()
+            };
+            guard.heap.push(Delayed {
+                deliver_at: now + delay,
+                seq,
+                envelope,
+            });
+        }
+    }
+}
+
 impl<M: Send + Clone + 'static> Transport<M> for ChannelTransport<M> {
     fn send(
         &self,
@@ -397,6 +525,18 @@ impl<M: Send + Clone + 'static> Transport<M> for ChannelTransport<M> {
             None => SendPlan::pass(),
         };
         if self.latency.is_zero() && plan.is_pass() {
+            if from == to {
+                if let Some(dispatch) = self.local_fast_path(to) {
+                    self.local_delivered[to.index()].fetch_add(1, Ordering::Relaxed);
+                    dispatch(Envelope {
+                        from,
+                        to,
+                        priority,
+                        payload,
+                    });
+                    return Ok(());
+                }
+            }
             let envelope = Envelope {
                 from,
                 to,
@@ -419,31 +559,95 @@ impl<M: Send + Clone + 'static> Transport<M> for ChannelTransport<M> {
         if guard.shutdown {
             return Err(TransportError::Closed);
         }
+        self.stage_delayed(
+            &mut guard,
+            Envelope {
+                from,
+                to,
+                priority,
+                payload,
+            },
+            &plan,
+            Instant::now(),
+        );
+        cvar.notify_one();
+        Ok(())
+    }
+
+    fn send_batch(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        batch: Vec<M>,
+        priority: Priority,
+    ) -> Result<(), TransportError> {
+        let Some(mailbox) = self.mailboxes.get(to.index()) else {
+            return Err(TransportError::UnknownNode(to));
+        };
+        if batch.is_empty() {
+            return Ok(());
+        }
+        // The interposer is consulted once per message — a batch is a
+        // delivery optimization, not a unit the fault model can observe, so
+        // `sss-faults` determinism (per-link RNG draw sequences, reorder and
+        // duplicate semantics) is identical to a sequence of single sends.
         let now = Instant::now();
-        let copies = plan.deliveries();
-        // The payload is moved into the last copy; only duplicated copies
-        // pay for a clone, keeping the common single-delivery path as cheap
-        // as before the interposer hook existed.
-        let mut payload = Some(payload);
-        for (i, extra) in copies.iter().enumerate() {
-            let delay = self.latency.sample(&mut guard.rng) + *extra;
-            let seq = guard.next_seq;
-            guard.next_seq += 1;
-            let payload = if i + 1 == copies.len() {
-                payload.take().expect("payload moved before the last copy")
-            } else {
-                payload.as_ref().expect("payload taken early").clone()
-            };
-            guard.heap.push(Delayed {
-                deliver_at: now + delay,
-                seq,
-                envelope: Envelope {
-                    from,
-                    to,
-                    priority,
-                    payload,
-                },
+        let plans: Vec<SendPlan> = match &self.interposer {
+            Some(interposer) => batch
+                .iter()
+                .map(|_| interposer.plan(from, to, now))
+                .collect(),
+            None => Vec::new(),
+        };
+        let all_pass = plans.iter().all(|p| p.is_pass());
+        if self.latency.is_zero() && all_pass {
+            if from == to {
+                if let Some(dispatch) = self.local_fast_path(to) {
+                    self.local_delivered[to.index()]
+                        .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                    for payload in batch {
+                        dispatch(Envelope {
+                            from,
+                            to,
+                            priority,
+                            payload,
+                        });
+                    }
+                    return Ok(());
+                }
+            }
+            let envelopes = batch.into_iter().map(|payload| Envelope {
+                from,
+                to,
+                priority,
+                payload,
             });
+            return if mailbox.push_batch(envelopes, priority) {
+                Ok(())
+            } else {
+                Err(TransportError::Closed)
+            };
+        }
+        self.ensure_delayer_thread();
+        let delayer = self
+            .delayer
+            .as_ref()
+            .expect("latency or interposer set but no delayer");
+        let (lock, cvar) = &*delayer.state;
+        let mut guard = lock.lock();
+        if guard.shutdown {
+            return Err(TransportError::Closed);
+        }
+        let pass = SendPlan::pass();
+        for (i, payload) in batch.into_iter().enumerate() {
+            let plan = plans.get(i).unwrap_or(&pass);
+            let envelope = Envelope {
+                from,
+                to,
+                priority,
+                payload,
+            };
+            self.stage_delayed(&mut guard, envelope, plan, now);
         }
         cvar.notify_one();
         Ok(())

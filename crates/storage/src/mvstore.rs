@@ -24,12 +24,19 @@ use crate::shard;
 use crate::txn_id::TxnId;
 
 /// One committed version of a key.
+///
+/// The commit vector clock is held behind an [`Arc`]: a transaction that
+/// writes several keys installs every version with the *same* shared clock,
+/// and handing a version out of the store ([`MvStore::last`]) clones the
+/// handle, not the clock — chain walks and snapshot comparisons on the read
+/// hot path never copy clock entries.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Version {
     /// The stored value.
     pub value: Value,
-    /// Commit vector clock of the transaction that produced this version.
-    pub vc: VectorClock,
+    /// Commit vector clock of the transaction that produced this version,
+    /// shared with every other version that transaction installed.
+    pub vc: Arc<VectorClock>,
     /// The transaction that produced this version.
     pub writer: TxnId,
 }
@@ -241,7 +248,12 @@ impl MvStore {
     }
 
     /// Installs a new version of `key` (Algorithm 2, `apply(k, val, vc)`).
-    pub fn apply(&self, key: Key, value: Value, vc: VectorClock, writer: TxnId) {
+    ///
+    /// Accepts either an owned [`VectorClock`] or an `Arc<VectorClock>`;
+    /// multi-key transactions should install every key with a clone of one
+    /// shared `Arc` so the clock is stored once.
+    pub fn apply(&self, key: Key, value: Value, vc: impl Into<Arc<VectorClock>>, writer: TxnId) {
+        let vc = vc.into();
         let shard = self.shard(&key);
         shard.installed.fetch_add(1, Ordering::Relaxed);
         let mut chains = shard.write();
@@ -389,7 +401,7 @@ mod tests {
         for i in 1..=3 {
             chain.push(Version {
                 value: Value::from_u64(i),
-                vc: vc(&[i, 0]),
+                vc: vc(&[i, 0]).into(),
                 writer: txn(i),
             });
         }

@@ -28,7 +28,7 @@
 
 mod vector_clock;
 
-pub use vector_clock::{VcOrdering, VectorClock};
+pub use vector_clock::{VcOrdering, VectorClock, INLINE_WIDTH};
 
 /// Identifier of a node (site) in the cluster.
 ///

@@ -1,6 +1,14 @@
 //! The [`VectorClock`] type and its partial order.
 
 use serde::{Deserialize, Serialize};
+use smallvec::SmallVec;
+
+/// Number of entries a [`VectorClock`] stores inline (without heap
+/// allocation). Clusters up to this size — which covers every configuration
+/// the paper evaluates — never allocate for a clock, and clock clones on the
+/// message hot path are plain `memcpy`s. Larger clusters transparently spill
+/// to the heap.
+pub const INLINE_WIDTH: usize = 8;
 
 /// Result of comparing two vector clocks under the entry-wise partial order.
 ///
@@ -29,6 +37,11 @@ pub enum VcOrdering {
 /// panic if the widths differ — mixing clocks from clusters of different
 /// sizes is always a logic error.
 ///
+/// Entries are stored inline for clusters of up to [`INLINE_WIDTH`] nodes
+/// (spilling to the heap beyond that), so creating, cloning and dropping
+/// clocks — which happens on every protocol message — does not touch the
+/// allocator in the common case.
+///
 /// # Example
 ///
 /// ```rust
@@ -41,7 +54,7 @@ pub enum VcOrdering {
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct VectorClock {
-    entries: Vec<u64>,
+    entries: SmallVec<[u64; INLINE_WIDTH]>,
 }
 
 impl VectorClock {
@@ -53,7 +66,7 @@ impl VectorClock {
     pub fn new(width: usize) -> Self {
         assert!(width > 0, "vector clock width must be non-zero");
         VectorClock {
-            entries: vec![0; width],
+            entries: SmallVec::from_elem(0, width),
         }
     }
 
@@ -64,7 +77,15 @@ impl VectorClock {
     /// Panics if `entries` is empty.
     pub fn from_entries(entries: Vec<u64>) -> Self {
         assert!(!entries.is_empty(), "vector clock width must be non-zero");
-        VectorClock { entries }
+        VectorClock {
+            entries: SmallVec::from_vec(entries),
+        }
+    }
+
+    /// `true` when the entries are stored inline (width at most
+    /// [`INLINE_WIDTH`]): no heap allocation backs this clock.
+    pub fn is_inline(&self) -> bool {
+        !self.entries.spilled()
     }
 
     /// Number of entries (equals the number of nodes in the cluster).
@@ -344,5 +365,33 @@ mod tests {
         let c: VectorClock = vec![1, 2, 3].into();
         assert_eq!(c.as_slice(), &[1, 2, 3]);
         assert_eq!(c.as_ref(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn small_clusters_stay_inline() {
+        assert!(VectorClock::new(1).is_inline());
+        assert!(VectorClock::new(INLINE_WIDTH).is_inline());
+        let mut c = VectorClock::new(4);
+        c.increment(3);
+        assert!(c.clone().is_inline(), "clones stay inline too");
+    }
+
+    #[test]
+    fn wide_clusters_spill_but_behave_identically() {
+        let width = INLINE_WIDTH + 3;
+        let mut wide = VectorClock::new(width);
+        assert!(!wide.is_inline());
+        wide.increment(INLINE_WIDTH);
+        wide.set(0, 5);
+        let mut other = VectorClock::new(width);
+        other.set(1, 7);
+        let merged = wide.merged(&other);
+        assert_eq!(merged.get(0), 5);
+        assert_eq!(merged.get(1), 7);
+        assert_eq!(merged.get(INLINE_WIDTH), 1);
+        assert!(merged.dominates(&wide) && merged.dominates(&other));
+        let from_vec = VectorClock::from_entries(vec![1; width]);
+        assert!(!from_vec.is_inline());
+        assert_eq!(from_vec.width(), width);
     }
 }

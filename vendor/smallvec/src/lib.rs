@@ -1,0 +1,366 @@
+//! Offline stand-in for the subset of the `smallvec` crate API this
+//! workspace uses (the build environment has no access to crates.io): a
+//! vector that stores up to `N` elements inline and spills to the heap only
+//! beyond that capacity.
+//!
+//! The workspace uses it for allocation-lean vector clocks
+//! (`sss-vclock`): clusters up to the inline arity never heap-allocate a
+//! clock, and clock clones on the message hot path become plain `memcpy`s.
+//!
+//! Differences from the real crate, acceptable for a stand-in:
+//!
+//! * backed by a default-initialized array plus an (initially unallocated)
+//!   `Vec`, so `Array::Item` must implement [`Default`] — true for every
+//!   element type the workspace stores;
+//! * once spilled, a `SmallVec` never moves back inline (matching the real
+//!   crate's behaviour for everything but `shrink_to_fit`).
+
+#![deny(missing_docs)]
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Deref, DerefMut};
+
+/// Backing storage of a [`SmallVec`]: a fixed-size array type.
+///
+/// Implemented for `[T; N]` for every `T: Default` and every `N`.
+pub trait Array {
+    /// Element type stored by the array.
+    type Item;
+    /// Number of elements storable inline.
+    const CAPACITY: usize;
+    /// The initialized portion of the buffer as a slice.
+    fn as_slice(&self) -> &[Self::Item];
+    /// The initialized portion of the buffer as a mutable slice.
+    fn as_mut_slice(&mut self) -> &mut [Self::Item];
+    /// A buffer with every slot holding `Item::default()`.
+    fn filled_with_default() -> Self;
+    /// Moves the first `len` elements out of the buffer into `out`,
+    /// leaving defaults behind.
+    fn drain_into(&mut self, len: usize, out: &mut Vec<Self::Item>);
+}
+
+impl<T: Default, const N: usize> Array for [T; N] {
+    type Item = T;
+    const CAPACITY: usize = N;
+
+    fn as_slice(&self) -> &[T] {
+        self
+    }
+
+    fn as_mut_slice(&mut self) -> &mut [T] {
+        self
+    }
+
+    fn filled_with_default() -> Self {
+        std::array::from_fn(|_| T::default())
+    }
+
+    fn drain_into(&mut self, len: usize, out: &mut Vec<T>) {
+        for slot in self.iter_mut().take(len) {
+            out.push(std::mem::take(slot));
+        }
+    }
+}
+
+/// A vector storing up to `A::CAPACITY` elements inline, spilling to the
+/// heap beyond that.
+///
+/// ```rust
+/// use smallvec::SmallVec;
+///
+/// let mut v: SmallVec<[u64; 4]> = SmallVec::new();
+/// for i in 0..4 {
+///     v.push(i);
+/// }
+/// assert!(!v.spilled());
+/// v.push(4);
+/// assert!(v.spilled());
+/// assert_eq!(&v[..], &[0, 1, 2, 3, 4]);
+/// ```
+pub struct SmallVec<A: Array> {
+    len: usize,
+    inline: A,
+    heap: Vec<A::Item>,
+    spilled: bool,
+}
+
+impl<A: Array> SmallVec<A> {
+    /// Creates an empty vector (no heap allocation).
+    pub fn new() -> Self {
+        SmallVec {
+            len: 0,
+            inline: A::filled_with_default(),
+            heap: Vec::new(),
+            spilled: false,
+        }
+    }
+
+    /// Creates an empty vector able to hold `capacity` elements; spills
+    /// immediately when `capacity` exceeds the inline arity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let mut v = SmallVec::new();
+        if capacity > A::CAPACITY {
+            v.heap.reserve(capacity);
+            v.spilled = true;
+        }
+        v
+    }
+
+    /// Builds a vector by moving the elements of `vec` in. A `vec` longer
+    /// than the inline arity is taken over as-is without copying.
+    pub fn from_vec(vec: Vec<A::Item>) -> Self {
+        if vec.len() > A::CAPACITY {
+            SmallVec {
+                len: 0,
+                inline: A::filled_with_default(),
+                heap: vec,
+                spilled: true,
+            }
+        } else {
+            let mut v = SmallVec::new();
+            for item in vec {
+                v.push(item);
+            }
+            v
+        }
+    }
+
+    /// Number of stored elements.
+    pub fn len(&self) -> usize {
+        if self.spilled {
+            self.heap.len()
+        } else {
+            self.len
+        }
+    }
+
+    /// `true` when no elements are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `true` once the vector moved to heap storage.
+    pub fn spilled(&self) -> bool {
+        self.spilled
+    }
+
+    /// Appends `item`, spilling to the heap when the inline buffer is full.
+    pub fn push(&mut self, item: A::Item) {
+        if !self.spilled {
+            if self.len < A::CAPACITY {
+                self.inline.as_mut_slice()[self.len] = item;
+                self.len += 1;
+                return;
+            }
+            self.heap.reserve(A::CAPACITY + 1);
+            self.inline.drain_into(self.len, &mut self.heap);
+            self.len = 0;
+            self.spilled = true;
+        }
+        self.heap.push(item);
+    }
+
+    /// The stored elements as a slice.
+    pub fn as_slice(&self) -> &[A::Item] {
+        if self.spilled {
+            &self.heap
+        } else {
+            &self.inline.as_slice()[..self.len]
+        }
+    }
+
+    /// The stored elements as a mutable slice.
+    pub fn as_mut_slice(&mut self) -> &mut [A::Item] {
+        if self.spilled {
+            &mut self.heap
+        } else {
+            &mut self.inline.as_mut_slice()[..self.len]
+        }
+    }
+}
+
+impl<A: Array> SmallVec<A>
+where
+    A::Item: Clone,
+{
+    /// A vector holding `n` clones of `elem`.
+    pub fn from_elem(elem: A::Item, n: usize) -> Self {
+        let mut v = SmallVec::with_capacity(n);
+        for _ in 0..n {
+            v.push(elem.clone());
+        }
+        v
+    }
+
+    /// A vector holding a clone of every element of `slice`.
+    pub fn from_slice(slice: &[A::Item]) -> Self {
+        let mut v = SmallVec::with_capacity(slice.len());
+        for item in slice {
+            v.push(item.clone());
+        }
+        v
+    }
+}
+
+impl<A: Array> Default for SmallVec<A> {
+    fn default() -> Self {
+        SmallVec::new()
+    }
+}
+
+impl<A: Array> Deref for SmallVec<A> {
+    type Target = [A::Item];
+    fn deref(&self) -> &[A::Item] {
+        self.as_slice()
+    }
+}
+
+impl<A: Array> DerefMut for SmallVec<A> {
+    fn deref_mut(&mut self) -> &mut [A::Item] {
+        self.as_mut_slice()
+    }
+}
+
+impl<A: Array> AsRef<[A::Item]> for SmallVec<A> {
+    fn as_ref(&self) -> &[A::Item] {
+        self.as_slice()
+    }
+}
+
+impl<A: Array> Clone for SmallVec<A>
+where
+    A::Item: Clone,
+{
+    fn clone(&self) -> Self {
+        SmallVec::from_slice(self.as_slice())
+    }
+}
+
+impl<A: Array> PartialEq for SmallVec<A>
+where
+    A::Item: PartialEq,
+{
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<A: Array> Eq for SmallVec<A> where A::Item: Eq {}
+
+impl<A: Array> Hash for SmallVec<A>
+where
+    A::Item: Hash,
+{
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl<A: Array> fmt::Debug for SmallVec<A>
+where
+    A::Item: fmt::Debug,
+{
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self.as_slice(), f)
+    }
+}
+
+impl<A: Array> FromIterator<A::Item> for SmallVec<A> {
+    fn from_iter<I: IntoIterator<Item = A::Item>>(iter: I) -> Self {
+        let mut v = SmallVec::new();
+        for item in iter {
+            v.push(item);
+        }
+        v
+    }
+}
+
+impl<A: Array> From<Vec<A::Item>> for SmallVec<A> {
+    fn from(vec: Vec<A::Item>) -> Self {
+        SmallVec::from_vec(vec)
+    }
+}
+
+impl<'a, A: Array> IntoIterator for &'a SmallVec<A> {
+    type Item = &'a A::Item;
+    type IntoIter = std::slice::Iter<'a, A::Item>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stays_inline_up_to_capacity() {
+        let mut v: SmallVec<[u64; 4]> = SmallVec::new();
+        assert!(v.is_empty());
+        for i in 0..4 {
+            v.push(i);
+        }
+        assert!(!v.spilled());
+        assert_eq!(v.len(), 4);
+        assert_eq!(&v[..], &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn spills_beyond_capacity_and_preserves_order() {
+        let mut v: SmallVec<[u64; 2]> = SmallVec::new();
+        for i in 0..5 {
+            v.push(i);
+        }
+        assert!(v.spilled());
+        assert_eq!(&v[..], &[0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn from_vec_takes_large_vectors_over() {
+        let v: SmallVec<[u64; 2]> = SmallVec::from_vec(vec![1, 2, 3]);
+        assert!(v.spilled());
+        assert_eq!(&v[..], &[1, 2, 3]);
+        let small: SmallVec<[u64; 4]> = SmallVec::from_vec(vec![1, 2]);
+        assert!(!small.spilled());
+        assert_eq!(&small[..], &[1, 2]);
+    }
+
+    #[test]
+    fn from_elem_and_mutation() {
+        let mut v: SmallVec<[u64; 8]> = SmallVec::from_elem(0, 3);
+        v[1] = 9;
+        assert_eq!(&v[..], &[0, 9, 0]);
+        assert!(!v.spilled());
+    }
+
+    #[test]
+    fn equality_and_clone_compare_contents_not_storage() {
+        let inline: SmallVec<[u64; 4]> = SmallVec::from_slice(&[1, 2, 3]);
+        let mut spilled: SmallVec<[u64; 4]> = SmallVec::with_capacity(8);
+        for i in [1, 2, 3] {
+            spilled.push(i);
+        }
+        assert!(spilled.spilled());
+        assert_eq!(inline, spilled);
+        assert_eq!(inline.clone(), inline);
+    }
+
+    #[test]
+    fn collects_from_iterators() {
+        let v: SmallVec<[u64; 4]> = (0..3).collect();
+        assert_eq!(&v[..], &[0, 1, 2]);
+        let total: u64 = (&v).into_iter().sum();
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn works_with_non_copy_items() {
+        let mut v: SmallVec<[String; 2]> = SmallVec::new();
+        for s in ["a", "b", "c"] {
+            v.push(s.to_string());
+        }
+        assert!(v.spilled());
+        assert_eq!(v.as_slice().join(""), "abc");
+    }
+}
