@@ -1,25 +1,29 @@
 //! Closed-loop throughput/latency harness over the engine registry.
 //!
-//! Sweeps (engine × storage-shard-count × delivery-batch-size) cells,
-//! prints a summary table and writes the machine-readable
-//! `BENCH_throughput.json` (schema `sss-throughput/v2`). See the README's
-//! "Benchmark methodology" section.
+//! Sweeps (engine × storage-shard-count × delivery-batch-size ×
+//! confirm-epoch-window) cells, prints a summary table and writes the
+//! machine-readable `BENCH_throughput.json` (schema `sss-throughput/v3`).
+//! See the README's "Benchmark methodology" section. The epoch dimension
+//! only varies SSS (the baselines have no confirmation rounds to group);
+//! non-SSS engines run a single cell per (shards, batch) combination.
 //!
 //! ```sh
 //! cargo run --release -p sss-bench --bin throughput
 //! cargo run --release -p sss-bench --bin throughput -- \
-//!     --engines sss,2pc --nodes 4 --shards 1,8 --batch 1,16 --read-only 10
+//!     --engines sss,2pc --nodes 4 --shards 1,8 --batch 1,16 \
+//!     --epoch 1,32 --read-only 10
 //! cargo run --release -p sss-bench --bin throughput -- --smoke   # CI
 //! ```
 //!
 //! Options (defaults in parentheses): `--engines sss,2pc,walter,rococo` —
 //! comma-separated registry names; `--shards 8` — shard counts swept per
 //! engine; `--batch 1,16` — per-wakeup delivery batch sizes swept per cell;
-//! `--nodes 4`, `--replication 2`, `--clients 8` (per node), `--keys 1024`,
-//! `--read-only 10` (percent), `--warmup-ms 300`, `--measure-ms 1500`,
-//! `--ops N` (fixed total measured operations instead of a timed window),
-//! `--seed 42`, `--out BENCH_throughput.json`, `--smoke` (tiny fixed-ops
-//! preset for CI).
+//! `--epoch 32` — SSS grouped-confirmation epoch windows swept per cell
+//! (1 disables grouping); `--nodes 4`, `--replication 2`, `--clients 8`
+//! (per node), `--keys 1024`, `--read-only 10` (percent),
+//! `--warmup-ms 300`, `--measure-ms 1500`, `--ops N` (fixed total measured
+//! operations instead of a timed window), `--seed 42`,
+//! `--out BENCH_throughput.json`, `--smoke` (tiny fixed-ops preset for CI).
 
 use std::time::Duration;
 
@@ -59,6 +63,15 @@ fn main() {
             .map(|s| {
                 s.parse::<usize>()
                     .unwrap_or_else(|_| panic!("--batch expects numbers, got {s:?}"))
+            })
+            .collect();
+    }
+    if let Some(epochs) = parse_value(&args, "--epoch") {
+        config.epoch_windows = epochs
+            .split(',')
+            .map(|s| {
+                s.parse::<usize>()
+                    .unwrap_or_else(|_| panic!("--epoch expects numbers, got {s:?}"))
             })
             .collect();
     }

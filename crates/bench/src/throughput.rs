@@ -31,9 +31,20 @@
 //!   message accounting (messages per committed transaction, messages per
 //!   worker wakeup, locally delivered messages) quantifies what batching
 //!   and the local delivery fast path save.
+//! * **Epoch sweep** — `epoch_windows` sweeps SSS's grouped
+//!   external-commit confirmation window (`EngineTuning::confirm_epoch`);
+//!   window 1 reproduces the per-transaction confirmation round of the
+//!   base protocol. Baseline engines ignore the knob, so only the first
+//!   window is run for them. Per-message-kind counts in the report
+//!   attribute the round-reduction win per message type.
+//! * **Conservation check** — each trial asserts that the mailbox
+//!   counters balance exactly across the measured window
+//!   (`MailboxStats::conserves`): the backlog gauges of the two snapshots
+//!   reconcile any in-window drain of pre-window traffic, so a skewed
+//!   count is a harness bug, not noise.
 //!
 //! The report serializes to the machine-readable `BENCH_throughput.json`
-//! (schema `sss-throughput/v2`, documented in the repository README) so
+//! (schema `sss-throughput/v3`, documented in the repository README) so
 //! future changes have a perf trajectory to compare against.
 
 use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
@@ -54,6 +65,11 @@ pub struct ThroughputConfig {
     /// cell, in order. Batch size 1 reproduces one-message-per-wakeup
     /// delivery exactly.
     pub batch_sizes: Vec<usize>,
+    /// Grouped-confirmation epoch windows to sweep per cell, in order
+    /// (SSS only — baseline engines ignore the knob, so the sweep runs
+    /// only the first window for them). Window 1 reproduces the
+    /// per-transaction confirmation round of the base protocol.
+    pub epoch_windows: Vec<usize>,
     /// Cluster size.
     pub nodes: usize,
     /// Replicas per key.
@@ -95,6 +111,7 @@ impl Default for ThroughputConfig {
             ],
             shard_counts: vec![8],
             batch_sizes: vec![1, sss_engine::DEFAULT_DELIVERY_BATCH],
+            epoch_windows: vec![sss_engine::DEFAULT_CONFIRM_EPOCH],
             nodes: 4,
             replication: 2,
             clients_per_node: 8,
@@ -187,6 +204,9 @@ pub struct ThroughputRun {
     pub storage_shards: usize,
     /// Per-wakeup delivery batch size the engine was built with.
     pub delivery_batch: usize,
+    /// Grouped-confirmation epoch window the engine was built with (SSS
+    /// only; `<= 1` means per-transaction rounds; ignored by baselines).
+    pub confirm_epoch: usize,
     /// Committed transactions inside the measured window.
     pub committed: u64,
     /// Aborted attempts inside the measured window.
@@ -200,6 +220,10 @@ pub struct ThroughputRun {
     pub storage: Option<StorageStats>,
     /// Mailbox traffic diffed over the measured window, if exposed.
     pub mailbox: Option<MailboxStats>,
+    /// Per-message-kind send counts over the window, labelled by the
+    /// engine's protocol message names (empty when the engine does not
+    /// classify its traffic). Summed across trials like the counters.
+    pub message_kinds: Vec<(String, u64)>,
 }
 
 impl ThroughputRun {
@@ -264,10 +288,22 @@ pub fn run_throughput(config: &ThroughputConfig) -> ThroughputReport {
     } else {
         config.batch_sizes.clone()
     };
+    let epochs = if config.epoch_windows.is_empty() {
+        vec![sss_engine::DEFAULT_CONFIRM_EPOCH]
+    } else {
+        config.epoch_windows.clone()
+    };
     for &engine_kind in &config.engines {
         for &shards in &config.shard_counts {
             for &batch in &batches {
-                runs.push(run_cell(config, engine_kind, shards, batch));
+                for (i, &epoch) in epochs.iter().enumerate() {
+                    // Only SSS consumes the epoch window; rerunning a
+                    // baseline per window would duplicate identical cells.
+                    if i > 0 && engine_kind != EngineKind::Sss {
+                        continue;
+                    }
+                    runs.push(run_cell(config, engine_kind, shards, batch, epoch));
+                }
             }
         }
     }
@@ -277,14 +313,15 @@ pub fn run_throughput(config: &ThroughputConfig) -> ThroughputReport {
     }
 }
 
-/// Runs one (engine × shard count × batch size) cell: `config.trials`
-/// trials, each a fresh engine build + populate + warm-up + measured
-/// window, aggregated.
+/// Runs one (engine × shard count × batch size × epoch window) cell:
+/// `config.trials` trials, each a fresh engine build + populate + warm-up +
+/// measured window, aggregated.
 pub fn run_cell(
     config: &ThroughputConfig,
     kind: EngineKind,
     shards: usize,
     batch: usize,
+    epoch: usize,
 ) -> ThroughputRun {
     let trials = config.trials.max(1);
     let mut aggregate: Option<ThroughputRun> = None;
@@ -292,7 +329,7 @@ pub fn run_cell(
     for trial in 0..trials {
         let mut trial_config = config.clone();
         trial_config.seed = config.seed.wrapping_add(trial as u64);
-        let (run, latencies) = run_trial(&trial_config, kind, shards, batch);
+        let (run, latencies) = run_trial(&trial_config, kind, shards, batch, epoch);
         all_latencies.extend(latencies);
         aggregate = Some(match aggregate.take() {
             None => run,
@@ -316,6 +353,15 @@ pub fn run_cell(
                     (Some(mine), Some(theirs)) => mine.merge(theirs),
                     (slot @ None, Some(theirs)) => *slot = Some(*theirs),
                     _ => {}
+                }
+                if total.message_kinds.len() == run.message_kinds.len() {
+                    for (mine, theirs) in
+                        total.message_kinds.iter_mut().zip(run.message_kinds.iter())
+                    {
+                        mine.1 += theirs.1;
+                    }
+                } else if total.message_kinds.is_empty() {
+                    total.message_kinds = run.message_kinds.clone();
                 }
                 total
             }
@@ -350,12 +396,15 @@ fn run_trial(
     kind: EngineKind,
     shards: usize,
     batch: usize,
+    epoch: usize,
 ) -> (ThroughputRun, Vec<Duration>) {
     let engine = kind.build_tuned(
         config.nodes,
         config.replication,
         NetProfile::Instant,
-        EngineTuning::with_storage_shards(shards).delivery_batch(batch),
+        EngineTuning::with_storage_shards(shards)
+            .delivery_batch(batch)
+            .confirm_epoch(epoch),
         None,
     );
     let spec = config.spec();
@@ -470,7 +519,17 @@ fn run_trial(
                 after.is_coherent(),
                 "incoherent mailbox snapshot: {after:?}"
             );
-            after.diff(&mailbox_before.unwrap_or_default())
+            let before = mailbox_before.unwrap_or_default();
+            // Stats-coherence assertion: the two snapshots' backlog gauges
+            // must reconcile the window's enqueue/dequeue counters exactly
+            // (per class, summed over the cluster's paired per-node
+            // snapshots). A violation means a counting window where a
+            // dequeue is visible before its enqueue — a harness/stats bug.
+            assert!(
+                MailboxStats::conserves(&before, &after),
+                "mailbox window books must balance: before={before:?} after={after:?}"
+            );
+            after.diff(&before)
         });
 
         handles
@@ -487,16 +546,26 @@ fn run_trial(
         aborted += tally.aborted;
         latencies.extend(tally.latencies);
     }
+    let message_kinds = match (engine.message_kind_labels(), &mailbox_window) {
+        (Some(labels), Some(mb)) => labels
+            .iter()
+            .zip(mb.per_kind.iter())
+            .map(|(label, count)| (label.to_string(), *count))
+            .collect(),
+        _ => Vec::new(),
+    };
     let run = ThroughputRun {
         engine: kind.label().to_string(),
         storage_shards: shards,
         delivery_batch: batch,
+        confirm_epoch: epoch,
         committed,
         aborted,
         window,
         latency: LatencyQuantiles::default(),
         storage: storage_window,
         mailbox: mailbox_window,
+        message_kinds,
     };
     (run, latencies)
 }
@@ -511,10 +580,11 @@ pub fn render_table(report: &ThroughputReport) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:<8} {:>7} {:>6} {:>12} {:>9} {:>9} {:>9} {:>9} {:>8} {:>10}",
+        "{:<8} {:>7} {:>6} {:>6} {:>12} {:>9} {:>9} {:>9} {:>9} {:>8} {:>10}",
         "engine",
         "shards",
         "batch",
+        "epoch",
         "ops/s",
         "p50(us)",
         "p95(us)",
@@ -535,10 +605,11 @@ pub fn render_table(report: &ThroughputReport) -> String {
             .unwrap_or(0);
         let _ = writeln!(
             out,
-            "{:<8} {:>7} {:>6} {:>12.1} {:>9} {:>9} {:>9} {:>8.1}% {:>8.1} {:>10}",
+            "{:<8} {:>7} {:>6} {:>6} {:>12.1} {:>9} {:>9} {:>9} {:>8.1}% {:>8.1} {:>10}",
             run.engine,
             run.storage_shards,
             run.delivery_batch,
+            run.confirm_epoch,
             run.ops_per_sec(),
             run.latency.p50_us,
             run.latency.p95_us,
@@ -573,13 +644,13 @@ fn json_u64_array(values: impl IntoIterator<Item = u64>) -> String {
 }
 
 /// Serializes the report as the `BENCH_throughput.json` document (schema
-/// `sss-throughput/v2`; see the README's benchmark-methodology section).
+/// `sss-throughput/v3`; see the README's benchmark-methodology section).
 pub fn render_json(report: &ThroughputReport) -> String {
     use std::fmt::Write as _;
     let cfg = &report.config;
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"sss-throughput/v2\",\n");
+    out.push_str("  \"schema\": \"sss-throughput/v3\",\n");
     let _ = writeln!(out, "  \"config\": {{");
     let engines: Vec<String> = cfg
         .engines
@@ -596,6 +667,11 @@ pub fn render_json(report: &ThroughputReport) -> String {
         out,
         "    \"batch_sizes\": {},",
         json_u64_array(cfg.batch_sizes.iter().map(|&b| b as u64))
+    );
+    let _ = writeln!(
+        out,
+        "    \"epoch_windows\": {},",
+        json_u64_array(cfg.epoch_windows.iter().map(|&w| w as u64))
     );
     let _ = writeln!(out, "    \"nodes\": {},", cfg.nodes);
     let _ = writeln!(out, "    \"replication\": {},", cfg.replication);
@@ -631,6 +707,7 @@ pub fn render_json(report: &ThroughputReport) -> String {
         let _ = writeln!(out, "      \"engine\": \"{}\",", json_escape(&run.engine));
         let _ = writeln!(out, "      \"storage_shards\": {},", run.storage_shards);
         let _ = writeln!(out, "      \"delivery_batch\": {},", run.delivery_batch);
+        let _ = writeln!(out, "      \"confirm_epoch\": {},", run.confirm_epoch);
         let _ = writeln!(out, "      \"ops_per_sec\": {:.3},", run.ops_per_sec());
         let _ = writeln!(out, "      \"committed\": {},", run.committed);
         let _ = writeln!(out, "      \"aborted\": {},", run.aborted);
@@ -682,20 +759,33 @@ pub fn render_json(report: &ThroughputReport) -> String {
         out.push_str("      \"mailbox\": ");
         match &run.mailbox {
             Some(mb) => {
+                let per_kind = if run.message_kinds.is_empty() {
+                    "null".to_string()
+                } else {
+                    let parts: Vec<String> = run
+                        .message_kinds
+                        .iter()
+                        .map(|(label, count)| format!("\"{}\": {}", json_escape(label), count))
+                        .collect();
+                    format!("{{{}}}", parts.join(", "))
+                };
                 let _ = writeln!(
                     out,
-                    "{{\"enqueued\": {}, \"dequeued\": {}, \"enqueue_ops\": {}, \
+                    "{{\"enqueued\": {}, \"dequeued\": {}, \"queued\": {}, \
+                     \"enqueue_ops\": {}, \
                      \"dequeue_ops\": {}, \"local_delivered\": {}, \
                      \"messages_per_txn\": {:.3}, \"local_per_txn\": {:.3}, \
-                     \"messages_per_wakeup\": {:.3}}}",
+                     \"messages_per_wakeup\": {:.3}, \"per_kind\": {}}}",
                     mb.total_enqueued(),
                     mb.total_dequeued(),
+                    mb.total_queued(),
                     mb.enqueue_ops,
                     mb.dequeue_ops,
                     mb.local_delivered,
                     run.messages_per_txn(),
                     run.local_per_txn(),
-                    mb.messages_per_wakeup()
+                    mb.messages_per_wakeup(),
+                    per_kind
                 );
             }
             None => out.push_str("null\n"),
@@ -739,10 +829,11 @@ mod tests {
             trials: 1,
             ..ThroughputConfig::default()
         };
-        let run = run_cell(&config, EngineKind::TwoPc, 2, 8);
+        let run = run_cell(&config, EngineKind::TwoPc, 2, 8, 1);
         assert_eq!(run.engine, "2PC");
         assert_eq!(run.storage_shards, 2);
         assert_eq!(run.delivery_batch, 8);
+        assert_eq!(run.confirm_epoch, 1);
         assert_eq!(run.committed + run.aborted, 16, "4 clients x 4 ops each");
         assert!(run.ops_per_sec() > 0.0);
         let storage = run.storage.expect("2PC exposes storage stats");
@@ -771,12 +862,15 @@ mod tests {
         let report = run_throughput(&config);
         assert_eq!(report.runs.len(), 1);
         let json = render_json(&report);
-        assert!(json.contains("\"schema\": \"sss-throughput/v2\""));
+        assert!(json.contains("\"schema\": \"sss-throughput/v3\""));
         assert!(json.contains("\"engine\": \"ROCOCO\""));
         assert!(json.contains("\"ops_per_sec\""));
         assert!(json.contains("\"batch_sizes\""));
+        assert!(json.contains("\"epoch_windows\""));
         assert!(json.contains("\"delivery_batch\""));
+        assert!(json.contains("\"confirm_epoch\""));
         assert!(json.contains("\"messages_per_txn\""));
+        assert!(json.contains("\"queued\""));
         // Cheap structural sanity: balanced braces and brackets.
         let balance = |open: char, close: char| {
             json.chars().filter(|&c| c == open).count()
@@ -785,6 +879,46 @@ mod tests {
         assert!(balance('{', '}'));
         assert!(balance('[', ']'));
         assert!(!render_table(&report).is_empty());
+    }
+
+    #[test]
+    fn sss_epoch_sweep_attributes_messages_per_kind() {
+        let config = ThroughputConfig {
+            engines: vec![EngineKind::Sss, EngineKind::TwoPc],
+            shard_counts: vec![1],
+            batch_sizes: vec![4],
+            epoch_windows: vec![1, 16],
+            nodes: 2,
+            replication: 1,
+            clients_per_node: 1,
+            total_keys: 32,
+            warmup: Duration::from_millis(5),
+            fixed_ops: Some(8),
+            trials: 1,
+            ..ThroughputConfig::default()
+        };
+        let report = run_throughput(&config);
+        // SSS runs once per epoch window; the baseline ignores the knob and
+        // runs only the first.
+        assert_eq!(report.runs.len(), 3);
+        let sss: Vec<_> = report.runs.iter().filter(|r| r.engine == "SSS").collect();
+        assert_eq!(sss.len(), 2);
+        assert_eq!((sss[0].confirm_epoch, sss[1].confirm_epoch), (1, 16));
+        for run in &sss {
+            assert!(
+                run.message_kinds
+                    .iter()
+                    .any(|(label, _)| label == "Prepare"),
+                "SSS attributes traffic per protocol message kind"
+            );
+            let attributed: u64 = run.message_kinds.iter().map(|(_, count)| count).sum();
+            assert!(attributed > 0, "measured window saw classified traffic");
+        }
+        let baseline = report.runs.iter().find(|r| r.engine == "2PC").unwrap();
+        assert!(
+            baseline.message_kinds.is_empty(),
+            "2PC does not classify its traffic"
+        );
     }
 
     #[test]

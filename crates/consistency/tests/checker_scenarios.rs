@@ -171,6 +171,55 @@ fn adya_cross_node_ordering_anomaly_is_rejected() {
     );
 }
 
+/// Mutation probe for the grouped external-commit confirmation: two update
+/// transactions share one `ConfirmExternal` round, and a (deliberately
+/// buggy) coordinator answers the *second* member's client as soon as the
+/// round acknowledged the first — before the round's coverage extends to
+/// the second member's write on every node. A reader that starts after
+/// that premature response but still observes the pre-write version is
+/// exactly the history such a mis-grouping produces, and the checker must
+/// reject it. Guards the invariant that an epoch-grouped round may only
+/// release members whose commit vectors it actually carried.
+#[test]
+fn misgrouped_confirmation_release_is_rejected() {
+    let base = Instant::now();
+    let seed = TxnRecordBuilder::new(txn(0, 0), TxnKind::Update)
+        .started(at(base, 0))
+        .finished(at(base, 1))
+        .write("x", Value::from_u64(0))
+        .write("y", Value::from_u64(0))
+        .build();
+    // First group member: confirmed correctly, its response is fine.
+    let w1 = TxnRecordBuilder::new(txn(1, 1), TxnKind::Update)
+        .started(at(base, 5))
+        .finished(at(base, 8))
+        .read("x", Some(Value::from_u64(0)), Some(txn(0, 0)))
+        .write("x", Value::from_u64(1))
+        .build();
+    // Second group member: its client response rides on w1's ack even
+    // though its own write was never covered by the round — the response
+    // lands before the write is visible anywhere.
+    let w2 = TxnRecordBuilder::new(txn(2, 2), TxnKind::Update)
+        .started(at(base, 6))
+        .finished(at(base, 9))
+        .read("y", Some(Value::from_u64(0)), Some(txn(0, 0)))
+        .write("y", Value::from_u64(1))
+        .build();
+    // Reader starts after both responses, sees w1's write but still the
+    // pre-w2 version of y: the premature release made real time and the
+    // serialization order disagree.
+    let reader = TxnRecordBuilder::new(txn(0, 9), TxnKind::ReadOnly)
+        .started(at(base, 12))
+        .finished(at(base, 14))
+        .read("x", Some(Value::from_u64(1)), Some(txn(1, 1)))
+        .read("y", Some(Value::from_u64(0)), Some(txn(0, 0)))
+        .build();
+    let history: History = [seed, w1, w2, reader].into_iter().collect();
+    let err = check_external_consistency(&history)
+        .expect_err("a stale read after a mis-grouped release must be rejected");
+    assert!(matches!(err, ConsistencyError::CycleDetected { .. }));
+}
+
 /// A long chain of serially dependent update transactions followed by a
 /// reader of the final state: the graph is large but acyclic, and the
 /// checker must accept it quickly.

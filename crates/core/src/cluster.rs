@@ -64,6 +64,10 @@ impl SssCluster {
                 transport_config.interposer(Arc::clone(injector) as Arc<dyn FaultInterposer>);
         }
         let transport = Arc::new(ChannelTransport::new(transport_config));
+        // Per-kind message accounting: every send is attributed to its
+        // protocol message type, so harnesses can attribute round-reduction
+        // wins per kind.
+        transport.set_message_classifier(|message: &SssMessage| message.kind_index());
         if let Some(injector) = &injector {
             injector.attach_pause_controls(
                 (0..config.nodes)

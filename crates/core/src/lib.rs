@@ -70,7 +70,7 @@ mod stats;
 
 pub use cluster::SssCluster;
 pub use commit_queue::{CommitEntry, CommitQueue, CommitStatus};
-pub use config::SssConfig;
+pub use config::{SssConfig, DEFAULT_CONFIRM_EPOCH};
 pub use error::{AbortReason, SssError};
 pub use messages::{Ack, PropagatedEntry, ReadReturn, SssMessage, Vote};
 pub use nlog::{NLog, NLogEntry};

@@ -139,44 +139,64 @@ pub enum SssMessage {
         /// Where write replicas deliver their external-commit `Ack`.
         ack_reply: ReplySender<Ack>,
     },
-    /// `Remove[T]`: the read-only transaction `txn` returned to its client;
-    /// delete its entries from every local snapshot-queue (§III-C).
+    /// `Remove[T..]`: the read-only transactions in `txns` returned to their
+    /// clients; delete their entries from every local snapshot-queue
+    /// (§III-C). Carrying a batch of transactions per message is the GC
+    /// coalescing of the round-reduction optimisation: the per-transaction
+    /// multicast becomes one message per destination per epoch.
     Remove {
-        /// The completed read-only transaction.
-        txn: TxnId,
+        /// The completed read-only transactions.
+        txns: Vec<TxnId>,
     },
-    /// `ConfirmExternal[T, commitVC]`: the coordinator of update transaction
-    /// `txn` collected the external-commit `Ack` of **every** write replica —
-    /// the transaction is now globally externally committed. Broadcast to
-    /// every node; each node merges `commit_vc` into its `confirmed_vc` (so
-    /// that transactions beginning there afterwards start from a snapshot
-    /// covering `txn`) and answers with an `Ack`. The coordinator responds
-    /// to its client only after every node acknowledged, so a transaction
-    /// that *starts* after the client response is guaranteed to serialize
-    /// after `txn` — the cross-node completion-order guarantee.
+    /// `ConfirmExternal[(T, commitVC)..]`: the coordinator collected the
+    /// external-commit `Ack` of **every** write replica for each update
+    /// transaction in `entries` — those transactions are now globally
+    /// externally committed. Broadcast to every node; each node merges every
+    /// entry's `commit_vc` into its `confirmed_vc` (so that transactions
+    /// beginning there afterwards start from a snapshot covering the whole
+    /// group) and answers with a single `Ack`. The coordinator responds to
+    /// the grouped transactions' clients only after every node acknowledged,
+    /// so a transaction that *starts* after any of those client responses is
+    /// guaranteed to serialize after the corresponding entry — the
+    /// cross-node completion-order guarantee, amortized over an epoch of
+    /// concurrent committers (one round per coordinator epoch instead of one
+    /// per transaction).
     ///
     /// Note that this message does **not** release read-only reads parked on
-    /// `txn`: it is necessarily processed *before* `txn`'s client response,
-    /// and a reader that observed `txn`'s versions must not respond earlier
-    /// than `txn` itself does. The separate [`SssMessage::ReleaseExternal`],
-    /// sent after the confirmation round completes, does that.
+    /// the entries themselves: it is necessarily processed *before* their
+    /// client responses, and a reader that observed an entry's versions must
+    /// not respond earlier than that entry does. The `release` list —
+    /// transactions whose *previous* confirmation round already completed —
+    /// piggybacks that release step on this round instead of a dedicated
+    /// [`SssMessage::ReleaseExternal`] broadcast, and `remove` likewise
+    /// carries completed read-only transactions whose snapshot-queue entries
+    /// can be dropped. Removes are processed first (they can unblock
+    /// waiting external commits), then the confirmations, then the releases.
     ConfirmExternal {
-        /// The globally externally committed update transaction.
-        txn: TxnId,
-        /// Its commit vector clock.
-        commit_vc: VectorClock,
-        /// Where to deliver this node's acknowledgement.
+        /// The globally externally committed update transactions, each with
+        /// its commit vector clock.
+        entries: Vec<(TxnId, std::sync::Arc<VectorClock>)>,
+        /// Piggybacked `ReleaseExternal` payload: transactions whose
+        /// confirmation round completed before this one was sent.
+        release: Vec<TxnId>,
+        /// Piggybacked `Remove` payload: completed read-only transactions.
+        remove: Vec<TxnId>,
+        /// Where to deliver this node's acknowledgement. The `Ack.txn` is
+        /// the round id: the first entry's transaction.
         reply: ReplySender<Ack>,
     },
-    /// `ReleaseExternal[T]`: the confirmation round for `txn` completed (its
-    /// client is being answered); write replicas drop `txn` from their
-    /// locally-acked-but-unconfirmed set and serve any read-only read parked
-    /// on it. Readers released here respond after `txn`'s confirmation
-    /// round, so every transaction starting after *their* responses also
-    /// starts after `txn` is globally visible.
+    /// `ReleaseExternal[T..]`: the confirmation rounds for `txns` completed
+    /// (their clients are being answered); write replicas drop them from
+    /// their locally-acked-but-unconfirmed set and serve any read-only read
+    /// parked on them. Readers released here respond after the writers'
+    /// confirmation rounds, so every transaction starting after *their*
+    /// responses also starts after the writers are globally visible.
+    ///
+    /// Sent standalone only when no follow-up `ConfirmExternal` round is
+    /// available as a carrier (the coalescer drained its queue).
     ReleaseExternal {
-        /// The update transaction whose parked readers may now be answered.
-        txn: TxnId,
+        /// The update transactions whose parked readers may now be answered.
+        txns: Vec<TxnId>,
     },
     /// Registers additional `Remove` targets for a read-only transaction at
     /// its coordinator node. Sent by the coordinator of an update
@@ -210,14 +230,32 @@ impl SssMessage {
 
     /// Short human-readable name used in traces and statistics.
     pub fn kind(&self) -> &'static str {
+        Self::KIND_LABELS[self.kind_index()]
+    }
+
+    /// Labels for the per-kind message counters, indexed by
+    /// [`SssMessage::kind_index`].
+    pub const KIND_LABELS: [&'static str; 7] = [
+        "ReadRequest",
+        "Prepare",
+        "Decide",
+        "Remove",
+        "RegisterForward",
+        "ConfirmExternal",
+        "ReleaseExternal",
+    ];
+
+    /// Dense index of this message's kind, used as the per-kind counter slot
+    /// in [`sss_net::MailboxStats`] (always `< MESSAGE_KIND_SLOTS`).
+    pub fn kind_index(&self) -> usize {
         match self {
-            SssMessage::ReadRequest { .. } => "ReadRequest",
-            SssMessage::Prepare { .. } => "Prepare",
-            SssMessage::Decide { .. } => "Decide",
-            SssMessage::Remove { .. } => "Remove",
-            SssMessage::RegisterForward { .. } => "RegisterForward",
-            SssMessage::ConfirmExternal { .. } => "ConfirmExternal",
-            SssMessage::ReleaseExternal { .. } => "ReleaseExternal",
+            SssMessage::ReadRequest { .. } => 0,
+            SssMessage::Prepare { .. } => 1,
+            SssMessage::Decide { .. } => 2,
+            SssMessage::Remove { .. } => 3,
+            SssMessage::RegisterForward { .. } => 4,
+            SssMessage::ConfirmExternal { .. } => 5,
+            SssMessage::ReleaseExternal { .. } => 6,
         }
     }
 }
@@ -230,10 +268,11 @@ mod tests {
     #[test]
     fn critical_messages_have_high_priority() {
         let remove = SssMessage::Remove {
-            txn: TxnId::new(NodeId(0), 1),
+            txns: vec![TxnId::new(NodeId(0), 1)],
         };
         assert_eq!(remove.priority(), Priority::High);
         assert_eq!(remove.kind(), "Remove");
+        assert_eq!(SssMessage::KIND_LABELS[remove.kind_index()], remove.kind());
 
         let (reply, _rx) = reply_channel(1);
         let read = SssMessage::ReadRequest {

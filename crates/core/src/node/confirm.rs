@@ -1,0 +1,283 @@
+//! Epoch-grouped external-commit confirmation (the round coalescer).
+//!
+//! The base protocol runs one `ConfirmExternal` broadcast-and-ack round per
+//! committed update transaction — the completion-order barrier that makes
+//! client-observed completions match the serialization order (paper §III-C;
+//! the §V priority discussion identifies this fan-out as the external-commit
+//! cost center). The coalescer amortizes that round over a *coordinator
+//! epoch*: one broadcast confirms every update transaction that pre-committed
+//! on this node while the previous round was in flight (up to
+//! [`crate::SssConfig::confirm_epoch_max`] per round), and the
+//! `ReleaseExternal` / read-only `Remove` traffic of completed transactions
+//! piggybacks inside the same envelope instead of travelling as dedicated
+//! messages.
+//!
+//! # Self-clocking rounds, bounded linger
+//!
+//! The coalescer is *self-clocking*: the first committer to arrive while no
+//! round is in flight becomes the **leader** and drives rounds until the
+//! queue drains; committers arriving while a round is in flight enqueue and
+//! wait for their round's result. An idle cluster therefore pays zero added
+//! latency (a lone committer leads a singleton round immediately — exactly
+//! the base protocol), while a loaded one amortizes one broadcast over the
+//! whole window. Rounds on a fast network complete well before a window's
+//! worth of committers can arrive, so between the rounds of one burst —
+//! never before the first — the leader lingers for
+//! [`crate::SssConfig::confirm_linger`] to let the next round fill (and to
+//! give completed members' piggybacked releases a carrier). The wait for a
+//! queued committer is therefore bounded by one in-flight round plus one
+//! linger.
+//!
+//! Membership push and the leader's exit check run under the same lock, so a
+//! committer either enqueues before the leader's final emptiness check (and
+//! is covered by another round) or observes `in_flight == false` and leads
+//! itself — no lost wakeups.
+//!
+//! # Why grouping is safe
+//!
+//! Grouping only *delays client responses*; it never advances them. Each
+//! member's client is answered only after every node acknowledged a round
+//! carrying the member's commit vector clock, so the base protocol's
+//! guarantee — a transaction starting after the response, anywhere, begins
+//! from a snapshot covering the member — holds per member exactly as in the
+//! per-transaction rounds. Parked read-only reads are still released only
+//! *after* their writer's round completed (the release rides the next round
+//! or a standalone flush, both of which are sent only once the writer's
+//! round collected all of its acks), so a release can never overtake its
+//! confirmation at any node, even under fault-plan reordering. The
+//! commit-queue ambiguity deferral and the snapshot pinning of read-only
+//! transactions are decided entirely by vector clocks and queue contents,
+//! which grouping does not alter.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use sss_net::{reply_channel, Priority, ReplyReceiver, ReplySender, TransportExt};
+use sss_storage::TxnId;
+use sss_vclock::{NodeId, VectorClock};
+
+use crate::messages::{Ack, SssMessage};
+
+use super::SssNode;
+
+/// One update transaction waiting for a grouped confirmation round.
+struct PendingConfirm {
+    txn: TxnId,
+    commit_vc: Arc<VectorClock>,
+    /// Where the round leader reports the round outcome (`true` iff every
+    /// node acknowledged).
+    waiter: ReplySender<bool>,
+}
+
+#[derive(Default)]
+struct CoalescerState {
+    /// `true` while a leader is driving rounds; set and cleared under the
+    /// same lock as the `pending` pushes (see the module docs).
+    in_flight: bool,
+    pending: Vec<PendingConfirm>,
+    /// Completed rounds' members awaiting their `ReleaseExternal`, riding
+    /// the next round (or a standalone flush when the queue drains).
+    pending_release: Vec<TxnId>,
+    /// Completed read-only transactions whose `Remove` piggybacks on the
+    /// next round (only populated while a round is in flight, so the delay
+    /// is bounded by that single round).
+    pending_remove: Vec<TxnId>,
+}
+
+/// Per-node grouped-confirmation state. See the module documentation.
+#[derive(Default)]
+pub(crate) struct ConfirmCoalescer {
+    state: Mutex<CoalescerState>,
+}
+
+impl SssNode {
+    /// Runs the external-commit confirmation of `txn` through the grouped
+    /// coalescer: enqueues it for the next round, leads rounds if no leader
+    /// is active, and returns once a round carrying `txn` completed —
+    /// `true` iff every node acknowledged that round.
+    pub(crate) fn confirm_external_grouped(&self, txn: TxnId, commit_vc: VectorClock) -> bool {
+        let (waiter, receiver) = reply_channel(1);
+        let lead = {
+            let mut st = self.confirm.state.lock();
+            st.pending.push(PendingConfirm {
+                txn,
+                commit_vc: Arc::new(commit_vc),
+                waiter,
+            });
+            !std::mem::replace(&mut st.in_flight, true)
+        };
+        if lead {
+            self.run_confirm_rounds();
+        }
+        receiver
+            .recv_timeout(self.config().ack_timeout)
+            .unwrap_or(false)
+    }
+
+    /// Piggybacks the `Remove` of a completed read-only transaction on the
+    /// next confirmation round if one is already in flight (the broadcast is
+    /// a superset of the targeted multicast, and the leader is actively
+    /// looping, so the delay is bounded by that round). Returns `false` when
+    /// no round is in flight — the caller must send a targeted `Remove`
+    /// immediately, because parking the remove on an idle coalescer would
+    /// hold blocked writers toward their `precommit_hold_max`.
+    pub(crate) fn queue_remove_on_next_round(&self, txn: TxnId) -> bool {
+        let mut st = self.confirm.state.lock();
+        if st.in_flight {
+            st.pending_remove.push(txn);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Leader loop: drives confirmation rounds until the queue (and the
+    /// piggyback payloads) drain. Runs on the committing client's thread —
+    /// never on a mailbox worker, which must not block on acks.
+    fn run_confirm_rounds(&self) {
+        let all_nodes = self.config().nodes;
+        let window = self.config().confirm_epoch_max.max(1);
+        let piggyback = self.config().piggyback;
+        let linger = self.config().confirm_linger;
+        // The leader lingers briefly between rounds of a burst (never before
+        // its first round, so a lone committer on an idle coordinator pays
+        // nothing): rounds complete much faster than transactions arrive, and
+        // without the pause every round would carry only the one or two
+        // commits that happened to land while the previous round was in
+        // flight. The pause lets a window's worth of committers accumulate —
+        // and gives completed members' piggybacked releases a carrier — at a
+        // bounded, configurable latency cost for the queued members.
+        let mut lingered = false;
+        let mut first_round = true;
+        loop {
+            let (batch, release, remove) = {
+                let mut st = self.confirm.state.lock();
+                if st.pending.is_empty()
+                    && st.pending_release.is_empty()
+                    && st.pending_remove.is_empty()
+                {
+                    // Exit under the same lock as the membership pushes: any
+                    // committer that enqueued before this check is covered
+                    // above; any later one sees `in_flight == false` and
+                    // leads itself.
+                    st.in_flight = false;
+                    return;
+                }
+                if !first_round && !lingered && st.pending.len() < window && !linger.is_zero() {
+                    drop(st);
+                    std::thread::sleep(linger);
+                    lingered = true;
+                    continue;
+                }
+                let take = st.pending.len().min(window);
+                (
+                    st.pending.drain(..take).collect::<Vec<_>>(),
+                    std::mem::take(&mut st.pending_release),
+                    std::mem::take(&mut st.pending_remove),
+                )
+            };
+            first_round = false;
+            lingered = false;
+
+            if batch.is_empty() {
+                // The confirm queue drained but piggyback payloads remain:
+                // no carrier is coming, flush them standalone. Removes go
+                // first — they can unblock waiting external commits.
+                if !remove.is_empty() {
+                    let _ = self.transport().multicast(
+                        self.id(),
+                        (0..all_nodes).map(NodeId),
+                        SssMessage::Remove { txns: remove },
+                        Priority::High,
+                    );
+                }
+                if !release.is_empty() {
+                    let _ = self.transport().multicast(
+                        self.id(),
+                        (0..all_nodes).map(NodeId),
+                        SssMessage::ReleaseExternal { txns: release },
+                        Priority::High,
+                    );
+                }
+                continue;
+            }
+
+            // The round id (used by the ack dedup on the handler side) is
+            // the first member's transaction.
+            let round_id = batch[0].txn;
+            let entries: Vec<(TxnId, Arc<VectorClock>)> = batch
+                .iter()
+                .map(|p| (p.txn, Arc::clone(&p.commit_vc)))
+                .collect();
+            let (reply, receiver) = reply_channel(all_nodes);
+            let confirm = SssMessage::ConfirmExternal {
+                entries,
+                release,
+                remove,
+                reply,
+            };
+            let sent = self
+                .transport()
+                .multicast(
+                    self.id(),
+                    (0..all_nodes).map(NodeId),
+                    confirm,
+                    Priority::High,
+                )
+                .is_ok();
+            let ok = sent
+                && collect_round_acks(&receiver, round_id, all_nodes, self.config().ack_timeout);
+
+            // The round is complete and its members' clients are about to be
+            // answered: their parked readers may now be released. On success
+            // and failure alike (a timed-out confirmation must still release,
+            // or readers would stay parked forever — same as the base
+            // protocol's failure-path release). With piggybacking the release
+            // rides the next round; without it, it is flushed immediately as
+            // its own broadcast (the A/B arm isolating the grouping win).
+            let members: Vec<TxnId> = batch.iter().map(|p| p.txn).collect();
+            if piggyback {
+                self.confirm.state.lock().pending_release.extend(members);
+            } else {
+                let _ = self.transport().multicast(
+                    self.id(),
+                    (0..all_nodes).map(NodeId),
+                    SssMessage::ReleaseExternal { txns: members },
+                    Priority::High,
+                );
+            }
+            for member in batch {
+                member.waiter.send(ok);
+            }
+        }
+    }
+}
+
+/// Collects the round's acknowledgements: one per distinct node, matching
+/// the round id, within `timeout`.
+fn collect_round_acks(
+    receiver: &ReplyReceiver<Ack>,
+    round: TxnId,
+    expected: usize,
+    timeout: Duration,
+) -> bool {
+    let deadline = Instant::now() + timeout;
+    let mut seen = vec![false; expected];
+    let mut distinct = 0;
+    while distinct < expected {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        match receiver.recv_timeout(remaining) {
+            Some(ack) if ack.txn == round => {
+                let slot = ack.from.index();
+                if slot < expected && !seen[slot] {
+                    seen[slot] = true;
+                    distinct += 1;
+                }
+            }
+            Some(_) => continue,
+            None => return false,
+        }
+    }
+    true
+}

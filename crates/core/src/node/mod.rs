@@ -14,6 +14,7 @@
 //!   `waiting_external` and is re-checked after every `Remove`.
 
 mod commit;
+mod confirm;
 mod read;
 mod remove;
 mod state;
@@ -53,6 +54,9 @@ pub struct SssNode {
     locks: LockTable,
     counters: NodeCounters,
     next_txn_seq: AtomicU64,
+    /// Epoch-grouped external-commit confirmation state (see
+    /// [`confirm`] module docs); used when `config.confirm_epoch_max > 1`.
+    confirm: confirm::ConfirmCoalescer,
 }
 
 impl SssNode {
@@ -72,6 +76,7 @@ impl SssNode {
             locks: LockTable::with_shards(config.storage_shards),
             counters: NodeCounters::default(),
             next_txn_seq: AtomicU64::new(0),
+            confirm: confirm::ConfirmCoalescer::default(),
             config,
         }
     }
@@ -166,13 +171,28 @@ impl SssNode {
                 .map(|set| set.into_iter().collect())
                 .unwrap_or_default()
         };
+        // Piggyback (round-reduction optimisation): when a grouped
+        // confirmation round is already in flight, the `Remove` rides its
+        // broadcast — which covers every node, a superset of the targeted
+        // multicast — instead of travelling as dedicated messages. Bounded
+        // delay: the leader is actively looping, so the remove is sent at
+        // the next round boundary.
+        if self.config.confirm_epoch_max > 1
+            && self.config.piggyback
+            && self.queue_remove_on_next_round(txn)
+        {
+            return;
+        }
         let mut targets = self.replicas.replicas_of_all(read_keys.iter());
         targets.extend(extra);
         targets.sort();
         targets.dedup();
-        let _ =
-            self.transport
-                .multicast(self.id, targets, SssMessage::Remove { txn }, Priority::High);
+        let _ = self.transport.multicast(
+            self.id,
+            targets,
+            SssMessage::Remove { txns: vec![txn] },
+            Priority::High,
+        );
     }
 
     /// Garbage-collects old versions on this node, keeping the configured
@@ -257,16 +277,17 @@ impl NodeService<SssMessage> for SssNode {
                 propagated,
                 ack_reply,
             } => self.handle_decide(txn, commit_vc, outcome, propagated, ack_reply),
-            SssMessage::Remove { txn } => self.handle_remove(txn),
+            SssMessage::Remove { txns } => self.handle_remove(txns),
             SssMessage::RegisterForward { txn, targets } => {
                 self.handle_register_forward(txn, targets)
             }
             SssMessage::ConfirmExternal {
-                txn,
-                commit_vc,
+                entries,
+                release,
+                remove,
                 reply,
-            } => self.handle_confirm_external(txn, commit_vc, reply),
-            SssMessage::ReleaseExternal { txn } => self.handle_release_external(txn),
+            } => self.handle_confirm_external(entries, release, remove, reply),
+            SssMessage::ReleaseExternal { txns } => self.handle_release_external(txns),
         }
     }
 }

@@ -121,42 +121,62 @@ impl SssNode {
         }
     }
 
-    /// Handles `ConfirmExternal[T, commitVC]`: advances the node's confirmed
-    /// snapshot — transactions beginning here afterwards serialize after the
-    /// writer — and acknowledges the coordinator. Parked reads stay parked
-    /// until the writer's `ReleaseExternal`.
+    /// Handles a (possibly grouped) `ConfirmExternal`: advances the node's
+    /// confirmed snapshot by every entry's commit clock — transactions
+    /// beginning here afterwards serialize after the whole group — and
+    /// acknowledges the coordinator once per round. Parked reads stay parked
+    /// until their writer's release, which arrives in a *later* round's
+    /// `release` list (or a standalone `ReleaseExternal`); the piggybacked
+    /// `remove` payload is processed first because removes can unblock
+    /// waiting external commits.
     pub(super) fn handle_confirm_external(
         &self,
-        txn: TxnId,
-        commit_vc: VectorClock,
+        entries: Vec<(TxnId, std::sync::Arc<VectorClock>)>,
+        release: Vec<TxnId>,
+        remove: Vec<TxnId>,
         reply: ReplySender<crate::messages::Ack>,
     ) {
+        if !remove.is_empty() {
+            self.handle_remove(remove);
+        }
+        let round = entries.first().map(|(txn, _)| *txn);
         let first_copy = {
             let mut state = self.state.lock();
-            state.confirmed_vc.merge(&commit_vc);
-            state.confirm_acked.insert(txn)
+            for (_, commit_vc) in &entries {
+                state.confirmed_vc.merge(commit_vc);
+            }
+            round.is_some_and(|id| state.confirm_acked.insert(id))
         };
-        // Acknowledge only the first delivery: the reply channel is bounded
-        // by the node count, so a duplicated confirm whose extra ack filled
-        // a slot could crowd out another node's (distinct) ack and fail the
-        // coordinator's confirmation round for a committed transaction.
-        if first_copy {
+        if !release.is_empty() {
+            self.handle_release_external(release);
+        }
+        // Acknowledge only the first delivery of a round: the reply channel
+        // is bounded by the node count, so a duplicated confirm whose extra
+        // ack filled a slot could crowd out another node's (distinct) ack
+        // and fail the coordinator's confirmation round for a committed
+        // group. The round id is the first entry's transaction.
+        if let (true, Some(id)) = (first_copy, round) {
             reply.send(crate::messages::Ack {
                 from: self.id(),
-                txn,
+                txn: id,
             });
         }
     }
 
-    /// Handles `ReleaseExternal[T]`: the writer's confirmation round is
-    /// complete and its client is being answered, so its versions may now
-    /// reach read-only clients. Releases every read parked on it.
-    pub(super) fn handle_release_external(&self, txn: TxnId) {
+    /// Handles `ReleaseExternal[T..]`: the writers' confirmation rounds are
+    /// complete and their clients are being answered, so their versions may
+    /// now reach read-only clients. Releases every read parked on any of
+    /// them.
+    pub(super) fn handle_release_external(&self, txns: Vec<TxnId>) {
         let mut state = self.state.lock();
-        state.released_external.insert(txn);
-        state.pending_global.remove(&txn);
-        let (released, still): (Vec<ParkedRead>, Vec<ParkedRead>) =
-            state.parked_reads.drain(..).partition(|p| p.writer == txn);
+        for txn in &txns {
+            state.released_external.insert(*txn);
+            state.pending_global.remove(txn);
+        }
+        let (released, still): (Vec<ParkedRead>, Vec<ParkedRead>) = state
+            .parked_reads
+            .drain(..)
+            .partition(|p| txns.contains(&p.writer));
         state.parked_reads = still;
         for parked in released {
             // Re-run the full selection: the queue and log moved on while

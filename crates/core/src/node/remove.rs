@@ -10,17 +10,20 @@ use crate::stats::NodeCounters;
 use super::SssNode;
 
 impl SssNode {
-    /// Handles `Remove[T]`: deletes every snapshot-queue entry of the
-    /// completed read-only transaction and releases any update transaction
-    /// that was only waiting on it.
-    pub(super) fn handle_remove(&self, txn: TxnId) {
-        NodeCounters::bump(&self.counters().removes_processed);
+    /// Handles `Remove[T..]`: deletes every snapshot-queue entry of the
+    /// completed read-only transactions and releases any update transaction
+    /// that was only waiting on them. Batches amortize the state lock and
+    /// the unblock re-evaluation over the whole group.
+    pub(super) fn handle_remove(&self, txns: Vec<TxnId>) {
         let mut state = self.state.lock();
-        // Remember the completion so that a propagated entry arriving later
-        // (a Decide racing with this Remove) is suppressed instead of
-        // blocking its writer forever.
-        state.removed_ro.insert(txn);
-        state.squeues.remove_txn_everywhere(txn);
+        for txn in txns {
+            NodeCounters::bump(&self.counters().removes_processed);
+            // Remember the completion so that a propagated entry arriving
+            // later (a Decide racing with this Remove) is suppressed instead
+            // of blocking its writer forever.
+            state.removed_ro.insert(txn);
+            state.squeues.remove_txn_everywhere(txn);
+        }
         self.release_unblocked_external_commits(&mut state);
     }
 
@@ -52,7 +55,7 @@ impl SssNode {
                 let _ = self.transport().send(
                     self.id(),
                     target,
-                    SssMessage::Remove { txn },
+                    SssMessage::Remove { txns: vec![txn] },
                     Priority::High,
                 );
             }

@@ -390,38 +390,55 @@ impl UpdateTransaction {
         // for the whole (very generous) ack timeout and consistency is
         // best-effort anyway.
         let all_nodes = node.config().nodes;
-        let (confirm_reply, confirm_receiver) = reply_channel(all_nodes);
-        let confirm = SssMessage::ConfirmExternal {
-            txn: self.id,
-            commit_vc,
-            reply: confirm_reply,
-        };
-        let _ = node.transport().multicast(
-            node.id(),
-            (0..all_nodes).map(NodeId),
-            confirm,
-            Priority::High,
-        );
-
-        let confirm_failed = timed_out
-            || !collect_acks(
-                &confirm_receiver,
-                self.id,
-                all_nodes,
-                node.config().ack_timeout,
+        let confirm_failed = if node.config().confirm_epoch_max > 1 {
+            // Grouped path: the coalescer runs one round per coordinator
+            // epoch covering every transaction that pre-committed in that
+            // window, and handles the release phase itself (piggybacked on
+            // the next round or flushed standalone), on success and failure
+            // alike.
+            let confirmed = node.confirm_external_grouped(self.id, commit_vc);
+            timed_out || !confirmed
+        } else {
+            // Per-transaction path (epoch window <= 1): one singleton round
+            // and a standalone release, reproducing the base protocol's
+            // message sequence exactly.
+            let (confirm_reply, confirm_receiver) = reply_channel(all_nodes);
+            let confirm = SssMessage::ConfirmExternal {
+                entries: vec![(self.id, Arc::new(commit_vc))],
+                release: Vec::new(),
+                remove: Vec::new(),
+                reply: confirm_reply,
+            };
+            let _ = node.transport().multicast(
+                node.id(),
+                (0..all_nodes).map(NodeId),
+                confirm,
+                Priority::High,
             );
+            let failed = timed_out
+                || !collect_acks(
+                    &confirm_receiver,
+                    self.id,
+                    all_nodes,
+                    node.config().ack_timeout,
+                );
 
-        // Release phase: the confirmation round is done (the client response
-        // is next), so readers parked on this transaction's versions may be
-        // answered. Sent to the write replicas — the only nodes that can
-        // hold parked reads for this transaction — and also on the failure
-        // paths, so a timed-out commit never leaves readers parked forever.
-        let _ = node.transport().multicast(
-            node.id(),
-            write_replicas.iter().copied(),
-            SssMessage::ReleaseExternal { txn: self.id },
-            Priority::High,
-        );
+            // Release phase: the confirmation round is done (the client
+            // response is next), so readers parked on this transaction's
+            // versions may be answered. Sent to the write replicas — the
+            // only nodes that can hold parked reads for this transaction —
+            // and also on the failure paths, so a timed-out commit never
+            // leaves readers parked forever.
+            let _ = node.transport().multicast(
+                node.id(),
+                write_replicas.iter().copied(),
+                SssMessage::ReleaseExternal {
+                    txns: vec![self.id],
+                },
+                Priority::High,
+            );
+            failed
+        };
 
         if confirm_failed {
             return Err(SssError::ExternalCommitTimeout);

@@ -18,7 +18,7 @@ use sss_core::adapter::{SssEngine, SssEngineSession};
 use crate::traits::{EngineSession, TransactionEngine, TxnOutcome};
 
 macro_rules! bind_engine {
-    ($engine:ty, $session:ty, $name:literal $(, diagnostics: $diag:expr)?) => {
+    ($engine:ty, $session:ty, $name:literal $(, diagnostics: $diag:expr)? $(, kinds: $kinds:expr)?) => {
         impl TransactionEngine for $engine {
             fn name(&self) -> &str {
                 $name
@@ -44,6 +44,12 @@ macro_rules! bind_engine {
                 fn diagnostics(&self) -> Option<String> {
                     #[allow(clippy::redundant_closure_call)]
                     Some(($diag)(self))
+                }
+            )?
+
+            $(
+                fn message_kind_labels(&self) -> Option<&'static [&'static str]> {
+                    Some($kinds)
                 }
             )?
         }
@@ -86,7 +92,8 @@ bind_engine!(
     SssEngine,
     SssEngineSession,
     "SSS",
-    diagnostics: |engine: &SssEngine| engine.cluster().diagnostics()
+    diagnostics: |engine: &SssEngine| engine.cluster().diagnostics(),
+    kinds: &sss_core::SssMessage::KIND_LABELS
 );
 bind_engine!(TwoPcEngine, TwoPcEngineSession, "2PC");
 bind_engine!(WalterEngine, WalterEngineSession, "Walter");

@@ -44,6 +44,7 @@ pub use profile::NetProfile;
 pub use registry::{EngineKind, EngineTuning, ParseEngineKindError};
 pub use traits::{EngineSession, TransactionEngine, TxnOutcome};
 
+pub use sss_core::DEFAULT_CONFIRM_EPOCH;
 pub use sss_faults::{FaultInjector, FaultPlan};
-pub use sss_net::{MailboxStats, DEFAULT_DELIVERY_BATCH};
+pub use sss_net::{MailboxStats, DEFAULT_DELIVERY_BATCH, MESSAGE_KIND_SLOTS};
 pub use sss_storage::StorageStats;

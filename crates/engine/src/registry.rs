@@ -30,6 +30,16 @@ pub struct EngineTuning {
     /// Clamped to at least 1; batch size 1 reproduces
     /// one-message-per-wakeup delivery.
     pub delivery_batch: Option<usize>,
+    /// Epoch window of SSS's grouped external-commit confirmation: up to
+    /// this many update transactions share one `ConfirmExternal` round.
+    /// `Some(w)` with `w <= 1` disables grouping (per-transaction rounds);
+    /// `None` keeps the engine's default
+    /// (`sss_core::DEFAULT_CONFIRM_EPOCH`). Ignored by the baselines.
+    pub confirm_epoch: Option<usize>,
+    /// Whether SSS piggybacks `ReleaseExternal`/`Remove` traffic on grouped
+    /// confirmation rounds; `None` keeps the engine's default (enabled).
+    /// Ignored by the baselines.
+    pub piggyback: Option<bool>,
 }
 
 impl EngineTuning {
@@ -52,6 +62,20 @@ impl EngineTuning {
     /// Sets the per-wakeup delivery batch size, keeping other knobs.
     pub fn delivery_batch(mut self, batch: usize) -> Self {
         self.delivery_batch = Some(batch);
+        self
+    }
+
+    /// Sets SSS's grouped-confirmation epoch window (`<= 1` disables
+    /// grouping), keeping other knobs.
+    pub fn confirm_epoch(mut self, window: usize) -> Self {
+        self.confirm_epoch = Some(window);
+        self
+    }
+
+    /// Enables or disables SSS's release/remove piggybacking, keeping other
+    /// knobs.
+    pub fn piggyback(mut self, enabled: bool) -> Self {
+        self.piggyback = Some(enabled);
         self
     }
 }
@@ -181,6 +205,12 @@ impl EngineKind {
                 }
                 if let Some(batch) = tuning.delivery_batch {
                     config = config.delivery_batch(batch);
+                }
+                if let Some(window) = tuning.confirm_epoch {
+                    config = config.confirm_epoch_max(window);
+                }
+                if let Some(enabled) = tuning.piggyback {
+                    config = config.piggyback(enabled);
                 }
                 if let Some(injector) = injector {
                     config = config.fault_injector(Arc::clone(injector));

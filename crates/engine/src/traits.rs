@@ -131,6 +131,14 @@ pub trait TransactionEngine: Sync {
     fn mailbox_totals(&self) -> Option<sss_net::MailboxStats> {
         None
     }
+
+    /// Labels of the per-kind message counters in
+    /// [`sss_net::MailboxStats::per_kind`], indexed by counter slot, if the
+    /// engine classifies its traffic. `None` means the per-kind slots are
+    /// unattributed and should be ignored.
+    fn message_kind_labels(&self) -> Option<&'static [&'static str]> {
+        None
+    }
 }
 
 impl<E: TransactionEngine + ?Sized> TransactionEngine for Box<E> {
@@ -157,6 +165,10 @@ impl<E: TransactionEngine + ?Sized> TransactionEngine for Box<E> {
     fn mailbox_totals(&self) -> Option<sss_net::MailboxStats> {
         (**self).mailbox_totals()
     }
+
+    fn message_kind_labels(&self) -> Option<&'static [&'static str]> {
+        (**self).message_kind_labels()
+    }
 }
 
 impl<E: TransactionEngine + Send + Sync + ?Sized> TransactionEngine for Arc<E> {
@@ -182,6 +194,10 @@ impl<E: TransactionEngine + Send + Sync + ?Sized> TransactionEngine for Arc<E> {
 
     fn mailbox_totals(&self) -> Option<sss_net::MailboxStats> {
         (**self).mailbox_totals()
+    }
+
+    fn message_kind_labels(&self) -> Option<&'static [&'static str]> {
+        (**self).message_kind_labels()
     }
 }
 

@@ -40,7 +40,9 @@ mod runtime;
 mod transport;
 
 pub use latency::LatencyModel;
-pub use mailbox::{Mailbox, MailboxStats, PauseControl, Priority, DEFAULT_DELIVERY_BATCH};
+pub use mailbox::{
+    Mailbox, MailboxStats, PauseControl, Priority, DEFAULT_DELIVERY_BATCH, MESSAGE_KIND_SLOTS,
+};
 pub use reply::{reply_channel, ReplyReceiver, ReplySender, ReplyTryRecvError};
 pub use runtime::{NodeRuntime, NodeService};
 pub use transport::{

@@ -27,6 +27,14 @@ use parking_lot::{Condvar, Mutex};
 /// delivery exactly.
 pub const DEFAULT_DELIVERY_BATCH: usize = 16;
 
+/// Number of per-message-kind counter slots carried by [`MailboxStats`].
+///
+/// Kept as a fixed array so the stats stay `Copy`; protocols classify their
+/// messages into slot indices via
+/// [`ChannelTransport::set_message_classifier`](crate::ChannelTransport::set_message_classifier)
+/// and publish the slot labels alongside. Unused slots stay zero.
+pub const MESSAGE_KIND_SLOTS: usize = 8;
+
 /// A pause gate shared between a [`Mailbox`] and a fault injector.
 ///
 /// While paused, [`Mailbox::pop`] stops handing out messages — the node's
@@ -137,6 +145,14 @@ pub struct MailboxStats {
     pub enqueued: [u64; 3],
     /// Messages dequeued per priority class (high, normal, low).
     pub dequeued: [u64; 3],
+    /// Messages currently sitting in the queues per priority class — a
+    /// *gauge*, not a counter, snapshotted under the same mutex as the
+    /// counters so `queued[i] == enqueued[i] - dequeued[i]` holds exactly
+    /// per snapshot. Carrying the backlog in the snapshot is what lets a
+    /// window diff be reconciled exactly (see [`MailboxStats::conserves`]):
+    /// without it, backlog draining inside a window shows up as more
+    /// dequeues than enqueues with nothing to balance the books against.
+    pub queued: [u64; 3],
     /// Enqueue operations: each push or push_batch counts once, however
     /// many messages it carried.
     pub enqueue_ops: u64,
@@ -147,6 +163,13 @@ pub struct MailboxStats {
     /// entering a queue (the transport's local fast path); not included in
     /// `enqueued`/`dequeued`.
     pub local_delivered: u64,
+    /// Messages sent to this mailbox per protocol-message kind, as
+    /// classified by the transport's message classifier (see
+    /// [`MESSAGE_KIND_SLOTS`]). Counted once per logical send — queued and
+    /// locally-delivered messages both — so with no fault-injected
+    /// duplication `sum(per_kind) == total_enqueued + local_delivered`.
+    /// All-zero when no classifier is registered.
+    pub per_kind: [u64; MESSAGE_KIND_SLOTS],
 }
 
 impl MailboxStats {
@@ -181,16 +204,43 @@ impl MailboxStats {
             .all(|(e, d)| d <= e)
     }
 
+    /// Exact message conservation between two snapshots of the same mailbox
+    /// (or of the same *set* of mailboxes merged node-by-node): per class,
+    /// every message queued at the `earlier` snapshot or enqueued in the
+    /// window was either dequeued in the window or is still queued at the
+    /// `later` snapshot. This is the accounting identity that window diffs
+    /// alone cannot express — a diff with `dequeued > enqueued` is backlog
+    /// from before the window draining inside it, and the `queued` gauges
+    /// on both sides are exactly what balance the books. The identity is
+    /// linear, so it holds for cluster-merged totals as long as each node's
+    /// earlier/later snapshots are paired.
+    pub fn conserves(earlier: &MailboxStats, later: &MailboxStats) -> bool {
+        let window = later.diff(earlier);
+        (0..3)
+            .all(|i| earlier.queued[i] + window.enqueued[i] == window.dequeued[i] + later.queued[i])
+    }
+
+    /// Total number of messages currently queued across all classes (the
+    /// snapshot's backlog gauge).
+    pub fn total_queued(&self) -> u64 {
+        self.queued.iter().sum()
+    }
+
     /// Entry-wise sum with `other`, used to aggregate per-node mailboxes
-    /// into a cluster total.
+    /// into a cluster total. The `queued` gauges add up too: the merged
+    /// value is the cluster-wide backlog at (approximately) snapshot time.
     pub fn merge(&mut self, other: &MailboxStats) {
         for i in 0..3 {
             self.enqueued[i] += other.enqueued[i];
             self.dequeued[i] += other.dequeued[i];
+            self.queued[i] += other.queued[i];
         }
         self.enqueue_ops += other.enqueue_ops;
         self.dequeue_ops += other.dequeue_ops;
         self.local_delivered += other.local_delivered;
+        for i in 0..MESSAGE_KIND_SLOTS {
+            self.per_kind[i] += other.per_kind[i];
+        }
     }
 
     /// Counter difference `self - earlier` (entry-wise, saturating). The
@@ -198,17 +248,24 @@ impl MailboxStats {
     /// the start and end of a measured window and diff so per-window
     /// numbers exclude warm-up traffic. (A *window* diff may legitimately
     /// show more dequeues than enqueues for a class — backlog enqueued
-    /// before the window can drain inside it — which is why coherence is
-    /// asserted on snapshots, not on diffs.)
+    /// before the window can drain inside it; [`MailboxStats::conserves`]
+    /// reconciles the two snapshots exactly — which is why coherence is
+    /// asserted on snapshots, not on diffs.) The `queued` field is a gauge,
+    /// not a counter: the diff keeps the *later* snapshot's value, i.e. the
+    /// backlog at the end of the window.
     pub fn diff(&self, earlier: &MailboxStats) -> MailboxStats {
         let mut out = MailboxStats::default();
         for i in 0..3 {
             out.enqueued[i] = self.enqueued[i].saturating_sub(earlier.enqueued[i]);
             out.dequeued[i] = self.dequeued[i].saturating_sub(earlier.dequeued[i]);
         }
+        out.queued = self.queued;
         out.enqueue_ops = self.enqueue_ops.saturating_sub(earlier.enqueue_ops);
         out.dequeue_ops = self.dequeue_ops.saturating_sub(earlier.dequeue_ops);
         out.local_delivered = self.local_delivered.saturating_sub(earlier.local_delivered);
+        for i in 0..MESSAGE_KIND_SLOTS {
+            out.per_kind[i] = self.per_kind[i].saturating_sub(earlier.per_kind[i]);
+        }
         out
     }
 }
@@ -455,15 +512,24 @@ impl<M: Send> Mailbox<M> {
     }
 
     /// Coherent snapshot of the mailbox traffic counters (taken under the
-    /// queue mutex, so per class `dequeued <= enqueued` always holds).
+    /// queue mutex, so per class `dequeued <= enqueued` always holds) with
+    /// the queue-depth gauges of the same instant — by construction
+    /// `queued[i] == enqueued[i] - dequeued[i]`, which is what closes the
+    /// books on window diffs (see [`MailboxStats::conserves`]).
     pub fn stats(&self) -> MailboxStats {
         let state = self.state.lock();
+        let mut queued = [0u64; 3];
+        for (gauge, queue) in queued.iter_mut().zip(state.queues.iter()) {
+            *gauge = queue.len() as u64;
+        }
         MailboxStats {
             enqueued: state.enqueued,
             dequeued: state.dequeued,
+            queued,
             enqueue_ops: state.enqueue_ops,
             dequeue_ops: state.dequeue_ops,
             local_delivered: 0,
+            per_kind: [0; MESSAGE_KIND_SLOTS],
         }
     }
 }
@@ -532,9 +598,38 @@ mod tests {
         assert_eq!(stats.enqueued, [1, 2, 0]);
         assert_eq!(stats.total_enqueued(), 3);
         assert_eq!(stats.total_dequeued(), 1);
+        assert_eq!(stats.queued, [0, 2, 0], "gauge matches enqueued-dequeued");
+        assert_eq!(stats.total_queued(), 2);
         assert_eq!(stats.enqueue_ops, 3);
         assert_eq!(stats.dequeue_ops, 1);
         assert!(stats.is_coherent());
+    }
+
+    #[test]
+    fn snapshots_conserve_messages_across_a_backlog_draining_window() {
+        let mb = Mailbox::new();
+        // Backlog before the window: 2 messages queued.
+        mb.push(1, Priority::Normal);
+        mb.push(2, Priority::Normal);
+        let before = mb.stats();
+        assert_eq!(before.queued, [0, 2, 0]);
+        // Window: one new enqueue, three dequeues (the backlog drains).
+        mb.push(3, Priority::Normal);
+        mb.pop();
+        mb.pop();
+        mb.pop();
+        let after = mb.stats();
+        let window = after.diff(&before);
+        assert_eq!(window.enqueued, [0, 1, 0]);
+        assert_eq!(
+            window.dequeued,
+            [0, 3, 0],
+            "window diffs legitimately dequeue more than they enqueue"
+        );
+        assert!(
+            MailboxStats::conserves(&before, &after),
+            "the queued gauges must balance the window's books"
+        );
     }
 
     #[test]
@@ -683,24 +778,33 @@ mod tests {
         let mut a = MailboxStats {
             enqueued: [4, 0, 0],
             dequeued: [2, 0, 0],
+            queued: [2, 0, 0],
             enqueue_ops: 2,
             dequeue_ops: 1,
             local_delivered: 3,
+            per_kind: [5, 0, 0, 0, 0, 0, 0, 0],
         };
         let b = MailboxStats {
             enqueued: [1, 1, 0],
             dequeued: [1, 1, 0],
+            queued: [0, 0, 0],
             enqueue_ops: 2,
             dequeue_ops: 2,
             local_delivered: 1,
+            per_kind: [1, 1, 0, 0, 0, 0, 0, 0],
         };
         a.merge(&b);
         assert_eq!(a.enqueue_ops, 4);
         assert_eq!(a.local_delivered, 4);
+        assert_eq!(a.queued, [2, 0, 0]);
+        assert_eq!(a.per_kind[0], 6);
         let d = a.diff(&b);
         assert_eq!(d.enqueued, [4, 0, 0]);
         assert_eq!(d.enqueue_ops, 2);
         assert_eq!(d.local_delivered, 3);
+        assert_eq!(d.queued, a.queued, "diffs keep the later snapshot's gauge");
+        assert_eq!(d.per_kind[0], 5);
+        assert_eq!(d.per_kind[1], 0);
         assert!(a.is_coherent());
         let incoherent = MailboxStats {
             enqueued: [0; 3],

@@ -11,7 +11,7 @@ use rand::SeedableRng;
 use sss_vclock::NodeId;
 
 use crate::latency::LatencyModel;
-use crate::mailbox::{Mailbox, MailboxStats, Priority};
+use crate::mailbox::{Mailbox, MailboxStats, Priority, MESSAGE_KIND_SLOTS};
 
 /// A node's message handler as registered with
 /// [`ChannelTransport::set_local_dispatch`]: the target of the local
@@ -310,6 +310,14 @@ pub struct ChannelTransport<M> {
     mailboxes: Vec<Arc<Mailbox<Envelope<M>>>>,
     local: Vec<OnceLock<LocalDispatch<M>>>,
     local_delivered: Vec<AtomicU64>,
+    /// Per-destination per-message-kind counters, populated when a
+    /// classifier has been registered (see
+    /// [`ChannelTransport::set_message_classifier`]). Counted once per
+    /// logical send at the send entry point — before fault-plan
+    /// duplication — covering queued, delayed and locally-dispatched
+    /// deliveries alike.
+    kind_counts: Vec<[AtomicU64; MESSAGE_KIND_SLOTS]>,
+    classifier: OnceLock<fn(&M) -> usize>,
     latency: LatencyModel,
     interposer: Option<Arc<dyn FaultInterposer>>,
     delayer: Option<DelayerHandle<M>>,
@@ -342,9 +350,34 @@ impl<M: Send + 'static> ChannelTransport<M> {
             mailboxes,
             local: (0..config.nodes).map(|_| OnceLock::new()).collect(),
             local_delivered: (0..config.nodes).map(|_| AtomicU64::new(0)).collect(),
+            kind_counts: (0..config.nodes)
+                .map(|_| std::array::from_fn(|_| AtomicU64::new(0)))
+                .collect(),
+            classifier: OnceLock::new(),
             latency: config.latency,
             interposer: config.interposer,
             delayer,
+        }
+    }
+
+    /// Registers the function that maps a message to its per-kind counter
+    /// slot (`0..MESSAGE_KIND_SLOTS`; out-of-range results are ignored).
+    /// Typically called once at cluster construction with the protocol's
+    /// kind index (e.g. `SssMessage::kind_index`); only the first
+    /// registration takes effect. Without a classifier the `per_kind`
+    /// counters of [`ChannelTransport::mailbox_stats`] stay zero.
+    pub fn set_message_classifier(&self, classifier: fn(&M) -> usize) {
+        let _ = self.classifier.set(classifier);
+    }
+
+    /// Counts `count` logical sends of `payload`'s kind toward destination
+    /// `to`, if a classifier is registered.
+    fn note_kind(&self, to: NodeId, payload: &M, count: u64) {
+        if let Some(classify) = self.classifier.get() {
+            let slot = classify(payload);
+            if slot < MESSAGE_KIND_SLOTS {
+                self.kind_counts[to.index()][slot].fetch_add(count, Ordering::Relaxed);
+            }
         }
     }
 
@@ -445,10 +478,19 @@ impl<M: Send + 'static> ChannelTransport<M> {
     }
 
     /// Traffic counters of node `node`'s mailbox, including the messages
-    /// delivered through the local fast path (which never entered a queue).
+    /// delivered through the local fast path (which never entered a queue)
+    /// and the per-message-kind breakdown (all-zero unless a classifier was
+    /// registered with [`ChannelTransport::set_message_classifier`]).
     pub fn mailbox_stats(&self, node: NodeId) -> MailboxStats {
         let mut stats = self.mailboxes[node.index()].stats();
         stats.local_delivered = self.local_delivered[node.index()].load(Ordering::Relaxed);
+        for (slot, counter) in stats
+            .per_kind
+            .iter_mut()
+            .zip(self.kind_counts[node.index()].iter())
+        {
+            *slot = counter.load(Ordering::Relaxed);
+        }
         stats
     }
 
@@ -520,6 +562,7 @@ impl<M: Send + Clone + 'static> Transport<M> for ChannelTransport<M> {
         let Some(mailbox) = self.mailboxes.get(to.index()) else {
             return Err(TransportError::UnknownNode(to));
         };
+        self.note_kind(to, &payload, 1);
         let plan = match &self.interposer {
             Some(interposer) => interposer.plan(from, to, Instant::now()),
             None => SendPlan::pass(),
@@ -586,6 +629,9 @@ impl<M: Send + Clone + 'static> Transport<M> for ChannelTransport<M> {
         };
         if batch.is_empty() {
             return Ok(());
+        }
+        for payload in &batch {
+            self.note_kind(to, payload, 1);
         }
         // The interposer is consulted once per message — a batch is a
         // delivery optimization, not a unit the fault model can observe, so
@@ -847,5 +893,22 @@ mod tests {
         t.send(NodeId(0), NodeId(0), 1, Priority::Normal).unwrap();
         assert_eq!(t.mailbox_stats(NodeId(0)).total_enqueued(), 1);
         assert_eq!(t.num_nodes(), 1);
+    }
+
+    #[test]
+    fn classifier_attributes_sends_per_kind() {
+        let t: ChannelTransport<u32> = ChannelTransport::new(TransportConfig::new(2));
+        // Without a classifier the breakdown stays zero.
+        t.send(NodeId(0), NodeId(1), 3, Priority::Normal).unwrap();
+        assert_eq!(t.mailbox_stats(NodeId(1)).per_kind, [0; 8]);
+        // Classify even payloads into slot 0, odd into slot 1.
+        t.set_message_classifier(|m| (*m % 2) as usize);
+        t.send(NodeId(0), NodeId(1), 4, Priority::Normal).unwrap();
+        t.send_batch(NodeId(0), NodeId(1), vec![5, 6, 7], Priority::Normal)
+            .unwrap();
+        let stats = t.mailbox_stats(NodeId(1));
+        assert_eq!(stats.per_kind[0], 2, "payloads 4 and 6");
+        assert_eq!(stats.per_kind[1], 2, "payloads 5 and 7");
+        assert_eq!(stats.total_enqueued(), 5);
     }
 }
