@@ -13,6 +13,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use sss_net::{FaultInterposer, PauseControl};
+use sss_obs::{ObsHub, TxnTrace};
 use sss_storage::{Key, Value};
 
 use crate::rococo::{RococoCluster, RococoConfig, RococoReadOutcome};
@@ -22,6 +23,36 @@ use crate::walter::{WalterCluster, WalterConfig, WalterOutcome};
 fn committed(start: Instant) -> Option<(Duration, Duration)> {
     let latency = start.elapsed();
     Some((latency, latency))
+}
+
+/// Per-adapter-session trace state: the cluster's hub, the session's client
+/// lane and a session-local transaction counter used as the trace label
+/// (the engines allocate their `TxnId`s inside the cluster sessions, so
+/// the adapter keeps its own label sequence).
+#[derive(Debug)]
+struct SessionObs {
+    hub: Arc<ObsHub>,
+    lane: u64,
+    txns: u64,
+}
+
+impl SessionObs {
+    fn attach(hub: Option<Arc<ObsHub>>) -> Option<Self> {
+        hub.map(|hub| {
+            let lane = hub.next_lane();
+            SessionObs { hub, lane, txns: 0 }
+        })
+    }
+
+    fn begin(&mut self, node: usize) -> TxnTrace {
+        let txn = self.txns;
+        self.txns += 1;
+        TxnTrace::begin(Arc::clone(&self.hub), node, self.lane, txn)
+    }
+}
+
+fn begin_trace(obs: &mut Option<SessionObs>, node: usize) -> Option<TxnTrace> {
+    obs.as_mut().map(|obs| obs.begin(node))
 }
 
 /// Projects a cluster's read-value map onto the request's key order, so the
@@ -92,6 +123,7 @@ impl TwoPcEngine {
     /// Opens an adapter session colocated with `node`.
     pub fn open_session(&self, node: usize) -> TwoPcEngineSession {
         TwoPcEngineSession {
+            obs: SessionObs::attach(self.cluster.observability()),
             cluster: Arc::clone(&self.cluster),
             node,
         }
@@ -102,6 +134,7 @@ impl TwoPcEngine {
 pub struct TwoPcEngineSession {
     cluster: Arc<TwoPcCluster>,
     node: usize,
+    obs: Option<SessionObs>,
 }
 
 impl TwoPcEngineSession {
@@ -122,7 +155,14 @@ impl TwoPcEngineSession {
         writes: &[(Key, Value)],
     ) -> (Option<(Duration, Duration)>, Vec<Option<Value>>) {
         let start = Instant::now();
-        let (outcome, values) = self.cluster.session(self.node).execute(read_keys, writes);
+        let mut trace = begin_trace(&mut self.obs, self.node);
+        let (outcome, values) =
+            self.cluster
+                .session(self.node)
+                .execute_traced(read_keys, writes, trace.as_mut());
+        if let Some(trace) = trace.take() {
+            trace.finish(outcome == TwoPcOutcome::Committed);
+        }
         match outcome {
             TwoPcOutcome::Committed => (committed(start), observed_in_order(read_keys, values)),
             TwoPcOutcome::Aborted => (None, Vec::new()),
@@ -201,6 +241,7 @@ impl WalterEngine {
     /// Opens an adapter session colocated with `node`.
     pub fn open_session(&self, node: usize) -> WalterEngineSession {
         WalterEngineSession {
+            obs: SessionObs::attach(self.cluster.observability()),
             cluster: Arc::clone(&self.cluster),
             node,
         }
@@ -211,6 +252,7 @@ impl WalterEngine {
 pub struct WalterEngineSession {
     cluster: Arc<WalterCluster>,
     node: usize,
+    obs: Option<SessionObs>,
 }
 
 impl WalterEngineSession {
@@ -231,7 +273,14 @@ impl WalterEngineSession {
         writes: &[(Key, Value)],
     ) -> (Option<(Duration, Duration)>, Vec<Option<Value>>) {
         let start = Instant::now();
-        let (outcome, values) = self.cluster.session(self.node).update(read_keys, writes);
+        let mut trace = begin_trace(&mut self.obs, self.node);
+        let (outcome, values) =
+            self.cluster
+                .session(self.node)
+                .update_traced(read_keys, writes, trace.as_mut());
+        if let Some(trace) = trace.take() {
+            trace.finish(outcome == WalterOutcome::Committed);
+        }
         match outcome {
             WalterOutcome::Committed => (committed(start), observed_in_order(read_keys, values)),
             WalterOutcome::Aborted => (None, Vec::new()),
@@ -250,7 +299,15 @@ impl WalterEngineSession {
         read_keys: &[Key],
     ) -> (Option<(Duration, Duration)>, Vec<Option<Value>>) {
         let start = Instant::now();
-        match self.cluster.session(self.node).read_only(read_keys) {
+        let mut trace = begin_trace(&mut self.obs, self.node);
+        let values = self
+            .cluster
+            .session(self.node)
+            .read_only_traced(read_keys, trace.as_mut());
+        if let Some(trace) = trace.take() {
+            trace.finish(values.is_some());
+        }
+        match values {
             Some(values) => (committed(start), observed_in_order(read_keys, Some(values))),
             None => (None, Vec::new()),
         }
@@ -309,6 +366,7 @@ impl RococoEngine {
     /// Opens an adapter session colocated with `node`.
     pub fn open_session(&self, node: usize) -> RococoEngineSession {
         RococoEngineSession {
+            obs: SessionObs::attach(self.cluster.observability()),
             cluster: Arc::clone(&self.cluster),
             node,
         }
@@ -319,6 +377,7 @@ impl RococoEngine {
 pub struct RococoEngineSession {
     cluster: Arc<RococoCluster>,
     node: usize,
+    obs: Option<SessionObs>,
 }
 
 impl RococoEngineSession {
@@ -331,7 +390,15 @@ impl RococoEngineSession {
         writes: &[(Key, Value)],
     ) -> Option<(Duration, Duration)> {
         let start = Instant::now();
-        if self.cluster.session(self.node).update(writes) {
+        let mut trace = begin_trace(&mut self.obs, self.node);
+        let ok = self
+            .cluster
+            .session(self.node)
+            .update_traced(writes, trace.as_mut());
+        if let Some(trace) = trace.take() {
+            trace.finish(ok);
+        }
+        if ok {
             committed(start)
         } else {
             None
@@ -362,7 +429,14 @@ impl RococoEngineSession {
         read_keys: &[Key],
     ) -> (Option<(Duration, Duration)>, Vec<Option<Value>>) {
         let start = Instant::now();
-        let (outcome, values) = self.cluster.session(self.node).read_only(read_keys);
+        let mut trace = begin_trace(&mut self.obs, self.node);
+        let (outcome, values) = self
+            .cluster
+            .session(self.node)
+            .read_only_traced(read_keys, trace.as_mut());
+        if let Some(trace) = trace.take() {
+            trace.finish(outcome == RococoReadOutcome::Committed);
+        }
         match outcome {
             RococoReadOutcome::Committed => {
                 (committed(start), observed_in_order(read_keys, values))

@@ -32,8 +32,14 @@ use sss_net::{
     reply_channel, ChannelTransport, Envelope, FaultInterposer, NodeRuntime, NodeService,
     PauseControl, Priority, ReplySender, Transport, TransportConfig,
 };
+use sss_obs::{ObsHub, Phase, TxnTrace};
 use sss_storage::{Key, RecentSet, ReplicaMap, SvStore, TxnId, Value};
 use sss_vclock::NodeId;
+
+/// Human-readable labels of the ROCOCO message kinds, in
+/// `RococoMessage::kind_index` order — the per-kind mailbox counters
+/// (`MailboxStats::per_kind`) attribute traffic against this table.
+pub const MESSAGE_KIND_LABELS: [&str; 3] = ["Dispatch", "Commit", "SnapshotRead"];
 
 /// Configuration of a [`RococoCluster`].
 #[derive(Debug, Clone)]
@@ -56,6 +62,10 @@ pub struct RococoConfig {
     /// Messages a node worker drains from its mailbox per wakeup (clamped
     /// to at least 1).
     pub delivery_batch: usize,
+    /// Optional observability hub: sessions trace the dispatch / execute /
+    /// read phases into it. When `None` — the default — every
+    /// instrumentation site is one branch.
+    pub observability: Option<Arc<ObsHub>>,
 }
 
 impl RococoConfig {
@@ -74,12 +84,19 @@ impl RococoConfig {
             read_only_backoff: Duration::from_micros(100),
             storage_shards: sss_storage::DEFAULT_SHARDS,
             delivery_batch: sss_net::DEFAULT_DELIVERY_BATCH,
+            observability: None,
         }
     }
 
     /// Sets the shard arity of every node's single-version store.
     pub fn storage_shards(mut self, shards: usize) -> Self {
         self.storage_shards = shards;
+        self
+    }
+
+    /// Attaches an observability hub (see [`sss_obs::ObsHub`]).
+    pub fn observability(mut self, hub: Arc<ObsHub>) -> Self {
+        self.observability = Some(hub);
         self
     }
 
@@ -132,6 +149,18 @@ enum RococoMessage {
         key: Key,
         reply: ReplySender<SnapshotReply>,
     },
+}
+
+impl RococoMessage {
+    /// Dense per-kind index into [`MESSAGE_KIND_LABELS`], for the
+    /// transport's per-kind mailbox counters.
+    fn kind_index(&self) -> usize {
+        match self {
+            RococoMessage::Dispatch { .. } => 0,
+            RococoMessage::Commit { .. } => 1,
+            RococoMessage::SnapshotRead { .. } => 2,
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -288,6 +317,9 @@ impl RococoCluster {
             transport_config = transport_config.interposer(interposer);
         }
         let transport = Arc::new(ChannelTransport::new(transport_config));
+        // Per-kind message accounting, mirroring the SSS transport: every
+        // send is attributed to its protocol message type.
+        transport.set_message_classifier(|message: &RococoMessage| message.kind_index());
         let nodes: Vec<Arc<RococoNode>> = (0..config.nodes)
             .map(|i| {
                 Arc::new(RococoNode {
@@ -336,6 +368,12 @@ impl RococoCluster {
         (0..self.nodes.len())
             .map(|i| self.transport.mailbox(NodeId(i)).pause_control())
             .collect()
+    }
+
+    /// The observability hub the cluster was started with, if any (see
+    /// [`RococoConfig::observability`]).
+    pub fn observability(&self) -> Option<Arc<ObsHub>> {
+        self.config.observability.clone()
     }
 
     /// Aggregated storage-layer counters (single-version store, with the
@@ -421,8 +459,18 @@ impl<'c> RococoSession<'c> {
     ///
     /// Returns `false` only if the cluster is shutting down.
     pub fn update(&self, writes: &[(Key, Value)]) -> bool {
+        self.update_traced(writes, None)
+    }
+
+    /// [`RococoSession::update`] carrying an optional phase trace: one
+    /// `dispatch` span over round 1 and one `execute` span over round 2.
+    /// The caller finishes the trace with the final outcome.
+    pub fn update_traced(&self, writes: &[(Key, Value)], mut trace: Option<&mut TxnTrace>) -> bool {
         if writes.is_empty() {
             return true;
+        }
+        if let Some(trace) = trace.as_deref_mut() {
+            trace.enter(Phase::Dispatch);
         }
         let txn = TxnId::new(
             self.node,
@@ -460,6 +508,9 @@ impl<'c> RococoSession<'c> {
         // Round 2: commit every piece; the servers execute them in dispatch
         // order, which realizes the aggregated dependency order for
         // deferrable pieces.
+        if let Some(trace) = trace {
+            trace.enter(Phase::Execute);
+        }
         let (exec_reply, exec_rx) = reply_channel(writes.len());
         for (key, _) in writes {
             let owner = self.cluster.placement.primary(key);
@@ -522,6 +573,22 @@ impl<'c> RococoSession<'c> {
         &self,
         keys: &[Key],
     ) -> (RococoReadOutcome, Option<BTreeMap<Key, Option<Value>>>) {
+        self.read_only_traced(keys, None)
+    }
+
+    /// [`RococoSession::read_only`] carrying an optional phase trace (one
+    /// `read` span over every validation round; the caller finishes the
+    /// trace with the final outcome).
+    pub fn read_only_traced(
+        &self,
+        keys: &[Key],
+        trace: Option<&mut TxnTrace>,
+    ) -> (RococoReadOutcome, Option<BTreeMap<Key, Option<Value>>>) {
+        if !keys.is_empty() {
+            if let Some(trace) = trace {
+                trace.enter(Phase::Read);
+            }
+        }
         // The per-round replies do not identify their key (the reply channel
         // interleaves them), so issue the reads key by key: this also
         // mirrors ROCOCO's per-piece read-only rounds.

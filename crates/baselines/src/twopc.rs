@@ -20,8 +20,14 @@ use sss_net::{
     reply_channel, ChannelTransport, Envelope, FaultInterposer, NodeRuntime, NodeService,
     PauseControl, Priority, ReplySender, TransportConfig, TransportExt,
 };
+use sss_obs::{ObsHub, Phase, TxnTrace};
 use sss_storage::{Key, LockKind, LockTable, RecentTxnSet, ReplicaMap, SvStore, TxnId, Value};
 use sss_vclock::NodeId;
+
+/// Human-readable labels of the 2PC-baseline message kinds, in
+/// `TwoPcMessage::kind_index` order — the per-kind mailbox counters
+/// (`MailboxStats::per_kind`) attribute traffic against this table.
+pub const MESSAGE_KIND_LABELS: [&str; 3] = ["Read", "Prepare", "Decide"];
 
 /// Configuration of a [`TwoPcCluster`].
 #[derive(Debug, Clone)]
@@ -42,6 +48,10 @@ pub struct TwoPcConfig {
     /// Messages a node worker drains from its mailbox per wakeup (clamped
     /// to at least 1).
     pub delivery_batch: usize,
+    /// Optional observability hub: sessions trace protocol phases and the
+    /// nodes record server-side lock-acquisition spans into it. When `None`
+    /// — the default — every instrumentation site is one branch.
+    pub observability: Option<Arc<ObsHub>>,
 }
 
 impl TwoPcConfig {
@@ -60,6 +70,7 @@ impl TwoPcConfig {
             rpc_timeout: Duration::from_secs(1),
             storage_shards: sss_storage::DEFAULT_SHARDS,
             delivery_batch: sss_net::DEFAULT_DELIVERY_BATCH,
+            observability: None,
         }
     }
 
@@ -72,6 +83,12 @@ impl TwoPcConfig {
     /// Sets the lock timeout.
     pub fn lock_timeout(mut self, timeout: Duration) -> Self {
         self.lock_timeout = timeout;
+        self
+    }
+
+    /// Attaches an observability hub (see [`sss_obs::ObsHub`]).
+    pub fn observability(mut self, hub: Arc<ObsHub>) -> Self {
+        self.observability = Some(hub);
         self
     }
 
@@ -134,6 +151,18 @@ enum TwoPcMessage {
     },
 }
 
+impl TwoPcMessage {
+    /// Dense per-kind index into [`MESSAGE_KIND_LABELS`], for the
+    /// transport's per-kind mailbox counters.
+    fn kind_index(&self) -> usize {
+        match self {
+            TwoPcMessage::Read { .. } => 0,
+            TwoPcMessage::Prepare { .. } => 1,
+            TwoPcMessage::Decide { .. } => 2,
+        }
+    }
+}
+
 #[derive(Debug)]
 struct PreparedTxn {
     local_writes: Vec<(Key, Value)>,
@@ -156,6 +185,7 @@ struct TwoPcNode {
     lock_timeout: Duration,
     aborts: AtomicU64,
     commits: AtomicU64,
+    obs: Option<Arc<ObsHub>>,
 }
 
 impl TwoPcNode {
@@ -205,7 +235,12 @@ impl TwoPcNode {
             .iter()
             .map(|(k, _)| (k, LockKind::Exclusive))
             .chain(local_reads.iter().map(|(k, _)| (k, LockKind::Shared)));
-        if !self.locks.acquire_many(txn, requests, self.lock_timeout) {
+        let lock_started = self.obs.as_ref().map(|_| Instant::now());
+        let acquired = self.locks.acquire_many(txn, requests, self.lock_timeout);
+        if let (Some(hub), Some(started)) = (self.obs.as_ref(), lock_started) {
+            hub.record_server_span(self.id.index(), Phase::LockAcquire, started);
+        }
+        if !acquired {
             self.aborts.fetch_add(1, Ordering::Relaxed);
             reply.send(VoteReply {
                 from: self.id,
@@ -323,6 +358,9 @@ impl TwoPcCluster {
             transport_config = transport_config.interposer(interposer);
         }
         let transport = Arc::new(ChannelTransport::new(transport_config));
+        // Per-kind message accounting, mirroring the SSS transport: every
+        // send is attributed to its protocol message type.
+        transport.set_message_classifier(|message: &TwoPcMessage| message.kind_index());
         let replicas = ReplicaMap::new(config.nodes, config.replication);
         let nodes: Vec<Arc<TwoPcNode>> = (0..config.nodes)
             .map(|i| {
@@ -336,6 +374,7 @@ impl TwoPcCluster {
                     lock_timeout: config.lock_timeout,
                     aborts: AtomicU64::new(0),
                     commits: AtomicU64::new(0),
+                    obs: config.observability.clone(),
                 })
             })
             .collect();
@@ -377,6 +416,12 @@ impl TwoPcCluster {
         (0..self.nodes.len())
             .map(|i| self.transport.mailbox(NodeId(i)).pause_control())
             .collect()
+    }
+
+    /// The observability hub the cluster was started with, if any (see
+    /// [`TwoPcConfig::observability`]).
+    pub fn observability(&self) -> Option<Arc<ObsHub>> {
+        self.config.observability.clone()
     }
 
     /// Aggregated storage-layer counters (single-version store and lock
@@ -499,12 +544,30 @@ impl<'c> TwoPcSession<'c> {
         read_keys: &[Key],
         writes: &[(Key, Value)],
     ) -> (TwoPcOutcome, Option<BTreeMap<Key, Option<Value>>>) {
+        self.execute_traced(read_keys, writes, None)
+    }
+
+    /// [`TwoPcSession::execute`] carrying an optional phase trace: spans
+    /// open at the read / prepare / decide / install-ack boundaries. The
+    /// caller finishes the trace with the final outcome (which also closes
+    /// the span left open on return).
+    pub fn execute_traced(
+        &self,
+        read_keys: &[Key],
+        writes: &[(Key, Value)],
+        mut trace: Option<&mut TxnTrace>,
+    ) -> (TwoPcOutcome, Option<BTreeMap<Key, Option<Value>>>) {
         let txn = TxnId::new(
             self.node,
             self.cluster.next_txn.fetch_add(1, Ordering::Relaxed),
         );
         let mut observed = BTreeMap::new();
         let mut read_versions = Vec::with_capacity(read_keys.len());
+        if !read_keys.is_empty() {
+            if let Some(trace) = trace.as_deref_mut() {
+                trace.enter(Phase::Read);
+            }
+        }
         for key in read_keys {
             let Some((value, version)) = self.read(key) else {
                 return (TwoPcOutcome::Aborted, None);
@@ -521,6 +584,9 @@ impl<'c> TwoPcSession<'c> {
         }
 
         let (reply, rx) = reply_channel(participants.len());
+        if let Some(trace) = trace.as_deref_mut() {
+            trace.enter(Phase::Prepare);
+        }
         let prepare = TwoPcMessage::Prepare {
             txn,
             read_versions,
@@ -564,6 +630,9 @@ impl<'c> TwoPcSession<'c> {
         // even though the decide itself travels asynchronously. Abort
         // decides are fire-and-forget.
         let (ack_reply, ack_rx) = reply_channel(participants.len());
+        if let Some(trace) = trace.as_deref_mut() {
+            trace.enter(Phase::Decide);
+        }
         let decide = TwoPcMessage::Decide {
             txn,
             outcome: ok,
@@ -580,6 +649,9 @@ impl<'c> TwoPcSession<'c> {
             // network may duplicate the decide). A timeout does not change
             // the outcome — the transaction *is* committed — it only stops
             // the client from waiting on a wedged participant forever.
+            if let Some(trace) = trace {
+                trace.enter(Phase::InstallAck);
+            }
             let deadline = Instant::now() + self.cluster.config.rpc_timeout;
             let mut acked: HashSet<NodeId> = HashSet::new();
             while acked.len() < participants.len() {

@@ -26,8 +26,14 @@ use sss_net::{
     reply_channel, ChannelTransport, Envelope, FaultInterposer, NodeRuntime, NodeService,
     PauseControl, Priority, ReplySender, TransportConfig, TransportExt,
 };
+use sss_obs::{ObsHub, Phase, TxnTrace};
 use sss_storage::{Key, LockKind, LockTable, MvStore, RecentTxnSet, ReplicaMap, TxnId, Value};
 use sss_vclock::{NodeId, VectorClock};
+
+/// Human-readable labels of the Walter message kinds, in
+/// `WalterMessage::kind_index` order — the per-kind mailbox counters
+/// (`MailboxStats::per_kind`) attribute traffic against this table.
+pub const MESSAGE_KIND_LABELS: [&str; 3] = ["Read", "Prepare", "Decide"];
 
 /// Configuration of a [`WalterCluster`].
 #[derive(Debug, Clone)]
@@ -48,6 +54,10 @@ pub struct WalterConfig {
     /// Messages a node worker drains from its mailbox per wakeup (clamped
     /// to at least 1).
     pub delivery_batch: usize,
+    /// Optional observability hub: sessions trace protocol phases and the
+    /// nodes record server-side lock-acquisition spans into it. When `None`
+    /// — the default — every instrumentation site is one branch.
+    pub observability: Option<Arc<ObsHub>>,
 }
 
 impl WalterConfig {
@@ -66,12 +76,19 @@ impl WalterConfig {
             rpc_timeout: Duration::from_secs(1),
             storage_shards: sss_storage::DEFAULT_SHARDS,
             delivery_batch: sss_net::DEFAULT_DELIVERY_BATCH,
+            observability: None,
         }
     }
 
     /// Sets the replication degree.
     pub fn replication(mut self, degree: usize) -> Self {
         self.replication = degree;
+        self
+    }
+
+    /// Attaches an observability hub (see [`sss_obs::ObsHub`]).
+    pub fn observability(mut self, hub: Arc<ObsHub>) -> Self {
+        self.observability = Some(hub);
         self
     }
 
@@ -124,6 +141,18 @@ enum WalterMessage {
     },
 }
 
+impl WalterMessage {
+    /// Dense per-kind index into [`MESSAGE_KIND_LABELS`], for the
+    /// transport's per-kind mailbox counters.
+    fn kind_index(&self) -> usize {
+        match self {
+            WalterMessage::Read { .. } => 0,
+            WalterMessage::Prepare { .. } => 1,
+            WalterMessage::Decide { .. } => 2,
+        }
+    }
+}
+
 #[derive(Debug)]
 struct PreparedTxn {
     local_writes: Vec<(Key, Value)>,
@@ -140,6 +169,7 @@ struct WalterNode {
     /// shard lock.
     store: MvStore,
     locks: LockTable,
+    obs: Option<Arc<ObsHub>>,
 }
 
 struct WalterNodeState {
@@ -206,10 +236,14 @@ impl WalterNode {
             .filter(|(k, _)| self.replicas.is_replica(self.id, k))
             .collect();
         let lock_requests = local_writes.iter().map(|(k, _)| (k, LockKind::Exclusive));
-        if !self
+        let lock_started = self.obs.as_ref().map(|_| Instant::now());
+        let acquired = self
             .locks
-            .acquire_many(txn, lock_requests, self.lock_timeout)
-        {
+            .acquire_many(txn, lock_requests, self.lock_timeout);
+        if let (Some(hub), Some(started)) = (self.obs.as_ref(), lock_started) {
+            hub.record_server_span(self.id.index(), Phase::LockAcquire, started);
+        }
+        if !acquired {
             let snapshot_out = snapshot.clone();
             reply.send(VoteReply {
                 from: self.id,
@@ -357,6 +391,9 @@ impl WalterCluster {
             transport_config = transport_config.interposer(interposer);
         }
         let transport = Arc::new(ChannelTransport::new(transport_config));
+        // Per-kind message accounting, mirroring the SSS transport: every
+        // send is attributed to its protocol message type.
+        transport.set_message_classifier(|message: &WalterMessage| message.kind_index());
         let replicas = ReplicaMap::new(config.nodes, config.replication);
         let nodes: Vec<Arc<WalterNode>> = (0..config.nodes)
             .map(|i| {
@@ -371,6 +408,7 @@ impl WalterCluster {
                     }),
                     store: MvStore::with_shards(config.storage_shards),
                     locks: LockTable::with_shards(config.storage_shards),
+                    obs: config.observability.clone(),
                 })
             })
             .collect();
@@ -411,6 +449,12 @@ impl WalterCluster {
         (0..self.nodes.len())
             .map(|i| self.transport.mailbox(NodeId(i)).pause_control())
             .collect()
+    }
+
+    /// The observability hub the cluster was started with, if any (see
+    /// [`WalterConfig::observability`]).
+    pub fn observability(&self) -> Option<Arc<ObsHub>> {
+        self.config.observability.clone()
     }
 
     /// Aggregated storage-layer counters (multi-version store and lock
@@ -518,8 +562,23 @@ impl<'c> WalterSession<'c> {
     /// Returns `None` only if the cluster is shutting down (a read timed
     /// out).
     pub fn read_only(&self, read_keys: &[Key]) -> Option<BTreeMap<Key, Option<Value>>> {
+        self.read_only_traced(read_keys, None)
+    }
+
+    /// [`WalterSession::read_only`] carrying an optional phase trace (one
+    /// `read` span over the snapshot reads; the caller finishes the trace).
+    pub fn read_only_traced(
+        &self,
+        read_keys: &[Key],
+        trace: Option<&mut TxnTrace>,
+    ) -> Option<BTreeMap<Key, Option<Value>>> {
         let snapshot = self.start_snapshot();
         let mut out = BTreeMap::new();
+        if !read_keys.is_empty() {
+            if let Some(trace) = trace {
+                trace.enter(Phase::Read);
+            }
+        }
         for key in read_keys {
             out.insert(key.clone(), self.read_at(key, &snapshot)?);
         }
@@ -533,8 +592,25 @@ impl<'c> WalterSession<'c> {
         read_keys: &[Key],
         writes: &[(Key, Value)],
     ) -> (WalterOutcome, Option<BTreeMap<Key, Option<Value>>>) {
+        self.update_traced(read_keys, writes, None)
+    }
+
+    /// [`WalterSession::update`] carrying an optional phase trace: spans
+    /// open at the read / prepare / decide boundaries. The caller finishes
+    /// the trace with the final outcome.
+    pub fn update_traced(
+        &self,
+        read_keys: &[Key],
+        writes: &[(Key, Value)],
+        mut trace: Option<&mut TxnTrace>,
+    ) -> (WalterOutcome, Option<BTreeMap<Key, Option<Value>>>) {
         let snapshot = self.start_snapshot();
         let mut observed = BTreeMap::new();
+        if !read_keys.is_empty() {
+            if let Some(trace) = trace.as_deref_mut() {
+                trace.enter(Phase::Read);
+            }
+        }
         for key in read_keys {
             match self.read_at(key, &snapshot) {
                 Some(value) => {
@@ -554,6 +630,9 @@ impl<'c> WalterSession<'c> {
         let write_keys: Vec<Key> = writes.iter().map(|(k, _)| k.clone()).collect();
         let participants = replica_map.replicas_of_all(write_keys.iter());
         let (reply, rx) = reply_channel(participants.len());
+        if let Some(trace) = trace.as_deref_mut() {
+            trace.enter(Phase::Prepare);
+        }
         let prepare = WalterMessage::Prepare {
             txn,
             snapshot: snapshot.clone(),
@@ -587,6 +666,9 @@ impl<'c> WalterSession<'c> {
                     break;
                 }
             }
+        }
+        if let Some(trace) = trace {
+            trace.enter(Phase::Decide);
         }
         let decide = WalterMessage::Decide {
             txn,

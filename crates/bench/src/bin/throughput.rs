@@ -2,10 +2,11 @@
 //!
 //! Sweeps (engine × storage-shard-count × delivery-batch-size ×
 //! confirm-epoch-window) cells, prints a summary table and writes the
-//! machine-readable `BENCH_throughput.json` (schema `sss-throughput/v3`).
-//! See the README's "Benchmark methodology" section. The epoch dimension
-//! only varies SSS (the baselines have no confirmation rounds to group);
-//! non-SSS engines run a single cell per (shards, batch) combination.
+//! machine-readable `BENCH_throughput.json` (schema `sss-throughput/v4`,
+//! including the per-protocol-phase latency breakdown). See the README's
+//! "Benchmark methodology" section. The epoch dimension only varies SSS
+//! (the baselines have no confirmation rounds to group); non-SSS engines
+//! run a single cell per (shards, batch) combination.
 //!
 //! ```sh
 //! cargo run --release -p sss-bench --bin throughput
@@ -23,13 +24,17 @@
 //! (per node), `--keys 1024`, `--read-only 10` (percent),
 //! `--warmup-ms 300`, `--measure-ms 1500`, `--ops N` (fixed total measured
 //! operations instead of a timed window), `--seed 42`,
-//! `--out BENCH_throughput.json`, `--smoke` (tiny fixed-ops preset for CI).
+//! `--out BENCH_throughput.json`, `--smoke` (tiny fixed-ops preset for CI),
+//! `--no-obs` (disable observability: no per-phase breakdown, lowest
+//! overhead), `--trace-out PATH` (drain every cell's trace rings into a
+//! Chrome-trace JSON file; open in `chrome://tracing` or Perfetto).
 
 use std::time::Duration;
 
 use sss_bench::cli::{parse_flag, parse_u64, parse_value};
 use sss_bench::throughput::{render_json, render_table, run_throughput, ThroughputConfig};
 use sss_bench::EngineKind;
+use sss_engine::chrome_trace_json;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -106,6 +111,19 @@ fn main() {
     if let Some(seed) = parse_u64(&args, "--seed") {
         config.seed = seed;
     }
+    if parse_flag(&args, "--no-obs") {
+        config.observability = false;
+    } else if parse_flag(&args, "--obs") {
+        config.observability = true;
+    }
+    let trace_out = parse_value(&args, "--trace-out");
+    if trace_out.is_some() {
+        assert!(
+            config.observability,
+            "--trace-out needs observability; drop --no-obs"
+        );
+        config.collect_spans = true;
+    }
     let out_path =
         parse_value(&args, "--out").unwrap_or_else(|| "BENCH_throughput.json".to_string());
 
@@ -123,4 +141,9 @@ fn main() {
     let json = render_json(&report);
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("failed to write {out_path}: {e}"));
     eprintln!("wrote {out_path} ({} bytes)", json.len());
+    if let Some(path) = &trace_out {
+        let trace = chrome_trace_json(&report.trace_groups());
+        std::fs::write(path, &trace).unwrap_or_else(|e| panic!("failed to write {path}: {e}"));
+        eprintln!("wrote {path} ({} bytes)", trace.len());
+    }
 }

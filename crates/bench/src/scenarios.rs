@@ -11,9 +11,15 @@
 
 use std::time::Duration;
 
-use sss_engine::EngineKind;
-use sss_workload::scenario::{run_scenario, ChaosScenario, ScenarioExpectations, ScenarioOutcome};
+use sss_engine::{EngineKind, EngineTuning, FaultInjector, TraceSpan, TransactionEngine};
+use sss_workload::scenario::{
+    run_scenario, run_scenario_on, ChaosScenario, ScenarioExpectations, ScenarioOutcome,
+};
 use sss_workload::{FaultPlan, LinkFault, LinkSelector, SpecError, WorkloadSpec};
+
+/// A labelled group of trace spans, ready for
+/// [`sss_engine::chrome_trace_json`].
+pub type TraceGroup = (String, Vec<TraceSpan>);
 
 /// Configuration of one catalog execution.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -30,12 +36,20 @@ pub struct ScenarioConfig {
     pub only: Option<String>,
     /// Only run scenarios for this engine.
     pub engine: Option<EngineKind>,
+    /// Build engines with observability on: phase tracing into per-node
+    /// rings, per-phase histograms, and the watchdog's trace dump on a
+    /// stuck run. The outcome summaries are bit-identical either way.
+    pub observability: bool,
+    /// Write every run's drained trace spans as one Chrome-trace JSON file
+    /// to this path (implies `observability`).
+    pub trace_out: Option<String>,
 }
 
 impl ScenarioConfig {
-    /// Parses `--smoke`, `--seed N`, `--check-determinism`, `--only NAME`
-    /// and `--engine NAME` flags.
+    /// Parses `--smoke`, `--seed N`, `--check-determinism`, `--only NAME`,
+    /// `--engine NAME`, `--obs` and `--trace-out PATH` flags.
     pub fn from_args(args: &[String]) -> Self {
+        let trace_out = crate::cli::parse_value(args, "--trace-out");
         ScenarioConfig {
             smoke: crate::cli::parse_flag(args, "--smoke"),
             seed: crate::cli::parse_u64(args, "--seed").unwrap_or(42),
@@ -43,6 +57,8 @@ impl ScenarioConfig {
             only: crate::cli::parse_value(args, "--only"),
             engine: crate::cli::parse_value(args, "--engine")
                 .map(|name| name.parse().expect("unknown engine name")),
+            observability: crate::cli::parse_flag(args, "--obs") || trace_out.is_some(),
+            trace_out,
         }
     }
 }
@@ -216,7 +232,22 @@ impl CatalogResult {
 /// Returns the [`SpecError`] of the first structurally invalid scenario
 /// (catalog construction bugs surface here rather than as bogus runs).
 pub fn run_catalog(config: &ScenarioConfig) -> Result<Vec<CatalogResult>, SpecError> {
+    Ok(run_catalog_traced(config)?.0)
+}
+
+/// [`run_catalog`], additionally returning each run's drained trace spans
+/// as labelled groups ready for [`sss_engine::chrome_trace_json`] — one
+/// group per catalog entry that ran with observability on (empty when
+/// [`ScenarioConfig::observability`] is off).
+///
+/// # Errors
+///
+/// Returns the [`SpecError`] of the first structurally invalid scenario.
+pub fn run_catalog_traced(
+    config: &ScenarioConfig,
+) -> Result<(Vec<CatalogResult>, Vec<TraceGroup>), SpecError> {
     let mut results = Vec::new();
+    let mut trace_groups = Vec::new();
     let catalog = scenario_catalog(config)
         .into_iter()
         .filter(|run| match &config.only {
@@ -228,9 +259,17 @@ pub fn run_catalog(config: &ScenarioConfig) -> Result<Vec<CatalogResult>, SpecEr
             None => true,
         });
     for run in catalog {
-        let outcome = run_scenario(run.engine, &run.scenario)?;
+        let (outcome, spans) = run_entry(config, &run)?;
+        if let Some(spans) = spans {
+            if !spans.is_empty() {
+                trace_groups.push((
+                    format!("{} {}", run.engine.label(), run.scenario.name),
+                    spans,
+                ));
+            }
+        }
         let deterministic = if config.check_determinism && run.engine == EngineKind::Sss {
-            let replay = run_scenario(run.engine, &run.scenario)?;
+            let (replay, _) = run_entry(config, &run)?;
             Some(replay.summary() == outcome.summary())
         } else {
             None
@@ -241,7 +280,32 @@ pub fn run_catalog(config: &ScenarioConfig) -> Result<Vec<CatalogResult>, SpecEr
             deterministic,
         });
     }
-    Ok(results)
+    Ok((results, trace_groups))
+}
+
+/// Runs one catalog entry; with observability on, the engine is built with
+/// an obs hub and the trace rings are drained after the run.
+fn run_entry(
+    config: &ScenarioConfig,
+    run: &ScenarioRun,
+) -> Result<(ScenarioOutcome, Option<Vec<TraceSpan>>), SpecError> {
+    if !config.observability {
+        return Ok((run_scenario(run.engine, &run.scenario)?, None));
+    }
+    let scenario = &run.scenario;
+    scenario.spec.validate()?;
+    let injector = FaultInjector::new(scenario.faults.clone());
+    let engine = run.engine.build_tuned(
+        scenario.spec.nodes,
+        scenario.replication.min(scenario.spec.nodes),
+        scenario.profile,
+        EngineTuning::default().observability(true),
+        Some(&injector),
+    );
+    let outcome = run_scenario_on(engine.as_ref(), &injector, scenario);
+    injector.disarm();
+    let spans = engine.observability().map(|hub| hub.drain_spans());
+    Ok((outcome, spans))
 }
 
 /// Renders the catalog results as an aligned report.
@@ -296,6 +360,13 @@ pub fn render_results(results: &[CatalogResult]) -> String {
                 let _ = writeln!(out, "    | {line}");
             }
         }
+        if let Some(dump) = &o.trace_dump {
+            let _ = writeln!(
+                out,
+                "    | trace dump captured at stall ({} bytes of Chrome-trace JSON)",
+                dump.len()
+            );
+        }
     }
     out
 }
@@ -312,6 +383,8 @@ mod tests {
             check_determinism: false,
             only: None,
             engine: None,
+            observability: false,
+            trace_out: None,
         };
         let catalog = scenario_catalog(&config);
         let sss_named: Vec<&str> = catalog

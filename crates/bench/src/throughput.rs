@@ -42,15 +42,26 @@
 //!   (`MailboxStats::conserves`): the backlog gauges of the two snapshots
 //!   reconcile any in-window drain of pre-window traffic, so a skewed
 //!   count is a harness bug, not noise.
+//! * **Per-phase breakdown** — with [`ThroughputConfig::observability`]
+//!   on (the default), engines are built with an `sss-obs` hub and the
+//!   harness diffs the hub's per-phase latency histograms over the
+//!   measured window, reporting where commit latency goes (for SSS:
+//!   how much of it is the grouped external-commit confirmation wait).
+//!   Latency percentiles are computed from the same log-bucketed
+//!   [`Histogram`] the hub uses, merged deterministically across clients
+//!   and trials.
 //!
 //! The report serializes to the machine-readable `BENCH_throughput.json`
-//! (schema `sss-throughput/v3`, documented in the repository README) so
+//! (schema `sss-throughput/v4`, documented in the repository README) so
 //! future changes have a perf trajectory to compare against.
 
 use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
-use sss_engine::{EngineKind, EngineTuning, MailboxStats, NetProfile, StorageStats, TxnOutcome};
+use sss_engine::{
+    EngineKind, EngineTuning, Histogram, MailboxStats, NetProfile, Phase, StorageStats, TraceSpan,
+    TxnOutcome,
+};
 use sss_workload::{populate, NodeId, TxnTemplate, WorkloadGenerator, WorkloadSpec};
 
 /// Configuration of one harness invocation (a sweep over engines and shard
@@ -98,6 +109,16 @@ pub struct ThroughputConfig {
     pub trials: usize,
     /// Base random seed for the per-client generators.
     pub seed: u64,
+    /// Build engines with observability on: per-phase latency histograms
+    /// (the `per_phase` block of the JSON report) and per-node trace rings.
+    /// Off means `per_phase` is reported as `null` and there are no spans
+    /// to collect.
+    pub observability: bool,
+    /// Drain each cell's trace rings into [`ThroughputRun::spans`] so the
+    /// binary can dump a Chrome-trace file (`--trace-out`). Requires
+    /// `observability`; off by default because spans are only useful when
+    /// someone asked for the dump.
+    pub collect_spans: bool,
 }
 
 impl Default for ThroughputConfig {
@@ -124,6 +145,8 @@ impl Default for ThroughputConfig {
             fixed_ops: None,
             trials: 3,
             seed: 42,
+            observability: true,
+            collect_spans: false,
         }
     }
 }
@@ -175,7 +198,27 @@ pub struct LatencyQuantiles {
 }
 
 impl LatencyQuantiles {
-    fn from_samples(mut samples: Vec<Duration>) -> Self {
+    /// Quantiles from a log-bucketed [`Histogram`] of microsecond samples —
+    /// the production path. Mean and max are exact; percentiles are
+    /// quantized to the histogram's bucket (within `1/16` relative error),
+    /// using the same rank convention as [`LatencyQuantiles::from_samples`].
+    pub fn from_histogram(hist: &Histogram) -> Self {
+        if hist.is_empty() {
+            return LatencyQuantiles::default();
+        }
+        LatencyQuantiles {
+            mean_us: hist.mean() as u64,
+            p50_us: hist.value_at_quantile(0.50),
+            p95_us: hist.value_at_quantile(0.95),
+            p99_us: hist.value_at_quantile(0.99),
+            max_us: hist.max(),
+        }
+    }
+
+    /// Exact quantiles by sorting raw samples — the reference
+    /// implementation the histogram path is checked against (the agreement
+    /// test pins p50/p95/p99 to within one histogram bucket).
+    pub fn from_samples(mut samples: Vec<Duration>) -> Self {
         if samples.is_empty() {
             return LatencyQuantiles::default();
         }
@@ -224,6 +267,15 @@ pub struct ThroughputRun {
     /// engine's protocol message names (empty when the engine does not
     /// classify its traffic). Summed across trials like the counters.
     pub message_kinds: Vec<(String, u64)>,
+    /// Per-protocol-phase latency histograms (microseconds) diffed over the
+    /// measured window and merged across trials; empty when the engine was
+    /// built without observability. Only phases the window actually touched
+    /// appear.
+    pub per_phase: Vec<(Phase, Histogram)>,
+    /// Trace spans drained from the engine's rings after the run (the last
+    /// ~32k spans per node, warm-up included); empty unless
+    /// [`ThroughputConfig::collect_spans`] was set.
+    pub spans: Vec<TraceSpan>,
 }
 
 impl ThroughputRun {
@@ -265,6 +317,42 @@ impl ThroughputRun {
             self.aborted as f64 / attempts as f64
         }
     }
+
+    /// Total time the window spent in client-scope phases, in microseconds
+    /// (the denominator of [`ThroughputRun::phase_share`]). Server-scope
+    /// phases (lock hold times measured on the server) are excluded: they
+    /// overlap client-observed phases and would double-count.
+    pub fn client_phase_total_us(&self) -> u64 {
+        self.per_phase
+            .iter()
+            .filter(|(phase, _)| !phase.is_server_scope())
+            .map(|(_, hist)| hist.sum())
+            .sum()
+    }
+
+    /// Share (0.0 - 1.0) of the summed client-scope phase time spent in
+    /// `phase`. `None` when observability was off, the phase never ran, or
+    /// `phase` is server-scope (shares are only defined against the
+    /// client-observed latency budget).
+    pub fn phase_share(&self, phase: Phase) -> Option<f64> {
+        if phase.is_server_scope() {
+            return None;
+        }
+        let total = self.client_phase_total_us();
+        if total == 0 {
+            return None;
+        }
+        let spent = self.per_phase.iter().find(|(p, _)| *p == phase)?.1.sum();
+        Some(spent as f64 / total as f64)
+    }
+
+    /// SSS only: the share of commit latency spent waiting for the grouped
+    /// external-commit confirmation (the paper's extra round) — the
+    /// headline number of the per-phase breakdown. `None` for engines
+    /// without a confirmation wait or when observability was off.
+    pub fn confirm_wait_share(&self) -> Option<f64> {
+        self.phase_share(Phase::ConfirmWait)
+    }
 }
 
 /// A full harness report: the configuration echo plus one row per cell.
@@ -274,6 +362,27 @@ pub struct ThroughputReport {
     pub config: ThroughputConfig,
     /// One measured cell per (engine × shard count), in sweep order.
     pub runs: Vec<ThroughputRun>,
+}
+
+impl ThroughputReport {
+    /// The collected spans grouped per cell, labelled for
+    /// [`sss_engine::chrome_trace_json`]: one process group per run that
+    /// recorded spans (requires [`ThroughputConfig::collect_spans`]).
+    pub fn trace_groups(&self) -> Vec<(String, Vec<TraceSpan>)> {
+        self.runs
+            .iter()
+            .filter(|run| !run.spans.is_empty())
+            .map(|run| {
+                (
+                    format!(
+                        "{} shards={} batch={} epoch={}",
+                        run.engine, run.storage_shards, run.delivery_batch, run.confirm_epoch
+                    ),
+                    run.spans.clone(),
+                )
+            })
+            .collect()
+    }
 }
 
 const PHASE_WARMUP: u8 = 0;
@@ -325,12 +434,12 @@ pub fn run_cell(
 ) -> ThroughputRun {
     let trials = config.trials.max(1);
     let mut aggregate: Option<ThroughputRun> = None;
-    let mut all_latencies: Vec<Duration> = Vec::new();
+    let mut all_latencies = Histogram::new();
     for trial in 0..trials {
         let mut trial_config = config.clone();
         trial_config.seed = config.seed.wrapping_add(trial as u64);
         let (run, latencies) = run_trial(&trial_config, kind, shards, batch, epoch);
-        all_latencies.extend(latencies);
+        all_latencies.merge(&latencies);
         aggregate = Some(match aggregate.take() {
             None => run,
             Some(mut total) => {
@@ -363,12 +472,21 @@ pub fn run_cell(
                 } else if total.message_kinds.is_empty() {
                     total.message_kinds = run.message_kinds.clone();
                 }
+                // Histogram::merge is associative and commutative, so the
+                // per-trial phase windows aggregate deterministically.
+                for (phase, hist) in &run.per_phase {
+                    match total.per_phase.iter_mut().find(|(p, _)| p == phase) {
+                        Some((_, mine)) => mine.merge(hist),
+                        None => total.per_phase.push((*phase, hist.clone())),
+                    }
+                }
+                total.spans.extend(run.spans.iter().copied());
                 total
             }
         });
     }
     let mut run = aggregate.expect("at least one trial");
-    run.latency = LatencyQuantiles::from_samples(all_latencies);
+    run.latency = LatencyQuantiles::from_histogram(&all_latencies);
     run
 }
 
@@ -389,7 +507,7 @@ fn adopt_gauges(total: &mut StorageStats, latest: &StorageStats) {
     }
 }
 
-/// One trial of one cell; returns the run plus the raw latency samples so
+/// One trial of one cell; returns the run plus the latency histogram so
 /// the caller can compute percentiles over every trial together.
 fn run_trial(
     config: &ThroughputConfig,
@@ -397,16 +515,18 @@ fn run_trial(
     shards: usize,
     batch: usize,
     epoch: usize,
-) -> (ThroughputRun, Vec<Duration>) {
+) -> (ThroughputRun, Histogram) {
     let engine = kind.build_tuned(
         config.nodes,
         config.replication,
         NetProfile::Instant,
         EngineTuning::with_storage_shards(shards)
             .delivery_batch(batch)
-            .confirm_epoch(epoch),
+            .confirm_epoch(epoch)
+            .observability(config.observability),
         None,
     );
+    let hub = engine.observability();
     let spec = config.spec();
     spec.validate().expect("throughput spec must be valid");
     populate(engine.as_ref(), &spec);
@@ -421,12 +541,13 @@ fn run_trial(
     struct Tally {
         committed: u64,
         aborted: u64,
-        latencies: Vec<Duration>,
+        latencies: Histogram,
     }
 
     let mut window = Duration::ZERO;
     let mut storage_window = None;
     let mut mailbox_window = None;
+    let mut phase_window: Vec<(Phase, Histogram)> = Vec::new();
 
     let tallies: Vec<Tally> = std::thread::scope(|scope| {
         let phase = &phase;
@@ -442,7 +563,7 @@ fn run_trial(
                     let mut tally = Tally {
                         committed: 0,
                         aborted: 0,
-                        latencies: Vec::new(),
+                        latencies: Histogram::new(),
                     };
                     let mut measured_ops: u64 = 0;
                     let mut done = false;
@@ -473,7 +594,7 @@ fn run_trial(
                         match outcome {
                             TxnOutcome::Committed { latency, .. } => {
                                 tally.committed += 1;
-                                tally.latencies.push(latency);
+                                tally.latencies.record(latency.as_micros() as u64);
                             }
                             TxnOutcome::Aborted => tally.aborted += 1,
                         }
@@ -495,6 +616,7 @@ fn run_trial(
         std::thread::sleep(config.warmup);
         let storage_before = engine_ref.storage_stats();
         let mailbox_before = engine_ref.mailbox_totals();
+        let phase_before = hub.as_ref().map(|h| h.phase_snapshot());
         let window_start = Instant::now();
         phase.store(PHASE_MEASURE, Ordering::Release);
         match ops_per_client {
@@ -531,6 +653,19 @@ fn run_trial(
             );
             after.diff(&before)
         });
+        if let (Some(hub), Some(before)) = (hub.as_ref(), phase_before) {
+            // Like the storage/mailbox counters, the phase histograms are
+            // monotonic: diff the window and keep only touched phases.
+            phase_window = hub
+                .phase_snapshot()
+                .iter()
+                .zip(before.iter())
+                .filter_map(|((phase, after), (_, earlier))| {
+                    let window = after.diff(earlier);
+                    (!window.is_empty()).then_some((*phase, window))
+                })
+                .collect();
+        }
 
         handles
             .into_iter()
@@ -540,11 +675,11 @@ fn run_trial(
 
     let mut committed = 0;
     let mut aborted = 0;
-    let mut latencies = Vec::new();
+    let mut latencies = Histogram::new();
     for tally in tallies {
         committed += tally.committed;
         aborted += tally.aborted;
-        latencies.extend(tally.latencies);
+        latencies.merge(&tally.latencies);
     }
     let message_kinds = match (engine.message_kind_labels(), &mailbox_window) {
         (Some(labels), Some(mb)) => labels
@@ -552,6 +687,10 @@ fn run_trial(
             .zip(mb.per_kind.iter())
             .map(|(label, count)| (label.to_string(), *count))
             .collect(),
+        _ => Vec::new(),
+    };
+    let spans = match (&hub, config.collect_spans) {
+        (Some(hub), true) => hub.drain_spans(),
         _ => Vec::new(),
     };
     let run = ThroughputRun {
@@ -566,6 +705,8 @@ fn run_trial(
         storage: storage_window,
         mailbox: mailbox_window,
         message_kinds,
+        per_phase: phase_window,
+        spans,
     };
     (run, latencies)
 }
@@ -580,7 +721,7 @@ pub fn render_table(report: &ThroughputReport) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:<8} {:>7} {:>6} {:>6} {:>12} {:>9} {:>9} {:>9} {:>9} {:>8} {:>10}",
+        "{:<8} {:>7} {:>6} {:>6} {:>12} {:>9} {:>9} {:>9} {:>9} {:>8} {:>7} {:>10}",
         "engine",
         "shards",
         "batch",
@@ -591,6 +732,7 @@ pub fn render_table(report: &ThroughputReport) -> String {
         "p99(us)",
         "aborts",
         "msg/txn",
+        "cwait%",
         "contended"
     );
     for run in &report.runs {
@@ -603,9 +745,13 @@ pub fn render_table(report: &ThroughputReport) -> String {
                     + s.locks.as_ref().map(|l| l.contended).unwrap_or(0)
             })
             .unwrap_or(0);
+        let cwait = run
+            .confirm_wait_share()
+            .map(|share| format!("{:.1}", share * 100.0))
+            .unwrap_or_else(|| "-".to_string());
         let _ = writeln!(
             out,
-            "{:<8} {:>7} {:>6} {:>6} {:>12.1} {:>9} {:>9} {:>9} {:>8.1}% {:>8.1} {:>10}",
+            "{:<8} {:>7} {:>6} {:>6} {:>12.1} {:>9} {:>9} {:>9} {:>8.1}% {:>8.1} {:>7} {:>10}",
             run.engine,
             run.storage_shards,
             run.delivery_batch,
@@ -616,6 +762,7 @@ pub fn render_table(report: &ThroughputReport) -> String {
             run.latency.p99_us,
             run.abort_rate() * 100.0,
             run.messages_per_txn(),
+            cwait,
             contended,
         );
     }
@@ -644,13 +791,19 @@ fn json_u64_array(values: impl IntoIterator<Item = u64>) -> String {
 }
 
 /// Serializes the report as the `BENCH_throughput.json` document (schema
-/// `sss-throughput/v3`; see the README's benchmark-methodology section).
+/// `sss-throughput/v4`; see the README's benchmark-methodology section).
+///
+/// v4 adds, per run, the `per_phase` latency breakdown (count, mean,
+/// percentiles, total time and the share of the client-scope latency budget
+/// per protocol phase; `null` when observability was off) and
+/// `confirm_wait_share`, SSS's external-commit confirmation wait as a share
+/// of commit latency; the config echo gains `observability`.
 pub fn render_json(report: &ThroughputReport) -> String {
     use std::fmt::Write as _;
     let cfg = &report.config;
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"sss-throughput/v3\",\n");
+    out.push_str("  \"schema\": \"sss-throughput/v4\",\n");
     let _ = writeln!(out, "  \"config\": {{");
     let engines: Vec<String> = cfg
         .engines
@@ -699,6 +852,7 @@ pub fn render_json(report: &ThroughputReport) -> String {
         }
     }
     let _ = writeln!(out, "    \"trials\": {},", cfg.trials.max(1));
+    let _ = writeln!(out, "    \"observability\": {},", cfg.observability);
     let _ = writeln!(out, "    \"seed\": {}", cfg.seed);
     let _ = writeln!(out, "  }},");
     let _ = writeln!(out, "  \"runs\": [");
@@ -722,6 +876,42 @@ pub fn render_json(report: &ThroughputReport) -> String {
             run.latency.p99_us,
             run.latency.max_us
         );
+        out.push_str("      \"per_phase\": ");
+        if run.per_phase.is_empty() {
+            out.push_str("null,\n");
+        } else {
+            let parts: Vec<String> = run
+                .per_phase
+                .iter()
+                .map(|(phase, hist)| {
+                    let share = run
+                        .phase_share(*phase)
+                        .map(|share| format!("{share:.6}"))
+                        .unwrap_or_else(|| "null".to_string());
+                    format!(
+                        "\"{}\": {{\"count\": {}, \"mean_us\": {:.1}, \"p50_us\": {}, \
+                         \"p95_us\": {}, \"p99_us\": {}, \"max_us\": {}, \"total_us\": {}, \
+                         \"share\": {}}}",
+                        phase.label(),
+                        hist.count(),
+                        hist.mean(),
+                        hist.value_at_quantile(0.50),
+                        hist.value_at_quantile(0.95),
+                        hist.value_at_quantile(0.99),
+                        hist.max(),
+                        hist.sum(),
+                        share
+                    )
+                })
+                .collect();
+            let _ = writeln!(out, "{{{}}},", parts.join(", "));
+        }
+        match run.confirm_wait_share() {
+            Some(share) => {
+                let _ = writeln!(out, "      \"confirm_wait_share\": {share:.6},");
+            }
+            None => out.push_str("      \"confirm_wait_share\": null,\n"),
+        }
         out.push_str("      \"storage\": ");
         match &run.storage {
             Some(storage) => {
@@ -816,6 +1006,39 @@ mod tests {
     }
 
     #[test]
+    fn histogram_quantiles_agree_with_exact_sampling() {
+        // The production (histogram) path must agree with the sorted-sample
+        // reference implementation to within one histogram bucket at every
+        // reported percentile, and exactly at the max.
+        let samples: Vec<Duration> = (1..=500)
+            .map(|i| Duration::from_micros(i * 13 % 4096 + 1))
+            .collect();
+        let exact = LatencyQuantiles::from_samples(samples.clone());
+        let mut hist = Histogram::new();
+        for sample in &samples {
+            hist.record(sample.as_micros() as u64);
+        }
+        let approx = LatencyQuantiles::from_histogram(&hist);
+        for (name, a, e) in [
+            ("p50", approx.p50_us, exact.p50_us),
+            ("p95", approx.p95_us, exact.p95_us),
+            ("p99", approx.p99_us, exact.p99_us),
+        ] {
+            assert!(a <= e, "{name}: histogram {a} above exact {e}");
+            assert!(
+                e - a <= Histogram::bucket_width(e),
+                "{name}: histogram {a} more than one bucket below exact {e}"
+            );
+        }
+        assert_eq!(approx.max_us, exact.max_us, "max is exact");
+        assert_eq!(approx.mean_us, exact.mean_us, "mean is exact");
+        assert_eq!(
+            LatencyQuantiles::from_histogram(&Histogram::new()),
+            LatencyQuantiles::default()
+        );
+    }
+
+    #[test]
     fn fixed_ops_cell_measures_and_diffs_counters() {
         let config = ThroughputConfig {
             engines: vec![EngineKind::TwoPc],
@@ -862,7 +1085,7 @@ mod tests {
         let report = run_throughput(&config);
         assert_eq!(report.runs.len(), 1);
         let json = render_json(&report);
-        assert!(json.contains("\"schema\": \"sss-throughput/v3\""));
+        assert!(json.contains("\"schema\": \"sss-throughput/v4\""));
         assert!(json.contains("\"engine\": \"ROCOCO\""));
         assert!(json.contains("\"ops_per_sec\""));
         assert!(json.contains("\"batch_sizes\""));
@@ -871,6 +1094,12 @@ mod tests {
         assert!(json.contains("\"confirm_epoch\""));
         assert!(json.contains("\"messages_per_txn\""));
         assert!(json.contains("\"queued\""));
+        // Observability is on by default, so the per-phase block is
+        // populated with ROCOCO's dispatch/execute taxonomy; the
+        // confirmation wait is an SSS-only phase.
+        assert!(json.contains("\"per_phase\": {"));
+        assert!(json.contains("\"dispatch\""));
+        assert!(json.contains("\"confirm_wait_share\": null"));
         // Cheap structural sanity: balanced braces and brackets.
         let balance = |open: char, close: char| {
             json.chars().filter(|&c| c == open).count()
@@ -913,11 +1142,28 @@ mod tests {
             );
             let attributed: u64 = run.message_kinds.iter().map(|(_, count)| count).sum();
             assert!(attributed > 0, "measured window saw classified traffic");
+            // The per-phase breakdown must expose the confirmation wait —
+            // SSS's extra external-commit round — as a share of latency.
+            assert!(
+                run.per_phase
+                    .iter()
+                    .any(|(phase, _)| *phase == Phase::ConfirmWait),
+                "SSS window records confirm-wait spans"
+            );
+            let share = run.confirm_wait_share().expect("SSS reports the share");
+            assert!((0.0..=1.0).contains(&share), "share {share} out of range");
         }
         let baseline = report.runs.iter().find(|r| r.engine == "2PC").unwrap();
         assert!(
-            baseline.message_kinds.is_empty(),
-            "2PC does not classify its traffic"
+            baseline
+                .message_kinds
+                .iter()
+                .any(|(label, _)| label == "Prepare"),
+            "2PC classifies its traffic too"
+        );
+        assert!(
+            baseline.confirm_wait_share().is_none(),
+            "the confirmation wait is an SSS-only phase"
         );
     }
 

@@ -198,6 +198,13 @@ impl SssCluster {
             .collect()
     }
 
+    /// The observability hub the cluster was started with, if any (see
+    /// [`SssConfig::observability`]): phase traces, per-phase latency
+    /// histograms and the per-node trace rings.
+    pub fn observability(&self) -> Option<std::sync::Arc<sss_obs::ObsHub>> {
+        self.config.observability.clone()
+    }
+
     /// The fault injector the cluster was started under, if any. Arm it
     /// once the key space is populated so that the plan's scheduled windows
     /// cover the measured phase.

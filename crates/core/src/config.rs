@@ -5,6 +5,7 @@ use std::time::Duration;
 
 use sss_faults::{FaultInjector, FaultPlan};
 use sss_net::LatencyModel;
+use sss_obs::ObsHub;
 use sss_storage::ReplicaMap;
 
 /// Default epoch window of the grouped external-commit confirmation: up to
@@ -101,6 +102,12 @@ pub struct SssConfig {
     /// unchanged. Zero disables lingering; values are only meaningful when
     /// `confirm_epoch_max > 1`.
     pub confirm_linger: Duration,
+    /// Optional observability hub: when set, client sessions carry a
+    /// phase trace through every transaction (spans recorded into the
+    /// hub's per-node trace rings and per-phase latency histograms). When
+    /// `None` — the default — every instrumentation site reduces to one
+    /// branch, keeping the tracing-off cost near zero.
+    pub observability: Option<Arc<ObsHub>>,
 }
 
 impl SssConfig {
@@ -134,6 +141,7 @@ impl SssConfig {
             confirm_epoch_max: DEFAULT_CONFIRM_EPOCH,
             piggyback: true,
             confirm_linger: DEFAULT_CONFIRM_LINGER,
+            observability: None,
         }
     }
 
@@ -219,6 +227,13 @@ impl SssConfig {
     /// rounds of one burst (zero disables lingering).
     pub fn confirm_linger(mut self, linger: Duration) -> Self {
         self.confirm_linger = linger;
+        self
+    }
+
+    /// Attaches an observability hub: sessions trace protocol phases into
+    /// its rings and histograms (see [`sss_obs::ObsHub`]).
+    pub fn observability(mut self, hub: Arc<ObsHub>) -> Self {
+        self.observability = Some(hub);
         self
     }
 

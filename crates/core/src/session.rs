@@ -13,6 +13,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use sss_net::{reply_channel, Priority, Transport, TransportExt};
+use sss_obs::{ObsHub, Phase, TxnTrace};
 use sss_storage::{Key, TxnId, Value};
 use sss_vclock::{NodeId, VectorClock};
 
@@ -44,11 +45,24 @@ impl CommitInfo {
 #[derive(Debug, Clone)]
 pub struct Session {
     node: Arc<SssNode>,
+    /// Observability hub and this session's trace lane, when tracing is on.
+    obs: Option<(Arc<ObsHub>, u64)>,
 }
 
 impl Session {
     pub(crate) fn new(node: Arc<SssNode>) -> Self {
-        Session { node }
+        let obs = node
+            .config()
+            .observability
+            .as_ref()
+            .map(|hub| (Arc::clone(hub), hub.next_lane()));
+        Session { node, obs }
+    }
+
+    fn begin_trace(&self, txn: TxnId) -> Option<TxnTrace> {
+        self.obs.as_ref().map(|(hub, lane)| {
+            TxnTrace::begin(Arc::clone(hub), self.node.id().index(), *lane, txn.seq)
+        })
     }
 
     /// The node this session is colocated with.
@@ -69,6 +83,7 @@ impl Session {
             write_set: BTreeMap::new(),
             propagated: Vec::new(),
             started: Instant::now(),
+            trace: self.begin_trace(id),
         }
     }
 
@@ -83,6 +98,7 @@ impl Session {
             read_keys: Vec::new(),
             excluded: Vec::new(),
             finished: false,
+            trace: self.begin_trace(id),
         }
     }
 }
@@ -157,6 +173,8 @@ pub struct UpdateTransaction {
     write_set: BTreeMap<Key, Value>,
     propagated: Vec<PropagatedEntry>,
     started: Instant,
+    /// Phase trace flushed to the observability hub at commit/abort.
+    trace: Option<TxnTrace>,
 }
 
 impl UpdateTransaction {
@@ -178,6 +196,9 @@ impl UpdateTransaction {
         let key = key.into();
         if let Some(value) = self.write_set.get(&key) {
             return Ok(Some(value.clone()));
+        }
+        if let Some(trace) = self.trace.as_mut() {
+            trace.enter(Phase::Read);
         }
         let response = remote_read(
             &self.node,
@@ -227,7 +248,8 @@ impl UpdateTransaction {
     /// Returns [`SssError::Aborted`] when locks could not be acquired, a
     /// read key was overwritten (validation), or a participant did not vote
     /// in time. Aborted transactions can simply be retried by the client.
-    pub fn commit(self) -> Result<CommitInfo, SssError> {
+    pub fn commit(mut self) -> Result<CommitInfo, SssError> {
+        let mut trace = self.trace.take();
         let node = &self.node;
         let replica_map = node.replica_map();
 
@@ -236,6 +258,9 @@ impl UpdateTransaction {
             // degenerates to a read-only commit (Algorithm 1 lines 2-8).
             // Its reads did not enqueue in any snapshot-queue, so there is
             // nothing to remove.
+            if let Some(trace) = trace {
+                trace.finish(true);
+            }
             return Ok(CommitInfo {
                 internal_latency: self.started.elapsed(),
                 external_latency: self.started.elapsed(),
@@ -261,6 +286,9 @@ impl UpdateTransaction {
 
         // Prepare phase. The multicast moves the message into the last
         // send, so a fan-out to N participants clones it N-1 times.
+        if let Some(trace) = trace.as_mut() {
+            trace.enter(Phase::PreCommit);
+        }
         let (vote_reply, vote_receiver) = reply_channel(participants.len());
         let prepare = SssMessage::Prepare {
             txn: self.id,
@@ -321,6 +349,9 @@ impl UpdateTransaction {
         // per-destination batch as the Decide — both are high priority, so
         // a destination that is a participant *and* a read-only origin gets
         // one enqueue and one wakeup instead of two.
+        if let Some(trace) = trace.as_mut() {
+            trace.enter(Phase::CommitQueueWait);
+        }
         let (ack_reply, ack_receiver) = reply_channel(write_replicas.len().max(1));
         let decide = SssMessage::Decide {
             txn: self.id,
@@ -362,6 +393,9 @@ impl UpdateTransaction {
         }
 
         if !outcome {
+            if let Some(trace) = trace {
+                trace.finish(false);
+            }
             return Err(SssError::Aborted(
                 abort_reason.unwrap_or(AbortReason::ValidationFailed { key: None }),
             ));
@@ -390,6 +424,9 @@ impl UpdateTransaction {
         // for the whole (very generous) ack timeout and consistency is
         // best-effort anyway.
         let all_nodes = node.config().nodes;
+        if let Some(trace) = trace.as_mut() {
+            trace.enter(Phase::ConfirmWait);
+        }
         let confirm_failed = if node.config().confirm_epoch_max > 1 {
             // Grouped path: the coalescer runs one round per coordinator
             // epoch covering every transaction that pre-committed in that
@@ -429,6 +466,9 @@ impl UpdateTransaction {
             // only nodes that can hold parked reads for this transaction —
             // and also on the failure paths, so a timed-out commit never
             // leaves readers parked forever.
+            if let Some(trace) = trace.as_mut() {
+                trace.enter(Phase::Release);
+            }
             let _ = node.transport().multicast(
                 node.id(),
                 write_replicas.iter().copied(),
@@ -439,6 +479,13 @@ impl UpdateTransaction {
             );
             failed
         };
+
+        // The transaction is committed from here on (even a timed-out
+        // confirmation round installed its writes), so the trace reports a
+        // commit on both return paths.
+        if let Some(trace) = trace {
+            trace.finish(true);
+        }
 
         if confirm_failed {
             return Err(SssError::ExternalCommitTimeout);
@@ -467,6 +514,8 @@ pub struct ReadOnlyTransaction {
     /// — or any version carrying a dominating clock — on any key.
     excluded: Vec<Arc<VectorClock>>,
     finished: bool,
+    /// Phase trace flushed to the observability hub at completion.
+    trace: Option<TxnTrace>,
 }
 
 impl ReadOnlyTransaction {
@@ -498,6 +547,9 @@ impl ReadOnlyTransaction {
         // replicas may already hold this transaction's snapshot-queue entry
         // for the key, and the `Remove`s sent at completion must reach them
         // or a writer could be blocked forever.
+        if let Some(trace) = self.trace.as_mut() {
+            trace.enter(Phase::Read);
+        }
         self.read_keys.push(key.clone());
         let vc = self.vc.as_ref().expect("initialized above");
         let response = remote_read(
@@ -547,6 +599,9 @@ impl ReadOnlyTransaction {
             self.finished = true;
             if !self.read_keys.is_empty() {
                 self.node.finish_read_only(self.id, &self.read_keys);
+            }
+            if let Some(trace) = self.trace.take() {
+                trace.finish(true);
             }
         }
     }

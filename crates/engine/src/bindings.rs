@@ -40,6 +40,10 @@ macro_rules! bind_engine {
                 Some(self.cluster().mailbox_totals())
             }
 
+            fn observability(&self) -> Option<std::sync::Arc<sss_obs::ObsHub>> {
+                self.cluster().observability()
+            }
+
             $(
                 fn diagnostics(&self) -> Option<String> {
                     #[allow(clippy::redundant_closure_call)]
@@ -95,9 +99,24 @@ bind_engine!(
     diagnostics: |engine: &SssEngine| engine.cluster().diagnostics(),
     kinds: &sss_core::SssMessage::KIND_LABELS
 );
-bind_engine!(TwoPcEngine, TwoPcEngineSession, "2PC");
-bind_engine!(WalterEngine, WalterEngineSession, "Walter");
-bind_engine!(RococoEngine, RococoEngineSession, "ROCOCO");
+bind_engine!(
+    TwoPcEngine,
+    TwoPcEngineSession,
+    "2PC",
+    kinds: &sss_baselines::twopc::MESSAGE_KIND_LABELS
+);
+bind_engine!(
+    WalterEngine,
+    WalterEngineSession,
+    "Walter",
+    kinds: &sss_baselines::walter::MESSAGE_KIND_LABELS
+);
+bind_engine!(
+    RococoEngine,
+    RococoEngineSession,
+    "ROCOCO",
+    kinds: &sss_baselines::rococo::MESSAGE_KIND_LABELS
+);
 
 #[cfg(test)]
 mod tests {

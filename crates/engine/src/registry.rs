@@ -40,6 +40,13 @@ pub struct EngineTuning {
     /// confirmation rounds; `None` keeps the engine's default (enabled).
     /// Ignored by the baselines.
     pub piggyback: Option<bool>,
+    /// Whether the registry attaches an observability hub
+    /// ([`sss_obs::ObsHub`]) to the engine: per-transaction phase tracing,
+    /// per-phase latency histograms and per-node trace rings. Off by
+    /// default — tracing-off engines pay one branch per instrumentation
+    /// site. Retrieve the hub through
+    /// [`TransactionEngine::observability`](crate::TransactionEngine::observability).
+    pub observability: bool,
 }
 
 impl EngineTuning {
@@ -76,6 +83,13 @@ impl EngineTuning {
     /// knobs.
     pub fn piggyback(mut self, enabled: bool) -> Self {
         self.piggyback = Some(enabled);
+        self
+    }
+
+    /// Enables or disables phase tracing / observability, keeping other
+    /// knobs.
+    pub fn observability(mut self, enabled: bool) -> Self {
+        self.observability = enabled;
         self
     }
 }
@@ -195,6 +209,10 @@ impl EngineKind {
     ) -> Box<dyn TransactionEngine> {
         let interposer =
             |i: &&Arc<FaultInjector>| Arc::clone(*i) as Arc<dyn sss_net::FaultInterposer>;
+        // One hub per engine instance: every session and node of this
+        // engine records into it, and harnesses retrieve it back through
+        // `TransactionEngine::observability`.
+        let hub = tuning.observability.then(|| sss_obs::ObsHub::new(nodes));
         match self {
             EngineKind::Sss => {
                 let mut config = SssConfig::new(nodes)
@@ -212,6 +230,9 @@ impl EngineKind {
                 if let Some(enabled) = tuning.piggyback {
                     config = config.piggyback(enabled);
                 }
+                if let Some(hub) = hub {
+                    config = config.observability(hub);
+                }
                 if let Some(injector) = injector {
                     config = config.fault_injector(Arc::clone(injector));
                 }
@@ -224,6 +245,9 @@ impl EngineKind {
                 }
                 if let Some(batch) = tuning.delivery_batch {
                     config = config.delivery_batch(batch);
+                }
+                if let Some(hub) = hub {
+                    config = config.observability(hub);
                 }
                 let engine = TwoPcEngine::with_config(config, injector.as_ref().map(interposer));
                 if let Some(injector) = injector {
@@ -239,6 +263,9 @@ impl EngineKind {
                 if let Some(batch) = tuning.delivery_batch {
                     config = config.delivery_batch(batch);
                 }
+                if let Some(hub) = hub {
+                    config = config.observability(hub);
+                }
                 let engine = WalterEngine::with_config(config, injector.as_ref().map(interposer));
                 if let Some(injector) = injector {
                     injector.attach_pause_controls(engine.pause_controls());
@@ -252,6 +279,9 @@ impl EngineKind {
                 }
                 if let Some(batch) = tuning.delivery_batch {
                     config = config.delivery_batch(batch);
+                }
+                if let Some(hub) = hub {
+                    config = config.observability(hub);
                 }
                 let engine = RococoEngine::with_config(config, injector.as_ref().map(interposer));
                 if let Some(injector) = injector {

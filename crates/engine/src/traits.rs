@@ -139,6 +139,14 @@ pub trait TransactionEngine: Sync {
     fn message_kind_labels(&self) -> Option<&'static [&'static str]> {
         None
     }
+
+    /// The observability hub the engine was built with, if tracing is on:
+    /// per-phase latency histograms, trace rings and the metrics registry
+    /// (see [`sss_obs::ObsHub`]). `None` when the engine was built without
+    /// observability or does not support it.
+    fn observability(&self) -> Option<Arc<sss_obs::ObsHub>> {
+        None
+    }
 }
 
 impl<E: TransactionEngine + ?Sized> TransactionEngine for Box<E> {
@@ -169,6 +177,10 @@ impl<E: TransactionEngine + ?Sized> TransactionEngine for Box<E> {
     fn message_kind_labels(&self) -> Option<&'static [&'static str]> {
         (**self).message_kind_labels()
     }
+
+    fn observability(&self) -> Option<Arc<sss_obs::ObsHub>> {
+        (**self).observability()
+    }
 }
 
 impl<E: TransactionEngine + Send + Sync + ?Sized> TransactionEngine for Arc<E> {
@@ -198,6 +210,10 @@ impl<E: TransactionEngine + Send + Sync + ?Sized> TransactionEngine for Arc<E> {
 
     fn message_kind_labels(&self) -> Option<&'static [&'static str]> {
         (**self).message_kind_labels()
+    }
+
+    fn observability(&self) -> Option<Arc<sss_obs::ObsHub>> {
+        (**self).observability()
     }
 }
 

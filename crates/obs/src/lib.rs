@@ -1,0 +1,37 @@
+//! Observability substrate shared by every engine in the workspace.
+//!
+//! The paper's §V cost analysis reasons about *where* a transaction's
+//! latency lives — read, prepare/vote, commit-queue wait, external-commit
+//! confirmation — but the reproduction so far only exposed end-of-run
+//! counter totals. This crate supplies the missing layer, in three parts:
+//!
+//! * **Phase tracing** ([`trace`]): a [`TxnTrace`] carried through a client
+//!   session opens and closes [`Phase`] spans at protocol boundaries;
+//!   completed spans land in per-node fixed-capacity [`TraceRing`]s (the
+//!   push path is a `fetch_add` plus one slot write) and drain as
+//!   Chrome-trace JSON ([`chrome_trace_json`]). The [`ObsHub`] is the
+//!   per-cluster share point: time base, lane allocator, rings, metrics.
+//! * **Metrics** ([`metrics`], [`hist`]): a log-bucketed [`Histogram`] with
+//!   exact count/sum/min/max, bounded quantile error and a deterministic
+//!   (associative, commutative) merge; a [`MetricsRegistry`] of named
+//!   counters/gauges/histograms with one snapshot-and-diff surface
+//!   ([`MetricsSnapshot`]) that harnesses fold their typed stats into.
+//! * **Liveness** ([`watchdog`]): a passive [`WatchdogCore`] that turns a
+//!   driver-supplied progress counter plus diagnostics closure into stall
+//!   verdicts and a bounded history of progress snapshots.
+//!
+//! Everything here is engine-agnostic and dependency-light; engines carry
+//! an `Option<Arc<ObsHub>>` in their configuration so the tracing-off cost
+//! is a single branch per instrumentation site.
+
+#![deny(missing_docs)]
+
+pub mod hist;
+pub mod metrics;
+pub mod trace;
+pub mod watchdog;
+
+pub use hist::Histogram;
+pub use metrics::{Counter, Gauge, MetricsRegistry, MetricsSnapshot, SharedHistogram};
+pub use trace::{chrome_trace_json, ObsHub, Phase, TraceRing, TraceSpan, TxnTrace};
+pub use watchdog::{ProgressSnapshot, WatchdogConfig, WatchdogCore, WatchdogVerdict};

@@ -1,0 +1,274 @@
+//! A small metrics registry: named counters, gauges and histograms behind
+//! one snapshot-and-diff surface.
+//!
+//! The registry is the aggregation point that subsumes the scattered
+//! per-subsystem counter structs (`StorageStats`, `MailboxStats`, the
+//! harness's ad-hoc latency sampling): harnesses fold whatever typed stats
+//! they collect into a [`MetricsSnapshot`], snapshot at window boundaries
+//! and [`MetricsSnapshot::diff`] — one code path for every counter in the
+//! system. Counters are monotonic and lock-free; histograms are recorded
+//! under a short per-histogram mutex.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::hist::Histogram;
+
+/// A monotonic, lock-free counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increments by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins gauge (queue depths, in-flight rounds).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Sets the gauge.
+    pub fn set(&self, value: u64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A [`Histogram`] behind a mutex, shareable between recording threads.
+#[derive(Debug, Default)]
+pub struct SharedHistogram(Mutex<Histogram>);
+
+impl SharedHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        SharedHistogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&self, value: u64) {
+        self.0.lock().record(value);
+    }
+
+    /// Clones the current contents.
+    pub fn snapshot(&self) -> Histogram {
+        self.0.lock().clone()
+    }
+
+    /// Merges `other` into this histogram.
+    pub fn merge(&self, other: &Histogram) {
+        self.0.lock().merge(other);
+    }
+}
+
+/// A registry of named metrics. Registration is idempotent: asking for an
+/// existing name returns the existing handle, so independent subsystems can
+/// share a metric by name.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<SharedHistogram>>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// The counter registered under `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut counters = self.counters.lock();
+        Arc::clone(
+            counters
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Counter::new())),
+        )
+    }
+
+    /// The gauge registered under `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut gauges = self.gauges.lock();
+        Arc::clone(
+            gauges
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Gauge::new())),
+        )
+    }
+
+    /// The histogram registered under `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> Arc<SharedHistogram> {
+        let mut histograms = self.histograms.lock();
+        Arc::clone(
+            histograms
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(SharedHistogram::new())),
+        )
+    }
+
+    /// A coherent-enough snapshot of every registered metric (each metric is
+    /// read atomically; the set is read under the registry locks).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::default();
+        for (name, counter) in self.counters.lock().iter() {
+            snap.counters.insert(name.clone(), counter.get());
+        }
+        for (name, gauge) in self.gauges.lock().iter() {
+            snap.gauges.insert(name.clone(), gauge.get());
+        }
+        for (name, histogram) in self.histograms.lock().iter() {
+            snap.histograms.insert(name.clone(), histogram.snapshot());
+        }
+        snap
+    }
+}
+
+/// A point-in-time copy of a [`MetricsRegistry`] (or of typed stats folded
+/// in by a harness), diffable against an earlier snapshot of the same
+/// metrics for per-window accounting.
+#[derive(Debug, Default, Clone)]
+pub struct MetricsSnapshot {
+    /// Monotonic counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauges by name (diffs keep the later snapshot's value).
+    pub gauges: BTreeMap<String, u64>,
+    /// Histograms by name.
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsSnapshot {
+    /// Folds an externally maintained counter into the snapshot (used by
+    /// harnesses to pull typed stats like `StorageStats` under the same
+    /// surface). Adds when the name already exists.
+    pub fn fold_counter(&mut self, name: &str, value: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += value;
+    }
+
+    /// Folds an externally maintained gauge into the snapshot
+    /// (last-write-wins).
+    pub fn fold_gauge(&mut self, name: &str, value: u64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Window difference `self - earlier`: counters subtract (saturating,
+    /// missing names count as zero), gauges keep this snapshot's value,
+    /// histograms diff bucket-wise.
+    pub fn diff(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let mut out = MetricsSnapshot::default();
+        for (name, &later) in &self.counters {
+            let early = earlier.counters.get(name).copied().unwrap_or(0);
+            out.counters
+                .insert(name.clone(), later.saturating_sub(early));
+        }
+        out.gauges = self.gauges.clone();
+        for (name, later) in &self.histograms {
+            let diffed = match earlier.histograms.get(name) {
+                Some(early) => later.diff(early),
+                None => later.clone(),
+            };
+            out.histograms.insert(name.clone(), diffed);
+        }
+        out
+    }
+
+    /// Renders the snapshot as sorted `name value` lines (diagnostics).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            let _ = writeln!(out, "counter {name} {value}");
+        }
+        for (name, value) in &self.gauges {
+            let _ = writeln!(out, "gauge {name} {value}");
+        }
+        for (name, histogram) in &self.histograms {
+            let _ = writeln!(
+                out,
+                "histogram {name} count={} mean={:.1} p50={} p99={} max={}",
+                histogram.count(),
+                histogram.mean(),
+                histogram.value_at_quantile(0.5),
+                histogram.value_at_quantile(0.99),
+                histogram.max(),
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent() {
+        let registry = MetricsRegistry::new();
+        let a = registry.counter("txn/committed");
+        let b = registry.counter("txn/committed");
+        a.add(3);
+        b.inc();
+        assert_eq!(a.get(), 4);
+        assert_eq!(registry.snapshot().counters["txn/committed"], 4);
+    }
+
+    #[test]
+    fn snapshot_diff_isolates_a_window() {
+        let registry = MetricsRegistry::new();
+        let committed = registry.counter("committed");
+        let depth = registry.gauge("depth");
+        let latency = registry.histogram("latency");
+        committed.add(10);
+        depth.set(5);
+        latency.record(100);
+        let before = registry.snapshot();
+        committed.add(7);
+        depth.set(2);
+        latency.record(300);
+        let window = registry.snapshot().diff(&before);
+        assert_eq!(window.counters["committed"], 7);
+        assert_eq!(window.gauges["depth"], 2, "gauges keep the later value");
+        assert_eq!(window.histograms["latency"].count(), 1);
+    }
+
+    #[test]
+    fn folded_stats_share_the_surface() {
+        let mut snap = MetricsSnapshot::default();
+        snap.fold_counter("storage/mv/installed", 12);
+        snap.fold_counter("storage/mv/installed", 3);
+        snap.fold_gauge("mailbox/queued", 9);
+        assert_eq!(snap.counters["storage/mv/installed"], 15);
+        let rendered = snap.render();
+        assert!(rendered.contains("counter storage/mv/installed 15"));
+        assert!(rendered.contains("gauge mailbox/queued 9"));
+    }
+}

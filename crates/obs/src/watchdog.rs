@@ -1,0 +1,209 @@
+//! Liveness watchdog: detects no-progress intervals and keeps a short
+//! history of progress snapshots so a stall report shows the run-up, not
+//! just the moment the threshold tripped.
+//!
+//! [`WatchdogCore`] is passive — it owns no thread. A driver (the chaos
+//! scenario runner's existing watchdog loop) calls [`WatchdogCore::observe`]
+//! on its own cadence with the current progress counter and a lazily built
+//! detail string (typically `TransactionEngine::diagnostics()`: mailbox
+//! depths, snapshot-queue lengths, in-flight confirmation state). The core
+//! tracks when progress last advanced, samples the detail into a bounded
+//! history at a coarser interval than the driver tick (diagnostics are not
+//! free), and reports a stall once no progress was made for the configured
+//! window.
+
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+/// Configuration of a [`WatchdogCore`].
+#[derive(Debug, Clone, Copy)]
+pub struct WatchdogConfig {
+    /// No progress for this long flags the run as stalled.
+    pub stall_after: Duration,
+    /// Minimum interval between recorded history snapshots (the detail
+    /// closure is only invoked when a snapshot is recorded).
+    pub snapshot_every: Duration,
+    /// Number of most-recent snapshots retained.
+    pub history: usize,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            stall_after: Duration::from_secs(15),
+            snapshot_every: Duration::from_millis(250),
+            history: 8,
+        }
+    }
+}
+
+/// One recorded observation.
+#[derive(Debug, Clone)]
+pub struct ProgressSnapshot {
+    /// Time since the watchdog was created.
+    pub elapsed: Duration,
+    /// The driver's progress counter at the time.
+    pub progress: u64,
+    /// How long progress had been flat at the time.
+    pub flat_for: Duration,
+    /// Driver-supplied detail (engine diagnostics).
+    pub detail: String,
+}
+
+/// The verdict of one [`WatchdogCore::observe`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WatchdogVerdict {
+    /// Progress advanced within the stall window.
+    Progressing,
+    /// No progress for at least the configured stall window.
+    Stalled,
+}
+
+/// Passive stall detector with bounded snapshot history.
+#[derive(Debug)]
+pub struct WatchdogCore {
+    config: WatchdogConfig,
+    started: Instant,
+    last_progress: Option<u64>,
+    last_change: Instant,
+    last_snapshot: Option<Instant>,
+    history: VecDeque<ProgressSnapshot>,
+}
+
+impl WatchdogCore {
+    /// Creates a watchdog; the stall clock starts now.
+    pub fn new(config: WatchdogConfig) -> Self {
+        let now = Instant::now();
+        WatchdogCore {
+            config,
+            started: now,
+            last_progress: None,
+            last_change: now,
+            last_snapshot: None,
+            history: VecDeque::new(),
+        }
+    }
+
+    /// Feeds the current progress counter. `detail` is invoked only when a
+    /// history snapshot is due (at most once per `snapshot_every`), so the
+    /// driver can pass an expensive diagnostics closure on every tick.
+    pub fn observe(&mut self, progress: u64, detail: impl FnOnce() -> String) -> WatchdogVerdict {
+        if self.last_progress != Some(progress) {
+            self.last_progress = Some(progress);
+            self.last_change = Instant::now();
+        }
+        let snapshot_due = self
+            .last_snapshot
+            .map_or(true, |t| t.elapsed() >= self.config.snapshot_every);
+        if snapshot_due {
+            self.last_snapshot = Some(Instant::now());
+            self.history.push_back(ProgressSnapshot {
+                elapsed: self.started.elapsed(),
+                progress,
+                flat_for: self.last_change.elapsed(),
+                detail: detail(),
+            });
+            while self.history.len() > self.config.history.max(1) {
+                self.history.pop_front();
+            }
+        }
+        if self.last_change.elapsed() >= self.config.stall_after {
+            WatchdogVerdict::Stalled
+        } else {
+            WatchdogVerdict::Progressing
+        }
+    }
+
+    /// How long progress has currently been flat.
+    pub fn flat_for(&self) -> Duration {
+        self.last_change.elapsed()
+    }
+
+    /// The retained snapshots, oldest first.
+    pub fn history(&self) -> impl Iterator<Item = &ProgressSnapshot> {
+        self.history.iter()
+    }
+
+    /// Renders the snapshot history as an indented report: the last N
+    /// observations leading up to (and including) the stall.
+    pub fn report(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "watchdog: {} progress snapshot(s), progress flat for {:.1?}:",
+            self.history.len(),
+            self.flat_for(),
+        );
+        for snap in &self.history {
+            let _ = writeln!(
+                out,
+                "  [+{:>7.1?}] progress={} flat-for={:.1?}",
+                snap.elapsed, snap.progress, snap.flat_for,
+            );
+            for line in snap.detail.lines() {
+                let _ = writeln!(out, "    {line}");
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_config() -> WatchdogConfig {
+        WatchdogConfig {
+            stall_after: Duration::from_millis(30),
+            snapshot_every: Duration::from_millis(1),
+            history: 3,
+        }
+    }
+
+    #[test]
+    fn progressing_while_the_counter_moves() {
+        let mut wd = WatchdogCore::new(fast_config());
+        for i in 0..5 {
+            assert_eq!(
+                wd.observe(i, || format!("tick {i}")),
+                WatchdogVerdict::Progressing
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(wd.history().count() <= 3, "history is bounded");
+    }
+
+    #[test]
+    fn flat_progress_eventually_stalls_and_reports_history() {
+        let mut wd = WatchdogCore::new(fast_config());
+        wd.observe(7, || "first".to_string());
+        let deadline = Instant::now() + Duration::from_secs(2);
+        let mut verdict = WatchdogVerdict::Progressing;
+        while verdict == WatchdogVerdict::Progressing && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+            verdict = wd.observe(7, || "node 0: mailbox depth=3".to_string());
+        }
+        assert_eq!(verdict, WatchdogVerdict::Stalled);
+        let report = wd.report();
+        assert!(report.contains("progress=7"));
+        assert!(report.contains("    node 0: mailbox depth=3"));
+        assert_eq!(wd.history().count(), 3, "keeps only the last N snapshots");
+    }
+
+    #[test]
+    fn detail_is_lazy_between_snapshots() {
+        let mut wd = WatchdogCore::new(WatchdogConfig {
+            snapshot_every: Duration::from_secs(3600),
+            ..fast_config()
+        });
+        wd.observe(0, || "sampled".to_string());
+        let mut called = false;
+        wd.observe(1, || {
+            called = true;
+            String::new()
+        });
+        assert!(!called, "second snapshot not due for an hour");
+        assert_eq!(wd.history().count(), 1);
+    }
+}

@@ -26,7 +26,10 @@ use parking_lot::Mutex;
 use sss_consistency::{
     check_all, History, HistoryRecorder, ReadRecord, TxnKind, TxnRecord, WriteRecord,
 };
-use sss_engine::{EngineKind, FaultInjector, FaultPlan, NetProfile, TransactionEngine};
+use sss_engine::{
+    chrome_trace_json, EngineKind, EngineTuning, FaultInjector, FaultPlan, NetProfile,
+    TransactionEngine, WatchdogConfig, WatchdogCore, WatchdogVerdict,
+};
 use sss_storage::{Key, TxnId, Value};
 use sss_vclock::NodeId;
 
@@ -197,8 +200,15 @@ pub struct ScenarioOutcome {
     pub update_retries: u64,
     /// `true` if the stuck-run detector fired.
     pub stuck: bool,
-    /// Per-node diagnostics captured when the detector fired.
+    /// Stall report captured when the detector fired: the watchdog's last N
+    /// progress snapshots (each with per-node diagnostics) leading up to the
+    /// stall, not just the final capture.
     pub diagnostics: Option<String>,
+    /// Chrome-trace JSON of the engine's trace rings, dumped when the
+    /// detector fired on an observability-enabled engine (see
+    /// [`run_scenario_with_tuning`]). Scheduling-dependent, so excluded from
+    /// [`ScenarioOutcome::summary`].
+    pub trace_dump: Option<String>,
     /// Consistency-checker verdict: `None` when unchecked, `Some(Ok(()))`
     /// on pass, `Some(Err(description))` on violation.
     pub consistency: Option<Result<(), String>>,
@@ -324,12 +334,29 @@ pub fn run_scenario(
     kind: EngineKind,
     scenario: &ChaosScenario,
 ) -> Result<ScenarioOutcome, SpecError> {
+    run_scenario_with_tuning(kind, scenario, EngineTuning::default())
+}
+
+/// [`run_scenario`] with explicit engine tuning, e.g. to run a chaos
+/// scenario with observability on (`EngineTuning::default()
+/// .observability(true)`) so a stuck run auto-dumps its trace rings into
+/// [`ScenarioOutcome::trace_dump`].
+///
+/// # Errors
+///
+/// Returns the [`SpecError`] if the scenario's workload spec is invalid.
+pub fn run_scenario_with_tuning(
+    kind: EngineKind,
+    scenario: &ChaosScenario,
+    tuning: EngineTuning,
+) -> Result<ScenarioOutcome, SpecError> {
     scenario.spec.validate()?;
     let injector = FaultInjector::new(scenario.faults.clone());
-    let engine = kind.build_with_injector(
+    let engine = kind.build_tuned(
         scenario.spec.nodes,
         scenario.replication.min(scenario.spec.nodes),
         scenario.profile,
+        tuning,
         Some(&injector),
     );
     let outcome = run_scenario_on(engine.as_ref(), &injector, scenario);
@@ -361,29 +388,41 @@ pub fn run_scenario_on<E: TransactionEngine + ?Sized>(
     let abort = Arc::new(AtomicBool::new(false));
     let done = Arc::new(AtomicBool::new(false));
     let stuck_diagnostics: Arc<Mutex<Option<String>>> = Arc::new(Mutex::new(None));
+    let stuck_trace: Arc<Mutex<Option<String>>> = Arc::new(Mutex::new(None));
 
     let tallies: Vec<ClientTally> = std::thread::scope(|scope| {
         // Stuck-run watchdog: with no committed transaction for
-        // `stall_timeout`, capture diagnostics and raise the abort flag so
-        // clients bail out instead of hanging forever.
+        // `stall_timeout`, capture the stall report and raise the abort flag
+        // so clients bail out instead of hanging forever. The WatchdogCore
+        // samples engine diagnostics into a bounded history, so the report
+        // shows the run-up to the stall, not just the moment it tripped.
         {
             let progress = Arc::clone(&progress);
             let abort = Arc::clone(&abort);
             let done = Arc::clone(&done);
             let diagnostics = Arc::clone(&stuck_diagnostics);
+            let trace_dump = Arc::clone(&stuck_trace);
             let stall_timeout = scenario.stall_timeout;
             let engine_ref = &engine;
             scope.spawn(move || {
-                let mut last_seen = progress.load(Ordering::Relaxed);
-                let mut last_change = Instant::now();
+                let mut watchdog = WatchdogCore::new(WatchdogConfig {
+                    stall_after: stall_timeout,
+                    ..WatchdogConfig::default()
+                });
                 while !done.load(Ordering::Relaxed) {
                     std::thread::sleep(WATCHDOG_TICK);
                     let current = progress.load(Ordering::Relaxed);
-                    if current != last_seen {
-                        last_seen = current;
-                        last_change = Instant::now();
-                    } else if last_change.elapsed() >= stall_timeout {
-                        *diagnostics.lock() = engine_ref.diagnostics();
+                    let verdict =
+                        watchdog.observe(current, || engine_ref.diagnostics().unwrap_or_default());
+                    if verdict == WatchdogVerdict::Stalled {
+                        *diagnostics.lock() = Some(watchdog.report());
+                        // With observability on, auto-dump the trace rings:
+                        // the last ~32k spans per node show what every
+                        // in-flight transaction was doing when it stalled.
+                        if let Some(hub) = engine_ref.observability() {
+                            let group = (engine_ref.name().to_string(), hub.drain_spans());
+                            *trace_dump.lock() = Some(chrome_trace_json(&[group]));
+                        }
                         abort.store(true, Ordering::Relaxed);
                         return;
                     }
@@ -563,6 +602,7 @@ pub fn run_scenario_on<E: TransactionEngine + ?Sized>(
     }
 
     let diagnostics = stuck_diagnostics.lock().take();
+    let trace_dump = stuck_trace.lock().take();
     ScenarioOutcome {
         scenario: scenario.name.clone(),
         engine: engine.name().to_string(),
@@ -575,6 +615,7 @@ pub fn run_scenario_on<E: TransactionEngine + ?Sized>(
         update_retries,
         stuck,
         diagnostics,
+        trace_dump,
         consistency,
         violations,
         history,
