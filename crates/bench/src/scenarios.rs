@@ -156,7 +156,79 @@ pub fn sss_scenarios(smoke: bool, seed: u64) -> Vec<ChaosScenario> {
                 .partition([1], ms(10), ms(30))
                 .pause(0, ms(45), ms(25)),
         ),
+        // Regression scenarios seeded from model-checker counterexamples:
+        // each targets the fault class an `sss-model` mutation's minimal
+        // trace exploits (see `modelcheck_regressions` and the
+        // `seeded_scenarios_match_the_checker_classification` test, which
+        // re-derives the classification from the live checker).
+        modelcheck_regression(sss_model::Mutation::DuplicatePrepare, smoke, seed),
+        modelcheck_regression(sss_model::Mutation::AbortOvertakesPrepare, smoke, seed),
     ]
+}
+
+/// The catalog name of the regression scenario seeded from `mutation`'s
+/// counterexample.
+pub fn modelcheck_scenario_name(mutation: sss_model::Mutation) -> &'static str {
+    match mutation {
+        sss_model::Mutation::DuplicatePrepare => "mc-duplicate-prepare",
+        sss_model::Mutation::AbortOvertakesPrepare => "mc-abort-overtakes-prepare",
+        sss_model::Mutation::PrematureRelease => "mc-premature-release",
+        sss_model::Mutation::DroppedExclusionCeiling => "mc-dropped-ceiling",
+    }
+}
+
+/// Maps a counterexample's fault class to the chaos-plan knobs that stress
+/// the same delivery mechanism on a real cluster. The rates are deliberately
+/// high: the checker proved one adversarial delivery suffices, so the
+/// scenario saturates that channel instead of hoping to hit it.
+pub fn fault_plan_for(fault: sss_model::chaos::FaultKind, seed: u64) -> FaultPlan {
+    let ms = Duration::from_millis;
+    let us = Duration::from_micros;
+    match fault {
+        // The trace delivers one envelope twice: duplicate half of all
+        // messages so every handler's dedup path is hammered.
+        sss_model::chaos::FaultKind::Duplicate => {
+            FaultPlan::new(seed).link_fault(LinkFault::on(LinkSelector::All).duplicate(50, us(150)))
+        }
+        // The trace needs a later send to overtake an earlier one (e.g. a
+        // Decide overtaking its Prepare): hold a large fraction of messages
+        // long enough for subsequent traffic to pass them.
+        sss_model::chaos::FaultKind::Reorder => FaultPlan::new(seed).link_fault(
+            LinkFault::on(LinkSelector::All)
+                .jitter(us(400))
+                .reorder(40, ms(2)),
+        ),
+        // Plain adversarial delay.
+        sss_model::chaos::FaultKind::Delay => FaultPlan::new(seed).link_fault(
+            LinkFault::on(LinkSelector::All)
+                .jitter(us(500))
+                .spike(30, ms(2)),
+        ),
+    }
+}
+
+/// One regression scenario seeded from a model-checker counterexample.
+///
+/// The checker's BFS found a minimal trace violating an SSS invariant with
+/// the mutation applied (`sss-model`, `tests/model_check.rs`); the trace's
+/// fault class — re-derived live by the catalog test — picks the fault
+/// plan, and the scenario then asserts the *unmutated* production engine
+/// holds the full SSS guarantee set under a saturated dose of that fault:
+///
+/// * `DuplicatePrepare`: an 18-action trace delivering one `Prepare` twice
+///   wedges the commit queue (quiescence violation) once the handler's
+///   dedup is removed → `Duplicate` faults.
+/// * `AbortOvertakesPrepare`: a 21-action trace delivering a `Decide`
+///   (abort) before its `Prepare` wedges the prepare path once the abort
+///   tombstone is removed → `Reorder` faults.
+fn modelcheck_regression(mutation: sss_model::Mutation, smoke: bool, seed: u64) -> ChaosScenario {
+    let fault = match mutation {
+        sss_model::Mutation::DuplicatePrepare => sss_model::chaos::FaultKind::Duplicate,
+        sss_model::Mutation::AbortOvertakesPrepare => sss_model::chaos::FaultKind::Reorder,
+        sss_model::Mutation::PrematureRelease => sss_model::chaos::FaultKind::Delay,
+        sss_model::Mutation::DroppedExclusionCeiling => sss_model::chaos::FaultKind::Delay,
+    };
+    scenario(modelcheck_scenario_name(mutation), smoke, seed).faults(fault_plan_for(fault, seed))
 }
 
 /// The full catalog: every SSS scenario plus the partition-heal scenario
@@ -407,6 +479,45 @@ mod tests {
         // Every SSS entry asserts the full guarantee set.
         for run in catalog.iter().filter(|r| r.engine == EngineKind::Sss) {
             assert_eq!(run.scenario.expect, ScenarioExpectations::sss());
+        }
+    }
+
+    /// The seeded regression scenarios stay honest: re-run the checker on
+    /// each source mutation and assert its counterexample still classifies
+    /// into the fault class whose knobs the scenario uses. If a model change
+    /// shifts the minimal trace to a different mechanism, this fails and the
+    /// scenario must be re-seeded.
+    #[test]
+    fn seeded_scenarios_match_the_checker_classification() {
+        use sss_model::{bfs_check, ChaosHints, CheckConfig, Mutation, SssModel};
+        for (mutation, expected) in [
+            (
+                Mutation::DuplicatePrepare,
+                sss_model::chaos::FaultKind::Duplicate,
+            ),
+            (
+                Mutation::AbortOvertakesPrepare,
+                sss_model::chaos::FaultKind::Reorder,
+            ),
+        ] {
+            let model = SssModel::new(sss_model::ModelConfig::mutated(mutation));
+            let report = bfs_check(&model, &CheckConfig::default());
+            let cx = report
+                .violation
+                .unwrap_or_else(|| panic!("{mutation:?} must still produce a counterexample"));
+            let hints = ChaosHints::from_counterexample(&cx);
+            assert_eq!(
+                hints.fault,
+                expected,
+                "{mutation:?} reclassified; re-seed {}",
+                modelcheck_scenario_name(mutation)
+            );
+            let named = sss_scenarios(true, 1)
+                .into_iter()
+                .find(|s| s.name == modelcheck_scenario_name(mutation))
+                .expect("seeded scenario is in the catalog");
+            assert_eq!(named.expect, ScenarioExpectations::sss());
+            assert_eq!(named.faults, fault_plan_for(expected, 1));
         }
     }
 

@@ -35,7 +35,7 @@ pub struct CommitEntry {
 ///
 /// Entries are ordered by `vc[i]` (the entry of this node), with the
 /// transaction identifier as a deterministic tie-breaker.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct CommitQueue {
     node_index: usize,
     entries: Vec<CommitEntry>,

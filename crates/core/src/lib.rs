@@ -58,17 +58,20 @@
 
 pub mod adapter;
 mod cluster;
+pub mod coalescer;
 mod commit_queue;
 mod config;
 mod error;
 mod messages;
 mod nlog;
 mod node;
+pub mod protocol;
 mod session;
 mod squeue;
 mod stats;
 
 pub use cluster::SssCluster;
+pub use coalescer::{CoalescerCore, PendingConfirm, RoundPlan};
 pub use commit_queue::{CommitEntry, CommitQueue, CommitStatus};
 pub use config::{SssConfig, DEFAULT_CONFIRM_EPOCH};
 pub use error::{AbortReason, SssError};

@@ -31,7 +31,7 @@ pub struct NLogEntry {
 }
 
 /// The ordered log of internal commits of one node.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct NLog {
     entries: VecDeque<NLogEntry>,
     most_recent: VectorClock,

@@ -57,38 +57,19 @@ use sss_net::{reply_channel, Priority, ReplyReceiver, ReplySender, TransportExt}
 use sss_storage::TxnId;
 use sss_vclock::{NodeId, VectorClock};
 
+use crate::coalescer::{round_id, CoalescerCore, RoundPlan};
 use crate::messages::{Ack, SssMessage};
 
 use super::SssNode;
 
-/// One update transaction waiting for a grouped confirmation round.
-struct PendingConfirm {
-    txn: TxnId,
-    commit_vc: Arc<VectorClock>,
-    /// Where the round leader reports the round outcome (`true` iff every
-    /// node acknowledged).
-    waiter: ReplySender<bool>,
-}
-
-#[derive(Default)]
-struct CoalescerState {
-    /// `true` while a leader is driving rounds; set and cleared under the
-    /// same lock as the `pending` pushes (see the module docs).
-    in_flight: bool,
-    pending: Vec<PendingConfirm>,
-    /// Completed rounds' members awaiting their `ReleaseExternal`, riding
-    /// the next round (or a standalone flush when the queue drains).
-    pending_release: Vec<TxnId>,
-    /// Completed read-only transactions whose `Remove` piggybacks on the
-    /// next round (only populated while a round is in flight, so the delay
-    /// is bounded by that single round).
-    pending_remove: Vec<TxnId>,
-}
-
-/// Per-node grouped-confirmation state. See the module documentation.
+/// Per-node grouped-confirmation state: the pure decision core
+/// ([`CoalescerCore`], shared with the `sss-model` interleaving harness)
+/// behind the node's coalescer mutex. The waiter payload is the reply
+/// channel on which the round leader reports the outcome (`true` iff every
+/// node acknowledged).
 #[derive(Default)]
 pub(crate) struct ConfirmCoalescer {
-    state: Mutex<CoalescerState>,
+    state: Mutex<CoalescerCore<ReplySender<bool>>>,
 }
 
 impl SssNode {
@@ -98,15 +79,11 @@ impl SssNode {
     /// `true` iff every node acknowledged that round.
     pub(crate) fn confirm_external_grouped(&self, txn: TxnId, commit_vc: VectorClock) -> bool {
         let (waiter, receiver) = reply_channel(1);
-        let lead = {
-            let mut st = self.confirm.state.lock();
-            st.pending.push(PendingConfirm {
-                txn,
-                commit_vc: Arc::new(commit_vc),
-                waiter,
-            });
-            !std::mem::replace(&mut st.in_flight, true)
-        };
+        let lead = self
+            .confirm
+            .state
+            .lock()
+            .enqueue(txn, Arc::new(commit_vc), waiter);
         if lead {
             self.run_confirm_rounds();
         }
@@ -123,13 +100,7 @@ impl SssNode {
     /// immediately, because parking the remove on an idle coalescer would
     /// hold blocked writers toward their `precommit_hold_max`.
     pub(crate) fn queue_remove_on_next_round(&self, txn: TxnId) -> bool {
-        let mut st = self.confirm.state.lock();
-        if st.in_flight {
-            st.pending_remove.push(txn);
-            true
-        } else {
-            false
-        }
+        self.confirm.state.lock().queue_remove(txn)
     }
 
     /// Leader loop: drives confirmation rounds until the queue (and the
@@ -151,61 +122,55 @@ impl SssNode {
         let mut lingered = false;
         let mut first_round = true;
         loop {
-            let (batch, release, remove) = {
-                let mut st = self.confirm.state.lock();
-                if st.pending.is_empty()
-                    && st.pending_release.is_empty()
-                    && st.pending_remove.is_empty()
-                {
-                    // Exit under the same lock as the membership pushes: any
-                    // committer that enqueued before this check is covered
-                    // above; any later one sees `in_flight == false` and
-                    // leads itself.
-                    st.in_flight = false;
-                    return;
-                }
-                if !first_round && !lingered && st.pending.len() < window && !linger.is_zero() {
-                    drop(st);
+            // Exit, linger, flush, or round: decided by the pure core under
+            // the same lock as the membership pushes (see the `coalescer`
+            // module docs for why the exit can never strand a member).
+            let may_linger = !first_round && !lingered && !linger.is_zero();
+            let plan = self.confirm.state.lock().next_round(window, may_linger);
+            let (batch, release, remove) = match plan {
+                RoundPlan::Exit => return,
+                RoundPlan::Linger => {
                     std::thread::sleep(linger);
                     lingered = true;
                     continue;
                 }
-                let take = st.pending.len().min(window);
-                (
-                    st.pending.drain(..take).collect::<Vec<_>>(),
-                    std::mem::take(&mut st.pending_release),
-                    std::mem::take(&mut st.pending_remove),
-                )
+                RoundPlan::Flush { release, remove } => {
+                    // The confirm queue drained but piggyback payloads
+                    // remain: no carrier is coming, flush them standalone.
+                    // Removes go first — they can unblock waiting external
+                    // commits.
+                    first_round = false;
+                    lingered = false;
+                    if !remove.is_empty() {
+                        let _ = self.transport().multicast(
+                            self.id(),
+                            (0..all_nodes).map(NodeId),
+                            SssMessage::Remove { txns: remove },
+                            Priority::High,
+                        );
+                    }
+                    if !release.is_empty() {
+                        let _ = self.transport().multicast(
+                            self.id(),
+                            (0..all_nodes).map(NodeId),
+                            SssMessage::ReleaseExternal { txns: release },
+                            Priority::High,
+                        );
+                    }
+                    continue;
+                }
+                RoundPlan::Round {
+                    batch,
+                    release,
+                    remove,
+                } => (batch, release, remove),
             };
             first_round = false;
             lingered = false;
 
-            if batch.is_empty() {
-                // The confirm queue drained but piggyback payloads remain:
-                // no carrier is coming, flush them standalone. Removes go
-                // first — they can unblock waiting external commits.
-                if !remove.is_empty() {
-                    let _ = self.transport().multicast(
-                        self.id(),
-                        (0..all_nodes).map(NodeId),
-                        SssMessage::Remove { txns: remove },
-                        Priority::High,
-                    );
-                }
-                if !release.is_empty() {
-                    let _ = self.transport().multicast(
-                        self.id(),
-                        (0..all_nodes).map(NodeId),
-                        SssMessage::ReleaseExternal { txns: release },
-                        Priority::High,
-                    );
-                }
-                continue;
-            }
-
             // The round id (used by the ack dedup on the handler side) is
             // the first member's transaction.
-            let round_id = batch[0].txn;
+            let round = round_id(&batch).expect("a planned round has members");
             let entries: Vec<(TxnId, Arc<VectorClock>)> = batch
                 .iter()
                 .map(|p| (p.txn, Arc::clone(&p.commit_vc)))
@@ -226,8 +191,8 @@ impl SssNode {
                     Priority::High,
                 )
                 .is_ok();
-            let ok = sent
-                && collect_round_acks(&receiver, round_id, all_nodes, self.config().ack_timeout);
+            let ok =
+                sent && collect_round_acks(&receiver, round, all_nodes, self.config().ack_timeout);
 
             // The round is complete and its members' clients are about to be
             // answered: their parked readers may now be released. On success
@@ -237,13 +202,16 @@ impl SssNode {
             // rides the next round; without it, it is flushed immediately as
             // its own broadcast (the A/B arm isolating the grouping win).
             let members: Vec<TxnId> = batch.iter().map(|p| p.txn).collect();
-            if piggyback {
-                self.confirm.state.lock().pending_release.extend(members);
-            } else {
+            if let Some(now) = self
+                .confirm
+                .state
+                .lock()
+                .round_completed(members, piggyback)
+            {
                 let _ = self.transport().multicast(
                     self.id(),
                     (0..all_nodes).map(NodeId),
-                    SssMessage::ReleaseExternal { txns: members },
+                    SssMessage::ReleaseExternal { txns: now },
                     Priority::High,
                 );
             }

@@ -269,12 +269,7 @@ impl SssNode {
         // commit-queue entry is at or below the bound; entries only leave
         // the queue by being applied or aborted, and both paths re-drain
         // the deferred reads.
-        if state
-            .commit_q
-            .entries()
-            .iter()
-            .any(|e| e.vc.get(i) <= max_vc.get(i))
-        {
+        if crate::protocol::commit_queue_blocks_read(state.commit_q.entries(), i, max_vc.get(i)) {
             // Counted once per request: re-evaluations of a read that is
             // still blocked re-enter with the bound already pinned.
             if !bound_pinned {
@@ -329,10 +324,7 @@ impl SssNode {
         // protocol remains the `precommit_hold_max` TODO.)
         let selected = self.store().chain(&key).and_then(|chain| {
             chain
-                .latest_matching(|ver| {
-                    max_vc.dominates(&ver.vc)
-                        && !exclude.iter().any(|ceiling| ver.vc.dominates(ceiling))
-                })
+                .latest_matching(|ver| crate::protocol::version_visible(&ver.vc, &max_vc, &exclude))
                 .map(|ver| (ver.value.clone(), ver.writer))
         });
         let (value, writer) = match selected {

@@ -185,7 +185,7 @@ impl NodeState {
         write_keys.iter().any(|k| {
             self.squeues
                 .get(k)
-                .map(|q| q.has_read_before(sid))
+                .map(|q| crate::protocol::squeue_blocks_external_commit(q, sid))
                 .unwrap_or(false)
         })
     }

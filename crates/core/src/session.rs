@@ -336,11 +336,11 @@ impl UpdateTransaction {
             }
         }
 
-        // Compute the final commit vector clock (Algorithm 1 lines 21-24).
+        // Compute the final commit vector clock (Algorithm 1 lines 21-24,
+        // via the pure step shared with the model checker).
         if outcome {
             let write_indices: Vec<usize> = write_replicas.iter().map(|n| n.index()).collect();
-            let xact_vn = commit_vc.max_over(write_indices.iter().copied());
-            commit_vc.assign_over(write_indices, xact_vn);
+            crate::protocol::finalize_commit_vc(&mut commit_vc, &write_indices);
         }
 
         // Decide phase. On a commit, the RegisterForward messages that

@@ -1,0 +1,125 @@
+//! Edge-case tests for the grouped-confirmation decision core.
+//!
+//! These complement the schedule-enumerating interleaving tests in
+//! `sss-model` (`tests/interleave_hotspots.rs`), which exhaust the
+//! *schedules*; here we pin down three tricky sequential behaviors: the
+//! epoch-1 degeneration to singleton rounds, recovery from a leader dying
+//! mid-round, and a linger racing a late enqueue.
+
+use std::sync::Arc;
+
+use sss_core::{CoalescerCore, RoundPlan, TxnId};
+use sss_vclock::{NodeId, VectorClock};
+
+fn txn(seq: u64) -> TxnId {
+    TxnId::new(NodeId(0), seq)
+}
+
+fn vc() -> Arc<VectorClock> {
+    Arc::new(VectorClock::new(2))
+}
+
+/// Drives the leader loop to `Exit`, collecting round memberships and every
+/// release that found a carrier. Panics if the loop does not exit within a
+/// bounded number of plans (the core must always converge once enqueues
+/// stop).
+fn drain(core: &mut CoalescerCore<u8>, window: usize) -> (Vec<Vec<TxnId>>, Vec<TxnId>) {
+    let mut rounds = Vec::new();
+    let mut released = Vec::new();
+    for _ in 0..16 {
+        match core.next_round(window, false) {
+            RoundPlan::Exit => return (rounds, released),
+            RoundPlan::Linger => unreachable!("may_linger=false never lingers"),
+            RoundPlan::Flush { release, .. } => released.extend(release),
+            RoundPlan::Round { batch, release, .. } => {
+                released.extend(release);
+                let members: Vec<TxnId> = batch.iter().map(|p| p.txn).collect();
+                rounds.push(members.clone());
+                if let Some(now) = core.round_completed(members, true) {
+                    released.extend(now);
+                }
+            }
+        }
+    }
+    panic!("leader loop failed to converge");
+}
+
+/// With a confirmation epoch of 1 the grouped coalescer is the base
+/// protocol: one singleton round per committer, in arrival order, each
+/// release carried by the following plan.
+#[test]
+fn epoch_one_degenerates_to_singleton_rounds() {
+    let mut core: CoalescerCore<u8> = CoalescerCore::new();
+    assert!(core.enqueue(txn(1), vc(), 0), "first committer leads");
+    assert!(!core.enqueue(txn(2), vc(), 0));
+    assert!(!core.enqueue(txn(3), vc(), 0));
+
+    let (rounds, released) = drain(&mut core, 1);
+    assert_eq!(rounds, vec![vec![txn(1)], vec![txn(2)], vec![txn(3)]]);
+    assert_eq!(released, vec![txn(1), txn(2), txn(3)]);
+    assert!(!core.in_flight(), "drained leader exits");
+}
+
+/// A leader dying after draining a round's batch leaves `in_flight` set, so
+/// no second leader self-elects — but no queued work is lost: a successor
+/// resuming the loop (production: the waiter-timeout path re-entering
+/// confirmation) picks up everything enqueued during the outage plus the
+/// dead leader's piggybacked release.
+#[test]
+fn leader_death_mid_round_loses_no_work() {
+    let mut core: CoalescerCore<u8> = CoalescerCore::new();
+    assert!(core.enqueue(txn(1), vc(), 0));
+    let batch = match core.next_round(4, false) {
+        RoundPlan::Round { batch, .. } => batch,
+        plan => panic!("expected a round, got {plan:?}"),
+    };
+    assert_eq!(batch.len(), 1);
+    // The round's acks arrive and its members complete...
+    assert!(core
+        .round_completed(batch.iter().map(|p| p.txn).collect(), true)
+        .is_none());
+    // ...but the leader dies before planning the release's carrier.
+    // Committers arriving during the outage must NOT self-elect (the
+    // leader flag is still set) — they enqueue and wait.
+    assert!(core.in_flight());
+    assert!(
+        !core.enqueue(txn(2), vc(), 0),
+        "no second leader mid-flight"
+    );
+    assert_eq!(core.pending_len(), 1);
+    assert_eq!(core.pending_release_len(), 1);
+
+    // A successor resuming the leader loop drains everything: the stranded
+    // release rides the next round alongside the outage-era committer.
+    let (rounds, released) = drain(&mut core, 4);
+    assert_eq!(rounds, vec![vec![txn(2)]]);
+    assert_eq!(released, vec![txn(1), txn(2)]);
+    assert_eq!(core.pending_len() + core.pending_release_len(), 0);
+}
+
+/// A linger racing a late enqueue: the lingering leader's queue is
+/// untouched by the linger decision, and the late arrival fills the window
+/// the leader was waiting for.
+#[test]
+fn linger_keeps_the_queue_and_the_late_arrival_fills_the_window() {
+    let mut core: CoalescerCore<u8> = CoalescerCore::new();
+    assert!(core.enqueue(txn(1), vc(), 0));
+    // Under-full window with may_linger: the leader pauses, queue intact.
+    assert!(matches!(core.next_round(2, true), RoundPlan::Linger));
+    assert_eq!(core.pending_len(), 1);
+    assert!(core.in_flight(), "lingering keeps the leader flag");
+
+    // The late enqueue lands during the linger and fills the window.
+    assert!(!core.enqueue(txn(2), vc(), 0));
+    match core.next_round(2, true) {
+        RoundPlan::Round { batch, .. } => {
+            let members: Vec<TxnId> = batch.iter().map(|p| p.txn).collect();
+            assert_eq!(members, vec![txn(1), txn(2)], "the window filled");
+            core.round_completed(members, true);
+        }
+        plan => panic!("a full window must round, got {plan:?}"),
+    }
+    let (rounds, released) = drain(&mut core, 2);
+    assert!(rounds.is_empty());
+    assert_eq!(released, vec![txn(1), txn(2)]);
+}

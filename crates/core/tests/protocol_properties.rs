@@ -2,6 +2,7 @@
 //! and of small end-to-end clusters.
 
 use proptest::prelude::*;
+use sss_core::protocol::commit_queue_blocks_read;
 use sss_core::{CommitQueue, SnapshotQueue, SssCluster, SssConfig};
 use sss_storage::{TxnId, Value};
 use sss_vclock::{NodeId, VectorClock};
@@ -73,6 +74,41 @@ proptest! {
         let mut sorted = popped.clone();
         sorted.sort();
         prop_assert_eq!(popped, sorted, "commit order must follow the local clock entry");
+    }
+
+    /// The commit-queue ambiguity deferral of the xact-vn equalization: a
+    /// read bounded by `bound` defers while *any* queued entry carries a
+    /// local clock entry at or below the bound — in particular an exact tie
+    /// (`vc[i] == bound`, the equalization's signature ambiguity) defers —
+    /// and unblocks exactly when the last such entry drains, never earlier.
+    #[test]
+    fn commit_queue_tie_deferral_blocks_until_the_bound_clears(
+        clocks in prop::collection::vec(1u64..50, 1..20),
+        bound in 0u64..60,
+    ) {
+        let mut queue = CommitQueue::new(0);
+        for (i, clock) in clocks.iter().enumerate() {
+            let id = txn(i as u64);
+            queue.put(id, VectorClock::from_entries(vec![*clock]));
+            queue.update(id, VectorClock::from_entries(vec![*clock]));
+        }
+        // An exact xact-vn tie is ambiguous and must defer.
+        for clock in &clocks {
+            prop_assert!(commit_queue_blocks_read(queue.entries(), 0, *clock));
+        }
+        let expected = clocks.iter().any(|c| *c <= bound);
+        prop_assert_eq!(commit_queue_blocks_read(queue.entries(), 0, bound), expected);
+        // Draining is monotone: the deferral lifts exactly when the last
+        // at-or-below entry leaves the queue.
+        let mut remaining = clocks.clone();
+        while let Some(entry) = queue.pop_ready_head() {
+            let at = entry.vc.get(0);
+            let pos = remaining.iter().position(|c| *c == at).expect("popped a queued clock");
+            remaining.remove(pos);
+            let expected = remaining.iter().any(|c| *c <= bound);
+            prop_assert_eq!(commit_queue_blocks_read(queue.entries(), 0, bound), expected);
+        }
+        prop_assert!(!commit_queue_blocks_read(queue.entries(), 0, bound));
     }
 }
 

@@ -1,0 +1,131 @@
+//! Conversion of model-checker counterexamples into chaos-harness hints.
+//!
+//! A counterexample is a minimal *message schedule*: a sequence of client
+//! steps and message deliveries. The chaos harness cannot replay an exact
+//! schedule (it perturbs a real cluster probabilistically), but it can be
+//! pointed at the *fault class* the schedule exploits — a duplicated
+//! delivery, a reordered delivery, or plain adversarial delay. This module
+//! classifies a trace into that fault class so regression scenarios seeded
+//! from checker output (see `sss-bench`'s `mc-*` scenarios) stress the same
+//! mechanism the checker proved fragile.
+
+use crate::checker::Counterexample;
+
+/// The network fault class a counterexample's schedule relies on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The trace delivers the same envelope twice.
+    Duplicate,
+    /// The trace delivers a later-sent message to a node before an
+    /// earlier-sent one (e.g. a `Decide` overtaking its `Prepare`).
+    Reorder,
+    /// The trace needs only adversarial delay (every delivery is unique and
+    /// per-destination send order is respected).
+    Delay,
+}
+
+/// Chaos-harness guidance distilled from one counterexample.
+#[derive(Debug, Clone)]
+pub struct ChaosHints {
+    /// The fault class the schedule exploits.
+    pub fault: FaultKind,
+    /// The invariant the trace violates (verbatim from the checker).
+    pub invariant: String,
+    /// The replayable trace labels, for embedding in scenario docs.
+    pub trace: Vec<String>,
+}
+
+impl ChaosHints {
+    /// Classifies `cx` by scanning its delivery labels (the labels are
+    /// produced by the model's `describe` and carry `deliver <Kind> t<i> ->
+    /// n<j>` markers).
+    pub fn from_counterexample<A>(cx: &Counterexample<A>) -> ChaosHints {
+        ChaosHints {
+            fault: classify(&cx.labels),
+            invariant: cx.invariant.clone(),
+            trace: cx.labels.clone(),
+        }
+    }
+}
+
+fn classify(labels: &[String]) -> FaultKind {
+    let deliveries: Vec<&String> = labels
+        .iter()
+        .filter(|l| l.starts_with("deliver "))
+        .collect();
+    for (i, a) in deliveries.iter().enumerate() {
+        if deliveries[i + 1..].contains(a) {
+            return FaultKind::Duplicate;
+        }
+    }
+    // A 2PC decision arriving at a node that has not yet seen the matching
+    // prepare is the canonical reorder signature.
+    for (i, a) in deliveries.iter().enumerate() {
+        if let Some((txn, dst)) = parse("Decide", a) {
+            let prepare_later = deliveries[i + 1..]
+                .iter()
+                .any(|b| parse("Prepare", b) == Some((txn.clone(), dst.clone())));
+            if prepare_later {
+                return FaultKind::Reorder;
+            }
+        }
+    }
+    FaultKind::Delay
+}
+
+/// Extracts `(txn, dst)` from a `deliver <kind>.. t<i> .. -> n<j>` label.
+fn parse(kind: &str, label: &str) -> Option<(String, String)> {
+    let rest = label.strip_prefix("deliver ")?;
+    if !rest.starts_with(kind) {
+        return None;
+    }
+    let txn = rest
+        .split_whitespace()
+        .find(|w| w.starts_with('t') && w[1..].chars().all(|c| c.is_ascii_digit()))?;
+    let dst = rest.rsplit("-> ").next()?;
+    Some((txn.to_string(), dst.trim().to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cx(labels: &[&str]) -> Counterexample<u8> {
+        Counterexample {
+            invariant: "quiescence".into(),
+            actions: vec![0; labels.len()],
+            labels: labels.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    #[test]
+    fn duplicate_delivery_classifies_as_duplicate() {
+        let hints = ChaosHints::from_counterexample(&cx(&[
+            "start t1 (update)",
+            "deliver Prepare t1 -> n0",
+            "deliver Prepare t1 -> n0",
+        ]));
+        assert_eq!(hints.fault, FaultKind::Duplicate);
+    }
+
+    #[test]
+    fn decide_before_prepare_classifies_as_reorder() {
+        let hints = ChaosHints::from_counterexample(&cx(&[
+            "deliver Decide-abort t1 -> n1",
+            "deliver Prepare t1 -> n1",
+        ]));
+        assert_eq!(hints.fault, FaultKind::Reorder);
+    }
+
+    #[test]
+    fn unique_in_order_deliveries_classify_as_delay() {
+        let hints = ChaosHints::from_counterexample(&cx(&[
+            "deliver Prepare t1 -> n0",
+            "deliver Vote t1 n0 -> t1",
+            "deliver Decide-commit t1 -> n0",
+        ]));
+        assert_eq!(hints.fault, FaultKind::Delay);
+        assert_eq!(hints.invariant, "quiescence");
+        assert_eq!(hints.trace.len(), 3);
+    }
+}

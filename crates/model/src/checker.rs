@@ -1,0 +1,357 @@
+//! A generic explicit-state BFS model checker.
+//!
+//! The checker enumerates every state reachable from [`Model::init`] by the
+//! actions the model declares enabled, deduplicating states by a canonical
+//! 128-bit fingerprint of [`Model::encode`]. Breadth-first order means the
+//! first violation found is a *minimal* counterexample (no shorter action
+//! sequence reaches one), which keeps the replay traces that seed chaos
+//! regression scenarios short.
+//!
+//! Violations surface through three channels, all treated uniformly:
+//!
+//! * [`Model::step`] returns `Err` — a step-local invariant (e.g. "a read
+//!   was served an unconfirmed version") failed while applying an action;
+//! * [`Model::check`] returns `Err` on a freshly discovered state — a
+//!   state-global invariant failed;
+//! * [`Model::check`] with `terminal == true` returns `Err` on a state with
+//!   no enabled actions — a liveness/quiescence obligation failed.
+
+use std::collections::{HashMap, VecDeque};
+
+/// A state machine the checker can explore.
+pub trait Model {
+    /// One reachable configuration of the system.
+    type State: Clone;
+    /// One enabled transition. Kept `Copy`-small: the checker stores one per
+    /// discovered state for counterexample reconstruction.
+    type Action: Copy + std::fmt::Debug;
+
+    /// The initial state.
+    fn init(&self) -> Self::State;
+
+    /// Appends every enabled action of `state` to `out` (cleared by the
+    /// caller). An empty result marks the state terminal.
+    fn actions(&self, state: &Self::State, out: &mut Vec<Self::Action>);
+
+    /// Applies `action` to `state`. `Err` is an invariant violation observed
+    /// while performing the step.
+    fn step(&self, state: &Self::State, action: Self::Action) -> Result<Self::State, String>;
+
+    /// Checks state-global invariants; `terminal` is `true` when the state
+    /// has no enabled actions (deadlock-freedom / quiescence obligations).
+    fn check(&self, state: &Self::State, terminal: bool) -> Result<(), String>;
+
+    /// Writes a canonical byte encoding of the semantically relevant parts
+    /// of `state` (used for fingerprint dedup). Two states that encode
+    /// equally are treated as the same state.
+    fn encode(&self, state: &Self::State, out: &mut Vec<u8>);
+
+    /// A human-readable label for `action` taken from `state` (used in
+    /// counterexample traces; may inspect the state to resolve indices).
+    fn describe(&self, state: &Self::State, action: Self::Action) -> String;
+}
+
+/// Exploration budgets.
+#[derive(Debug, Clone, Copy)]
+pub struct CheckConfig {
+    /// Maximum number of unique states to explore before giving up.
+    pub max_states: usize,
+    /// Maximum BFS depth (actions from the initial state).
+    pub max_depth: usize,
+}
+
+impl Default for CheckConfig {
+    fn default() -> Self {
+        CheckConfig {
+            max_states: 4_000_000,
+            max_depth: 256,
+        }
+    }
+}
+
+/// A minimal trace from the initial state to a violation.
+#[derive(Debug, Clone)]
+pub struct Counterexample<A> {
+    /// Which invariant failed.
+    pub invariant: String,
+    /// The actions to replay, in order.
+    pub actions: Vec<A>,
+    /// One label per action (resolved against the state it was taken from).
+    pub labels: Vec<String>,
+}
+
+impl<A> Counterexample<A> {
+    /// Renders the trace as a numbered, replayable text block.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("violated: {}\n", self.invariant));
+        for (i, label) in self.labels.iter().enumerate() {
+            out.push_str(&format!("{:3}. {label}\n", i + 1));
+        }
+        out
+    }
+}
+
+/// Outcome of one exhaustive exploration.
+#[derive(Debug)]
+pub struct CheckReport<A> {
+    /// Unique states discovered (after fingerprint dedup).
+    pub unique_states: usize,
+    /// Transitions applied.
+    pub transitions: usize,
+    /// Deepest level reached.
+    pub max_depth_seen: usize,
+    /// `true` when the frontier was exhausted within the budgets: the state
+    /// space was covered *completely*.
+    pub complete: bool,
+    /// The first (minimal) violation found, if any.
+    pub violation: Option<Counterexample<A>>,
+}
+
+impl<A> CheckReport<A> {
+    /// `true` when the exploration was exhaustive and violation-free.
+    pub fn verified(&self) -> bool {
+        self.complete && self.violation.is_none()
+    }
+}
+
+/// 128-bit FNV-1a over the canonical encoding; the collision probability at
+/// a few million states is far below 1e-18, so fingerprint dedup is sound in
+/// practice without retaining full states.
+fn fingerprint(bytes: &[u8]) -> u128 {
+    const OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+    const PRIME: u128 = 0x0000000001000000000000000000013b;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= b as u128;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Exhaustively explores `model` breadth-first. See the module docs.
+pub fn bfs_check<M: Model>(model: &M, config: &CheckConfig) -> CheckReport<M::Action> {
+    // Parent pointers for counterexample reconstruction: one entry per
+    // unique state, holding the id of the state it was first reached from
+    // and the action that reached it.
+    let mut parents: Vec<(u32, Option<M::Action>)> = Vec::new();
+    let mut visited: HashMap<u128, u32> = HashMap::new();
+    let mut frontier: VecDeque<(u32, usize, M::State)> = VecDeque::new();
+    let mut scratch: Vec<u8> = Vec::new();
+    let mut actions: Vec<M::Action> = Vec::new();
+
+    let mut report = CheckReport {
+        unique_states: 0,
+        transitions: 0,
+        max_depth_seen: 0,
+        complete: false,
+        violation: None,
+    };
+
+    let init = model.init();
+    if let Err(invariant) = model.check(&init, false) {
+        report.violation = Some(trace(model, &parents, u32::MAX, None, invariant));
+        return report;
+    }
+    scratch.clear();
+    model.encode(&init, &mut scratch);
+    visited.insert(fingerprint(&scratch), 0);
+    parents.push((u32::MAX, None));
+    frontier.push_back((0, 0, init));
+    report.unique_states = 1;
+
+    while let Some((id, depth, state)) = frontier.pop_front() {
+        report.max_depth_seen = report.max_depth_seen.max(depth);
+        actions.clear();
+        model.actions(&state, &mut actions);
+        if actions.is_empty() {
+            if let Err(invariant) = model.check(&state, true) {
+                report.violation = Some(trace(model, &parents, id, None, invariant));
+                return report;
+            }
+            continue;
+        }
+        if depth >= config.max_depth {
+            // Depth budget exceeded with actions still enabled: coverage is
+            // incomplete, but keep draining the queue (everything left is at
+            // the same depth) so `unique_states` stays meaningful.
+            continue;
+        }
+        for &action in actions.iter() {
+            report.transitions += 1;
+            let next = match model.step(&state, action) {
+                Ok(next) => next,
+                Err(invariant) => {
+                    report.violation = Some(trace(model, &parents, id, Some(action), invariant));
+                    return report;
+                }
+            };
+            scratch.clear();
+            model.encode(&next, &mut scratch);
+            let fp = fingerprint(&scratch);
+            if visited.contains_key(&fp) {
+                continue;
+            }
+            if let Err(invariant) = model.check(&next, false) {
+                report.violation = Some(trace(model, &parents, id, Some(action), invariant));
+                return report;
+            }
+            let next_id = parents.len() as u32;
+            visited.insert(fp, next_id);
+            parents.push((id, Some(action)));
+            report.unique_states += 1;
+            if report.unique_states >= config.max_states {
+                return report; // state budget exhausted: incomplete
+            }
+            frontier.push_back((next_id, depth + 1, next));
+        }
+    }
+    report.complete = report.max_depth_seen < config.max_depth;
+    report
+}
+
+/// Replays `actions` from the initial state, returning every intermediate
+/// state (`result[0]` is the initial state). Panics if the trace does not
+/// replay — counterexamples produced by [`bfs_check`] always do, up to and
+/// excluding the final (violating) action.
+pub fn replay<M: Model>(model: &M, actions: &[M::Action]) -> Vec<M::State> {
+    let mut states = vec![model.init()];
+    for (i, &action) in actions.iter().enumerate() {
+        let last = states.last().expect("at least the initial state");
+        match model.step(last, action) {
+            Ok(next) => states.push(next),
+            Err(_) if i + 1 == actions.len() => break, // violating final step
+            Err(e) => panic!("trace failed to replay at step {}: {e}", i + 1),
+        }
+    }
+    states
+}
+
+fn trace<M: Model>(
+    model: &M,
+    parents: &[(u32, Option<M::Action>)],
+    last_parent: u32,
+    last_action: Option<M::Action>,
+    invariant: String,
+) -> Counterexample<M::Action> {
+    let mut actions: Vec<M::Action> = Vec::new();
+    let mut cursor = last_parent;
+    if let Some(a) = last_action {
+        actions.push(a);
+    }
+    while cursor != u32::MAX {
+        let (parent, action) = &parents[cursor as usize];
+        if let Some(a) = action {
+            actions.push(*a);
+        }
+        cursor = *parent;
+    }
+    actions.reverse();
+    // Resolve labels against the replayed pre-states.
+    let states = replay(model, &actions);
+    let labels = actions
+        .iter()
+        .enumerate()
+        .map(|(i, &a)| model.describe(&states[i.min(states.len() - 1)], a))
+        .collect();
+    Counterexample {
+        invariant,
+        actions,
+        labels,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy model: two counters, each may be bumped to 3; the invariant
+    /// forbids both reaching 3 (so a minimal counterexample has 6 steps).
+    struct TwoCounters {
+        forbid_both: bool,
+    }
+
+    impl Model for TwoCounters {
+        type State = [u8; 2];
+        type Action = usize;
+
+        fn init(&self) -> [u8; 2] {
+            [0, 0]
+        }
+
+        fn actions(&self, s: &[u8; 2], out: &mut Vec<usize>) {
+            for (i, &v) in s.iter().enumerate() {
+                if v < 3 {
+                    out.push(i);
+                }
+            }
+        }
+
+        fn step(&self, s: &[u8; 2], a: usize) -> Result<[u8; 2], String> {
+            let mut next = *s;
+            next[a] += 1;
+            Ok(next)
+        }
+
+        fn check(&self, s: &[u8; 2], terminal: bool) -> Result<(), String> {
+            if self.forbid_both && s == &[3, 3] {
+                return Err("both counters saturated".into());
+            }
+            if terminal && s != &[3, 3] {
+                return Err("terminated early".into());
+            }
+            Ok(())
+        }
+
+        fn encode(&self, s: &[u8; 2], out: &mut Vec<u8>) {
+            out.extend_from_slice(s);
+        }
+
+        fn describe(&self, _s: &[u8; 2], a: usize) -> String {
+            format!("bump counter {a}")
+        }
+    }
+
+    #[test]
+    fn exhaustive_exploration_dedups_states() {
+        let report = bfs_check(&TwoCounters { forbid_both: false }, &CheckConfig::default());
+        assert!(report.verified(), "violation: {:?}", report.violation);
+        assert_eq!(report.unique_states, 16); // 4 x 4 grid
+        assert_eq!(report.max_depth_seen, 6);
+    }
+
+    #[test]
+    fn violations_yield_minimal_counterexamples() {
+        let report = bfs_check(&TwoCounters { forbid_both: true }, &CheckConfig::default());
+        let cx = report.violation.expect("must find the violation");
+        assert_eq!(cx.actions.len(), 6, "BFS finds a shortest trace");
+        assert_eq!(cx.labels.len(), 6);
+        assert!(cx.render().contains("both counters saturated"));
+        // The trace replays: applying all actions reproduces the bad state.
+        let states = replay(&TwoCounters { forbid_both: true }, &cx.actions);
+        assert_eq!(states.last().unwrap(), &[3, 3]);
+    }
+
+    #[test]
+    fn state_budget_truncates_incomplete() {
+        let config = CheckConfig {
+            max_states: 5,
+            max_depth: 256,
+        };
+        let report = bfs_check(&TwoCounters { forbid_both: false }, &config);
+        assert!(!report.complete);
+        assert!(report.violation.is_none());
+        assert_eq!(report.unique_states, 5);
+    }
+
+    #[test]
+    fn depth_budget_truncates_incomplete() {
+        let config = CheckConfig {
+            max_states: 1_000,
+            max_depth: 2,
+        };
+        let report = bfs_check(&TwoCounters { forbid_both: false }, &config);
+        assert!(!report.complete);
+        assert!(report.unique_states < 16);
+    }
+}

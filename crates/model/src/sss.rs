@@ -1,0 +1,2181 @@
+//! An explicit-state model of the SSS protocol, built on the production
+//! data structures.
+//!
+//! The model is a compact message-passing state machine: `N` nodes
+//! (partially replicated — key `k` lives on node `k % N`), `T` scripted
+//! transactions ([`TxnSpec`]) and a multiset of in-flight messages. The
+//! checker's actions are *start a client*, *deliver one message* and *run
+//! one coalescer round*, so BFS over the action space enumerates **every**
+//! interleaving of message deliveries and client steps, including the
+//! reorderings and overlaps the chaos harness can only sample.
+//!
+//! Fidelity comes from reusing the production types for everything the
+//! protocol's correctness argument rests on: [`CommitQueue`] ordering,
+//! [`SnapshotQueue`] completion-order barriers, [`NLog::visible_max`]
+//! bound/ceiling selection, [`CoalescerCore`] round planning and the pure
+//! functions of [`sss_core::protocol`] (xact-vn equalization, visibility,
+//! commit-queue ambiguity, external-commit blocking). The model adds only
+//! what those types leave to the caller: message routing, 2PC driving and
+//! lock bookkeeping.
+//!
+//! Deliberate simplifications (documented divergences, not bugs):
+//!
+//! * No timers: no confirmation linger, no pre-commit `hold_max` expiry,
+//!   no admission backoff. These are performance levers, not correctness
+//!   mechanisms.
+//! * Read-only forwarding (`RegisterForward`) is elided: completed
+//!   read-only transactions broadcast (or piggyback) their `Remove` to all
+//!   nodes, which subsumes the forwarding targets.
+//! * Values are not modelled — versions carry `(writer, commit_vc)`; every
+//!   invariant is about *which* version is observed, never its payload.
+//!
+//! [`Mutation`] seeds four historical bugs back into the handlers; the
+//! checker produces a minimal replayable counterexample for each (see the
+//! crate tests), and those traces seed the `mc-*` chaos regression
+//! scenarios in `sss-bench`.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use sss_core::coalescer::{CoalescerCore, RoundPlan};
+use sss_core::protocol;
+use sss_core::{CommitQueue, NLog, SnapshotQueue};
+use sss_storage::TxnId;
+use sss_vclock::{NodeId, VectorClock};
+
+use crate::checker::Model;
+
+type Vc = VectorClock;
+
+/// One scripted transaction. Keys are small integers; key `k` is stored on
+/// node `k % nodes`. Reads execute in list order, one at a time (matching
+/// the session layer's sequential reads).
+#[derive(Debug, Clone)]
+pub enum TxnSpec {
+    /// An update transaction: read `reads`, then 2PC-commit `writes`.
+    Update {
+        /// Origin node (where the client begins and confirms).
+        origin: usize,
+        /// Keys read (in order) before the commit attempt.
+        reads: Vec<u8>,
+        /// Keys written at commit.
+        writes: Vec<u8>,
+    },
+    /// An abort-free read-only transaction reading `reads` in order.
+    ReadOnly {
+        /// Origin node.
+        origin: usize,
+        /// Keys read, in order.
+        reads: Vec<u8>,
+    },
+}
+
+impl TxnSpec {
+    fn origin(&self) -> usize {
+        match self {
+            TxnSpec::Update { origin, .. } | TxnSpec::ReadOnly { origin, .. } => *origin,
+        }
+    }
+
+    fn reads(&self) -> &[u8] {
+        match self {
+            TxnSpec::Update { reads, .. } | TxnSpec::ReadOnly { reads, .. } => reads,
+        }
+    }
+
+    fn writes(&self) -> &[u8] {
+        match self {
+            TxnSpec::Update { writes, .. } => writes,
+            TxnSpec::ReadOnly { .. } => &[],
+        }
+    }
+
+    fn is_update(&self) -> bool {
+        matches!(self, TxnSpec::Update { .. })
+    }
+}
+
+/// A historical bug seeded back into the model's handlers. Each must yield
+/// a minimal counterexample from the checker (asserted by the tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutation {
+    /// Drop the `prepared_ever` dedup: a duplicated `Prepare` is processed
+    /// twice, wedging a ghost entry in the commit queue.
+    DuplicatePrepare,
+    /// Drop the `aborted_early` tombstone: an abort `Decide` overtaking its
+    /// `Prepare` leaves the late prepare wedged with its locks.
+    AbortOvertakesPrepare,
+    /// The confirmation leader broadcasts `ReleaseExternal` when the round
+    /// is *sent* instead of when it has collected its acks.
+    PrematureRelease,
+    /// A read-only transaction's first read discards the freshly computed
+    /// exclusion ceilings (they are neither applied to `visible_max`, nor
+    /// accumulated, nor reported) — covering both the serve path and the
+    /// deferral/re-serve path, which reuse the bound established here.
+    DroppedExclusionCeiling,
+}
+
+/// A checkable configuration: the cluster size, the transaction mix and the
+/// confirmation mode.
+#[derive(Debug, Clone)]
+pub struct ModelConfig {
+    /// Cluster size (2 or 3 for exhaustive runs).
+    pub nodes: usize,
+    /// The scripted transactions (index = transaction id).
+    pub txns: Vec<TxnSpec>,
+    /// `true` — epoch-grouped confirmation via the origin's coalescer;
+    /// `false` — the base protocol's one round per transaction, driven by
+    /// the client.
+    pub grouped_confirm: bool,
+    /// Coalescer window (`confirm_epoch_max`); ignored when not grouped.
+    pub confirm_window: usize,
+    /// How many times the network may duplicate a `Prepare` delivery.
+    pub duplicate_prepare_budget: u8,
+    /// The seeded bug, if any.
+    pub mutation: Option<Mutation>,
+}
+
+impl ModelConfig {
+    /// 2 nodes, 2 transactions: one writer, one read-only observer.
+    pub fn clean_2n2t() -> Self {
+        ModelConfig {
+            nodes: 2,
+            txns: vec![
+                TxnSpec::Update {
+                    origin: 0,
+                    reads: vec![],
+                    writes: vec![0],
+                },
+                TxnSpec::ReadOnly {
+                    origin: 1,
+                    reads: vec![0],
+                },
+            ],
+            grouped_confirm: true,
+            confirm_window: 2,
+            duplicate_prepare_budget: 0,
+            mutation: None,
+        }
+    }
+
+    /// 2 nodes, 2 writers contending on one key (exercises lock-conflict
+    /// aborts and both 2PC decision paths).
+    pub fn conflict_2n2t() -> Self {
+        ModelConfig {
+            nodes: 2,
+            txns: vec![
+                TxnSpec::Update {
+                    origin: 0,
+                    reads: vec![],
+                    writes: vec![0],
+                },
+                TxnSpec::Update {
+                    origin: 1,
+                    reads: vec![0],
+                    writes: vec![0],
+                },
+            ],
+            grouped_confirm: true,
+            confirm_window: 2,
+            duplicate_prepare_budget: 0,
+            mutation: None,
+        }
+    }
+
+    /// 3 nodes, 2 transactions: a two-home writer (xact-vn equalization
+    /// across nodes 0 and 1) and a remote read-only observer of both keys.
+    pub fn clean_3n2t() -> Self {
+        ModelConfig {
+            nodes: 3,
+            txns: vec![
+                TxnSpec::Update {
+                    origin: 0,
+                    reads: vec![],
+                    writes: vec![0, 1],
+                },
+                TxnSpec::ReadOnly {
+                    origin: 2,
+                    reads: vec![0, 1],
+                },
+            ],
+            grouped_confirm: true,
+            confirm_window: 2,
+            duplicate_prepare_budget: 0,
+            mutation: None,
+        }
+    }
+
+    /// 2 nodes, 3 transactions: two independent writers (one per node) and
+    /// a read-only transaction observing both keys — exercises grouped
+    /// confirmation rounds with several members, parked reads behind two
+    /// writers and cross-node snapshot bounds.
+    pub fn clean_2n3t() -> Self {
+        ModelConfig {
+            nodes: 2,
+            txns: vec![
+                TxnSpec::Update {
+                    origin: 0,
+                    reads: vec![],
+                    writes: vec![0],
+                },
+                TxnSpec::Update {
+                    origin: 1,
+                    reads: vec![],
+                    writes: vec![1],
+                },
+                TxnSpec::ReadOnly {
+                    origin: 0,
+                    reads: vec![0, 1],
+                },
+            ],
+            grouped_confirm: true,
+            confirm_window: 2,
+            duplicate_prepare_budget: 0,
+            mutation: None,
+        }
+    }
+
+    /// 2 nodes, 3 transactions contending on one key: two writers (lock
+    /// conflicts, aborts, pre-commit blocking) plus a read-only observer.
+    pub fn contended_2n3t() -> Self {
+        ModelConfig {
+            nodes: 2,
+            txns: vec![
+                TxnSpec::Update {
+                    origin: 0,
+                    reads: vec![],
+                    writes: vec![0],
+                },
+                TxnSpec::Update {
+                    origin: 1,
+                    reads: vec![],
+                    writes: vec![0],
+                },
+                TxnSpec::ReadOnly {
+                    origin: 1,
+                    reads: vec![0],
+                },
+            ],
+            grouped_confirm: true,
+            confirm_window: 2,
+            duplicate_prepare_budget: 0,
+            mutation: None,
+        }
+    }
+
+    /// [`ModelConfig::clean_2n2t`] under the base (per-transaction)
+    /// confirmation protocol.
+    pub fn singleton_2n2t() -> Self {
+        ModelConfig {
+            grouped_confirm: false,
+            ..ModelConfig::clean_2n2t()
+        }
+    }
+
+    /// The smallest configuration that exposes `mutation` (checker-verified
+    /// in the tests; the same configs verify clean when the mutation is
+    /// off).
+    pub fn mutated(mutation: Mutation) -> Self {
+        let mut cfg = match mutation {
+            Mutation::DuplicatePrepare => ModelConfig {
+                duplicate_prepare_budget: 1,
+                ..ModelConfig::clean_2n2t()
+            },
+            // The aborting transaction writes two keys with different homes
+            // so the abort decision can overtake the prepare at the second
+            // participant.
+            Mutation::AbortOvertakesPrepare => ModelConfig {
+                nodes: 2,
+                txns: vec![
+                    TxnSpec::Update {
+                        origin: 0,
+                        reads: vec![],
+                        writes: vec![0],
+                    },
+                    TxnSpec::Update {
+                        origin: 1,
+                        reads: vec![],
+                        writes: vec![0, 1],
+                    },
+                ],
+                grouped_confirm: true,
+                confirm_window: 2,
+                duplicate_prepare_budget: 0,
+                mutation: None,
+            },
+            Mutation::PrematureRelease => ModelConfig {
+                nodes: 2,
+                txns: vec![TxnSpec::Update {
+                    origin: 0,
+                    reads: vec![],
+                    writes: vec![0],
+                }],
+                grouped_confirm: true,
+                confirm_window: 1,
+                duplicate_prepare_budget: 0,
+                mutation: None,
+            },
+            // A first reader pins a low insertion-snapshot (blocking the
+            // writer's external commit and keeping its squeue entry alive),
+            // so a second reader's first read must compute — and, mutated,
+            // drop — an exclusion ceiling for the writer.
+            Mutation::DroppedExclusionCeiling => ModelConfig {
+                nodes: 2,
+                txns: vec![
+                    TxnSpec::ReadOnly {
+                        origin: 0,
+                        reads: vec![0],
+                    },
+                    TxnSpec::Update {
+                        origin: 1,
+                        reads: vec![],
+                        writes: vec![0],
+                    },
+                    TxnSpec::ReadOnly {
+                        origin: 1,
+                        reads: vec![0],
+                    },
+                ],
+                grouped_confirm: true,
+                confirm_window: 2,
+                duplicate_prepare_budget: 0,
+                mutation: None,
+            },
+        };
+        cfg.mutation = Some(mutation);
+        cfg
+    }
+}
+
+/// One checker action. `Deliver` indexes the state's message multiset;
+/// identical envelopes are enumerated once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Begin transaction `t` at its origin.
+    Start(u8),
+    /// Deliver in-flight message `i`.
+    Deliver(u8),
+    /// The active confirmation leader at node `n` plans one round.
+    Coalesce(u8),
+}
+
+/// Message destination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Dst {
+    Node(u8),
+    Client(u8),
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Msg {
+    ReadReq {
+        txn: u8,
+        key: u8,
+        is_update: bool,
+        vc: Vc,
+        has_read: u16,
+        exclude: Vec<Arc<Vc>>,
+    },
+    ReadRet {
+        txn: u8,
+        key: u8,
+        from: u8,
+        writer: Option<u8>,
+        vc: Vc,
+        excluded: Vec<Arc<Vc>>,
+        propagated: Vec<(u8, u64)>,
+    },
+    Prepare {
+        txn: u8,
+        vc: Vc,
+        observed: Vec<(u8, Option<u8>)>,
+    },
+    Vote {
+        txn: u8,
+        from: u8,
+        ok: bool,
+        vc: Vc,
+    },
+    Decide {
+        txn: u8,
+        ok: bool,
+        vc: Vc,
+        propagated: Vec<(u8, u64)>,
+    },
+    ExtAck {
+        txn: u8,
+        from: u8,
+    },
+    Confirm {
+        entries: Vec<(u8, Arc<Vc>)>,
+        release: Vec<u8>,
+        remove: Vec<u8>,
+        leader: Dst,
+    },
+    ConfirmAck {
+        round: u8,
+        from: u8,
+    },
+    Release {
+        txns: Vec<u8>,
+    },
+    Remove {
+        txns: Vec<u8>,
+    },
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct Envelope {
+    dst: Dst,
+    msg: Msg,
+}
+
+/// An installed version: the writing transaction (`None` for the initial
+/// version) and its commit vector clock (shared with squeue/ceilings).
+#[derive(Debug, Clone)]
+struct Version {
+    writer: Option<u8>,
+    vc: Arc<Vc>,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct LockSt {
+    ex: Option<u8>,
+    shared: u16,
+}
+
+#[derive(Debug, Clone)]
+struct Prep {
+    is_write_replica: bool,
+    /// `Some(propagated)` once the commit decision arrived (the read-only
+    /// entries to re-insert behind the write for the completion-order
+    /// barrier).
+    decided: Option<Vec<(u8, u64)>>,
+}
+
+#[derive(Debug, Clone)]
+struct PendingRead {
+    txn: u8,
+    key: u8,
+    vc: Vc,
+    has_read: u16,
+    exclude: Vec<Arc<Vc>>,
+    /// Ceilings computed at this read's bound establishment, reported to
+    /// the client on the final serve.
+    newly: Vec<Arc<Vc>>,
+    /// `true` once the bound has been established (re-serves must not
+    /// recompute it).
+    pinned: bool,
+}
+
+#[derive(Debug, Clone)]
+struct Parked {
+    writer: u8,
+    read: PendingRead,
+}
+
+#[derive(Debug, Clone)]
+struct Round {
+    id: u8,
+    members: Vec<u8>,
+    acks: u16,
+}
+
+#[derive(Debug, Clone)]
+struct NodeSt {
+    vc: Vc,
+    confirmed_vc: Vc,
+    nlog: NLog,
+    cq: CommitQueue,
+    squeues: BTreeMap<u8, SnapshotQueue>,
+    chains: BTreeMap<u8, Vec<Version>>,
+    locks: BTreeMap<u8, LockSt>,
+    prepared: BTreeMap<u8, Prep>,
+    waiting_external: Vec<(u8, Arc<Vc>)>,
+    pending_reads: Vec<PendingRead>,
+    parked_reads: Vec<Parked>,
+    pending_global: u16,
+    released: u16,
+    removed_ro: u16,
+    aborted_early: u16,
+    prepared_ever: u16,
+    confirm_acked: u16,
+    coal: CoalescerCore<()>,
+    round: Option<Round>,
+    ghosts: u8,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Idle,
+    Read,
+    Vote,
+    ExtWait,
+    ConfirmWait,
+    Committed,
+    Aborted,
+}
+
+#[derive(Debug, Clone)]
+struct ClientSt {
+    phase: Phase,
+    vc: Vc,
+    has_read: u16,
+    next_read: usize,
+    observed: Vec<(u8, Option<u8>)>,
+    propagated: Vec<(u8, u64)>,
+    exclude: Vec<Arc<Vc>>,
+    votes: u16,
+    ext_acks: u16,
+    confirm_acks: u16,
+    commit_vc: Option<Arc<Vc>>,
+}
+
+/// One reachable configuration of the modelled cluster. Fields are private;
+/// states are produced by the checker and replayed via
+/// [`crate::checker::replay`].
+#[derive(Debug, Clone)]
+pub struct SssState {
+    nodes: Vec<NodeSt>,
+    clients: Vec<ClientSt>,
+    msgs: Vec<Envelope>,
+    /// Globally-true confirmation bits (round completed), the reference for
+    /// the unconfirmed-read and release-overtake invariants.
+    confirmed: u16,
+    dup_budget: u8,
+    /// Spec-shadow exclusion ceilings per read-only transaction: recorded
+    /// even when a mutation makes the implementation drop them.
+    shadow: Vec<Vec<Arc<Vc>>>,
+}
+
+/// The SSS protocol as a [`Model`]. See the module docs.
+pub struct SssModel {
+    cfg: ModelConfig,
+}
+
+fn bit(t: usize) -> u16 {
+    1 << t
+}
+
+fn tid(t: usize) -> TxnId {
+    TxnId::new(NodeId(0), t as u64 + 1)
+}
+
+/// Ghost commit-queue entries minted by the duplicate-prepare mutation.
+const GHOST_BASE: u64 = 1000;
+
+impl SssModel {
+    /// A model for `cfg`.
+    pub fn new(cfg: ModelConfig) -> Self {
+        assert!(cfg.nodes >= 1 && cfg.nodes <= 16, "node count out of range");
+        assert!(cfg.txns.len() <= 16, "transaction count out of range");
+        for t in &cfg.txns {
+            assert!(t.origin() < cfg.nodes, "origin out of range");
+            if t.is_update() {
+                assert!(!t.writes().is_empty(), "updates must write");
+            }
+        }
+        SssModel { cfg }
+    }
+
+    /// The configuration being checked.
+    pub fn config(&self) -> &ModelConfig {
+        &self.cfg
+    }
+
+    fn home(&self, key: u8) -> usize {
+        key as usize % self.cfg.nodes
+    }
+
+    fn participants(&self, t: usize) -> u16 {
+        let spec = &self.cfg.txns[t];
+        let mut mask = 0u16;
+        for &k in spec.reads().iter().chain(spec.writes()) {
+            mask |= bit(self.home(k));
+        }
+        mask
+    }
+
+    fn write_mask(&self, t: usize) -> u16 {
+        let mut mask = 0u16;
+        for &k in self.cfg.txns[t].writes() {
+            mask |= bit(self.home(k));
+        }
+        mask
+    }
+
+    fn write_indices(&self, t: usize) -> Vec<usize> {
+        let mask = self.write_mask(t);
+        (0..self.cfg.nodes)
+            .filter(|&n| mask & bit(n) != 0)
+            .collect()
+    }
+
+    /// Keys transaction `t` writes whose home is node `i`.
+    fn local_writes(&self, t: usize, i: usize) -> Vec<u8> {
+        self.cfg.txns[t]
+            .writes()
+            .iter()
+            .copied()
+            .filter(|&k| self.home(k) == i)
+            .collect()
+    }
+
+    fn all_nodes_mask(&self) -> u16 {
+        (1 << self.cfg.nodes) - 1
+    }
+}
+
+impl Model for SssModel {
+    type State = SssState;
+    type Action = Action;
+
+    fn init(&self) -> SssState {
+        let n = self.cfg.nodes;
+        let mut keys: Vec<u8> = self
+            .cfg
+            .txns
+            .iter()
+            .flat_map(|t| t.reads().iter().chain(t.writes()).copied())
+            .collect();
+        keys.sort_unstable();
+        keys.dedup();
+        let nodes = (0..n)
+            .map(|i| NodeSt {
+                vc: Vc::new(n),
+                confirmed_vc: Vc::new(n),
+                nlog: NLog::new(n, 64),
+                cq: CommitQueue::new(i),
+                squeues: BTreeMap::new(),
+                chains: keys
+                    .iter()
+                    .filter(|&&k| self.home(k) == i)
+                    .map(|&k| {
+                        (
+                            k,
+                            vec![Version {
+                                writer: None,
+                                vc: Arc::new(Vc::new(n)),
+                            }],
+                        )
+                    })
+                    .collect(),
+                locks: BTreeMap::new(),
+                prepared: BTreeMap::new(),
+                waiting_external: Vec::new(),
+                pending_reads: Vec::new(),
+                parked_reads: Vec::new(),
+                pending_global: 0,
+                released: 0,
+                removed_ro: 0,
+                aborted_early: 0,
+                prepared_ever: 0,
+                confirm_acked: 0,
+                coal: CoalescerCore::new(),
+                round: None,
+                ghosts: 0,
+            })
+            .collect();
+        let clients = self
+            .cfg
+            .txns
+            .iter()
+            .map(|_| ClientSt {
+                phase: Phase::Idle,
+                vc: Vc::new(n),
+                has_read: 0,
+                next_read: 0,
+                observed: Vec::new(),
+                propagated: Vec::new(),
+                exclude: Vec::new(),
+                votes: 0,
+                ext_acks: 0,
+                confirm_acks: 0,
+                commit_vc: None,
+            })
+            .collect();
+        SssState {
+            nodes,
+            clients,
+            msgs: Vec::new(),
+            confirmed: 0,
+            dup_budget: self.cfg.duplicate_prepare_budget,
+            shadow: vec![Vec::new(); self.cfg.txns.len()],
+        }
+    }
+
+    fn actions(&self, s: &SssState, out: &mut Vec<Action>) {
+        for (t, c) in s.clients.iter().enumerate() {
+            if c.phase == Phase::Idle {
+                out.push(Action::Start(t as u8));
+            }
+        }
+        for (i, env) in s.msgs.iter().enumerate() {
+            if !s.msgs[..i].contains(env) {
+                out.push(Action::Deliver(i as u8));
+            }
+        }
+        for (i, st) in s.nodes.iter().enumerate() {
+            if st.coal.in_flight() && st.round.is_none() {
+                out.push(Action::Coalesce(i as u8));
+            }
+        }
+    }
+
+    fn step(&self, state: &SssState, action: Action) -> Result<SssState, String> {
+        let mut s = state.clone();
+        match action {
+            Action::Start(t) => self.start(&mut s, t as usize)?,
+            Action::Deliver(i) => {
+                let env = s.msgs.remove(i as usize);
+                self.deliver(&mut s, env)?;
+            }
+            Action::Coalesce(n) => self.coalesce(&mut s, n as usize),
+        }
+        Ok(s)
+    }
+
+    fn check(&self, s: &SssState, terminal: bool) -> Result<(), String> {
+        if !terminal {
+            return Ok(());
+        }
+        for (t, c) in s.clients.iter().enumerate() {
+            if !matches!(c.phase, Phase::Committed | Phase::Aborted) {
+                return Err(format!(
+                    "quiescence: client t{t} stuck in {:?} with no enabled action",
+                    c.phase
+                ));
+            }
+        }
+        for (i, st) in s.nodes.iter().enumerate() {
+            if !st.cq.is_empty() {
+                return Err(format!("quiescence: commit queue not drained at n{i}"));
+            }
+            if !st.prepared.is_empty() {
+                return Err(format!("quiescence: prepared entries linger at n{i}"));
+            }
+            if !st.locks.is_empty() {
+                return Err(format!("quiescence: locks still held at n{i}"));
+            }
+            if !st.waiting_external.is_empty() {
+                return Err(format!(
+                    "quiescence: external commits still waiting at n{i}"
+                ));
+            }
+            if !st.pending_reads.is_empty() || !st.parked_reads.is_empty() {
+                return Err(format!("quiescence: reads still pending at n{i}"));
+            }
+            if st.squeues.values().any(|q| !q.is_empty()) {
+                return Err(format!("quiescence: snapshot-queue entries linger at n{i}"));
+            }
+            if st.coal.in_flight()
+                || st.coal.pending_len() != 0
+                || st.coal.pending_release_len() != 0
+                || st.coal.pending_remove_len() != 0
+                || st.round.is_some()
+            {
+                return Err(format!("quiescence: confirmation coalescer active at n{i}"));
+            }
+        }
+        Ok(())
+    }
+
+    fn encode(&self, s: &SssState, out: &mut Vec<u8>) {
+        for st in &s.nodes {
+            enc_node(out, st);
+        }
+        for c in &s.clients {
+            enc_client(out, c);
+        }
+        // Message order is delivery bookkeeping, not semantics: encode the
+        // multiset canonically.
+        let mut encoded: Vec<Vec<u8>> = s
+            .msgs
+            .iter()
+            .map(|e| {
+                let mut b = Vec::new();
+                enc_envelope(&mut b, e);
+                b
+            })
+            .collect();
+        encoded.sort_unstable();
+        enc_u64(out, encoded.len() as u64);
+        for b in encoded {
+            enc_u64(out, b.len() as u64);
+            out.extend_from_slice(&b);
+        }
+        out.extend_from_slice(&s.confirmed.to_le_bytes());
+        out.push(s.dup_budget);
+        for ceilings in &s.shadow {
+            enc_vcs_sorted(out, ceilings);
+        }
+    }
+
+    fn describe(&self, s: &SssState, action: Action) -> String {
+        match action {
+            Action::Start(t) => {
+                let kind = if self.cfg.txns[t as usize].is_update() {
+                    "update"
+                } else {
+                    "read-only"
+                };
+                format!("start t{t} ({kind})")
+            }
+            Action::Deliver(i) => match s.msgs.get(i as usize) {
+                Some(env) => format!("deliver {} -> {}", msg_label(&env.msg), dst_label(env.dst)),
+                None => format!("deliver #{i}"),
+            },
+            Action::Coalesce(n) => format!("coalesce n{n}"),
+        }
+    }
+}
+
+fn dst_label(dst: Dst) -> String {
+    match dst {
+        Dst::Node(n) => format!("n{n}"),
+        Dst::Client(t) => format!("t{t}"),
+    }
+}
+
+fn msg_label(msg: &Msg) -> String {
+    match msg {
+        Msg::ReadReq { txn, key, .. } => format!("ReadReq t{txn} k{key}"),
+        Msg::ReadRet { txn, key, from, .. } => format!("ReadRet t{txn} k{key} n{from}"),
+        Msg::Prepare { txn, .. } => format!("Prepare t{txn}"),
+        Msg::Vote { txn, from, ok, .. } => {
+            format!("Vote{} t{txn} n{from}", if *ok { "+" } else { "-" })
+        }
+        Msg::Decide { txn, ok, .. } => {
+            format!("Decide-{} t{txn}", if *ok { "commit" } else { "abort" })
+        }
+        Msg::ExtAck { txn, from } => format!("ExtAck t{txn} n{from}"),
+        Msg::Confirm { entries, .. } => {
+            let members: Vec<String> = entries.iter().map(|(t, _)| format!("t{t}")).collect();
+            format!("Confirm [{}]", members.join(","))
+        }
+        Msg::ConfirmAck { round, from } => format!("ConfirmAck r{round} n{from}"),
+        Msg::Release { txns } => {
+            let list: Vec<String> = txns.iter().map(|t| format!("t{t}")).collect();
+            format!("Release [{}]", list.join(","))
+        }
+        Msg::Remove { txns } => {
+            let list: Vec<String> = txns.iter().map(|t| format!("t{t}")).collect();
+            format!("Remove [{}]", list.join(","))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Canonical encoding
+// ---------------------------------------------------------------------------
+
+fn enc_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn enc_vc(out: &mut Vec<u8>, vc: &Vc) {
+    out.push(vc.width() as u8);
+    for v in vc.iter() {
+        enc_u64(out, v);
+    }
+}
+
+fn enc_vcs_sorted(out: &mut Vec<u8>, vcs: &[Arc<Vc>]) {
+    let mut encoded: Vec<Vec<u8>> = vcs
+        .iter()
+        .map(|v| {
+            let mut b = Vec::new();
+            enc_vc(&mut b, v);
+            b
+        })
+        .collect();
+    encoded.sort_unstable();
+    encoded.dedup();
+    enc_u64(out, encoded.len() as u64);
+    for b in encoded {
+        out.extend_from_slice(&b);
+    }
+}
+
+fn enc_pending(out: &mut Vec<u8>, p: &PendingRead) {
+    out.push(p.txn);
+    out.push(p.key);
+    enc_vc(out, &p.vc);
+    out.extend_from_slice(&p.has_read.to_le_bytes());
+    enc_vcs_sorted(out, &p.exclude);
+    enc_vcs_sorted(out, &p.newly);
+    out.push(p.pinned as u8);
+}
+
+fn enc_node(out: &mut Vec<u8>, st: &NodeSt) {
+    enc_vc(out, &st.vc);
+    enc_vc(out, &st.confirmed_vc);
+    enc_vc(out, st.nlog.most_recent_vc());
+    enc_u64(out, st.nlog.len() as u64);
+    for e in st.nlog.iter() {
+        enc_u64(out, e.txn.seq);
+        enc_vc(out, &e.vc);
+    }
+    enc_u64(out, st.cq.len() as u64);
+    for e in st.cq.entries() {
+        enc_u64(out, e.txn.seq);
+        enc_vc(out, &e.vc);
+        out.push(matches!(e.status, sss_core::CommitStatus::Ready) as u8);
+    }
+    enc_u64(out, st.squeues.len() as u64);
+    for (k, q) in &st.squeues {
+        out.push(*k);
+        enc_u64(out, q.reads().len() as u64);
+        for r in q.reads() {
+            enc_u64(out, r.txn.seq);
+            enc_u64(out, r.sid);
+        }
+        enc_u64(out, q.writes().len() as u64);
+        for w in q.writes() {
+            enc_u64(out, w.txn.seq);
+            enc_u64(out, w.sid);
+            enc_vc(out, &w.commit_vc);
+        }
+    }
+    enc_u64(out, st.chains.len() as u64);
+    for (k, versions) in &st.chains {
+        out.push(*k);
+        enc_u64(out, versions.len() as u64);
+        for v in versions {
+            out.push(v.writer.map_or(0xff, |w| w));
+            enc_vc(out, &v.vc);
+        }
+    }
+    enc_u64(out, st.locks.len() as u64);
+    for (k, l) in &st.locks {
+        out.push(*k);
+        out.push(l.ex.map_or(0xff, |t| t));
+        out.extend_from_slice(&l.shared.to_le_bytes());
+    }
+    enc_u64(out, st.prepared.len() as u64);
+    for (t, p) in &st.prepared {
+        out.push(*t);
+        out.push(p.is_write_replica as u8);
+        match &p.decided {
+            None => out.push(0),
+            Some(props) => {
+                out.push(1);
+                enc_u64(out, props.len() as u64);
+                for (ro, sid) in props {
+                    out.push(*ro);
+                    enc_u64(out, *sid);
+                }
+            }
+        }
+    }
+    let mut waiting: Vec<(u8, &Arc<Vc>)> =
+        st.waiting_external.iter().map(|(t, v)| (*t, v)).collect();
+    waiting.sort_by_key(|(t, _)| *t);
+    enc_u64(out, waiting.len() as u64);
+    for (t, v) in waiting {
+        out.push(t);
+        enc_vc(out, v);
+    }
+    enc_u64(out, st.pending_reads.len() as u64);
+    for p in &st.pending_reads {
+        enc_pending(out, p);
+    }
+    enc_u64(out, st.parked_reads.len() as u64);
+    for p in &st.parked_reads {
+        out.push(p.writer);
+        enc_pending(out, &p.read);
+    }
+    for mask in [
+        st.pending_global,
+        st.released,
+        st.removed_ro,
+        st.aborted_early,
+        st.prepared_ever,
+        st.confirm_acked,
+    ] {
+        out.extend_from_slice(&mask.to_le_bytes());
+    }
+    out.push(st.coal.in_flight() as u8);
+    let pending: Vec<TxnId> = st.coal.pending_txns().collect();
+    enc_u64(out, pending.len() as u64);
+    for t in pending {
+        enc_u64(out, t.seq);
+    }
+    enc_u64(out, st.coal.pending_release_txns().len() as u64);
+    for t in st.coal.pending_release_txns() {
+        enc_u64(out, t.seq);
+    }
+    enc_u64(out, st.coal.pending_remove_txns().len() as u64);
+    for t in st.coal.pending_remove_txns() {
+        enc_u64(out, t.seq);
+    }
+    match &st.round {
+        None => out.push(0),
+        Some(r) => {
+            out.push(1);
+            out.push(r.id);
+            enc_u64(out, r.members.len() as u64);
+            out.extend_from_slice(&r.members);
+            out.extend_from_slice(&r.acks.to_le_bytes());
+        }
+    }
+    out.push(st.ghosts);
+}
+
+fn enc_client(out: &mut Vec<u8>, c: &ClientSt) {
+    out.push(c.phase as u8);
+    enc_vc(out, &c.vc);
+    out.extend_from_slice(&c.has_read.to_le_bytes());
+    enc_u64(out, c.next_read as u64);
+    enc_u64(out, c.observed.len() as u64);
+    for (k, w) in &c.observed {
+        out.push(*k);
+        out.push(w.map_or(0xff, |w| w));
+    }
+    let mut props = c.propagated.clone();
+    props.sort_unstable();
+    enc_u64(out, props.len() as u64);
+    for (ro, sid) in props {
+        out.push(ro);
+        enc_u64(out, sid);
+    }
+    enc_vcs_sorted(out, &c.exclude);
+    for mask in [c.votes, c.ext_acks, c.confirm_acks] {
+        out.extend_from_slice(&mask.to_le_bytes());
+    }
+    match &c.commit_vc {
+        None => out.push(0),
+        Some(v) => {
+            out.push(1);
+            enc_vc(out, v);
+        }
+    }
+}
+
+fn enc_envelope(out: &mut Vec<u8>, env: &Envelope) {
+    match env.dst {
+        Dst::Node(n) => {
+            out.push(0);
+            out.push(n);
+        }
+        Dst::Client(t) => {
+            out.push(1);
+            out.push(t);
+        }
+    }
+    match &env.msg {
+        Msg::ReadReq {
+            txn,
+            key,
+            is_update,
+            vc,
+            has_read,
+            exclude,
+        } => {
+            out.push(0);
+            out.push(*txn);
+            out.push(*key);
+            out.push(*is_update as u8);
+            enc_vc(out, vc);
+            out.extend_from_slice(&has_read.to_le_bytes());
+            enc_vcs_sorted(out, exclude);
+        }
+        Msg::ReadRet {
+            txn,
+            key,
+            from,
+            writer,
+            vc,
+            excluded,
+            propagated,
+        } => {
+            out.push(1);
+            out.push(*txn);
+            out.push(*key);
+            out.push(*from);
+            out.push(writer.map_or(0xff, |w| w));
+            enc_vc(out, vc);
+            enc_vcs_sorted(out, excluded);
+            enc_u64(out, propagated.len() as u64);
+            for (ro, sid) in propagated {
+                out.push(*ro);
+                enc_u64(out, *sid);
+            }
+        }
+        Msg::Prepare { txn, vc, observed } => {
+            out.push(2);
+            out.push(*txn);
+            enc_vc(out, vc);
+            enc_u64(out, observed.len() as u64);
+            for (k, w) in observed {
+                out.push(*k);
+                out.push(w.map_or(0xff, |w| w));
+            }
+        }
+        Msg::Vote { txn, from, ok, vc } => {
+            out.push(3);
+            out.push(*txn);
+            out.push(*from);
+            out.push(*ok as u8);
+            enc_vc(out, vc);
+        }
+        Msg::Decide {
+            txn,
+            ok,
+            vc,
+            propagated,
+        } => {
+            out.push(4);
+            out.push(*txn);
+            out.push(*ok as u8);
+            enc_vc(out, vc);
+            enc_u64(out, propagated.len() as u64);
+            for (ro, sid) in propagated {
+                out.push(*ro);
+                enc_u64(out, *sid);
+            }
+        }
+        Msg::ExtAck { txn, from } => {
+            out.push(5);
+            out.push(*txn);
+            out.push(*from);
+        }
+        Msg::Confirm {
+            entries,
+            release,
+            remove,
+            leader,
+        } => {
+            out.push(6);
+            enc_u64(out, entries.len() as u64);
+            for (t, vc) in entries {
+                out.push(*t);
+                enc_vc(out, vc);
+            }
+            out.push(release.len() as u8);
+            out.extend_from_slice(release);
+            out.push(remove.len() as u8);
+            out.extend_from_slice(remove);
+            match leader {
+                Dst::Node(n) => {
+                    out.push(0);
+                    out.push(*n);
+                }
+                Dst::Client(t) => {
+                    out.push(1);
+                    out.push(*t);
+                }
+            }
+        }
+        Msg::ConfirmAck { round, from } => {
+            out.push(7);
+            out.push(*round);
+            out.push(*from);
+        }
+        Msg::Release { txns } => {
+            out.push(8);
+            out.push(txns.len() as u8);
+            out.extend_from_slice(txns);
+        }
+        Msg::Remove { txns } => {
+            out.push(9);
+            out.push(txns.len() as u8);
+            out.extend_from_slice(txns);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Handlers
+// ---------------------------------------------------------------------------
+
+fn vote(t: usize, i: usize, ok: bool, vc: Vc) -> Envelope {
+    Envelope {
+        dst: Dst::Client(t as u8),
+        msg: Msg::Vote {
+            txn: t as u8,
+            from: i as u8,
+            ok,
+            vc,
+        },
+    }
+}
+
+/// Releases every lock transaction `t` holds at this node, GC'ing empty
+/// lock records (the lock map must stay canonical for state dedup).
+fn release_locks(st: &mut NodeSt, t: usize) {
+    let tb = bit(t);
+    st.locks.retain(|_, l| {
+        if l.ex == Some(t as u8) {
+            l.ex = None;
+        }
+        l.shared &= !tb;
+        l.ex.is_some() || l.shared != 0
+    });
+}
+
+impl SssModel {
+    fn has_read_slice(&self, mask: u16) -> Vec<bool> {
+        (0..self.cfg.nodes).map(|n| mask & bit(n) != 0).collect()
+    }
+
+    fn broadcast(&self, s: &mut SssState, msg: Msg) {
+        for n in 0..self.cfg.nodes {
+            s.msgs.push(Envelope {
+                dst: Dst::Node(n as u8),
+                msg: msg.clone(),
+            });
+        }
+    }
+
+    fn to_participants(&self, s: &mut SssState, t: usize, msg: Msg) {
+        let parts = self.participants(t);
+        for n in 0..self.cfg.nodes {
+            if parts & bit(n) != 0 {
+                s.msgs.push(Envelope {
+                    dst: Dst::Node(n as u8),
+                    msg: msg.clone(),
+                });
+            }
+        }
+    }
+
+    fn start(&self, s: &mut SssState, t: usize) -> Result<(), String> {
+        let origin = self.cfg.txns[t].origin();
+        let begin = {
+            let st = &s.nodes[origin];
+            st.nlog.most_recent_vc().merged(&st.confirmed_vc)
+        };
+        // External consistency, start side: a transaction beginning after
+        // another's external commit must observe a snapshot dominating it.
+        for (u, spec) in self.cfg.txns.iter().enumerate() {
+            if spec.is_update() && s.clients[u].phase == Phase::Committed {
+                if let Some(cvc) = &s.clients[u].commit_vc {
+                    if !begin.dominates(cvc) {
+                        return Err(format!(
+                            "external consistency: t{t} began at n{origin} with a \
+                             snapshot that does not dominate externally committed t{u}"
+                        ));
+                    }
+                }
+            }
+        }
+        s.clients[t].vc = begin;
+        s.clients[t].phase = Phase::Read;
+        if self.cfg.txns[t].reads().is_empty() {
+            self.send_prepare(s, t);
+        } else {
+            self.send_read(s, t);
+        }
+        Ok(())
+    }
+
+    fn send_read(&self, s: &mut SssState, t: usize) {
+        let spec = &self.cfg.txns[t];
+        let c = &s.clients[t];
+        let key = spec.reads()[c.next_read];
+        s.msgs.push(Envelope {
+            dst: Dst::Node(self.home(key) as u8),
+            msg: Msg::ReadReq {
+                txn: t as u8,
+                key,
+                is_update: spec.is_update(),
+                vc: c.vc.clone(),
+                has_read: c.has_read,
+                exclude: c.exclude.clone(),
+            },
+        });
+    }
+
+    fn send_prepare(&self, s: &mut SssState, t: usize) {
+        s.clients[t].phase = Phase::Vote;
+        let msg = Msg::Prepare {
+            txn: t as u8,
+            vc: s.clients[t].vc.clone(),
+            observed: s.clients[t].observed.clone(),
+        };
+        self.to_participants(s, t, msg);
+    }
+
+    fn deliver(&self, s: &mut SssState, env: Envelope) -> Result<(), String> {
+        match env.dst {
+            Dst::Node(n) => {
+                let i = n as usize;
+                if s.dup_budget > 0 && matches!(env.msg, Msg::Prepare { .. }) {
+                    // The network duplicates this prepare once: the copy
+                    // goes back into flight.
+                    s.dup_budget -= 1;
+                    s.msgs.push(env.clone());
+                }
+                match env.msg {
+                    Msg::ReadReq {
+                        txn,
+                        key,
+                        is_update,
+                        vc,
+                        has_read,
+                        exclude,
+                    } => self.handle_read(s, i, txn, key, is_update, vc, has_read, exclude),
+                    Msg::Prepare { txn, vc, observed } => {
+                        self.handle_prepare(s, i, txn as usize, vc, observed)
+                    }
+                    Msg::Decide {
+                        txn,
+                        ok,
+                        vc,
+                        propagated,
+                    } => self.handle_decide(s, i, txn as usize, ok, vc, propagated),
+                    Msg::Confirm {
+                        entries,
+                        release,
+                        remove,
+                        leader,
+                    } => self.handle_confirm(s, i, entries, release, remove, leader),
+                    Msg::ConfirmAck { round, from } => {
+                        self.handle_confirm_ack(s, i, round, from);
+                        Ok(())
+                    }
+                    Msg::Release { txns } => self.handle_release(s, i, &txns),
+                    Msg::Remove { txns } => {
+                        self.handle_remove(s, i, &txns);
+                        self.release_unblocked(s, i);
+                        Ok(())
+                    }
+                    Msg::ReadRet { .. } | Msg::Vote { .. } | Msg::ExtAck { .. } => Ok(()),
+                }
+            }
+            Dst::Client(t) => self.client_msg(s, t as usize, env.msg),
+        }
+    }
+
+    // -- node side ----------------------------------------------------------
+
+    fn handle_read(
+        &self,
+        s: &mut SssState,
+        i: usize,
+        txn: u8,
+        key: u8,
+        is_update: bool,
+        vc: Vc,
+        has_read: u16,
+        exclude: Vec<Arc<Vc>>,
+    ) -> Result<(), String> {
+        if is_update {
+            // Update reads serve the latest installed version at the
+            // node's current snapshot and report the squeue's read entries
+            // for propagation behind the eventual write.
+            let st = &s.nodes[i];
+            let snap = st.nlog.most_recent_vc().clone();
+            let propagated: Vec<(u8, u64)> = st
+                .squeues
+                .get(&key)
+                .map(|q| {
+                    q.reads()
+                        .iter()
+                        .map(|r| ((r.txn.seq - 1) as u8, r.sid))
+                        .collect()
+                })
+                .unwrap_or_default();
+            let ver = st
+                .chains
+                .get(&key)
+                .and_then(|c| c.last())
+                .expect("update read targets a replica");
+            let writer = ver.writer;
+            s.msgs.push(Envelope {
+                dst: Dst::Client(txn),
+                msg: Msg::ReadRet {
+                    txn,
+                    key,
+                    from: i as u8,
+                    writer,
+                    vc: snap,
+                    excluded: Vec::new(),
+                    propagated,
+                },
+            });
+            return Ok(());
+        }
+        let read = PendingRead {
+            txn,
+            key,
+            vc,
+            has_read,
+            exclude,
+            newly: Vec::new(),
+            pinned: false,
+        };
+        // A node behind the reader's snapshot defers until its log catches
+        // up (drained after commit processing).
+        let first_here = has_read & bit(i) == 0;
+        if first_here && s.nodes[i].nlog.most_recent_vc().get(i) < read.vc.get(i) {
+            s.nodes[i].pending_reads.push(read);
+            return Ok(());
+        }
+        self.serve_or_park(s, i, read)
+    }
+
+    fn serve_or_park(
+        &self,
+        s: &mut SssState,
+        i: usize,
+        mut read: PendingRead,
+    ) -> Result<(), String> {
+        let t = read.txn as usize;
+        let dropped = self.cfg.mutation == Some(Mutation::DroppedExclusionCeiling);
+        let mut max_vc;
+        if !read.pinned && read.has_read == 0 {
+            // First read anywhere: establish the visibility bound, with an
+            // exclusion ceiling for every pre-committing writer beyond the
+            // begin snapshot.
+            let mut newly: Vec<Arc<Vc>> = Vec::new();
+            if let Some(q) = s.nodes[i].squeues.get(&read.key) {
+                for w in q.writes() {
+                    if w.sid > read.vc.get(i) {
+                        newly.push(w.commit_vc.clone());
+                    }
+                }
+            }
+            // The spec shadow records the ceilings even when the seeded
+            // mutation makes the implementation path drop them.
+            s.shadow[t].extend(newly.iter().cloned());
+            let used: Vec<Arc<Vc>> = if dropped { Vec::new() } else { newly.clone() };
+            let has_read = self.has_read_slice(read.has_read);
+            max_vc = s.nodes[i].nlog.visible_max(&has_read, &read.vc, &used);
+            max_vc.merge(&read.vc);
+            if !dropped {
+                read.exclude.extend(newly.iter().cloned());
+                read.newly = newly;
+            }
+        } else {
+            max_vc = read.vc.clone();
+        }
+        // Commit-queue ambiguity: an entry at or below the bound may still
+        // commit inside it — defer (bound pinned) rather than guess.
+        if protocol::commit_queue_blocks_read(s.nodes[i].cq.entries(), i, max_vc.get(i)) {
+            read.vc = max_vc;
+            read.pinned = true;
+            s.nodes[i].pending_reads.push(read);
+            return Ok(());
+        }
+        // Completion-order barrier: enqueue before selecting, unless this
+        // reader's Remove already went past.
+        if s.nodes[i].removed_ro & bit(t) == 0 {
+            s.nodes[i]
+                .squeues
+                .entry(read.key)
+                .or_default()
+                .insert_read(tid(t), max_vc.get(i));
+        }
+        let ver = s.nodes[i]
+            .chains
+            .get(&read.key)
+            .expect("read targets a replica")
+            .iter()
+            .rev()
+            .find(|v| protocol::version_visible(&v.vc, &max_vc, &read.exclude))
+            .cloned()
+            .expect("the initial version is always visible");
+        if let Some(w) = ver.writer {
+            let wt = w as usize;
+            let st = &s.nodes[i];
+            let in_squeue = st
+                .squeues
+                .get(&read.key)
+                .map(|q| q.writes().iter().any(|e| e.txn == tid(wt)))
+                .unwrap_or(false);
+            let pre_commit = in_squeue || st.pending_global & bit(wt) != 0;
+            if pre_commit && st.released & bit(wt) == 0 {
+                // The selected writer has not externally committed: park
+                // until its ReleaseExternal (completion-order barrier).
+                read.vc = max_vc;
+                read.pinned = true;
+                s.nodes[i].parked_reads.push(Parked { writer: w, read });
+                return Ok(());
+            }
+        }
+        // Serve-time invariants.
+        if !max_vc.dominates(&ver.vc) {
+            return Err(format!(
+                "snapshot bound: n{i} served t{t} a version above its visibility bound"
+            ));
+        }
+        if let Some(w) = ver.writer {
+            if s.confirmed & bit(w as usize) == 0 {
+                return Err(format!(
+                    "unconfirmed read: n{i} served t{t} a version of t{w} before \
+                     t{w}'s confirmation round completed"
+                ));
+            }
+        }
+        if s.shadow[t].iter().any(|c| ver.vc.dominates(c)) {
+            return Err(format!(
+                "exclusion stability: n{i} served t{t} a version at or above a \
+                 ceiling that was excluded for it"
+            ));
+        }
+        s.msgs.push(Envelope {
+            dst: Dst::Client(read.txn),
+            msg: Msg::ReadRet {
+                txn: read.txn,
+                key: read.key,
+                from: i as u8,
+                writer: ver.writer,
+                vc: max_vc,
+                excluded: read.newly,
+                propagated: Vec::new(),
+            },
+        });
+        Ok(())
+    }
+
+    fn handle_prepare(
+        &self,
+        s: &mut SssState,
+        i: usize,
+        t: usize,
+        vc: Vc,
+        observed: Vec<(u8, Option<u8>)>,
+    ) -> Result<(), String> {
+        let tb = bit(t);
+        let zero = Vc::new(self.cfg.nodes);
+        if s.nodes[i].aborted_early & tb != 0 {
+            s.msgs.push(vote(t, i, false, zero));
+            return Ok(());
+        }
+        let dup_mutated = self.cfg.mutation == Some(Mutation::DuplicatePrepare);
+        if !dup_mutated && s.nodes[i].prepared_ever & tb != 0 {
+            return Ok(()); // duplicate delivery, silently dropped
+        }
+        s.nodes[i].prepared_ever |= tb;
+        let local_writes = self.local_writes(t, i);
+        let local_reads: Vec<(u8, Option<u8>)> = observed
+            .iter()
+            .copied()
+            .filter(|(k, _)| self.home(*k) == i)
+            .collect();
+        {
+            // All-or-nothing lock acquisition, idempotent per transaction.
+            let st = &mut s.nodes[i];
+            let mut needed: Vec<(u8, bool)> = local_writes.iter().map(|&k| (k, true)).collect();
+            for (k, _) in &local_reads {
+                if !local_writes.contains(k) {
+                    needed.push((*k, false));
+                }
+            }
+            let free = needed.iter().all(|&(k, ex)| {
+                let l = st.locks.get(&k).copied().unwrap_or_default();
+                let no_other_ex = l.ex.map_or(true, |h| h == t as u8);
+                if ex {
+                    no_other_ex && (l.shared & !tb) == 0
+                } else {
+                    no_other_ex
+                }
+            });
+            if !free {
+                s.msgs.push(vote(t, i, false, zero));
+                return Ok(());
+            }
+            for (k, ex) in needed {
+                let l = st.locks.entry(k).or_default();
+                if ex {
+                    l.ex = Some(t as u8);
+                } else {
+                    l.shared |= tb;
+                }
+            }
+        }
+        // Validate reads against the latest installed version.
+        for (k, obs) in &local_reads {
+            let latest = s.nodes[i]
+                .chains
+                .get(k)
+                .and_then(|c| c.last())
+                .expect("validated read targets a replica");
+            if latest.writer != *obs || latest.vc.get(i) > vc.get(i) {
+                release_locks(&mut s.nodes[i], t);
+                s.msgs.push(vote(t, i, false, zero));
+                return Ok(());
+            }
+        }
+        if s.nodes[i].aborted_early & tb != 0 {
+            release_locks(&mut s.nodes[i], t);
+            s.msgs.push(vote(t, i, false, zero));
+            return Ok(());
+        }
+        let prep_vc = if !local_writes.is_empty() {
+            let st = &mut s.nodes[i];
+            st.vc.increment(i);
+            let proposed = st.vc.clone();
+            if st.cq.entries().iter().any(|e| e.txn == tid(t)) {
+                // Mutated duplicate re-processing: a second put of the same
+                // id would collide, so the bug manifests as a ghost entry.
+                let g = TxnId::new(NodeId(0), GHOST_BASE + st.ghosts as u64);
+                st.ghosts += 1;
+                st.cq.put(g, proposed.clone());
+            } else {
+                st.cq.put(tid(t), proposed.clone());
+            }
+            st.prepared.entry(t as u8).or_insert(Prep {
+                is_write_replica: true,
+                decided: None,
+            });
+            proposed
+        } else {
+            let st = &mut s.nodes[i];
+            st.prepared.entry(t as u8).or_insert(Prep {
+                is_write_replica: false,
+                decided: None,
+            });
+            st.nlog.most_recent_vc().clone()
+        };
+        s.msgs.push(vote(t, i, true, prep_vc));
+        Ok(())
+    }
+
+    fn handle_decide(
+        &self,
+        s: &mut SssState,
+        i: usize,
+        t: usize,
+        ok: bool,
+        commit_vc: Vc,
+        propagated: Vec<(u8, u64)>,
+    ) -> Result<(), String> {
+        if !ok {
+            let removed = s.nodes[i].prepared.remove(&(t as u8));
+            if removed.is_none() && self.cfg.mutation != Some(Mutation::AbortOvertakesPrepare) {
+                // Tombstone: a prepare arriving after this abort must be
+                // refused. The mutation drops exactly this line.
+                s.nodes[i].aborted_early |= bit(t);
+            }
+            s.nodes[i].cq.remove(tid(t));
+            self.process_commit_queue(s, i)?;
+            release_locks(&mut s.nodes[i], t);
+            return Ok(());
+        }
+        s.nodes[i].vc.merge(&commit_vc);
+        let Some(p) = s.nodes[i].prepared.get_mut(&(t as u8)) else {
+            return Ok(()); // stray decide for an unprepared transaction
+        };
+        if p.is_write_replica {
+            p.decided = Some(propagated);
+            s.nodes[i].cq.update(tid(t), commit_vc);
+            self.process_commit_queue(s, i)?;
+        } else {
+            s.nodes[i].prepared.remove(&(t as u8));
+            release_locks(&mut s.nodes[i], t);
+        }
+        Ok(())
+    }
+
+    fn process_commit_queue(&self, s: &mut SssState, i: usize) -> Result<(), String> {
+        while let Some(entry) = s.nodes[i].cq.pop_ready_head() {
+            let t = (entry.txn.seq - 1) as usize;
+            let commit_vc: Arc<Vc> = Arc::new(entry.vc);
+            let prep = s.nodes[i]
+                .prepared
+                .remove(&(t as u8))
+                .expect("committing transaction is prepared");
+            let local_writes = self.local_writes(t, i);
+            for &k in &local_writes {
+                s.nodes[i]
+                    .chains
+                    .get_mut(&k)
+                    .expect("write targets a replica")
+                    .push(Version {
+                        writer: Some(t as u8),
+                        vc: commit_vc.clone(),
+                    });
+            }
+            s.nodes[i].nlog.add(tid(t), commit_vc.clone());
+            release_locks(&mut s.nodes[i], t);
+            let sid = commit_vc.get(i);
+            let removed_ro = s.nodes[i].removed_ro;
+            for &k in &local_writes {
+                let q = s.nodes[i].squeues.entry(k).or_default();
+                q.insert_write(tid(t), sid, commit_vc.clone());
+                if let Some(props) = &prep.decided {
+                    // Completion-order barrier: the read-only transactions
+                    // this writer observed in front of it stay in front.
+                    for &(ro, rsid) in props {
+                        if removed_ro & bit(ro as usize) == 0 {
+                            q.insert_read(tid(ro as usize), rsid);
+                        }
+                    }
+                }
+            }
+            let blocked = local_writes.iter().any(|k| {
+                s.nodes[i]
+                    .squeues
+                    .get(k)
+                    .map(|q| protocol::squeue_blocks_external_commit(q, sid))
+                    .unwrap_or(false)
+            });
+            if blocked {
+                s.nodes[i].waiting_external.push((t as u8, commit_vc));
+            } else {
+                self.complete_external(s, i, t);
+            }
+        }
+        self.drain_pending_reads(s, i)?;
+        self.release_unblocked(s, i);
+        Ok(())
+    }
+
+    fn complete_external(&self, s: &mut SssState, i: usize, t: usize) {
+        let st = &mut s.nodes[i];
+        if st.released & bit(t) == 0 {
+            st.pending_global |= bit(t);
+        }
+        for k in self.local_writes(t, i) {
+            let empty = st
+                .squeues
+                .get_mut(&k)
+                .map(|q| {
+                    q.remove_write(tid(t));
+                    q.is_empty()
+                })
+                .unwrap_or(false);
+            if empty {
+                st.squeues.remove(&k);
+            }
+        }
+        s.msgs.push(Envelope {
+            dst: Dst::Client(t as u8),
+            msg: Msg::ExtAck {
+                txn: t as u8,
+                from: i as u8,
+            },
+        });
+    }
+
+    fn release_unblocked(&self, s: &mut SssState, i: usize) {
+        let waiting = std::mem::take(&mut s.nodes[i].waiting_external);
+        for (t, cvc) in waiting {
+            let sid = cvc.get(i);
+            let blocked = self.local_writes(t as usize, i).iter().any(|k| {
+                s.nodes[i]
+                    .squeues
+                    .get(k)
+                    .map(|q| protocol::squeue_blocks_external_commit(q, sid))
+                    .unwrap_or(false)
+            });
+            if blocked {
+                s.nodes[i].waiting_external.push((t, cvc));
+            } else {
+                self.complete_external(s, i, t as usize);
+            }
+        }
+    }
+
+    fn drain_pending_reads(&self, s: &mut SssState, i: usize) -> Result<(), String> {
+        let most = s.nodes[i].nlog.most_recent_vc().get(i);
+        let mut ready = Vec::new();
+        let mut keep = Vec::new();
+        for p in std::mem::take(&mut s.nodes[i].pending_reads) {
+            if most >= p.vc.get(i) {
+                ready.push(p);
+            } else {
+                keep.push(p);
+            }
+        }
+        s.nodes[i].pending_reads = keep;
+        for p in ready {
+            self.serve_or_park(s, i, p)?;
+        }
+        Ok(())
+    }
+
+    fn handle_confirm(
+        &self,
+        s: &mut SssState,
+        i: usize,
+        entries: Vec<(u8, Arc<Vc>)>,
+        release: Vec<u8>,
+        remove: Vec<u8>,
+        leader: Dst,
+    ) -> Result<(), String> {
+        // Removes first — they can unblock waiting external commits.
+        self.handle_remove(s, i, &remove);
+        {
+            let st = &mut s.nodes[i];
+            for (_, vc) in &entries {
+                st.confirmed_vc.merge(vc);
+            }
+        }
+        let round = entries
+            .first()
+            .map(|(t, _)| *t)
+            .expect("rounds are non-empty");
+        let first_copy = s.nodes[i].confirm_acked & bit(round as usize) == 0;
+        s.nodes[i].confirm_acked |= bit(round as usize);
+        self.handle_release(s, i, &release)?;
+        self.release_unblocked(s, i);
+        if first_copy {
+            s.msgs.push(Envelope {
+                dst: leader,
+                msg: Msg::ConfirmAck {
+                    round,
+                    from: i as u8,
+                },
+            });
+        }
+        Ok(())
+    }
+
+    fn handle_release(&self, s: &mut SssState, i: usize, txns: &[u8]) -> Result<(), String> {
+        for &t in txns {
+            if s.confirmed & bit(t as usize) == 0 {
+                return Err(format!(
+                    "release overtook confirmation: n{i} processed t{t}'s \
+                     ReleaseExternal before its confirmation round completed"
+                ));
+            }
+        }
+        {
+            let st = &mut s.nodes[i];
+            for &t in txns {
+                st.released |= bit(t as usize);
+                st.pending_global &= !bit(t as usize);
+            }
+        }
+        let mut unparked = Vec::new();
+        s.nodes[i].parked_reads.retain(|p| {
+            if txns.contains(&p.writer) {
+                unparked.push(p.read.clone());
+                false
+            } else {
+                true
+            }
+        });
+        for read in unparked {
+            self.serve_or_park(s, i, read)?;
+        }
+        Ok(())
+    }
+
+    fn handle_remove(&self, s: &mut SssState, i: usize, txns: &[u8]) {
+        let st = &mut s.nodes[i];
+        for &t in txns {
+            st.removed_ro |= bit(t as usize);
+            st.squeues.retain(|_, q| {
+                q.remove(tid(t as usize));
+                !q.is_empty()
+            });
+        }
+    }
+
+    fn handle_confirm_ack(&self, s: &mut SssState, i: usize, round: u8, from: u8) {
+        let all = self.all_nodes_mask();
+        let Some(r) = s.nodes[i].round.as_mut() else {
+            return;
+        };
+        if r.id != round {
+            return;
+        }
+        r.acks |= bit(from as usize);
+        if r.acks != all {
+            return;
+        }
+        let members = r.members.clone();
+        s.nodes[i].round = None;
+        for &m in &members {
+            s.confirmed |= bit(m as usize);
+            s.clients[m as usize].phase = Phase::Committed;
+        }
+        let leftover = s.nodes[i]
+            .coal
+            .round_completed(members.iter().map(|&m| tid(m as usize)).collect(), true);
+        debug_assert!(leftover.is_none(), "piggybacked completion returns nothing");
+    }
+
+    fn coalesce(&self, s: &mut SssState, n: usize) {
+        let plan = s.nodes[n]
+            .coal
+            .next_round(self.cfg.confirm_window.max(1), false);
+        match plan {
+            RoundPlan::Exit | RoundPlan::Linger => {}
+            RoundPlan::Flush { release, remove } => {
+                let remove: Vec<u8> = remove.iter().map(|t| (t.seq - 1) as u8).collect();
+                let release: Vec<u8> = release.iter().map(|t| (t.seq - 1) as u8).collect();
+                if !remove.is_empty() {
+                    self.broadcast(s, Msg::Remove { txns: remove });
+                }
+                if !release.is_empty() {
+                    self.broadcast(s, Msg::Release { txns: release });
+                }
+            }
+            RoundPlan::Round {
+                batch,
+                release,
+                remove,
+            } => {
+                let members: Vec<u8> = batch.iter().map(|p| (p.txn.seq - 1) as u8).collect();
+                let entries: Vec<(u8, Arc<Vc>)> = batch
+                    .iter()
+                    .map(|p| ((p.txn.seq - 1) as u8, p.commit_vc.clone()))
+                    .collect();
+                let release: Vec<u8> = release.iter().map(|t| (t.seq - 1) as u8).collect();
+                let remove: Vec<u8> = remove.iter().map(|t| (t.seq - 1) as u8).collect();
+                s.nodes[n].round = Some(Round {
+                    id: members[0],
+                    members: members.clone(),
+                    acks: 0,
+                });
+                self.broadcast(
+                    s,
+                    Msg::Confirm {
+                        entries,
+                        release,
+                        remove,
+                        leader: Dst::Node(n as u8),
+                    },
+                );
+                if self.cfg.mutation == Some(Mutation::PrematureRelease) {
+                    // Seeded bug: the release rides out with the round
+                    // instead of waiting for its acks.
+                    self.broadcast(s, Msg::Release { txns: members });
+                }
+            }
+        }
+    }
+
+    // -- client side --------------------------------------------------------
+
+    fn client_msg(&self, s: &mut SssState, t: usize, msg: Msg) -> Result<(), String> {
+        match msg {
+            Msg::ReadRet {
+                key,
+                from,
+                writer,
+                vc,
+                excluded,
+                propagated,
+                ..
+            } => self.client_read_ret(s, t, key, from, writer, vc, excluded, propagated),
+            Msg::Vote { from, ok, vc, .. } => self.client_vote(s, t, from as usize, ok, vc),
+            Msg::ExtAck { from, .. } => {
+                self.client_ext_ack(s, t, from as usize);
+                Ok(())
+            }
+            Msg::ConfirmAck { from, .. } => {
+                self.client_confirm_ack(s, t, from as usize);
+                Ok(())
+            }
+            _ => Ok(()),
+        }
+    }
+
+    fn client_read_ret(
+        &self,
+        s: &mut SssState,
+        t: usize,
+        key: u8,
+        from: u8,
+        writer: Option<u8>,
+        vc: Vc,
+        excluded: Vec<Arc<Vc>>,
+        propagated: Vec<(u8, u64)>,
+    ) -> Result<(), String> {
+        if s.clients[t].phase != Phase::Read {
+            return Ok(());
+        }
+        let spec = &self.cfg.txns[t];
+        {
+            let c = &mut s.clients[t];
+            c.vc.merge(&vc);
+            c.observed.push((key, writer));
+            if spec.is_update() {
+                for p in propagated {
+                    if !c.propagated.contains(&p) {
+                        c.propagated.push(p);
+                    }
+                }
+            } else {
+                c.has_read |= bit(from as usize);
+                for e in excluded {
+                    if !c.exclude.contains(&e) {
+                        c.exclude.push(e);
+                    }
+                }
+            }
+            c.next_read += 1;
+        }
+        if s.clients[t].next_read < spec.reads().len() {
+            self.send_read(s, t);
+        } else if spec.is_update() {
+            self.send_prepare(s, t);
+        } else {
+            self.finish_ro(s, t)?;
+        }
+        Ok(())
+    }
+
+    fn client_vote(
+        &self,
+        s: &mut SssState,
+        t: usize,
+        from: usize,
+        ok: bool,
+        vc: Vc,
+    ) -> Result<(), String> {
+        {
+            let c = &mut s.clients[t];
+            if c.phase != Phase::Vote || c.votes & bit(from) != 0 {
+                return Ok(());
+            }
+            c.votes |= bit(from);
+            if ok {
+                c.vc.merge(&vc);
+            }
+        }
+        if !ok {
+            s.clients[t].phase = Phase::Aborted;
+            let zero = Vc::new(self.cfg.nodes);
+            self.to_participants(
+                s,
+                t,
+                Msg::Decide {
+                    txn: t as u8,
+                    ok: false,
+                    vc: zero,
+                    propagated: Vec::new(),
+                },
+            );
+            return Ok(());
+        }
+        if s.clients[t].votes == self.participants(t) {
+            let mut cvc = s.clients[t].vc.clone();
+            // xact-vn equalization over the write replicas.
+            protocol::finalize_commit_vc(&mut cvc, &self.write_indices(t));
+            s.clients[t].commit_vc = Some(Arc::new(cvc.clone()));
+            s.clients[t].phase = Phase::ExtWait;
+            let props = s.clients[t].propagated.clone();
+            self.to_participants(
+                s,
+                t,
+                Msg::Decide {
+                    txn: t as u8,
+                    ok: true,
+                    vc: cvc,
+                    propagated: props,
+                },
+            );
+        }
+        Ok(())
+    }
+
+    fn client_ext_ack(&self, s: &mut SssState, t: usize, from: usize) {
+        if s.clients[t].phase != Phase::ExtWait {
+            return;
+        }
+        s.clients[t].ext_acks |= bit(from);
+        if s.clients[t].ext_acks != self.write_mask(t) {
+            return;
+        }
+        s.clients[t].phase = Phase::ConfirmWait;
+        let cvc = s.clients[t]
+            .commit_vc
+            .clone()
+            .expect("decided commit clock");
+        if self.cfg.grouped_confirm {
+            let origin = self.cfg.txns[t].origin();
+            // Leading is observable as an enabled Coalesce action.
+            let _leads = s.nodes[origin].coal.enqueue(tid(t), cvc, ());
+        } else {
+            self.broadcast(
+                s,
+                Msg::Confirm {
+                    entries: vec![(t as u8, cvc)],
+                    release: Vec::new(),
+                    remove: Vec::new(),
+                    leader: Dst::Client(t as u8),
+                },
+            );
+        }
+    }
+
+    fn client_confirm_ack(&self, s: &mut SssState, t: usize, from: usize) {
+        if s.clients[t].phase != Phase::ConfirmWait {
+            return;
+        }
+        s.clients[t].confirm_acks |= bit(from);
+        if s.clients[t].confirm_acks != self.all_nodes_mask() {
+            return;
+        }
+        s.confirmed |= bit(t);
+        s.clients[t].phase = Phase::Committed;
+        self.broadcast(
+            s,
+            Msg::Release {
+                txns: vec![t as u8],
+            },
+        );
+    }
+
+    fn finish_ro(&self, s: &mut SssState, t: usize) -> Result<(), String> {
+        // External consistency, completion side: a read-only transaction
+        // never completes having observed an unconfirmed writer.
+        for &(_, w) in &s.clients[t].observed {
+            if let Some(w) = w {
+                if s.confirmed & bit(w as usize) == 0 {
+                    return Err(format!(
+                        "external consistency: read-only t{t} completed having \
+                         observed t{w}, whose confirmation round has not completed"
+                    ));
+                }
+            }
+        }
+        s.clients[t].phase = Phase::Committed;
+        let origin = self.cfg.txns[t].origin();
+        let piggybacked = self.cfg.grouped_confirm && s.nodes[origin].coal.queue_remove(tid(t));
+        if !piggybacked {
+            self.broadcast(
+                s,
+                Msg::Remove {
+                    txns: vec![t as u8],
+                },
+            );
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::{bfs_check, CheckConfig};
+
+    #[test]
+    fn premature_release_yields_a_minimal_counterexample() {
+        let model = SssModel::new(ModelConfig::mutated(Mutation::PrematureRelease));
+        let report = bfs_check(&model, &CheckConfig::default());
+        let cx = report.violation.expect("the seeded bug must be found");
+        assert!(cx.invariant.contains("release overtook confirmation"));
+        assert!(
+            cx.actions.len() <= 40,
+            "trace too long: {}",
+            cx.actions.len()
+        );
+    }
+
+    #[test]
+    fn single_writer_singleton_confirm_verifies() {
+        let cfg = ModelConfig {
+            nodes: 2,
+            txns: vec![TxnSpec::Update {
+                origin: 0,
+                reads: vec![],
+                writes: vec![0],
+            }],
+            grouped_confirm: false,
+            confirm_window: 1,
+            duplicate_prepare_budget: 0,
+            mutation: None,
+        };
+        let report = bfs_check(&SssModel::new(cfg), &CheckConfig::default());
+        assert!(report.verified(), "violation: {:?}", report.violation);
+    }
+}

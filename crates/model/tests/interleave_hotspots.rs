@@ -1,0 +1,503 @@
+//! Schedule-enumerating interleaving tests for three concurrency hot spots.
+//!
+//! Each test drives `explore_schedules` over the *production* type — no
+//! modelling layer — enumerating every interleaving of short per-thread step
+//! lists and re-executing each complete schedule from a fresh state:
+//!
+//! * `MvStore`: a copy-on-write version install racing a reader that took a
+//!   chain snapshot handle — the handle must be frozen and the live store
+//!   monotonic in every schedule;
+//! * `Mailbox`: batched producers racing a consumer and a close — no message
+//!   may be lost or duplicated in any schedule, and the counters must
+//!   conserve;
+//! * `CoalescerCore`: confirmation-round leadership racing late enqueues —
+//!   exactly one leader at a time, and queued work is never stranded behind
+//!   a leader's exit (the "no lost wakeup" obligation of the coalescer's
+//!   critical section).
+
+use std::sync::Arc;
+
+use sss_core::{CoalescerCore, RoundPlan, TxnId};
+use sss_model::interleave::{explore_schedules, Step};
+use sss_net::{Mailbox, MailboxStats, Priority};
+use sss_storage::{Key, MvStore, Value, VersionChain};
+use sss_vclock::{NodeId, VectorClock};
+
+fn vc0(width: usize, v: u64) -> VectorClock {
+    let mut c = VectorClock::new(width);
+    c.set(0, v);
+    c
+}
+
+fn txn(seq: u64) -> TxnId {
+    TxnId::new(NodeId(0), seq)
+}
+
+// ---------------------------------------------------------------------------
+// Hot spot 1: MvStore copy-on-write install vs. chain walk.
+// ---------------------------------------------------------------------------
+
+struct StoreState {
+    store: MvStore,
+    /// The snapshot handle the reader grabbed, if it has run yet.
+    handle: Option<Arc<VersionChain>>,
+    /// `(len, newest vc[0])` observed at grab time.
+    observed: Option<(usize, u64)>,
+}
+
+/// A reader that takes a `chain()` snapshot handle must see a frozen chain —
+/// concurrent `apply` calls swap the shard's `Arc` without mutating the
+/// handle already returned — while the live store only moves forward.
+#[test]
+fn mvstore_snapshot_handle_is_frozen_under_concurrent_installs() {
+    let key = Key::new("k");
+    let init = || {
+        let store = MvStore::with_shards(2);
+        store.apply(key.clone(), Value::from_u64(1), vc0(2, 1), txn(1));
+        StoreState {
+            store,
+            handle: None,
+            observed: None,
+        }
+    };
+
+    let writer: Vec<Step<'_, StoreState>> = vec![
+        Box::new(|s: &mut StoreState| {
+            s.store
+                .apply(Key::new("k"), Value::from_u64(2), vc0(2, 2), txn(2));
+            Ok(())
+        }),
+        Box::new(|s: &mut StoreState| {
+            s.store
+                .apply(Key::new("k"), Value::from_u64(3), vc0(2, 3), txn(3));
+            Ok(())
+        }),
+    ];
+    let reader: Vec<Step<'_, StoreState>> = vec![
+        // Grab the snapshot handle and record what it shows.
+        Box::new(|s: &mut StoreState| {
+            let chain = s
+                .store
+                .chain(&Key::new("k"))
+                .ok_or("seeded key has no chain")?;
+            let last = chain.last().ok_or("seeded chain is empty")?;
+            s.observed = Some((chain.len(), last.vc.get(0)));
+            s.handle = Some(chain);
+            Ok(())
+        }),
+        // Re-walk the *same* handle: it must be byte-for-byte stable no
+        // matter how many installs landed in between, and the live store
+        // must have advanced monotonically past it.
+        Box::new(|s: &mut StoreState| {
+            let chain = s.handle.as_ref().expect("reader step order");
+            let (len, newest) = s.observed.expect("reader step order");
+            if chain.len() != len {
+                return Err(format!(
+                    "snapshot handle grew from {len} to {} versions",
+                    chain.len()
+                ));
+            }
+            let last = chain.last().expect("non-empty at grab time");
+            if last.vc.get(0) != newest {
+                return Err(format!(
+                    "snapshot handle's newest version moved: {newest} -> {}",
+                    last.vc.get(0)
+                ));
+            }
+            let live = s.store.last_vc_entry(&Key::new("k"), 0);
+            if live < newest {
+                return Err(format!(
+                    "live store regressed below the snapshot: {live} < {newest}"
+                ));
+            }
+            Ok(())
+        }),
+    ];
+
+    let outcome = explore_schedules(init, &[writer, reader], |s| {
+        // Every schedule ends with all three versions installed, in install
+        // order, with monotonically increasing vector clocks.
+        let chain = s.store.chain(&Key::new("k")).ok_or("chain vanished")?;
+        if chain.len() != 3 {
+            return Err(format!("lost an install: {} versions", chain.len()));
+        }
+        let mut prev = 0;
+        for v in chain.iter() {
+            let at = v.vc.get(0);
+            if at <= prev && prev != 0 {
+                return Err(format!("chain not monotonic: {prev} then {at}"));
+            }
+            prev = at;
+        }
+        Ok(())
+    });
+    assert!(outcome.ok(), "{:?}", outcome.failure);
+    assert_eq!(outcome.schedules, 6, "2+2 steps enumerate C(4,2) schedules");
+}
+
+// ---------------------------------------------------------------------------
+// Hot spot 2: Mailbox batched push / batched pop / close.
+// ---------------------------------------------------------------------------
+
+struct MailState {
+    mb: Mailbox<u64>,
+    start: MailboxStats,
+    /// Messages whose push was accepted (push/push_batch returned `true`).
+    accepted: Vec<u64>,
+    /// Messages popped during the schedule.
+    popped: Vec<u64>,
+}
+
+/// Every message whose push was accepted is delivered exactly once, in every
+/// interleaving of `push_batch`, `push`, `try_pop`, and `close` — and the
+/// mailbox counters conserve across the whole schedule.
+#[test]
+fn mailbox_conserves_messages_across_batch_and_close_races() {
+    let init = || {
+        let mb = Mailbox::new();
+        let start = mb.stats();
+        MailState {
+            mb,
+            start,
+            accepted: Vec::new(),
+            popped: Vec::new(),
+        }
+    };
+
+    let producer: Vec<Step<'_, MailState>> = vec![
+        Box::new(|s: &mut MailState| {
+            // Batch acceptance is all-or-nothing: a closed mailbox drops the
+            // whole batch and reports it.
+            if s.mb.push_batch([1, 2, 3], Priority::Normal) {
+                s.accepted.extend([1, 2, 3]);
+            }
+            Ok(())
+        }),
+        Box::new(|s: &mut MailState| {
+            if s.mb.push(4, Priority::High) {
+                s.accepted.push(4);
+            }
+            Ok(())
+        }),
+    ];
+    let consumer: Vec<Step<'_, MailState>> = vec![
+        Box::new(|s: &mut MailState| {
+            if let Some(m) = s.mb.try_pop() {
+                s.popped.push(m);
+            }
+            Ok(())
+        }),
+        Box::new(|s: &mut MailState| {
+            if let Some(m) = s.mb.try_pop() {
+                s.popped.push(m);
+            }
+            Ok(())
+        }),
+    ];
+    let closer: Vec<Step<'_, MailState>> = vec![Box::new(|s: &mut MailState| {
+        s.mb.close();
+        Ok(())
+    })];
+
+    let outcome = explore_schedules(init, &[producer, consumer, closer], |s| {
+        // The closer has run in every complete schedule, so the drain below
+        // cannot block: pop_batch returns 0 once closed and empty.
+        let mut delivered = s.popped.clone();
+        let mut out = Vec::new();
+        loop {
+            out.clear();
+            if s.mb.pop_batch(16, &mut out) == 0 {
+                break;
+            }
+            delivered.extend(out.iter().copied());
+        }
+        let mut expected = s.accepted.clone();
+        expected.sort_unstable();
+        delivered.sort_unstable();
+        if delivered != expected {
+            return Err(format!("accepted {expected:?} but delivered {delivered:?}"));
+        }
+        let end = s.mb.stats();
+        if !end.is_coherent() {
+            return Err("mailbox counters incoherent".into());
+        }
+        if !MailboxStats::conserves(&s.start, &end) {
+            return Err("mailbox counters do not conserve".into());
+        }
+        if end.total_enqueued() != end.total_dequeued() {
+            return Err(format!(
+                "drained mailbox still unbalanced: {} enqueued, {} dequeued",
+                end.total_enqueued(),
+                end.total_dequeued()
+            ));
+        }
+        Ok(())
+    });
+    assert!(outcome.ok(), "{:?}", outcome.failure);
+    assert_eq!(outcome.schedules, 30, "2+2+1 steps enumerate 30 schedules");
+}
+
+// ---------------------------------------------------------------------------
+// Hot spot 3: CoalescerCore leadership handoff.
+// ---------------------------------------------------------------------------
+
+struct CoalState {
+    core: CoalescerCore<u8>,
+    /// Which logical thread currently leads, if any.
+    leader: Option<usize>,
+    /// Members of each completed round, in round order.
+    rounds: Vec<Vec<TxnId>>,
+    /// Releases that found a carrier (piggybacked or flushed).
+    released: Vec<TxnId>,
+    /// Every transaction enqueued during the schedule.
+    enqueued: Vec<TxnId>,
+}
+
+fn enqueue_step(thread: usize, seq: u64) -> Step<'static, CoalState> {
+    Box::new(move |s: &mut CoalState| {
+        let lead = s.core.enqueue(txn(seq), Arc::new(VectorClock::new(2)), 0);
+        s.enqueued.push(txn(seq));
+        if lead {
+            if let Some(other) = s.leader {
+                return Err(format!(
+                    "t{thread} elected leader while t{other} still leads"
+                ));
+            }
+            s.leader = Some(thread);
+        }
+        Ok(())
+    })
+}
+
+/// One leader-loop iteration, mirroring the production
+/// `run_confirm_rounds` body: a no-op unless this thread leads.
+fn drive_step(thread: usize, window: usize) -> Step<'static, CoalState> {
+    Box::new(move |s: &mut CoalState| {
+        if s.leader != Some(thread) {
+            return Ok(());
+        }
+        match s.core.next_round(window, false) {
+            RoundPlan::Exit => s.leader = None,
+            RoundPlan::Linger => return Err("lingered with may_linger=false".into()),
+            RoundPlan::Flush { release, .. } => s.released.extend(release),
+            RoundPlan::Round { batch, release, .. } => {
+                s.released.extend(release);
+                if batch.is_empty() {
+                    return Err("a planned round carried no members".into());
+                }
+                let members: Vec<TxnId> = batch.iter().map(|p| p.txn).collect();
+                s.rounds.push(members.clone());
+                if let Some(now) = s.core.round_completed(members, true) {
+                    s.released.extend(now);
+                }
+            }
+        }
+        Ok(())
+    })
+}
+
+/// A member is never stranded: in every interleaving of two committers with
+/// the leader's drive loop, either the queues drained or an active leader
+/// still covers them — `in_flight` can never be false with work queued
+/// (the lost-wakeup bug the coalescer's shared critical section prevents).
+#[test]
+fn coalescer_leadership_handoff_never_strands_a_member() {
+    let t0: Vec<Step<'_, CoalState>> = vec![
+        enqueue_step(0, 1),
+        drive_step(0, 4),
+        drive_step(0, 4),
+        drive_step(0, 4),
+        drive_step(0, 4),
+    ];
+    let t1: Vec<Step<'_, CoalState>> = vec![enqueue_step(1, 2), drive_step(1, 4), drive_step(1, 4)];
+
+    let outcome = explore_schedules(
+        || CoalState {
+            core: CoalescerCore::new(),
+            leader: None,
+            rounds: Vec::new(),
+            released: Vec::new(),
+            enqueued: Vec::new(),
+        },
+        &[t0, t1],
+        |s| {
+            let leftover =
+                s.core.pending_len() + s.core.pending_release_len() + s.core.pending_remove_len();
+            if leftover > 0 && !s.core.in_flight() {
+                return Err(format!("{leftover} queued items stranded with no leader"));
+            }
+            if leftover > 0 && s.leader.is_none() {
+                return Err("in_flight set but no thread believes it leads".into());
+            }
+            // Confirmed-at-most-once, and everything enqueued is either
+            // confirmed or still queued under the active leader.
+            let confirmed: Vec<TxnId> = s.rounds.iter().flatten().copied().collect();
+            for (i, t) in confirmed.iter().enumerate() {
+                if confirmed[i + 1..].contains(t) {
+                    return Err(format!("{t:?} confirmed twice"));
+                }
+            }
+            let queued: Vec<TxnId> = s.core.pending_txns().collect();
+            for t in &s.enqueued {
+                if !confirmed.contains(t) && !queued.contains(t) {
+                    return Err(format!("{t:?} vanished: neither confirmed nor queued"));
+                }
+            }
+            Ok(())
+        },
+    );
+    assert!(outcome.ok(), "{:?}", outcome.failure);
+    assert_eq!(
+        outcome.schedules, 56,
+        "5+3 steps enumerate C(8,3) schedules"
+    );
+}
+
+/// With a window of 1 (confirmation epoch = 1) the grouped coalescer
+/// degenerates to the base protocol: every round carries exactly one member
+/// and rounds run in arrival order, in every interleaving.
+#[test]
+fn coalescer_window_one_is_singleton_equivalent_in_every_schedule() {
+    let t0: Vec<Step<'_, CoalState>> = vec![
+        enqueue_step(0, 1),
+        drive_step(0, 1),
+        drive_step(0, 1),
+        drive_step(0, 1),
+        drive_step(0, 1),
+        drive_step(0, 1),
+    ];
+    let t1: Vec<Step<'_, CoalState>> = vec![enqueue_step(1, 2), drive_step(1, 1), drive_step(1, 1)];
+
+    let outcome = explore_schedules(
+        || CoalState {
+            core: CoalescerCore::new(),
+            leader: None,
+            rounds: Vec::new(),
+            released: Vec::new(),
+            enqueued: Vec::new(),
+        },
+        &[t0, t1],
+        |s| {
+            for members in &s.rounds {
+                if members.len() != 1 {
+                    return Err(format!(
+                        "window-1 round carried {} members: {members:?}",
+                        members.len()
+                    ));
+                }
+            }
+            // Rounds respect arrival order (the queue is drained from the
+            // front): the confirmed sequence is a prefix-preserving
+            // subsequence of the enqueue order.
+            let confirmed: Vec<TxnId> = s.rounds.iter().flatten().copied().collect();
+            let mut cursor = 0;
+            for t in &s.enqueued {
+                if cursor < confirmed.len() && confirmed[cursor] == *t {
+                    cursor += 1;
+                }
+            }
+            if cursor != confirmed.len() {
+                return Err(format!(
+                    "rounds out of arrival order: {confirmed:?} vs {:?}",
+                    s.enqueued
+                ));
+            }
+            Ok(())
+        },
+    );
+    assert!(outcome.ok(), "{:?}", outcome.failure);
+}
+
+/// A linger decision racing a late enqueue: a leader lingering on an
+/// under-full window never loses the queued member, and when the late
+/// arrival lands before the window probe, the window actually fills — the
+/// probe plans one grouped round carrying both.
+#[test]
+fn coalescer_linger_racing_enqueue_fills_the_window() {
+    use std::cell::Cell;
+    let saw_linger = Cell::new(false);
+    let saw_grouped = Cell::new(false);
+
+    // Thread 0's second step probes with may_linger=true and a window of 2:
+    // with only its own member queued it lingers; with the late arrival
+    // already queued the window is full and a grouped round runs.
+    let linger_probe: Step<'_, CoalState> = Box::new(|s: &mut CoalState| {
+        if s.leader != Some(0) {
+            return Ok(());
+        }
+        match s.core.next_round(2, true) {
+            RoundPlan::Linger => {
+                saw_linger.set(true);
+                if s.core.pending_len() == 0 {
+                    return Err("linger dropped the queued member".into());
+                }
+                Ok(())
+            }
+            RoundPlan::Round { batch, release, .. } => {
+                if batch.len() == 2 {
+                    saw_grouped.set(true);
+                }
+                s.released.extend(release);
+                let members: Vec<TxnId> = batch.iter().map(|p| p.txn).collect();
+                s.rounds.push(members.clone());
+                if let Some(now) = s.core.round_completed(members, true) {
+                    s.released.extend(now);
+                }
+                Ok(())
+            }
+            // The probing leader's own member is still queued, so the core
+            // can neither exit nor flush here.
+            RoundPlan::Exit => Err("exited with a member queued".into()),
+            RoundPlan::Flush { .. } => Err("flushed with a member queued".into()),
+        }
+    });
+    let t0: Vec<Step<'_, CoalState>> = vec![
+        enqueue_step(0, 1),
+        linger_probe,
+        drive_step(0, 2),
+        drive_step(0, 2),
+        drive_step(0, 2),
+    ];
+    let t1: Vec<Step<'_, CoalState>> = vec![enqueue_step(1, 2), drive_step(1, 2), drive_step(1, 2)];
+
+    let outcome = explore_schedules(
+        || CoalState {
+            core: CoalescerCore::new(),
+            leader: None,
+            rounds: Vec::new(),
+            released: Vec::new(),
+            enqueued: Vec::new(),
+        },
+        &[t0, t1],
+        |s| {
+            let leftover =
+                s.core.pending_len() + s.core.pending_release_len() + s.core.pending_remove_len();
+            if leftover > 0 && !s.core.in_flight() {
+                return Err(format!("{leftover} queued items stranded with no leader"));
+            }
+            let confirmed: Vec<TxnId> = s.rounds.iter().flatten().copied().collect();
+            for (i, t) in confirmed.iter().enumerate() {
+                if confirmed[i + 1..].contains(t) {
+                    return Err(format!("{t:?} confirmed twice"));
+                }
+            }
+            let queued: Vec<TxnId> = s.core.pending_txns().collect();
+            for t in &s.enqueued {
+                if !confirmed.contains(t) && !queued.contains(t) {
+                    return Err(format!("{t:?} vanished: neither confirmed nor queued"));
+                }
+            }
+            Ok(())
+        },
+    );
+    assert!(outcome.ok(), "{:?}", outcome.failure);
+    assert_eq!(
+        outcome.schedules, 56,
+        "5+3 steps enumerate C(8,3) schedules"
+    );
+    assert!(saw_linger.get(), "no schedule exercised the linger arm");
+    assert!(
+        saw_grouped.get(),
+        "no schedule filled the window before the probe"
+    );
+}
