@@ -21,7 +21,7 @@ use crate::twopc::{TwoPcCluster, TwoPcConfig, TwoPcOutcome};
 use crate::walter::{WalterCluster, WalterConfig, WalterOutcome};
 
 fn committed(start: Instant) -> Option<(Duration, Duration)> {
-    let latency = start.elapsed();
+    let latency = sss_vclock::runtime::elapsed_since(start);
     Some((latency, latency))
 }
 
@@ -154,7 +154,7 @@ impl TwoPcEngineSession {
         read_keys: &[Key],
         writes: &[(Key, Value)],
     ) -> (Option<(Duration, Duration)>, Vec<Option<Value>>) {
-        let start = Instant::now();
+        let start = sss_vclock::runtime::now();
         let mut trace = begin_trace(&mut self.obs, self.node);
         let (outcome, values) =
             self.cluster
@@ -272,7 +272,7 @@ impl WalterEngineSession {
         read_keys: &[Key],
         writes: &[(Key, Value)],
     ) -> (Option<(Duration, Duration)>, Vec<Option<Value>>) {
-        let start = Instant::now();
+        let start = sss_vclock::runtime::now();
         let mut trace = begin_trace(&mut self.obs, self.node);
         let (outcome, values) =
             self.cluster
@@ -298,7 +298,7 @@ impl WalterEngineSession {
         &mut self,
         read_keys: &[Key],
     ) -> (Option<(Duration, Duration)>, Vec<Option<Value>>) {
-        let start = Instant::now();
+        let start = sss_vclock::runtime::now();
         let mut trace = begin_trace(&mut self.obs, self.node);
         let values = self
             .cluster
@@ -389,7 +389,7 @@ impl RococoEngineSession {
         _read_keys: &[Key],
         writes: &[(Key, Value)],
     ) -> Option<(Duration, Duration)> {
-        let start = Instant::now();
+        let start = sss_vclock::runtime::now();
         let mut trace = begin_trace(&mut self.obs, self.node);
         let ok = self
             .cluster
@@ -428,7 +428,7 @@ impl RococoEngineSession {
         &mut self,
         read_keys: &[Key],
     ) -> (Option<(Duration, Duration)>, Vec<Option<Value>>) {
-        let start = Instant::now();
+        let start = sss_vclock::runtime::now();
         let mut trace = begin_trace(&mut self.obs, self.node);
         let (outcome, values) = self
             .cluster

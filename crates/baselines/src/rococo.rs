@@ -25,7 +25,7 @@
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use parking_lot::Mutex;
 use sss_net::{
@@ -34,6 +34,7 @@ use sss_net::{
 };
 use sss_obs::{ObsHub, Phase, TxnTrace};
 use sss_storage::{Key, RecentSet, ReplicaMap, SvStore, TxnId, Value};
+use sss_vclock::runtime::SchedulerHandle;
 use sss_vclock::NodeId;
 
 /// Human-readable labels of the ROCOCO message kinds, in
@@ -66,6 +67,9 @@ pub struct RococoConfig {
     /// read phases into it. When `None` — the default — every
     /// instrumentation site is one branch.
     pub observability: Option<Arc<ObsHub>>,
+    /// Optional deterministic-simulation scheduler (see `sss-sim`): when
+    /// set, the cluster's transport and workers run in virtual time.
+    pub scheduler: Option<SchedulerHandle>,
 }
 
 impl RococoConfig {
@@ -85,7 +89,14 @@ impl RococoConfig {
             storage_shards: sss_storage::DEFAULT_SHARDS,
             delivery_batch: sss_net::DEFAULT_DELIVERY_BATCH,
             observability: None,
+            scheduler: None,
         }
+    }
+
+    /// Runs the cluster under a deterministic-simulation scheduler.
+    pub fn scheduler(mut self, scheduler: SchedulerHandle) -> Self {
+        self.scheduler = Some(scheduler);
+        self
     }
 
     /// Sets the shard arity of every node's single-version store.
@@ -316,6 +327,9 @@ impl RococoCluster {
         if let Some(interposer) = interposer {
             transport_config = transport_config.interposer(interposer);
         }
+        if let Some(scheduler) = &config.scheduler {
+            transport_config = transport_config.scheduler(Arc::clone(scheduler));
+        }
         let transport = Arc::new(ChannelTransport::new(transport_config));
         // Per-kind message accounting, mirroring the SSS transport: every
         // send is attributed to its protocol message type.
@@ -495,10 +509,10 @@ impl<'c> RococoSession<'c> {
                 return false;
             }
         }
-        let deadline = Instant::now() + self.cluster.config.rpc_timeout;
+        let deadline = sss_vclock::runtime::now() + self.cluster.config.rpc_timeout;
         let mut _deps: Vec<TxnId> = Vec::new();
         for _ in 0..writes.len() {
-            let remaining = deadline.saturating_duration_since(Instant::now());
+            let remaining = deadline.saturating_duration_since(sss_vclock::runtime::now());
             match dispatch_rx.recv_timeout(remaining) {
                 Some(reply) => _deps.extend(reply.deps),
                 None => return false,
@@ -528,9 +542,9 @@ impl<'c> RococoSession<'c> {
                 return false;
             }
         }
-        let deadline = Instant::now() + self.cluster.config.rpc_timeout;
+        let deadline = sss_vclock::runtime::now() + self.cluster.config.rpc_timeout;
         for _ in 0..writes.len() {
-            let remaining = deadline.saturating_duration_since(Instant::now());
+            let remaining = deadline.saturating_duration_since(sss_vclock::runtime::now());
             if exec_rx.recv_timeout(remaining).is_none() {
                 return false;
             }
@@ -558,9 +572,9 @@ impl<'c> RococoSession<'c> {
         // Replies arrive in arbitrary order; for validation we only need the
         // per-key versions, so re-read them keyed by index in a second pass.
         let mut replies = Vec::with_capacity(keys.len());
-        let deadline = Instant::now() + self.cluster.config.rpc_timeout;
+        let deadline = sss_vclock::runtime::now() + self.cluster.config.rpc_timeout;
         for _ in 0..keys.len() {
-            let remaining = deadline.saturating_duration_since(Instant::now());
+            let remaining = deadline.saturating_duration_since(sss_vclock::runtime::now());
             replies.push(rx.recv_timeout(remaining)?);
         }
         Some(replies)
@@ -633,7 +647,7 @@ impl<'c> RococoSession<'c> {
             // themselves, which is what bounds livelock under sustained
             // write pressure.
             if pending_conflicts {
-                std::thread::sleep(self.cluster.config.read_only_backoff);
+                sss_vclock::runtime::sleep(self.cluster.config.read_only_backoff);
             }
         }
         (RococoReadOutcome::Aborted, None)

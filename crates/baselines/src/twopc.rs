@@ -13,7 +13,7 @@
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use parking_lot::Mutex;
 use sss_net::{
@@ -22,6 +22,7 @@ use sss_net::{
 };
 use sss_obs::{ObsHub, Phase, TxnTrace};
 use sss_storage::{Key, LockKind, LockTable, RecentTxnSet, ReplicaMap, SvStore, TxnId, Value};
+use sss_vclock::runtime::SchedulerHandle;
 use sss_vclock::NodeId;
 
 /// Human-readable labels of the 2PC-baseline message kinds, in
@@ -52,6 +53,9 @@ pub struct TwoPcConfig {
     /// nodes record server-side lock-acquisition spans into it. When `None`
     /// — the default — every instrumentation site is one branch.
     pub observability: Option<Arc<ObsHub>>,
+    /// Optional deterministic-simulation scheduler (see `sss-sim`): when
+    /// set, the cluster's transport and workers run in virtual time.
+    pub scheduler: Option<SchedulerHandle>,
 }
 
 impl TwoPcConfig {
@@ -71,7 +75,14 @@ impl TwoPcConfig {
             storage_shards: sss_storage::DEFAULT_SHARDS,
             delivery_batch: sss_net::DEFAULT_DELIVERY_BATCH,
             observability: None,
+            scheduler: None,
         }
+    }
+
+    /// Runs the cluster under a deterministic-simulation scheduler.
+    pub fn scheduler(mut self, scheduler: SchedulerHandle) -> Self {
+        self.scheduler = Some(scheduler);
+        self
     }
 
     /// Sets the replication degree.
@@ -235,7 +246,7 @@ impl TwoPcNode {
             .iter()
             .map(|(k, _)| (k, LockKind::Exclusive))
             .chain(local_reads.iter().map(|(k, _)| (k, LockKind::Shared)));
-        let lock_started = self.obs.as_ref().map(|_| Instant::now());
+        let lock_started = self.obs.as_ref().map(|_| sss_vclock::runtime::now());
         let acquired = self.locks.acquire_many(txn, requests, self.lock_timeout);
         if let (Some(hub), Some(started)) = (self.obs.as_ref(), lock_started) {
             hub.record_server_span(self.id.index(), Phase::LockAcquire, started);
@@ -356,6 +367,9 @@ impl TwoPcCluster {
         let mut transport_config = TransportConfig::new(config.nodes);
         if let Some(interposer) = interposer {
             transport_config = transport_config.interposer(interposer);
+        }
+        if let Some(scheduler) = &config.scheduler {
+            transport_config = transport_config.scheduler(Arc::clone(scheduler));
         }
         let transport = Arc::new(ChannelTransport::new(transport_config));
         // Per-kind message accounting, mirroring the SSS transport: every
@@ -599,7 +613,7 @@ impl<'c> TwoPcSession<'c> {
             prepare,
             Priority::Normal,
         );
-        let deadline = Instant::now() + self.cluster.config.rpc_timeout;
+        let deadline = sss_vclock::runtime::now() + self.cluster.config.rpc_timeout;
         let mut ok = true;
         // Votes are deduplicated by sender: under message duplication a
         // participant's vote can arrive twice, and counting replies alone
@@ -607,7 +621,7 @@ impl<'c> TwoPcSession<'c> {
         // slower node was still outstanding.
         let mut voted: HashSet<NodeId> = HashSet::new();
         while voted.len() < participants.len() {
-            let remaining = deadline.saturating_duration_since(Instant::now());
+            let remaining = deadline.saturating_duration_since(sss_vclock::runtime::now());
             match rx.recv_timeout(remaining) {
                 Some(vote) => {
                     if !voted.insert(vote.from) {
@@ -652,10 +666,10 @@ impl<'c> TwoPcSession<'c> {
             if let Some(trace) = trace {
                 trace.enter(Phase::InstallAck);
             }
-            let deadline = Instant::now() + self.cluster.config.rpc_timeout;
+            let deadline = sss_vclock::runtime::now() + self.cluster.config.rpc_timeout;
             let mut acked: HashSet<NodeId> = HashSet::new();
             while acked.len() < participants.len() {
-                let remaining = deadline.saturating_duration_since(Instant::now());
+                let remaining = deadline.saturating_duration_since(sss_vclock::runtime::now());
                 match ack_rx.recv_timeout(remaining) {
                     Some(ack) => {
                         acked.insert(ack.from);

@@ -19,7 +19,7 @@
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use parking_lot::Mutex;
 use sss_net::{
@@ -28,6 +28,7 @@ use sss_net::{
 };
 use sss_obs::{ObsHub, Phase, TxnTrace};
 use sss_storage::{Key, LockKind, LockTable, MvStore, RecentTxnSet, ReplicaMap, TxnId, Value};
+use sss_vclock::runtime::SchedulerHandle;
 use sss_vclock::{NodeId, VectorClock};
 
 /// Human-readable labels of the Walter message kinds, in
@@ -58,6 +59,9 @@ pub struct WalterConfig {
     /// nodes record server-side lock-acquisition spans into it. When `None`
     /// — the default — every instrumentation site is one branch.
     pub observability: Option<Arc<ObsHub>>,
+    /// Optional deterministic-simulation scheduler (see `sss-sim`): when
+    /// set, the cluster's transport and workers run in virtual time.
+    pub scheduler: Option<SchedulerHandle>,
 }
 
 impl WalterConfig {
@@ -77,7 +81,14 @@ impl WalterConfig {
             storage_shards: sss_storage::DEFAULT_SHARDS,
             delivery_batch: sss_net::DEFAULT_DELIVERY_BATCH,
             observability: None,
+            scheduler: None,
         }
+    }
+
+    /// Runs the cluster under a deterministic-simulation scheduler.
+    pub fn scheduler(mut self, scheduler: SchedulerHandle) -> Self {
+        self.scheduler = Some(scheduler);
+        self
     }
 
     /// Sets the replication degree.
@@ -236,7 +247,7 @@ impl WalterNode {
             .filter(|(k, _)| self.replicas.is_replica(self.id, k))
             .collect();
         let lock_requests = local_writes.iter().map(|(k, _)| (k, LockKind::Exclusive));
-        let lock_started = self.obs.as_ref().map(|_| Instant::now());
+        let lock_started = self.obs.as_ref().map(|_| sss_vclock::runtime::now());
         let acquired = self
             .locks
             .acquire_many(txn, lock_requests, self.lock_timeout);
@@ -389,6 +400,9 @@ impl WalterCluster {
         let mut transport_config = TransportConfig::new(config.nodes);
         if let Some(interposer) = interposer {
             transport_config = transport_config.interposer(interposer);
+        }
+        if let Some(scheduler) = &config.scheduler {
+            transport_config = transport_config.scheduler(Arc::clone(scheduler));
         }
         let transport = Arc::new(ChannelTransport::new(transport_config));
         // Per-kind message accounting, mirroring the SSS transport: every
@@ -645,12 +659,12 @@ impl<'c> WalterSession<'c> {
             prepare,
             Priority::Normal,
         );
-        let deadline = Instant::now() + self.cluster.config.rpc_timeout;
+        let deadline = sss_vclock::runtime::now() + self.cluster.config.rpc_timeout;
         let mut commit_vc = snapshot;
         let mut ok = true;
         let mut votes = 0;
         while votes < participants.len() {
-            let remaining = deadline.saturating_duration_since(Instant::now());
+            let remaining = deadline.saturating_duration_since(sss_vclock::runtime::now());
             match rx.recv_timeout(remaining) {
                 Some(vote) => {
                     votes += 1;

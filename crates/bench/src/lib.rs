@@ -29,14 +29,22 @@
 //! every recorded history verified by the `sss-consistency` checker. The
 //! `scenarios` binary prints the catalog report; [`cli`] owns the argument
 //! parsing shared by every binary.
+//!
+//! The same catalog also runs under the deterministic discrete-event
+//! simulator: [`sim_sweep`] sweeps it across hundreds of seeds on virtual
+//! time (the `sim-sweep` binary and the release-tier `sim_sweep` test
+//! suite), gating every seed on a checker-clean history and a bit-identical
+//! replay, and holds the committed seed-replay regression corpus.
 
 pub mod cli;
 pub mod figures;
 pub mod harness;
 pub mod scenarios;
+pub mod sim_sweep;
 pub mod throughput;
 
 pub use harness::{run_engine, run_engine_with_profile};
+pub use sim_sweep::{run_sim_sweep, SimSweepConfig, SweepReport};
 pub use sss_engine::{EngineKind, EngineTuning, NetProfile};
 pub use throughput::{run_throughput, ThroughputConfig, ThroughputReport};
 

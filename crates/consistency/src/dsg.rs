@@ -139,7 +139,9 @@ impl DsgChecker {
                 return true;
             }
             match (index_of.get(observed), index_of.get(w)) {
-                (Some(o), Some(wi)) => times[*o].1 <= times[*wi].0,
+                // Strict: same-instant transactions are concurrent (see
+                // `TxnRecord::precedes_in_real_time`).
+                (Some(o), Some(wi)) => times[*o].1 < times[*wi].0,
                 _ => false,
             }
         };
@@ -196,7 +198,7 @@ impl DsgChecker {
                     let (Some(pi), Some(wi)) = (index_of.get(p), index_of.get(w)) else {
                         continue;
                     };
-                    if times[*pi].1 <= times[*wi].0 {
+                    if times[*pi].1 < times[*wi].0 {
                         edge_set.insert(Edge {
                             from: *p,
                             to: *w,
@@ -259,9 +261,11 @@ impl DsgChecker {
             rt_pos: usize,
         }
 
-        // First index in `by_start` whose start instant is >= `finish`.
+        // First index in `by_start` whose start instant is strictly after
+        // `finish` (ties are concurrent, not rt-ordered).
         let rt_suffix_start = |finish: Instant| -> usize {
-            self.by_start.partition_point(|i| self.times[*i].0 < finish)
+            self.by_start
+                .partition_point(|i| self.times[*i].0 <= finish)
         };
 
         for root in 0..n {
@@ -345,7 +349,7 @@ impl DsgChecker {
                     .map(|e| e.dependency.to_string())
                     .collect();
                 if let (Some(a), Some(b)) = (index_of.get(&pair[0]), index_of.get(&pair[1])) {
-                    if self.times[*a].1 <= self.times[*b].0 {
+                    if self.times[*a].1 < self.times[*b].0 {
                         kinds.push(Dependency::RealTime.to_string());
                     }
                 }

@@ -54,11 +54,13 @@ pub struct TxnRecord {
 }
 
 impl TxnRecord {
-    /// `true` if this transaction finished (returned to its client) before
-    /// `other` started — the real-time precedence used for external
-    /// consistency.
+    /// `true` if this transaction finished (returned to its client) strictly
+    /// before `other` started — the real-time precedence used for external
+    /// consistency. Ties are treated as concurrent: under the discrete-event
+    /// simulator many transactions legitimately complete at the same virtual
+    /// instant, and ordering both ways would fabricate precedence cycles.
     pub fn precedes_in_real_time(&self, other: &TxnRecord) -> bool {
-        self.finished <= other.started
+        self.finished < other.started
     }
 
     /// The value this transaction wrote to `key`, if any (last write wins).

@@ -9,7 +9,7 @@
 //! distinct for SSS, whose clients are answered only at external commit —
 //! and `None` means the transaction aborted.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use sss_storage::{Key, Value};
 
@@ -104,7 +104,7 @@ impl SssEngineSession {
         read_keys: &[Key],
         writes: &[(Key, Value)],
     ) -> (Option<(Duration, Duration)>, Vec<Option<Value>>) {
-        let start = Instant::now();
+        let start = sss_vclock::runtime::now();
         let mut observed = Vec::with_capacity(read_keys.len());
         let mut txn = self.session.begin_update();
         for key in read_keys {
@@ -117,13 +117,19 @@ impl SssEngineSession {
             txn.write(key.clone(), value.clone());
         }
         match txn.commit() {
-            Ok(info) => (Some((start.elapsed(), info.internal_latency)), observed),
+            Ok(info) => (
+                Some((
+                    sss_vclock::runtime::elapsed_since(start),
+                    info.internal_latency,
+                )),
+                observed,
+            ),
             // A timed-out external-commit confirmation round is still a
             // *committed* transaction: its writes are installed and visible.
             // Reporting it as aborted would make callers retry a committed
             // transaction, duplicating its effects.
             Err(SssError::ExternalCommitTimeout) => {
-                let elapsed = start.elapsed();
+                let elapsed = sss_vclock::runtime::elapsed_since(start);
                 (Some((elapsed, elapsed)), observed)
             }
             Err(_) => (None, Vec::new()),
@@ -143,7 +149,7 @@ impl SssEngineSession {
         &mut self,
         read_keys: &[Key],
     ) -> (Option<(Duration, Duration)>, Vec<Option<Value>>) {
-        let start = Instant::now();
+        let start = sss_vclock::runtime::now();
         let mut observed = Vec::with_capacity(read_keys.len());
         let mut txn = self.session.begin_read_only();
         for key in read_keys {
@@ -154,7 +160,7 @@ impl SssEngineSession {
         }
         match txn.commit() {
             Ok(()) => {
-                let latency = start.elapsed();
+                let latency = sss_vclock::runtime::elapsed_since(start);
                 (Some((latency, latency)), observed)
             }
             Err(_) => (None, Vec::new()),

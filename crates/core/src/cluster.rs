@@ -63,6 +63,12 @@ impl SssCluster {
             transport_config =
                 transport_config.interposer(Arc::clone(injector) as Arc<dyn FaultInterposer>);
         }
+        if let Some(scheduler) = &config.scheduler {
+            transport_config = transport_config.scheduler(Arc::clone(scheduler));
+            if let Some(injector) = &injector {
+                injector.set_scheduler(Arc::clone(scheduler));
+            }
+        }
         let transport = Arc::new(ChannelTransport::new(transport_config));
         // Per-kind message accounting: every send is attributed to its
         // protocol message type, so harnesses can attribute round-reduction

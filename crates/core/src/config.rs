@@ -7,6 +7,7 @@ use sss_faults::{FaultInjector, FaultPlan};
 use sss_net::LatencyModel;
 use sss_obs::ObsHub;
 use sss_storage::ReplicaMap;
+use sss_vclock::runtime::SchedulerHandle;
 
 /// Default epoch window of the grouped external-commit confirmation: up to
 /// this many update transactions share one `ConfirmExternal` round.
@@ -108,6 +109,12 @@ pub struct SssConfig {
     /// `None` — the default — every instrumentation site reduces to one
     /// branch, keeping the tracing-off cost near zero.
     pub observability: Option<Arc<ObsHub>>,
+    /// Optional deterministic-simulation scheduler (see `sss-sim`). When
+    /// set, the transport delivers messages as virtual-time events, node
+    /// workers run as cooperative simulation tasks, and any fault plan's
+    /// windows are scheduled on the virtual clock. When `None` — the
+    /// default — the cluster runs on real threads and the wall clock.
+    pub scheduler: Option<SchedulerHandle>,
 }
 
 impl SssConfig {
@@ -142,6 +149,7 @@ impl SssConfig {
             piggyback: true,
             confirm_linger: DEFAULT_CONFIRM_LINGER,
             observability: None,
+            scheduler: None,
         }
     }
 
@@ -234,6 +242,14 @@ impl SssConfig {
     /// its rings and histograms (see [`sss_obs::ObsHub`]).
     pub fn observability(mut self, hub: Arc<ObsHub>) -> Self {
         self.observability = Some(hub);
+        self
+    }
+
+    /// Runs the cluster under a deterministic-simulation scheduler: message
+    /// delivery, worker execution and every protocol timeout move in virtual
+    /// time (see `sss-sim`).
+    pub fn scheduler(mut self, scheduler: SchedulerHandle) -> Self {
+        self.scheduler = Some(scheduler);
         self
     }
 

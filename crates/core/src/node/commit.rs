@@ -2,7 +2,6 @@
 //! Pre-Commit and external commit).
 
 use std::sync::Arc;
-use std::time::Instant;
 
 use sss_net::ReplySender;
 use sss_storage::{Key, LockKind, TxnId, Value};
@@ -286,7 +285,7 @@ impl SssNode {
                 commit_vc,
                 write_keys,
                 ack_reply: decision.ack_reply,
-                since: Instant::now(),
+                since: sss_vclock::runtime::now(),
             };
             if state.blocks_external_commit(&waiting.write_keys, waiting.commit_vc.get(i)) {
                 NodeCounters::bump(&self.counters().external_commit_waits);
@@ -326,7 +325,9 @@ impl SssNode {
             .remove_write_entries(waiting.txn, waiting.write_keys.iter());
         NodeCounters::add(
             &self.counters().precommit_wait_nanos,
-            waiting.since.elapsed().as_nanos() as u64,
+            sss_vclock::runtime::now()
+                .saturating_duration_since(waiting.since)
+                .as_nanos() as u64,
         );
         waiting.ack_reply.send(Ack {
             from: self.id(),
@@ -342,9 +343,14 @@ impl SssNode {
     pub(super) fn release_unblocked_external_commits(&self, state: &mut NodeState) {
         let i = self.id().index();
         let hold_max = self.config().precommit_hold_max;
+        // Through `runtime::now`, not `Instant::elapsed`: `since` is a
+        // virtual instant under simulation, and measuring it against the
+        // real clock would make the hold decision wall-clock-dependent
+        // (breaking seeded replay).
+        let now = sss_vclock::runtime::now();
         let waiting = std::mem::take(&mut state.waiting_external);
         for w in waiting {
-            if w.since.elapsed() < hold_max
+            if now.saturating_duration_since(w.since) < hold_max
                 && state.blocks_external_commit(&w.write_keys, w.commit_vc.get(i))
             {
                 state.waiting_external.push(w);

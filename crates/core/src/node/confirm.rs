@@ -50,7 +50,7 @@
 //! which grouping does not alter.
 
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use parking_lot::Mutex;
 use sss_net::{reply_channel, Priority, ReplyReceiver, ReplySender, TransportExt};
@@ -130,7 +130,7 @@ impl SssNode {
             let (batch, release, remove) = match plan {
                 RoundPlan::Exit => return,
                 RoundPlan::Linger => {
-                    std::thread::sleep(linger);
+                    sss_vclock::runtime::sleep(linger);
                     lingered = true;
                     continue;
                 }
@@ -230,11 +230,11 @@ fn collect_round_acks(
     expected: usize,
     timeout: Duration,
 ) -> bool {
-    let deadline = Instant::now() + timeout;
+    let deadline = sss_vclock::runtime::now() + timeout;
     let mut seen = vec![false; expected];
     let mut distinct = 0;
     while distinct < expected {
-        let remaining = deadline.saturating_duration_since(Instant::now());
+        let remaining = deadline.saturating_duration_since(sss_vclock::runtime::now());
         match receiver.recv_timeout(remaining) {
             Some(ack) if ack.txn == round => {
                 let slot = ack.from.index();

@@ -228,7 +228,7 @@ impl SssNode {
                 "{}: txn {} waiting {:?} (sid {}) on keys:",
                 self.id,
                 waiting.txn,
-                waiting.since.elapsed(),
+                sss_vclock::runtime::now().saturating_duration_since(waiting.since),
                 sid
             ));
             for key in &waiting.write_keys {
@@ -252,6 +252,13 @@ impl SssNode {
 
 impl NodeService<SssMessage> for SssNode {
     fn handle(&self, envelope: Envelope<SssMessage>) {
+        if let Some(scheduler) = sss_vclock::runtime::current() {
+            if scheduler.tracing() {
+                let mut line = format!("{}<-{} {:?}", envelope.to, envelope.from, envelope.payload);
+                line.truncate(400);
+                scheduler.trace(&line);
+            }
+        }
         match envelope.payload {
             SssMessage::ReadRequest {
                 txn,

@@ -53,7 +53,7 @@ impl SssNode {
                 break;
             }
             drop(state);
-            std::thread::sleep(backoff);
+            sss_vclock::runtime::sleep(backoff);
             backoff *= 2;
             retries += 1;
             state = self.state.lock();

@@ -82,7 +82,7 @@ impl Session {
             read_set: Vec::new(),
             write_set: BTreeMap::new(),
             propagated: Vec::new(),
-            started: Instant::now(),
+            started: sss_vclock::runtime::now(),
             trace: self.begin_trace(id),
         }
     }
@@ -146,10 +146,10 @@ fn collect_acks(
     expected: usize,
     timeout: Duration,
 ) -> bool {
-    let deadline = Instant::now() + timeout;
+    let deadline = sss_vclock::runtime::now() + timeout;
     let mut seen: HashSet<NodeId> = HashSet::new();
     while seen.len() < expected {
-        let remaining = deadline.saturating_duration_since(Instant::now());
+        let remaining = deadline.saturating_duration_since(sss_vclock::runtime::now());
         match receiver.recv_timeout(remaining) {
             Some(ack) if ack.txn == txn => {
                 seen.insert(ack.from);
@@ -262,8 +262,8 @@ impl UpdateTransaction {
                 trace.finish(true);
             }
             return Ok(CommitInfo {
-                internal_latency: self.started.elapsed(),
-                external_latency: self.started.elapsed(),
+                internal_latency: sss_vclock::runtime::elapsed_since(self.started),
+                external_latency: sss_vclock::runtime::elapsed_since(self.started),
             });
         }
 
@@ -310,10 +310,10 @@ impl UpdateTransaction {
         let mut commit_vc = self.vc.clone();
         let mut outcome = true;
         let mut abort_reason = None;
-        let deadline = Instant::now() + node.config().vote_timeout;
+        let deadline = sss_vclock::runtime::now() + node.config().vote_timeout;
         let mut voted: HashSet<NodeId> = HashSet::new();
         while voted.len() < participants.len() {
-            let remaining = deadline.saturating_duration_since(Instant::now());
+            let remaining = deadline.saturating_duration_since(sss_vclock::runtime::now());
             match vote_receiver.recv_timeout(remaining) {
                 Some(vote) if vote.txn == self.id => {
                     if !voted.insert(vote.from) {
@@ -365,7 +365,12 @@ impl UpdateTransaction {
             per_dest.entry(*target).or_default().push(decide.clone());
         }
         if outcome {
-            let distinct_ro: HashSet<TxnId> = self.propagated.iter().map(|p| p.txn).collect();
+            // BTreeSet, not HashSet: several propagated read-only entries can
+            // share an origin, and hash-order iteration would put their
+            // RegisterForward messages on the wire in a run-dependent order,
+            // breaking seeded-replay determinism under the simulator.
+            let distinct_ro: std::collections::BTreeSet<TxnId> =
+                self.propagated.iter().map(|p| p.txn).collect();
             for ro in distinct_ro {
                 per_dest
                     .entry(ro.origin)
@@ -401,7 +406,7 @@ impl UpdateTransaction {
             ));
         }
 
-        let internal_latency = self.started.elapsed();
+        let internal_latency = sss_vclock::runtime::elapsed_since(self.started);
 
         // External commit: wait for every write replica's acknowledgement.
         let timed_out = !collect_acks(
@@ -493,7 +498,7 @@ impl UpdateTransaction {
 
         Ok(CommitInfo {
             internal_latency,
-            external_latency: self.started.elapsed(),
+            external_latency: sss_vclock::runtime::elapsed_since(self.started),
         })
     }
 }

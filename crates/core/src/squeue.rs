@@ -97,7 +97,7 @@ impl SnapshotQueue {
             txn,
             sid,
             commit_vc: commit_vc.into(),
-            since: std::time::Instant::now(),
+            since: sss_vclock::runtime::now(),
         });
         self.writes.sort_by_key(|a| (a.sid, a.txn));
     }
@@ -106,9 +106,13 @@ impl SnapshotQueue {
     /// been waiting in this queue for longer than `threshold` — the trigger
     /// of the starvation admission control (paper §III-E).
     pub fn has_aged_writer_beyond(&self, sid: u64, threshold: std::time::Duration) -> bool {
+        // Age against `runtime::now`, not `Instant::elapsed`: `since` is a
+        // virtual instant under simulation, and the admission decision must
+        // replay deterministically by seed.
+        let now = sss_vclock::runtime::now();
         self.writes
             .iter()
-            .any(|w| w.sid > sid && w.since.elapsed() >= threshold)
+            .any(|w| w.sid > sid && now.saturating_duration_since(w.since) >= threshold)
     }
 
     /// Removes every entry (read or write) belonging to `txn`. Returns `true`

@@ -51,4 +51,6 @@ pub use sss_obs::{
     chrome_trace_json, Histogram, MetricsRegistry, MetricsSnapshot, ObsHub, Phase, TraceSpan,
     WatchdogConfig, WatchdogCore, WatchdogVerdict,
 };
+pub use sss_sim::SimRuntime;
 pub use sss_storage::StorageStats;
+pub use sss_vclock::runtime::SchedulerHandle;

@@ -10,6 +10,8 @@ use sss_baselines::walter::WalterConfig;
 use sss_core::adapter::SssEngine;
 use sss_core::SssConfig;
 use sss_faults::{FaultInjector, FaultPlan};
+use sss_sim::SimRuntime;
+use sss_vclock::runtime::SchedulerHandle;
 
 use crate::profile::NetProfile;
 use crate::traits::TransactionEngine;
@@ -207,6 +209,51 @@ impl EngineKind {
         tuning: EngineTuning,
         injector: Option<&Arc<FaultInjector>>,
     ) -> Box<dyn TransactionEngine> {
+        self.build_tuned_on(nodes, replication, net_profile, tuning, injector, None)
+    }
+
+    /// Builds this engine under a deterministic-simulation scheduler: one
+    /// call creates the simulator (seeded with `seed`) and the engine wired
+    /// to it. Drive work through [`SimRuntime::block_on`]; the engine's
+    /// message delivery, worker execution and protocol timeouts all move in
+    /// virtual time.
+    pub fn build_sim(
+        &self,
+        nodes: usize,
+        replication: usize,
+        net_profile: NetProfile,
+        seed: u64,
+    ) -> (Arc<SimRuntime>, Box<dyn TransactionEngine>) {
+        let sim = SimRuntime::new(seed);
+        let handle = sim.handle();
+        let engine = self.build_tuned_on(
+            nodes,
+            replication,
+            net_profile,
+            EngineTuning::default(),
+            None,
+            Some(&handle),
+        );
+        (sim, engine)
+    }
+
+    /// [`EngineKind::build_tuned`] with an optional simulation scheduler:
+    /// when given, the engine's transport delivers messages as virtual-time
+    /// events, its node workers run as cooperative simulation tasks, and
+    /// any fault injector's pause windows are scheduled on the virtual
+    /// clock.
+    pub fn build_tuned_on(
+        &self,
+        nodes: usize,
+        replication: usize,
+        net_profile: NetProfile,
+        tuning: EngineTuning,
+        injector: Option<&Arc<FaultInjector>>,
+        scheduler: Option<&SchedulerHandle>,
+    ) -> Box<dyn TransactionEngine> {
+        if let (Some(injector), Some(scheduler)) = (injector, scheduler) {
+            injector.set_scheduler(Arc::clone(scheduler));
+        }
         let interposer =
             |i: &&Arc<FaultInjector>| Arc::clone(*i) as Arc<dyn sss_net::FaultInterposer>;
         // One hub per engine instance: every session and node of this
@@ -236,6 +283,9 @@ impl EngineKind {
                 if let Some(injector) = injector {
                     config = config.fault_injector(Arc::clone(injector));
                 }
+                if let Some(scheduler) = scheduler {
+                    config = config.scheduler(Arc::clone(scheduler));
+                }
                 Box::new(SssEngine::with_config(config))
             }
             EngineKind::TwoPc => {
@@ -248,6 +298,9 @@ impl EngineKind {
                 }
                 if let Some(hub) = hub {
                     config = config.observability(hub);
+                }
+                if let Some(scheduler) = scheduler {
+                    config = config.scheduler(Arc::clone(scheduler));
                 }
                 let engine = TwoPcEngine::with_config(config, injector.as_ref().map(interposer));
                 if let Some(injector) = injector {
@@ -266,6 +319,9 @@ impl EngineKind {
                 if let Some(hub) = hub {
                     config = config.observability(hub);
                 }
+                if let Some(scheduler) = scheduler {
+                    config = config.scheduler(Arc::clone(scheduler));
+                }
                 let engine = WalterEngine::with_config(config, injector.as_ref().map(interposer));
                 if let Some(injector) = injector {
                     injector.attach_pause_controls(engine.pause_controls());
@@ -282,6 +338,9 @@ impl EngineKind {
                 }
                 if let Some(hub) = hub {
                     config = config.observability(hub);
+                }
+                if let Some(scheduler) = scheduler {
+                    config = config.scheduler(Arc::clone(scheduler));
                 }
                 let engine = RococoEngine::with_config(config, injector.as_ref().map(interposer));
                 if let Some(injector) = injector {

@@ -99,7 +99,7 @@ impl<S: EngineSession + ?Sized> EngineSession for Box<S> {
 }
 
 /// A transactional key-value store that can be benchmarked by the driver.
-pub trait TransactionEngine: Sync {
+pub trait TransactionEngine: Send + Sync {
     /// Human-readable engine name used in reports ("SSS", "2PC", ...).
     fn name(&self) -> &str;
 

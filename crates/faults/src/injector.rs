@@ -10,6 +10,7 @@ use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sss_net::{FaultInterposer, NodeId, PauseControl, SendPlan};
+use sss_vclock::runtime::SchedulerHandle;
 
 use crate::plan::FaultPlan;
 
@@ -40,6 +41,13 @@ pub struct FaultInjector {
     controls: Arc<Mutex<Vec<Arc<PauseControl>>>>,
     scheduler: Mutex<Option<std::thread::JoinHandle<()>>>,
     stop: Arc<AtomicBool>,
+    /// Simulation scheduler, when the cluster runs under one: pause windows
+    /// become virtual-time events instead of a scheduler thread, and the
+    /// armed epoch is a virtual instant.
+    sim: std::sync::OnceLock<SchedulerHandle>,
+    /// Tokens of scheduled (not yet fired) virtual pause/resume events, so
+    /// disarm can cancel the remainder of the plan.
+    sim_events: Mutex<Vec<u64>>,
 }
 
 impl FaultInjector {
@@ -52,7 +60,16 @@ impl FaultInjector {
             controls: Arc::new(Mutex::new(Vec::new())),
             scheduler: Mutex::new(None),
             stop: Arc::new(AtomicBool::new(false)),
+            sim: std::sync::OnceLock::new(),
+            sim_events: Mutex::new(Vec::new()),
         })
+    }
+
+    /// Runs scheduled pause windows on a simulation scheduler instead of a
+    /// real-time scheduler thread. Must be called before
+    /// [`FaultInjector::arm`]; write-once, later calls are no-ops.
+    pub fn set_scheduler(&self, scheduler: SchedulerHandle) {
+        let _ = self.sim.set(scheduler);
     }
 
     /// The plan this injector executes.
@@ -71,7 +88,10 @@ impl FaultInjector {
     /// probabilistic faults start firing. Idempotent — only the first call
     /// sets the epoch.
     pub fn arm(&self) {
-        let epoch = Instant::now();
+        let epoch = match self.sim.get() {
+            Some(scheduler) => scheduler.now(),
+            None => Instant::now(),
+        };
         if self.armed_at.set(epoch).is_err() {
             return;
         }
@@ -107,6 +127,27 @@ impl FaultInjector {
             }
         }
         events.sort_by_key(|(at, node, pause)| (*at, *node, *pause));
+        if let Some(scheduler) = self.sim.get() {
+            // Simulated: each pause/resume is a virtual-time event; the
+            // sort above fixes the order of same-instant events.
+            let mut tokens = self.sim_events.lock();
+            for (at, node, pause) in events {
+                let controls = Arc::clone(&self.controls);
+                tokens.push(scheduler.schedule(
+                    epoch + at,
+                    Box::new(move || {
+                        if let Some(control) = controls.lock().get(node) {
+                            if pause {
+                                control.pause();
+                            } else {
+                                control.resume();
+                            }
+                        }
+                    }),
+                ));
+            }
+            return;
+        }
         let controls = Arc::clone(&self.controls);
         let stop = Arc::clone(&self.stop);
         let handle = std::thread::Builder::new()
@@ -148,6 +189,11 @@ impl FaultInjector {
         self.stop.store(true, Ordering::Release);
         if let Some(handle) = self.scheduler.lock().take() {
             let _ = handle.join();
+        }
+        if let Some(scheduler) = self.sim.get() {
+            for token in self.sim_events.lock().drain(..) {
+                scheduler.cancel(token);
+            }
         }
         for control in self.controls.lock().iter() {
             control.resume();

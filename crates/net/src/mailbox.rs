@@ -17,9 +17,43 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use parking_lot::{Condvar, Mutex};
+use sss_vclock::runtime::SchedulerHandle;
+
+/// Write-once slot for an optional simulation scheduler, shared by the
+/// blocking primitives of this crate. When set (the transport attaches it at
+/// construction under a simulated runtime), waiters park on the scheduler
+/// instead of a condvar and producers wake through it, so a simulated
+/// mailbox never blocks a real thread outside the scheduler's control.
+#[derive(Default)]
+pub(crate) struct SchedCell(OnceLock<SchedulerHandle>);
+
+impl SchedCell {
+    pub(crate) fn set(&self, scheduler: SchedulerHandle) {
+        let _ = self.0.set(scheduler);
+    }
+
+    pub(crate) fn get(&self) -> Option<&SchedulerHandle> {
+        self.0.get()
+    }
+
+    /// Wakes every task parked on the scheduler, if one is attached.
+    pub(crate) fn wake(&self) {
+        if let Some(scheduler) = self.0.get() {
+            scheduler.wake();
+        }
+    }
+}
+
+impl std::fmt::Debug for SchedCell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("SchedCell")
+            .field(&self.0.get().map(|_| "sim"))
+            .finish()
+    }
+}
 
 /// Default number of messages a worker drains per mailbox wakeup (the K of
 /// [`Mailbox::pop_batch`]); engines expose it as a tuning knob
@@ -52,9 +86,15 @@ pub const MESSAGE_KIND_SLOTS: usize = 8;
 pub struct PauseControl {
     paused: AtomicBool,
     /// Guards the pause-state transitions observed by parked waiters; held
-    /// only while flipping `paused` or parking, never across user code.
-    waiters: Mutex<()>,
+    /// only while flipping `paused` or parking, never across user code. The
+    /// guarded count is the number of threads currently parked on the gate,
+    /// which gives tests a deadline-based way to wait for "worker reached
+    /// the gate" instead of sleeping and hoping.
+    waiters: Mutex<usize>,
     resumed: Condvar,
+    /// Simulation scheduler, when the owning mailbox runs under one:
+    /// waiters park on it instead of `resumed`.
+    sched: SchedCell,
 }
 
 impl PauseControl {
@@ -77,6 +117,7 @@ impl PauseControl {
             self.paused.store(false, Ordering::Release);
         }
         self.resumed.notify_all();
+        self.sched.wake();
     }
 
     /// `true` while paused.
@@ -89,10 +130,26 @@ impl PauseControl {
     /// resume (or a close that calls [`PauseControl::wake_all`] after
     /// setting the flag) can never be missed.
     pub(crate) fn block_while_paused(&self, closed: &AtomicBool) {
+        if let Some(scheduler) = self.sched.get() {
+            // Simulated: park the task; resume/close wake it to re-check.
+            // Single-token execution makes the check-then-park race-free.
+            while self.paused.load(Ordering::Acquire) && !closed.load(Ordering::Acquire) {
+                scheduler.park(None);
+            }
+            return;
+        }
         let mut guard = self.waiters.lock();
+        *guard += 1;
         while self.paused.load(Ordering::Acquire) && !closed.load(Ordering::Acquire) {
             self.resumed.wait(&mut guard);
         }
+        *guard -= 1;
+    }
+
+    /// Number of threads currently parked on the pause gate (test hook).
+    #[cfg(test)]
+    fn parked(&self) -> usize {
+        *self.waiters.lock()
     }
 
     /// Wakes every parked waiter without changing the pause state; called by
@@ -101,6 +158,7 @@ impl PauseControl {
         let _guard = self.waiters.lock();
         drop(_guard);
         self.resumed.notify_all();
+        self.sched.wake();
     }
 }
 
@@ -278,6 +336,9 @@ struct MailboxState<M> {
     dequeued: [u64; 3],
     enqueue_ops: u64,
     dequeue_ops: u64,
+    /// Threads currently parked on `ready` waiting for traffic; lets tests
+    /// wait for "popper is parked" with a deadline instead of sleeping.
+    waiters: usize,
 }
 
 impl<M> MailboxState<M> {
@@ -323,6 +384,9 @@ pub struct Mailbox<M> {
     ready: Condvar,
     closed: AtomicBool,
     pause: Arc<PauseControl>,
+    /// Simulation scheduler, when this mailbox runs under one: poppers park
+    /// on it instead of `ready`, pushers wake through it.
+    sched: SchedCell,
 }
 
 impl<M: Send> Mailbox<M> {
@@ -335,11 +399,27 @@ impl<M: Send> Mailbox<M> {
                 dequeued: [0; 3],
                 enqueue_ops: 0,
                 dequeue_ops: 0,
+                waiters: 0,
             }),
             ready: Condvar::new(),
             closed: AtomicBool::new(false),
             pause: Arc::new(PauseControl::new()),
+            sched: SchedCell::default(),
         }
+    }
+
+    /// Attaches a simulation scheduler (write-once; later calls are no-ops).
+    /// From then on blocked poppers park on the scheduler — which models
+    /// them as cooperative tasks the simulator can account for — and every
+    /// state change (push, resume, close) wakes parked tasks through it.
+    pub fn set_scheduler(&self, scheduler: SchedulerHandle) {
+        self.pause.sched.set(Arc::clone(&scheduler));
+        self.sched.set(scheduler);
+    }
+
+    /// The simulation scheduler attached to this mailbox, if any.
+    pub fn scheduler(&self) -> Option<SchedulerHandle> {
+        self.sched.get().cloned()
     }
 
     /// The pause gate of this mailbox, shared with fault injectors. Pushes
@@ -365,6 +445,7 @@ impl<M: Send> Mailbox<M> {
             state.enqueue_ops += 1;
         }
         self.ready.notify_one();
+        self.sched.wake();
         true
     }
 
@@ -395,6 +476,9 @@ impl<M: Send> Mailbox<M> {
             1 => self.ready.notify_one(),
             _ => self.ready.notify_all(),
         }
+        if pushed > 0 {
+            self.sched.wake();
+        }
         true
     }
 
@@ -424,7 +508,22 @@ impl<M: Send> Mailbox<M> {
                 if self.closed.load(Ordering::Acquire) {
                     return None;
                 }
-                self.ready.wait(&mut state);
+                match self.sched.get() {
+                    None => {
+                        state.waiters += 1;
+                        self.ready.wait(&mut state);
+                        state.waiters -= 1;
+                    }
+                    Some(scheduler) => {
+                        // Simulated: release the lock and park the task;
+                        // single-token execution means no push can slip in
+                        // between the empty check and the park.
+                        let scheduler = Arc::clone(scheduler);
+                        drop(state);
+                        scheduler.park(None);
+                        break;
+                    }
+                }
             }
         }
     }
@@ -461,7 +560,19 @@ impl<M: Send> Mailbox<M> {
                 if self.closed.load(Ordering::Acquire) {
                     return 0;
                 }
-                self.ready.wait(&mut state);
+                match self.sched.get() {
+                    None => {
+                        state.waiters += 1;
+                        self.ready.wait(&mut state);
+                        state.waiters -= 1;
+                    }
+                    Some(scheduler) => {
+                        let scheduler = Arc::clone(scheduler);
+                        drop(state);
+                        scheduler.park(None);
+                        break;
+                    }
+                }
             }
         }
     }
@@ -494,6 +605,7 @@ impl<M: Send> Mailbox<M> {
         drop(self.state.lock());
         self.ready.notify_all();
         self.pause.wake_all();
+        self.sched.wake();
     }
 
     /// `true` once [`Mailbox::close`] has been called.
@@ -509,6 +621,12 @@ impl<M: Send> Mailbox<M> {
     /// `true` when no messages are queued.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Number of threads currently parked on the ready queue (test hook).
+    #[cfg(test)]
+    fn parked_poppers(&self) -> usize {
+        self.state.lock().waiters
     }
 
     /// Coherent snapshot of the mailbox traffic counters (taken under the
@@ -544,7 +662,22 @@ impl<M: Send> Default for Mailbox<M> {
 mod tests {
     use super::*;
     use std::sync::Arc;
-    use std::time::Duration;
+    use std::time::{Duration, Instant};
+
+    /// Polls `cond` until it holds or a generous deadline elapses; returns
+    /// whether it held. Tests synchronize on observable state (parked-waiter
+    /// counts, queue lengths) under a deadline instead of sleeping fixed
+    /// durations and hoping the other thread got there.
+    fn eventually(cond: impl Fn() -> bool) -> bool {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while !cond() {
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::yield_now();
+        }
+        true
+    }
 
     #[test]
     fn fifo_within_a_priority_class() {
@@ -685,7 +818,7 @@ mod tests {
             })
         };
         // The worker is parked on the gate, not spinning; resume releases it.
-        std::thread::sleep(Duration::from_millis(10));
+        assert!(eventually(|| pause.parked() == 1));
         assert!(!parked.is_finished());
         pause.resume();
         assert_eq!(parked.join().unwrap(), 42);
@@ -698,13 +831,13 @@ mod tests {
     #[test]
     fn pop_blocks_until_a_message_arrives() {
         let mb = Arc::new(Mailbox::new());
-        let producer = Arc::clone(&mb);
-        let handle = std::thread::spawn(move || {
-            std::thread::sleep(Duration::from_millis(10));
-            producer.push(42, Priority::Normal);
-        });
-        assert_eq!(mb.pop(), Some(42));
-        handle.join().unwrap();
+        let popper = Arc::clone(&mb);
+        let handle = std::thread::spawn(move || popper.pop());
+        // Push only once the popper is demonstrably parked on the ready
+        // queue, so the blocking path is the one exercised.
+        assert!(eventually(|| mb.parked_poppers() == 1));
+        mb.push(42, Priority::Normal);
+        assert_eq!(handle.join().unwrap(), Some(42));
     }
 
     #[test]
@@ -717,9 +850,8 @@ mod tests {
 
         let popper = Arc::clone(&mb);
         let handle = std::thread::spawn(move || popper.pop());
-        // The popper must be stuck behind the gate; give it a chance to
-        // (incorrectly) pop before resuming.
-        std::thread::sleep(Duration::from_millis(20));
+        // The popper must end up stuck behind the gate, not pop the message.
+        assert!(eventually(|| pause.parked() == 1));
         assert_eq!(mb.len(), 1, "message must still be queued while paused");
         pause.resume();
         assert_eq!(handle.join().unwrap(), Some(7));
@@ -731,12 +863,15 @@ mod tests {
         let popper = Arc::clone(&mb);
         let handle = std::thread::spawn(move || popper.pop());
         // Let the popper park on the empty mailbox, then pause and push.
-        std::thread::sleep(Duration::from_millis(10));
+        assert!(eventually(|| mb.parked_poppers() == 1));
         mb.pause_control().pause();
         mb.push(9, Priority::Normal);
-        std::thread::sleep(Duration::from_millis(20));
+        // The push wakes the popper, which must migrate to the pause gate
+        // instead of popping the now-gated message.
+        let pause = mb.pause_control();
+        assert!(eventually(|| pause.parked() == 1));
         assert_eq!(mb.len(), 1, "paused mailbox must hold the message");
-        mb.pause_control().resume();
+        pause.resume();
         assert_eq!(handle.join().unwrap(), Some(9));
     }
 
@@ -756,7 +891,8 @@ mod tests {
         mb.pause_control().pause();
         let popper = Arc::clone(&mb);
         let handle = std::thread::spawn(move || popper.pop());
-        std::thread::sleep(Duration::from_millis(10));
+        let pause = mb.pause_control();
+        assert!(eventually(|| pause.parked() == 1));
         mb.close();
         assert_eq!(handle.join().unwrap(), None);
     }
@@ -764,13 +900,13 @@ mod tests {
     #[test]
     fn pop_unblocks_on_close() {
         let mb: Arc<Mailbox<u8>> = Arc::new(Mailbox::new());
-        let closer = Arc::clone(&mb);
-        let handle = std::thread::spawn(move || {
-            std::thread::sleep(Duration::from_millis(10));
-            closer.close();
-        });
-        assert_eq!(mb.pop(), None);
-        handle.join().unwrap();
+        let popper = Arc::clone(&mb);
+        let handle = std::thread::spawn(move || popper.pop());
+        // Close only once the popper is parked, so the close-wakeup path is
+        // the one exercised.
+        assert!(eventually(|| mb.parked_poppers() == 1));
+        mb.close();
+        assert_eq!(handle.join().unwrap(), None);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 use std::time::Duration;
 
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use sss_vclock::runtime;
 
 /// Error returned by [`ReplyReceiver::try_recv`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,7 +42,24 @@ impl<T> ReplySender<T> {
     /// or the channel is full (a faster replica already answered and the
     /// buffer is exhausted) — both are benign for the protocol.
     pub fn send(&self, value: T) -> bool {
-        self.inner.try_send(value).is_ok()
+        let delivered = self.inner.try_send(value).is_ok();
+        if delivered {
+            if let Some(scheduler) = runtime::current() {
+                scheduler.wake();
+            }
+        }
+        delivered
+    }
+}
+
+impl<T> Drop for ReplySender<T> {
+    fn drop(&mut self) {
+        // Under simulation a receiver may be parked waiting for either a
+        // reply or disconnection; dropping the last sender is the
+        // disconnect signal, so every sender drop wakes parked tasks.
+        if let Some(scheduler) = runtime::current() {
+            scheduler.wake();
+        }
     }
 }
 
@@ -57,6 +75,22 @@ impl<T> ReplyReceiver<T> {
     /// Returns `None` on timeout or if every sender was dropped without
     /// replying (e.g. the target node was shut down).
     pub fn recv_timeout(&self, timeout: Duration) -> Option<T> {
+        if let Some(scheduler) = runtime::current() {
+            // Simulated: poll-and-park against the virtual clock instead of
+            // blocking the OS thread. Senders and sender drops wake us.
+            let deadline = scheduler.now() + timeout;
+            loop {
+                match self.inner.try_recv() {
+                    Ok(v) => return Some(v),
+                    Err(TryRecvError::Disconnected) => return None,
+                    Err(TryRecvError::Empty) => {}
+                }
+                if scheduler.now() >= deadline {
+                    return None;
+                }
+                scheduler.park(Some(deadline));
+            }
+        }
         match self.inner.recv_timeout(timeout) {
             Ok(v) => Some(v),
             Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => None,
@@ -66,6 +100,15 @@ impl<T> ReplyReceiver<T> {
     /// Waits for the first reply without a timeout. Returns `None` if all
     /// senders disconnected without replying.
     pub fn recv(&self) -> Option<T> {
+        if let Some(scheduler) = runtime::current() {
+            loop {
+                match self.inner.try_recv() {
+                    Ok(v) => return Some(v),
+                    Err(TryRecvError::Disconnected) => return None,
+                    Err(TryRecvError::Empty) => scheduler.park(None),
+                }
+            }
+        }
         self.inner.recv().ok()
     }
 

@@ -94,25 +94,34 @@ impl NodeRuntime {
     {
         assert!(workers > 0, "a node needs at least one worker thread");
         let batch = batch.max(1);
+        // Under a simulation scheduler (attached to the mailbox by the
+        // transport) workers become daemon tasks of the simulator: same
+        // loop, but scheduled cooperatively and idle-parked at quiescence.
+        let scheduler = mailbox.scheduler();
         let handles = (0..workers)
             .map(|w| {
                 let mailbox = Arc::clone(&mailbox);
                 let service = Arc::clone(&service);
-                std::thread::Builder::new()
-                    .name(format!("sss-node-{}-w{}", node.index(), w))
-                    .spawn(move || {
-                        let mut drained = Vec::with_capacity(batch);
-                        while mailbox.pop_batch(batch, &mut drained) > 0 {
-                            for envelope in drained.drain(..) {
-                                // A pause that lands mid-batch must freeze
-                                // the node at the next message boundary,
-                                // exactly as unbatched delivery would.
-                                mailbox.pause_point();
-                                service.handle(envelope);
-                            }
+                let name = format!("sss-node-{}-w{}", node.index(), w);
+                let body = move || {
+                    let mut drained = Vec::with_capacity(batch);
+                    while mailbox.pop_batch(batch, &mut drained) > 0 {
+                        for envelope in drained.drain(..) {
+                            // A pause that lands mid-batch must freeze
+                            // the node at the next message boundary,
+                            // exactly as unbatched delivery would.
+                            mailbox.pause_point();
+                            service.handle(envelope);
                         }
-                    })
-                    .expect("failed to spawn node worker")
+                    }
+                };
+                match &scheduler {
+                    Some(scheduler) => scheduler.spawn_task(name, true, Box::new(body)),
+                    None => std::thread::Builder::new()
+                        .name(name)
+                        .spawn(body)
+                        .expect("failed to spawn node worker"),
+                }
             })
             .collect();
         let close_mailbox = Arc::new(move || mailbox.close());

@@ -8,6 +8,7 @@ use std::time::{Duration, Instant};
 use parking_lot::{Condvar, Mutex};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use sss_vclock::runtime::SchedulerHandle;
 use sss_vclock::NodeId;
 
 use crate::latency::LatencyModel;
@@ -209,7 +210,7 @@ pub trait TransportExt<M: Send + Clone>: Transport<M> {
 impl<M: Send + Clone, T: Transport<M> + ?Sized> TransportExt<M> for T {}
 
 /// Configuration of a [`ChannelTransport`].
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct TransportConfig {
     /// Number of nodes in the cluster.
     pub nodes: usize,
@@ -219,6 +220,23 @@ pub struct TransportConfig {
     pub seed: u64,
     /// Optional fault interposer consulted on every send.
     pub interposer: Option<Arc<dyn FaultInterposer>>,
+    /// Optional simulation scheduler. When set, latency is modeled by
+    /// scheduling virtual-time delivery events instead of a delayer thread,
+    /// `now` reads come from the virtual clock, and every mailbox parks its
+    /// workers on the scheduler.
+    pub scheduler: Option<SchedulerHandle>,
+}
+
+impl std::fmt::Debug for TransportConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TransportConfig")
+            .field("nodes", &self.nodes)
+            .field("latency", &self.latency)
+            .field("seed", &self.seed)
+            .field("interposer", &self.interposer)
+            .field("scheduler", &self.scheduler.as_ref().map(|_| "sim"))
+            .finish()
+    }
 }
 
 impl TransportConfig {
@@ -229,6 +247,7 @@ impl TransportConfig {
             latency: LatencyModel::ZERO,
             seed: 0,
             interposer: None,
+            scheduler: None,
         }
     }
 
@@ -247,6 +266,13 @@ impl TransportConfig {
     /// Attaches a fault interposer consulted on every send.
     pub fn interposer(mut self, interposer: Arc<dyn FaultInterposer>) -> Self {
         self.interposer = Some(interposer);
+        self
+    }
+
+    /// Runs the transport under a simulation scheduler (see
+    /// [`TransportConfig::scheduler`]).
+    pub fn scheduler(mut self, scheduler: SchedulerHandle) -> Self {
+        self.scheduler = Some(scheduler);
         self
     }
 }
@@ -321,6 +347,18 @@ pub struct ChannelTransport<M> {
     latency: LatencyModel,
     interposer: Option<Arc<dyn FaultInterposer>>,
     delayer: Option<DelayerHandle<M>>,
+    sim: Option<SimCtx>,
+}
+
+/// Simulation-mode context of a [`ChannelTransport`]: latency turns into
+/// virtual-time delivery events on the scheduler instead of entries in the
+/// threaded delay wheel.
+struct SimCtx {
+    sched: SchedulerHandle,
+    /// Latency sampler for the simulated path, seeded from the transport
+    /// config exactly like the delayer's; kept separate so simulated and
+    /// threaded runs each consume their own reproducible draw sequence.
+    rng: Mutex<StdRng>,
 }
 
 struct DelayerHandle<M> {
@@ -336,12 +374,23 @@ impl<M: Send + 'static> ChannelTransport<M> {
     /// Panics if the node count is zero.
     pub fn new(config: TransportConfig) -> Self {
         assert!(config.nodes > 0, "cluster must have at least one node");
-        let mailboxes = (0..config.nodes)
+        let mailboxes: Vec<Arc<Mailbox<Envelope<M>>>> = (0..config.nodes)
             .map(|_| Arc::new(Mailbox::new()))
             .collect();
+        let sim = config.scheduler.map(|sched| {
+            for mailbox in &mailboxes {
+                mailbox.set_scheduler(Arc::clone(&sched));
+            }
+            SimCtx {
+                sched,
+                rng: Mutex::new(StdRng::seed_from_u64(config.seed)),
+            }
+        });
         // Fault interposers can delay individual copies even when the base
         // latency model is zero, so their presence also requires the wheel.
-        let delayer = if config.latency.is_zero() && config.interposer.is_none() {
+        // Under simulation delays become scheduler events, never a thread.
+        let delayer = if sim.is_some() || (config.latency.is_zero() && config.interposer.is_none())
+        {
             None
         } else {
             Some(Self::spawn_delayer(config.seed))
@@ -357,6 +406,16 @@ impl<M: Send + 'static> ChannelTransport<M> {
             latency: config.latency,
             interposer: config.interposer,
             delayer,
+            sim,
+        }
+    }
+
+    /// The instant "now" as this transport experiences it: virtual time
+    /// under simulation, wall-clock time otherwise.
+    fn now(&self) -> Instant {
+        match &self.sim {
+            Some(ctx) => ctx.sched.now(),
+            None => Instant::now(),
         }
     }
 
@@ -549,6 +608,35 @@ impl<M: Send + Clone + 'static> ChannelTransport<M> {
             });
         }
     }
+
+    /// Schedules every copy of `plan` for `envelope` as virtual-time
+    /// delivery events on the simulation scheduler — the sim-mode
+    /// equivalent of [`ChannelTransport::stage_delayed`]. Event ordering is
+    /// the scheduler's deterministic `(time, seq)` order, and a copy that
+    /// fires after shutdown lands in a closed mailbox where the push is a
+    /// silent no-op, matching the threaded delayer's drain-then-drop.
+    fn stage_sim(&self, ctx: &SimCtx, envelope: Envelope<M>, plan: &SendPlan, now: Instant) {
+        let copies = plan.deliveries();
+        let mut envelope = Some(envelope);
+        for (i, extra) in copies.iter().enumerate() {
+            let delay = self.latency.sample(&mut *ctx.rng.lock()) + *extra;
+            let env = if i + 1 == copies.len() {
+                envelope
+                    .take()
+                    .expect("envelope moved before the last copy")
+            } else {
+                envelope.as_ref().expect("envelope taken early").clone()
+            };
+            let mailbox = Arc::clone(&self.mailboxes[env.to.index()]);
+            ctx.sched.schedule(
+                now + delay,
+                Box::new(move || {
+                    let priority = env.priority;
+                    mailbox.push(env, priority);
+                }),
+            );
+        }
+    }
 }
 
 impl<M: Send + Clone + 'static> Transport<M> for ChannelTransport<M> {
@@ -564,7 +652,7 @@ impl<M: Send + Clone + 'static> Transport<M> for ChannelTransport<M> {
         };
         self.note_kind(to, &payload, 1);
         let plan = match &self.interposer {
-            Some(interposer) => interposer.plan(from, to, Instant::now()),
+            Some(interposer) => interposer.plan(from, to, self.now()),
             None => SendPlan::pass(),
         };
         if self.latency.is_zero() && plan.is_pass() {
@@ -591,6 +679,24 @@ impl<M: Send + Clone + 'static> Transport<M> for ChannelTransport<M> {
             } else {
                 Err(TransportError::Closed)
             };
+        }
+        if let Some(ctx) = &self.sim {
+            if mailbox.is_closed() {
+                return Err(TransportError::Closed);
+            }
+            let now = ctx.sched.now();
+            self.stage_sim(
+                ctx,
+                Envelope {
+                    from,
+                    to,
+                    priority,
+                    payload,
+                },
+                &plan,
+                now,
+            );
+            return Ok(());
         }
         self.ensure_delayer_thread();
         let delayer = self
@@ -637,7 +743,7 @@ impl<M: Send + Clone + 'static> Transport<M> for ChannelTransport<M> {
         // delivery optimization, not a unit the fault model can observe, so
         // `sss-faults` determinism (per-link RNG draw sequences, reorder and
         // duplicate semantics) is identical to a sequence of single sends.
-        let now = Instant::now();
+        let now = self.now();
         let plans: Vec<SendPlan> = match &self.interposer {
             Some(interposer) => batch
                 .iter()
@@ -673,6 +779,27 @@ impl<M: Send + Clone + 'static> Transport<M> for ChannelTransport<M> {
             } else {
                 Err(TransportError::Closed)
             };
+        }
+        if let Some(ctx) = &self.sim {
+            if mailbox.is_closed() {
+                return Err(TransportError::Closed);
+            }
+            let pass = SendPlan::pass();
+            for (i, payload) in batch.into_iter().enumerate() {
+                let plan = plans.get(i).unwrap_or(&pass);
+                self.stage_sim(
+                    ctx,
+                    Envelope {
+                        from,
+                        to,
+                        priority,
+                        payload,
+                    },
+                    plan,
+                    now,
+                );
+            }
+            return Ok(());
         }
         self.ensure_delayer_thread();
         let delayer = self
@@ -716,6 +843,21 @@ impl<M> std::fmt::Debug for ChannelTransport<M> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Polls `cond` until it holds or a generous deadline elapses; returns
+    /// whether it held. Replaces fixed sleeps: tests wait on observable
+    /// state (mailbox depth) under a deadline instead of assuming how long
+    /// the delayer thread needs.
+    fn eventually(cond: impl Fn() -> bool) -> bool {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while !cond() {
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::yield_now();
+        }
+        true
+    }
 
     #[test]
     fn immediate_delivery_without_latency() {
@@ -789,7 +931,7 @@ mod tests {
         t.send(NodeId(0), NodeId(0), 2, Priority::High).unwrap();
         // Wait for both to land in the mailbox, then the high-priority one
         // must be popped first even though it was sent second.
-        std::thread::sleep(Duration::from_millis(5));
+        assert!(eventually(|| t.mailbox(NodeId(0)).len() == 2));
         assert_eq!(t.mailbox(NodeId(0)).pop().unwrap().payload, 2);
         assert_eq!(t.mailbox(NodeId(0)).pop().unwrap().payload, 1);
         t.shutdown();
@@ -838,24 +980,27 @@ mod tests {
 
     #[test]
     fn interposer_delay_holds_only_the_faulted_link() {
+        let hold = Duration::from_millis(300);
         let config = TransportConfig::new(3).interposer(Arc::new(HoldLink {
             from: NodeId(0),
             to: NodeId(1),
-            hold: Duration::from_millis(10),
+            hold,
         }));
         let t: ChannelTransport<u32> = ChannelTransport::new(config);
         let start = Instant::now();
+        // Send on the faulted link first: if its hold leaked onto other
+        // links, the clean message below would be stuck behind it.
+        t.send(NodeId(0), NodeId(1), 2, Priority::Normal).unwrap();
         t.send(NodeId(0), NodeId(2), 1, Priority::Normal).unwrap();
         let clean = t.mailbox(NodeId(2)).pop().unwrap();
         assert_eq!(clean.payload, 1);
         assert!(
-            start.elapsed() < Duration::from_millis(10),
+            t.mailbox(NodeId(1)).is_empty() || start.elapsed() >= hold,
             "the clean link must not inherit the faulted link's delay"
         );
-        t.send(NodeId(0), NodeId(1), 2, Priority::Normal).unwrap();
         let held = t.mailbox(NodeId(1)).pop().unwrap();
         assert_eq!(held.payload, 2);
-        assert!(start.elapsed() >= Duration::from_millis(10));
+        assert!(start.elapsed() >= hold, "the faulted link must be held");
         t.shutdown();
     }
 

@@ -251,8 +251,18 @@ impl ObsHub {
         ObsHub::with_ring_capacity(nodes, DEFAULT_RING_CAPACITY)
     }
 
-    /// Creates a hub with an explicit per-node ring capacity.
+    /// Creates a hub with an explicit per-node ring capacity. The time base
+    /// is the runtime clock's "now": virtual time when called from inside a
+    /// simulation task, wall-clock time otherwise.
     pub fn with_ring_capacity(nodes: usize, capacity: usize) -> Arc<Self> {
+        Self::with_epoch(nodes, capacity, sss_vclock::runtime::now())
+    }
+
+    /// Creates a hub whose trace time base starts at `epoch`. Simulated
+    /// clusters pass the scheduler's virtual "now" so that trace timestamps
+    /// are virtual (and reproducible per seed) even though the hub itself
+    /// is constructed on a host thread outside the simulation.
+    pub fn with_epoch(nodes: usize, capacity: usize, epoch: Instant) -> Arc<Self> {
         let registry = MetricsRegistry::new();
         let phase_hist = Phase::ALL
             .iter()
@@ -261,7 +271,7 @@ impl ObsHub {
         let committed = registry.counter("txn/committed");
         let aborted = registry.counter("txn/aborted");
         Arc::new(ObsHub {
-            epoch: Instant::now(),
+            epoch,
             lanes: AtomicU64::new(0),
             registry,
             phase_hist,
@@ -273,9 +283,12 @@ impl ObsHub {
         })
     }
 
-    /// Nanoseconds since the hub was created (the trace time base).
+    /// Nanoseconds since the hub was created (the trace time base), read
+    /// from the runtime clock so simulated clusters record virtual time.
     pub fn now_ns(&self) -> u64 {
-        self.epoch.elapsed().as_nanos() as u64
+        sss_vclock::runtime::now()
+            .saturating_duration_since(self.epoch)
+            .as_nanos() as u64
     }
 
     /// Allocates a fresh client trace lane (one per session).
@@ -306,7 +319,9 @@ impl ObsHub {
     /// Records a server-scope span (e.g. 2PC lock acquisition) measured
     /// around `started` on `node`.
     pub fn record_server_span(&self, node: usize, phase: Phase, started: Instant) {
-        let dur_ns = started.elapsed().as_nanos() as u64;
+        let dur_ns = sss_vclock::runtime::now()
+            .saturating_duration_since(started)
+            .as_nanos() as u64;
         let end_ns = self.now_ns();
         self.record_span(TraceSpan {
             phase,

@@ -1,0 +1,107 @@
+//! The virtual clock: a monotonic nanosecond counter anchored to one real
+//! [`Instant`] so it can hand out fabricated `Instant` values.
+
+use std::time::{Duration, Instant};
+
+/// A virtual clock. Time is a `u64` nanosecond counter starting at zero;
+/// [`SimClock::now`] maps it into the `Instant` domain by adding it to a
+/// real anchor captured at construction. Instants fabricated by the same
+/// clock compare and subtract like real ones, so every `Instant`-typed API
+/// in the stack (timeouts, fault epochs, history records) works unchanged
+/// under simulation — as long as no one mixes them with `Instant::now()`
+/// taken outside the simulation.
+#[derive(Debug, Clone, Copy)]
+pub struct SimClock {
+    anchor: Instant,
+    nanos: u64,
+}
+
+impl SimClock {
+    /// A clock at virtual time zero, anchored to the current real instant.
+    pub fn new() -> Self {
+        SimClock {
+            anchor: Instant::now(),
+            nanos: 0,
+        }
+    }
+
+    /// Current virtual time in nanoseconds since the clock's epoch.
+    pub fn nanos(&self) -> u64 {
+        self.nanos
+    }
+
+    /// Current virtual time as a fabricated [`Instant`].
+    pub fn now(&self) -> Instant {
+        self.instant_at(self.nanos)
+    }
+
+    /// The fabricated [`Instant`] corresponding to virtual nanosecond `nanos`.
+    pub fn instant_at(&self, nanos: u64) -> Instant {
+        self.anchor + Duration::from_nanos(nanos)
+    }
+
+    /// Maps a fabricated [`Instant`] back to virtual nanoseconds, clamping
+    /// instants before the epoch to zero.
+    pub fn nanos_at(&self, at: Instant) -> u64 {
+        at.saturating_duration_since(self.anchor)
+            .as_nanos()
+            .min(u64::MAX as u128) as u64
+    }
+
+    /// Advances the clock to `nanos`. Virtual time is monotonic: a target in
+    /// the past is a no-op.
+    pub fn advance_to(&mut self, nanos: u64) {
+        self.nanos = self.nanos.max(nanos);
+    }
+}
+
+impl Default for SimClock {
+    fn default() -> Self {
+        SimClock::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero_and_advances_monotonically() {
+        let mut clock = SimClock::new();
+        assert_eq!(clock.nanos(), 0);
+        clock.advance_to(500);
+        assert_eq!(clock.nanos(), 500);
+        clock.advance_to(100); // past: no-op
+        assert_eq!(clock.nanos(), 500);
+        clock.advance_to(501);
+        assert_eq!(clock.nanos(), 501);
+    }
+
+    #[test]
+    fn instants_round_trip_through_the_nanos_domain() {
+        let mut clock = SimClock::new();
+        clock.advance_to(1_000_000);
+        let now = clock.now();
+        assert_eq!(clock.nanos_at(now), 1_000_000);
+        let later = now + Duration::from_micros(250);
+        assert_eq!(clock.nanos_at(later), 1_250_000);
+        assert_eq!(clock.instant_at(1_250_000), later);
+    }
+
+    #[test]
+    fn pre_epoch_instants_clamp_to_zero() {
+        let clock = SimClock::new();
+        let before = clock.instant_at(0) - Duration::from_secs(1);
+        assert_eq!(clock.nanos_at(before), 0);
+    }
+
+    #[test]
+    fn fabricated_instants_subtract_like_real_ones() {
+        let mut clock = SimClock::new();
+        let t0 = clock.now();
+        clock.advance_to(42_000);
+        let t1 = clock.now();
+        assert_eq!(t1 - t0, Duration::from_nanos(42_000));
+        assert_eq!(t0.saturating_duration_since(t1), Duration::ZERO);
+    }
+}

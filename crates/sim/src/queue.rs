@@ -1,0 +1,127 @@
+//! The deterministic event queue: entries ordered by `(time, seq)` where
+//! `seq` is the global scheduling order, so same-instant events fire in the
+//! order they were scheduled — on every run.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// A cancellable priority queue of timed events.
+///
+/// Ordering is total and deterministic: earlier `time` first, and among
+/// entries scheduled for the same time, lower `seq` (scheduled earlier)
+/// first. Cancellation is O(1) lazy removal: the heap entry stays behind and
+/// is skipped when it surfaces, so `len` counts only live entries but the
+/// internal heap may be larger until stale entries drain.
+#[derive(Debug)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Reverse<(u64, u64)>>,
+    live: HashMap<u64, T>,
+    next_seq: u64,
+}
+
+impl<T> EventQueue<T> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            live: HashMap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `payload` at virtual time `time` (nanoseconds). Returns a
+    /// token for [`EventQueue::cancel`]. Tokens are unique for the lifetime
+    /// of the queue and increase in scheduling order.
+    pub fn push(&mut self, time: u64, payload: T) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse((time, seq)));
+        self.live.insert(seq, payload);
+        seq
+    }
+
+    /// Cancels the event identified by `token`, returning its payload if it
+    /// had not yet fired (or been cancelled).
+    pub fn cancel(&mut self, token: u64) -> Option<T> {
+        self.live.remove(&token)
+    }
+
+    /// The time of the earliest live event, if any.
+    pub fn next_time(&mut self) -> Option<u64> {
+        while let Some(&Reverse((time, seq))) = self.heap.peek() {
+            if self.live.contains_key(&seq) {
+                return Some(time);
+            }
+            self.heap.pop(); // stale (cancelled): drop and keep looking
+        }
+        None
+    }
+
+    /// Pops the earliest live event if its time is `<= now`. Returns the
+    /// event's `(time, token, payload)`.
+    pub fn pop_due(&mut self, now: u64) -> Option<(u64, u64, T)> {
+        let time = self.next_time()?;
+        if time > now {
+            return None;
+        }
+        let Reverse((time, seq)) = self.heap.pop().expect("next_time saw an entry");
+        let payload = self.live.remove(&seq).expect("next_time saw a live entry");
+        Some((time, seq, payload))
+    }
+
+    /// Number of live (not yet fired or cancelled) events.
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// `true` when no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order_with_seq_tie_break() {
+        let mut q = EventQueue::new();
+        let _c = q.push(20, "c");
+        let _a1 = q.push(10, "a1");
+        let _a2 = q.push(10, "a2");
+        assert_eq!(q.next_time(), Some(10));
+        assert_eq!(q.pop_due(100).map(|(_, _, p)| p), Some("a1"));
+        assert_eq!(q.pop_due(100).map(|(_, _, p)| p), Some("a2"));
+        assert_eq!(q.pop_due(15), None, "time 20 not yet due at 15");
+        assert_eq!(q.pop_due(20).map(|(_, _, p)| p), Some("c"));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancelled_events_never_fire() {
+        let mut q = EventQueue::new();
+        let a = q.push(5, "a");
+        let _b = q.push(5, "b");
+        assert_eq!(q.cancel(a), Some("a"));
+        assert_eq!(q.cancel(a), None, "double cancel is a no-op");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop_due(10).map(|(_, _, p)| p), Some("b"));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn next_time_skips_stale_entries() {
+        let mut q = EventQueue::new();
+        let early = q.push(1, "early");
+        q.push(9, "late");
+        q.cancel(early);
+        assert_eq!(q.next_time(), Some(9));
+    }
+}

@@ -1,0 +1,180 @@
+//! Property tests for the simulator's primitives: the virtual clock and
+//! the cancellable event queue. These are the two pieces every determinism
+//! guarantee rests on — timer ordering, same-instant tie-breaking, and
+//! cancel/reschedule semantics — so they are exercised against randomized
+//! operation sequences rather than hand-picked cases.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use proptest::prelude::*;
+use sss_sim::{EventQueue, SimClock};
+
+/// One randomized mutation of an [`EventQueue`], chosen by proptest.
+#[derive(Debug, Clone)]
+enum QueueOp {
+    /// Schedule a payload at the given virtual time.
+    Push(u64),
+    /// Cancel the `n`-th token handed out so far (mod the count), if any.
+    Cancel(usize),
+    /// Pop everything due at the given virtual time.
+    PopDue(u64),
+}
+
+fn queue_op() -> impl Strategy<Value = QueueOp> {
+    prop_oneof![
+        (0u64..1_000).prop_map(QueueOp::Push),
+        (0usize..64).prop_map(QueueOp::Cancel),
+        (0u64..1_000).prop_map(QueueOp::PopDue),
+    ]
+}
+
+proptest! {
+    /// Draining the queue always yields events in `(time, seq)` order:
+    /// non-decreasing times, and among same-time events strictly
+    /// increasing tokens (the order they were scheduled).
+    #[test]
+    fn drain_is_ordered_by_time_then_schedule_order(times in prop::collection::vec(0u64..500, 1..50)) {
+        let mut q = EventQueue::new();
+        for &t in &times {
+            q.push(t, t);
+        }
+        let mut previous: Option<(u64, u64)> = None;
+        let mut drained = 0;
+        while let Some((time, seq, payload)) = q.pop_due(u64::MAX) {
+            prop_assert_eq!(payload, time, "payload rides with its scheduled time");
+            if let Some((pt, ps)) = previous {
+                prop_assert!(time > pt || (time == pt && seq > ps),
+                    "events must drain in (time, seq) order: ({pt},{ps}) then ({time},{seq})");
+            }
+            previous = Some((time, seq));
+            drained += 1;
+        }
+        prop_assert_eq!(drained, times.len());
+        prop_assert!(q.is_empty());
+    }
+
+    /// Same-instant events fire in the order they were scheduled, whatever
+    /// that order's interleaving with other instants was.
+    #[test]
+    fn same_instant_ties_break_by_schedule_order(labels in prop::collection::vec(0u64..4, 2..40)) {
+        let mut q = EventQueue::new();
+        // All events share one instant; payloads record the schedule order.
+        for (i, _) in labels.iter().enumerate() {
+            q.push(7, i);
+        }
+        let mut seen = Vec::new();
+        while let Some((_, _, payload)) = q.pop_due(7) {
+            seen.push(payload);
+        }
+        prop_assert_eq!(seen, (0..labels.len()).collect::<Vec<_>>());
+    }
+
+    /// The queue agrees with a reference model (a sorted map keyed by
+    /// `(time, token)`) under arbitrary push/cancel/pop interleavings, and
+    /// a cancelled event is never popped.
+    #[test]
+    fn queue_matches_reference_model(ops in prop::collection::vec(queue_op(), 1..200)) {
+        let mut q = EventQueue::new();
+        let mut model: BTreeMap<(u64, u64), u64> = BTreeMap::new();
+        let mut tokens: Vec<(u64, u64)> = Vec::new(); // (token, time)
+
+        for op in ops {
+            match op {
+                QueueOp::Push(time) => {
+                    let token = q.push(time, time);
+                    model.insert((time, token), time);
+                    tokens.push((token, time));
+                }
+                QueueOp::Cancel(n) => {
+                    if tokens.is_empty() {
+                        continue;
+                    }
+                    let (token, time) = tokens[n % tokens.len()];
+                    let expected = model.remove(&(time, token));
+                    prop_assert_eq!(q.cancel(token), expected,
+                        "cancel must succeed exactly when the event is still live");
+                }
+                QueueOp::PopDue(now) => {
+                    loop {
+                        let expected = model.first_key_value().map(|(&k, _)| k);
+                        match q.pop_due(now) {
+                            Some((time, seq, payload)) => {
+                                prop_assert!(time <= now);
+                                prop_assert_eq!(Some((time, seq)), expected,
+                                    "pop must yield the model's earliest live event");
+                                prop_assert_eq!(payload, time);
+                                model.remove(&(time, seq));
+                            }
+                            None => {
+                                if let Some((time, _)) = expected {
+                                    prop_assert!(time > now, "queue stopped early: {time} is due at {now}");
+                                }
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(q.len(), model.len());
+        prop_assert_eq!(q.next_time(), model.first_key_value().map(|(&(t, _), _)| t));
+    }
+
+    /// Cancelling and rescheduling keeps `len`, `next_time` and the drain
+    /// order consistent: the rescheduled event fires at its new time with a
+    /// fresh token, never at the old one.
+    #[test]
+    fn cancel_then_reschedule_moves_the_event(old in 0u64..500, new in 0u64..500, other in 0u64..500) {
+        let mut q = EventQueue::new();
+        let moved = q.push(old, "moved");
+        let _stay = q.push(other, "stays");
+        prop_assert_eq!(q.cancel(moved), Some("moved"));
+        prop_assert_eq!(q.cancel(moved), None, "double cancel is a no-op");
+        let moved2 = q.push(new, "moved");
+        prop_assert!(moved2 > moved, "tokens are never reused");
+        prop_assert_eq!(q.len(), 2);
+        prop_assert_eq!(q.next_time(), Some(new.min(other)));
+
+        // The old instant no longer fires the moved event.
+        let mut fired_at: Vec<(u64, &str)> = Vec::new();
+        while let Some((time, _, payload)) = q.pop_due(u64::MAX) {
+            fired_at.push((time, payload));
+        }
+        prop_assert!(fired_at.contains(&(new, "moved")));
+        prop_assert!(fired_at.contains(&(other, "stays")));
+        prop_assert_eq!(fired_at.len(), 2);
+    }
+
+    /// Virtual instants round-trip exactly through the nanosecond domain,
+    /// and arithmetic on fabricated instants matches the nanosecond math.
+    #[test]
+    fn clock_instants_round_trip(advances in prop::collection::vec(0u64..1_000_000_000, 1..20), offset in 0u64..1_000_000_000) {
+        let mut clock = SimClock::new();
+        let epoch = clock.now();
+        let mut total = 0u64;
+        for a in advances {
+            total = total.max(a);
+            clock.advance_to(a);
+            prop_assert_eq!(clock.nanos(), total, "virtual time is monotonic");
+            let now = clock.now();
+            prop_assert_eq!(clock.nanos_at(now), total);
+            prop_assert_eq!(now - epoch, Duration::from_nanos(total));
+            let later = now + Duration::from_nanos(offset);
+            prop_assert_eq!(clock.nanos_at(later), total + offset);
+            prop_assert_eq!(clock.instant_at(total + offset), later);
+        }
+    }
+
+    /// Deadlines computed as `now + timeout` in the `Instant` domain land
+    /// on the exact nanosecond the timeout names — the property the
+    /// simulated lock table and reply channels rely on for virtual-time
+    /// timeouts.
+    #[test]
+    fn instant_deadlines_are_exact_in_nanos(start in 0u64..1_000_000_000, timeout_ns in 0u64..10_000_000_000) {
+        let mut clock = SimClock::new();
+        clock.advance_to(start);
+        let deadline = clock.now() + Duration::from_nanos(timeout_ns);
+        prop_assert_eq!(clock.nanos_at(deadline), start + timeout_ns);
+    }
+}

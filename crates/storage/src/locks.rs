@@ -18,10 +18,20 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
+use sss_vclock::runtime::{self, SchedulerHandle};
 
 use crate::key::Key;
 use crate::shard;
 use crate::txn_id::TxnId;
+
+/// Wakes parked simulation tasks after a release, when running under a
+/// simulation scheduler (no-op otherwise). The threaded path uses per-shard
+/// condvars; the simulated path parks tasks on the scheduler instead.
+fn wake_sim() {
+    if let Some(scheduler) = runtime::current() {
+        scheduler.wake();
+    }
+}
 
 /// The mode of a lock request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -212,6 +222,9 @@ impl LockTable {
     /// same transaction (including reading a key it already write-locked)
     /// always succeeds immediately.
     pub fn acquire(&self, txn: TxnId, key: &Key, kind: LockKind, timeout: Duration) -> bool {
+        if let Some(scheduler) = runtime::current() {
+            return self.acquire_sim(&scheduler, txn, key, kind, timeout);
+        }
         let deadline = Instant::now() + timeout;
         let shard = self.shard(key);
         let mut entries = shard.entries.lock();
@@ -251,6 +264,43 @@ impl LockTable {
         }
     }
 
+    /// [`LockTable::acquire`] under a simulation scheduler: the waiter
+    /// parks as a cooperative task with a virtual-clock deadline, and a
+    /// release (which calls [`wake_sim`]) makes it runnable again. Timeout
+    /// semantics are identical — the deadline is just virtual.
+    fn acquire_sim(
+        &self,
+        scheduler: &SchedulerHandle,
+        txn: TxnId,
+        key: &Key,
+        kind: LockKind,
+        timeout: Duration,
+    ) -> bool {
+        let deadline = scheduler.now() + timeout;
+        let shard = self.shard(key);
+        let mut first_check = true;
+        loop {
+            {
+                let mut entries = shard.entries.lock();
+                let entry = entries.entry(key.clone()).or_default();
+                if entry.can_grant(txn, kind) {
+                    entry.grant(txn, kind);
+                    self.granted.fetch_add(1, Ordering::Relaxed);
+                    return true;
+                }
+            }
+            if first_check {
+                shard.contended.fetch_add(1, Ordering::Relaxed);
+                first_check = false;
+            }
+            if scheduler.now() >= deadline {
+                self.timeouts.fetch_add(1, Ordering::Relaxed);
+                return false;
+            }
+            scheduler.park(Some(deadline));
+        }
+    }
+
     /// Acquires a batch of locks, all-or-nothing.
     ///
     /// Keys are locked in sorted order to keep the acquisition pattern
@@ -272,9 +322,9 @@ impl LockTable {
                 _ => std::cmp::Ordering::Equal,
             })
         });
-        let deadline = Instant::now() + timeout;
+        let deadline = runtime::now() + timeout;
         for (key, kind) in sorted {
-            let remaining = deadline.saturating_duration_since(Instant::now());
+            let remaining = deadline.saturating_duration_since(runtime::now());
             if !self.acquire(txn, key, kind, remaining) {
                 self.release_all(txn);
                 return false;
@@ -293,6 +343,7 @@ impl LockTable {
                     entries.remove(key);
                 }
                 shard.released.notify_all();
+                wake_sim();
             }
         }
     }
@@ -317,6 +368,7 @@ impl LockTable {
             });
             if any {
                 shard.released.notify_all();
+                wake_sim();
             }
         }
     }

@@ -26,6 +26,7 @@
 
 #![deny(missing_docs)]
 
+pub mod runtime;
 mod vector_clock;
 
 pub use vector_clock::{VcOrdering, VectorClock, INLINE_WIDTH};

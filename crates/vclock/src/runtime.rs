@@ -1,0 +1,281 @@
+//! The runtime abstraction behind every blocking or time-reading primitive
+//! in the stack: real threads and the wall clock by default, a deterministic
+//! discrete-event simulator (`sss-sim`) when a [`SimScheduler`] is installed.
+//!
+//! # Why this lives in `sss-vclock`
+//!
+//! Every crate that blocks or reads time — `sss-net` (mailboxes, reply
+//! channels, the transport delay wheel), `sss-storage` (lock-table waits),
+//! `sss-faults` (fault-plan timing), `sss-core`/`sss-baselines` (protocol
+//! timeouts and backoffs) — already depends on this crate for [`crate::NodeId`]
+//! and [`crate::VectorClock`]. Hosting the scheduler trait here lets all of
+//! them consult the simulation hooks without introducing a single new
+//! dependency edge.
+//!
+//! # The two modes
+//!
+//! **Threaded (default).** No scheduler is installed anywhere. The free
+//! functions [`now`] and [`sleep`] fall through to [`Instant::now`] and
+//! [`std::thread::sleep`]; mailboxes and lock tables block on their
+//! condvars. Behavior is byte-identical to the pre-abstraction code.
+//!
+//! **Simulated.** A [`SimScheduler`] implementation (the `SimRuntime` in
+//! `sss-sim`) owns a virtual clock and a seeded run queue. Node workers and
+//! workload clients run as *cooperative tasks*: exactly one task executes at
+//! any moment, and a task gives up its turn only at a blocking point
+//! ([`SimScheduler::park`], [`SimScheduler::sleep`]). Each task's thread has
+//! the scheduler installed in thread-local storage (see [`current`]), so
+//! deep call sites — a lock-table wait inside a prepare handler, a protocol
+//! timeout in a session — discover the simulation without any plumbing.
+//! Blocking primitives created on host threads (mailboxes, transports) are
+//! additionally handed an explicit [`SchedulerHandle`] at construction so
+//! host-side operations such as `close()` can wake parked tasks.
+//!
+//! # Virtual instants
+//!
+//! A simulated clock still hands out [`std::time::Instant`] values so that
+//! every existing `Instant`-typed API (fault-plan epochs, history records,
+//! snapshot-queue ages, trace timestamps) works unchanged: the simulator
+//! anchors a real `Instant` at construction and returns
+//! `anchor + virtual_elapsed`. Virtual instants from one simulation compare
+//! and subtract exactly like real ones; they must simply never be compared
+//! against `Instant::now()` taken outside the simulation — which is why all
+//! protocol code reads time through [`now`].
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// A scheduler that owns time and task execution for one simulated world.
+///
+/// Implementations must be internally synchronized: methods are called from
+/// the simulation's task threads (which carry the thread-local handle) *and*
+/// from host threads (e.g. `Mailbox::close` during shutdown).
+///
+/// # Parking protocol
+///
+/// [`park`](SimScheduler::park) is level-triggered with spurious wakeups,
+/// exactly like a condvar: a caller re-checks its predicate in a loop.
+/// [`wake`](SimScheduler::wake) makes *all* parked tasks runnable. Because
+/// only one task executes at a time, the check-then-park race of real
+/// condvars cannot occur: no other task can run (and thus no wakeup can be
+/// produced) between a task's predicate check and its park.
+pub trait SimScheduler: Send + Sync {
+    /// The current virtual time, as a fabricated [`Instant`].
+    fn now(&self) -> Instant;
+
+    /// Blocks the calling task for `duration` of virtual time. Must be
+    /// called from a simulation task (a thread spawned via
+    /// [`spawn_task`](SimScheduler::spawn_task)).
+    fn sleep(&self, duration: Duration);
+
+    /// Parks the calling task until a [`wake`](SimScheduler::wake) or until
+    /// virtual time reaches `deadline` (if given). Spurious returns are
+    /// allowed; callers loop on their predicate. Must be called from a
+    /// simulation task.
+    fn park(&self, deadline: Option<Instant>);
+
+    /// Makes every parked task runnable. Callable from any thread,
+    /// including host threads and event closures; kick-starts the scheduler
+    /// if it was idle.
+    fn wake(&self);
+
+    /// Schedules `event` to run when virtual time reaches `at` (clamped to
+    /// the current time if already past). Events scheduled for the same
+    /// instant run in scheduling order. Returns a token for
+    /// [`cancel`](SimScheduler::cancel).
+    fn schedule(&self, at: Instant, event: Box<dyn FnOnce() + Send>) -> u64;
+
+    /// Cancels a scheduled event. Returns `true` if the event had not yet
+    /// run (and now never will).
+    fn cancel(&self, token: u64) -> bool;
+
+    /// Spawns a cooperative task on its own OS thread. The task starts
+    /// runnable, executes only when the scheduler hands it the turn, and
+    /// carries the scheduler in its thread-local storage.
+    ///
+    /// `daemon` tasks (node workers, service loops) are expected to park
+    /// indefinitely while idle and do not count toward quiescence; a
+    /// deadlock is declared only when a *non-daemon* (foreground) task is
+    /// parked forever with no timer or runnable task left.
+    fn spawn_task(&self, name: String, daemon: bool, f: Box<dyn FnOnce() + Send>)
+        -> JoinHandle<()>;
+
+    /// Appends `line` to the scheduler's debug trace, if one is active
+    /// (see the simulator's `SSS_SIM_TRACE`). Instrumentation points in
+    /// protocol code use this to interleave data-level events (message
+    /// sends, state transitions) with the schedule when chasing a
+    /// determinism bug; the default is a no-op.
+    fn trace(&self, line: &str) {
+        let _ = line;
+    }
+
+    /// `true` when a debug trace is active, so instrumentation points can
+    /// skip formatting their (possibly expensive) trace lines.
+    fn tracing(&self) -> bool {
+        false
+    }
+}
+
+impl std::fmt::Debug for dyn SimScheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SimScheduler")
+    }
+}
+
+/// Shared handle to a scheduler.
+pub type SchedulerHandle = Arc<dyn SimScheduler>;
+
+thread_local! {
+    static CURRENT: std::cell::RefCell<Option<SchedulerHandle>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Returns the scheduler installed on this thread, if any. Simulation task
+/// threads carry one; host threads and threaded-mode workers return `None`.
+pub fn current() -> Option<SchedulerHandle> {
+    CURRENT.with(|cell| cell.borrow().clone())
+}
+
+/// Runs `f` with `scheduler` installed as this thread's current scheduler,
+/// restoring the previous value afterwards (also on panic). Used by the
+/// simulator's task wrappers; tests may use it to run inline code "inside"
+/// a simulation.
+pub fn enter<R>(scheduler: &SchedulerHandle, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<SchedulerHandle>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            CURRENT.with(|cell| *cell.borrow_mut() = self.0.take());
+        }
+    }
+    let previous = CURRENT.with(|cell| cell.borrow_mut().replace(Arc::clone(scheduler)));
+    let _restore = Restore(previous);
+    f()
+}
+
+/// The current time: virtual when called on a simulation task, real
+/// otherwise. Protocol code reads time through this so the same binary runs
+/// under both runtimes.
+pub fn now() -> Instant {
+    match current() {
+        Some(scheduler) => scheduler.now(),
+        None => Instant::now(),
+    }
+}
+
+/// Time elapsed since `start`, measured against [`now`] — virtual when
+/// called on a simulation task, real otherwise. Protocol code must use this
+/// instead of [`Instant::elapsed`]: under simulation `start` is a virtual
+/// instant, and measuring it against the real clock both yields a
+/// meaningless duration and (when the result gates a decision) makes runs
+/// wall-clock-dependent, breaking seeded replay.
+pub fn elapsed_since(start: Instant) -> Duration {
+    now().saturating_duration_since(start)
+}
+
+/// Sleeps for `duration`: virtual when called on a simulation task (other
+/// tasks run and the clock advances), real otherwise.
+pub fn sleep(duration: Duration) {
+    match current() {
+        Some(scheduler) => scheduler.sleep(duration),
+        None => std::thread::sleep(duration),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// A scheduler stub that only records calls; enough to test the
+    /// thread-local plumbing without pulling in the simulator.
+    struct Stub {
+        base: Instant,
+        offset: Duration,
+        slept: AtomicU64,
+    }
+
+    impl SimScheduler for Stub {
+        fn now(&self) -> Instant {
+            self.base + self.offset
+        }
+        fn sleep(&self, duration: Duration) {
+            self.slept
+                .fetch_add(duration.as_nanos() as u64, Ordering::Relaxed);
+        }
+        fn park(&self, _deadline: Option<Instant>) {}
+        fn wake(&self) {}
+        fn schedule(&self, _at: Instant, _event: Box<dyn FnOnce() + Send>) -> u64 {
+            0
+        }
+        fn cancel(&self, _token: u64) -> bool {
+            false
+        }
+        fn spawn_task(
+            &self,
+            name: String,
+            _daemon: bool,
+            f: Box<dyn FnOnce() + Send>,
+        ) -> JoinHandle<()> {
+            std::thread::Builder::new().name(name).spawn(f).unwrap()
+        }
+    }
+
+    #[test]
+    fn now_falls_back_to_real_time_without_a_scheduler() {
+        assert!(current().is_none());
+        let before = Instant::now();
+        let observed = now();
+        assert!(observed >= before);
+    }
+
+    #[test]
+    fn enter_installs_and_restores_the_scheduler() {
+        let base = Instant::now();
+        let stub: SchedulerHandle = Arc::new(Stub {
+            base,
+            offset: Duration::from_secs(1000),
+            slept: AtomicU64::new(0),
+        });
+        assert!(current().is_none());
+        enter(&stub, || {
+            assert!(current().is_some());
+            assert_eq!(now(), base + Duration::from_secs(1000));
+            sleep(Duration::from_millis(5));
+        });
+        assert!(current().is_none());
+    }
+
+    #[test]
+    fn sleep_routes_to_the_installed_scheduler() {
+        let stub = Arc::new(Stub {
+            base: Instant::now(),
+            offset: Duration::ZERO,
+            slept: AtomicU64::new(0),
+        });
+        let handle: SchedulerHandle = Arc::clone(&stub) as SchedulerHandle;
+        enter(&handle, || sleep(Duration::from_nanos(42)));
+        assert_eq!(stub.slept.load(Ordering::Relaxed), 42);
+    }
+
+    #[test]
+    fn enter_restores_on_nesting() {
+        let a: SchedulerHandle = Arc::new(Stub {
+            base: Instant::now(),
+            offset: Duration::from_secs(1),
+            slept: AtomicU64::new(0),
+        });
+        let b: SchedulerHandle = Arc::new(Stub {
+            base: Instant::now(),
+            offset: Duration::from_secs(2),
+            slept: AtomicU64::new(0),
+        });
+        enter(&a, || {
+            let outer = now();
+            enter(&b, || {
+                assert_ne!(now(), outer);
+            });
+            assert_eq!(now(), outer);
+        });
+    }
+}

@@ -40,7 +40,8 @@ pub use driver::{populate, run_trials, run_workload};
 pub use generator::{TxnTemplate, WorkloadGenerator};
 pub use report::{LatencySummary, WorkloadReport};
 pub use scenario::{
-    run_scenario, run_scenario_on, run_scenario_with_tuning, ChaosScenario, ScenarioExpectations,
+    run_scenario, run_scenario_on, run_scenario_sim, run_scenario_sim_on,
+    run_scenario_sim_with_tuning, run_scenario_with_tuning, ChaosScenario, ScenarioExpectations,
     ScenarioOutcome,
 };
 pub use spec::{KeySelection, SpecError, WorkloadSpec};

@@ -27,11 +27,11 @@ use sss_consistency::{
     check_all, History, HistoryRecorder, ReadRecord, TxnKind, TxnRecord, WriteRecord,
 };
 use sss_engine::{
-    chrome_trace_json, EngineKind, EngineTuning, FaultInjector, FaultPlan, NetProfile,
+    chrome_trace_json, EngineKind, EngineTuning, FaultInjector, FaultPlan, NetProfile, SimRuntime,
     TransactionEngine, WatchdogConfig, WatchdogCore, WatchdogVerdict,
 };
 use sss_storage::{Key, TxnId, Value};
-use sss_vclock::NodeId;
+use sss_vclock::{runtime, NodeId};
 
 use crate::generator::{TxnTemplate, WorkloadGenerator};
 use crate::spec::{SpecError, WorkloadSpec};
@@ -227,6 +227,57 @@ impl ScenarioOutcome {
         !self.stuck && self.violations.is_empty()
     }
 
+    /// FNV-1a fingerprint of the deterministic projection of the run: the
+    /// [`ScenarioOutcome::summary`] string plus every recorded transaction
+    /// in completion order (id, kind, reads with their writer attributions
+    /// and observed values, writes). Two runs with the same engine,
+    /// scenario and simulation seed must produce the same fingerprint; the
+    /// seed-sweep tier and the replay-regression corpus compare these.
+    ///
+    /// Wall-clock data (timestamps, retry counts, diagnostics) is excluded,
+    /// so the fingerprint is also meaningful for threaded runs — but only
+    /// simulated runs promise bit-identical replay, because only there is
+    /// the recorder's completion order deterministic.
+    pub fn fingerprint(&self) -> u64 {
+        struct Fnv(u64);
+        impl Fnv {
+            fn eat(&mut self, bytes: &[u8]) {
+                for &byte in bytes {
+                    self.0 ^= u64::from(byte);
+                    self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+                }
+            }
+            fn eat_u64(&mut self, value: u64) {
+                self.eat(&value.to_le_bytes());
+            }
+        }
+        let mut fnv = Fnv(0xcbf2_9ce4_8422_2325);
+        fnv.eat(self.summary().as_bytes());
+        for record in self.history.transactions() {
+            fnv.eat_u64(record.id.origin.index() as u64);
+            fnv.eat_u64(record.id.seq);
+            fnv.eat_u64(matches!(record.kind, TxnKind::Update) as u64);
+            for read in &record.reads {
+                fnv.eat(read.key.as_str().as_bytes());
+                match read.observed_writer {
+                    Some(writer) => {
+                        fnv.eat_u64(1 + writer.origin.index() as u64);
+                        fnv.eat_u64(writer.seq);
+                    }
+                    None => fnv.eat_u64(0),
+                }
+                if let Some(value) = &read.value {
+                    fnv.eat(value.as_bytes());
+                }
+            }
+            for write in &record.writes {
+                fnv.eat(write.key.as_str().as_bytes());
+                fnv.eat(write.value.as_bytes());
+            }
+        }
+        fnv.0
+    }
+
     /// The deterministic projection of the outcome: identical across runs
     /// with the same seed and fault plan (wall-clock times, retry counts
     /// and diagnostics are excluded). This is the string the determinism
@@ -299,14 +350,14 @@ fn populate_recorded<E: TransactionEngine + ?Sized>(
             .enumerate()
             .map(|(slot, k)| (k.clone(), encode_writer(id, slot as u64)))
             .collect();
-        let started = Instant::now();
+        let started = runtime::now();
         for _ in 0..16 {
             if session.run_update(&[], &writes).is_committed() {
                 recorder.record(TxnRecord {
                     id,
                     kind: TxnKind::Update,
                     started,
-                    finished: Instant::now(),
+                    finished: runtime::now(),
                     reads: Vec::new(),
                     writes: writes
                         .iter()
@@ -319,6 +370,214 @@ fn populate_recorded<E: TransactionEngine + ?Sized>(
                 break;
             }
         }
+    }
+}
+
+/// One closed-loop client: commits `ops_per_client` transactions from its
+/// seeded generator stream, retrying aborted updates, recording every
+/// commit. Shared between the threaded runner (one OS thread per client)
+/// and the simulation runner (one cooperative task per client); timestamps
+/// come from [`runtime::now`], so they are virtual under simulation.
+/// Attempt-scaled pause before retrying an aborted transaction. Under the
+/// simulator an immediate retry re-runs at the same virtual instant, so two
+/// conflicting updates can abort each other in a loop without virtual time
+/// ever advancing (a virtual-time livelock that only ends at the retry
+/// cap); a short, growing pause moves the clock between attempts and lets
+/// the seeded scheduler break the tie. Under the threaded runner the same
+/// pause is a cheap contention throttle.
+fn retry_pause(attempts: u32) {
+    runtime::sleep(Duration::from_micros(50) * attempts.min(40));
+}
+
+fn run_client<E: TransactionEngine + ?Sized>(
+    engine: &E,
+    scenario: &ChaosScenario,
+    node: usize,
+    client: usize,
+    progress: &AtomicU64,
+    abort: &AtomicBool,
+    recorder: &HistoryRecorder,
+) -> ClientTally {
+    let spec = &scenario.spec;
+    let client_index = node * spec.clients_per_node + client;
+    let mut generator = WorkloadGenerator::new(spec, NodeId(node), client);
+    let mut session = engine.session(node);
+    let origin = client_origin(client_index);
+    let mut tally = ClientTally {
+        committed: 0,
+        committed_read_only: 0,
+        aborted: 0,
+        read_only_aborts: 0,
+        update_retries: 0,
+    };
+    for op in 0..scenario.ops_per_client {
+        let id = TxnId::new(origin, op as u64);
+        let template = generator.next_txn();
+        let mut attempts: u32 = 0;
+        loop {
+            if abort.load(Ordering::Relaxed) || attempts >= scenario.retry_cap {
+                tally.aborted += 1;
+                break;
+            }
+            attempts += 1;
+            let started = runtime::now();
+            match &template {
+                TxnTemplate::ReadOnly { keys } => {
+                    let (outcome, observed) = session.run_read_only_observed(keys);
+                    if !outcome.is_committed() {
+                        tally.read_only_aborts += 1;
+                        retry_pause(attempts);
+                        continue;
+                    }
+                    let reads = keys
+                        .iter()
+                        .zip(observed)
+                        .map(|(key, value)| ReadRecord {
+                            key: key.clone(),
+                            observed_writer: value.as_ref().and_then(decode_writer),
+                            value,
+                        })
+                        .collect();
+                    recorder.record(TxnRecord {
+                        id,
+                        kind: TxnKind::ReadOnly,
+                        started,
+                        finished: runtime::now(),
+                        reads,
+                        writes: Vec::new(),
+                    });
+                    tally.committed += 1;
+                    tally.committed_read_only += 1;
+                    progress.fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
+                TxnTemplate::Update { keys, .. } => {
+                    // The generator's values are replaced by writer-encoded
+                    // ones so that observed reads stay attributable.
+                    let writes: Vec<(Key, Value)> = keys
+                        .iter()
+                        .enumerate()
+                        .map(|(slot, k)| (k.clone(), encode_writer(id, slot as u64)))
+                        .collect();
+                    let (outcome, observed) = session.run_update_observed(keys, &writes);
+                    if !outcome.is_committed() {
+                        tally.update_retries += 1;
+                        retry_pause(attempts);
+                        continue;
+                    }
+                    let reads = keys
+                        .iter()
+                        .zip(observed)
+                        .map(|(key, value)| ReadRecord {
+                            key: key.clone(),
+                            observed_writer: value.as_ref().and_then(decode_writer),
+                            value,
+                        })
+                        .collect();
+                    recorder.record(TxnRecord {
+                        id,
+                        kind: TxnKind::Update,
+                        started,
+                        finished: runtime::now(),
+                        reads,
+                        writes: writes
+                            .iter()
+                            .map(|(k, v)| WriteRecord {
+                                key: k.clone(),
+                                value: v.clone(),
+                            })
+                            .collect(),
+                    });
+                    tally.committed += 1;
+                    progress.fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
+            }
+        }
+        if abort.load(Ordering::Relaxed) {
+            // Count the remaining, never-attempted operations so the
+            // totals still add up.
+            tally.aborted += (scenario.ops_per_client - op - 1) as u64;
+            break;
+        }
+    }
+    tally
+}
+
+/// Folds per-client tallies, checker verdicts and expectation violations
+/// into the final [`ScenarioOutcome`]. Shared by the threaded and the
+/// simulation runners.
+#[allow(clippy::too_many_arguments)]
+fn finish_outcome(
+    engine_name: &str,
+    scenario: &ChaosScenario,
+    tallies: Vec<ClientTally>,
+    stuck: bool,
+    diagnostics: Option<String>,
+    trace_dump: Option<String>,
+    history: History,
+    elapsed: Duration,
+) -> ScenarioOutcome {
+    let mut committed = 0;
+    let mut committed_read_only = 0;
+    let mut aborted = 0;
+    let mut read_only_aborts = 0;
+    let mut update_retries = 0;
+    for tally in tallies {
+        committed += tally.committed;
+        committed_read_only += tally.committed_read_only;
+        aborted += tally.aborted;
+        read_only_aborts += tally.read_only_aborts;
+        update_retries += tally.update_retries;
+    }
+
+    let mut violations = Vec::new();
+    let consistency = if scenario.expect.external_consistency {
+        match check_all(&history) {
+            Ok(()) => Some(Ok(())),
+            Err(violation) => {
+                violations.push(format!("consistency violation: {violation}"));
+                Some(Err(violation.to_string()))
+            }
+        }
+    } else {
+        None
+    };
+    if scenario.expect.zero_read_only_aborts && read_only_aborts > 0 {
+        violations.push(format!(
+            "read-only transactions aborted {read_only_aborts} time(s); SSS promises zero"
+        ));
+    }
+    if scenario.expect.all_committed && (aborted > 0 || committed != scenario.expected_total()) {
+        violations.push(format!(
+            "expected {} committed transactions, got {committed} ({aborted} abandoned)",
+            scenario.expected_total()
+        ));
+    }
+    if stuck {
+        violations.push(format!(
+            "run stalled for {:?} with no committed transaction",
+            scenario.stall_timeout
+        ));
+    }
+
+    ScenarioOutcome {
+        scenario: scenario.name.clone(),
+        engine: engine_name.to_string(),
+        clients: scenario.spec.total_clients(),
+        ops_per_client: scenario.ops_per_client,
+        committed,
+        committed_read_only,
+        aborted,
+        read_only_aborts,
+        update_retries,
+        stuck,
+        diagnostics,
+        trace_dump,
+        consistency,
+        violations,
+        history,
+        elapsed,
     }
 }
 
@@ -433,116 +692,20 @@ pub fn run_scenario_on<E: TransactionEngine + ?Sized>(
         let mut handles = Vec::new();
         for node in 0..spec.nodes {
             for client in 0..spec.clients_per_node {
-                let client_index = node * spec.clients_per_node + client;
                 let progress = Arc::clone(&progress);
                 let abort = Arc::clone(&abort);
                 let recorder = Arc::clone(&recorder);
                 let engine_ref = &engine;
                 handles.push(scope.spawn(move || {
-                    let mut generator = WorkloadGenerator::new(spec, NodeId(node), client);
-                    let mut session = engine_ref.session(node);
-                    let origin = client_origin(client_index);
-                    let mut tally = ClientTally {
-                        committed: 0,
-                        committed_read_only: 0,
-                        aborted: 0,
-                        read_only_aborts: 0,
-                        update_retries: 0,
-                    };
-                    for op in 0..scenario.ops_per_client {
-                        let id = TxnId::new(origin, op as u64);
-                        let template = generator.next_txn();
-                        let mut attempts: u32 = 0;
-                        loop {
-                            if abort.load(Ordering::Relaxed) || attempts >= scenario.retry_cap {
-                                tally.aborted += 1;
-                                break;
-                            }
-                            attempts += 1;
-                            let started = Instant::now();
-                            match &template {
-                                TxnTemplate::ReadOnly { keys } => {
-                                    let (outcome, observed) = session.run_read_only_observed(keys);
-                                    if !outcome.is_committed() {
-                                        tally.read_only_aborts += 1;
-                                        continue;
-                                    }
-                                    let reads = keys
-                                        .iter()
-                                        .zip(observed)
-                                        .map(|(key, value)| ReadRecord {
-                                            key: key.clone(),
-                                            observed_writer: value.as_ref().and_then(decode_writer),
-                                            value,
-                                        })
-                                        .collect();
-                                    recorder.record(TxnRecord {
-                                        id,
-                                        kind: TxnKind::ReadOnly,
-                                        started,
-                                        finished: Instant::now(),
-                                        reads,
-                                        writes: Vec::new(),
-                                    });
-                                    tally.committed += 1;
-                                    tally.committed_read_only += 1;
-                                    progress.fetch_add(1, Ordering::Relaxed);
-                                    break;
-                                }
-                                TxnTemplate::Update { keys, .. } => {
-                                    // The generator's values are replaced by
-                                    // writer-encoded ones so that observed
-                                    // reads stay attributable.
-                                    let writes: Vec<(Key, Value)> = keys
-                                        .iter()
-                                        .enumerate()
-                                        .map(|(slot, k)| {
-                                            (k.clone(), encode_writer(id, slot as u64))
-                                        })
-                                        .collect();
-                                    let (outcome, observed) =
-                                        session.run_update_observed(keys, &writes);
-                                    if !outcome.is_committed() {
-                                        tally.update_retries += 1;
-                                        continue;
-                                    }
-                                    let reads = keys
-                                        .iter()
-                                        .zip(observed)
-                                        .map(|(key, value)| ReadRecord {
-                                            key: key.clone(),
-                                            observed_writer: value.as_ref().and_then(decode_writer),
-                                            value,
-                                        })
-                                        .collect();
-                                    recorder.record(TxnRecord {
-                                        id,
-                                        kind: TxnKind::Update,
-                                        started,
-                                        finished: Instant::now(),
-                                        reads,
-                                        writes: writes
-                                            .iter()
-                                            .map(|(k, v)| WriteRecord {
-                                                key: k.clone(),
-                                                value: v.clone(),
-                                            })
-                                            .collect(),
-                                    });
-                                    tally.committed += 1;
-                                    progress.fetch_add(1, Ordering::Relaxed);
-                                    break;
-                                }
-                            }
-                        }
-                        if abort.load(Ordering::Relaxed) {
-                            // Count the remaining, never-attempted
-                            // operations so the totals still add up.
-                            tally.aborted += (scenario.ops_per_client - op - 1) as u64;
-                            break;
-                        }
-                    }
-                    tally
+                    run_client(
+                        *engine_ref,
+                        scenario,
+                        node,
+                        client,
+                        &progress,
+                        &abort,
+                        &recorder,
+                    )
                 }));
             }
         }
@@ -557,70 +720,184 @@ pub fn run_scenario_on<E: TransactionEngine + ?Sized>(
 
     let elapsed = start.elapsed();
     let stuck = abort.load(Ordering::Relaxed);
-    let mut committed = 0;
-    let mut committed_read_only = 0;
-    let mut aborted = 0;
-    let mut read_only_aborts = 0;
-    let mut update_retries = 0;
-    for tally in tallies {
-        committed += tally.committed;
-        committed_read_only += tally.committed_read_only;
-        aborted += tally.aborted;
-        read_only_aborts += tally.read_only_aborts;
-        update_retries += tally.update_retries;
-    }
-
-    let history = recorder.snapshot();
-    let mut violations = Vec::new();
-    let consistency = if scenario.expect.external_consistency {
-        match check_all(&history) {
-            Ok(()) => Some(Ok(())),
-            Err(violation) => {
-                violations.push(format!("consistency violation: {violation}"));
-                Some(Err(violation.to_string()))
-            }
-        }
-    } else {
-        None
-    };
-    if scenario.expect.zero_read_only_aborts && read_only_aborts > 0 {
-        violations.push(format!(
-            "read-only transactions aborted {read_only_aborts} time(s); SSS promises zero"
-        ));
-    }
-    if scenario.expect.all_committed && (aborted > 0 || committed != scenario.expected_total()) {
-        violations.push(format!(
-            "expected {} committed transactions, got {committed} ({aborted} abandoned)",
-            scenario.expected_total()
-        ));
-    }
-    if stuck {
-        violations.push(format!(
-            "run stalled for {:?} with no committed transaction",
-            scenario.stall_timeout
-        ));
-    }
-
     let diagnostics = stuck_diagnostics.lock().take();
     let trace_dump = stuck_trace.lock().take();
-    ScenarioOutcome {
-        scenario: scenario.name.clone(),
-        engine: engine.name().to_string(),
-        clients: spec.total_clients(),
-        ops_per_client: scenario.ops_per_client,
-        committed,
-        committed_read_only,
-        aborted,
-        read_only_aborts,
-        update_retries,
+    finish_outcome(
+        engine.name(),
+        scenario,
+        tallies,
         stuck,
         diagnostics,
         trace_dump,
-        consistency,
-        violations,
-        history,
+        recorder.snapshot(),
         elapsed,
+    )
+}
+
+/// [`run_scenario`] under the deterministic simulator: one call builds a
+/// seeded [`SimRuntime`], wires the engine to it, and runs population,
+/// fault plan and every closed-loop client as cooperative tasks in virtual
+/// time. The same `(scenario, engine, seed)` triple replays the run
+/// bit-identically — [`ScenarioOutcome::summary`] and the recorded history
+/// are deterministic functions of the inputs.
+///
+/// Differences from the threaded runner:
+///
+/// * no stuck-run watchdog: a wedged run is caught by the simulator's own
+///   deadlock detector (panic with a parked-task report) instead of a
+///   wall-clock stall timeout;
+/// * [`ScenarioOutcome::elapsed`] is *virtual* time, not wall time;
+/// * history timestamps are virtual instants, so checker verdicts are
+///   reproducible.
+///
+/// # Errors
+///
+/// Returns the [`SpecError`] if the scenario's workload spec is invalid.
+pub fn run_scenario_sim(
+    kind: EngineKind,
+    scenario: &ChaosScenario,
+    seed: u64,
+) -> Result<ScenarioOutcome, SpecError> {
+    run_scenario_sim_with_tuning(kind, scenario, EngineTuning::default(), seed)
+}
+
+/// [`run_scenario_sim`] with explicit engine tuning.
+///
+/// # Errors
+///
+/// Returns the [`SpecError`] if the scenario's workload spec is invalid.
+pub fn run_scenario_sim_with_tuning(
+    kind: EngineKind,
+    scenario: &ChaosScenario,
+    tuning: EngineTuning,
+    seed: u64,
+) -> Result<ScenarioOutcome, SpecError> {
+    scenario.spec.validate()?;
+    let sim = SimRuntime::new(seed);
+    let handle = sim.handle();
+    let injector = FaultInjector::new(scenario.faults.clone());
+    let engine: Arc<Box<dyn TransactionEngine>> = Arc::new(kind.build_tuned_on(
+        scenario.spec.nodes,
+        scenario.replication.min(scenario.spec.nodes),
+        scenario.profile,
+        tuning,
+        Some(&injector),
+        Some(&handle),
+    ));
+    let outcome = run_scenario_sim_on(&sim, &engine, &injector, scenario);
+    injector.disarm();
+    sim.wait_quiescent();
+    Ok(outcome)
+}
+
+/// [`run_scenario_sim`] against an already-built engine wired to `sim`
+/// (see [`EngineKind::build_tuned_on`]); `injector` is armed at the first
+/// quiescent point after population.
+pub fn run_scenario_sim_on(
+    sim: &Arc<SimRuntime>,
+    engine: &Arc<Box<dyn TransactionEngine>>,
+    injector: &Arc<FaultInjector>,
+    scenario: &ChaosScenario,
+) -> ScenarioOutcome {
+    let spec = &scenario.spec;
+    assert_eq!(
+        engine.nodes(),
+        spec.nodes,
+        "scenario spec and engine disagree on the node count"
+    );
+
+    let recorder = Arc::new(HistoryRecorder::new());
+    // Population runs as the first foreground task: message delivery and
+    // protocol waits already move in virtual time, but no fault windows are
+    // active yet (the plan is armed below, exactly like the threaded
+    // runner arms it after population).
+    {
+        let engine = Arc::clone(engine);
+        let recorder = Arc::clone(&recorder);
+        let spec = spec.clone();
+        sim.block_on("populate", move || {
+            populate_recorded(engine.as_ref().as_ref(), &spec, &recorder);
+        });
     }
+    // Freeze at quiescence: the virtual arm time is then a deterministic
+    // function of the population run, so the plan's windows hit the same
+    // virtual instants on every replay — and the hold keeps the armed
+    // windows from firing (free-running the clock) while this host thread
+    // is still spawning the client driver below, which would make the
+    // spawn's position in the schedule a wall-clock race.
+    sim.freeze();
+    injector.arm();
+
+    let virtual_start = sim.virtual_elapsed();
+    let progress = Arc::new(AtomicU64::new(0));
+    let abort = Arc::new(AtomicBool::new(false));
+    let tallies: Arc<Mutex<Vec<ClientTally>>> = Arc::new(Mutex::new(Vec::new()));
+
+    // One driver task spawns every client as its own foreground task and
+    // parks until all of them have finished. Spawning from *inside* the
+    // simulation (rather than from the host thread) keeps the spawn order
+    // — and therefore the scheduler's seeded interleaving — deterministic.
+    {
+        let engine = Arc::clone(engine);
+        let scenario = scenario.clone();
+        let progress = Arc::clone(&progress);
+        let abort = Arc::clone(&abort);
+        let recorder = Arc::clone(&recorder);
+        let tallies = Arc::clone(&tallies);
+        sim.block_on("clients", move || {
+            let scheduler = runtime::current().expect("driver runs on a simulation task");
+            let total = scenario.spec.total_clients();
+            let remaining = Arc::new(AtomicU64::new(total as u64));
+            for node in 0..scenario.spec.nodes {
+                for client in 0..scenario.spec.clients_per_node {
+                    let engine = Arc::clone(&engine);
+                    let scenario = scenario.clone();
+                    let progress = Arc::clone(&progress);
+                    let abort = Arc::clone(&abort);
+                    let recorder = Arc::clone(&recorder);
+                    let tallies = Arc::clone(&tallies);
+                    let remaining = Arc::clone(&remaining);
+                    scheduler.spawn_task(
+                        format!("client-{node}-{client}"),
+                        false,
+                        Box::new(move || {
+                            let tally = run_client(
+                                engine.as_ref().as_ref(),
+                                &scenario,
+                                node,
+                                client,
+                                &progress,
+                                &abort,
+                                &recorder,
+                            );
+                            tallies.lock().push(tally);
+                            remaining.fetch_sub(1, Ordering::SeqCst);
+                            if let Some(scheduler) = runtime::current() {
+                                scheduler.wake();
+                            }
+                        }),
+                    );
+                }
+            }
+            while remaining.load(Ordering::SeqCst) > 0 {
+                scheduler.park(None);
+            }
+        });
+    }
+    sim.wait_quiescent();
+    let elapsed = sim.virtual_elapsed() - virtual_start;
+
+    let tallies = std::mem::take(&mut *tallies.lock());
+    finish_outcome(
+        engine.name(),
+        scenario,
+        tallies,
+        false,
+        None,
+        None,
+        recorder.snapshot(),
+        elapsed,
+    )
 }
 
 #[cfg(test)]
@@ -653,6 +930,21 @@ mod tests {
         assert_eq!(
             run_scenario(EngineKind::Sss, &scenario).unwrap_err(),
             SpecError::ZeroKeys
+        );
+    }
+
+    #[test]
+    fn sim_scenario_passes_and_replays_bit_identically() {
+        let scenario = ChaosScenario::new("sim-control", tiny_spec()).ops_per_client(5);
+        let a = run_scenario_sim(EngineKind::Sss, &scenario, 42).expect("valid spec");
+        assert!(a.passed(), "violations: {:?}", a.violations);
+        assert_eq!(a.committed, scenario.expected_total());
+        let b = run_scenario_sim(EngineKind::Sss, &scenario, 42).expect("valid spec");
+        assert_eq!(a.summary(), b.summary());
+        assert_eq!(
+            a.fingerprint(),
+            b.fingerprint(),
+            "same seed must replay the full history bit-identically"
         );
     }
 

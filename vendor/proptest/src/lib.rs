@@ -68,7 +68,27 @@ pub mod prop {
     pub use crate::strategy::{bool, collection};
 }
 
-pub use strategy::{any, Arbitrary, Strategy};
+pub use strategy::{any, Arbitrary, OneOf, Strategy};
+
+#[doc(hidden)]
+pub use rand as __rand;
+
+/// Picks uniformly among the given strategies (which must share a `Value`
+/// type) each time a value is drawn. Unlike the real crate, weighted
+/// `weight => strategy` entries are not supported.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(::std::vec![
+            $({
+                let strategy = $strategy;
+                ::std::boxed::Box::new(move |rng: &mut $crate::__rand::rngs::StdRng| {
+                    $crate::strategy::Strategy::generate(&strategy, rng)
+                }) as ::std::boxed::Box<dyn Fn(&mut $crate::__rand::rngs::StdRng) -> _>
+            }),+
+        ])
+    };
+}
 
 /// Derives the deterministic per-test RNG used by [`proptest!`].
 #[doc(hidden)]
@@ -88,7 +108,7 @@ pub mod prelude {
     pub use crate::prop;
     pub use crate::strategy::{any, Arbitrary, Strategy};
     pub use crate::test_runner::{ProptestConfig, TestCaseError};
-    pub use crate::{prop_assert, prop_assert_eq, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
 }
 
 /// Checks properties over randomly generated inputs.

@@ -84,6 +84,39 @@ impl_tuple_strategy!(A, B);
 impl_tuple_strategy!(A, B, C);
 impl_tuple_strategy!(A, B, C, D);
 
+/// Strategy built by [`prop_oneof!`](crate::prop_oneof): draws one of the
+/// component strategies uniformly, then draws a value from it. The
+/// components are erased to closures so heterogeneous strategy types with a
+/// common `Value` can be mixed, like the real crate's `TupleUnion`.
+pub struct OneOf<V> {
+    options: Vec<DrawFn<V>>,
+}
+
+/// One type-erased branch of a [`OneOf`] union: draws a value from the
+/// branch's underlying strategy.
+pub type DrawFn<V> = Box<dyn Fn(&mut StdRng) -> V>;
+
+impl<V> OneOf<V> {
+    /// Builds the union; used by the macro expansion.
+    #[doc(hidden)]
+    pub fn new(options: Vec<DrawFn<V>>) -> Self {
+        assert!(
+            !options.is_empty(),
+            "prop_oneof! needs at least one strategy"
+        );
+        OneOf { options }
+    }
+}
+
+impl<V> Strategy for OneOf<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut StdRng) -> V {
+        let index = rng.gen_range(0..self.options.len());
+        (self.options[index])(rng)
+    }
+}
+
 /// Types with a canonical "any value" strategy.
 pub trait Arbitrary: Sized {
     /// The strategy [`any`] returns.
