@@ -366,6 +366,32 @@ pub fn replay_corpus() -> Vec<CorpusEntry> {
             1,
             0xd6545986523d7974,
         ),
+        // The fault-survival entries: one pinned interleaving each of the
+        // reliable-delivery layer under sustained loss and of the two
+        // crash-stop/restart shapes (coordinator node mid-commit, round
+        // leader mid-epoch), so retransmit timing, mailbox purge and the
+        // recovery round stay bit-reproducible.
+        entry(
+            "lossy-link-669",
+            EngineKind::Sss,
+            "lossy-link",
+            669,
+            0xde97b293c262a599,
+        ),
+        entry(
+            "crash-restart-during-commit-669",
+            EngineKind::Sss,
+            "crash-restart-during-commit",
+            669,
+            0x4021c564bac5a1c2,
+        ),
+        entry(
+            "leader-crash-mid-epoch-669",
+            EngineKind::Sss,
+            "leader-crash-mid-epoch",
+            669,
+            0x4cb68759bddea4d7,
+        ),
     ]
 }
 

@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 use sss_faults::{FaultInjector, FaultInterposer};
-use sss_net::{ChannelTransport, NodeRuntime, NodeService, TransportConfig};
+use sss_net::{ChannelTransport, NodeRuntime, NodeService, ReliabilityConfig, TransportConfig};
 use sss_vclock::NodeId;
 
 use crate::config::SssConfig;
@@ -45,6 +45,10 @@ pub struct SssCluster {
     nodes: Vec<Arc<SssNode>>,
     runtimes: Mutex<Vec<NodeRuntime>>,
     injector: Option<Arc<FaultInjector>>,
+    /// Recovery tasks spawned by the restart hook (threaded runtime only;
+    /// under the simulator recovery runs as a non-daemon sim task whose
+    /// completion quiescence already waits for). Joined at shutdown.
+    recovery_threads: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
 }
 
 impl SssCluster {
@@ -59,6 +63,17 @@ impl SssCluster {
         let mut transport_config = TransportConfig::new(config.nodes)
             .latency(config.latency)
             .seed(config.seed);
+        // The reliable-delivery layer is enabled on explicit request or
+        // automatically whenever the fault plan can actually lose messages
+        // (link loss, or crash windows that purge mailboxes) — running such
+        // a plan on the bare transport would wedge the protocol by design.
+        let needs_reliable = config.reliable_delivery
+            || injector
+                .as_ref()
+                .is_some_and(|i| i.fault_plan().needs_reliable_delivery());
+        if needs_reliable {
+            transport_config = transport_config.reliable(ReliabilityConfig::default());
+        }
         if let Some(injector) = &injector {
             transport_config =
                 transport_config.interposer(Arc::clone(injector) as Arc<dyn FaultInterposer>);
@@ -109,6 +124,59 @@ impl SssCluster {
                 }),
             );
         }
+        let recovery_threads: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
+            Arc::new(Mutex::new(Vec::new()));
+        if let Some(injector) = &injector {
+            // Crash-stop hook: a crash purges the node's mailbox (undelivered
+            // messages stay outstanding in the reliable layer and are
+            // retransmitted after restart) and wipes its volatile protocol
+            // state; a restart re-opens the mailbox and runs the peer
+            // recovery round on its own task — never on the fault
+            // scheduler, which must move on to the next window, and never
+            // on a mailbox worker, which must not block on replies.
+            //
+            // Weak captures: every node holds the injector through its
+            // config, so strong handles here would cycle and leak the
+            // cluster.
+            let hook_nodes: Vec<std::sync::Weak<SssNode>> =
+                nodes.iter().map(Arc::downgrade).collect();
+            let hook_transport = Arc::downgrade(&transport);
+            let hook_scheduler = config.scheduler.clone();
+            let hook_recovery = Arc::clone(&recovery_threads);
+            injector.attach_crash_hook(Arc::new(move |index, down| {
+                let (Some(node), Some(transport)) = (
+                    hook_nodes.get(index).and_then(std::sync::Weak::upgrade),
+                    hook_transport.upgrade(),
+                ) else {
+                    return;
+                };
+                if down {
+                    transport.mailbox(NodeId(index)).crash();
+                    node.on_crash();
+                } else {
+                    transport.mailbox(NodeId(index)).restart();
+                    match &hook_scheduler {
+                        Some(scheduler) => {
+                            // Non-daemon sim task: quiescence waits for the
+                            // recovery round, so a seeded run always replays
+                            // it to completion.
+                            let _ = scheduler.spawn_task(
+                                format!("sss-recovery-{index}"),
+                                false,
+                                Box::new(move || node.recover_from_peers()),
+                            );
+                        }
+                        None => {
+                            let handle = std::thread::Builder::new()
+                                .name(format!("sss-recovery-{index}"))
+                                .spawn(move || node.recover_from_peers())
+                                .expect("failed to spawn recovery task");
+                            hook_recovery.lock().push(handle);
+                        }
+                    }
+                }
+            }));
+        }
         let runtimes = nodes
             .iter()
             .map(|node| {
@@ -127,6 +195,7 @@ impl SssCluster {
             nodes,
             runtimes: Mutex::new(runtimes),
             injector,
+            recovery_threads,
         })
     }
 
@@ -218,10 +287,41 @@ impl SssCluster {
         self.injector.as_ref()
     }
 
+    /// Per-node liveness classification for stuck-run reports: `Crashed`
+    /// while a crash window is open or a restarted node is still running
+    /// its recovery round, `Paused` while a pause window holds the mailbox,
+    /// `Alive` otherwise. Lets a watchdog distinguish "the fault plan took
+    /// a node down" from a genuine protocol livelock.
+    pub fn node_liveness(&self) -> Vec<sss_obs::NodeLiveness> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(index, node)| {
+                let crashed = !node.is_available()
+                    || self
+                        .injector
+                        .as_ref()
+                        .is_some_and(|i| i.is_node_crashed(index));
+                if crashed {
+                    sss_obs::NodeLiveness::Crashed
+                } else if self
+                    .transport
+                    .mailbox(NodeId(index))
+                    .pause_control()
+                    .is_paused()
+                {
+                    sss_obs::NodeLiveness::Paused
+                } else {
+                    sss_obs::NodeLiveness::Alive
+                }
+            })
+            .collect()
+    }
+
     /// Per-node liveness diagnostics: mailbox traffic and queue depth,
-    /// pause state, snapshot-queue entries and commits awaiting external
-    /// acknowledgement. Used by stuck-run detectors to explain *where* a
-    /// faulted scenario wedged.
+    /// pause and availability state, snapshot-queue entries and commits
+    /// awaiting external acknowledgement. Used by stuck-run detectors to
+    /// explain *where* a faulted scenario wedged.
     pub fn diagnostics(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
@@ -231,13 +331,14 @@ impl SssCluster {
             let stats = mailbox.stats();
             let _ = writeln!(
                 out,
-                "node {}: mailbox depth={} enqueued={} dequeued={} paused={} \
+                "node {}: mailbox depth={} enqueued={} dequeued={} paused={} available={} \
                  snapshot-queue-entries={} waiting-external-commits={}",
                 id.index(),
                 mailbox.len(),
                 stats.total_enqueued(),
                 stats.total_dequeued(),
                 mailbox.pause_control().is_paused(),
+                node.is_available(),
                 node.snapshot_queue_entries(),
                 node.waiting_external_commits(),
             );
@@ -256,6 +357,12 @@ impl SssCluster {
         let runtimes = std::mem::take(&mut *self.runtimes.lock());
         for runtime in runtimes {
             runtime.join();
+        }
+        // Joined after the transport shutdown: a recovery round still
+        // waiting for peer replies unblocks as soon as its channels die.
+        let recoveries = std::mem::take(&mut *self.recovery_threads.lock());
+        for handle in recoveries {
+            let _ = handle.join();
         }
     }
 }

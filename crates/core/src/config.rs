@@ -109,6 +109,41 @@ pub struct SssConfig {
     /// `None` — the default — every instrumentation site reduces to one
     /// branch, keeping the tracing-off cost near zero.
     pub observability: Option<Arc<ObsHub>>,
+    /// Force-enables the transport's reliable-delivery layer (per-link
+    /// sequence numbers, ack/retransmit with seeded backoff, receiver-side
+    /// dedup — see [`sss_net::ReliabilityConfig`]). Off by default: the
+    /// bare transport never loses messages, and leaving the layer off keeps
+    /// the handler-level idempotency guards exercised by duplicate faults.
+    /// The cluster enables the layer automatically whenever its fault
+    /// plan expresses message loss or crash windows
+    /// ([`sss_faults::FaultPlan::needs_reliable_delivery`]), regardless of
+    /// this flag.
+    pub reliable_delivery: bool,
+    /// How long a restarting node waits for its peers' `StateReply` before
+    /// coming back available anyway. Peer answers re-establish the node's
+    /// `confirmed_vc` (wiped by the crash); a peer that is itself down when
+    /// asked simply does not answer within the timeout.
+    pub recovery_timeout: Duration,
+    /// Upper bound on how long an externally-committed transaction may sit
+    /// in `pending_global` (parking read-only reads on its versions) without
+    /// its coordinator's `ReleaseExternal` arriving. The release is volatile
+    /// coordinator state: a crash can swallow it after the confirmation
+    /// round already completed (the grouped coalescer buffers releases for
+    /// piggybacking, and a crash-stop reset drops that buffer), and without
+    /// a bound every read selecting such a writer's version parks, times
+    /// out and re-parks forever. Expiring the entry is safe by then: the
+    /// coordinator's confirmation phase is itself bounded by `ack_timeout`,
+    /// so once this (longer) hold elapses the writer's client has either
+    /// been answered long ago or received the degraded
+    /// `ExternalCommitTimeout` — in both cases serving the version cannot
+    /// precede the client response. Mirrors `precommit_hold_max`: a
+    /// liveness valve for state whose owner died, swept by read traffic.
+    pub pending_global_hold_max: Duration,
+    /// How many times a client operation retries (with capped backoff)
+    /// against a down colocated node before surfacing
+    /// [`SssError::NodeUnavailable`](crate::SssError::NodeUnavailable).
+    /// Sized so the retries ride out a typical scheduled crash window.
+    pub unavailable_retry_max: u32,
     /// Optional deterministic-simulation scheduler (see `sss-sim`). When
     /// set, the transport delivers messages as virtual-time events, node
     /// workers run as cooperative simulation tasks, and any fault plan's
@@ -149,6 +184,10 @@ impl SssConfig {
             piggyback: true,
             confirm_linger: DEFAULT_CONFIRM_LINGER,
             observability: None,
+            reliable_delivery: false,
+            recovery_timeout: Duration::from_secs(1),
+            pending_global_hold_max: Duration::from_secs(30),
+            unavailable_retry_max: 100,
             scheduler: None,
         }
     }
@@ -242,6 +281,27 @@ impl SssConfig {
     /// its rings and histograms (see [`sss_obs::ObsHub`]).
     pub fn observability(mut self, hub: Arc<ObsHub>) -> Self {
         self.observability = Some(hub);
+        self
+    }
+
+    /// Force-enables the transport's reliable-delivery layer (see the
+    /// field documentation; plans with loss or crash windows enable it
+    /// automatically).
+    pub fn reliable_delivery(mut self, enabled: bool) -> Self {
+        self.reliable_delivery = enabled;
+        self
+    }
+
+    /// Sets how long a restarting node waits for peer `StateReply` answers
+    /// before coming back available.
+    pub fn recovery_timeout(mut self, timeout: Duration) -> Self {
+        self.recovery_timeout = timeout;
+        self
+    }
+
+    /// Sets the client-side retry budget against a down colocated node.
+    pub fn unavailable_retry_max(mut self, retries: u32) -> Self {
+        self.unavailable_retry_max = retries;
         self
     }
 

@@ -50,6 +50,12 @@ pub enum SssError {
     ExternalCommitTimeout,
     /// The cluster has been shut down.
     ClusterShutdown,
+    /// The session's colocated node is down (inside a crash window, or
+    /// restarted but not yet recovered from its peers) and stayed down
+    /// through the client's bounded retries. The transaction performed no
+    /// work; the client may retry later against the same session or open a
+    /// session on another node.
+    NodeUnavailable,
     /// The operation is not valid in the transaction's current state (e.g.
     /// writing inside a read-only transaction).
     InvalidOperation(&'static str),
@@ -59,6 +65,11 @@ impl SssError {
     /// `true` if the error is a transient abort that the client may retry.
     pub fn is_abort(&self) -> bool {
         matches!(self, SssError::Aborted(_))
+    }
+
+    /// `true` if the error reports a down (crashed or recovering) node.
+    pub fn is_unavailable(&self) -> bool {
+        matches!(self, SssError::NodeUnavailable)
     }
 }
 
@@ -71,6 +82,9 @@ impl std::fmt::Display for SssError {
                 write!(f, "external commit acknowledgement timed out")
             }
             SssError::ClusterShutdown => write!(f, "cluster has been shut down"),
+            SssError::NodeUnavailable => {
+                write!(f, "colocated node is down (crashed or recovering)")
+            }
             SssError::InvalidOperation(what) => write!(f, "invalid operation: {what}"),
         }
     }

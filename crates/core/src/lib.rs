@@ -75,7 +75,7 @@ pub use coalescer::{CoalescerCore, PendingConfirm, RoundPlan};
 pub use commit_queue::{CommitEntry, CommitQueue, CommitStatus};
 pub use config::{SssConfig, DEFAULT_CONFIRM_EPOCH};
 pub use error::{AbortReason, SssError};
-pub use messages::{Ack, PropagatedEntry, ReadReturn, SssMessage, Vote};
+pub use messages::{Ack, PropagatedEntry, ReadReturn, SssMessage, StateReply, Vote};
 pub use nlog::{NLog, NLogEntry};
 pub use node::SssNode;
 pub use session::{CommitInfo, ReadOnlyTransaction, Session, UpdateTransaction};

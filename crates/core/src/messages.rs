@@ -81,6 +81,18 @@ pub struct Ack {
     pub txn: TxnId,
 }
 
+/// Reply to a [`SssMessage::StateQuery`]: the peer's view of the cluster's
+/// confirmed snapshot, merged by a restarting node into its `confirmed_vc`.
+#[derive(Debug, Clone)]
+pub struct StateReply {
+    /// The answering peer.
+    pub from: NodeId,
+    /// The peer's begin snapshot (`NLog.mostRecentVC` merged with its
+    /// `confirmed_vc`): covers every update transaction whose global
+    /// external commit the peer has learned of.
+    pub vc: VectorClock,
+}
+
 /// The SSS wire protocol.
 #[derive(Debug, Clone)]
 pub enum SssMessage {
@@ -209,6 +221,17 @@ pub enum SssMessage {
         /// Nodes whose snapshot-queues now hold a propagated entry of `txn`.
         targets: Vec<NodeId>,
     },
+    /// Recovery round: a restarting node asks a peer for its view of the
+    /// confirmed snapshot. A crash wipes the node's volatile `confirmed_vc`
+    /// (the clocks of globally externally committed transactions), and
+    /// restarting with a stale snapshot would let fresh read-only
+    /// transactions begin *before* already-confirmed writers — an external
+    /// consistency violation. The node stays unavailable to colocated
+    /// clients until it merged every reachable peer's [`StateReply`].
+    StateQuery {
+        /// Where to deliver the peer's [`StateReply`].
+        reply: ReplySender<StateReply>,
+    },
 }
 
 impl SssMessage {
@@ -223,7 +246,8 @@ impl SssMessage {
             | SssMessage::Decide { .. }
             | SssMessage::RegisterForward { .. }
             | SssMessage::ConfirmExternal { .. }
-            | SssMessage::ReleaseExternal { .. } => Priority::High,
+            | SssMessage::ReleaseExternal { .. }
+            | SssMessage::StateQuery { .. } => Priority::High,
             SssMessage::ReadRequest { .. } | SssMessage::Prepare { .. } => Priority::Normal,
         }
     }
@@ -235,7 +259,7 @@ impl SssMessage {
 
     /// Labels for the per-kind message counters, indexed by
     /// [`SssMessage::kind_index`].
-    pub const KIND_LABELS: [&'static str; 7] = [
+    pub const KIND_LABELS: [&'static str; 8] = [
         "ReadRequest",
         "Prepare",
         "Decide",
@@ -243,6 +267,7 @@ impl SssMessage {
         "RegisterForward",
         "ConfirmExternal",
         "ReleaseExternal",
+        "StateQuery",
     ];
 
     /// Dense index of this message's kind, used as the per-kind counter slot
@@ -256,6 +281,7 @@ impl SssMessage {
             SssMessage::RegisterForward { .. } => 4,
             SssMessage::ConfirmExternal { .. } => 5,
             SssMessage::ReleaseExternal { .. } => 6,
+            SssMessage::StateQuery { .. } => 7,
         }
     }
 }

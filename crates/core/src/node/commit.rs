@@ -319,6 +319,9 @@ impl SssNode {
         // be re-created — no second release will ever clear it.
         if !state.released_external.contains(&waiting.txn) {
             state.pending_global.insert(waiting.txn);
+            state
+                .pending_global_at
+                .push_back((waiting.txn, sss_vclock::runtime::now()));
         }
         state
             .squeues

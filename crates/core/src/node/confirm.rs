@@ -72,6 +72,21 @@ pub(crate) struct ConfirmCoalescer {
     state: Mutex<CoalescerCore<ReplySender<bool>>>,
 }
 
+impl ConfirmCoalescer {
+    /// Crash-stop reset: drops every queued member (their waiters observe a
+    /// dropped channel → a failed round → `ExternalCommitTimeout`, the
+    /// degraded path committers already handle) and clears the leader flag
+    /// so the next committer after restart leads a fresh round. A leader
+    /// thread still looping against the old state simply drains to `Exit`;
+    /// its stale `round_completed` call lands in the fresh core's release
+    /// queue, which only re-releases transactions whose round already
+    /// collected acks or timed out — the same failure-path release as the
+    /// base protocol.
+    pub(crate) fn reset(&self) {
+        *self.state.lock() = CoalescerCore::default();
+    }
+}
+
 impl SssNode {
     /// Runs the external-commit confirmation of `txn` through the grouped
     /// coalescer: enqueues it for the next round, leads rounds if no leader

@@ -19,11 +19,11 @@ mod read;
 mod remove;
 mod state;
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use sss_net::{ChannelTransport, Envelope, NodeService, Priority, TransportExt};
+use sss_net::{reply_channel, ChannelTransport, Envelope, NodeService, Priority, TransportExt};
 use sss_storage::{Key, LockTable, MvStore, ReplicaMap, TxnId};
 use sss_vclock::{NodeId, VectorClock};
 
@@ -57,6 +57,12 @@ pub struct SssNode {
     /// Epoch-grouped external-commit confirmation state (see
     /// [`confirm`] module docs); used when `config.confirm_epoch_max > 1`.
     confirm: confirm::ConfirmCoalescer,
+    /// `false` while the node is inside a crash window or restarted but not
+    /// yet recovered from its peers. Colocated clients consult this before
+    /// starting work and degrade to
+    /// [`SssError::NodeUnavailable`](crate::SssError::NodeUnavailable)
+    /// after bounded retries.
+    available: AtomicBool,
 }
 
 impl SssNode {
@@ -77,8 +83,101 @@ impl SssNode {
             counters: NodeCounters::default(),
             next_txn_seq: AtomicU64::new(0),
             confirm: confirm::ConfirmCoalescer::default(),
+            available: AtomicBool::new(true),
             config,
         }
+    }
+
+    /// `true` while the node serves colocated clients (not crashed and not
+    /// mid-recovery).
+    pub fn is_available(&self) -> bool {
+        self.available.load(Ordering::Acquire)
+    }
+
+    /// Crash-stop: wipes the node's *volatile* protocol state and marks the
+    /// node unavailable. Called by the cluster's crash hook right after the
+    /// mailbox was purged.
+    ///
+    /// The durable/volatile split mirrors classic 2PC write-ahead logging —
+    /// what a real node would have forced to its log (and its data files)
+    /// before answering survives; everything else is in-memory bookkeeping
+    /// a restart legitimately forgets:
+    ///
+    /// * **Durable**: the store's versions and the lock table (installed
+    ///   data and prepare records), `prepared` / `commit_q` / `nlog` /
+    ///   `node_vc` (prepare and commit records), the idempotency sets
+    ///   (`prepared_ever` etc. — replay guards a WAL recovery rebuilds) and
+    ///   the transaction-id counter.
+    /// * **Volatile**: deferred and parked reads (their reply channels die
+    ///   with the process; with reliable delivery the *requests* are
+    ///   retransmitted and served after restart), Pre-Commit holds
+    ///   (`waiting_external` — the coordinator's ack times out, the
+    ///   degraded path it already handles), the snapshot-queues and forward
+    ///   targets (read-only bookkeeping), the confirmation coalescer
+    ///   (pending waiters observe a failed round), and `confirmed_vc` —
+    ///   re-learned from peers by [`SssNode::recover_from_peers`] before
+    ///   the node comes back available.
+    pub(crate) fn on_crash(&self) {
+        self.available.store(false, Ordering::Release);
+        let mut state = self.state.lock();
+        state.pending_reads.clear();
+        state.parked_reads.clear();
+        state.waiting_external.clear();
+        state.squeues = crate::squeue::SnapshotQueues::new();
+        state.ro_forward_targets.clear();
+        state.confirmed_vc = VectorClock::new(self.config.nodes);
+        drop(state);
+        self.confirm.reset();
+    }
+
+    /// Recovery round: re-learns the confirmed snapshot from peers via
+    /// `StateQuery`/`StateReply`, then marks the node available again.
+    /// Called by the cluster's restart hook on a dedicated task (never on a
+    /// mailbox worker — the round blocks on replies).
+    ///
+    /// Waits up to `config.recovery_timeout` for every peer; peers that are
+    /// themselves down simply do not answer in time, and the node comes
+    /// back with whatever subset it merged (the same guarantee degradation
+    /// as a confirmation-round timeout).
+    pub(crate) fn recover_from_peers(&self) {
+        let peers: Vec<NodeId> = (0..self.config.nodes)
+            .map(NodeId)
+            .filter(|n| *n != self.id)
+            .collect();
+        if !peers.is_empty() {
+            let (reply, receiver) = reply_channel(peers.len());
+            let sent = self
+                .transport
+                .multicast(
+                    self.id,
+                    peers.iter().copied(),
+                    SssMessage::StateQuery { reply },
+                    Priority::High,
+                )
+                .is_ok();
+            if sent {
+                let deadline = sss_vclock::runtime::now() + self.config.recovery_timeout;
+                let mut merged = VectorClock::new(self.config.nodes);
+                let mut seen = vec![false; self.config.nodes];
+                let mut distinct = 0;
+                while distinct < peers.len() {
+                    let remaining = deadline.saturating_duration_since(sss_vclock::runtime::now());
+                    match receiver.recv_timeout(remaining) {
+                        Some(answer) => {
+                            let slot = answer.from.index();
+                            if slot < seen.len() && !seen[slot] {
+                                seen[slot] = true;
+                                distinct += 1;
+                            }
+                            merged.merge(&answer.vc);
+                        }
+                        None => break,
+                    }
+                }
+                self.state.lock().confirmed_vc.merge(&merged);
+            }
+        }
+        self.available.store(true, Ordering::Release);
     }
 
     /// This node's identifier.
@@ -295,6 +394,13 @@ impl NodeService<SssMessage> for SssNode {
                 reply,
             } => self.handle_confirm_external(entries, release, remove, reply),
             SssMessage::ReleaseExternal { txns } => self.handle_release_external(txns),
+            SssMessage::StateQuery { reply } => {
+                // Recovery round: answer with this node's begin snapshot so
+                // the restarting peer's `confirmed_vc` covers every update
+                // transaction this node knows to be globally confirmed.
+                let vc = self.begin_vc();
+                reply.send(crate::messages::StateReply { from: self.id, vc });
+            }
         }
     }
 }

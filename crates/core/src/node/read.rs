@@ -71,6 +71,12 @@ impl SssNode {
             self.release_unblocked_external_commits(&mut state);
         }
 
+        // Same traffic-driven pattern for the other unbounded hold: a
+        // `pending_global` entry whose coordinator crashed before the
+        // release went out must not park this (and every retried) read
+        // forever.
+        self.expire_stale_pending_global(&mut state);
+
         let first_read_here = !has_read[i];
         if first_read_here && state.nlog.most_recent_vc().get(i) < vc.get(i) {
             // Algorithm 6 line 5: transactions already included in T.VC[i]
@@ -169,7 +175,14 @@ impl SssNode {
     /// them.
     pub(super) fn handle_release_external(&self, txns: Vec<TxnId>) {
         let mut state = self.state.lock();
-        for txn in &txns {
+        self.release_external_locked(&mut state, &txns);
+    }
+
+    /// Marks every transaction of `txns` globally externally committed and
+    /// re-serves the reads parked on any of them. Shared by the normal
+    /// `ReleaseExternal` path and the staleness sweep.
+    fn release_external_locked(&self, state: &mut NodeState, txns: &[TxnId]) {
+        for txn in txns {
             state.released_external.insert(*txn);
             state.pending_global.remove(txn);
         }
@@ -182,7 +195,43 @@ impl SssNode {
             // Re-run the full selection: the queue and log moved on while
             // the read was parked, and the new selection may park again on a
             // different (newer) unconfirmed writer.
-            self.serve_or_park_read_only(&mut state, parked.read);
+            self.serve_or_park_read_only(state, parked.read);
+        }
+    }
+
+    /// Liveness valve for `pending_global`: expires entries older than
+    /// [`crate::SssConfig::pending_global_hold_max`] as if their
+    /// `ReleaseExternal` had arrived. The release is volatile coordinator
+    /// state — a crash can drop it *after* the confirmation round completed
+    /// (the grouped coalescer buffers completed members' releases for
+    /// piggybacking on the next round, and the crash-stop reset discards
+    /// that buffer) — and an unreleased writer otherwise parks every read
+    /// selecting its version forever. Driven by read traffic, like the
+    /// `precommit_hold_max` wait-cycle breaker: the parked readers' own
+    /// retries are the clock that eventually fires the sweep. See the
+    /// config field for why expiring at this bound preserves the
+    /// completion-order guarantee.
+    fn expire_stale_pending_global(&self, state: &mut NodeState) {
+        let hold_max = self.config().pending_global_hold_max;
+        let now = sss_vclock::runtime::now();
+        let mut expired: Vec<TxnId> = Vec::new();
+        while let Some((txn, since)) = state.pending_global_at.front().copied() {
+            if now.saturating_duration_since(since) < hold_max {
+                break;
+            }
+            state.pending_global_at.pop_front();
+            // Entries released normally linger in the queue as stale
+            // records; only still-pending ones are force-released.
+            if state.pending_global.contains(&txn) {
+                expired.push(txn);
+            }
+        }
+        if !expired.is_empty() {
+            NodeCounters::add(
+                &self.counters().pending_global_expired,
+                expired.len() as u64,
+            );
+            self.release_external_locked(state, &expired);
         }
     }
 

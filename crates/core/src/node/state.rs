@@ -122,6 +122,14 @@ pub(crate) struct NodeState {
     /// yet confirmed the global external commit. Versions written by these
     /// transactions are not returned to read-only transactions yet.
     pub pending_global: RecentTxnSet,
+    /// Insertion order and time of the live `pending_global` entries, used
+    /// by the staleness sweep (`expire_stale_pending_global`): an entry
+    /// whose coordinator died after its confirmation round completed but
+    /// before the (volatile) release went out would otherwise park readers
+    /// forever. Entries released normally stay in the queue as harmless
+    /// stale records until the sweep pops them (membership is re-checked
+    /// against `pending_global` at expiry).
+    pub pending_global_at: std::collections::VecDeque<(TxnId, std::time::Instant)>,
     /// Update transactions whose `ReleaseExternal` has been processed here.
     /// Guards against the ack-timeout race where the coordinator's release
     /// overtakes this node's own external-commit completion: a transaction
@@ -168,6 +176,7 @@ impl NodeState {
             parked_reads: Vec::new(),
             waiting_external: Vec::new(),
             pending_global: RecentTxnSet::new(1 << 16),
+            pending_global_at: std::collections::VecDeque::new(),
             released_external: RecentTxnSet::new(1 << 16),
             removed_ro: RecentTxnSet::new(1 << 16),
             aborted_early: RecentTxnSet::new(1 << 16),

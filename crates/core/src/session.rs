@@ -103,6 +103,28 @@ impl Session {
     }
 }
 
+/// Waits out a colocated node's crash window: retries the availability
+/// check with capped exponential backoff up to the configured budget, then
+/// degrades to a typed [`SssError::NodeUnavailable`] instead of letting the
+/// client hang against a dead node (or begin from a wiped — stale —
+/// snapshot).
+fn ensure_available(node: &SssNode) -> Result<(), SssError> {
+    if node.is_available() {
+        return Ok(());
+    }
+    let backoff = sss_vclock::runtime::Backoff::exponential(
+        Duration::from_micros(50),
+        Duration::from_millis(2),
+    );
+    for attempt in 1..=node.config().unavailable_retry_max {
+        backoff.pause(attempt);
+        if node.is_available() {
+            return Ok(());
+        }
+    }
+    Err(SssError::NodeUnavailable)
+}
+
 /// Issues a read request to every replica of `key` and returns the fastest
 /// answer (Algorithm 5 line 9-10).
 fn remote_read(
@@ -197,6 +219,7 @@ impl UpdateTransaction {
         if let Some(value) = self.write_set.get(&key) {
             return Ok(Some(value.clone()));
         }
+        ensure_available(&self.node)?;
         if let Some(trace) = self.trace.as_mut() {
             trace.enter(Phase::Read);
         }
@@ -251,6 +274,7 @@ impl UpdateTransaction {
     pub fn commit(mut self) -> Result<CommitInfo, SssError> {
         let mut trace = self.trace.take();
         let node = &self.node;
+        ensure_available(node)?;
         let replica_map = node.replica_map();
 
         if self.write_set.is_empty() {
@@ -437,8 +461,28 @@ impl UpdateTransaction {
             // epoch covering every transaction that pre-committed in that
             // window, and handles the release phase itself (piggybacked on
             // the next round or flushed standalone), on success and failure
-            // alike.
+            // alike — for rounds it *finished*. A round that died without
+            // an answer (the leader's node crashed and the reset coalescer
+            // dropped its waiters, or the wait timed out) never releases
+            // its members, and a never-released writer wedges the write
+            // replicas permanently: every read-only attempt selecting its
+            // version parks in `pending_global` until the read timeout,
+            // aborts, and parks again on retry. Mirror the singleton
+            // path's failure behavior and release explicitly before
+            // answering the client; `handle_release_external` is
+            // idempotent, so racing a late round that does complete is
+            // harmless.
             let confirmed = node.confirm_external_grouped(self.id, commit_vc);
+            if !confirmed {
+                let _ = node.transport().multicast(
+                    node.id(),
+                    write_replicas.iter().copied(),
+                    SssMessage::ReleaseExternal {
+                        txns: vec![self.id],
+                    },
+                    Priority::High,
+                );
+            }
             timed_out || !confirmed
         } else {
             // Per-transaction path (epoch window <= 1): one singleton round
@@ -543,8 +587,12 @@ impl ReadOnlyTransaction {
         }
         let key = key.into();
         // Algorithm 5 lines 5-7: the first read pins the visibility bound to
-        // the latest snapshot committed on the colocated node.
+        // the latest snapshot committed on the colocated node. The node must
+        // be available for the bound to be trustworthy: a crash wipes
+        // `confirmed_vc`, and pinning against the wiped clock would start
+        // the snapshot *before* already-confirmed writers.
         if self.vc.is_none() {
+            ensure_available(&self.node)?;
             self.vc = Some(self.node.begin_vc());
         }
         // Track the key *before* issuing the request: even when the read

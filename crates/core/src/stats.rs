@@ -16,6 +16,7 @@ pub(crate) struct NodeCounters {
     pub external_commit_waits: AtomicU64,
     pub removes_processed: AtomicU64,
     pub precommit_wait_nanos: AtomicU64,
+    pub pending_global_expired: AtomicU64,
 }
 
 impl NodeCounters {
@@ -32,6 +33,7 @@ impl NodeCounters {
             external_commit_waits: self.external_commit_waits.load(Ordering::Relaxed),
             removes_processed: self.removes_processed.load(Ordering::Relaxed),
             precommit_wait_nanos: self.precommit_wait_nanos.load(Ordering::Relaxed),
+            pending_global_expired: self.pending_global_expired.load(Ordering::Relaxed),
         }
     }
 
@@ -73,6 +75,11 @@ pub struct NodeStats {
     /// Cumulative time (nanoseconds) update transactions spent held in
     /// snapshot-queues on this node between internal and external commit.
     pub precommit_wait_nanos: u64,
+    /// `pending_global` entries force-released by the staleness sweep — the
+    /// coordinator's `ReleaseExternal` never arrived within
+    /// `pending_global_hold_max` (its node crashed with the release still
+    /// buffered). Zero in every crash-free run.
+    pub pending_global_expired: u64,
 }
 
 impl NodeStats {
@@ -109,6 +116,7 @@ impl ClusterStats {
             totals.external_commit_waits += s.external_commit_waits;
             totals.removes_processed += s.removes_processed;
             totals.precommit_wait_nanos += s.precommit_wait_nanos;
+            totals.pending_global_expired += s.pending_global_expired;
         }
         ClusterStats { totals, nodes }
     }

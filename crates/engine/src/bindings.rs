@@ -18,7 +18,7 @@ use sss_core::adapter::{SssEngine, SssEngineSession};
 use crate::traits::{EngineSession, TransactionEngine, TxnOutcome};
 
 macro_rules! bind_engine {
-    ($engine:ty, $session:ty, $name:literal $(, diagnostics: $diag:expr)? $(, kinds: $kinds:expr)?) => {
+    ($engine:ty, $session:ty, $name:literal $(, diagnostics: $diag:expr)? $(, liveness: $liveness:expr)? $(, kinds: $kinds:expr)?) => {
         impl TransactionEngine for $engine {
             fn name(&self) -> &str {
                 $name
@@ -48,6 +48,13 @@ macro_rules! bind_engine {
                 fn diagnostics(&self) -> Option<String> {
                     #[allow(clippy::redundant_closure_call)]
                     Some(($diag)(self))
+                }
+            )?
+
+            $(
+                fn node_liveness(&self) -> Option<Vec<sss_obs::NodeLiveness>> {
+                    #[allow(clippy::redundant_closure_call)]
+                    Some(($liveness)(self))
                 }
             )?
 
@@ -97,6 +104,7 @@ bind_engine!(
     SssEngineSession,
     "SSS",
     diagnostics: |engine: &SssEngine| engine.cluster().diagnostics(),
+    liveness: |engine: &SssEngine| engine.cluster().node_liveness(),
     kinds: &sss_core::SssMessage::KIND_LABELS
 );
 bind_engine!(

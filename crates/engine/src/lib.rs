@@ -48,8 +48,8 @@ pub use sss_core::DEFAULT_CONFIRM_EPOCH;
 pub use sss_faults::{FaultInjector, FaultPlan};
 pub use sss_net::{MailboxStats, DEFAULT_DELIVERY_BATCH, MESSAGE_KIND_SLOTS};
 pub use sss_obs::{
-    chrome_trace_json, Histogram, MetricsRegistry, MetricsSnapshot, ObsHub, Phase, TraceSpan,
-    WatchdogConfig, WatchdogCore, WatchdogVerdict,
+    chrome_trace_json, Histogram, MetricsRegistry, MetricsSnapshot, NodeLiveness, ObsHub, Phase,
+    TraceSpan, WatchdogConfig, WatchdogCore, WatchdogVerdict,
 };
 pub use sss_sim::SimRuntime;
 pub use sss_storage::StorageStats;

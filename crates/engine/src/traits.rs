@@ -117,6 +117,14 @@ pub trait TransactionEngine: Send + Sync {
         None
     }
 
+    /// Per-node liveness classification (alive / paused / crashed), indexed
+    /// by node, if the engine exposes it. Watchdogs use this to distinguish
+    /// "the fault plan took a node down" from a genuine livelock in stall
+    /// reports; `None` means the engine cannot tell.
+    fn node_liveness(&self) -> Option<Vec<sss_obs::NodeLiveness>> {
+        None
+    }
+
     /// Storage-layer counters summed over the engine's nodes (per-shard
     /// contention breakdowns included), if the engine exposes them. The
     /// counters are monotonic: benchmark harnesses snapshot them at window
@@ -166,6 +174,10 @@ impl<E: TransactionEngine + ?Sized> TransactionEngine for Box<E> {
         (**self).diagnostics()
     }
 
+    fn node_liveness(&self) -> Option<Vec<sss_obs::NodeLiveness>> {
+        (**self).node_liveness()
+    }
+
     fn storage_stats(&self) -> Option<sss_storage::StorageStats> {
         (**self).storage_stats()
     }
@@ -198,6 +210,10 @@ impl<E: TransactionEngine + Send + Sync + ?Sized> TransactionEngine for Arc<E> {
 
     fn diagnostics(&self) -> Option<String> {
         (**self).diagnostics()
+    }
+
+    fn node_liveness(&self) -> Option<Vec<sss_obs::NodeLiveness>> {
+        (**self).node_liveness()
     }
 
     fn storage_stats(&self) -> Option<sss_storage::StorageStats> {

@@ -1,7 +1,7 @@
 //! The runtime half of the subsystem: turns a [`FaultPlan`] into transport
 //! interposition and scheduled pause/resume actions.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -17,6 +17,24 @@ use crate::plan::FaultPlan;
 /// How often the pause scheduler re-checks its stop flag while waiting for
 /// the next scheduled event.
 const SCHEDULER_TICK: Duration = Duration::from_millis(1);
+
+/// Callback the cluster attaches so crash-stop windows reach it: invoked
+/// with `(node, true)` when a scheduled crash begins and `(node, false)`
+/// when the node restarts. The injector itself only tracks *which* nodes
+/// are down; purging mailboxes, wiping volatile protocol state and running
+/// recovery is the cluster's job.
+pub type CrashHook = Arc<dyn Fn(usize, bool) + Send + Sync>;
+
+/// A scheduled fault action. Variant order is the tie-break for events at
+/// the same instant on the same node: recoveries (resume/restart) sort
+/// before outages (pause/crash) so back-to-back windows hand over cleanly.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+enum FaultEvent {
+    Resume,
+    Restart,
+    Pause,
+    Crash,
+}
 
 /// Executes a [`FaultPlan`] against a running cluster.
 ///
@@ -39,6 +57,14 @@ pub struct FaultInjector {
     armed_at: std::sync::OnceLock<Instant>,
     links: Mutex<HashMap<(usize, usize), StdRng>>,
     controls: Arc<Mutex<Vec<Arc<PauseControl>>>>,
+    /// Cluster-attached callback for crash/restart events; `None` until the
+    /// cluster registers one, in which case crash windows only mark the
+    /// node in `crashed` (useful for injector-level tests).
+    crash_hook: Arc<Mutex<Option<CrashHook>>>,
+    /// Nodes currently inside a crash window. `disarm` restarts the
+    /// leftovers before it resumes pause gates, so an abandoned scenario
+    /// never leaves a node permanently dead.
+    crashed: Arc<Mutex<HashSet<usize>>>,
     scheduler: Mutex<Option<std::thread::JoinHandle<()>>>,
     stop: Arc<AtomicBool>,
     /// Simulation scheduler, when the cluster runs under one: pause windows
@@ -58,6 +84,8 @@ impl FaultInjector {
             armed_at: std::sync::OnceLock::new(),
             links: Mutex::new(HashMap::new()),
             controls: Arc::new(Mutex::new(Vec::new())),
+            crash_hook: Arc::new(Mutex::new(None)),
+            crashed: Arc::new(Mutex::new(HashSet::new())),
             scheduler: Mutex::new(None),
             stop: Arc::new(AtomicBool::new(false)),
             sim: std::sync::OnceLock::new(),
@@ -84,6 +112,58 @@ impl FaultInjector {
         *self.controls.lock() = controls;
     }
 
+    /// Attaches the cluster's crash/restart callback. Called by the cluster
+    /// during start-up, before [`FaultInjector::arm`]; crash windows fired
+    /// without a hook only update the injector's crashed-node set.
+    pub fn attach_crash_hook(&self, hook: CrashHook) {
+        *self.crash_hook.lock() = Some(hook);
+    }
+
+    /// `true` while `node` is inside a scheduled crash window (crashed and
+    /// not yet restarted).
+    pub fn is_node_crashed(&self, node: usize) -> bool {
+        self.crashed.lock().contains(&node)
+    }
+
+    /// Fires one scheduled fault action against the attached controls/hook.
+    fn fire(
+        controls: &Mutex<Vec<Arc<PauseControl>>>,
+        crash_hook: &Mutex<Option<CrashHook>>,
+        crashed: &Mutex<HashSet<usize>>,
+        node: usize,
+        event: FaultEvent,
+    ) {
+        match event {
+            FaultEvent::Pause => {
+                if let Some(control) = controls.lock().get(node) {
+                    control.pause();
+                }
+            }
+            FaultEvent::Resume => {
+                if let Some(control) = controls.lock().get(node) {
+                    control.resume();
+                }
+            }
+            FaultEvent::Crash => {
+                crashed.lock().insert(node);
+                // Clone out of the lock: the hook purges mailboxes and may
+                // take its time; holding the hook lock would serialize it
+                // against disarm.
+                let hook = crash_hook.lock().clone();
+                if let Some(hook) = hook {
+                    hook(node, true);
+                }
+            }
+            FaultEvent::Restart => {
+                crashed.lock().remove(&node);
+                let hook = crash_hook.lock().clone();
+                if let Some(hook) = hook {
+                    hook(node, false);
+                }
+            }
+        }
+    }
+
     /// Arms the plan: scheduled windows are measured from this instant and
     /// probabilistic faults start firing. Idempotent — only the first call
     /// sets the epoch.
@@ -95,7 +175,7 @@ impl FaultInjector {
         if self.armed_at.set(epoch).is_err() {
             return;
         }
-        if self.plan.pauses.is_empty() {
+        if self.plan.pauses.is_empty() && self.plan.crashes.is_empty() {
             return;
         }
         // Coalesce overlapping pause windows per node before flattening to
@@ -109,7 +189,7 @@ impl FaultInjector {
                 .or_default()
                 .push((pause.start, pause.start + pause.duration));
         }
-        let mut events: Vec<(Duration, usize, bool)> = Vec::new();
+        let mut events: Vec<(Duration, usize, FaultEvent)> = Vec::new();
         for (node, mut windows) in per_node {
             windows.sort();
             let mut merged: Vec<(Duration, Duration)> = Vec::new();
@@ -122,38 +202,44 @@ impl FaultInjector {
                 }
             }
             for (start, end) in merged {
-                events.push((start, node, true));
-                events.push((end, node, false));
+                events.push((start, node, FaultEvent::Pause));
+                events.push((end, node, FaultEvent::Resume));
             }
         }
-        events.sort_by_key(|(at, node, pause)| (*at, *node, *pause));
+        // Crash windows always restart (the plan builder enforces a
+        // non-zero duration), so each contributes exactly one crash and one
+        // restart event. Unlike pauses they are not coalesced: overlapping
+        // crash windows on one node are a plan-authoring error.
+        for crash in &self.plan.crashes {
+            events.push((crash.start, crash.node, FaultEvent::Crash));
+            events.push((crash.restarts_at(), crash.node, FaultEvent::Restart));
+        }
+        events.sort_by_key(|(at, node, event)| (*at, *node, *event));
         if let Some(scheduler) = self.sim.get() {
-            // Simulated: each pause/resume is a virtual-time event; the
-            // sort above fixes the order of same-instant events.
+            // Simulated: each action is a virtual-time event; the sort
+            // above fixes the order of same-instant events.
             let mut tokens = self.sim_events.lock();
-            for (at, node, pause) in events {
+            for (at, node, event) in events {
                 let controls = Arc::clone(&self.controls);
+                let crash_hook = Arc::clone(&self.crash_hook);
+                let crashed = Arc::clone(&self.crashed);
                 tokens.push(scheduler.schedule(
                     epoch + at,
                     Box::new(move || {
-                        if let Some(control) = controls.lock().get(node) {
-                            if pause {
-                                control.pause();
-                            } else {
-                                control.resume();
-                            }
-                        }
+                        FaultInjector::fire(&controls, &crash_hook, &crashed, node, event);
                     }),
                 ));
             }
             return;
         }
         let controls = Arc::clone(&self.controls);
+        let crash_hook = Arc::clone(&self.crash_hook);
+        let crashed = Arc::clone(&self.crashed);
         let stop = Arc::clone(&self.stop);
         let handle = std::thread::Builder::new()
             .name("sss-fault-scheduler".into())
             .spawn(move || {
-                for (at, node, pause) in events {
+                for (at, node, event) in events {
                     loop {
                         if stop.load(Ordering::Acquire) {
                             return;
@@ -164,13 +250,7 @@ impl FaultInjector {
                         }
                         std::thread::sleep(SCHEDULER_TICK.min(at - elapsed));
                     }
-                    if let Some(control) = controls.lock().get(node) {
-                        if pause {
-                            control.pause();
-                        } else {
-                            control.resume();
-                        }
-                    }
+                    FaultInjector::fire(&controls, &crash_hook, &crashed, node, event);
                 }
             })
             .expect("failed to spawn fault scheduler");
@@ -193,6 +273,19 @@ impl FaultInjector {
         if let Some(scheduler) = self.sim.get() {
             for token in self.sim_events.lock().drain(..) {
                 scheduler.cancel(token);
+            }
+        }
+        // Restart nodes whose restart event was cancelled above (or whose
+        // window outlived the scenario) *before* resuming pause gates, so a
+        // node never comes back paused-but-alive with a purged mailbox.
+        let mut leftover: Vec<usize> = self.crashed.lock().drain().collect();
+        if !leftover.is_empty() {
+            leftover.sort_unstable();
+            let hook = self.crash_hook.lock().clone();
+            if let Some(hook) = hook {
+                for node in leftover {
+                    hook(node, false);
+                }
             }
         }
         for control in self.controls.lock().iter() {
@@ -264,6 +357,14 @@ impl FaultInterposer for FaultInjector {
             let rng = links
                 .entry((from_idx, to_idx))
                 .or_insert_with(|| StdRng::seed_from_u64(self.link_rng_seed(from_idx, to_idx)));
+            // The loss draw comes FIRST in each fault's draw order: a lost
+            // message consumes exactly one draw from the link's RNG stream
+            // and skips the remaining shaping draws, which keeps replay
+            // deterministic per seed regardless of what else the rule
+            // configures.
+            if fault.loss_percent > 0 && rng.gen_range(0..100u8) < fault.loss_percent {
+                return SendPlan::lost();
+            }
             if !fault.jitter.is_zero() {
                 let nanos = rng.gen_range(0..=fault.jitter.as_nanos() as u64);
                 extra += Duration::from_nanos(nanos);
@@ -430,6 +531,97 @@ mod tests {
             "inner window's resume must not cut the outer window short"
         );
         injector.disarm();
+    }
+
+    #[test]
+    fn loss_draws_are_deterministic_and_drop_the_message() {
+        let plan = FaultPlan::new(77).link_fault(
+            LinkFault::on(LinkSelector::All)
+                .loss(40)
+                .jitter(Duration::from_micros(200)),
+        );
+        let a = FaultInjector::new(plan.clone());
+        let b = FaultInjector::new(plan);
+        a.arm();
+        b.arm();
+        let mut lost = 0usize;
+        for _ in 0..200 {
+            let pa = interpose(&a, 0, 1);
+            let pb = interpose(&b, 0, 1);
+            assert_eq!(pa, pb, "loss draws must replay per seed");
+            if pa.is_lost() {
+                assert!(pa.deliveries().is_empty());
+                lost += 1;
+            }
+        }
+        assert!(lost > 40 && lost < 160, "≈40% loss rate, got {lost}/200");
+    }
+
+    #[test]
+    fn full_loss_suppresses_every_delivery() {
+        let injector = FaultInjector::new(
+            FaultPlan::new(5).link_fault(LinkFault::on(LinkSelector::All).loss(100)),
+        );
+        injector.arm();
+        for _ in 0..20 {
+            assert!(interpose(&injector, 0, 1).is_lost());
+        }
+        assert!(
+            interpose(&injector, 1, 1).is_pass(),
+            "self-links never lose"
+        );
+    }
+
+    #[test]
+    fn crash_windows_fire_the_hook_and_track_crashed_nodes() {
+        let injector = FaultInjector::new(FaultPlan::new(1).crash(
+            1,
+            Duration::from_millis(5),
+            Duration::from_millis(20),
+        ));
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&log);
+        injector.attach_crash_hook(Arc::new(move |node, down| {
+            sink.lock().push((node, down));
+        }));
+        injector.arm();
+        let deadline = Instant::now() + Duration::from_secs(1);
+        while !injector.is_node_crashed(1) && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(injector.is_node_crashed(1), "scheduled crash never fired");
+        assert!(!injector.is_node_crashed(0));
+        let deadline = Instant::now() + Duration::from_secs(1);
+        while injector.is_node_crashed(1) && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(
+            !injector.is_node_crashed(1),
+            "scheduled restart never fired"
+        );
+        assert_eq!(*log.lock(), vec![(1, true), (1, false)]);
+    }
+
+    #[test]
+    fn disarm_restarts_nodes_still_inside_a_crash_window() {
+        let injector =
+            FaultInjector::new(FaultPlan::new(1).crash(0, Duration::ZERO, Duration::from_secs(30)));
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&log);
+        injector.attach_crash_hook(Arc::new(move |node, down| {
+            sink.lock().push((node, down));
+        }));
+        injector.arm();
+        let deadline = Instant::now() + Duration::from_secs(1);
+        while !injector.is_node_crashed(0) && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(injector.is_node_crashed(0));
+        injector.disarm();
+        assert!(!injector.is_node_crashed(0), "disarm must restart the node");
+        assert_eq!(*log.lock(), vec![(0, true), (0, false)]);
+        injector.disarm();
+        assert_eq!(log.lock().len(), 2, "second disarm must not re-fire");
     }
 
     #[test]

@@ -40,12 +40,19 @@ impl LinkSelector {
 ///
 /// All percentages are 0-100 and sampled from the plan's seeded per-link
 /// random streams, so the fault decisions for a given message sequence are
-/// reproducible. Every fault is delay- or duplication-shaped; none loses a
-/// message.
+/// reproducible. Most faults are delay- or duplication-shaped;
+/// [`LinkFault::loss`] drops messages outright and therefore requires the
+/// reliable-delivery layer underneath (see `sss-net`'s transport
+/// reliability) for the protocol's safety arguments to apply.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LinkFault {
     /// Links this fault applies to.
     pub links: LinkSelector,
+    /// Percentage of matching messages that are dropped on the wire (every
+    /// copy, including duplicates the same rule would have produced). The
+    /// loss draw is sampled *first* from the link's random stream, before
+    /// any delay-shaped draws.
+    pub loss_percent: u8,
     /// Uniformly distributed extra delay (0..=jitter) added to every
     /// matching message — a jitter burst when combined with a short window.
     pub jitter: Duration,
@@ -70,6 +77,7 @@ impl LinkFault {
     pub fn on(links: LinkSelector) -> Self {
         LinkFault {
             links,
+            loss_percent: 0,
             jitter: Duration::ZERO,
             spike_percent: 0,
             spike: Duration::ZERO,
@@ -78,6 +86,17 @@ impl LinkFault {
             duplicate_percent: 0,
             duplicate_skew: Duration::ZERO,
         }
+    }
+
+    /// Drops `percent`% of matching messages on the wire.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `percent > 100`.
+    pub fn loss(mut self, percent: u8) -> Self {
+        assert!(percent <= 100, "loss percentage must be 0-100");
+        self.loss_percent = percent;
+        self
     }
 
     /// Adds uniform jitter of up to `jitter` to every matching message.
@@ -168,6 +187,30 @@ pub struct PauseWindow {
     pub duration: Duration,
 }
 
+/// A scheduled crash-stop fault: at `start` the node loses its volatile
+/// state and every message queued in its mailbox, and stops processing; at
+/// `start + duration` it restarts empty and recovers its protocol state from
+/// its peers. Unlike a [`PauseWindow`] — which only stalls the node and
+/// later drains the backlog — a crash genuinely destroys in-flight work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashWindow {
+    /// The crashed node.
+    pub node: usize,
+    /// When the crash happens, relative to the plan being armed.
+    pub start: Duration,
+    /// How long the node stays down before restarting. Must be non-zero;
+    /// a run's scheduled crashes always restart (permanent failures are
+    /// modelled by crashing past the end of the workload).
+    pub duration: Duration,
+}
+
+impl CrashWindow {
+    /// The instant (relative to arming) at which the node restarts.
+    pub fn restarts_at(&self) -> Duration {
+        self.start + self.duration
+    }
+}
+
 /// A complete, seeded description of the faults injected into one run.
 ///
 /// The plan is pure data: it can be cloned, compared, printed and replayed.
@@ -175,11 +218,13 @@ pub struct PauseWindow {
 /// streams, and all scheduled windows are relative to the instant the plan
 /// is armed, so the same plan describes the same adversary on every run.
 ///
-/// Every expressible fault preserves safety in the asynchronous system
-/// model (paper §II): messages may be delayed, reordered or duplicated and
-/// nodes may stall, but nothing is ever lost. External consistency and
-/// read-only abort freedom must therefore survive any plan; a consistency
-/// checker failure under faults is a protocol bug, not a harness artifact.
+/// Delay-shaped faults (jitter, spikes, reordering, duplication, partitions,
+/// pauses) preserve the asynchronous system model of the paper (§II):
+/// messages are late but never lost. [`LinkFault::loss`] and [`CrashWindow`]
+/// step outside that model — they require the reliable-delivery layer and
+/// the restart/recovery protocol to re-establish it. External consistency
+/// and read-only abort freedom must survive any plan; a consistency checker
+/// failure under faults is a protocol bug, not a harness artifact.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct FaultPlan {
     /// Seed of the per-link random streams.
@@ -190,6 +235,8 @@ pub struct FaultPlan {
     pub partitions: Vec<PartitionWindow>,
     /// Scheduled node pauses.
     pub pauses: Vec<PauseWindow>,
+    /// Scheduled crash-stop/restart faults.
+    pub crashes: Vec<CrashWindow>,
 }
 
 impl FaultPlan {
@@ -233,14 +280,39 @@ impl FaultPlan {
         self
     }
 
-    /// `true` when the plan injects nothing.
-    pub fn is_empty(&self) -> bool {
-        self.link_faults.is_empty() && self.partitions.is_empty() && self.pauses.is_empty()
+    /// Crashes `node` at `start`, restarting it `duration` later.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duration` is zero (scheduled crashes always restart).
+    pub fn crash(mut self, node: usize, start: Duration, duration: Duration) -> Self {
+        assert!(!duration.is_zero(), "crash windows must restart");
+        self.crashes.push(CrashWindow {
+            node,
+            start,
+            duration,
+        });
+        self
     }
 
-    /// The latest scheduled event of the plan (partition heal or pause end);
-    /// zero for purely probabilistic plans. Useful for sizing workloads so
-    /// the run outlives every scheduled fault.
+    /// `true` when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.link_faults.is_empty()
+            && self.partitions.is_empty()
+            && self.pauses.is_empty()
+            && self.crashes.is_empty()
+    }
+
+    /// `true` when the plan can drop or destroy messages (link loss or a
+    /// crash that purges a mailbox) — the faults that need the transport's
+    /// reliable-delivery layer underneath to preserve the system model.
+    pub fn needs_reliable_delivery(&self) -> bool {
+        !self.crashes.is_empty() || self.link_faults.iter().any(|f| f.loss_percent > 0)
+    }
+
+    /// The latest scheduled event of the plan (partition heal, pause end or
+    /// crash restart); zero for purely probabilistic plans. Useful for
+    /// sizing workloads so the run outlives every scheduled fault.
     pub fn last_scheduled_event(&self) -> Duration {
         let heal = self
             .partitions
@@ -254,7 +326,13 @@ impl FaultPlan {
             .map(|p| p.start + p.duration)
             .max()
             .unwrap_or(Duration::ZERO);
-        heal.max(resume)
+        let restart = self
+            .crashes
+            .iter()
+            .map(CrashWindow::restarts_at)
+            .max()
+            .unwrap_or(Duration::ZERO);
+        heal.max(resume).max(restart)
     }
 }
 
@@ -309,5 +387,30 @@ mod tests {
     #[should_panic(expected = "0-100")]
     fn invalid_percentages_are_rejected() {
         let _ = LinkFault::on(LinkSelector::All).spike(101, Duration::ZERO);
+    }
+
+    #[test]
+    fn loss_and_crashes_flag_the_reliability_requirement() {
+        assert!(!FaultPlan::new(1).needs_reliable_delivery());
+        let delay_only = FaultPlan::new(1)
+            .link_fault(LinkFault::on(LinkSelector::All).jitter(Duration::from_micros(10)))
+            .pause(0, Duration::ZERO, Duration::from_millis(1));
+        assert!(!delay_only.needs_reliable_delivery());
+        let lossy =
+            FaultPlan::new(1).link_fault(LinkFault::on(LinkSelector::Between(0, 1)).loss(25));
+        assert!(lossy.needs_reliable_delivery());
+        let crashy = FaultPlan::new(1).crash(2, Duration::from_millis(5), Duration::from_millis(8));
+        assert!(crashy.needs_reliable_delivery());
+        assert_eq!(
+            crashy.last_scheduled_event(),
+            Duration::from_millis(13),
+            "crash restarts count as scheduled events"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must restart")]
+    fn zero_length_crash_windows_are_rejected() {
+        let _ = FaultPlan::new(1).crash(0, Duration::ZERO, Duration::ZERO);
     }
 }

@@ -46,8 +46,8 @@ pub use mailbox::{
 pub use reply::{reply_channel, ReplyReceiver, ReplySender, ReplyTryRecvError};
 pub use runtime::{NodeRuntime, NodeService};
 pub use transport::{
-    ChannelTransport, Envelope, FaultInterposer, LocalDispatch, SendPlan, Transport,
-    TransportConfig, TransportError, TransportExt,
+    ChannelTransport, Envelope, FaultInterposer, LocalDispatch, ReliabilityConfig,
+    ReliabilityStats, SendPlan, Transport, TransportConfig, TransportError, TransportExt,
 };
 
 pub use sss_vclock::NodeId;

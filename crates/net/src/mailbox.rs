@@ -129,18 +129,27 @@ impl PauseControl {
     /// becomes true. The flag is re-checked under the waiter lock, so a
     /// resume (or a close that calls [`PauseControl::wake_all`] after
     /// setting the flag) can never be missed.
-    pub(crate) fn block_while_paused(&self, closed: &AtomicBool) {
+    ///
+    /// `crashed` is the owning mailbox's crash flag: a crash-stopped node's
+    /// workers idle on the same gate (a restart calls
+    /// [`PauseControl::wake_all`] to release them), so pause and crash share
+    /// one parking spot.
+    pub(crate) fn block_while_paused(&self, closed: &AtomicBool, crashed: &AtomicBool) {
+        let gated = || {
+            (self.paused.load(Ordering::Acquire) || crashed.load(Ordering::Acquire))
+                && !closed.load(Ordering::Acquire)
+        };
         if let Some(scheduler) = self.sched.get() {
             // Simulated: park the task; resume/close wake it to re-check.
             // Single-token execution makes the check-then-park race-free.
-            while self.paused.load(Ordering::Acquire) && !closed.load(Ordering::Acquire) {
+            while gated() {
                 scheduler.park(None);
             }
             return;
         }
         let mut guard = self.waiters.lock();
         *guard += 1;
-        while self.paused.load(Ordering::Acquire) && !closed.load(Ordering::Acquire) {
+        while gated() {
             self.resumed.wait(&mut guard);
         }
         *guard -= 1;
@@ -378,16 +387,30 @@ impl<M> MailboxState<M> {
 /// Messages are pushed with a [`Priority`]; worker threads pop messages with
 /// a strict priority bias (high before normal before low). The mailbox can be
 /// closed, after which pops drain remaining messages and then return `None`.
-#[derive(Debug)]
 pub struct Mailbox<M> {
     state: Mutex<MailboxState<M>>,
     ready: Condvar,
     closed: AtomicBool,
+    /// `true` while the owning node is crash-stopped: pushes are silently
+    /// dropped (the wire cannot tell a crashed machine from a slow one) and
+    /// workers idle on the pause gate. Unlike `closed`, a crash is
+    /// reversible — [`Mailbox::restart`] clears it.
+    crashed: AtomicBool,
     pause: Arc<PauseControl>,
     /// Simulation scheduler, when this mailbox runs under one: poppers park
     /// on it instead of `ready`, pushers wake through it.
     sched: SchedCell,
+    /// Optional delivery filter consulted on every popped message, *outside*
+    /// the queue lock: `false` means the message is consumed (it counts as
+    /// dequeued) but never handed to the caller. The transport's
+    /// reliable-delivery layer registers its dedup/ack hook here so
+    /// duplicate retransmissions die at the mailbox boundary.
+    filter: OnceLock<PopFilter<M>>,
 }
+
+/// A registered pop-time delivery filter (see [`Mailbox::set_pop_filter`]):
+/// `false` consumes the message without handing it to the popper.
+pub type PopFilter<M> = Arc<dyn Fn(&M) -> bool + Send + Sync>;
 
 impl<M: Send> Mailbox<M> {
     /// Creates an empty, open mailbox.
@@ -403,9 +426,75 @@ impl<M: Send> Mailbox<M> {
             }),
             ready: Condvar::new(),
             closed: AtomicBool::new(false),
+            crashed: AtomicBool::new(false),
             pause: Arc::new(PauseControl::new()),
             sched: SchedCell::default(),
+            filter: OnceLock::new(),
         }
+    }
+
+    /// Registers the delivery filter (write-once; later calls are no-ops).
+    /// See the field docs: filtered-out messages are dequeued and dropped,
+    /// never returned from a pop. The filter runs outside the queue lock,
+    /// so it may take its own locks or schedule events.
+    pub fn set_pop_filter(&self, filter: PopFilter<M>) {
+        let _ = self.filter.set(filter);
+    }
+
+    /// Applies the delivery filter to one popped message; `true` without a
+    /// filter. Must be called without the queue lock held.
+    fn passes_filter(&self, msg: &M) -> bool {
+        match self.filter.get() {
+            Some(filter) => filter(msg),
+            None => true,
+        }
+    }
+
+    /// Crash-stops the mailbox: every queued message is destroyed (a crash
+    /// loses in-flight traffic, unlike a pause) and until
+    /// [`Mailbox::restart`] all pushes are silently dropped — senders cannot
+    /// distinguish a crashed peer from a slow link, which is exactly the
+    /// ambiguity the reliable-delivery layer's retransmissions resolve.
+    /// Workers idle on the pause gate while crashed. Purged messages are
+    /// counted as dequeued so [`MailboxStats::conserves`] keeps holding
+    /// across crash windows.
+    pub fn crash(&self) {
+        self.crashed.store(true, Ordering::Release);
+        let purged = {
+            let mut state = self.state.lock();
+            let mut purged = 0u64;
+            for idx in 0..3 {
+                let n = state.queues[idx].len() as u64;
+                state.queues[idx].clear();
+                state.dequeued[idx] += n;
+                purged += n;
+            }
+            if purged > 0 {
+                state.dequeue_ops += 1;
+            }
+            purged
+        };
+        let _ = purged;
+        // Wake parked poppers so they migrate from the ready queue to the
+        // crash gate (mirrors how a pause landing mid-park re-gates).
+        self.ready.notify_all();
+        self.sched.wake();
+    }
+
+    /// Clears a crash-stop: pushes are accepted again and parked workers
+    /// resume draining. The queues start empty — everything sent during the
+    /// crash window is gone for good.
+    pub fn restart(&self) {
+        self.crashed.store(false, Ordering::Release);
+        self.pause.wake_all();
+        self.ready.notify_all();
+        self.sched.wake();
+    }
+
+    /// `true` while crash-stopped (between [`Mailbox::crash`] and
+    /// [`Mailbox::restart`]).
+    pub fn is_crashed(&self) -> bool {
+        self.crashed.load(Ordering::Acquire)
     }
 
     /// Attaches a simulation scheduler (write-once; later calls are no-ops).
@@ -437,6 +526,11 @@ impl<M: Send> Mailbox<M> {
         if self.closed.load(Ordering::Acquire) {
             return false;
         }
+        if self.crashed.load(Ordering::Acquire) {
+            // A crashed node's NIC is off: the message vanishes, but the
+            // sender observes success — loss, not rejection.
+            return true;
+        }
         let idx = priority.index();
         {
             let mut state = self.state.lock();
@@ -458,6 +552,9 @@ impl<M: Send> Mailbox<M> {
     pub fn push_batch(&self, msgs: impl IntoIterator<Item = M>, priority: Priority) -> bool {
         if self.closed.load(Ordering::Acquire) {
             return false;
+        }
+        if self.crashed.load(Ordering::Acquire) {
+            return true;
         }
         let idx = priority.index();
         let pushed = {
@@ -487,23 +584,31 @@ impl<M: Send> Mailbox<M> {
     /// Blocks until a message arrives or the mailbox is closed *and* empty,
     /// in which case `None` is returned.
     pub fn pop(&self) -> Option<M> {
-        loop {
-            // A paused node stops draining its queues (fault injection);
-            // the close flag overrides the pause so shutdown always drains.
-            if self.pause.is_paused() && !self.closed.load(Ordering::Acquire) {
-                self.pause.block_while_paused(&self.closed);
+        'outer: loop {
+            // A paused or crashed node stops draining its queues (fault
+            // injection); the close flag overrides both so shutdown always
+            // drains.
+            if self.gated() {
+                self.pause.block_while_paused(&self.closed, &self.crashed);
                 continue;
             }
             let mut state = self.state.lock();
             loop {
                 // Re-checked after every wakeup so a pause that lands while
                 // this worker is parked gates the messages behind it.
-                if self.pause.is_paused() && !self.closed.load(Ordering::Acquire) {
+                if self.gated() {
                     // Re-park on the pause gate instead of the ready queue.
                     break;
                 }
                 if let Some(msg) = state.pop_highest() {
-                    return Some(msg);
+                    // Filter outside the queue lock (it may take locks of
+                    // its own); a filtered-out message was consumed, keep
+                    // popping.
+                    drop(state);
+                    if self.passes_filter(&msg) {
+                        return Some(msg);
+                    }
+                    continue 'outer;
                 }
                 if self.closed.load(Ordering::Acquire) {
                     return None;
@@ -543,19 +648,41 @@ impl<M: Send> Mailbox<M> {
     /// Panics if `max` is zero.
     pub fn pop_batch(&self, max: usize, out: &mut Vec<M>) -> usize {
         assert!(max > 0, "pop_batch needs a non-zero batch size");
-        loop {
-            if self.pause.is_paused() && !self.closed.load(Ordering::Acquire) {
-                self.pause.block_while_paused(&self.closed);
+        'outer: loop {
+            if self.gated() {
+                self.pause.block_while_paused(&self.closed, &self.crashed);
                 continue;
             }
             let mut state = self.state.lock();
             loop {
-                if self.pause.is_paused() && !self.closed.load(Ordering::Acquire) {
+                if self.gated() {
                     break;
                 }
                 let taken = state.drain_highest(max, out);
                 if taken > 0 {
-                    return taken;
+                    // Filter the drained region outside the queue lock;
+                    // filtered-out messages were consumed. If the whole
+                    // batch dies, go back to waiting.
+                    drop(state);
+                    let kept = match self.filter.get() {
+                        None => taken,
+                        Some(filter) => {
+                            let start = out.len() - taken;
+                            let mut i = start;
+                            while i < out.len() {
+                                if filter(&out[i]) {
+                                    i += 1;
+                                } else {
+                                    out.remove(i);
+                                }
+                            }
+                            out.len() - start
+                        }
+                    };
+                    if kept > 0 {
+                        return kept;
+                    }
+                    continue 'outer;
                 }
                 if self.closed.load(Ordering::Acquire) {
                     return 0;
@@ -584,14 +711,28 @@ impl<M: Send> Mailbox<M> {
     /// whole batch of already-drained messages keep processing. The
     /// fast-path cost when not paused is one atomic load.
     pub fn pause_point(&self) {
-        if self.pause.is_paused() && !self.closed.load(Ordering::Acquire) {
-            self.pause.block_while_paused(&self.closed);
+        if self.gated() {
+            self.pause.block_while_paused(&self.closed, &self.crashed);
         }
     }
 
-    /// Pops a message if one is immediately available.
+    /// `true` while workers must not drain the queues: paused or crashed,
+    /// unless the mailbox is closed (close overrides both so shutdown can
+    /// never deadlock on a gated node).
+    fn gated(&self) -> bool {
+        (self.pause.is_paused() || self.crashed.load(Ordering::Acquire))
+            && !self.closed.load(Ordering::Acquire)
+    }
+
+    /// Pops a message if one is immediately available (and passes the
+    /// delivery filter; filtered-out messages are consumed and skipped).
     pub fn try_pop(&self) -> Option<M> {
-        self.state.lock().pop_highest()
+        loop {
+            let msg = self.state.lock().pop_highest()?;
+            if self.passes_filter(&msg) {
+                return Some(msg);
+            }
+        }
     }
 
     /// Closes the mailbox: subsequent pushes are rejected and pops return
@@ -655,6 +796,16 @@ impl<M: Send> Mailbox<M> {
 impl<M: Send> Default for Mailbox<M> {
     fn default() -> Self {
         Mailbox::new()
+    }
+}
+
+impl<M> std::fmt::Debug for Mailbox<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mailbox")
+            .field("closed", &self.closed.load(Ordering::Relaxed))
+            .field("crashed", &self.crashed.load(Ordering::Relaxed))
+            .field("paused", &self.pause.is_paused())
+            .finish_non_exhaustive()
     }
 }
 
@@ -905,6 +1056,57 @@ mod tests {
         // Close only once the popper is parked, so the close-wakeup path is
         // the one exercised.
         assert!(eventually(|| mb.parked_poppers() == 1));
+        mb.close();
+        assert_eq!(handle.join().unwrap(), None);
+    }
+
+    #[test]
+    fn crash_purges_drops_pushes_and_restart_recovers() {
+        let mb = Mailbox::new();
+        mb.push(1, Priority::Normal);
+        mb.push(2, Priority::High);
+        let before = mb.stats();
+        mb.crash();
+        assert!(mb.is_crashed());
+        assert_eq!(mb.len(), 0, "a crash destroys queued messages");
+        // Pushes during the crash window vanish without an error: the wire
+        // cannot tell a crashed node from a slow one.
+        assert!(mb.push(3, Priority::Normal));
+        assert!(mb.push_batch([4, 5], Priority::Low));
+        assert_eq!(mb.len(), 0);
+        assert_eq!(mb.try_pop(), None);
+        let during = mb.stats();
+        assert!(
+            MailboxStats::conserves(&before, &during),
+            "purged messages count as dequeued so the books stay balanced"
+        );
+        mb.restart();
+        assert!(!mb.is_crashed());
+        assert!(mb.push(6, Priority::Normal));
+        assert_eq!(mb.pop(), Some(6));
+    }
+
+    #[test]
+    fn crashed_mailbox_gates_workers_until_restart() {
+        let mb: Arc<Mailbox<u8>> = Arc::new(Mailbox::new());
+        mb.crash();
+        let popper = Arc::clone(&mb);
+        let handle = std::thread::spawn(move || popper.pop());
+        let pause = mb.pause_control();
+        assert!(eventually(|| pause.parked() == 1));
+        mb.restart();
+        mb.push(11, Priority::Normal);
+        assert_eq!(handle.join().unwrap(), Some(11));
+    }
+
+    #[test]
+    fn close_overrides_a_crash() {
+        let mb: Arc<Mailbox<u8>> = Arc::new(Mailbox::new());
+        mb.crash();
+        let popper = Arc::clone(&mb);
+        let handle = std::thread::spawn(move || popper.pop());
+        let pause = mb.pause_control();
+        assert!(eventually(|| pause.parked() == 1));
         mb.close();
         assert_eq!(handle.join().unwrap(), None);
     }

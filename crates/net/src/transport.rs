@@ -1,14 +1,14 @@
 //! The [`Transport`] abstraction and its in-process implementation.
 
-use std::collections::BinaryHeap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::{BTreeSet, BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sss_vclock::runtime::SchedulerHandle;
+use sss_vclock::runtime::{Backoff, SchedulerHandle};
 use sss_vclock::NodeId;
 
 use crate::latency::LatencyModel;
@@ -30,6 +30,12 @@ pub struct Envelope<M> {
     pub priority: Priority,
     /// The protocol payload.
     pub payload: M,
+    /// Per-link sequence number stamped by the reliable-delivery layer;
+    /// `None` when the transport runs without one. Protocol handlers never
+    /// see duplicates regardless — the receiving side of the layer filters
+    /// and acknowledges by this number before a worker hands the message to
+    /// its handler.
+    pub rel_seq: Option<u64>,
 }
 
 /// Errors returned by [`Transport`] operations.
@@ -107,11 +113,16 @@ pub trait Transport<M: Send>: Send + Sync {
 ///
 /// Every entry is one delivered copy of the message, with the *extra* delay
 /// (on top of the transport's configured latency model) to apply to that
-/// copy. The plan never drops messages: the system model assumes reliable
-/// channels, so an empty plan is normalized back to a single immediate copy.
+/// copy. A plan can also declare the message [`SendPlan::lost`]: zero copies
+/// reach the wire. Loss is only survivable when the transport runs a
+/// reliable-delivery layer (see [`ReliabilityConfig`]) whose retransmissions
+/// redraw the plan until a copy passes; without one a lost message is simply
+/// gone, which breaks the paper's reliable-channel system model — fault
+/// plans that enable loss are expected to enable reliability with it.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SendPlan {
     copies: Vec<Duration>,
+    lost: bool,
 }
 
 impl SendPlan {
@@ -119,6 +130,15 @@ impl SendPlan {
     pub fn pass() -> Self {
         SendPlan {
             copies: vec![Duration::ZERO],
+            lost: false,
+        }
+    }
+
+    /// The message is dropped on the wire: no copy is ever delivered.
+    pub fn lost() -> Self {
+        SendPlan {
+            copies: Vec::new(),
+            lost: true,
         }
     }
 
@@ -126,47 +146,62 @@ impl SendPlan {
     pub fn delayed(extra: Duration) -> Self {
         SendPlan {
             copies: vec![extra],
+            lost: false,
         }
     }
 
     /// An explicit list of copies, each with its own extra delay. Empty
-    /// lists are normalized to [`SendPlan::pass`] — interposers cannot
-    /// drop messages.
+    /// lists are normalized to [`SendPlan::pass`] — dropping a message is
+    /// an explicit decision ([`SendPlan::lost`]), never an accident of an
+    /// empty copy list.
     pub fn copies(copies: Vec<Duration>) -> Self {
         if copies.is_empty() {
             SendPlan::pass()
         } else {
-            SendPlan { copies }
+            SendPlan {
+                copies,
+                lost: false,
+            }
         }
     }
 
-    /// Adds one duplicated copy with `extra` additional delay.
+    /// Adds one duplicated copy with `extra` additional delay. No-op on a
+    /// lost plan: a dropped message has no copies to duplicate.
     pub fn duplicate(mut self, extra: Duration) -> Self {
-        self.copies.push(extra);
+        if !self.lost {
+            self.copies.push(extra);
+        }
         self
     }
 
-    /// The extra delay of every copy to deliver.
+    /// The extra delay of every copy to deliver (empty for a lost plan).
     pub fn deliveries(&self) -> &[Duration] {
         &self.copies
     }
 
     /// `true` when the plan is a single zero-delay copy (the fast path).
     pub fn is_pass(&self) -> bool {
-        self.copies.len() == 1 && self.copies[0].is_zero()
+        !self.lost && self.copies.len() == 1 && self.copies[0].is_zero()
+    }
+
+    /// `true` when the message is dropped on the wire.
+    pub fn is_lost(&self) -> bool {
+        self.lost
     }
 }
 
 /// Interposes on every [`Transport::send`], turning one logical send into a
-/// set of (possibly delayed, possibly duplicated) deliveries.
+/// set of (possibly delayed, possibly duplicated, possibly lost) deliveries.
 ///
 /// This is the hook the fault-injection subsystem (`sss-faults`) attaches
 /// to: delay spikes, jitter bursts, reordering (delaying one message so
-/// later ones overtake it), duplication and transient partitions (holding
-/// messages until the partition heals) are all expressible as a [`SendPlan`].
-/// Message *loss* is deliberately not expressible — the paper's system model
-/// assumes reliable asynchronous channels, and every safety claim this
-/// repository verifies under faults relies on eventual delivery.
+/// later ones overtake it), duplication, transient partitions (holding
+/// messages until the partition heals) and message loss are all expressible
+/// as a [`SendPlan`]. The paper's system model assumes reliable asynchronous
+/// channels; loss therefore steps outside it and is only meaningful together
+/// with the transport's reliable-delivery layer ([`ReliabilityConfig`]),
+/// which re-establishes eventual delivery by retransmission — every fresh
+/// wire attempt (first send and each retransmit) draws a fresh plan.
 ///
 /// Interposer faults compose with the transport's [`LatencyModel`]: each
 /// copy's total delay is the sampled model latency plus the plan's extra
@@ -209,6 +244,59 @@ pub trait TransportExt<M: Send + Clone>: Transport<M> {
 
 impl<M: Send + Clone, T: Transport<M> + ?Sized> TransportExt<M> for T {}
 
+/// Tuning knobs of the transport's reliable-delivery layer.
+///
+/// The layer sits between [`Transport::send`] and the destination mailbox:
+/// every message gets a per-link sequence number and is retransmitted on a
+/// capped-exponential schedule (deterministically jittered from the
+/// transport seed) until the *receiver's worker* acknowledges popping it for
+/// processing — not merely enqueueing it, so a crash that purges a mailbox
+/// also revives the retransmissions of everything it destroyed. Receivers
+/// drop already-processed sequence numbers before the handler sees them,
+/// turning the at-least-once wire into effectively-once delivery. Acks
+/// travel the reverse link and are subject to the same wire faults (loss
+/// included); a lost ack costs one duplicate, which the receiver suppresses
+/// and re-acknowledges.
+#[derive(Debug, Clone, Copy)]
+pub struct ReliabilityConfig {
+    /// Base retransmission timeout: the first retransmit of an unacked
+    /// message fires roughly this long after the send.
+    pub rto: Duration,
+    /// Upper bound on the backoff between retransmissions.
+    pub cap: Duration,
+    /// Retransmissions per message before the layer gives up, which bounds
+    /// the event cascade when a peer never restarts.
+    pub max_attempts: u32,
+}
+
+impl Default for ReliabilityConfig {
+    fn default() -> Self {
+        ReliabilityConfig {
+            rto: Duration::from_millis(1),
+            cap: Duration::from_millis(10),
+            max_attempts: 20,
+        }
+    }
+}
+
+/// Monotonic counters of the reliable-delivery layer (see
+/// [`ChannelTransport::reliability_stats`]).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ReliabilityStats {
+    /// Messages that entered the reliable layer (sequence numbers issued).
+    pub sent: u64,
+    /// Wire retransmissions performed.
+    pub retransmits: u64,
+    /// Acknowledgements that retired an outstanding message.
+    pub acks: u64,
+    /// Duplicate deliveries suppressed before reaching a handler.
+    pub duplicates_suppressed: u64,
+    /// Messages abandoned after exhausting `max_attempts` retransmissions.
+    pub gave_up: u64,
+    /// Messages currently unacknowledged (a gauge, not a counter).
+    pub outstanding: u64,
+}
+
 /// Configuration of a [`ChannelTransport`].
 #[derive(Clone)]
 pub struct TransportConfig {
@@ -225,6 +313,13 @@ pub struct TransportConfig {
     /// `now` reads come from the virtual clock, and every mailbox parks its
     /// workers on the scheduler.
     pub scheduler: Option<SchedulerHandle>,
+    /// Optional reliable-delivery layer (sequence numbers, ack/retransmit,
+    /// receiver-side dedup). Off by default: the lossless fault repertoire
+    /// (delay, reorder, duplicate, partition) is deliberately exercised
+    /// against the bare protocol — e.g. duplicate storms keep testing
+    /// handler idempotency — and only plans that lose messages or crash
+    /// nodes need the layer to restore eventual delivery.
+    pub reliable: Option<ReliabilityConfig>,
 }
 
 impl std::fmt::Debug for TransportConfig {
@@ -235,6 +330,7 @@ impl std::fmt::Debug for TransportConfig {
             .field("seed", &self.seed)
             .field("interposer", &self.interposer)
             .field("scheduler", &self.scheduler.as_ref().map(|_| "sim"))
+            .field("reliable", &self.reliable)
             .finish()
     }
 }
@@ -248,6 +344,7 @@ impl TransportConfig {
             seed: 0,
             interposer: None,
             scheduler: None,
+            reliable: None,
         }
     }
 
@@ -273,6 +370,12 @@ impl TransportConfig {
     /// [`TransportConfig::scheduler`]).
     pub fn scheduler(mut self, scheduler: SchedulerHandle) -> Self {
         self.scheduler = Some(scheduler);
+        self
+    }
+
+    /// Enables the reliable-delivery layer (see [`ReliabilityConfig`]).
+    pub fn reliable(mut self, reliable: ReliabilityConfig) -> Self {
+        self.reliable = Some(reliable);
         self
     }
 }
@@ -309,6 +412,442 @@ struct DelayerState<M> {
     rng: StdRng,
     next_seq: u64,
     shutdown: bool,
+}
+
+/// One unacknowledged message on a directed link.
+struct PendingMsg<M> {
+    envelope: Envelope<M>,
+    /// Wire attempts so far beyond the initial send.
+    attempt: u32,
+}
+
+/// Per-directed-link state of the reliable layer: the sender side of the
+/// link (sequence counter, unacked messages) and the receiver side
+/// (processed-sequence tracking for dedup) live in one entry because both
+/// ends of an in-process link belong to the same transport.
+struct LinkState<M> {
+    next_seq: u64,
+    outstanding: HashMap<u64, PendingMsg<M>>,
+    /// Receiver side: every sequence number below this has been handed to a
+    /// handler exactly once.
+    processed_floor: u64,
+    /// Receiver side: processed sequence numbers at or above the floor
+    /// (out-of-order arrivals); drained into the floor as gaps fill.
+    processed: BTreeSet<u64>,
+}
+
+impl<M> Default for LinkState<M> {
+    fn default() -> Self {
+        LinkState {
+            next_seq: 0,
+            outstanding: HashMap::new(),
+            processed_floor: 0,
+            processed: BTreeSet::new(),
+        }
+    }
+}
+
+impl<M> LinkState<M> {
+    /// Receiver-side dedup: records `seq` as processed; `false` when it
+    /// already was (the caller suppresses the duplicate).
+    fn record_processed(&mut self, seq: u64) -> bool {
+        if seq < self.processed_floor || self.processed.contains(&seq) {
+            return false;
+        }
+        self.processed.insert(seq);
+        while self.processed.remove(&self.processed_floor) {
+            self.processed_floor += 1;
+        }
+        true
+    }
+}
+
+/// A timer or delivery owned by the reliable layer.
+enum RelEvent<M> {
+    /// Check an outstanding message and put fresh copies on the wire.
+    Retransmit { from: usize, to: usize, seq: u64 },
+    /// An acknowledgement finished crossing the reverse link: retire the
+    /// outstanding message.
+    AckArrival { from: usize, to: usize, seq: u64 },
+    /// A retransmitted copy finished crossing the wire: enqueue it.
+    Deliver { envelope: Envelope<M> },
+}
+
+struct RelTimer<M> {
+    at: Instant,
+    seq: u64,
+    event: RelEvent<M>,
+}
+
+impl<M> PartialEq for RelTimer<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for RelTimer<M> {}
+impl<M> PartialOrd for RelTimer<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for RelTimer<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap; reverse so the earliest timer wins.
+        other.at.cmp(&self.at).then(other.seq.cmp(&self.seq))
+    }
+}
+
+struct RelTimerState<M> {
+    heap: BinaryHeap<RelTimer<M>>,
+    next_seq: u64,
+    shutdown: bool,
+}
+
+#[derive(Default)]
+struct RelCounters {
+    sent: AtomicU64,
+    retransmits: AtomicU64,
+    acks: AtomicU64,
+    dups: AtomicU64,
+    gave_up: AtomicU64,
+}
+
+/// The transport's reliable-delivery layer (enabled via
+/// [`TransportConfig::reliable`]; semantics on [`ReliabilityConfig`]).
+///
+/// Initial copies ride the transport's normal delivery machinery with a
+/// sequence number stamped into the envelope; everything else — acks,
+/// retransmissions, retransmitted copies in flight — is scheduled here, as
+/// virtual-time events under simulation or on a dedicated timer thread
+/// otherwise, so none of it ever touches the mailbox queue counters.
+struct ReliableLayer<M> {
+    cfg: ReliabilityConfig,
+    /// Retransmission schedule: capped exponential, jitter seeded from the
+    /// transport seed so simulated runs replay bit-identically.
+    backoff: Backoff,
+    mailboxes: Vec<Arc<Mailbox<Envelope<M>>>>,
+    interposer: Option<Arc<dyn FaultInterposer>>,
+    latency: LatencyModel,
+    links: Mutex<HashMap<(usize, usize), LinkState<M>>>,
+    /// Latency sampler for ack and retransmission crossings, seeded apart
+    /// from the forward path's so both draw reproducible sequences.
+    rng: Mutex<StdRng>,
+    sched: Option<SchedulerHandle>,
+    timers: Arc<(Mutex<RelTimerState<M>>, Condvar)>,
+    timer_thread: Mutex<Option<std::thread::JoinHandle<()>>>,
+    counters: RelCounters,
+    shutdown: AtomicBool,
+}
+
+impl<M: Send + Clone + 'static> ReliableLayer<M> {
+    fn new(
+        cfg: ReliabilityConfig,
+        mailboxes: Vec<Arc<Mailbox<Envelope<M>>>>,
+        interposer: Option<Arc<dyn FaultInterposer>>,
+        latency: LatencyModel,
+        seed: u64,
+        sched: Option<SchedulerHandle>,
+    ) -> Arc<Self> {
+        Arc::new(ReliableLayer {
+            backoff: Backoff::exponential(cfg.rto, cfg.cap).with_jitter(seed ^ 0x52_45_4C_49),
+            cfg,
+            mailboxes,
+            interposer,
+            latency,
+            links: Mutex::new(HashMap::new()),
+            rng: Mutex::new(StdRng::seed_from_u64(seed ^ 0x61_63_6B_73)),
+            sched,
+            timers: Arc::new((
+                Mutex::new(RelTimerState {
+                    heap: BinaryHeap::new(),
+                    next_seq: 0,
+                    shutdown: false,
+                }),
+                Condvar::new(),
+            )),
+            timer_thread: Mutex::new(None),
+            counters: RelCounters::default(),
+            shutdown: AtomicBool::new(false),
+        })
+    }
+
+    fn now(&self) -> Instant {
+        match &self.sched {
+            Some(sched) => sched.now(),
+            None => Instant::now(),
+        }
+    }
+
+    /// Stamps `envelope` with the next sequence number of its link, records
+    /// it as outstanding and arms its first retransmission timer. Called on
+    /// the send path before the interposer draws the wire plan, so a lost
+    /// first attempt is already covered.
+    fn register(self: &Arc<Self>, envelope: &mut Envelope<M>) {
+        let link = (envelope.from.index(), envelope.to.index());
+        let seq = {
+            let mut links = self.links.lock();
+            let state = links.entry(link).or_default();
+            let seq = state.next_seq;
+            state.next_seq += 1;
+            envelope.rel_seq = Some(seq);
+            state.outstanding.insert(
+                seq,
+                PendingMsg {
+                    envelope: envelope.clone(),
+                    attempt: 0,
+                },
+            );
+            seq
+        };
+        self.counters.sent.fetch_add(1, Ordering::Relaxed);
+        let at = self.now() + self.backoff.delay(1);
+        self.schedule(
+            at,
+            RelEvent::Retransmit {
+                from: link.0,
+                to: link.1,
+                seq,
+            },
+        );
+    }
+
+    /// The mailbox pop filter: decides whether a popped message reaches the
+    /// handler. Unstamped messages always pass. Stamped ones are deduped
+    /// against the link's processed set and acknowledged either way — a
+    /// duplicate usually means the previous ack was lost on the wire.
+    ///
+    /// Acking at *pop* time rather than enqueue time is what makes crashes
+    /// survivable: a crash purges the destination queue, so everything that
+    /// was enqueued but never popped stays unacknowledged and keeps being
+    /// retransmitted until the node restarts and processes it.
+    fn on_pop(self: &Arc<Self>, envelope: &Envelope<M>) -> bool {
+        let Some(seq) = envelope.rel_seq else {
+            return true;
+        };
+        let link = (envelope.from.index(), envelope.to.index());
+        let fresh = {
+            let mut links = self.links.lock();
+            links.entry(link).or_default().record_processed(seq)
+        };
+        if !fresh {
+            self.counters.dups.fetch_add(1, Ordering::Relaxed);
+        }
+        self.send_ack(envelope.from, envelope.to, seq);
+        fresh
+    }
+
+    /// Models the ack crossing the reverse link: it draws the interposer's
+    /// plan for `to -> from` (acks are lost, delayed and duplicated like any
+    /// other traffic) and, if a copy survives, schedules the retirement of
+    /// the outstanding message after the reverse latency.
+    fn send_ack(self: &Arc<Self>, from: NodeId, to: NodeId, seq: u64) {
+        if self.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let now = self.now();
+        let plan = match &self.interposer {
+            Some(interposer) => interposer.plan(to, from, now),
+            None => SendPlan::pass(),
+        };
+        if plan.is_lost() {
+            return;
+        }
+        let extra = plan.deliveries().first().copied().unwrap_or(Duration::ZERO);
+        let delay = self.latency.sample(&mut *self.rng.lock()) + extra;
+        self.schedule(
+            now + delay,
+            RelEvent::AckArrival {
+                from: from.index(),
+                to: to.index(),
+                seq,
+            },
+        );
+    }
+
+    fn on_ack(&self, from: usize, to: usize, seq: u64) {
+        let mut links = self.links.lock();
+        if let Some(state) = links.get_mut(&(from, to)) {
+            if state.outstanding.remove(&seq).is_some() {
+                self.counters.acks.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// A retransmission timer fired: if the message is still outstanding,
+    /// put fresh copies on the wire (fresh interposer draw, fresh latency
+    /// samples) and arm the next, longer timer. Gives up once the
+    /// destination closed or `max_attempts` is exhausted.
+    fn on_retransmit(self: &Arc<Self>, from: usize, to: usize, seq: u64) {
+        if self.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let (envelope, attempt) = {
+            let mut links = self.links.lock();
+            let Some(state) = links.get_mut(&(from, to)) else {
+                return;
+            };
+            let Some(pending) = state.outstanding.get_mut(&seq) else {
+                return;
+            };
+            if self.mailboxes[to].is_closed() {
+                state.outstanding.remove(&seq);
+                return;
+            }
+            pending.attempt += 1;
+            if pending.attempt > self.cfg.max_attempts {
+                state.outstanding.remove(&seq);
+                self.counters.gave_up.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            (pending.envelope.clone(), pending.attempt)
+        };
+        self.counters.retransmits.fetch_add(1, Ordering::Relaxed);
+        let now = self.now();
+        let plan = match &self.interposer {
+            Some(interposer) => interposer.plan(envelope.from, envelope.to, now),
+            None => SendPlan::pass(),
+        };
+        for extra in plan.deliveries() {
+            let delay = self.latency.sample(&mut *self.rng.lock()) + *extra;
+            self.schedule(
+                now + delay,
+                RelEvent::Deliver {
+                    envelope: envelope.clone(),
+                },
+            );
+        }
+        self.schedule(
+            now + self.backoff.delay(attempt + 1),
+            RelEvent::Retransmit { from, to, seq },
+        );
+    }
+
+    fn run_event(self: &Arc<Self>, event: RelEvent<M>) {
+        match event {
+            RelEvent::Retransmit { from, to, seq } => self.on_retransmit(from, to, seq),
+            RelEvent::AckArrival { from, to, seq } => self.on_ack(from, to, seq),
+            RelEvent::Deliver { envelope } => {
+                let mailbox = &self.mailboxes[envelope.to.index()];
+                let priority = envelope.priority;
+                // A push into a closed mailbox is a silent no-op and a push
+                // into a crashed one is dropped on purpose — the message
+                // stays outstanding and a later retransmission lands it.
+                mailbox.push(envelope, priority);
+            }
+        }
+    }
+
+    /// Schedules `event` for `at`: a virtual-time event under simulation, a
+    /// timer-heap entry serviced by the layer's timer thread otherwise.
+    /// Events hold the layer weakly so a dropped transport stops the
+    /// machinery instead of being kept alive by its own timers.
+    fn schedule(self: &Arc<Self>, at: Instant, event: RelEvent<M>) {
+        if self.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        match &self.sched {
+            Some(sched) => {
+                let weak = Arc::downgrade(self);
+                sched.schedule(
+                    at,
+                    Box::new(move || {
+                        if let Some(layer) = weak.upgrade() {
+                            layer.run_event(event);
+                        }
+                    }),
+                );
+            }
+            None => {
+                self.ensure_timer_thread();
+                let (lock, cvar) = &*self.timers;
+                let mut guard = lock.lock();
+                if guard.shutdown {
+                    return;
+                }
+                let seq = guard.next_seq;
+                guard.next_seq += 1;
+                guard.heap.push(RelTimer { at, seq, event });
+                drop(guard);
+                cvar.notify_all();
+            }
+        }
+    }
+
+    fn ensure_timer_thread(self: &Arc<Self>) {
+        let mut guard = self.timer_thread.lock();
+        if guard.is_some() {
+            return;
+        }
+        let weak = Arc::downgrade(self);
+        let timers = Arc::clone(&self.timers);
+        let handle = std::thread::Builder::new()
+            .name("sss-net-reliable".into())
+            .spawn(move || Self::timer_loop(weak, timers))
+            .expect("failed to spawn reliable-delivery timer thread");
+        *guard = Some(handle);
+    }
+
+    fn timer_loop(
+        weak: std::sync::Weak<ReliableLayer<M>>,
+        timers: Arc<(Mutex<RelTimerState<M>>, Condvar)>,
+    ) {
+        let (lock, cvar) = &*timers;
+        let mut guard = lock.lock();
+        loop {
+            if guard.shutdown {
+                return;
+            }
+            let now = Instant::now();
+            if let Some(top) = guard.heap.peek() {
+                if top.at <= now {
+                    let timer = guard.heap.pop().expect("peeked timer vanished");
+                    // Run outside the heap lock: events take the link and
+                    // rng locks and may schedule further timers.
+                    drop(guard);
+                    match weak.upgrade() {
+                        Some(layer) => layer.run_event(timer.event),
+                        None => return,
+                    }
+                    guard = lock.lock();
+                    continue;
+                }
+                let wait = top.at - now;
+                cvar.wait_for(&mut guard, wait);
+            } else {
+                cvar.wait_for(&mut guard, Duration::from_millis(50));
+            }
+        }
+    }
+
+    /// Stops the layer: no new timers, timer thread joined, outstanding
+    /// messages dropped (shutdown is not a fault to recover from).
+    fn stop(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        {
+            let (lock, cvar) = &*self.timers;
+            lock.lock().shutdown = true;
+            cvar.notify_all();
+        }
+        if let Some(handle) = self.timer_thread.lock().take() {
+            let _ = handle.join();
+        }
+        self.links.lock().clear();
+    }
+
+    fn stats(&self) -> ReliabilityStats {
+        let outstanding = {
+            let links = self.links.lock();
+            links.values().map(|l| l.outstanding.len() as u64).sum()
+        };
+        ReliabilityStats {
+            sent: self.counters.sent.load(Ordering::Relaxed),
+            retransmits: self.counters.retransmits.load(Ordering::Relaxed),
+            acks: self.counters.acks.load(Ordering::Relaxed),
+            duplicates_suppressed: self.counters.dups.load(Ordering::Relaxed),
+            gave_up: self.counters.gave_up.load(Ordering::Relaxed),
+            outstanding,
+        }
+    }
 }
 
 /// In-process [`Transport`] built on per-node priority [`Mailbox`]es.
@@ -348,6 +887,7 @@ pub struct ChannelTransport<M> {
     interposer: Option<Arc<dyn FaultInterposer>>,
     delayer: Option<DelayerHandle<M>>,
     sim: Option<SimCtx>,
+    reliable: Option<Arc<ReliableLayer<M>>>,
 }
 
 /// Simulation-mode context of a [`ChannelTransport`]: latency turns into
@@ -366,7 +906,7 @@ struct DelayerHandle<M> {
     thread: Mutex<Option<std::thread::JoinHandle<()>>>,
 }
 
-impl<M: Send + 'static> ChannelTransport<M> {
+impl<M: Send + Clone + 'static> ChannelTransport<M> {
     /// Creates a transport for `config.nodes` nodes.
     ///
     /// # Panics
@@ -395,6 +935,24 @@ impl<M: Send + 'static> ChannelTransport<M> {
         } else {
             Some(Self::spawn_delayer(config.seed))
         };
+        let reliable = config.reliable.map(|rel| {
+            let layer = ReliableLayer::new(
+                rel,
+                mailboxes.clone(),
+                config.interposer.clone(),
+                config.latency,
+                config.seed,
+                sim.as_ref().map(|ctx| Arc::clone(&ctx.sched)),
+            );
+            // Receiver side of the layer: every mailbox filters popped
+            // messages through the dedup/ack hook before its workers hand
+            // them to handlers.
+            for mailbox in &mailboxes {
+                let hook = Arc::clone(&layer);
+                mailbox.set_pop_filter(Arc::new(move |env: &Envelope<M>| hook.on_pop(env)));
+            }
+            layer
+        });
         ChannelTransport {
             mailboxes,
             local: (0..config.nodes).map(|_| OnceLock::new()).collect(),
@@ -407,6 +965,7 @@ impl<M: Send + 'static> ChannelTransport<M> {
             interposer: config.interposer,
             delayer,
             sim,
+            reliable,
         }
     }
 
@@ -457,9 +1016,16 @@ impl<M: Send + 'static> ChannelTransport<M> {
     /// through it right now is indistinguishable from the mailbox path:
     /// never across a pause or after a close.
     fn local_fast_path(&self, to: NodeId) -> Option<&LocalDispatch<M>> {
+        // With the reliable layer on, even self-addressed messages take the
+        // queue: their sequence numbers must pass the pop filter so a node
+        // that crashes with its own messages in flight gets them back via
+        // retransmission (e.g. a coordinator's Decide to itself).
+        if self.reliable.is_some() {
+            return None;
+        }
         let dispatch = self.local.get(to.index())?.get()?;
         let mailbox = &self.mailboxes[to.index()];
-        if mailbox.is_closed() || mailbox.pause_control().is_paused() {
+        if mailbox.is_closed() || mailbox.pause_control().is_paused() || mailbox.is_crashed() {
             return None;
         }
         Some(dispatch)
@@ -559,6 +1125,9 @@ impl<M: Send + 'static> ChannelTransport<M> {
     /// workers that keep draining them; new sends fail with
     /// [`TransportError::Closed`].
     pub fn shutdown(&self) {
+        if let Some(layer) = &self.reliable {
+            layer.stop();
+        }
         if let Some(delayer) = &self.delayer {
             {
                 let (lock, cvar) = &*delayer.state;
@@ -572,6 +1141,12 @@ impl<M: Send + 'static> ChannelTransport<M> {
         for mb in &self.mailboxes {
             mb.close();
         }
+    }
+
+    /// Counters of the reliable-delivery layer; `None` when the transport
+    /// runs without one.
+    pub fn reliability_stats(&self) -> Option<ReliabilityStats> {
+        self.reliable.as_ref().map(|layer| layer.stats())
     }
 }
 
@@ -651,29 +1226,36 @@ impl<M: Send + Clone + 'static> Transport<M> for ChannelTransport<M> {
             return Err(TransportError::UnknownNode(to));
         };
         self.note_kind(to, &payload, 1);
+        let mut envelope = Envelope {
+            from,
+            to,
+            priority,
+            payload,
+            rel_seq: None,
+        };
+        // Registered before the wire draw: a message whose very first
+        // attempt is lost is already outstanding and will be retransmitted.
+        if let Some(layer) = &self.reliable {
+            layer.register(&mut envelope);
+        }
         let plan = match &self.interposer {
             Some(interposer) => interposer.plan(from, to, self.now()),
             None => SendPlan::pass(),
         };
+        if plan.is_lost() {
+            // Dropped on the wire. With the reliable layer on, the
+            // retransmission timer recovers it; without, the caller opted
+            // into a lossy network and the message is gone.
+            return Ok(());
+        }
         if self.latency.is_zero() && plan.is_pass() {
             if from == to {
                 if let Some(dispatch) = self.local_fast_path(to) {
                     self.local_delivered[to.index()].fetch_add(1, Ordering::Relaxed);
-                    dispatch(Envelope {
-                        from,
-                        to,
-                        priority,
-                        payload,
-                    });
+                    dispatch(envelope);
                     return Ok(());
                 }
             }
-            let envelope = Envelope {
-                from,
-                to,
-                priority,
-                payload,
-            };
             return if mailbox.push(envelope, priority) {
                 Ok(())
             } else {
@@ -685,17 +1267,7 @@ impl<M: Send + Clone + 'static> Transport<M> for ChannelTransport<M> {
                 return Err(TransportError::Closed);
             }
             let now = ctx.sched.now();
-            self.stage_sim(
-                ctx,
-                Envelope {
-                    from,
-                    to,
-                    priority,
-                    payload,
-                },
-                &plan,
-                now,
-            );
+            self.stage_sim(ctx, envelope, &plan, now);
             return Ok(());
         }
         self.ensure_delayer_thread();
@@ -708,17 +1280,7 @@ impl<M: Send + Clone + 'static> Transport<M> for ChannelTransport<M> {
         if guard.shutdown {
             return Err(TransportError::Closed);
         }
-        self.stage_delayed(
-            &mut guard,
-            Envelope {
-                from,
-                to,
-                priority,
-                payload,
-            },
-            &plan,
-            Instant::now(),
-        );
+        self.stage_delayed(&mut guard, envelope, &plan, Instant::now());
         cvar.notify_one();
         Ok(())
     }
@@ -736,8 +1298,23 @@ impl<M: Send + Clone + 'static> Transport<M> for ChannelTransport<M> {
         if batch.is_empty() {
             return Ok(());
         }
-        for payload in &batch {
-            self.note_kind(to, payload, 1);
+        let mut envelopes: Vec<Envelope<M>> = batch
+            .into_iter()
+            .map(|payload| Envelope {
+                from,
+                to,
+                priority,
+                payload,
+                rel_seq: None,
+            })
+            .collect();
+        for env in &envelopes {
+            self.note_kind(to, &env.payload, 1);
+        }
+        if let Some(layer) = &self.reliable {
+            for env in &mut envelopes {
+                layer.register(env);
+            }
         }
         // The interposer is consulted once per message — a batch is a
         // delivery optimization, not a unit the fault model can observe, so
@@ -745,35 +1322,42 @@ impl<M: Send + Clone + 'static> Transport<M> for ChannelTransport<M> {
         // duplicate semantics) is identical to a sequence of single sends.
         let now = self.now();
         let plans: Vec<SendPlan> = match &self.interposer {
-            Some(interposer) => batch
+            Some(interposer) => envelopes
                 .iter()
                 .map(|_| interposer.plan(from, to, now))
                 .collect(),
             None => Vec::new(),
         };
+        // Wire loss strikes per message: lost envelopes leave the batch here
+        // (retransmission recovers them when the reliable layer is on).
+        let mut plans = plans;
+        if plans.iter().any(|p| p.is_lost()) {
+            let mut kept_envelopes = Vec::with_capacity(envelopes.len());
+            let mut kept_plans = Vec::with_capacity(plans.len());
+            for (env, plan) in envelopes.into_iter().zip(plans) {
+                if !plan.is_lost() {
+                    kept_envelopes.push(env);
+                    kept_plans.push(plan);
+                }
+            }
+            envelopes = kept_envelopes;
+            plans = kept_plans;
+            if envelopes.is_empty() {
+                return Ok(());
+            }
+        }
         let all_pass = plans.iter().all(|p| p.is_pass());
         if self.latency.is_zero() && all_pass {
             if from == to {
                 if let Some(dispatch) = self.local_fast_path(to) {
                     self.local_delivered[to.index()]
-                        .fetch_add(batch.len() as u64, Ordering::Relaxed);
-                    for payload in batch {
-                        dispatch(Envelope {
-                            from,
-                            to,
-                            priority,
-                            payload,
-                        });
+                        .fetch_add(envelopes.len() as u64, Ordering::Relaxed);
+                    for envelope in envelopes {
+                        dispatch(envelope);
                     }
                     return Ok(());
                 }
             }
-            let envelopes = batch.into_iter().map(|payload| Envelope {
-                from,
-                to,
-                priority,
-                payload,
-            });
             return if mailbox.push_batch(envelopes, priority) {
                 Ok(())
             } else {
@@ -785,19 +1369,9 @@ impl<M: Send + Clone + 'static> Transport<M> for ChannelTransport<M> {
                 return Err(TransportError::Closed);
             }
             let pass = SendPlan::pass();
-            for (i, payload) in batch.into_iter().enumerate() {
+            for (i, envelope) in envelopes.into_iter().enumerate() {
                 let plan = plans.get(i).unwrap_or(&pass);
-                self.stage_sim(
-                    ctx,
-                    Envelope {
-                        from,
-                        to,
-                        priority,
-                        payload,
-                    },
-                    plan,
-                    now,
-                );
+                self.stage_sim(ctx, envelope, plan, now);
             }
             return Ok(());
         }
@@ -812,14 +1386,8 @@ impl<M: Send + Clone + 'static> Transport<M> for ChannelTransport<M> {
             return Err(TransportError::Closed);
         }
         let pass = SendPlan::pass();
-        for (i, payload) in batch.into_iter().enumerate() {
+        for (i, envelope) in envelopes.into_iter().enumerate() {
             let plan = plans.get(i).unwrap_or(&pass);
-            let envelope = Envelope {
-                from,
-                to,
-                priority,
-                payload,
-            };
             self.stage_delayed(&mut guard, envelope, plan, now);
         }
         cvar.notify_one();
@@ -1016,6 +1584,12 @@ mod tests {
                 .len(),
             2
         );
+        let lost = SendPlan::lost();
+        assert!(lost.is_lost());
+        assert!(!lost.is_pass());
+        assert!(lost.deliveries().is_empty());
+        assert!(lost.duplicate(Duration::ZERO).deliveries().is_empty());
+        assert!(!SendPlan::pass().is_lost());
     }
 
     #[test]

@@ -34,4 +34,4 @@ pub mod watchdog;
 pub use hist::Histogram;
 pub use metrics::{Counter, Gauge, MetricsRegistry, MetricsSnapshot, SharedHistogram};
 pub use trace::{chrome_trace_json, ObsHub, Phase, TraceRing, TraceSpan, TxnTrace};
-pub use watchdog::{ProgressSnapshot, WatchdogConfig, WatchdogCore, WatchdogVerdict};
+pub use watchdog::{NodeLiveness, ProgressSnapshot, WatchdogConfig, WatchdogCore, WatchdogVerdict};

@@ -13,7 +13,35 @@
 //! window.
 
 use std::collections::VecDeque;
+use std::fmt;
 use std::time::{Duration, Instant};
+
+/// Liveness of one node at observation time, as reported by the engine.
+///
+/// A stall report that shows every node `alive` points at a genuine
+/// protocol livelock; one that shows a node `crashed` or `paused` points at
+/// the fault plan (a crash window still open, a pause window still active,
+/// or a restart whose recovery round has not completed) — a very different
+/// debugging path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeLiveness {
+    /// The node is up and its mailbox is draining.
+    Alive,
+    /// The node's mailbox delivery is paused by a fault window.
+    Paused,
+    /// The node is crash-stopped, or restarted but still recovering.
+    Crashed,
+}
+
+impl fmt::Display for NodeLiveness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            NodeLiveness::Alive => "alive",
+            NodeLiveness::Paused => "paused",
+            NodeLiveness::Crashed => "crashed",
+        })
+    }
+}
 
 /// Configuration of a [`WatchdogCore`].
 #[derive(Debug, Clone, Copy)]
@@ -48,6 +76,9 @@ pub struct ProgressSnapshot {
     pub flat_for: Duration,
     /// Driver-supplied detail (engine diagnostics).
     pub detail: String,
+    /// Per-node liveness at observation time, indexed by node. Empty when
+    /// the driver has no liveness source (engines without introspection).
+    pub nodes: Vec<NodeLiveness>,
 }
 
 /// The verdict of one [`WatchdogCore::observe`] call.
@@ -88,6 +119,19 @@ impl WatchdogCore {
     /// history snapshot is due (at most once per `snapshot_every`), so the
     /// driver can pass an expensive diagnostics closure on every tick.
     pub fn observe(&mut self, progress: u64, detail: impl FnOnce() -> String) -> WatchdogVerdict {
+        self.observe_with(progress, detail, Vec::new)
+    }
+
+    /// [`WatchdogCore::observe`] with a per-node liveness source. Like
+    /// `detail`, `liveness` is invoked lazily, only when a history snapshot
+    /// is due; the statuses let [`WatchdogCore::report`] distinguish a
+    /// crashed or paused node from a genuine livelock.
+    pub fn observe_with(
+        &mut self,
+        progress: u64,
+        detail: impl FnOnce() -> String,
+        liveness: impl FnOnce() -> Vec<NodeLiveness>,
+    ) -> WatchdogVerdict {
         if self.last_progress != Some(progress) {
             self.last_progress = Some(progress);
             self.last_change = Instant::now();
@@ -102,6 +146,7 @@ impl WatchdogCore {
                 progress,
                 flat_for: self.last_change.elapsed(),
                 detail: detail(),
+                nodes: liveness(),
             });
             while self.history.len() > self.config.history.max(1) {
                 self.history.pop_front();
@@ -125,7 +170,11 @@ impl WatchdogCore {
     }
 
     /// Renders the snapshot history as an indented report: the last N
-    /// observations leading up to (and including) the stall.
+    /// observations leading up to (and including) the stall, each with the
+    /// per-node liveness it observed, plus a one-line classification —
+    /// `suspect: ...` when any node was crashed or paused at the latest
+    /// snapshot (the stall is then explained by the fault plan, not by a
+    /// protocol livelock).
     pub fn report(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
@@ -135,12 +184,41 @@ impl WatchdogCore {
             self.history.len(),
             self.flat_for(),
         );
+        if let Some(latest) = self.history.back() {
+            let down: Vec<String> = latest
+                .nodes
+                .iter()
+                .enumerate()
+                .filter(|(_, status)| **status != NodeLiveness::Alive)
+                .map(|(index, status)| format!("node {index} {status}"))
+                .collect();
+            if down.is_empty() {
+                if !latest.nodes.is_empty() {
+                    let _ = writeln!(
+                        out,
+                        "  suspect: livelock — every node alive, progress flat anyway"
+                    );
+                }
+            } else {
+                let _ = writeln!(
+                    out,
+                    "  suspect: fault plan — {} (not a livelock)",
+                    down.join(", ")
+                );
+            }
+        }
         for snap in &self.history {
-            let _ = writeln!(
+            let _ = write!(
                 out,
                 "  [+{:>7.1?}] progress={} flat-for={:.1?}",
                 snap.elapsed, snap.progress, snap.flat_for,
             );
+            if snap.nodes.is_empty() {
+                let _ = writeln!(out);
+            } else {
+                let statuses: Vec<String> = snap.nodes.iter().map(ToString::to_string).collect();
+                let _ = writeln!(out, " nodes=[{}]", statuses.join(","));
+            }
             for line in snap.detail.lines() {
                 let _ = writeln!(out, "    {line}");
             }
@@ -189,6 +267,50 @@ mod tests {
         assert!(report.contains("progress=7"));
         assert!(report.contains("    node 0: mailbox depth=3"));
         assert_eq!(wd.history().count(), 3, "keeps only the last N snapshots");
+    }
+
+    #[test]
+    fn report_blames_the_fault_plan_when_a_node_is_down() {
+        let mut wd = WatchdogCore::new(fast_config());
+        wd.observe_with(
+            3,
+            || "node 1: mailbox depth=9".to_string(),
+            || {
+                vec![
+                    NodeLiveness::Alive,
+                    NodeLiveness::Crashed,
+                    NodeLiveness::Paused,
+                ]
+            },
+        );
+        let report = wd.report();
+        assert!(
+            report.contains("suspect: fault plan — node 1 crashed, node 2 paused"),
+            "unexpected report: {report}"
+        );
+        assert!(report.contains("nodes=[alive,crashed,paused]"));
+    }
+
+    #[test]
+    fn report_blames_livelock_when_every_node_is_alive() {
+        let mut wd = WatchdogCore::new(fast_config());
+        wd.observe_with(3, String::new, || {
+            vec![NodeLiveness::Alive, NodeLiveness::Alive]
+        });
+        let report = wd.report();
+        assert!(
+            report.contains("suspect: livelock"),
+            "unexpected report: {report}"
+        );
+    }
+
+    #[test]
+    fn report_stays_unclassified_without_a_liveness_source() {
+        let mut wd = WatchdogCore::new(fast_config());
+        wd.observe(3, || "plain".to_string());
+        let report = wd.report();
+        assert!(!report.contains("suspect:"), "unexpected report: {report}");
+        assert!(!report.contains("nodes=["));
     }
 
     #[test]

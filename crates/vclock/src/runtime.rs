@@ -182,6 +182,97 @@ pub fn sleep(duration: Duration) {
     }
 }
 
+/// An attempt-scaled pause policy shared by every retry loop in the stack:
+/// scenario-driver abort retries, client unavailable-node retries, and the
+/// reliable-delivery retransmission timers.
+///
+/// Two growth modes — linear (`base * attempt`) and exponential
+/// (`base * 2^(attempt-1)`) — both clamped to `cap`, with optional
+/// *deterministic* jitter: the jitter for `(seed, attempt)` is a pure hash,
+/// so seeded replays (and the simulator's fingerprint checks) observe
+/// identical pauses. Attempt numbering starts at 1; attempt 0 yields
+/// [`Duration::ZERO`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Backoff {
+    base: Duration,
+    cap: Duration,
+    exponential: bool,
+    /// Jitter seed; `None` disables jitter entirely.
+    jitter_seed: Option<u64>,
+}
+
+impl Backoff {
+    /// Linear backoff: `base * attempt`, clamped to `cap`, no jitter.
+    pub fn linear(base: Duration, cap: Duration) -> Self {
+        Backoff {
+            base,
+            cap,
+            exponential: false,
+            jitter_seed: None,
+        }
+    }
+
+    /// Exponential backoff: `base * 2^(attempt-1)`, clamped to `cap`,
+    /// no jitter.
+    pub fn exponential(base: Duration, cap: Duration) -> Self {
+        Backoff {
+            base,
+            cap,
+            exponential: true,
+            jitter_seed: None,
+        }
+    }
+
+    /// Adds deterministic jitter seeded by `seed`: each attempt's pause is
+    /// scaled by a factor in `[0.5, 1.0)` derived from a pure hash of
+    /// `(seed, attempt)`.
+    pub fn with_jitter(mut self, seed: u64) -> Self {
+        self.jitter_seed = Some(seed);
+        self
+    }
+
+    /// The pause before retry number `attempt` (1-based).
+    pub fn delay(&self, attempt: u32) -> Duration {
+        if attempt == 0 {
+            return Duration::ZERO;
+        }
+        let nanos = self.base.as_nanos() as u64;
+        let scaled = if self.exponential {
+            nanos.saturating_mul(1u64.checked_shl(attempt - 1).unwrap_or(u64::MAX))
+        } else {
+            nanos.saturating_mul(attempt as u64)
+        };
+        let clamped = scaled.min(self.cap.as_nanos() as u64);
+        let jittered = match self.jitter_seed {
+            // Factor in [1/2, 1): full-throughput retries keep their order
+            // of magnitude while seeded runs stay reproducible.
+            Some(seed) => clamped / 2 + mix(seed, attempt as u64) % (clamped / 2).max(1),
+            None => clamped,
+        };
+        Duration::from_nanos(jittered)
+    }
+
+    /// Sleeps for [`Backoff::delay`]`(attempt)` on the current runtime
+    /// (virtual time under simulation).
+    pub fn pause(&self, attempt: u32) {
+        let delay = self.delay(attempt);
+        if !delay.is_zero() {
+            sleep(delay);
+        }
+    }
+}
+
+/// SplitMix64-style finalizer over `(seed, attempt)`; a pure function so
+/// jittered backoff stays deterministic under seeded replay.
+fn mix(seed: u64, attempt: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -256,6 +347,42 @@ mod tests {
         let handle: SchedulerHandle = Arc::clone(&stub) as SchedulerHandle;
         enter(&handle, || sleep(Duration::from_nanos(42)));
         assert_eq!(stub.slept.load(Ordering::Relaxed), 42);
+    }
+
+    #[test]
+    fn linear_backoff_scales_and_caps() {
+        let b = Backoff::linear(Duration::from_micros(50), Duration::from_millis(2));
+        assert_eq!(b.delay(0), Duration::ZERO);
+        assert_eq!(b.delay(1), Duration::from_micros(50));
+        assert_eq!(b.delay(3), Duration::from_micros(150));
+        assert_eq!(b.delay(40), Duration::from_millis(2));
+        assert_eq!(b.delay(10_000), Duration::from_millis(2));
+    }
+
+    #[test]
+    fn exponential_backoff_doubles_and_caps() {
+        let b = Backoff::exponential(Duration::from_millis(1), Duration::from_millis(100));
+        assert_eq!(b.delay(1), Duration::from_millis(1));
+        assert_eq!(b.delay(2), Duration::from_millis(2));
+        assert_eq!(b.delay(5), Duration::from_millis(16));
+        assert_eq!(b.delay(32), Duration::from_millis(100));
+        assert_eq!(b.delay(1_000), Duration::from_millis(100));
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let b =
+            Backoff::exponential(Duration::from_millis(4), Duration::from_secs(1)).with_jitter(42);
+        for attempt in 1..16 {
+            let d = b.delay(attempt);
+            assert_eq!(d, b.delay(attempt), "same (seed, attempt) → same delay");
+            let full = Backoff::exponential(Duration::from_millis(4), Duration::from_secs(1))
+                .delay(attempt);
+            assert!(d >= full / 2 && d < full, "jitter stays in [full/2, full)");
+        }
+        let other =
+            Backoff::exponential(Duration::from_millis(4), Duration::from_secs(1)).with_jitter(43);
+        assert_ne!(b.delay(3), other.delay(3), "different seeds differ");
     }
 
     #[test]

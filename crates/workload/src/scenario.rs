@@ -14,9 +14,12 @@
 //! [`History`]: written values encode the writer's driver-level transaction
 //! id, and observed values are decoded back into writer attributions, so
 //! the external-consistency checker can verify the faulted run afterwards.
-//! Because every injected fault is safety-preserving (delay, reorder,
-//! duplicate, partition-with-heal, pause — never loss), a checker failure
-//! under any scenario is a protocol bug, not a harness artifact.
+//! Every injected fault is made safety-preserving: delay, reorder,
+//! duplicate, partition-with-heal and pause are so natively, and loss or
+//! crash-stop plans auto-enable the reliable-delivery layer plus the
+//! restart-recovery protocol (see `sss_core::SssCluster::start`). A checker
+//! failure under any scenario is therefore a protocol bug, not a harness
+//! artifact.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -62,6 +65,20 @@ impl ScenarioExpectations {
         ScenarioExpectations {
             external_consistency: true,
             zero_read_only_aborts: true,
+            all_committed: true,
+        }
+    }
+
+    /// SSS under crash-stop faults: consistency and liveness still gate,
+    /// but the abort-free-reads headline is conditional on the serving node
+    /// staying up — a read parked on a node whose crash wipes the parked
+    /// set (or begun while the colocated node is down past the
+    /// `NodeUnavailable` backoff budget) surfaces as an abort and is
+    /// retried by the client.
+    pub fn sss_under_crash() -> Self {
+        ScenarioExpectations {
+            external_consistency: true,
+            zero_read_only_aborts: false,
             all_committed: true,
         }
     }
@@ -385,8 +402,12 @@ fn populate_recorded<E: TransactionEngine + ?Sized>(
 /// cap); a short, growing pause moves the clock between attempts and lets
 /// the seeded scheduler break the tie. Under the threaded runner the same
 /// pause is a cheap contention throttle.
+///
+/// Jitter-free linear [`runtime::Backoff`], 50µs per attempt capped at 2ms:
+/// the exact schedule of the historical hand-rolled pause, so the pinned
+/// replay-corpus fingerprints survive the extraction.
 fn retry_pause(attempts: u32) {
-    runtime::sleep(Duration::from_micros(50) * attempts.min(40));
+    runtime::Backoff::linear(Duration::from_micros(50), Duration::from_millis(2)).pause(attempts);
 }
 
 fn run_client<E: TransactionEngine + ?Sized>(
@@ -671,8 +692,14 @@ pub fn run_scenario_on<E: TransactionEngine + ?Sized>(
                 while !done.load(Ordering::Relaxed) {
                     std::thread::sleep(WATCHDOG_TICK);
                     let current = progress.load(Ordering::Relaxed);
-                    let verdict =
-                        watchdog.observe(current, || engine_ref.diagnostics().unwrap_or_default());
+                    // Liveness rides along with the diagnostics so a stall
+                    // report can say "node 2 crashed" instead of leaving the
+                    // reader to infer it from mailbox depths.
+                    let verdict = watchdog.observe_with(
+                        current,
+                        || engine_ref.diagnostics().unwrap_or_default(),
+                        || engine_ref.node_liveness().unwrap_or_default(),
+                    );
                     if verdict == WatchdogVerdict::Stalled {
                         *diagnostics.lock() = Some(watchdog.report());
                         // With observability on, auto-dump the trace rings:
